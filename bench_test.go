@@ -1,0 +1,320 @@
+// Benchmarks regenerating every figure and experiment of DESIGN.md §4.
+// Each BenchmarkF*/BenchmarkE* wraps the corresponding runner in
+// internal/experiments (the same code cmd/dmps-bench prints tables from)
+// and reports its headline metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation.
+// Micro-benchmarks for the load-bearing substrates follow.
+package dmps_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dmps"
+	"dmps/internal/clock"
+	"dmps/internal/experiments"
+	"dmps/internal/ocpn"
+	"dmps/internal/petri"
+	"dmps/internal/protocol"
+	"dmps/internal/whiteboard"
+)
+
+// reportDuration attaches a duration metric in milliseconds.
+func reportDuration(b *testing.B, name string, d time.Duration) {
+	b.Helper()
+	b.ReportMetric(float64(d.Microseconds())/1000.0, name+"_ms")
+}
+
+func BenchmarkFigure1PresentationNet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunF1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tab.String()
+	}
+}
+
+func BenchmarkFigure2CapabilityMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunF2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 8 {
+			b.Fatalf("rows = %d", len(tab.Rows))
+		}
+	}
+}
+
+func BenchmarkFigure3StatusLights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunF3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tab
+	}
+}
+
+func BenchmarkE1ArbitrationModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE1([]int{2, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE2ClockDiscipline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunE2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tab
+	}
+}
+
+func BenchmarkE3SkewVsBaseline(b *testing.B) {
+	var lastDocpn time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunE3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, err := time.ParseDuration(tab.Rows[len(tab.Rows)-1][1]); err == nil {
+			lastDocpn = d
+		}
+	}
+	reportDuration(b, "docpn_skew_at_100ms_spread", lastDocpn)
+}
+
+func BenchmarkE4PriorityInteraction(b *testing.B) {
+	var prio time.Duration
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunE4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, err := time.ParseDuration(tab.Rows[0][1]); err == nil {
+			prio = d
+		}
+	}
+	reportDuration(b, "priority_skip_latency", prio)
+}
+
+func BenchmarkE5ResourceDegradation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6TokenFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE6([]int{4, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7SubgroupsDirect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE7(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE8ServerScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE8([]int{2, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE9MediaStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE9([]int{2, 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkPetriFireChain(b *testing.B) {
+	n := petri.New()
+	_ = n.AddPlace("a", "")
+	_ = n.AddPlace("z", "")
+	_ = n.AddTransition("t", "")
+	_ = n.AddInput("a", "t", 1)
+	_ = n.AddOutput("t", "z", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := petri.NewMarking("a")
+		if _, err := n.Fire(m, "t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPetriReachabilityLecture(b *testing.B) {
+	tl, err := experiments.LectureTimeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Base.Reachability(net.InitialMarking(), 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOCPNCompile(b *testing.B) {
+	tl, err := experiments.LectureTimeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ocpn.Compile(tl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllenSolve(b *testing.B) {
+	spec := dmps.Spec{
+		Objects: []dmps.MediaObject{
+			{ID: "slide", Kind: dmps.Image, Duration: 10 * time.Second},
+			{ID: "narration", Kind: dmps.Audio, Duration: 10 * time.Second, Rate: 50},
+			{ID: "clip", Kind: dmps.Video, Duration: 5 * time.Second, Rate: 30},
+		},
+		Constraints: []dmps.Constraint{
+			{A: "slide", B: "narration", Rel: dmps.Equals},
+			{A: "slide", B: "clip", Rel: dmps.Meets},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dmps.Solve(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhiteboardAppend(b *testing.B) {
+	board := whiteboard.NewBoard()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := board.Append("author", whiteboard.Text, "message"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocolEncodeDecode(b *testing.B) {
+	msg := protocol.MustNew(protocol.TChat, protocol.ChatBody{Text: "benchmark message"})
+	msg.Group = "class"
+	msg.Seq = 42
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := protocol.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := protocol.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClockEstimator(b *testing.B) {
+	base := clock.NewSim(time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC))
+	master := clock.NewMaster(base)
+	est := clock.NewEstimator(clock.NewDrift(base, -time.Second, 50e-6), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.SyncDirect(master)
+		if _, err := est.GlobalNow(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedSimulation(b *testing.B) {
+	tl, err := experiments.LectureTimeline()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sites := []dmps.SimSite{
+		{Name: "a", ControlDelay: time.Millisecond, SyncErr: time.Millisecond},
+		{Name: "b", ControlDelay: 40 * time.Millisecond, SyncErr: 2 * time.Millisecond, Drift: 80e-6},
+		{Name: "c", ControlDelay: 90 * time.Millisecond, SyncErr: -time.Millisecond, Drift: -60e-6},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dmps.Simulate(dmps.SimConfig{Timeline: tl, Sites: sites, Mode: dmps.GlobalClock})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Finished {
+			b.Fatal("unfinished")
+		}
+	}
+}
+
+func BenchmarkLivePresentationPlayout(b *testing.B) {
+	tl := dmps.Timeline{Items: []dmps.ScheduledObject{
+		{Object: dmps.MediaObject{ID: "s", Kind: dmps.Image, Duration: time.Millisecond}, Start: 0},
+		{Object: dmps.MediaObject{ID: "v", Kind: dmps.Video, Duration: time.Millisecond, Rate: 30}, Start: time.Millisecond},
+	}}
+	master := clock.NewMaster(clock.Real{})
+	est := clock.NewEstimator(clock.Real{}, 4)
+	est.SyncDirect(master)
+	player := dmps.PresentationPlayer{Site: "bench", Estimator: est}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := master.GlobalNow()
+		if _, err := player.Play(context.Background(), tl, start); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationConflictResolution compares the paper's priority-arc
+// conflict rule against plain deterministic choice on a contended place.
+func BenchmarkAblationConflictResolution(b *testing.B) {
+	n := petri.New()
+	_ = n.AddPlace("shared", "")
+	for i := 0; i < 8; i++ {
+		tid := petri.TransitionID(fmt.Sprintf("t%d", i))
+		_ = n.AddTransition(tid, "")
+		out := petri.PlaceID(fmt.Sprintf("o%d", i))
+		_ = n.AddPlace(out, "")
+		if i == 3 {
+			_ = n.AddPriorityInput("shared", tid, 1)
+		} else {
+			_ = n.AddInput("shared", tid, 1)
+		}
+		_ = n.AddOutput(tid, out, 1)
+	}
+	m := petri.NewMarking("shared")
+	enabled := n.EnabledSet(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := n.ResolveConflict(m, enabled); got != "t3" {
+			b.Fatalf("conflict resolution picked %s", got)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command dmps-bench runs the full experiment suite (F1–F3, E1–E8 of
+// DESIGN.md §4) and prints every table EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	dmps-bench [-only E3] [-full]
+//
+// -full widens the sweeps (more group sizes and clients); the default
+// parameters finish in a few seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmps/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "run a single experiment (F1..F3, E1..E8)")
+	full := flag.Bool("full", false, "widen sweeps (slower, more rows)")
+	flag.Parse()
+
+	e1Sizes := []int{2, 8, 24}
+	e6Sizes := []int{4, 8, 16}
+	e8Sizes := []int{2, 8, 32}
+	e9Sizes := []int{2, 8, 16}
+	e7K := 3
+	if *full {
+		e1Sizes = []int{2, 8, 24, 48, 64}
+		e6Sizes = []int{4, 8, 16, 32}
+		e8Sizes = []int{2, 8, 32, 64, 128}
+		e9Sizes = []int{2, 8, 16, 32, 64}
+		e7K = 4
+	}
+
+	type runner struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	runners := []runner{
+		{"F1", experiments.RunF1},
+		{"F2", experiments.RunF2},
+		{"F3", experiments.RunF3},
+		{"E1", func() (*experiments.Table, error) { return experiments.RunE1(e1Sizes) }},
+		{"E2", experiments.RunE2},
+		{"E3", experiments.RunE3},
+		{"E4", experiments.RunE4},
+		{"E5", experiments.RunE5},
+		{"E6", func() (*experiments.Table, error) { return experiments.RunE6(e6Sizes) }},
+		{"E7", func() (*experiments.Table, error) { return experiments.RunE7(e7K) }},
+		{"E8", func() (*experiments.Table, error) { return experiments.RunE8(e8Sizes) }},
+		{"E9", func() (*experiments.Table, error) { return experiments.RunE9(e9Sizes) }},
+		{"A1", experiments.RunA1},
+	}
+	failures := 0
+	for _, r := range runners {
+		if *only != "" && !strings.EqualFold(*only, r.id) {
+			continue
+		}
+		start := time.Now()
+		table, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			failures++
+			continue
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

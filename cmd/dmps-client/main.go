@@ -1,0 +1,245 @@
+// Command dmps-client is a line-oriented DMPS participant — the
+// command-line rendering of the paper's Figure-2 communication window.
+//
+// Usage:
+//
+//	dmps-client -addr localhost:4321 -name Alice [-role participant] [-priority 2]
+//
+// Commands at the prompt:
+//
+//	join <group>                 join (auto-creating) a group
+//	leave <group>                leave a group
+//	chat <group> <text…>         send to the message window
+//	draw <group> <data…>         draw on the whiteboard
+//	clear <group>                clear the whiteboard
+//	floor <group> <mode> [peer]  request the floor (free-access,
+//	                             equal-control, group-discussion,
+//	                             direct-contact)
+//	pass <group> <member>        pass the equal-control token
+//	release <group>              release the floor
+//	invite <group> <member>      invite a member into a group
+//	accept <invite-id>           accept an invitation
+//	decline <invite-id>          decline an invitation
+//	private <group> <peer> <t…>  send in the direct-contact window
+//	board <group>                print the message window
+//	lights                       print the connection lights
+//	sync                         synchronize with the global clock
+//	invites                      list received invitations
+//	quit                         exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/protocol"
+	"dmps/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "localhost:4321", "server address")
+	name := flag.String("name", "anonymous", "display name")
+	role := flag.String("role", "participant", "role: chair or participant")
+	priority := flag.Int("priority", 2, "floor priority (token modes need ≥ 2)")
+	flag.Parse()
+
+	c, err := client.Dial(client.Config{
+		Network:  transport.TCP{},
+		Addr:     *addr,
+		Name:     *name,
+		Role:     *role,
+		Priority: *priority,
+		OnEvent:  printEvent,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmps-client:", err)
+		return 1
+	}
+	defer c.Close()
+	fmt.Printf("connected as %s\n", c.MemberID())
+
+	scanner := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if line != "" {
+			if err := execute(c, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+	return 0
+}
+
+func execute(c *client.Client, line string) error {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	need := func(n int) error {
+		if len(args) < n {
+			return fmt.Errorf("%s needs %d argument(s)", cmd, n)
+		}
+		return nil
+	}
+	switch cmd {
+	case "join":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.Join(args[0])
+	case "leave":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.Leave(args[0])
+	case "chat":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.Chat(args[0], strings.Join(args[1:], " "))
+	case "draw":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.Annotate(args[0], "draw", strings.Join(args[1:], " "))
+	case "clear":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.Annotate(args[0], "clear", "")
+	case "floor":
+		if err := need(2); err != nil {
+			return err
+		}
+		mode, ok := parseMode(args[1])
+		if !ok {
+			return fmt.Errorf("unknown mode %q", args[1])
+		}
+		target := ""
+		if len(args) > 2 {
+			target = args[2]
+		}
+		dec, err := c.RequestFloor(args[0], mode, target)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("granted=%v holder=%s queue=%d suspended=%v level=%s\n",
+			dec.Granted, dec.Holder, dec.QueuePosition, dec.Suspended, dec.Level)
+		return nil
+	case "pass":
+		if err := need(2); err != nil {
+			return err
+		}
+		return c.PassToken(args[0], args[1])
+	case "release":
+		if err := need(1); err != nil {
+			return err
+		}
+		return c.ReleaseFloor(args[0])
+	case "invite":
+		if err := need(2); err != nil {
+			return err
+		}
+		id, err := c.Invite(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println("invitation id:", id)
+		return nil
+	case "accept", "decline":
+		if err := need(1); err != nil {
+			return err
+		}
+		id, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad invite id %q", args[0])
+		}
+		return c.ReplyInvite(id, cmd == "accept")
+	case "private":
+		if err := need(3); err != nil {
+			return err
+		}
+		return c.ChatPrivate(args[0], args[1], strings.Join(args[2:], " "))
+	case "board":
+		if err := need(1); err != nil {
+			return err
+		}
+		fmt.Print(c.Board(args[0]).Render())
+		return nil
+	case "lights":
+		for id, l := range c.Lights() {
+			fmt.Printf("  %-24s %s\n", id, l)
+		}
+		return nil
+	case "sync":
+		offset, err := c.SyncClock()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("offset to global clock: %v\n", offset)
+		return nil
+	case "invites":
+		for _, inv := range c.PendingInvites() {
+			fmt.Printf("  #%d from %s into %s\n", inv.InviteID, inv.From, inv.Group)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parseMode(s string) (floor.Mode, bool) {
+	switch s {
+	case "free-access", "free":
+		return floor.FreeAccess, true
+	case "equal-control", "equal":
+		return floor.EqualControl, true
+	case "group-discussion", "group":
+		return floor.GroupDiscussion, true
+	case "direct-contact", "direct":
+		return floor.DirectContact, true
+	default:
+		return 0, false
+	}
+}
+
+// printEvent surfaces server events asynchronously on the console.
+func printEvent(msg protocol.Message) {
+	switch msg.Type {
+	case protocol.TChatEvent:
+		var body protocol.SequencedBody
+		if msg.Into(&body) == nil {
+			fmt.Printf("\n[%s] %s: %s\n> ", msg.Group, body.Author, body.Data)
+		}
+	case protocol.TInviteEvent:
+		var body protocol.InviteEventBody
+		if msg.Into(&body) == nil {
+			fmt.Printf("\ninvitation #%d from %s into %s (accept %d / decline %d)\n> ",
+				body.InviteID, body.From, body.Group, body.InviteID, body.InviteID)
+		}
+	case protocol.TFloorEvent:
+		var body protocol.FloorEventBody
+		if msg.Into(&body) == nil && body.Event != "" {
+			fmt.Printf("\nfloor %s: holder=%s mode=%s\n> ", body.Event, body.Holder, body.Mode)
+		}
+	case protocol.TSuspend:
+		var body protocol.SuspendBody
+		if msg.Into(&body) == nil {
+			fmt.Printf("\nmedia suspended for %s (%s)\n> ", body.Member, body.Level)
+		}
+	}
+}

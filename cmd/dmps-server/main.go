@@ -1,0 +1,68 @@
+// Command dmps-server runs a DMPS server on real TCP sockets.
+//
+// Usage:
+//
+//	dmps-server [-addr :4321] [-probe 500ms] [-alpha 0.5] [-beta 0.15]
+//
+// Clients (cmd/dmps-client) connect, join groups, request the floor and
+// chat; the server centralizes group administration, floor arbitration,
+// the global clock and the connection lights.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"dmps/internal/resource"
+	"dmps/internal/server"
+	"dmps/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":4321", "listen address")
+	probe := flag.Duration("probe", 500*time.Millisecond, "status probe interval")
+	alpha := flag.Float64("alpha", 0.5, "α threshold: basic resource availability")
+	beta := flag.Float64("beta", 0.15, "β threshold: minimal resource availability")
+	flag.Parse()
+
+	mon, err := resource.New(resource.MinBound, resource.Thresholds{Alpha: *alpha, Beta: *beta})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmps-server:", err)
+		return 1
+	}
+	srv, err := server.New(server.Config{
+		Network:       transport.TCP{},
+		Addr:          *addr,
+		Monitor:       mon,
+		ProbeInterval: *probe,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmps-server:", err)
+		return 1
+	}
+	fmt.Printf("dmps-server listening on %s (α=%.2f β=%.2f probe=%v)\n", srv.Addr(), *alpha, *beta, *probe)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve() }()
+	select {
+	case <-sig:
+		fmt.Println("\ndmps-server: shutting down")
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmps-server:", err)
+			srv.Close()
+			return 1
+		}
+	}
+	srv.Close()
+	return 0
+}

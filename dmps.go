@@ -1,0 +1,198 @@
+// Package dmps is the public facade of this repository: a from-scratch Go
+// implementation of the Distributed Multimedia Presentation System of
+// Shih, Deng, Liao, Huang and Chang ("Using the Floor Control Mechanism
+// in Distributed Multimedia Presentation System", ICDCS 2001 Workshops).
+//
+// It re-exports the stable surface of the internal packages:
+//
+//   - the DOCPN presentation model: timelines, Allen-relation solving,
+//     OCPN compilation and analysis, distributed simulation with the
+//     global-clock firing discipline;
+//   - the floor control mechanism: the four modes (Free Access, Equal
+//     Control, Group Discussion, Direct Contact), FCM-Arbitrate with the
+//     α/β resource thresholds, Media-Suspend;
+//   - the live DMPS stack: server, client, groups, whiteboard, status
+//     lights, clock synchronization, presentations — over TCP or the
+//     in-memory simulated network.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	lab, _ := dmps.NewLab(dmps.LabOptions{})
+//	defer lab.Close()
+//	teacher, _ := lab.NewClient("Teacher", "chair", 5)
+//	student, _ := lab.NewClient("Student", "participant", 2)
+//	_ = teacher.Join("class")
+//	_ = student.Join("class")
+//	_ = teacher.Chat("class", "welcome to DMPS")
+package dmps
+
+import (
+	"dmps/internal/client"
+	"dmps/internal/clock"
+	"dmps/internal/core"
+	"dmps/internal/docpn"
+	"dmps/internal/floor"
+	"dmps/internal/media"
+	"dmps/internal/netsim"
+	"dmps/internal/ocpn"
+	"dmps/internal/presentation"
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+	"dmps/internal/server"
+	"dmps/internal/transport"
+)
+
+// Live-system types.
+type (
+	// Lab is a fully assembled in-memory DMPS deployment (simulated
+	// network + server + clients).
+	Lab = core.Lab
+	// LabOptions configures NewLab.
+	LabOptions = core.Options
+	// Client is a connected DMPS participant.
+	Client = client.Client
+	// ClientConfig configures Dial for standalone (e.g. TCP) use.
+	ClientConfig = client.Config
+	// Server is a DMPS server; use NewServer for standalone deployments.
+	Server = server.Server
+	// ServerConfig configures NewServer.
+	ServerConfig = server.Config
+	// LinkConfig shapes simulated links (delay, jitter, loss).
+	LinkConfig = netsim.LinkConfig
+	// TCP is the real-socket transport for standalone deployments.
+	TCP = transport.TCP
+)
+
+// Floor control types and modes.
+type (
+	// FloorMode is one of the paper's four floor control modes.
+	FloorMode = floor.Mode
+	// Capability is a member's communication-window affordances.
+	Capability = floor.Capability
+	// Thresholds is the α/β resource threshold pair.
+	Thresholds = resource.Thresholds
+)
+
+// The four floor control modes.
+const (
+	FreeAccess      = floor.FreeAccess
+	EqualControl    = floor.EqualControl
+	GroupDiscussion = floor.GroupDiscussion
+	DirectContact   = floor.DirectContact
+)
+
+// Presentation-model types.
+type (
+	// MediaObject is one multimedia object with kind, duration and rate.
+	MediaObject = media.Object
+	// MediaKind classifies media objects.
+	MediaKind = media.Kind
+	// Timeline is an absolute-time presentation plan.
+	Timeline = ocpn.Timeline
+	// ScheduledObject is one timeline item.
+	ScheduledObject = ocpn.ScheduledObject
+	// Spec is an Allen-relation presentation specification.
+	Spec = ocpn.Spec
+	// Constraint is one Allen relation between two objects.
+	Constraint = ocpn.Constraint
+	// OCPN is a compiled Object Composition Petri Net.
+	OCPN = ocpn.Net
+	// Schedule is a derived firing plan with synchronous sets.
+	Schedule = ocpn.Schedule
+	// SimConfig configures a DOCPN distributed simulation.
+	SimConfig = docpn.Config
+	// SimSite describes one simulated site (clock offset, drift, sync
+	// error, control delay).
+	SimSite = docpn.SiteSpec
+	// SimResult is a distributed simulation outcome.
+	SimResult = docpn.Result
+	// Interaction is a user action injected into a simulation.
+	Interaction = docpn.Interaction
+)
+
+// SkipInteraction jumps the presentation to the next synchronization
+// point via the priority arcs.
+const SkipInteraction = docpn.Skip
+
+// Media kinds.
+const (
+	Text       = media.Text
+	Image      = media.Image
+	Audio      = media.Audio
+	Video      = media.Video
+	Annotation = media.Annotation
+)
+
+// Allen relations.
+const (
+	Equals   = ocpn.Equals
+	Before   = ocpn.Before
+	Meets    = ocpn.Meets
+	Overlaps = ocpn.Overlaps
+	During   = ocpn.During
+	Starts   = ocpn.Starts
+	Finishes = ocpn.Finishes
+)
+
+// Clock-discipline modes for simulations.
+const (
+	// GlobalClock is the paper's DOCPN discipline.
+	GlobalClock = docpn.GlobalClock
+	// LocalClock is the OCPN baseline without a global clock.
+	LocalClock = docpn.LocalClock
+	// NaiveClock schedules against the global timetable using the raw,
+	// unsynchronized local clock (the failure mode clock sync repairs).
+	NaiveClock = docpn.NaiveClock
+)
+
+// NewLab builds and starts an in-memory DMPS deployment.
+func NewLab(opts LabOptions) (*Lab, error) { return core.NewLab(opts) }
+
+// NewServer starts a standalone DMPS server (pass TCP{} as
+// ServerConfig.Network for real sockets).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// Dial connects a standalone client.
+func Dial(cfg ClientConfig) (*Client, error) { return client.Dial(cfg) }
+
+// Solve computes the absolute timeline from an Allen-relation spec.
+func Solve(spec Spec) (Timeline, error) { return ocpn.Solve(spec) }
+
+// Compile builds the OCPN for a timeline.
+func Compile(tl Timeline) (*OCPN, error) { return ocpn.Compile(tl) }
+
+// Simulate runs a DOCPN distributed simulation.
+func Simulate(cfg SimConfig) (*SimResult, error) { return docpn.Run(cfg) }
+
+// SimulateWith runs a DOCPN simulation with user interactions.
+func SimulateWith(cfg SimConfig, interactions []Interaction) (*SimResult, error) {
+	return docpn.RunWith(cfg, interactions)
+}
+
+// PresentationWire converts a timeline into the body broadcast by
+// Client.StartPresentation.
+var PresentationWire = presentation.ToWire
+
+// PresentationPlayer plays a received presentation under global-clock
+// discipline.
+type PresentationPlayer = presentation.Player
+
+// PresentationFromWire converts a received presentation body back into a
+// timeline and global start instant.
+var PresentationFromWire = presentation.FromWire
+
+// WirePresentation is the broadcast form of a presentation start.
+type WirePresentation = protocol.PresentBody
+
+// ClockEstimator is a client's global-clock estimator.
+type ClockEstimator = clock.Estimator
+
+// PresentationMonitor verifies playout against the schedule at run time.
+type PresentationMonitor = presentation.Monitor
+
+// PlayoutViolation is one conformance breach a monitor found.
+type PlayoutViolation = presentation.Violation
+
+// NewPresentationMonitor builds a runtime conformance monitor for a
+// compiled net, presentation start instant and tolerance.
+var NewPresentationMonitor = presentation.NewMonitor

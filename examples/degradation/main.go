@@ -1,0 +1,82 @@
+// Degradation: the α/β resource ladder of FCM-Arbitrate on the live
+// stack. As host resources drain, Media-Suspend sheds the lowest-priority
+// members one by one; below β arbitration aborts; recovery reinstates
+// everyone. This is the paper's "different levels of treatment when the
+// source is not sufficient".
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"dmps"
+	"dmps/internal/client"
+	"dmps/internal/resource"
+)
+
+func main() {
+	lab, err := dmps.NewLab(dmps.LabOptions{
+		Seed:          13,
+		Thresholds:    dmps.Thresholds{Alpha: 0.5, Beta: 0.2},
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	teacher := mustClient(lab, "Teacher", "chair", 5)
+	members := []*client.Client{
+		teacher,
+		mustClient(lab, "Alice", "participant", 3),
+		mustClient(lab, "Bob", "participant", 2),
+		mustClient(lab, "Carol", "participant", 1),
+	}
+	for _, c := range members {
+		if err := c.Join("class"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("availability  level     suspended after arbitration")
+	for _, avail := range []float64{1.0, 0.45, 0.35, 0.25, 0.10} {
+		lab.Monitor.Set(resource.Vector{Network: avail, CPU: avail, Memory: avail})
+		dec, err := teacher.RequestFloor("class", dmps.FreeAccess, "")
+		switch {
+		case errors.Is(err, client.ErrDenied):
+			fmt.Printf("%.2f          critical  ABORT-ARBITRATE (below β)\n", avail)
+			continue
+		case err != nil:
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f          %-8s  %v\n", avail, dec.Level, dec.Suspended)
+	}
+
+	// Carol (priority 1) was shed first; her messages bounce.
+	carol := members[3]
+	if err := carol.Chat("class", "can anyone hear me?"); errors.Is(err, client.ErrDenied) {
+		fmt.Println("\ncarol is suspended: chat denied ✔")
+	}
+
+	// Recovery: resources return; the probe loop reinstates everyone.
+	lab.Monitor.Set(resource.Vector{Network: 1, CPU: 1, Memory: 1})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := carol.Chat("class", "back online"); err == nil {
+			fmt.Println("resources recovered: carol reinstated ✔")
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatal("carol never reinstated")
+}
+
+func mustClient(lab *dmps.Lab, name, role string, priority int) *client.Client {
+	c, err := lab.NewClient(name, role, priority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+// Group discussion: the paper's third and fourth floor modes. Students
+// split into invitation-built breakout groups ("the user A will be the
+// session chair in his small group"), discuss privately, and two of them
+// open a direct-contact window — all concurrently with the class.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmps"
+	"dmps/internal/client"
+)
+
+func main() {
+	lab, err := dmps.NewLab(dmps.LabOptions{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	teacher := mustClient(lab, "Teacher", "chair", 5)
+	alice := mustClient(lab, "Alice", "participant", 2)
+	bob := mustClient(lab, "Bob", "participant", 2)
+	carol := mustClient(lab, "Carol", "participant", 2)
+	all := []*client.Client{teacher, alice, bob, carol}
+	for _, c := range all {
+		if err := c.Join("class"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Alice creates a breakout group and invites Bob. Accepting joins him
+	// and makes Alice the breakout's session chair.
+	if err := alice.Join("breakout-petri"); err != nil {
+		log.Fatal(err)
+	}
+	inviteID, err := alice.Invite("breakout-petri", bob.MemberID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool { return len(bob.PendingInvites()) > 0 })
+	fmt.Printf("bob received invitation #%d from %s\n", inviteID, alice.MemberID())
+	if err := bob.ReplyInvite(inviteID, true); err != nil {
+		log.Fatal(err)
+	}
+
+	// Group discussion: every breakout member sends together.
+	if _, err := alice.RequestFloor("breakout-petri", dmps.GroupDiscussion, ""); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.Chat("breakout-petri", "let's model the quiz as an OCPN"); err != nil {
+		log.Fatal(err)
+	}
+	if err := bob.Chat("breakout-petri", "agreed — one place per question"); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool { return bob.Board("breakout-petri").Seq() == 2 })
+
+	// The breakout is private: Carol (not invited) sees nothing.
+	fmt.Println("carol's view of the breakout board:", carol.Board("breakout-petri").Seq(), "ops (isolated ✔)")
+
+	// Direct contact: Carol asks Bob privately, concurrently with
+	// everything else.
+	if _, err := carol.RequestFloor("class", dmps.DirectContact, bob.MemberID()); err != nil {
+		log.Fatal(err)
+	}
+	if err := carol.ChatPrivate("class", bob.MemberID(), "did I miss anything?"); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool { return len(bob.PrivateMessages()) == 1 })
+	fmt.Printf("bob's private window: %q from %s\n",
+		bob.PrivateMessages()[0].Data, bob.PrivateMessages()[0].Author)
+
+	// Meanwhile the class channel still works for everyone (free access).
+	if err := teacher.Chat("class", "five more minutes"); err != nil {
+		log.Fatal(err)
+	}
+	waitFor(func() bool { return carol.Board("class").Seq() >= 1 })
+
+	fmt.Println("\nbreakout message window (alice's replica):")
+	fmt.Print(alice.Board("breakout-petri").Render())
+}
+
+func mustClient(lab *dmps.Lab, name, role string, priority int) *client.Client {
+	c, err := lab.NewClient(name, role, priority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,93 @@
+// Lecture: the paper's distance-learning scenario (Figures 2–3). A
+// teacher runs a class in Equal Control — one speaker at a time, token
+// passed by the holder — annotates the whiteboard, and watches the
+// status lights, including one student crashing mid-lecture.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"dmps"
+	"dmps/internal/client"
+)
+
+func main() {
+	lab, err := dmps.NewLab(dmps.LabOptions{
+		Seed:          7,
+		Link:          dmps.LinkConfig{Delay: 2 * time.Millisecond},
+		ProbeInterval: 25 * time.Millisecond,
+		ProbeTimeout:  75 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	teacher := mustClient(lab, "Prof. Shih", "chair", 5)
+	alice := mustClient(lab, "Alice", "participant", 2)
+	bob := mustClient(lab, "Bob", "participant", 2)
+	for _, c := range []*client.Client{teacher, alice, bob} {
+		if err := c.Join("multimedia-101"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The teacher takes the floor: Equal Control mutes everyone else.
+	dec, err := teacher.RequestFloor("multimedia-101", dmps.EqualControl, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("teacher holds the floor: %v (holder %s)\n", dec.Granted, dec.Holder)
+
+	if err := teacher.Chat("multimedia-101", "today: Petri nets for multimedia synchronization"); err != nil {
+		log.Fatal(err)
+	}
+	if err := teacher.Annotate("multimedia-101", "draw", "OCPN: place = media interval, transition = sync point"); err != nil {
+		log.Fatal(err)
+	}
+
+	// A muted student tries to interrupt.
+	if err := alice.Chat("multimedia-101", "can I say something?"); errors.Is(err, client.ErrDenied) {
+		fmt.Println("alice is muted while the teacher holds the floor ✔")
+	} else if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice queues for the floor; the teacher passes her the token.
+	if _, err := alice.RequestFloor("multimedia-101", dmps.EqualControl, ""); err != nil {
+		fmt.Println("alice queued:", err)
+	}
+	if err := teacher.PassToken("multimedia-101", alice.MemberID()); err != nil {
+		log.Fatal(err)
+	}
+	if err := alice.Chat("multimedia-101", "what does a token in a media place mean?"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice speaks after receiving the token ✔")
+
+	// Figure 3(c): Bob's machine dies; the teacher's light turns red.
+	bob.Drop()
+	victim := bob.MemberID()
+	deadline := time.Now().Add(3 * time.Second)
+	for teacher.Lights()[victim] != "red" && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("bob's connection light: %s (teacher can inspect the red light)\n", teacher.Lights()[victim])
+
+	// The message window at the end of class.
+	time.Sleep(20 * time.Millisecond)
+	fmt.Println("\nmessage window:")
+	fmt.Print(teacher.Board("multimedia-101").Render())
+	fmt.Println("whiteboard strokes:", len(teacher.Board("multimedia-101").Strokes()))
+}
+
+func mustClient(lab *dmps.Lab, name, role string, priority int) *client.Client {
+	c, err := lab.NewClient(name, role, priority)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,67 @@
+// Quickstart: bring up an in-memory DMPS deployment, join a class, chat
+// under free access, and watch the boards converge — the smallest
+// end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmps"
+)
+
+func main() {
+	// A Lab is a full DMPS deployment: simulated network + server
+	// (group administration, floor control, global clock, status lights).
+	lab, err := dmps.NewLab(dmps.LabOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	student, err := lab.NewClient("Student", "participant", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The first joiner creates the group and becomes its session chair.
+	if err := teacher.Join("class"); err != nil {
+		log.Fatal(err)
+	}
+	if err := student.Join("class"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Free access (the default): everyone may send to the message window.
+	if err := teacher.Chat("class", "welcome to DMPS"); err != nil {
+		log.Fatal(err)
+	}
+	if err := student.Chat("class", "hello!"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Server-sequenced delivery: both replicas converge to the same log.
+	waitFor(func() bool { return student.Board("class").Seq() == 2 && teacher.Board("class").Seq() == 2 })
+	fmt.Println("student's message window:")
+	fmt.Print(student.Board("class").Render())
+	fmt.Println("boards equal:", teacher.Board("class").Equal(student.Board("class")))
+
+	// Clock sync against the server's global clock.
+	offset, err := student.SyncClock()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("student's offset to the global clock: %v\n", offset.Round(time.Millisecond))
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,174 @@
+package dmps_test
+
+import (
+	"testing"
+	"time"
+
+	"dmps"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// README shows it.
+func TestPublicAPIQuickstart(t *testing.T) {
+	lab, err := dmps.NewLab(dmps.LabOptions{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	student, err := lab.NewClient("Student", "participant", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	if err := student.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := teacher.RequestFloor("class", dmps.EqualControl, "")
+	if err != nil || !dec.Granted {
+		t.Fatalf("floor: %+v %v", dec, err)
+	}
+	if err := teacher.Chat("class", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.PassToken("class", student.MemberID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := student.Chat("class", "thanks"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for student.Board("class").Seq() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if student.Board("class").Seq() != 2 {
+		t.Errorf("board seq = %d", student.Board("class").Seq())
+	}
+}
+
+// TestPublicAPIPresentationPipeline runs relations → timeline → net →
+// simulation through the facade only.
+func TestPublicAPIPresentationPipeline(t *testing.T) {
+	tl, err := dmps.Solve(dmps.Spec{
+		Objects: []dmps.MediaObject{
+			{ID: "a", Kind: dmps.Image, Duration: 2 * time.Second},
+			{ID: "b", Kind: dmps.Audio, Duration: 2 * time.Second, Rate: 50},
+			{ID: "c", Kind: dmps.Video, Duration: 1 * time.Second, Rate: 30},
+		},
+		Constraints: []dmps.Constraint{
+			{A: "a", B: "b", Rel: dmps.Equals},
+			{A: "a", B: "c", Rel: dmps.Meets},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := dmps.Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dmps.SimulateWith(dmps.SimConfig{
+		Timeline: tl,
+		Sites: []dmps.SimSite{
+			{Name: "x", ControlDelay: time.Millisecond, SyncErr: time.Millisecond},
+			{Name: "y", ControlDelay: 30 * time.Millisecond, Drift: 50e-6},
+		},
+		Mode:         dmps.GlobalClock,
+		PrioritySkip: true,
+	}, []dmps.Interaction{
+		{At: 500 * time.Millisecond, Site: "x", Kind: dmps.SkipInteraction},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Error("simulation unfinished")
+	}
+	if res.InteractionLatency[0] > 100*time.Millisecond {
+		t.Errorf("skip latency = %v", res.InteractionLatency[0])
+	}
+}
+
+// TestPublicAPIBaselineComparison checks the three clock disciplines are
+// all reachable through the facade and ordered as the paper claims.
+func TestPublicAPIBaselineComparison(t *testing.T) {
+	tl, err := dmps.Solve(dmps.Spec{
+		Objects: []dmps.MediaObject{
+			{ID: "long", Kind: dmps.Video, Duration: 30 * time.Second, Rate: 30},
+			{ID: "tail", Kind: dmps.Audio, Duration: 5 * time.Second, Rate: 50},
+		},
+		Constraints: []dmps.Constraint{{A: "long", B: "tail", Rel: dmps.Meets}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := []dmps.SimSite{
+		{Name: "p", Offset: 50 * time.Millisecond, Drift: 200e-6, SyncErr: time.Millisecond, ControlDelay: 5 * time.Millisecond},
+		{Name: "q", Offset: -50 * time.Millisecond, Drift: -200e-6, SyncErr: -time.Millisecond, ControlDelay: 45 * time.Millisecond},
+	}
+	run := func(mode dmps.SimConfig) time.Duration {
+		res, err := dmps.Simulate(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Meter.MaxInterSiteSkew()
+	}
+	global := run(dmps.SimConfig{Timeline: tl, Sites: sites, Mode: dmps.GlobalClock})
+	naive := run(dmps.SimConfig{Timeline: tl, Sites: sites, Mode: dmps.NaiveClock})
+	if global >= naive {
+		t.Errorf("global skew %v should beat naive %v", global, naive)
+	}
+}
+
+// TestPublicAPIStandaloneTCP exercises the facade's standalone-deployment
+// surface: NewServer + Dial over real sockets.
+func TestPublicAPIStandaloneTCP(t *testing.T) {
+	srv, err := dmps.NewServer(dmps.ServerConfig{
+		Network: dmps.TCP{},
+		Addr:    "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+	c, err := dmps.Dial(dmps.ClientConfig{
+		Network:  dmps.TCP{},
+		Addr:     srv.Addr(),
+		Name:     "standalone",
+		Role:     "chair",
+		Priority: 5,
+		Timeout:  3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Join("g"); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.RequestFloor("g", dmps.GroupDiscussion, "")
+	if err != nil || !dec.Granted {
+		t.Fatalf("floor: %+v %v", dec, err)
+	}
+	// Presentation monitor through the facade.
+	tl := dmps.Timeline{Items: []dmps.ScheduledObject{
+		{Object: dmps.MediaObject{ID: "x", Kind: dmps.Image, Duration: time.Second}},
+	}}
+	net, err := dmps.Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := dmps.NewPresentationMonitor(net, time.Now(), time.Second)
+	if !mon.Conformant() {
+		t.Error("fresh monitor should be conformant")
+	}
+}

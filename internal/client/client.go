@@ -1,0 +1,633 @@
+// Package client implements the DMPS client library: the programmatic
+// counterpart of the paper's communication window (Figure 2). A Client
+// connects to the DMPS server, joins groups, requests the floor, posts to
+// the message window and whiteboard, maintains a clock-sync estimator
+// against the server's global clock, and mirrors the connection lights
+// the teacher's window shows (Figure 3).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/floor"
+	"dmps/internal/media"
+	"dmps/internal/protocol"
+	"dmps/internal/transport"
+	"dmps/internal/whiteboard"
+)
+
+// Client errors.
+var (
+	// ErrTimeout is returned when the server does not answer a request in
+	// time.
+	ErrTimeout = errors.New("client: request timed out")
+	// ErrDenied wraps a TErr reply.
+	ErrDenied = errors.New("client: request denied")
+	// ErrClosed is returned after Close or connection loss.
+	ErrClosed = errors.New("client: closed")
+)
+
+// Config configures a client.
+type Config struct {
+	// Network and Addr locate the server.
+	Network transport.Network
+	Addr    string
+	// Name, Role ("chair"/"participant") and Priority describe the member.
+	Name     string
+	Role     string
+	Priority int
+	// Clock is the client's local clock (defaults to the real clock).
+	// Tests inject drifting clocks here.
+	Clock clock.Clock
+	// Timeout bounds each request/response exchange (default 5s).
+	Timeout time.Duration
+	// OnEvent, when set, observes every server-initiated event
+	// synchronously from the read loop: keep it fast and non-blocking.
+	OnEvent func(protocol.Message)
+}
+
+// Client is a connected DMPS client.
+type Client struct {
+	cfg  Config
+	conn transport.Conn
+	est  *clock.Estimator
+
+	sendMu sync.Mutex
+
+	mu          sync.Mutex
+	memberID    string
+	seq         int64
+	pending     map[int64]chan protocol.Message
+	boards      map[string]*whiteboard.Board
+	lights      map[string]string
+	holders     map[string]string // group → equal-control holder
+	invites     []protocol.InviteEventBody
+	privates    []protocol.SequencedBody // received direct-contact lines
+	suspends    []protocol.SuspendBody
+	present     *protocol.PresentBody // last presentation start received
+	replayAsked map[string]int64      // group → last gap position we asked replay for
+	mediaStats  map[string]map[string]MediaStat
+	closed      bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects and performs the hello/welcome handshake.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("client: Config.Network is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	conn, err := cfg.Network.Dial(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Client{
+		cfg:        cfg,
+		conn:       conn,
+		est:        clock.NewEstimator(cfg.Clock, 8),
+		pending:    make(map[int64]chan protocol.Message),
+		boards:     make(map[string]*whiteboard.Board),
+		lights:     make(map[string]string),
+		holders:    make(map[string]string),
+		readerDone: make(chan struct{}),
+	}
+	hello := protocol.MustNew(protocol.THello, protocol.HelloBody{
+		Name: cfg.Name, Role: cfg.Role, Priority: cfg.Priority,
+	})
+	hello.Seq = 1
+	c.mu.Lock()
+	c.seq = 1
+	c.mu.Unlock()
+	if err := c.send(hello); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	wire, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("client: handshake recv: %w", err)
+	}
+	msg, err := protocol.Decode(wire)
+	if err != nil || msg.Type != protocol.TWelcome {
+		_ = conn.Close()
+		return nil, fmt.Errorf("client: unexpected handshake reply %q (%v)", msg.Type, err)
+	}
+	var welcome protocol.WelcomeBody
+	if err := msg.Into(&welcome); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.memberID = welcome.MemberID
+	c.mu.Unlock()
+	go c.readLoop()
+	return c, nil
+}
+
+// MemberID returns the server-assigned member ID.
+func (c *Client) MemberID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memberID
+}
+
+// Estimator exposes the clock-sync estimator (for presentation playout).
+func (c *Client) Estimator() *clock.Estimator { return c.est }
+
+// Clock returns the client's local clock.
+func (c *Client) Clock() clock.Clock { return c.cfg.Clock }
+
+func (c *Client) send(msg protocol.Message) error {
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.conn.Send(wire)
+}
+
+// request sends a message and waits for the matching TAck/TErr/TClockSync
+// reply.
+func (c *Client) request(msg protocol.Message) (protocol.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return protocol.Message{}, ErrClosed
+	}
+	c.seq++
+	msg.Seq = c.seq
+	ch := make(chan protocol.Message, 1)
+	c.pending[msg.Seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, msg.Seq)
+		c.mu.Unlock()
+	}()
+	if err := c.send(msg); err != nil {
+		return protocol.Message{}, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Type == protocol.TErr {
+			var body protocol.ErrBody
+			_ = reply.Into(&body)
+			return reply, fmt.Errorf("%w: %s: %s", ErrDenied, body.Code, body.Detail)
+		}
+		return reply, nil
+	case <-c.cfg.Clock.After(c.cfg.Timeout):
+		return protocol.Message{}, fmt.Errorf("%w: %s", ErrTimeout, msg.Type)
+	case <-c.readerDone:
+		return protocol.Message{}, ErrClosed
+	}
+}
+
+// readLoop dispatches replies and server events until the connection
+// drops.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		wire, err := c.conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			c.closed = true
+			c.mu.Unlock()
+			return
+		}
+		msg, err := protocol.Decode(wire)
+		if err != nil {
+			continue
+		}
+		c.handle(msg)
+	}
+}
+
+func (c *Client) handle(msg protocol.Message) {
+	switch msg.Type {
+	case protocol.TAck, protocol.TErr, protocol.TClockSync:
+		c.mu.Lock()
+		ch, ok := c.pending[msg.Seq]
+		c.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	case protocol.TStatusProbe:
+		report := protocol.MustNew(protocol.TStatusReport, nil)
+		_ = c.send(report)
+	case protocol.TLights:
+		var body protocol.LightsBody
+		if msg.Into(&body) == nil {
+			c.mu.Lock()
+			c.lights = body.Lights
+			c.mu.Unlock()
+		}
+	case protocol.TChatEvent, protocol.TAnnotateEvent:
+		var body protocol.SequencedBody
+		if msg.Into(&body) == nil {
+			if body.Kind == "private" {
+				c.mu.Lock()
+				c.privates = append(c.privates, body)
+				c.mu.Unlock()
+			} else {
+				kind := whiteboard.Text
+				switch body.Kind {
+				case "draw":
+					kind = whiteboard.Draw
+				case "clear":
+					kind = whiteboard.Clear
+				}
+				board := c.boardLocked(msg.Group)
+				err := board.Apply(whiteboard.Op{
+					Seq: body.Seq, Author: body.Author, Kind: kind, Data: body.Data,
+				})
+				if errors.Is(err, whiteboard.ErrGap) {
+					c.askReplay(msg.Group, board.Seq())
+				}
+			}
+		}
+	case protocol.TFloorEvent:
+		var body protocol.FloorEventBody
+		if msg.Into(&body) == nil {
+			c.mu.Lock()
+			c.holders[msg.Group] = body.Holder
+			c.mu.Unlock()
+		}
+	case protocol.TInviteEvent:
+		var body protocol.InviteEventBody
+		if msg.Into(&body) == nil {
+			c.mu.Lock()
+			c.invites = append(c.invites, body)
+			c.mu.Unlock()
+		}
+	case protocol.TSuspend, protocol.TResume:
+		var body protocol.SuspendBody
+		if msg.Into(&body) == nil {
+			c.mu.Lock()
+			c.suspends = append(c.suspends, body)
+			c.mu.Unlock()
+		}
+	case protocol.TPresent:
+		var body protocol.PresentBody
+		if msg.Into(&body) == nil {
+			c.mu.Lock()
+			c.present = &body
+			c.mu.Unlock()
+		}
+	case protocol.TMediaUnit:
+		var body protocol.MediaUnitBody
+		if msg.Into(&body) == nil {
+			c.mu.Lock()
+			if c.mediaStats == nil {
+				c.mediaStats = make(map[string]map[string]MediaStat)
+			}
+			perObj := c.mediaStats[msg.Group]
+			if perObj == nil {
+				perObj = make(map[string]MediaStat)
+				c.mediaStats[msg.Group] = perObj
+			}
+			stat := perObj[body.Object]
+			stat.Units++
+			stat.Bytes += body.Bytes
+			stat.LastSeq = body.Seq
+			perObj[body.Object] = stat
+			c.mu.Unlock()
+		}
+	}
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(msg)
+	}
+}
+
+// askReplay fire-and-forgets a replay request when a sequence gap is
+// detected. It must not block the read loop, so it bypasses the
+// request/response machinery; at most one request per observed board
+// position keeps reconnect storms bounded.
+func (c *Client) askReplay(groupID string, after int64) {
+	c.mu.Lock()
+	if c.replayAsked == nil {
+		c.replayAsked = make(map[string]int64)
+	}
+	if last, ok := c.replayAsked[groupID]; ok && last == after {
+		c.mu.Unlock()
+		return
+	}
+	c.replayAsked[groupID] = after
+	c.mu.Unlock()
+	msg := protocol.MustNew(protocol.TReplay, protocol.ReplayBody{After: after})
+	msg.Group = groupID
+	_ = c.send(msg)
+}
+
+func (c *Client) boardLocked(groupID string) *whiteboard.Board {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.boards[groupID]
+	if !ok {
+		b = whiteboard.NewBoard()
+		c.boards[groupID] = b
+	}
+	return b
+}
+
+// Join joins (auto-creating) a group.
+func (c *Client) Join(groupID string) error {
+	msg := protocol.MustNew(protocol.TJoin, protocol.GroupBody{Group: groupID})
+	_, err := c.request(msg)
+	return err
+}
+
+// Leave leaves a group.
+func (c *Client) Leave(groupID string) error {
+	msg := protocol.MustNew(protocol.TLeave, protocol.GroupBody{Group: groupID})
+	_, err := c.request(msg)
+	return err
+}
+
+// RequestFloor runs FCM-Arbitrate on the server for the given mode.
+func (c *Client) RequestFloor(groupID string, mode floor.Mode, target string) (protocol.FloorDecisionBody, error) {
+	msg := protocol.MustNew(protocol.TFloorRequest, protocol.FloorRequestBody{
+		Mode: mode.String(), Target: target,
+	})
+	msg.Group = groupID
+	reply, err := c.request(msg)
+	if err != nil {
+		return protocol.FloorDecisionBody{}, err
+	}
+	var dec protocol.FloorDecisionBody
+	if err := reply.Into(&dec); err != nil {
+		return protocol.FloorDecisionBody{}, err
+	}
+	return dec, nil
+}
+
+// ReleaseFloor gives the Equal Control floor back.
+func (c *Client) ReleaseFloor(groupID string) error {
+	msg := protocol.MustNew(protocol.TFloorRelease, nil)
+	msg.Group = groupID
+	_, err := c.request(msg)
+	return err
+}
+
+// PassToken hands the Equal Control token to another member.
+func (c *Client) PassToken(groupID, to string) error {
+	msg := protocol.MustNew(protocol.TTokenPass, protocol.TokenPassBody{To: to})
+	msg.Group = groupID
+	_, err := c.request(msg)
+	return err
+}
+
+// Chat posts a message-window line to the group.
+func (c *Client) Chat(groupID, text string) error {
+	msg := protocol.MustNew(protocol.TChat, protocol.ChatBody{Text: text})
+	msg.Group = groupID
+	_, err := c.request(msg)
+	return err
+}
+
+// ChatPrivate posts into the direct-contact private window with peer.
+func (c *Client) ChatPrivate(groupID, peer, text string) error {
+	msg := protocol.MustNew(protocol.TChat, protocol.ChatBody{Text: text})
+	msg.Group = groupID
+	msg.To = peer
+	_, err := c.request(msg)
+	return err
+}
+
+// Annotate posts a whiteboard operation ("draw", "text", "clear").
+func (c *Client) Annotate(groupID, kind, data string) error {
+	msg := protocol.MustNew(protocol.TAnnotate, protocol.AnnotateBody{Kind: kind, Data: data})
+	msg.Group = groupID
+	_, err := c.request(msg)
+	return err
+}
+
+// Invite asks the server to invite a member into a group; it returns the
+// invitation ID.
+func (c *Client) Invite(groupID, to string) (int64, error) {
+	msg := protocol.MustNew(protocol.TInvite, protocol.InviteBody{Group: groupID, To: to})
+	reply, err := c.request(msg)
+	if err != nil {
+		return 0, err
+	}
+	var body protocol.InviteEventBody
+	if err := reply.Into(&body); err != nil {
+		return 0, err
+	}
+	return body.InviteID, nil
+}
+
+// ReplyInvite answers an invitation.
+func (c *Client) ReplyInvite(inviteID int64, accept bool) error {
+	msg := protocol.MustNew(protocol.TInviteReply, protocol.InviteReplyBody{InviteID: inviteID, Accept: accept})
+	_, err := c.request(msg)
+	return err
+}
+
+// Replay requests board operations after the given sequence number.
+func (c *Client) Replay(groupID string, after int64) error {
+	msg := protocol.MustNew(protocol.TReplay, protocol.ReplayBody{After: after})
+	msg.Group = groupID
+	_, err := c.request(msg)
+	return err
+}
+
+// MediaStat accumulates received media units for one object.
+type MediaStat struct {
+	// Units is the number of received units; Bytes their payload total.
+	Units int
+	Bytes int
+	// LastSeq is the sequence number of the latest unit.
+	LastSeq int
+}
+
+// SendMediaUnit streams one media unit into the group. With ack=false it
+// is fire-and-forget (a muted sender's units vanish silently, like a cut
+// microphone); with ack=true the server confirms or denies.
+func (c *Client) SendMediaUnit(groupID string, unit media.Unit, ack bool) error {
+	body := protocol.MediaUnitBody{
+		Object:         unit.ObjectID,
+		Kind:           unit.Kind.String(),
+		Seq:            unit.Seq,
+		MediaTimeNanos: int64(unit.MediaTime),
+		Bytes:          unit.Bytes,
+	}
+	msg := protocol.MustNew(protocol.TMediaUnit, body)
+	msg.Group = groupID
+	if !ack {
+		return c.send(msg)
+	}
+	_, err := c.request(msg)
+	return err
+}
+
+// StreamSource sends every remaining unit of a source into the group,
+// fire-and-forget, pacing by the object's unit interval on the client's
+// clock when pace is true (false blasts as fast as possible).
+func (c *Client) StreamSource(groupID string, src media.Source, pace bool) (int, error) {
+	interval := src.Object().UnitInterval()
+	sent := 0
+	for {
+		unit, err := src.Next()
+		if errors.Is(err, media.ErrExhausted) {
+			return sent, nil
+		}
+		if err != nil {
+			return sent, err
+		}
+		if err := c.SendMediaUnit(groupID, unit, false); err != nil {
+			return sent, err
+		}
+		sent++
+		if pace && src.Remaining() > 0 {
+			c.cfg.Clock.Sleep(interval)
+		}
+	}
+}
+
+// MediaStats returns the received-unit statistics for a group, keyed by
+// object ID.
+func (c *Client) MediaStats(groupID string) map[string]MediaStat {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]MediaStat)
+	for obj, stat := range c.mediaStats[groupID] {
+		out[obj] = stat
+	}
+	return out
+}
+
+// SyncClock performs one Cristian exchange against the server's global
+// clock and feeds the estimator. It returns the updated offset estimate.
+func (c *Client) SyncClock() (time.Duration, error) {
+	sent := c.cfg.Clock.Now()
+	msg := protocol.MustNew(protocol.TClockSync, protocol.ClockSyncBody{
+		ClientSendNanos: protocol.Nanos(sent),
+	})
+	reply, err := c.request(msg)
+	if err != nil {
+		return 0, err
+	}
+	recv := c.cfg.Clock.Now()
+	var body protocol.ClockSyncBody
+	if err := reply.Into(&body); err != nil {
+		return 0, err
+	}
+	c.est.AddSample(clock.Sample{
+		SentLocal:  sent,
+		MasterTime: protocol.FromNanos(body.MasterNanos),
+		RecvLocal:  recv,
+	})
+	return c.est.Offset()
+}
+
+// GlobalNow returns the estimated global time (requires a prior
+// SyncClock).
+func (c *Client) GlobalNow() (time.Time, error) { return c.est.GlobalNow() }
+
+// Board returns the client's replica of a group board.
+func (c *Client) Board(groupID string) *whiteboard.Board { return c.boardLocked(groupID) }
+
+// Lights returns the last received connection-light table.
+func (c *Client) Lights() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.lights))
+	for k, v := range c.lights {
+		out[k] = v
+	}
+	return out
+}
+
+// Holder returns the last known Equal Control holder for a group.
+func (c *Client) Holder(groupID string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.holders[groupID]
+}
+
+// PendingInvites returns invitations received so far.
+func (c *Client) PendingInvites() []protocol.InviteEventBody {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]protocol.InviteEventBody, len(c.invites))
+	copy(out, c.invites)
+	return out
+}
+
+// PrivateMessages returns direct-contact lines received so far.
+func (c *Client) PrivateMessages() []protocol.SequencedBody {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]protocol.SequencedBody, len(c.privates))
+	copy(out, c.privates)
+	return out
+}
+
+// SuspendNotices returns Media-Suspend/Resume notices received so far.
+func (c *Client) SuspendNotices() []protocol.SuspendBody {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]protocol.SuspendBody, len(c.suspends))
+	copy(out, c.suspends)
+	return out
+}
+
+// Presentation returns the last presentation start received, or nil.
+func (c *Client) Presentation() *protocol.PresentBody {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.present == nil {
+		return nil
+	}
+	cp := *c.present
+	return &cp
+}
+
+// StartPresentation (chair only) broadcasts a synchronized presentation
+// start to the group.
+func (c *Client) StartPresentation(groupID string, body protocol.PresentBody) error {
+	msg := protocol.MustNew(protocol.TPresent, body)
+	msg.Group = groupID
+	_, err := c.request(msg)
+	return err
+}
+
+// Close says goodbye and tears the connection down.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	bye := protocol.MustNew(protocol.TBye, nil)
+	_ = c.send(bye)
+	_ = c.conn.Close()
+	<-c.readerDone
+}
+
+// Drop abandons the connection without a goodbye — the crash of Figure
+// 3(c). Only meaningful over netsim transports; returns false otherwise.
+func (c *Client) Drop() bool {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	type dropper interface{ Drop() }
+	if d, ok := c.conn.(dropper); ok {
+		d.Drop()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,214 @@
+package client_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/media"
+	"dmps/internal/netsim"
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+	"dmps/internal/server"
+)
+
+// fullLab builds a real server over netsim for client-API flow tests.
+func fullLab(t *testing.T) (*netsim.Net, *server.Server, *resource.Monitor) {
+	t.Helper()
+	n := netsim.New(77)
+	mon, err := resource.New(resource.MinBound, resource.Thresholds{Alpha: 0.5, Beta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Network:       n,
+		Addr:          "srv:1",
+		Monitor:       mon,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return n, srv, mon
+}
+
+func dialTo(t *testing.T, n *netsim.Net, name, role string, prio int) *client.Client {
+	t.Helper()
+	c, err := client.Dial(client.Config{
+		Network: n, Addr: "srv:1", Name: name, Role: role, Priority: prio,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out: %s", what)
+}
+
+// TestClientFullSessionFlow drives the entire client API surface through
+// a live server: groups, floor modes, token passing, invitations,
+// private windows, boards, media streaming, clock sync, suspension
+// notices, lights and presentations.
+func TestClientFullSessionFlow(t *testing.T) {
+	n, srv, mon := fullLab(t)
+	teacher := dialTo(t, n, "Teacher", "chair", 5)
+	alice := dialTo(t, n, "Alice", "participant", 2)
+	carol := dialTo(t, n, "Carol", "participant", 1)
+
+	// Membership.
+	for _, c := range []*client.Client{teacher, alice, carol} {
+		if err := c.Join("class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := alice.Leave("class"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whiteboard + message window.
+	if err := teacher.Annotate("class", "draw", "axes"); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Annotate("class", "text", "note"); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Annotate("class", "clear", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Chat("class", "welcome"); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "board sync", func() bool { return alice.Board("class").Seq() == 4 })
+	if got := len(alice.Board("class").Strokes()); got != 0 {
+		t.Errorf("strokes after clear = %d", got)
+	}
+
+	// Equal control + pass + release.
+	if _, err := teacher.RequestFloor("class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.PassToken("class", alice.MemberID()); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "holder event", func() bool { return alice.Holder("class") == alice.MemberID() })
+	if err := alice.ReleaseFloor("class"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Back to free access so everyone can send again.
+	if _, err := teacher.RequestFloor("class", floor.FreeAccess, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invitation into a breakout.
+	if err := alice.Join("breakout"); err != nil {
+		t.Fatal(err)
+	}
+	invID, err := alice.Invite("breakout", teacher.MemberID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "invite event", func() bool { return len(teacher.PendingInvites()) == 1 })
+	if err := teacher.ReplyInvite(invID, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct contact + private window.
+	if _, err := alice.RequestFloor("class", floor.DirectContact, teacher.MemberID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.ChatPrivate("class", teacher.MemberID(), "psst"); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "private window", func() bool { return len(teacher.PrivateMessages()) == 1 })
+
+	// Media streaming.
+	src, err := media.NewSyntheticSource(media.Object{
+		ID: "cam", Kind: media.Video, Duration: 300 * time.Millisecond, Rate: 10, UnitBytes: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, err := teacher.StreamSource("class", src, false)
+	if err != nil || sent != 3 {
+		t.Fatalf("stream: sent=%d err=%v", sent, err)
+	}
+	pollUntil(t, "media stats", func() bool {
+		return alice.MediaStats("class")["cam"].Units == 3
+	})
+
+	// Clock sync + global now.
+	if _, err := teacher.SyncClock(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := teacher.GlobalNow(); err != nil {
+		t.Fatal(err)
+	}
+	if teacher.Clock() == nil || teacher.Estimator() == nil {
+		t.Error("accessors")
+	}
+
+	// Degradation: carol (priority 1) gets suspended; she notices.
+	mon.Set(resource.Vector{Network: 0.3, CPU: 0.3, Memory: 0.3})
+	if _, err := teacher.RequestFloor("class", floor.FreeAccess, ""); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "suspend notice", func() bool { return len(carol.SuspendNotices()) >= 1 })
+	if err := carol.Chat("class", "muted?"); !errors.Is(err, client.ErrDenied) {
+		t.Errorf("suspended chat: %v", err)
+	}
+	mon.Set(resource.Vector{Network: 1, CPU: 1, Memory: 1})
+	pollUntil(t, "reinstated", func() bool { return carol.Chat("class", "back") == nil })
+
+	// Presentation broadcast (chair only).
+	body := srvPresentation()
+	if err := teacher.StartPresentation("class", body); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "presentation", func() bool { return alice.Presentation() != nil })
+	if got := alice.Presentation(); len(got.Objects) != 1 {
+		t.Errorf("presentation = %+v", got)
+	}
+
+	// Replay after the fact.
+	if err := alice.Replay("class", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lights.
+	pollUntil(t, "lights", func() bool { return len(teacher.Lights()) >= 3 })
+	_ = srv
+}
+
+func srvPresentation() (b presentationBody) {
+	b.StartGlobalNanos = 1
+	b.Objects = append(b.Objects, presentationObject{
+		ID: "slide", Kind: "image", DurationNanos: int64(time.Second),
+	})
+	return b
+}
+
+// presentationBody aliases the wire types for the helper above.
+type presentationBody = protocol.PresentBody
+
+type presentationObject = protocol.PresentObject

@@ -1,0 +1,167 @@
+// Package clock implements the DMPS global clock: an authoritative master
+// time source on the server, drifting local clocks on clients, a
+// Cristian-style synchronization estimator, and the paper's firing
+// admission rule ("if the clock in the client side is faster than the
+// global clock, the current transition will not fire until the global
+// clock arrives; if the local clock is slower, the transition fires
+// without delay").
+//
+// The package also provides the Clock abstraction (real and simulated)
+// used throughout the repository so that time-dependent behaviour is
+// deterministic under test.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time. Production code uses Real; tests
+// and simulations use Sim.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall-clock implementation of Clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+var _ Clock = Real{}
+
+// Sim is a manually-advanced simulated clock. Goroutines blocked in After
+// or Sleep are released when Advance moves the clock past their deadline.
+// The zero value is not usable; construct with NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*simWaiter
+}
+
+type simWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewSim returns a simulated clock starting at origin.
+func NewSim(origin time.Time) *Sim {
+	return &Sim{now: origin}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so Advance
+// never blocks delivering.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := s.now.Add(d)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, &simWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Sleep implements Clock; it blocks until Advance passes the deadline.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// Advance moves simulated time forward by d, waking every waiter whose
+// deadline has been reached.
+func (s *Sim) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	now := s.now
+	remaining := s.waiters[:0]
+	var due []*simWaiter
+	for _, w := range s.waiters {
+		if !w.deadline.After(now) {
+			due = append(due, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.waiters = remaining
+	s.mu.Unlock()
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many goroutines are currently blocked on the clock;
+// tests use it to synchronize before calling Advance.
+func (s *Sim) Waiters() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}
+
+var _ Clock = (*Sim)(nil)
+
+// Drift wraps a base Clock and skews it: the drifted clock reads
+// base.Now() scaled by (1+rate) around its creation instant, plus a fixed
+// offset. It models a client machine whose oscillator runs fast (rate > 0)
+// or slow (rate < 0) relative to the reference, as in the paper's
+// "client clock faster/slower than global clock" scenarios.
+type Drift struct {
+	base   Clock
+	start  time.Time
+	offset time.Duration
+	rate   float64
+}
+
+// NewDrift returns a drifting view of base with the given fixed offset and
+// fractional rate (e.g. 50e-6 is +50 ppm).
+func NewDrift(base Clock, offset time.Duration, rate float64) *Drift {
+	return &Drift{base: base, start: base.Now(), offset: offset, rate: rate}
+}
+
+// Now implements Clock.
+func (d *Drift) Now() time.Time {
+	elapsed := d.base.Now().Sub(d.start)
+	skewed := time.Duration(float64(elapsed) * (1 + d.rate))
+	return d.start.Add(skewed).Add(d.offset)
+}
+
+// After implements Clock. The duration is interpreted in drifted time and
+// converted to base time.
+func (d *Drift) After(dur time.Duration) <-chan time.Time {
+	baseDur := time.Duration(float64(dur) / (1 + d.rate))
+	return d.base.After(baseDur)
+}
+
+// Sleep implements Clock.
+func (d *Drift) Sleep(dur time.Duration) {
+	baseDur := time.Duration(float64(dur) / (1 + d.rate))
+	d.base.Sleep(baseDur)
+}
+
+var _ Clock = (*Drift)(nil)

@@ -1,0 +1,162 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var origin = time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+
+func TestSimNowAdvance(t *testing.T) {
+	s := NewSim(origin)
+	if !s.Now().Equal(origin) {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.Advance(3 * time.Second)
+	if got := s.Now(); !got.Equal(origin.Add(3 * time.Second)) {
+		t.Errorf("Now = %v", got)
+	}
+	s.Advance(-time.Second) // negative is ignored
+	if got := s.Now(); !got.Equal(origin.Add(3 * time.Second)) {
+		t.Errorf("negative Advance moved clock: %v", got)
+	}
+}
+
+func TestSimAfterFiresOnAdvance(t *testing.T) {
+	s := NewSim(origin)
+	ch := s.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	s.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired at 9s, deadline 10s")
+	default:
+	}
+	s.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(origin.Add(10 * time.Second)) {
+			t.Errorf("fired at %v", at)
+		}
+	default:
+		t.Fatal("did not fire at deadline")
+	}
+}
+
+func TestSimAfterNonPositive(t *testing.T) {
+	s := NewSim(origin)
+	select {
+	case <-s.After(0):
+	default:
+		t.Error("After(0) should fire immediately")
+	}
+	select {
+	case <-s.After(-time.Second):
+	default:
+		t.Error("After(negative) should fire immediately")
+	}
+}
+
+func TestSimSleepWakesGoroutine(t *testing.T) {
+	s := NewSim(origin)
+	var wg sync.WaitGroup
+	woke := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Sleep(5 * time.Second)
+		close(woke)
+	}()
+	// Wait for the goroutine to register.
+	for s.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(5 * time.Second)
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep never woke")
+	}
+	wg.Wait()
+}
+
+func TestSimMultipleWaitersWakeInOneAdvance(t *testing.T) {
+	s := NewSim(origin)
+	a := s.After(time.Second)
+	b := s.After(2 * time.Second)
+	c := s.After(10 * time.Second)
+	s.Advance(5 * time.Second)
+	for name, ch := range map[string]<-chan time.Time{"a": a, "b": b} {
+		select {
+		case <-ch:
+		default:
+			t.Errorf("%s did not fire", name)
+		}
+	}
+	select {
+	case <-c:
+		t.Error("c fired too early")
+	default:
+	}
+	if s.Waiters() != 1 {
+		t.Errorf("Waiters = %d", s.Waiters())
+	}
+}
+
+func TestRealClockMonotoneEnough(t *testing.T) {
+	var r Real
+	a := r.Now()
+	r.Sleep(time.Millisecond)
+	b := r.Now()
+	if !b.After(a) {
+		t.Errorf("Real clock did not advance: %v then %v", a, b)
+	}
+	select {
+	case <-r.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Error("Real After never fired")
+	}
+}
+
+func TestDriftOffsetOnly(t *testing.T) {
+	base := NewSim(origin)
+	d := NewDrift(base, 2*time.Second, 0)
+	if got := d.Now(); !got.Equal(origin.Add(2 * time.Second)) {
+		t.Errorf("Now = %v", got)
+	}
+	base.Advance(10 * time.Second)
+	if got := d.Now(); !got.Equal(origin.Add(12 * time.Second)) {
+		t.Errorf("Now after advance = %v", got)
+	}
+}
+
+func TestDriftRate(t *testing.T) {
+	base := NewSim(origin)
+	fast := NewDrift(base, 0, 0.10) // +10%
+	slow := NewDrift(base, 0, -0.10)
+	base.Advance(10 * time.Second)
+	if got := fast.Now().Sub(origin); got != 11*time.Second {
+		t.Errorf("fast elapsed = %v, want 11s", got)
+	}
+	if got := slow.Now().Sub(origin); got != 9*time.Second {
+		t.Errorf("slow elapsed = %v, want 9s", got)
+	}
+}
+
+func TestDriftAfterConvertsDuration(t *testing.T) {
+	base := NewSim(origin)
+	fast := NewDrift(base, 0, 1.0) // runs at double speed
+	ch := fast.After(10 * time.Second)
+	// 10s of drifted time is 5s of base time.
+	base.Advance(5 * time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Error("drifted After should fire after 5s of base time")
+	}
+}

@@ -1,0 +1,91 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestQuickEstimatorErrorWithinHalfRTT: for any combination of true
+// offset and asymmetric network delays, the estimator's offset error is
+// bounded by half the round-trip time of its best sample — the classic
+// Cristian bound.
+func TestQuickEstimatorErrorWithinHalfRTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 500; iter++ {
+		trueOffset := time.Duration(rng.Intn(2000)-1000) * time.Millisecond
+		base := NewSim(origin)
+		local := NewDrift(base, -trueOffset, 0) // local = global − offset
+		est := NewEstimator(local, 8)
+		// Simulated exchanges with asymmetric up/down delays.
+		for s := 0; s < 1+rng.Intn(5); s++ {
+			up := time.Duration(rng.Intn(50)) * time.Millisecond
+			down := time.Duration(rng.Intn(50)) * time.Millisecond
+			sent := local.Now()
+			base.Advance(up)
+			master := base.Now()
+			base.Advance(down)
+			recv := local.Now()
+			est.AddSample(Sample{SentLocal: sent, MasterTime: master, RecvLocal: recv})
+		}
+		got, err := est.Offset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := est.ErrorBound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := got - trueOffset
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > bound {
+			t.Fatalf("iter %d: offset error %v exceeds half-RTT bound %v", iter, diff, bound)
+		}
+	}
+}
+
+// TestQuickDisciplineNeverNegative: the wait returned by Discipline is
+// never negative and is exactly the schedule gap when in the future.
+func TestQuickDisciplineNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 1000; iter++ {
+		gap := time.Duration(rng.Intn(20000)-10000) * time.Millisecond
+		now := origin.Add(time.Duration(rng.Intn(10000)) * time.Millisecond)
+		sched := now.Add(gap)
+		wait := Discipline(now, sched)
+		if wait < 0 {
+			t.Fatalf("negative wait %v", wait)
+		}
+		if gap > 0 && wait != gap {
+			t.Fatalf("wait = %v, want %v", wait, gap)
+		}
+		if gap <= 0 && wait != 0 {
+			t.Fatalf("overdue wait = %v, want 0", wait)
+		}
+	}
+}
+
+// TestQuickDriftRoundTrip: converting a duration through a drifted clock
+// and back is identity to within rounding.
+func TestQuickDriftRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 500; iter++ {
+		rate := float64(rng.Intn(2000)-1000) * 1e-6
+		base := NewSim(origin)
+		d := NewDrift(base, 0, rate)
+		advance := time.Duration(1+rng.Intn(3600)) * time.Second
+		base.Advance(advance)
+		elapsedDrifted := d.Now().Sub(origin)
+		// Invert: drifted elapsed / (1+rate) should recover base elapsed.
+		back := time.Duration(float64(elapsedDrifted) / (1 + rate))
+		diff := back - advance
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Microsecond {
+			t.Fatalf("iter %d: round trip off by %v", iter, diff)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package clock
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrNoSamples is returned by estimator queries before any sync exchange.
+var ErrNoSamples = errors.New("clock: no synchronization samples yet")
+
+// Master is the DMPS server's authoritative global clock. The server
+// builds the communication group and initializes the global clock; all
+// admission control is centralized on it (paper §3).
+type Master struct {
+	base Clock
+}
+
+// NewMaster returns a master clock over base.
+func NewMaster(base Clock) *Master {
+	return &Master{base: base}
+}
+
+// GlobalNow returns the authoritative global time.
+func (m *Master) GlobalNow() time.Time { return m.base.Now() }
+
+// Sample is one Cristian-style synchronization exchange measured by a
+// client: the request left at SentLocal (client clock), the master stamped
+// MasterTime, and the response arrived at RecvLocal (client clock).
+type Sample struct {
+	SentLocal  time.Time
+	MasterTime time.Time
+	RecvLocal  time.Time
+}
+
+// RTT returns the round-trip time observed by the client.
+func (s Sample) RTT() time.Duration { return s.RecvLocal.Sub(s.SentLocal) }
+
+// Offset estimates master − local at RecvLocal, assuming symmetric paths:
+// the master's clock read happened RTT/2 before RecvLocal.
+func (s Sample) Offset() time.Duration {
+	midpointMaster := s.MasterTime.Add(s.RTT() / 2)
+	return midpointMaster.Sub(s.RecvLocal)
+}
+
+// Estimator is a client-side global-time estimator. It keeps the
+// minimum-RTT sample within a sliding window (minimum-delay filtering, the
+// standard defence against asymmetric queueing delay) and exposes the
+// estimated global time. It is safe for concurrent use.
+type Estimator struct {
+	local  Clock
+	window int
+
+	mu      sync.Mutex
+	samples []Sample
+	best    Sample
+	haveFix bool
+}
+
+// NewEstimator returns an estimator over the client's local clock keeping
+// at most window samples (window ≤ 0 defaults to 8).
+func NewEstimator(local Clock, window int) *Estimator {
+	if window <= 0 {
+		window = 8
+	}
+	return &Estimator{local: local, window: window}
+}
+
+// AddSample records one sync exchange and re-selects the minimum-RTT
+// sample in the window.
+func (e *Estimator) AddSample(s Sample) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.samples = append(e.samples, s)
+	if len(e.samples) > e.window {
+		e.samples = e.samples[len(e.samples)-e.window:]
+	}
+	e.best = e.samples[0]
+	for _, c := range e.samples[1:] {
+		if c.RTT() < e.best.RTT() {
+			e.best = c
+		}
+	}
+	e.haveFix = true
+}
+
+// Offset returns the current estimate of master − local.
+func (e *Estimator) Offset() (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.haveFix {
+		return 0, ErrNoSamples
+	}
+	return e.best.Offset(), nil
+}
+
+// ErrorBound returns the half-RTT of the selected sample, the worst-case
+// error of the offset estimate under asymmetric delay.
+func (e *Estimator) ErrorBound() (time.Duration, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.haveFix {
+		return 0, ErrNoSamples
+	}
+	return e.best.RTT() / 2, nil
+}
+
+// GlobalNow returns the estimated global time (local now + offset).
+func (e *Estimator) GlobalNow() (time.Time, error) {
+	offset, err := e.Offset()
+	if err != nil {
+		return time.Time{}, err
+	}
+	return e.local.Now().Add(offset), nil
+}
+
+// Synced reports whether at least one sample has been recorded.
+func (e *Estimator) Synced() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.haveFix
+}
+
+// SyncDirect performs one synchronization exchange against an in-process
+// master (no network). Tests and single-process simulations use it; the
+// networked client performs the same exchange over the protocol and feeds
+// AddSample itself.
+func (e *Estimator) SyncDirect(m *Master) Sample {
+	sent := e.local.Now()
+	master := m.GlobalNow()
+	recv := e.local.Now()
+	s := Sample{SentLocal: sent, MasterTime: master, RecvLocal: recv}
+	e.AddSample(s)
+	return s
+}
+
+// Discipline applies the paper's firing admission rule for a scheduled
+// global fire time. Given the estimated global now:
+//
+//   - estimated global time already at/past the deadline (the local clock
+//     is "slower than the global clock"): fire without delay — wait 0;
+//   - estimated global time before the deadline (the local clock "is
+//     faster than the global clock"): the transition must not fire until
+//     the global clock arrives — wait the remaining global time.
+//
+// It returns how long the caller must wait on its local clock before
+// firing.
+func Discipline(globalNow, scheduledGlobal time.Time) time.Duration {
+	if !globalNow.Before(scheduledGlobal) {
+		return 0
+	}
+	return scheduledGlobal.Sub(globalNow)
+}
+
+// WaitUntilGlobal blocks on the client's local clock until the estimated
+// global time reaches scheduledGlobal, re-checking after each wait so that
+// estimator updates (from concurrent sync exchanges) are honoured. It
+// returns the residual error (estimated global time minus the deadline at
+// wake-up, ≥ 0 barring estimator regressions).
+func WaitUntilGlobal(e *Estimator, scheduledGlobal time.Time) (time.Duration, error) {
+	for {
+		now, err := e.GlobalNow()
+		if err != nil {
+			return 0, err
+		}
+		wait := Discipline(now, scheduledGlobal)
+		if wait == 0 {
+			return now.Sub(scheduledGlobal), nil
+		}
+		e.local.Sleep(wait)
+	}
+}

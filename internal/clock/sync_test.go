@@ -1,0 +1,196 @@
+package clock
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSampleOffsetSymmetric(t *testing.T) {
+	// Client 10s behind master, 100ms RTT split evenly.
+	sent := origin
+	master := origin.Add(10*time.Second + 50*time.Millisecond)
+	recv := origin.Add(100 * time.Millisecond)
+	s := Sample{SentLocal: sent, MasterTime: master, RecvLocal: recv}
+	if got := s.RTT(); got != 100*time.Millisecond {
+		t.Errorf("RTT = %v", got)
+	}
+	if got := s.Offset(); got != 10*time.Second {
+		t.Errorf("Offset = %v, want 10s", got)
+	}
+}
+
+func TestEstimatorNoSamples(t *testing.T) {
+	e := NewEstimator(NewSim(origin), 4)
+	if _, err := e.Offset(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Offset err = %v", err)
+	}
+	if _, err := e.GlobalNow(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("GlobalNow err = %v", err)
+	}
+	if _, err := e.ErrorBound(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("ErrorBound err = %v", err)
+	}
+	if e.Synced() {
+		t.Error("Synced should be false")
+	}
+}
+
+func TestEstimatorPrefersMinRTT(t *testing.T) {
+	e := NewEstimator(NewSim(origin), 8)
+	// Noisy sample: big RTT, offset polluted by asymmetry.
+	e.AddSample(Sample{
+		SentLocal:  origin,
+		MasterTime: origin.Add(5 * time.Second),
+		RecvLocal:  origin.Add(400 * time.Millisecond),
+	})
+	// Clean sample: tiny RTT, true offset 5s.
+	e.AddSample(Sample{
+		SentLocal:  origin.Add(time.Second),
+		MasterTime: origin.Add(6*time.Second + time.Millisecond),
+		RecvLocal:  origin.Add(time.Second + 2*time.Millisecond),
+	})
+	offset, err := e.Offset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != 5*time.Second {
+		t.Errorf("offset = %v, want 5s (min-RTT sample)", offset)
+	}
+	bound, err := e.ErrorBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != time.Millisecond {
+		t.Errorf("bound = %v, want 1ms", bound)
+	}
+}
+
+func TestEstimatorWindowEviction(t *testing.T) {
+	e := NewEstimator(NewSim(origin), 2)
+	mk := func(base time.Duration, rtt time.Duration, offset time.Duration) Sample {
+		sent := origin.Add(base)
+		return Sample{
+			SentLocal:  sent,
+			MasterTime: sent.Add(offset + rtt/2),
+			RecvLocal:  sent.Add(rtt),
+		}
+	}
+	e.AddSample(mk(0, time.Millisecond, 3*time.Second)) // best, but will be evicted
+	e.AddSample(mk(time.Second, 50*time.Millisecond, 7*time.Second))
+	e.AddSample(mk(2*time.Second, 20*time.Millisecond, 9*time.Second))
+	offset, err := e.Offset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != 9*time.Second {
+		t.Errorf("offset = %v, want 9s (1ms sample evicted by window=2)", offset)
+	}
+}
+
+func TestSyncDirectConverges(t *testing.T) {
+	base := NewSim(origin)
+	master := NewMaster(base)
+	// Client is 30s behind the global clock.
+	local := NewDrift(base, -30*time.Second, 0)
+	e := NewEstimator(local, 4)
+	e.SyncDirect(master)
+	offset, err := e.Offset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset != 30*time.Second {
+		t.Errorf("offset = %v, want 30s", offset)
+	}
+	globalNow, err := e.GlobalNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !globalNow.Equal(master.GlobalNow()) {
+		t.Errorf("GlobalNow = %v, master = %v", globalNow, master.GlobalNow())
+	}
+}
+
+func TestDisciplineFastClientWaits(t *testing.T) {
+	// Global time has NOT reached the schedule: wait the difference.
+	globalNow := origin
+	sched := origin.Add(2 * time.Second)
+	if got := Discipline(globalNow, sched); got != 2*time.Second {
+		t.Errorf("wait = %v, want 2s", got)
+	}
+}
+
+func TestDisciplineSlowClientFiresImmediately(t *testing.T) {
+	// Global time already passed the schedule: fire without delay.
+	globalNow := origin.Add(5 * time.Second)
+	sched := origin
+	if got := Discipline(globalNow, sched); got != 0 {
+		t.Errorf("wait = %v, want 0", got)
+	}
+	if got := Discipline(origin, origin); got != 0 {
+		t.Errorf("exact deadline wait = %v, want 0", got)
+	}
+}
+
+func TestWaitUntilGlobalImmediate(t *testing.T) {
+	base := NewSim(origin)
+	master := NewMaster(base)
+	local := NewDrift(base, time.Minute, 0) // client runs a minute ahead
+	e := NewEstimator(local, 4)
+	e.SyncDirect(master)
+	// Deadline already passed in global time: returns without sleeping.
+	resid, err := e.waitNoSleep(master, origin.Add(-time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resid < 0 {
+		t.Errorf("residual = %v", resid)
+	}
+}
+
+// waitNoSleep calls WaitUntilGlobal only when it will not block (deadline
+// in the past), keeping the test free of clock-advancing goroutines.
+func (e *Estimator) waitNoSleep(m *Master, deadline time.Time) (time.Duration, error) {
+	return WaitUntilGlobal(e, deadline)
+}
+
+func TestWaitUntilGlobalBlocksUntilAdvance(t *testing.T) {
+	base := NewSim(origin)
+	master := NewMaster(base)
+	local := NewDrift(base, 0, 0)
+	e := NewEstimator(local, 4)
+	e.SyncDirect(master)
+	deadline := origin.Add(3 * time.Second)
+	done := make(chan time.Duration, 1)
+	go func() {
+		resid, err := WaitUntilGlobal(e, deadline)
+		if err != nil {
+			t.Errorf("WaitUntilGlobal: %v", err)
+		}
+		done <- resid
+	}()
+	for base.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("returned before global deadline")
+	default:
+	}
+	base.Advance(3 * time.Second)
+	select {
+	case resid := <-done:
+		if resid != 0 {
+			t.Errorf("residual = %v, want 0", resid)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitUntilGlobal never returned")
+	}
+}
+
+func TestWaitUntilGlobalUnsynced(t *testing.T) {
+	e := NewEstimator(NewSim(origin), 4)
+	if _, err := WaitUntilGlobal(e, origin); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}

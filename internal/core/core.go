@@ -1,0 +1,152 @@
+// Package core assembles the full DMPS system — simulated network, DMPS
+// server with its group administration, floor control, global clock, and
+// any number of clients — into a single Lab object. The examples, the
+// command-line tools and the experiment harness all build on it; it is
+// the paper's "distributed multimedia presentation system" in one value.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/netsim"
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+	"dmps/internal/server"
+	"dmps/internal/transport"
+)
+
+// ServerAddr is the well-known simulated address of the lab server.
+const ServerAddr = "dmps-server:4321"
+
+// Options configure a Lab.
+type Options struct {
+	// Seed feeds the simulated network's jitter/loss RNG.
+	Seed int64
+	// Link is the default link config between every client and the
+	// server (zero means instant delivery).
+	Link netsim.LinkConfig
+	// Thresholds are the α/β floor-control thresholds (defaults apply
+	// when zero).
+	Thresholds resource.Thresholds
+	// ProbeInterval / ProbeTimeout tune the status lights (defaults:
+	// 50ms / 150ms — fast enough for tests and examples).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// ClientTimeout bounds request/response exchanges (default 5s).
+	ClientTimeout time.Duration
+}
+
+// Lab is a fully assembled in-memory DMPS deployment.
+type Lab struct {
+	// Net is the simulated network (links, partitions, crashes).
+	Net *netsim.Net
+	// Server is the DMPS server.
+	Server *server.Server
+	// Monitor drives resource-based arbitration; set its vector to move
+	// between the Normal/Degraded/Critical regimes.
+	Monitor *resource.Monitor
+
+	opts    Options
+	clients []*client.Client
+}
+
+// NewLab builds and starts a DMPS deployment.
+func NewLab(opts Options) (*Lab, error) {
+	if opts.Thresholds == (resource.Thresholds{}) {
+		opts.Thresholds = resource.DefaultThresholds()
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 50 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 3 * opts.ProbeInterval
+	}
+	if opts.ClientTimeout <= 0 {
+		opts.ClientTimeout = 5 * time.Second
+	}
+	net := netsim.New(opts.Seed)
+	net.SetDefaultLink(opts.Link)
+	mon, err := resource.New(resource.MinBound, opts.Thresholds)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	srv, err := server.New(server.Config{
+		Network:       net,
+		Addr:          ServerAddr,
+		Monitor:       mon,
+		ProbeInterval: opts.ProbeInterval,
+		ProbeTimeout:  opts.ProbeTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	srv.Start()
+	return &Lab{Net: net, Server: srv, Monitor: mon, opts: opts}, nil
+}
+
+// NewClient connects a client with the given identity. Role is "chair"
+// or "participant".
+func (l *Lab) NewClient(name, role string, priority int) (*client.Client, error) {
+	c, err := client.Dial(client.Config{
+		Network:  l.Net,
+		Addr:     ServerAddr,
+		Name:     name,
+		Role:     role,
+		Priority: priority,
+		Timeout:  l.opts.ClientTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	l.clients = append(l.clients, c)
+	return c, nil
+}
+
+// NewClientOn connects a client whose traffic traverses a named simulated
+// host, so per-host link configs (delay, jitter, loss) apply.
+func (l *Lab) NewClientOn(host, name, role string, priority int) (*client.Client, error) {
+	conn := hostNetwork{net: l.Net, host: host}
+	c, err := client.Dial(client.Config{
+		Network:  conn,
+		Addr:     ServerAddr,
+		Name:     name,
+		Role:     role,
+		Priority: priority,
+		Timeout:  l.opts.ClientTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	l.clients = append(l.clients, c)
+	return c, nil
+}
+
+// Close disconnects every client and stops the server.
+func (l *Lab) Close() {
+	for _, c := range l.clients {
+		c.Close()
+	}
+	l.Server.Close()
+}
+
+// hostNetwork dials from a fixed simulated host.
+type hostNetwork struct {
+	net  *netsim.Net
+	host string
+}
+
+func (h hostNetwork) Dial(addr string) (transport.Conn, error) {
+	return h.net.DialFrom(h.host, addr)
+}
+
+func (h hostNetwork) Listen(addr string) (transport.Listener, error) {
+	return h.net.Listen(addr)
+}
+
+var _ transport.Network = hostNetwork{}
+
+// WirePresentation is a convenience re-export so facade users need not
+// import protocol directly.
+type WirePresentation = protocol.PresentBody

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/clock"
+	"dmps/internal/media"
+	"dmps/internal/netsim"
+	"dmps/internal/ocpn"
+	"dmps/internal/presentation"
+)
+
+func TestLabEndToEndLecture(t *testing.T) {
+	lab, err := NewLab(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := lab.NewClient("Alice", "participant", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Chat("class", "hello class"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for alice.Board("class").Seq() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("chat never arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestLabClientOnDelayedHost(t *testing.T) {
+	lab, err := NewLab(Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	lab.Net.SetLink("farhost", netsim.Host(ServerAddr), netsim.LinkConfig{Delay: 20 * time.Millisecond})
+	far, err := lab.NewClientOn("farhost", "Far", "participant", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := far.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	// Join is one round trip: ≥ 40ms over the delayed link.
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Errorf("join took %v, want ≥ ~40ms over the delayed link", elapsed)
+	}
+}
+
+// TestLabSynchronizedPresentation is the end-to-end Figure-1 scenario on
+// the live stack: the chair broadcasts a presentation; both clients sync
+// clocks and play it under global-clock discipline; playout skew stays
+// small.
+func TestLabSynchronizedPresentation(t *testing.T) {
+	lab, err := NewLab(Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := lab.NewClient("Alice", "participant", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = teacher.Join("class")
+	_ = alice.Join("class")
+
+	tl := ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: media.Object{ID: "slide", Kind: media.Image, Duration: 15 * time.Millisecond}, Start: 0},
+		{Object: media.Object{ID: "clip", Kind: media.Video, Duration: 15 * time.Millisecond, Rate: 30}, Start: 15 * time.Millisecond},
+	}}
+	for _, c := range []interface{ SyncClock() (time.Duration, error) }{teacher, alice} {
+		if _, err := c.SyncClock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	startGlobal := lab.Server.Master().GlobalNow().Add(30 * time.Millisecond)
+	if err := teacher.StartPresentation("class", presentation.ToWire(tl, startGlobal)); err != nil {
+		t.Fatal(err)
+	}
+	// Both clients receive it and play.
+	deadline := time.Now().Add(3 * time.Second)
+	for alice.Presentation() == nil || teacher.Presentation() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("presentation never arrived")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var meter media.SkewMeter
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	players := []struct {
+		name string
+		play func() error
+	}{
+		{"teacher", func() error {
+			body := teacher.Presentation()
+			ptl, start, err := presentation.FromWire(*body)
+			if err != nil {
+				return err
+			}
+			p := presentation.Player{Site: "teacher", Estimator: teacher.Estimator()}
+			recs, err := p.Play(context.Background(), ptl, start)
+			mu.Lock()
+			for _, r := range recs {
+				meter.Add(r)
+			}
+			mu.Unlock()
+			return err
+		}},
+		{"alice", func() error {
+			body := alice.Presentation()
+			ptl, start, err := presentation.FromWire(*body)
+			if err != nil {
+				return err
+			}
+			p := presentation.Player{Site: "alice", Estimator: alice.Estimator()}
+			recs, err := p.Play(context.Background(), ptl, start)
+			mu.Lock()
+			for _, r := range recs {
+				meter.Add(r)
+			}
+			mu.Unlock()
+			return err
+		}},
+	}
+	errs := make([]error, len(players))
+	for i, p := range players {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = p.play()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", players[i].name, err)
+		}
+	}
+	if meter.Len() != 4 {
+		t.Fatalf("records = %d, want 4", meter.Len())
+	}
+	if skew := meter.MaxInterSiteSkew(); skew > 20*time.Millisecond {
+		t.Errorf("inter-site skew = %v", skew)
+	}
+}
+
+// TestLabPresentationWithDriftingClients injects skewed local clocks into
+// the clients: without sync their naive playout would diverge by ±80ms;
+// after SyncClock the monitor confirms schedule conformance and the
+// inter-site skew stays bounded by the sync error.
+func TestLabPresentationWithDriftingClients(t *testing.T) {
+	lab, err := NewLab(Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = teacher.Join("class")
+
+	// Two skewed participants: one 80ms ahead, one 80ms behind.
+	mkSkewed := func(name string, offset time.Duration) *client.Client {
+		c, err := client.Dial(client.Config{
+			Network:  lab.Net,
+			Addr:     ServerAddr,
+			Name:     name,
+			Role:     "participant",
+			Priority: 2,
+			Clock:    clock.NewDrift(clock.Real{}, offset, 0),
+			Timeout:  3 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		if err := c.Join("class"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.SyncClock(); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	ahead := mkSkewed("Ahead", 80*time.Millisecond)
+	behind := mkSkewed("Behind", -80*time.Millisecond)
+
+	tl := ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: media.Object{ID: "a", Kind: media.Image, Duration: 15 * time.Millisecond}, Start: 0},
+		{Object: media.Object{ID: "b", Kind: media.Video, Duration: 15 * time.Millisecond, Rate: 30}, Start: 15 * time.Millisecond},
+	}}
+	start := lab.Server.Master().GlobalNow().Add(40 * time.Millisecond)
+
+	var meter media.SkewMeter
+	var all []media.PlayoutRecord
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, site := range []struct {
+		name string
+		c    *client.Client
+	}{{"ahead", ahead}, {"behind", behind}} {
+		site := site
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := presentation.Player{Site: site.name, Estimator: site.c.Estimator()}
+			recs, err := p.Play(context.Background(), tl, start)
+			if err != nil {
+				t.Errorf("%s: %v", site.name, err)
+				return
+			}
+			mu.Lock()
+			for _, r := range recs {
+				meter.Add(r)
+				all = append(all, r)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	// NOTE: PlayedAt stamps come from each site's global-time estimate,
+	// so residual skew reflects estimation error, not the raw ±80ms.
+	if skew := meter.MaxInterSiteSkew(); skew > 30*time.Millisecond {
+		t.Errorf("skew = %v despite sync (raw clock spread is 160ms)", skew)
+	}
+	// The conformance monitor agrees.
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := presentation.NewMonitor(net, start, 30*time.Millisecond)
+	mon.ObserveAll(all)
+	if !mon.Conformant() {
+		t.Errorf("violations: %v", mon.Violations())
+	}
+	if missing := mon.Coverage(all, 2); len(missing) != 0 {
+		t.Errorf("missing coverage: %v", missing)
+	}
+}

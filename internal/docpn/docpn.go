@@ -1,0 +1,539 @@
+// Package docpn implements the paper's Distributed Object Composition
+// Petri Net: OCPN extended with (1) priority input arcs from the
+// prioritized Petri net model of Guan, Yu & Yang, (2) a centralized global
+// clock that disciplines transition firing across distributed sites, and
+// (3) user interactions injected as priority events.
+//
+// The engine executes one compiled OCPN at several sites simultaneously
+// inside a deterministic discrete-event simulation (package eventq). Each
+// site runs its own copy of the net — extended with an interaction place
+// wired to every synchronization transition through priority arcs — under
+// its own drifting local clock. In GlobalClock mode each transition is
+// admitted by the paper's rule: a site whose estimated global time has not
+// reached the transition's scheduled global time waits; a site that is
+// already late fires without delay. In LocalClock mode (the OCPN baseline)
+// sites free-run on their local clocks, so skew accumulates with network
+// delay and drift — the comparison the experiments quantify.
+package docpn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dmps/internal/eventq"
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+	"dmps/internal/petri"
+)
+
+// ClockMode selects the firing discipline.
+type ClockMode int
+
+const (
+	// GlobalClock is the paper's DOCPN discipline: firing is admitted
+	// against the centralized global clock (synchronized estimate).
+	GlobalClock ClockMode = iota + 1
+	// LocalClock is the OCPN baseline: sites anchor at the start message
+	// and free-run on their local clocks (delay spread and drift
+	// accumulate into skew).
+	LocalClock
+	// NaiveClock schedules against the announced global timetable but
+	// reads the raw, unsynchronized local clock as if it were global
+	// time — the failure mode motivating the paper's clock sync: the
+	// full clock offset lands in the firing error.
+	NaiveClock
+)
+
+// String implements fmt.Stringer.
+func (m ClockMode) String() string {
+	switch m {
+	case GlobalClock:
+		return "global-clock"
+	case LocalClock:
+		return "local-clock"
+	case NaiveClock:
+		return "naive-clock"
+	default:
+		return fmt.Sprintf("ClockMode(%d)", int(m))
+	}
+}
+
+// InteractionKind classifies a user interaction.
+type InteractionKind int
+
+const (
+	// Skip forces the next synchronization transition to fire, cutting the
+	// remainder of the currently playing segments.
+	Skip InteractionKind = iota + 1
+	// Pause freezes the presentation: the next synchronization transition
+	// is withheld until a Resume arrives; the rest of the schedule shifts
+	// by the paused duration.
+	Pause
+	// Resume releases a Pause.
+	Resume
+)
+
+// String implements fmt.Stringer.
+func (k InteractionKind) String() string {
+	switch k {
+	case Skip:
+		return "skip"
+	case Pause:
+		return "pause"
+	case Resume:
+		return "resume"
+	default:
+		return fmt.Sprintf("InteractionKind(%d)", int(k))
+	}
+}
+
+// Interaction is one user action during the presentation.
+type Interaction struct {
+	// At is the true-time offset from presentation start when the user
+	// acts at their site.
+	At time.Duration
+	// Site is the acting site's name.
+	Site string
+	// Kind is the action.
+	Kind InteractionKind
+}
+
+// SiteSpec describes one participating site.
+type SiteSpec struct {
+	// Name identifies the site.
+	Name string
+	// Offset is the initial error of the site's local clock against true
+	// (global) time.
+	Offset time.Duration
+	// Drift is the local oscillator's fractional rate error (50e-6 = +50
+	// ppm).
+	Drift float64
+	// SyncErr is the residual error of the site's global-time estimate
+	// after clock synchronization (within ± the estimator's half-RTT
+	// bound). Zero means a perfect estimate.
+	SyncErr time.Duration
+	// ControlDelay is the one-way network delay between the DMPS server
+	// and this site for control messages (start, skip broadcast).
+	ControlDelay time.Duration
+}
+
+// Config configures one distributed run.
+type Config struct {
+	// Timeline is the presentation to play (compiled per site).
+	Timeline ocpn.Timeline
+	// Sites are the participants; at least one is required.
+	Sites []SiteSpec
+	// Mode selects the DOCPN global-clock discipline or the OCPN
+	// baseline.
+	Mode ClockMode
+	// PrioritySkip selects whether user interactions use the priority
+	// arcs (the DOCPN behaviour). When false, a skip waits until the
+	// current segments complete naturally (plain-net baseline).
+	PrioritySkip bool
+	// Origin anchors the simulation's true-time axis; zero means a fixed
+	// reference epoch.
+	Origin time.Time
+}
+
+// Configuration errors.
+var (
+	// ErrNoSites is returned when Config.Sites is empty.
+	ErrNoSites = errors.New("docpn: at least one site required")
+	// ErrUnknownSite is returned when an interaction names a site that is
+	// not configured.
+	ErrUnknownSite = errors.New("docpn: unknown site")
+)
+
+// interactPlace is the per-site place feeding priority arcs into every
+// synchronization transition.
+const interactPlace petri.PlaceID = "p_interact"
+
+// Result is the outcome of one distributed run.
+type Result struct {
+	// Meter holds every playout record; skew statistics come from it.
+	Meter media.SkewMeter
+	// FireAt[site][i] is the true time transition i fired at the site.
+	FireAt map[string][]time.Time
+	// InteractionLatency has, per interaction, the worst-case latency from
+	// the user's action to the last site applying it.
+	InteractionLatency []time.Duration
+	// Finished reports whether every site completed the presentation.
+	Finished bool
+	// Mode echoes the configured discipline.
+	Mode ClockMode
+}
+
+// MaxFiringError returns the largest absolute difference between actual
+// and nominal (schedule) firing times across sites and transitions, where
+// nominal is origin + schedule offset shifted by any skips. For runs
+// without interactions this is the firing discipline error E2 measures.
+func (r *Result) MaxFiringError(origin time.Time, sched ocpn.Schedule) time.Duration {
+	var max time.Duration
+	for _, fires := range r.FireAt {
+		for i, at := range fires {
+			if at.IsZero() || i >= len(sched.FireAt) {
+				continue
+			}
+			nominal := origin.Add(sched.FireAt[i])
+			err := at.Sub(nominal)
+			if err < 0 {
+				err = -err
+			}
+			if err > max {
+				max = err
+			}
+		}
+	}
+	return max
+}
+
+// site is the per-site runtime state.
+type site struct {
+	spec    SiteSpec
+	net     *ocpn.Net
+	base    *petri.Net
+	marking petri.Marking
+	sched   ocpn.Schedule
+	next    int // index of the next unfired transition
+	version int // bumped to invalidate scheduled fire events
+	// shift accumulates schedule displacement from skips (negative =
+	// earlier).
+	shift time.Duration
+	// pendingSkips holds the request times of non-priority skips waiting
+	// for the next natural firing (for latency accounting), with the
+	// matching interaction indices in pendingSkipIdxs.
+	pendingSkips    []time.Time
+	pendingSkipIdxs []int
+	// pause state: while paused the scheduled firing is withheld; Resume
+	// re-schedules it displaced by the paused duration.
+	paused        bool
+	pausedAt      time.Time
+	pendingFireAt time.Time
+	done          bool
+}
+
+// localDur converts a duration measured on the site's local clock to true
+// time (a fast clock, rate > 0, finishes a local duration early).
+func (s *site) localDur(d time.Duration) time.Duration {
+	return time.Duration(float64(d) / (1 + s.spec.Drift))
+}
+
+// engine drives all sites over one event queue.
+type engine struct {
+	cfg    Config
+	q      *eventq.Queue
+	origin time.Time
+	sites  map[string]*site
+	order  []string
+	result *Result
+	err    error
+}
+
+// Run executes the distributed presentation and returns the result.
+func Run(cfg Config) (*Result, error) { return RunWith(cfg, nil) }
+
+// RunWith executes the distributed presentation with user interactions.
+func RunWith(cfg Config, interactions []Interaction) (*Result, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, ErrNoSites
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = GlobalClock
+	}
+	origin := cfg.Origin
+	if origin.IsZero() {
+		origin = time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	}
+	e := &engine{
+		cfg:    cfg,
+		q:      eventq.New(origin),
+		origin: origin,
+		sites:  make(map[string]*site),
+		result: &Result{FireAt: make(map[string][]time.Time), Mode: cfg.Mode},
+	}
+	names := make(map[string]bool)
+	for _, spec := range cfg.Sites {
+		if names[spec.Name] {
+			return nil, fmt.Errorf("docpn: duplicate site %q", spec.Name)
+		}
+		names[spec.Name] = true
+		st, err := newSite(spec, cfg.Timeline)
+		if err != nil {
+			return nil, err
+		}
+		e.sites[spec.Name] = st
+		e.order = append(e.order, spec.Name)
+		e.result.FireAt[spec.Name] = make([]time.Time, len(st.net.Transitions))
+	}
+	for _, ia := range interactions {
+		if _, ok := e.sites[ia.Site]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownSite, ia.Site)
+		}
+	}
+	e.result.InteractionLatency = make([]time.Duration, len(interactions))
+
+	// The server broadcasts "start": each site receives its initial token
+	// after its control delay.
+	for _, name := range e.order {
+		st := e.sites[name]
+		st.pendingFireAt = origin.Add(st.spec.ControlDelay)
+		e.q.After(st.spec.ControlDelay, func() { e.tryFire(st, st.version) })
+	}
+	// Schedule the interactions: user acts at site → server stamps after
+	// the site's uplink delay → broadcast applies at every site after its
+	// downlink delay.
+	for idx, ia := range interactions {
+		idx, ia := idx, ia
+		from := e.sites[ia.Site]
+		e.q.After(ia.At+from.spec.ControlDelay, func() {
+			// Server stamps and broadcasts.
+			requested := e.origin.Add(ia.At)
+			for _, name := range e.order {
+				st := e.sites[name]
+				e.q.After(st.spec.ControlDelay, func() {
+					switch ia.Kind {
+					case Pause:
+						e.applyPause(st, requested, idx)
+					case Resume:
+						e.applyResume(st, requested, idx)
+					default:
+						e.applySkip(st, requested, idx)
+					}
+				})
+			}
+		})
+	}
+	e.q.Drain()
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.result.Finished = true
+	for _, name := range e.order {
+		if !e.sites[name].done {
+			e.result.Finished = false
+		}
+	}
+	return e.result, nil
+}
+
+func newSite(spec SiteSpec, tl ocpn.Timeline) (*site, error) {
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		return nil, fmt.Errorf("docpn: site %q: %w", spec.Name, err)
+	}
+	// Extend with the interaction place: priority arcs into every
+	// transition after t0 (skipping into the un-started presentation is
+	// meaningless). A bare interaction arc would let a *later* transition
+	// pre-empt before its predecessors fired, so each transition's
+	// priority input is the pair {interaction, position}: t_{i-1} emits a
+	// position token for t_i, and the paper's AND rule for equal-priority
+	// events makes the skip fire exactly the current boundary. This keeps
+	// the extended net 1-safe (see TestExtendedNetRemainsSafe).
+	if err := net.Base.AddPlace(interactPlace, "user interaction"); err != nil {
+		return nil, fmt.Errorf("docpn: %w", err)
+	}
+	for i, t := range net.Transitions {
+		if i == 0 {
+			continue
+		}
+		pos := petri.PlaceID(fmt.Sprintf("p_pos_%d", i))
+		if err := net.Base.AddPlace(pos, fmt.Sprintf("position before t%d", i)); err != nil {
+			return nil, fmt.Errorf("docpn: %w", err)
+		}
+		if err := net.Base.AddOutput(net.Transitions[i-1], pos, 1); err != nil {
+			return nil, fmt.Errorf("docpn: %w", err)
+		}
+		if err := net.Base.AddPriorityInput(pos, t, 1); err != nil {
+			return nil, fmt.Errorf("docpn: %w", err)
+		}
+		if err := net.Base.AddPriorityInput(interactPlace, t, 1); err != nil {
+			return nil, fmt.Errorf("docpn: %w", err)
+		}
+	}
+	return &site{
+		spec:    spec,
+		net:     net,
+		base:    net.Base,
+		marking: net.InitialMarking(),
+		sched:   net.DeriveSchedule(),
+	}, nil
+}
+
+// tryFire attempts to fire the site's next transition, honouring segment
+// locks and, in GlobalClock mode, the clock discipline. Stale events
+// (version mismatch) and paused sites are ignored.
+func (e *engine) tryFire(st *site, version int) {
+	if e.err != nil || st.done || st.paused || version != st.version {
+		return
+	}
+	t := st.net.Transitions[st.next]
+	if !st.base.Enabled(st.marking, t) {
+		e.err = fmt.Errorf("docpn: site %q: %s not enabled in %s", st.spec.Name, t, st.marking)
+		return
+	}
+	e.fire(st)
+}
+
+// fire fires the next transition now, records playouts, and schedules the
+// successor's firing.
+func (e *engine) fire(st *site) {
+	t := st.net.Transitions[st.next]
+	ev, err := st.base.Fire(st.marking, t)
+	if err != nil {
+		e.err = fmt.Errorf("docpn: site %q: %w", st.spec.Name, err)
+		return
+	}
+	now := e.q.Now()
+	e.result.FireAt[st.spec.Name][st.next] = now
+	// Resolve pending (non-priority) skip latencies at this natural fire.
+	for k, reqAt := range st.pendingSkips {
+		e.noteInteractionLatency(st.pendingSkipIdxs[k], now.Sub(reqAt))
+	}
+	st.pendingSkips = st.pendingSkips[:0]
+	st.pendingSkipIdxs = st.pendingSkipIdxs[:0]
+	// Record playout starts for media segments beginning now.
+	var maxLock time.Duration
+	for _, pid := range ev.Produced.Places() {
+		info := st.net.Places[pid]
+		if info == nil {
+			continue
+		}
+		if lock := st.localDur(info.Duration); lock > maxLock {
+			maxLock = lock
+		}
+		if info.IsMedia() {
+			e.result.Meter.Add(media.PlayoutRecord{
+				Site:      st.spec.Name,
+				ObjectID:  info.Object.ID,
+				Seq:       info.Segment,
+				MediaTime: info.Offset,
+				PlayedAt:  now,
+			})
+		}
+	}
+	st.next++
+	if st.next >= len(st.net.Transitions) {
+		st.done = true
+		return
+	}
+	// All inputs of the next transition are outputs of this one (OCPN
+	// chains), ready when the longest local lock expires.
+	readyAt := now.Add(maxLock)
+	var fireAt time.Time
+	switch e.cfg.Mode {
+	case GlobalClock:
+		// The global clock is the highest-priority input (paper §3): the
+		// site fires when its *estimate* of global time reaches the
+		// scheduled time (shifted by skips) — with estimate error ε that
+		// is true time nominal−ε. A site whose local clock runs fast
+		// therefore waits; a site already past the schedule fires without
+		// delay, truncating laggard segments via the priority rule.
+		nominal := e.origin.Add(st.sched.FireAt[st.next] + st.shift)
+		fireAt = nominal.Add(-st.spec.SyncErr)
+		if fireAt.Before(now) {
+			fireAt = now
+		}
+	case NaiveClock:
+		// The site believes its raw local clock is global time: it fires
+		// when L(t) = origin + S, with L(t) = t + Offset + Drift·(t−origin),
+		// i.e. at true time t = origin + (S − Offset)/(1 + Drift).
+		s := st.sched.FireAt[st.next] + st.shift
+		trueOffset := time.Duration(float64(s-st.spec.Offset) / (1 + st.spec.Drift))
+		fireAt = e.origin.Add(trueOffset)
+		if fireAt.Before(now) {
+			fireAt = now
+		}
+	default:
+		// OCPN baseline: wait for every input token to unlock locally.
+		fireAt = readyAt
+	}
+	st.pendingFireAt = fireAt
+	version := st.version
+	e.q.At(fireAt, func() { e.tryFire(st, version) })
+}
+
+// applyPause freezes the site: the scheduled firing is invalidated and
+// the pause instant remembered so Resume can displace the schedule.
+func (e *engine) applyPause(st *site, requested time.Time, idx int) {
+	if e.err != nil || st.done || st.paused {
+		return
+	}
+	st.paused = true
+	st.pausedAt = e.q.Now()
+	st.version++ // cancel the scheduled firing
+	e.noteInteractionLatency(idx, e.q.Now().Sub(requested))
+}
+
+// applyResume releases a pause: the remaining wait before the next
+// firing is preserved and the rest of the schedule shifts by the paused
+// duration.
+func (e *engine) applyResume(st *site, requested time.Time, idx int) {
+	if e.err != nil || st.done || !st.paused {
+		return
+	}
+	now := e.q.Now()
+	pausedFor := now.Sub(st.pausedAt)
+	remaining := st.pendingFireAt.Sub(st.pausedAt)
+	if remaining < 0 {
+		remaining = 0
+	}
+	st.paused = false
+	st.shift += pausedFor
+	st.pendingFireAt = now.Add(remaining)
+	version := st.version
+	e.q.At(st.pendingFireAt, func() { e.tryFire(st, version) })
+	e.noteInteractionLatency(idx, now.Sub(requested))
+}
+
+// applySkip handles a skip broadcast arriving at a site. Skips during a
+// pause are ignored (the presentation is frozen).
+func (e *engine) applySkip(st *site, requested time.Time, idx int) {
+	if e.err != nil || st.done || st.paused {
+		return
+	}
+	now := e.q.Now()
+	if e.cfg.PrioritySkip {
+		// Inject the interaction token and fire the next transition under
+		// the priority rule, preempting in-progress segments.
+		st.version++ // cancel the scheduled natural firing
+		st.marking.AddBag(petri.NewBag(interactPlace))
+		t := st.net.Transitions[st.next]
+		if !st.base.Enabled(st.marking, t) {
+			e.err = fmt.Errorf("docpn: site %q: skip target %s not enabled", st.spec.Name, t)
+			return
+		}
+		// The schedule shifts earlier by the time the skip saved.
+		nominal := e.origin.Add(st.sched.FireAt[st.next] + st.shift)
+		if saved := nominal.Sub(now); saved > 0 {
+			st.shift -= saved
+		}
+		e.fire(st)
+		e.noteInteractionLatency(idx, now.Sub(requested))
+		return
+	}
+	// Baseline: the skip waits for the natural firing; remember it for
+	// latency accounting.
+	st.pendingSkips = append(st.pendingSkips, requested)
+	st.pendingSkipIdxs = append(st.pendingSkipIdxs, idx)
+}
+
+func (e *engine) noteInteractionLatency(idx int, lat time.Duration) {
+	if idx < 0 || idx >= len(e.result.InteractionLatency) {
+		return
+	}
+	if lat > e.result.InteractionLatency[idx] {
+		e.result.InteractionLatency[idx] = lat
+	}
+}
+
+// Sites returns the configured site names in order (test helper).
+func (r *Result) Sites() []string {
+	out := make([]string, 0, len(r.FireAt))
+	for name := range r.FireAt {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

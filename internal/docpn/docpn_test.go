@@ -1,0 +1,356 @@
+package docpn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+	"dmps/internal/petri"
+)
+
+func obj(id string, kind media.Kind, dur time.Duration) media.Object {
+	o := media.Object{ID: id, Kind: kind, Duration: dur, UnitBytes: 100}
+	if kind.Continuous() {
+		o.Rate = 10
+	}
+	return o
+}
+
+func lecture() ocpn.Timeline {
+	return ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: obj("slide", media.Image, 10*time.Second), Start: 0},
+		{Object: obj("narration", media.Audio, 10*time.Second), Start: 0},
+		{Object: obj("clip", media.Video, 5*time.Second), Start: 10 * time.Second},
+	}}
+}
+
+func perfectSites(n int) []SiteSpec {
+	specs := make([]SiteSpec, n)
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := range specs {
+		specs[i] = SiteSpec{Name: names[i%len(names)]}
+	}
+	return specs
+}
+
+func TestRunRequiresSites(t *testing.T) {
+	_, err := Run(Config{Timeline: lecture()})
+	if !errors.Is(err, ErrNoSites) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunRejectsDuplicateSites(t *testing.T) {
+	_, err := Run(Config{Timeline: lecture(), Sites: []SiteSpec{{Name: "a"}, {Name: "a"}}})
+	if err == nil {
+		t.Error("duplicate sites should be rejected")
+	}
+}
+
+func TestRunRejectsUnknownInteractionSite(t *testing.T) {
+	_, err := RunWith(
+		Config{Timeline: lecture(), Sites: perfectSites(1)},
+		[]Interaction{{At: time.Second, Site: "ghost", Kind: Skip}},
+	)
+	if !errors.Is(err, ErrUnknownSite) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPerfectSitesPerfectSync(t *testing.T) {
+	res, err := Run(Config{Timeline: lecture(), Sites: perfectSites(3), Mode: GlobalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Error("not finished")
+	}
+	if skew := res.Meter.MaxInterSiteSkew(); skew != 0 {
+		t.Errorf("skew = %v, want 0 for ideal sites", skew)
+	}
+	// 3 sites × 3 media segments each.
+	if res.Meter.Len() != 9 {
+		t.Errorf("playout records = %d, want 9", res.Meter.Len())
+	}
+}
+
+func TestGlobalClockBoundsSkewUnderDelayAndDrift(t *testing.T) {
+	sites := []SiteSpec{
+		{Name: "campus", ControlDelay: time.Millisecond, SyncErr: 2 * time.Millisecond, Drift: 40e-6},
+		{Name: "home", ControlDelay: 80 * time.Millisecond, SyncErr: -3 * time.Millisecond, Drift: -60e-6},
+		{Name: "abroad", ControlDelay: 200 * time.Millisecond, SyncErr: 5 * time.Millisecond, Drift: 100e-6},
+	}
+	res, err := Run(Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := res.Meter.MaxInterSiteSkew()
+	// Bounded by start-delay spread for t0 only; later transitions are
+	// clock-disciplined, so skew at t1/t2 is bounded by sync errors
+	// (≤ 8ms spread). The t0 record includes the 200ms delay spread, so
+	// check per-transition: drop seq-0 records via inter-media skew on
+	// the clip (starts at t1).
+	if skew > 250*time.Millisecond {
+		t.Errorf("overall skew = %v, absurd", skew)
+	}
+	// Every site must fire t1 within its sync error of the 10s schedule
+	// point and t2 within it of 15s — the clock-discipline bound.
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	for site, fires := range res.FireAt {
+		for i, want := range []time.Duration{10 * time.Second, 15 * time.Second} {
+			got := fires[i+1].Sub(origin)
+			diff := got - want
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 10*time.Millisecond {
+				t.Errorf("site %s t%d fired at %v, want %v ± 10ms", site, i+1, got, want)
+			}
+		}
+	}
+}
+
+func TestLocalClockBaselineAccumulatesSkew(t *testing.T) {
+	sites := []SiteSpec{
+		{Name: "campus", ControlDelay: time.Millisecond},
+		{Name: "abroad", ControlDelay: 150 * time.Millisecond},
+	}
+	resLocal, err := Run(Config{Timeline: lecture(), Sites: sites, Mode: LocalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGlobal, err := Run(Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline: the start-delay difference persists through every
+	// transition (≈149ms at every sync point). DOCPN: only t0 differs;
+	// later transitions line up.
+	localSkew := resLocal.Meter.MaxInterSiteSkew()
+	if localSkew < 140*time.Millisecond {
+		t.Errorf("local-clock skew = %v, want ≈149ms", localSkew)
+	}
+	// Compare skew on the clip object (starts at t1, past the start-up
+	// transient): global mode should be ~0, local mode ~149ms.
+	globalClip := clipSkew(resGlobal)
+	localClip := clipSkew(resLocal)
+	if globalClip > 5*time.Millisecond {
+		t.Errorf("global-clock clip skew = %v, want ~0", globalClip)
+	}
+	if localClip < 140*time.Millisecond {
+		t.Errorf("local-clock clip skew = %v, want ≈149ms", localClip)
+	}
+}
+
+// clipSkew measures the inter-site spread of transition t1's firing
+// instants — the clip's start — past the start-up transient.
+func clipSkew(res *Result) time.Duration {
+	var times []time.Time
+	for _, fires := range res.FireAt {
+		if len(fires) > 1 {
+			times = append(times, fires[1])
+		}
+	}
+	if len(times) < 2 {
+		return 0
+	}
+	lo, hi := times[0], times[0]
+	for _, x := range times[1:] {
+		if x.Before(lo) {
+			lo = x
+		}
+		if x.After(hi) {
+			hi = x
+		}
+	}
+	return hi.Sub(lo)
+}
+
+func TestDriftAloneDivergesWithoutGlobalClock(t *testing.T) {
+	// Same delays, different drifts: the local-clock baseline diverges as
+	// the presentation progresses; DOCPN holds sites together.
+	tl := ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: obj("long", media.Video, 100*time.Second), Start: 0},
+		{Object: obj("tail", media.Audio, 10*time.Second), Start: 100 * time.Second},
+	}}
+	sites := []SiteSpec{
+		{Name: "fast", Drift: 500e-6},  // +500 ppm
+		{Name: "slow", Drift: -500e-6}, // −500 ppm
+	}
+	resLocal, err := Run(Config{Timeline: tl, Sites: sites, Mode: LocalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resGlobal, err := Run(Config{Timeline: tl, Sites: sites, Mode: GlobalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 100s, ±500ppm ⇒ ±50ms, so ~100ms spread at t1 locally.
+	local := clipSkew(resLocal)
+	global := clipSkew(resGlobal)
+	if local < 80*time.Millisecond {
+		t.Errorf("local drift skew = %v, want ≈100ms", local)
+	}
+	if global > time.Millisecond {
+		t.Errorf("global drift skew = %v, want ~0", global)
+	}
+}
+
+func TestPrioritySkipFiresImmediately(t *testing.T) {
+	sites := []SiteSpec{{Name: "a", ControlDelay: 5 * time.Millisecond}}
+	// Skip at 2s into a 10s segment.
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock, PrioritySkip: true},
+		[]Interaction{{At: 2 * time.Second, Site: "a", Kind: Skip}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Error("not finished")
+	}
+	if len(res.InteractionLatency) != 1 {
+		t.Fatalf("latencies = %v", res.InteractionLatency)
+	}
+	// Latency = uplink + downlink = 10ms, far below the 8s remaining.
+	if got := res.InteractionLatency[0]; got > 50*time.Millisecond {
+		t.Errorf("priority skip latency = %v, want ~10ms", got)
+	}
+	// The clip (at t1) must start early: ≈2s+10ms instead of 10s.
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	t1 := res.FireAt["a"][1].Sub(origin)
+	if t1 > 3*time.Second {
+		t.Errorf("t1 fired at %v, skip should pull it to ≈2.01s", t1)
+	}
+	// And the remaining schedule shifts with it: t2 ≈ t1 + 5s.
+	t2 := res.FireAt["a"][2].Sub(origin)
+	if d := t2 - t1; d < 4900*time.Millisecond || d > 5100*time.Millisecond {
+		t.Errorf("t2-t1 = %v, want ≈5s", d)
+	}
+}
+
+func TestNonPrioritySkipWaitsForSegmentEnd(t *testing.T) {
+	sites := []SiteSpec{{Name: "a", ControlDelay: 5 * time.Millisecond}}
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock, PrioritySkip: false},
+		[]Interaction{{At: 2 * time.Second, Site: "a", Kind: Skip}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline waits out the remaining ~8s of the current segment.
+	if got := res.InteractionLatency[0]; got < 7*time.Second {
+		t.Errorf("baseline skip latency = %v, want ≈8s", got)
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	t1 := res.FireAt["a"][1].Sub(origin)
+	if t1 < 9*time.Second {
+		t.Errorf("t1 fired at %v, baseline must wait for the schedule", t1)
+	}
+}
+
+func TestPrioritySkipKeepsSitesSynchronized(t *testing.T) {
+	sites := []SiteSpec{
+		{Name: "a", ControlDelay: 5 * time.Millisecond},
+		{Name: "b", ControlDelay: 30 * time.Millisecond},
+	}
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock, PrioritySkip: true},
+		[]Interaction{{At: 2 * time.Second, Site: "a", Kind: Skip}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sites skip; their t1 instants differ only by downlink spread.
+	d := res.FireAt["a"][1].Sub(res.FireAt["b"][1])
+	if d < 0 {
+		d = -d
+	}
+	if d > 60*time.Millisecond {
+		t.Errorf("post-skip divergence = %v", d)
+	}
+	if !res.Finished {
+		t.Error("not finished")
+	}
+}
+
+func TestMaxFiringError(t *testing.T) {
+	sites := []SiteSpec{{Name: "a", SyncErr: 3 * time.Millisecond}}
+	res, err := Run(Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ocpn.Compile(lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	maxErr := res.MaxFiringError(origin, net.DeriveSchedule())
+	if maxErr > 4*time.Millisecond {
+		t.Errorf("firing error = %v, want ≤ syncErr", maxErr)
+	}
+}
+
+func TestClockModeString(t *testing.T) {
+	if GlobalClock.String() != "global-clock" || LocalClock.String() != "local-clock" {
+		t.Error("mode strings")
+	}
+	if ClockMode(9).String() != "ClockMode(9)" {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestResultSites(t *testing.T) {
+	res, err := Run(Config{Timeline: lecture(), Sites: perfectSites(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Sites()
+	if len(s) != 2 || s[0] != "alpha" || s[1] != "beta" {
+		t.Errorf("Sites = %v", s)
+	}
+}
+
+// TestExtendedNetRemainsSafe analyzes the per-site net after the engine
+// wires the interaction place: the presentation must stay 1-safe and
+// complete both with and without an injected interaction token.
+func TestExtendedNetRemainsSafe(t *testing.T) {
+	st, err := newSite(SiteSpec{Name: "x"}, lecture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without an interaction token: classic run to the end.
+	g, err := st.base.Reachability(st.net.InitialMarking(), 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSafe() {
+		t.Error("extended net must stay 1-safe")
+	}
+	if !g.Reaches(st.net.Finished) {
+		t.Error("end unreachable in extended net")
+	}
+	// With an interaction token present from the start: the priority arcs
+	// add early-firing paths but never deadlock or duplicate tokens.
+	m2 := st.net.InitialMarking()
+	m2.AddBag(markingBag())
+	g2, err := st.base.Reachability(m2, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Reaches(st.net.Finished) {
+		t.Error("end unreachable with interaction token")
+	}
+	for key, mk := range g2.States {
+		for p, tokens := range mk {
+			if p != interactPlace && tokens > 1 {
+				t.Fatalf("place %s holds %d tokens in state %s", p, tokens, key)
+			}
+		}
+	}
+}
+
+// markingBag builds the single-interaction-token bag.
+func markingBag() petri.Bag { return petri.NewBag(interactPlace) }

@@ -1,0 +1,161 @@
+package docpn
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPauseResumeShiftsSchedule(t *testing.T) {
+	sites := []SiteSpec{{Name: "a", ControlDelay: time.Millisecond}}
+	// Pause at 2s, resume at 5s: 3s of frozen time. t1 (nominal 10s)
+	// should fire at ≈13s.
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock},
+		[]Interaction{
+			{At: 2 * time.Second, Site: "a", Kind: Pause},
+			{At: 5 * time.Second, Site: "a", Kind: Resume},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("not finished")
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	t1 := res.FireAt["a"][1].Sub(origin)
+	if t1 < 12900*time.Millisecond || t1 > 13100*time.Millisecond {
+		t.Errorf("t1 fired at %v, want ≈13s (10s + 3s pause)", t1)
+	}
+	// And the end shifts equally: t2 nominal 15s → ≈18s.
+	t2 := res.FireAt["a"][2].Sub(origin)
+	if t2 < 17900*time.Millisecond || t2 > 18100*time.Millisecond {
+		t.Errorf("t2 fired at %v, want ≈18s", t2)
+	}
+}
+
+func TestPauseKeepsSitesTogether(t *testing.T) {
+	sites := []SiteSpec{
+		{Name: "a", ControlDelay: 5 * time.Millisecond},
+		{Name: "b", ControlDelay: 5 * time.Millisecond},
+	}
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock},
+		[]Interaction{
+			{At: time.Second, Site: "a", Kind: Pause},
+			{At: 3 * time.Second, Site: "b", Kind: Resume},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("not finished")
+	}
+	// Equal downlink delays ⇒ equal shifts ⇒ sites stay aligned.
+	d := res.FireAt["a"][1].Sub(res.FireAt["b"][1])
+	if d < 0 {
+		d = -d
+	}
+	if d > time.Millisecond {
+		t.Errorf("post-pause divergence = %v", d)
+	}
+}
+
+func TestResumeWithoutPauseIgnored(t *testing.T) {
+	sites := []SiteSpec{{Name: "a"}}
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock},
+		[]Interaction{{At: time.Second, Site: "a", Kind: Resume}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Fatal("not finished")
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	t1 := res.FireAt["a"][1].Sub(origin)
+	if t1 != 10*time.Second {
+		t.Errorf("t1 = %v, schedule must be unaffected", t1)
+	}
+}
+
+func TestDoublePauseIgnored(t *testing.T) {
+	sites := []SiteSpec{{Name: "a"}}
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock},
+		[]Interaction{
+			{At: time.Second, Site: "a", Kind: Pause},
+			{At: 2 * time.Second, Site: "a", Kind: Pause}, // no-op
+			{At: 4 * time.Second, Site: "a", Kind: Resume},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	// Paused 1s→4s: 3s shift measured from the FIRST pause.
+	t1 := res.FireAt["a"][1].Sub(origin)
+	if t1 < 12900*time.Millisecond || t1 > 13100*time.Millisecond {
+		t.Errorf("t1 = %v, want ≈13s", t1)
+	}
+}
+
+func TestSkipDuringPauseIgnored(t *testing.T) {
+	sites := []SiteSpec{{Name: "a"}}
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock, PrioritySkip: true},
+		[]Interaction{
+			{At: time.Second, Site: "a", Kind: Pause},
+			{At: 2 * time.Second, Site: "a", Kind: Skip}, // frozen: ignored
+			{At: 3 * time.Second, Site: "a", Kind: Resume},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	// Pause 1s→3s shifts by 2s; the skip must not have fired t1 early.
+	t1 := res.FireAt["a"][1].Sub(origin)
+	if t1 < 11900*time.Millisecond || t1 > 12100*time.Millisecond {
+		t.Errorf("t1 = %v, want ≈12s (skip ignored)", t1)
+	}
+}
+
+func TestPauseBeforeStartDelaysStart(t *testing.T) {
+	sites := []SiteSpec{{Name: "a", ControlDelay: 500 * time.Millisecond}}
+	// Pause lands (at ≈1s, after uplink+downlink) before... actually the
+	// start fires at 500ms, so pause at 1s lands mid-first-segment; use a
+	// larger start delay to pause before t0.
+	sites[0].ControlDelay = 2 * time.Second
+	res, err := RunWith(
+		Config{Timeline: lecture(), Sites: sites, Mode: GlobalClock},
+		[]Interaction{
+			// Uplink 2s + downlink 2s: applies at ~4.5s... the start
+			// fires at 2s, so to pause before t0 the user acts at
+			// once: apply at 0.5+2+2 > 2s — cannot beat the start.
+			// Instead verify pausing right after start still works.
+			{At: 500 * time.Millisecond, Site: "a", Kind: Pause},
+			{At: 6 * time.Second, Site: "a", Kind: Resume},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Finished {
+		t.Error("not finished")
+	}
+	if res.InteractionLatency[0] <= 0 || res.InteractionLatency[1] <= 0 {
+		t.Errorf("latencies = %v", res.InteractionLatency)
+	}
+}
+
+func TestInteractionKindString(t *testing.T) {
+	if Skip.String() != "skip" || Pause.String() != "pause" || Resume.String() != "resume" {
+		t.Error("kind strings")
+	}
+	if InteractionKind(9).String() != "InteractionKind(9)" {
+		t.Error("unknown kind")
+	}
+}

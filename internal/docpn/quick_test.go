@@ -1,0 +1,149 @@
+package docpn
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+)
+
+func randomTimeline(rng *rand.Rand) ocpn.Timeline {
+	n := 1 + rng.Intn(4)
+	var tl ocpn.Timeline
+	for i := 0; i < n; i++ {
+		obj := media.Object{
+			ID:       string(rune('a' + i)),
+			Kind:     media.Video,
+			Duration: time.Duration(1+rng.Intn(20)) * 500 * time.Millisecond,
+			Rate:     10,
+		}
+		tl.Items = append(tl.Items, ocpn.ScheduledObject{
+			Object: obj,
+			Start:  time.Duration(rng.Intn(10)) * 500 * time.Millisecond,
+		})
+	}
+	return tl
+}
+
+func randomSites(rng *rand.Rand) []SiteSpec {
+	n := 1 + rng.Intn(4)
+	names := []string{"s0", "s1", "s2", "s3"}
+	var out []SiteSpec
+	for i := 0; i < n; i++ {
+		out = append(out, SiteSpec{
+			Name:         names[i],
+			Offset:       time.Duration(rng.Intn(100)-50) * time.Millisecond,
+			Drift:        float64(rng.Intn(400)-200) * 1e-6,
+			SyncErr:      time.Duration(rng.Intn(10)-5) * time.Millisecond,
+			ControlDelay: time.Duration(rng.Intn(100)) * time.Millisecond,
+		})
+	}
+	return out
+}
+
+// TestQuickSimulationAlwaysFinishes: every valid (timeline, sites, mode)
+// combination runs to completion with a full set of playout records.
+func TestQuickSimulationAlwaysFinishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	modes := []ClockMode{GlobalClock, LocalClock, NaiveClock}
+	for iter := 0; iter < 150; iter++ {
+		tl := randomTimeline(rng)
+		sites := randomSites(rng)
+		mode := modes[rng.Intn(len(modes))]
+		res, err := Run(Config{Timeline: tl, Sites: sites, Mode: mode})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !res.Finished {
+			t.Fatalf("iter %d: unfinished (%v)", iter, mode)
+		}
+		net, err := ocpn.Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRecords := len(net.MediaPlaces()) * len(sites)
+		if res.Meter.Len() != wantRecords {
+			t.Fatalf("iter %d: records = %d, want %d", iter, res.Meter.Len(), wantRecords)
+		}
+	}
+}
+
+// TestQuickGlobalModeSkewBounded: under the global clock, steady-state
+// firing spread between sites never exceeds the sync-error spread plus a
+// small constant — regardless of delays, offsets and drift.
+func TestQuickGlobalModeSkewBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 100; iter++ {
+		tl := randomTimeline(rng)
+		sites := randomSites(rng)
+		if len(sites) < 2 {
+			continue
+		}
+		res, err := Run(Config{Timeline: tl, Sites: sites, Mode: GlobalClock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var minErr, maxErr time.Duration
+		for i, s := range sites {
+			if i == 0 || s.SyncErr < minErr {
+				minErr = s.SyncErr
+			}
+			if i == 0 || s.SyncErr > maxErr {
+				maxErr = s.SyncErr
+			}
+		}
+		bound := (maxErr - minErr) + 5*time.Millisecond
+		// Check spread of every transition after t0.
+		nTrans := 0
+		for _, fires := range res.FireAt {
+			if len(fires) > nTrans {
+				nTrans = len(fires)
+			}
+		}
+		for ti := 1; ti < nTrans; ti++ {
+			var lo, hi time.Time
+			first := true
+			for _, fires := range res.FireAt {
+				if ti >= len(fires) || fires[ti].IsZero() {
+					continue
+				}
+				if first {
+					lo, hi, first = fires[ti], fires[ti], false
+					continue
+				}
+				if fires[ti].Before(lo) {
+					lo = fires[ti]
+				}
+				if fires[ti].After(hi) {
+					hi = fires[ti]
+				}
+			}
+			if !first && hi.Sub(lo) > bound {
+				t.Fatalf("iter %d: t%d spread %v exceeds bound %v", iter, ti, hi.Sub(lo), bound)
+			}
+		}
+	}
+}
+
+// TestQuickSkipNeverBreaksCompletion: a skip at any instant, priority or
+// not, still lets every site finish.
+func TestQuickSkipNeverBreaksCompletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 100; iter++ {
+		tl := randomTimeline(rng)
+		sites := randomSites(rng)
+		skipAt := time.Duration(rng.Intn(int(tl.End()/time.Millisecond))) * time.Millisecond
+		res, err := RunWith(
+			Config{Timeline: tl, Sites: sites, Mode: GlobalClock, PrioritySkip: rng.Intn(2) == 0},
+			[]Interaction{{At: skipAt, Site: sites[0].Name, Kind: Skip}},
+		)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !res.Finished {
+			t.Fatalf("iter %d: skip at %v broke completion", iter, skipAt)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Package eventq provides a deterministic single-threaded discrete-event
+// scheduler. Distributed experiments (clock skew, network jitter sweeps)
+// run as simulations over an EventQueue instead of sleeping on wall-clock
+// time, which keeps the test suite fast and exactly reproducible.
+package eventq
+
+import (
+	"container/heap"
+	"errors"
+	"time"
+)
+
+// ErrPast is returned when scheduling before the current simulation time.
+var ErrPast = errors.New("eventq: cannot schedule in the past")
+
+// Event is a scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tie-break: FIFO among equal times
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Queue is a discrete-event scheduler. It is deliberately single-threaded:
+// callbacks run inline in Run/Step on the caller's goroutine, and may
+// schedule further events. Queue is not safe for concurrent use.
+type Queue struct {
+	now    time.Time
+	nextID uint64
+	heap   eventHeap
+	ran    int
+}
+
+// New returns a queue whose clock starts at the given origin.
+func New(origin time.Time) *Queue {
+	return &Queue{now: origin}
+}
+
+// Now returns the current simulation time.
+func (q *Queue) Now() time.Time { return q.now }
+
+// Processed reports how many events have run.
+func (q *Queue) Processed() int { return q.ran }
+
+// Pending reports how many events are scheduled but not yet run.
+func (q *Queue) Pending() int { return len(q.heap) }
+
+// At schedules fn at the absolute simulation time at.
+func (q *Queue) At(at time.Time, fn func()) error {
+	if at.Before(q.now) {
+		return ErrPast
+	}
+	q.nextID++
+	heap.Push(&q.heap, &event{at: at, seq: q.nextID, fn: fn})
+	return nil
+}
+
+// After schedules fn d after the current simulation time. Negative d is
+// clamped to zero (run at the current instant, after already-queued events
+// at the same time).
+func (q *Queue) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	_ = q.At(q.now.Add(d), fn) // cannot be in the past by construction
+}
+
+// Step runs the single earliest event, advancing the clock to its time.
+// It reports false when the queue is empty.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.heap).(*event)
+	q.now = ev.at
+	q.ran++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events up to and including time t, leaving the clock at
+// t. Events scheduled during execution are honoured if they fall within t.
+func (q *Queue) RunUntil(t time.Time) {
+	for len(q.heap) > 0 && !q.heap[0].at.After(t) {
+		q.Step()
+	}
+	if t.After(q.now) {
+		q.now = t
+	}
+}
+
+// Run executes events until the queue drains or maxEvents have run.
+// It returns the number of events executed.
+func (q *Queue) Run(maxEvents int) int {
+	ran := 0
+	for ran < maxEvents && q.Step() {
+		ran++
+	}
+	return ran
+}
+
+// Drain runs events until none remain. It panics after 10 million events to
+// catch accidental infinite self-scheduling in tests; simulations that
+// legitimately need more should call Run in a loop.
+func (q *Queue) Drain() int {
+	const hardStop = 10_000_000
+	ran := q.Run(hardStop)
+	if ran == hardStop && q.Pending() > 0 {
+		panic("eventq: Drain exceeded 10M events; likely a self-scheduling loop")
+	}
+	return ran
+}

@@ -1,0 +1,124 @@
+package eventq
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var origin = time.Date(2001, 4, 16, 0, 0, 0, 0, time.UTC) // ICDCS 2001 week
+
+func TestOrderingByTime(t *testing.T) {
+	q := New(origin)
+	var got []int
+	q.After(30*time.Millisecond, func() { got = append(got, 3) })
+	q.After(10*time.Millisecond, func() { got = append(got, 1) })
+	q.After(20*time.Millisecond, func() { got = append(got, 2) })
+	q.Drain()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v", got)
+	}
+	if q.Now() != origin.Add(30*time.Millisecond) {
+		t.Errorf("Now = %v", q.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	q := New(origin)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	q.Drain()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	q := New(origin)
+	if err := q.At(origin.Add(-time.Second), func() {}); !errors.Is(err, ErrPast) {
+		t.Errorf("err = %v, want ErrPast", err)
+	}
+	// Negative After clamps to now rather than failing.
+	ran := false
+	q.After(-5*time.Second, func() { ran = true })
+	q.Drain()
+	if !ran {
+		t.Error("clamped event should run")
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	q := New(origin)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			q.After(time.Second, tick)
+		}
+	}
+	q.After(0, tick)
+	q.Drain()
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+	if got := q.Now().Sub(origin); got != 9*time.Second {
+		t.Errorf("elapsed = %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	q := New(origin)
+	var got []string
+	q.After(time.Second, func() { got = append(got, "a") })
+	q.After(3*time.Second, func() { got = append(got, "b") })
+	q.RunUntil(origin.Add(2 * time.Second))
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("got = %v", got)
+	}
+	if q.Now() != origin.Add(2*time.Second) {
+		t.Errorf("Now = %v (clock must land exactly on the boundary)", q.Now())
+	}
+	if q.Pending() != 1 {
+		t.Errorf("Pending = %d", q.Pending())
+	}
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	q := New(origin)
+	ran := false
+	q.After(time.Second, func() { ran = true })
+	q.RunUntil(origin.Add(time.Second))
+	if !ran {
+		t.Error("event exactly at the boundary must run")
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	q := New(origin)
+	count := 0
+	for i := 0; i < 10; i++ {
+		q.After(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	if ran := q.Run(4); ran != 4 || count != 4 {
+		t.Errorf("ran = %d count = %d", ran, count)
+	}
+	if q.Pending() != 6 {
+		t.Errorf("Pending = %d", q.Pending())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	q := New(origin)
+	if q.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+	if q.Processed() != 0 {
+		t.Errorf("Processed = %d", q.Processed())
+	}
+}

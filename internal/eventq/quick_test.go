@@ -1,0 +1,93 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestQuickExecutionOrderMatchesTimestamps: random schedules always run
+// in non-decreasing time order with FIFO ties.
+func TestQuickExecutionOrderMatchesTimestamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 200; iter++ {
+		q := New(origin)
+		n := 1 + rng.Intn(50)
+		type stamped struct {
+			at  time.Duration
+			seq int
+		}
+		var ran []stamped
+		for i := 0; i < n; i++ {
+			i := i
+			at := time.Duration(rng.Intn(20)) * time.Millisecond
+			q.After(at, func() {
+				ran = append(ran, stamped{q.Now().Sub(origin), i})
+			})
+		}
+		q.Drain()
+		if len(ran) != n {
+			t.Fatalf("iter %d: ran %d of %d", iter, len(ran), n)
+		}
+		if !sort.SliceIsSorted(ran, func(i, j int) bool {
+			if ran[i].at != ran[j].at {
+				return ran[i].at < ran[j].at
+			}
+			return ran[i].seq < ran[j].seq
+		}) {
+			t.Fatalf("iter %d: order violated: %v", iter, ran)
+		}
+	}
+}
+
+// TestQuickClockNeverRewinds: through random interleavings of scheduling
+// and stepping, Now() is monotone.
+func TestQuickClockNeverRewinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 100; iter++ {
+		q := New(origin)
+		last := q.Now()
+		for op := 0; op < 100; op++ {
+			if rng.Intn(2) == 0 {
+				q.After(time.Duration(rng.Intn(10))*time.Millisecond, func() {})
+			} else {
+				q.Step()
+			}
+			if q.Now().Before(last) {
+				t.Fatalf("iter %d: clock rewound", iter)
+			}
+			last = q.Now()
+		}
+	}
+}
+
+// TestQuickNestedSchedulingDrains: events that schedule further events
+// (bounded depth) always drain completely.
+func TestQuickNestedSchedulingDrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 50; iter++ {
+		q := New(origin)
+		count := 0
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			count++
+			if depth <= 0 {
+				return
+			}
+			kids := rng.Intn(3)
+			for k := 0; k < kids; k++ {
+				d := depth - 1
+				q.After(time.Duration(rng.Intn(5))*time.Millisecond, func() { spawn(d) })
+			}
+		}
+		q.After(0, func() { spawn(5) })
+		q.Drain()
+		if q.Pending() != 0 {
+			t.Fatalf("iter %d: %d pending after drain", iter, q.Pending())
+		}
+		if count == 0 {
+			t.Fatalf("iter %d: nothing ran", iter)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dmps/internal/docpn"
+	"dmps/internal/ocpn"
+)
+
+// RunE2 measures the firing discipline: how far transitions fire from
+// their nominal schedule under clock offset/drift, as a function of the
+// sync-estimate error, with the global clock on (DOCPN) and off (OCPN
+// baseline). Expected shape: DOCPN's error tracks the sync error; the
+// baseline's error tracks the raw clock offsets regardless of sync.
+func RunE2() (*Table, error) {
+	tl, err := LectureTimeline()
+	if err != nil {
+		return nil, err
+	}
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		return nil, err
+	}
+	sched := net.DeriveSchedule()
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	t := &Table{
+		ID:     "E2",
+		Title:  "firing error vs clock-sync error (offsets ±40ms, drift ±100ppm)",
+		Header: []string{"sync error", "synced global clock", "naive local-as-global", "anchored local (OCPN)"},
+	}
+	for _, syncErr := range []time.Duration{0, time.Millisecond, 5 * time.Millisecond, 20 * time.Millisecond} {
+		sites := func() []docpn.SiteSpec {
+			return []docpn.SiteSpec{
+				{Name: "a", Offset: 40 * time.Millisecond, Drift: 100e-6, SyncErr: syncErr, ControlDelay: time.Millisecond},
+				{Name: "b", Offset: -40 * time.Millisecond, Drift: -100e-6, SyncErr: -syncErr, ControlDelay: time.Millisecond},
+			}
+		}
+		var errs []time.Duration
+		for _, mode := range []docpn.ClockMode{docpn.GlobalClock, docpn.NaiveClock, docpn.LocalClock} {
+			res, err := docpn.Run(docpn.Config{Timeline: tl, Sites: sites(), Mode: mode, Origin: origin})
+			if err != nil {
+				return nil, err
+			}
+			errs = append(errs, res.MaxFiringError(origin, sched).Round(100*time.Microsecond))
+		}
+		t.AddRow(syncErr, errs[0], errs[1], errs[2])
+	}
+	t.Note("synced error ≈ sync error (fast sites wait, slow sites fire immediately); naive scheduling eats the full ±40ms clock offset; the anchored baseline hides offsets but drifts apart and ignores the global timetable entirely")
+	return t, nil
+}
+
+// RunE3 measures inter-site playout skew versus network delay spread:
+// DOCPN with the global clock versus the OCPN baseline without it.
+// Expected shape: DOCPN stays flat at the sync-error level; the baseline
+// grows linearly with the delay spread; the crossover sits where the
+// delay spread equals the sync error.
+func RunE3() (*Table, error) {
+	tl, err := LectureTimeline()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E3",
+		Title:  "steady-state inter-site skew vs control-delay spread (3 sites, sync error 2ms)",
+		Header: []string{"delay spread", "skew DOCPN", "skew OCPN baseline", "winner"},
+	}
+	for _, spread := range []time.Duration{0, 10 * time.Millisecond, 25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond} {
+		sites := func() []docpn.SiteSpec {
+			return []docpn.SiteSpec{
+				{Name: "near", ControlDelay: 2 * time.Millisecond, SyncErr: 2 * time.Millisecond},
+				{Name: "mid", ControlDelay: 2*time.Millisecond + spread/2, SyncErr: -time.Millisecond},
+				{Name: "far", ControlDelay: 2*time.Millisecond + spread, SyncErr: 2 * time.Millisecond, Drift: 50e-6},
+			}
+		}
+		resGlobal, err := docpn.Run(docpn.Config{Timeline: tl, Sites: sites(), Mode: docpn.GlobalClock})
+		if err != nil {
+			return nil, err
+		}
+		resLocal, err := docpn.Run(docpn.Config{Timeline: tl, Sites: sites(), Mode: docpn.LocalClock})
+		if err != nil {
+			return nil, err
+		}
+		g, l := steadySkew(resGlobal), steadySkew(resLocal)
+		winner := "DOCPN"
+		if l < g {
+			winner = "baseline"
+		} else if l == g {
+			winner = "tie"
+		}
+		t.AddRow(spread, g.Round(100*time.Microsecond), l.Round(100*time.Microsecond), winner)
+	}
+	t.Note("shape check: DOCPN flat (bounded by sync error); baseline grows with the delay spread; crossover where spread ≈ sync error")
+	return t, nil
+}
+
+// RunE4 measures user-interaction response: a skip issued mid-segment,
+// with priority arcs (DOCPN) versus waiting for the segment to end (plain
+// timed net). Expected shape: priority latency ≈ network round trip,
+// independent of remaining segment time; baseline latency ≈ remaining
+// segment time.
+func RunE4() (*Table, error) {
+	tl, err := LectureTimeline()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E4",
+		Title:  "skip-interaction latency: priority arcs vs plain net (first segment ends at 10s)",
+		Header: []string{"skip at", "latency (priority)", "latency (plain)", "speedup"},
+	}
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 5 * time.Second, 9 * time.Second} {
+		sites := []docpn.SiteSpec{{Name: "site", ControlDelay: 5 * time.Millisecond, SyncErr: time.Millisecond}}
+		ia := []docpn.Interaction{{At: at, Site: "site", Kind: docpn.Skip}}
+		resPrio, err := docpn.RunWith(docpn.Config{Timeline: tl, Sites: sites, Mode: docpn.GlobalClock, PrioritySkip: true}, ia)
+		if err != nil {
+			return nil, err
+		}
+		resPlain, err := docpn.RunWith(docpn.Config{Timeline: tl, Sites: sites, Mode: docpn.GlobalClock, PrioritySkip: false}, ia)
+		if err != nil {
+			return nil, err
+		}
+		p, q := resPrio.InteractionLatency[0], resPlain.InteractionLatency[0]
+		speedup := "n/a"
+		if p > 0 {
+			speedup = fmt.Sprintf("%.0fx", float64(q)/float64(p))
+		}
+		t.AddRow(at, p.Round(time.Millisecond), q.Round(time.Millisecond), speedup)
+	}
+	t.Note("priority latency is one network round trip regardless of when the user acts; the plain net waits out the remaining segment")
+	return t, nil
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableString(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow(1, "two")
+	tab.Note("shape held: %v", true)
+	out := tab.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "two", "note: shape held: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunF1(t *testing.T) {
+	tab, err := RunF1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	for _, want := range []string{"safe (1-bounded)", "true", "sync set @0s", "narration, slide", "clip"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("F1 missing %q:\n%s", want, got)
+		}
+	}
+	// Steady skew must be small (clock-disciplined).
+	if !strings.Contains(got, "3-site run finished") {
+		t.Errorf("F1:\n%s", got)
+	}
+}
+
+func TestRunF2CapabilityMatrix(t *testing.T) {
+	tab, err := RunF2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 snapshots × 2 members.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab.String())
+	}
+	// Free access: both can send.
+	if tab.Rows[0][2] != "true" || tab.Rows[1][2] != "true" {
+		t.Errorf("free access row: %v %v", tab.Rows[0], tab.Rows[1])
+	}
+	// Equal control (teacher holds): student muted.
+	if tab.Rows[2][2] != "true" || tab.Rows[3][2] != "false" {
+		t.Errorf("equal control rows: %v %v", tab.Rows[2], tab.Rows[3])
+	}
+	// After pass: student speaks, teacher muted.
+	if tab.Rows[4][2] != "false" || tab.Rows[5][2] != "true" {
+		t.Errorf("after pass rows: %v %v", tab.Rows[4], tab.Rows[5])
+	}
+	// Direct contact: both have the private window.
+	if tab.Rows[6][4] != "true" || tab.Rows[7][4] != "true" {
+		t.Errorf("direct contact rows: %v %v", tab.Rows[6], tab.Rows[7])
+	}
+	// The teacher's invite column is always true.
+	for i := 0; i < 8; i += 2 {
+		if tab.Rows[i][6] != "true" {
+			t.Errorf("teacher row %d invite = %v", i, tab.Rows[i])
+		}
+	}
+}
+
+func TestRunF3DetectsCrash(t *testing.T) {
+	tab, err := RunF3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	for _, want := range []string{"annotation broadcast", "all lights green", "crash detected"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("F3 missing %q:\n%s", want, got)
+		}
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "other lights still green" && row[1] != "true" {
+			t.Errorf("other lights: %v", row)
+		}
+	}
+}
+
+func TestRunE2ShapeHolds(t *testing.T) {
+	tab, err := RunE2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// With zero sync error, global-clock firing error must be far below
+	// the naive baseline's (which carries the ±40ms offsets).
+	zeroRow := tab.Rows[0]
+	g, err1 := time.ParseDuration(zeroRow[1])
+	naive, err2 := time.ParseDuration(zeroRow[2])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("row parse: %v %v (%v)", err1, err2, zeroRow)
+	}
+	if g >= naive {
+		t.Errorf("global error %v should beat naive %v", g, naive)
+	}
+	if g > time.Millisecond {
+		t.Errorf("perfect-sync global error = %v, want ~0", g)
+	}
+	if naive < 30*time.Millisecond {
+		t.Errorf("naive error = %v, should carry the ±40ms offset", naive)
+	}
+}
+
+func TestRunE3ShapeHolds(t *testing.T) {
+	tab, err := RunE3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline skew must grow with the spread; DOCPN must stay bounded.
+	firstBase, err := time.ParseDuration(tab.Rows[0][2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastBase, err := time.ParseDuration(tab.Rows[len(tab.Rows)-1][2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastBase <= firstBase {
+		t.Errorf("baseline skew should grow: %v → %v", firstBase, lastBase)
+	}
+	lastGlobal, err := time.ParseDuration(tab.Rows[len(tab.Rows)-1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastGlobal > 10*time.Millisecond {
+		t.Errorf("DOCPN skew at 100ms spread = %v, want bounded by sync error", lastGlobal)
+	}
+	// DOCPN must win at the largest spread.
+	if tab.Rows[len(tab.Rows)-1][3] != "DOCPN" {
+		t.Errorf("winner = %s", tab.Rows[len(tab.Rows)-1][3])
+	}
+}
+
+func TestRunE4ShapeHolds(t *testing.T) {
+	tab, err := RunE4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		p, err1 := time.ParseDuration(row[1])
+		q, err2 := time.ParseDuration(row[2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse: %v", row)
+		}
+		if p >= q {
+			t.Errorf("priority %v should beat plain %v (row %v)", p, q, row)
+		}
+		if p > 100*time.Millisecond {
+			t.Errorf("priority latency = %v, want ~10ms", p)
+		}
+	}
+}
+
+func TestRunE1SmallSweep(t *testing.T) {
+	tab, err := RunE1([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 { // 2 sizes × 4 modes
+		t.Fatalf("rows = %d:\n%s", len(tab.Rows), tab.String())
+	}
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[2])
+		if err != nil || n <= 0 {
+			t.Errorf("bad request count in %v", row)
+		}
+	}
+}
+
+func TestRunE5Regimes(t *testing.T) {
+	tab, err := RunE5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: normal rows keep 4 active; degraded rows suspend; the 0.05
+	// row aborts.
+	var sawNormal, sawDegraded, sawAbort bool
+	for _, row := range tab.Rows {
+		switch row[1] {
+		case "normal":
+			sawNormal = true
+			if row[3] != "4" {
+				t.Errorf("normal row active = %v", row)
+			}
+		case "degraded":
+			sawDegraded = true
+			if row[2] == "0" {
+				t.Errorf("degraded row should suspend someone: %v", row)
+			}
+		case "critical":
+			sawAbort = true
+			if row[5] != "true" {
+				t.Errorf("critical row should abort: %v", row)
+			}
+		}
+		// The baseline never sheds anyone.
+		if row[4] != "4" {
+			t.Errorf("baseline active = %v", row)
+		}
+	}
+	if !sawNormal || !sawDegraded || !sawAbort {
+		t.Errorf("missing regimes: normal=%v degraded=%v abort=%v\n%s", sawNormal, sawDegraded, sawAbort, tab.String())
+	}
+}
+
+func TestRunE6Fairness(t *testing.T) {
+	tab, err := RunE6([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	jain, err := strconv.ParseFloat(tab.Rows[0][2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jain < 0.95 {
+		t.Errorf("Jain = %v, want ≈ 1 for round-robin", jain)
+	}
+}
+
+func TestRunE7Isolation(t *testing.T) {
+	tab, err := RunE7(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.String()
+	if !strings.Contains(got, "isolation violations     0") && !strings.Contains(got, "isolation violations") {
+		t.Errorf("E7:\n%s", got)
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "isolation violations" && row[1] != "0" {
+			t.Errorf("violations = %s", row[1])
+		}
+	}
+}
+
+func TestRunE8Throughput(t *testing.T) {
+	tab, err := RunE8([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		rate, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || rate <= 0 {
+			t.Errorf("bad rate in %v", row)
+		}
+	}
+}
+
+func TestRunE9GatingHolds(t *testing.T) {
+	tab, err := RunE9([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Errorf("muted units leaked: %v", row)
+		}
+		rate, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || rate <= 0 {
+			t.Errorf("bad delivery rate: %v", row)
+		}
+	}
+}
+
+func TestRunA1OrderingAblation(t *testing.T) {
+	tab, err := RunA1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		// Server sequencing never inverts and always converges.
+		if row[3] != "0" || row[4] != "true" {
+			t.Errorf("row %d: server policy broken: %v", i, row)
+		}
+	}
+	// Zero skew: no timestamp inversions. Large skew: many.
+	if tab.Rows[0][2] != "0" {
+		t.Errorf("no-skew timestamps inverted: %v", tab.Rows[0])
+	}
+	big, err := strconv.Atoi(tab.Rows[3][2])
+	if err != nil || big == 0 {
+		t.Errorf("300ms skew should invert plenty: %v", tab.Rows[3])
+	}
+}

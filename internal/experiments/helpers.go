@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"dmps/internal/client"
+	"dmps/internal/group"
+)
+
+// memberID converts a wire member ID into the registry key type.
+func memberID(s string) group.MemberID { return group.MemberID(s) }
+
+// labClient embeds a lab client; experiments use it where they need the
+// crash simulation alongside the ordinary client API.
+type labClient struct {
+	*client.Client
+}
+
+// registryAlias shortens the registry type in fixture signatures.
+type registryAlias = group.Registry
+
+// newRegistry builds an empty group registry.
+func newRegistry() *group.Registry { return group.NewRegistry() }
+
+// registerMember registers an experiment member; "teacher" gets the chair
+// role, everyone else participates.
+func registerMember(r *group.Registry, id string, priority int) error {
+	role := group.Participant
+	if id == "teacher" {
+		role = group.Chair
+	}
+	return r.Register(group.Member{ID: group.MemberID(id), Name: id, Role: role, Priority: priority})
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/core"
+	"dmps/internal/floor"
+	"dmps/internal/media"
+)
+
+// RunE9 measures live media-stream relay under floor control: the Equal
+// Control holder streams synthetic video at full rate while every other
+// member's units are cut (the muted microphone); receivers count
+// delivered units. Expected shape: holder units fan out to all members;
+// zero muted units leak; relay rate scales with group size until the
+// central relay saturates.
+func RunE9(sizes []int) (*Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 8, 16}
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "media streaming under equal control (holder speaks, rest muted)",
+		Header: []string{"members", "units sent", "units delivered", "leaked (muted)", "deliveries/s"},
+	}
+	for _, n := range sizes {
+		lab, err := core.NewLab(core.Options{Seed: int64(n) * 13})
+		if err != nil {
+			return nil, err
+		}
+		clients := make([]*client.Client, 0, n)
+		for i := 0; i < n; i++ {
+			c, err := lab.NewClient(fmt.Sprintf("m%d", i), "participant", 2)
+			if err != nil {
+				lab.Close()
+				return nil, err
+			}
+			if err := c.Join("class"); err != nil {
+				lab.Close()
+				return nil, err
+			}
+			clients = append(clients, c)
+		}
+		holder := clients[0]
+		if _, err := holder.RequestFloor("class", floor.EqualControl, ""); err != nil {
+			lab.Close()
+			return nil, err
+		}
+		const units = 200
+		src, err := media.NewSyntheticSource(media.Object{
+			ID: "cam", Kind: media.Video, Duration: units * 100 * time.Millisecond,
+			Rate: 10, UnitBytes: 1400,
+		})
+		if err != nil {
+			lab.Close()
+			return nil, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		var sent int
+		var sendErr error
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sent, sendErr = holder.StreamSource("class", src, false)
+		}()
+		// Everyone else tries to stream too; their units must vanish.
+		for _, muted := range clients[1:] {
+			muted := muted
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 20; k++ {
+					_ = muted.SendMediaUnit("class", media.Unit{
+						ObjectID: "pirate-" + muted.MemberID(), Kind: media.Audio, Seq: k, Bytes: 160,
+					}, false)
+				}
+			}()
+		}
+		wg.Wait()
+		if sendErr != nil {
+			lab.Close()
+			return nil, sendErr
+		}
+		// Wait for the fan-out to land everywhere.
+		for _, c := range clients {
+			c := c
+			if err := waitUntil(10*time.Second, func() bool {
+				return c.MediaStats("class")["cam"].Units == sent
+			}); err != nil {
+				lab.Close()
+				return nil, fmt.Errorf("E9 fan-out (n=%d): %w", n, err)
+			}
+		}
+		elapsed := time.Since(start)
+		delivered := sent * n
+		leaked := 0
+		for _, c := range clients {
+			for obj, stat := range c.MediaStats("class") {
+				if obj != "cam" {
+					leaked += stat.Units
+				}
+			}
+		}
+		t.AddRow(n, sent, delivered, leaked,
+			fmt.Sprintf("%.0f", float64(delivered)/elapsed.Seconds()))
+		lab.Close()
+	}
+	t.Note("floor gating is enforced on the media path itself: muted members' units are dropped at the server, exactly like a cut microphone")
+	return t, nil
+}

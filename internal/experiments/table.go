@@ -1,0 +1,88 @@
+// Package experiments implements the reproduction harness: one runner per
+// figure (F1–F3) and per quantitative claim (E1–E8) of DESIGN.md §4.
+// Each runner returns a Table whose rows are what EXPERIMENTS.md records;
+// bench_test.go wraps the same runners as testing.B benchmarks and
+// cmd/dmps-bench prints them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's printable result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "F1", "E3").
+	ID string
+	// Title describes what the table shows.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Notes carry free-form observations (e.g. the expected shape and
+	// whether it held).
+	Notes []string
+}
+
+// AddRow appends a row of stringable cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends an observation.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

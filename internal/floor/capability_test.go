@@ -1,0 +1,93 @@
+package floor
+
+import (
+	"testing"
+
+	"dmps/internal/group"
+)
+
+// TestCapabilityMatrixFigure2 verifies the capability surface of the
+// paper's Figure 2 communication windows across roles and modes.
+func TestCapabilityMatrixFigure2(t *testing.T) {
+	_, _, c := classroom(t)
+
+	// Default (free access): everyone sends everywhere; only the chair
+	// (teacher) may invite.
+	for _, id := range []group.MemberID{"teacher", "alice", "carol"} {
+		cap := c.CapabilityFor("class", id)
+		if !cap.MessageWindow || !cap.Whiteboard {
+			t.Errorf("free access %s: %+v", id, cap)
+		}
+		if cap.PassToken || cap.PrivateWindow {
+			t.Errorf("free access %s has token/private: %+v", id, cap)
+		}
+		if wantInvite := id == "teacher"; cap.Invite != wantInvite {
+			t.Errorf("%s invite = %v", id, cap.Invite)
+		}
+	}
+
+	// Equal control: only the holder delivers and may pass the token.
+	mustGrant(t, c, "alice", EqualControl, "")
+	holderCap := c.CapabilityFor("class", "alice")
+	if !holderCap.MessageWindow || !holderCap.Whiteboard || !holderCap.PassToken {
+		t.Errorf("holder capabilities: %+v", holderCap)
+	}
+	mutedCap := c.CapabilityFor("class", "bob")
+	if mutedCap.MessageWindow || mutedCap.Whiteboard || mutedCap.PassToken {
+		t.Errorf("non-holder should be muted: %+v", mutedCap)
+	}
+	// The teacher is muted too (equal control applies to the chair), but
+	// retains the invite affordance.
+	teacherCap := c.CapabilityFor("class", "teacher")
+	if teacherCap.MessageWindow {
+		t.Errorf("teacher should be muted in equal control: %+v", teacherCap)
+	}
+	if !teacherCap.Invite {
+		t.Error("chair keeps invite")
+	}
+
+	// Direct contact composes: alice+teacher open a private window while
+	// equal control is active.
+	if _, err := c.Arbitrate("class", "alice", DirectContact, "teacher"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CapabilityFor("class", "alice"); !got.PrivateWindow {
+		t.Errorf("alice should have the private window: %+v", got)
+	}
+	if got := c.CapabilityFor("class", "bob"); got.PrivateWindow {
+		t.Errorf("bob is not in a contact pair: %+v", got)
+	}
+}
+
+func TestCapabilityGroupDiscussion(t *testing.T) {
+	reg, _, c := classroom(t)
+	if err := reg.CreateGroup("breakout", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := reg.Invite("breakout", "alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Respond(inv.ID, "bob", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Arbitrate("breakout", "alice", GroupDiscussion, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Creator (chair of the sub-group) can invite; both can send.
+	aliceCap := c.CapabilityFor("breakout", "alice")
+	if !aliceCap.MessageWindow || !aliceCap.Invite {
+		t.Errorf("creator: %+v", aliceCap)
+	}
+	bobCap := c.CapabilityFor("breakout", "bob")
+	if !bobCap.MessageWindow || bobCap.Invite {
+		t.Errorf("invitee: %+v", bobCap)
+	}
+}
+
+func TestCapabilityNonMember(t *testing.T) {
+	_, _, c := classroom(t)
+	if got := c.CapabilityFor("class", "ghost"); got != (Capability{}) {
+		t.Errorf("non-member capability = %+v", got)
+	}
+}

@@ -1,0 +1,419 @@
+// Package floor implements the paper's floor control mechanism: the four
+// control modes (Free Access, Equal Control, Group Discussion, Direct
+// Contact), the FCM-Arbitrate algorithm from the Z specification —
+// membership check, mode-specific grant rules with the Priority ≥ 2
+// requirement, and resource arbitration against the α/β thresholds — plus
+// Media-Suspend (suspend the lowest-priority member's media in the
+// degraded regime) and Abort-Arbitrate (refuse service below β).
+//
+// All floor requests are centralized: the DMPS server owns one Controller
+// and routes every client request through it, exactly as the paper's
+// group administration does. Granted requests then run "with the same
+// highest priority" as the global clock control.
+package floor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dmps/internal/group"
+	"dmps/internal/resource"
+)
+
+// Mode is one of the paper's four floor control modes.
+type Mode int
+
+const (
+	// FreeAccess: everyone (session chair and participants alike) may send
+	// to the message window or whiteboard; no privacy, no priority.
+	FreeAccess Mode = iota + 1
+	// EqualControl: exactly one member delivers at a time, holding the
+	// floor token until they pass it.
+	EqualControl
+	// GroupDiscussion: members of an invitation-built sub-group all send
+	// together; the creator is the sub-group's session chair.
+	GroupDiscussion
+	// DirectContact: two members communicate in a private window,
+	// concurrently with the other modes.
+	DirectContact
+)
+
+var modeNames = map[Mode]string{
+	FreeAccess:      "free-access",
+	EqualControl:    "equal-control",
+	GroupDiscussion: "group-discussion",
+	DirectContact:   "direct-contact",
+}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Valid reports whether m is a defined mode.
+func (m Mode) Valid() bool { _, ok := modeNames[m]; return ok }
+
+// MinTokenPriority is the Z spec's Priority ≥ 2 requirement for the
+// token-based modes (Equal Control, Group Discussion, Direct Contact).
+const MinTokenPriority = 2
+
+// Arbitration errors.
+var (
+	// ErrAborted is Abort-Arbitrate: availability fell below β, or a
+	// structural precondition failed.
+	ErrAborted = errors.New("floor: arbitration aborted")
+	// ErrNotMember is returned when the requester has not joined the
+	// group (G ∉ Joined-Groups).
+	ErrNotMember = errors.New("floor: requester not in group")
+	// ErrPriority is returned when the requester's priority is below the
+	// mode's requirement.
+	ErrPriority = errors.New("floor: insufficient priority")
+	// ErrBusy is returned in Equal Control when another member holds the
+	// floor; the request is queued.
+	ErrBusy = errors.New("floor: floor busy, request queued")
+	// ErrNotHolder is returned when a release/pass comes from a member
+	// not holding the floor.
+	ErrNotHolder = errors.New("floor: not the floor holder")
+	// ErrBadTarget is returned for Direct Contact without a valid target.
+	ErrBadTarget = errors.New("floor: invalid direct-contact target")
+)
+
+// Decision is the outcome of one arbitration.
+type Decision struct {
+	// Granted reports whether the requester received the floor/media.
+	Granted bool
+	// Mode echoes the arbitrated mode.
+	Mode Mode
+	// Holder is the Equal Control token holder after this arbitration.
+	Holder group.MemberID
+	// QueuePosition is the requester's 1-based queue slot when not
+	// granted in Equal Control (0 when granted).
+	QueuePosition int
+	// Suspended lists members whose media were suspended by Media-Suspend
+	// during this arbitration (degraded regime).
+	Suspended []group.MemberID
+	// Level is the resource regime the arbitration ran in.
+	Level resource.Level
+	// Target echoes the Direct Contact peer.
+	Target group.MemberID
+}
+
+// Controller is the centralized floor control state for all groups.
+// It is safe for concurrent use.
+type Controller struct {
+	registry *group.Registry
+	monitor  *resource.Monitor
+
+	mu     sync.Mutex
+	floors map[string]*floorState
+}
+
+type floorState struct {
+	mode      Mode
+	holder    group.MemberID
+	queue     []group.MemberID
+	suspended map[group.MemberID]bool
+	// contacts tracks direct-contact pairs: member → peer.
+	contacts map[group.MemberID]group.MemberID
+}
+
+// NewController returns a controller over the given group registry and
+// resource monitor. A nil monitor means resources are always Normal.
+func NewController(reg *group.Registry, mon *resource.Monitor) *Controller {
+	return &Controller{
+		registry: reg,
+		monitor:  mon,
+		floors:   make(map[string]*floorState),
+	}
+}
+
+func (c *Controller) state(groupID string) *floorState {
+	st, ok := c.floors[groupID]
+	if !ok {
+		st = &floorState{
+			mode:      FreeAccess,
+			suspended: make(map[group.MemberID]bool),
+			contacts:  make(map[group.MemberID]group.MemberID),
+		}
+		c.floors[groupID] = st
+	}
+	return st
+}
+
+// level reads the current resource regime.
+func (c *Controller) level() resource.Level {
+	if c.monitor == nil {
+		return resource.Normal
+	}
+	return c.monitor.Level()
+}
+
+// Arbitrate is FCM-Arbitrate: it processes one floor request by member M
+// for mode F in group G (with DM the Direct Contact peer when F is
+// DirectContact). The decision procedure follows the Z specification:
+//
+//  1. Resource-Available < β            → Abort-Arbitrate.
+//  2. G ∉ Joined-Groups(M)              → Abort-Arbitrate (ErrNotMember).
+//  3. β ≤ Resource-Available < α        → Media-Suspend the lowest-
+//     priority member holding media, then proceed.
+//  4. Mode rules:
+//     Free Access     → Media-Available for every member of G.
+//     Equal Control   → requester Priority ≥ 2; single holder; queue
+//     when busy.
+//     Group Discussion→ requester Priority ≥ 2; all sub-group members
+//     may send.
+//     Direct Contact  → requester and target Priority ≥ 2; both get a
+//     private channel.
+func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode, target group.MemberID) (Decision, error) {
+	if !mode.Valid() {
+		return Decision{}, fmt.Errorf("%w: unknown mode %d", ErrAborted, int(mode))
+	}
+	lvl := c.level()
+	dec := Decision{Mode: mode, Level: lvl}
+	// Step 1: Abort-Arbitrate below β.
+	if lvl == resource.Critical {
+		return dec, fmt.Errorf("%w: resource availability below β", ErrAborted)
+	}
+	// Step 2: membership.
+	if !c.registry.IsMember(groupID, member) {
+		return dec, fmt.Errorf("%w: %q in %q (%w)", ErrNotMember, member, groupID, ErrAborted)
+	}
+	requester, err := c.registry.Member(member)
+	if err != nil {
+		return dec, fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	// Step 3: Media-Suspend in the degraded regime.
+	if lvl == resource.Degraded {
+		if victim, ok := c.suspendLowestLocked(groupID, st); ok {
+			dec.Suspended = append(dec.Suspended, victim)
+		}
+	}
+	// Step 4: mode rules.
+	switch mode {
+	case FreeAccess:
+		st.mode = FreeAccess
+		st.holder = ""
+		dec.Granted = true
+		return dec, nil
+	case EqualControl:
+		if requester.Priority < MinTokenPriority {
+			return dec, fmt.Errorf("%w: %d < %d", ErrPriority, requester.Priority, MinTokenPriority)
+		}
+		st.mode = EqualControl
+		switch {
+		case st.holder == "" || st.holder == member:
+			st.holder = member
+			dec.Granted = true
+			dec.Holder = member
+			return dec, nil
+		default:
+			// Queue the request; the holder passes the token later.
+			for i, q := range st.queue {
+				if q == member {
+					dec.Holder = st.holder
+					dec.QueuePosition = i + 1
+					return dec, fmt.Errorf("%w: position %d", ErrBusy, i+1)
+				}
+			}
+			st.queue = append(st.queue, member)
+			dec.Holder = st.holder
+			dec.QueuePosition = len(st.queue)
+			return dec, fmt.Errorf("%w: position %d", ErrBusy, len(st.queue))
+		}
+	case GroupDiscussion:
+		if requester.Priority < MinTokenPriority {
+			return dec, fmt.Errorf("%w: %d < %d", ErrPriority, requester.Priority, MinTokenPriority)
+		}
+		st.mode = GroupDiscussion
+		st.holder = ""
+		dec.Granted = true
+		return dec, nil
+	case DirectContact:
+		if requester.Priority < MinTokenPriority {
+			return dec, fmt.Errorf("%w: %d < %d", ErrPriority, requester.Priority, MinTokenPriority)
+		}
+		if target == "" || target == member {
+			return dec, fmt.Errorf("%w: %q", ErrBadTarget, target)
+		}
+		if !c.registry.IsMember(groupID, target) {
+			return dec, fmt.Errorf("%w: target %q not in %q", ErrBadTarget, target, groupID)
+		}
+		peer, err := c.registry.Member(target)
+		if err != nil {
+			return dec, fmt.Errorf("%w: %v", ErrBadTarget, err)
+		}
+		if peer.Priority < MinTokenPriority {
+			return dec, fmt.Errorf("%w: target priority %d < %d", ErrPriority, peer.Priority, MinTokenPriority)
+		}
+		st.contacts[member] = target
+		st.contacts[target] = member
+		dec.Granted = true
+		dec.Target = target
+		return dec, nil
+	default:
+		return dec, fmt.Errorf("%w: unhandled mode", ErrAborted)
+	}
+}
+
+// suspendLowestLocked implements Media-Suspend: choose the not-yet-
+// suspended member of the group with the lowest priority and suspend
+// their media. Reports the victim, or false when everyone is suspended.
+func (c *Controller) suspendLowestLocked(groupID string, st *floorState) (group.MemberID, bool) {
+	members, err := c.registry.GroupMembers(groupID)
+	if err != nil {
+		return "", false
+	}
+	best := -1
+	var victim group.MemberID
+	for _, m := range members {
+		if st.suspended[m.ID] {
+			continue
+		}
+		if best == -1 || m.Priority < best {
+			best = m.Priority
+			victim = m.ID
+		}
+	}
+	if best == -1 {
+		return "", false
+	}
+	st.suspended[victim] = true
+	return victim, true
+}
+
+// Release gives up the Equal Control floor; the token passes to the head
+// of the queue, if any. It returns the new holder ("" when the floor is
+// now free).
+func (c *Controller) Release(groupID string, member group.MemberID) (group.MemberID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	if st.holder != member {
+		return st.holder, fmt.Errorf("%w: holder is %q", ErrNotHolder, st.holder)
+	}
+	if len(st.queue) > 0 {
+		st.holder = st.queue[0]
+		st.queue = st.queue[1:]
+	} else {
+		st.holder = ""
+	}
+	return st.holder, nil
+}
+
+// Pass hands the Equal Control token from its holder directly to another
+// member ("until the floor control token passed by the holder"). The
+// recipient must be a group member with sufficient priority; if the
+// recipient was queued they are removed from the queue.
+func (c *Controller) Pass(groupID string, from, to group.MemberID) error {
+	if !c.registry.IsMember(groupID, to) {
+		return fmt.Errorf("%w: recipient %q not in %q", ErrNotMember, to, groupID)
+	}
+	recipient, err := c.registry.Member(to)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	if recipient.Priority < MinTokenPriority {
+		return fmt.Errorf("%w: recipient priority %d < %d", ErrPriority, recipient.Priority, MinTokenPriority)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	if st.holder != from {
+		return fmt.Errorf("%w: holder is %q", ErrNotHolder, st.holder)
+	}
+	st.holder = to
+	for i, q := range st.queue {
+		if q == to {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Holder returns the Equal Control token holder ("" when free).
+func (c *Controller) Holder(groupID string) group.MemberID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state(groupID).holder
+}
+
+// Queue returns the pending Equal Control requests in order.
+func (c *Controller) Queue(groupID string) []group.MemberID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	out := make([]group.MemberID, len(st.queue))
+	copy(out, st.queue)
+	return out
+}
+
+// ModeOf returns the group's current floor mode (FreeAccess by default).
+func (c *Controller) ModeOf(groupID string) Mode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state(groupID).mode
+}
+
+// ContactPeer returns the member's Direct Contact peer ("" when none).
+func (c *Controller) ContactPeer(groupID string, member group.MemberID) group.MemberID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state(groupID).contacts[member]
+}
+
+// EndContact tears down a direct-contact pair (idempotent).
+func (c *Controller) EndContact(groupID string, member group.MemberID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	peer := st.contacts[member]
+	delete(st.contacts, member)
+	if peer != "" && st.contacts[peer] == member {
+		delete(st.contacts, peer)
+	}
+}
+
+// MediaAvailable reports the Z spec's Media-Available(G, M): whether the
+// member's media are currently granted (not suspended).
+func (c *Controller) MediaAvailable(groupID string, member group.MemberID) bool {
+	if !c.registry.IsMember(groupID, member) {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.state(groupID).suspended[member]
+}
+
+// Suspended lists the group's suspended members, sorted.
+func (c *Controller) Suspended(groupID string) []group.MemberID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	out := make([]group.MemberID, 0, len(st.suspended))
+	for id, on := range st.suspended {
+		if on {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reinstate lifts all suspensions in a group — the server calls it when
+// the resource level returns to Normal.
+func (c *Controller) Reinstate(groupID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(groupID)
+	st.suspended = make(map[group.MemberID]bool)
+}

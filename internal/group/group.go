@@ -1,0 +1,400 @@
+// Package group implements the DMPS server's group administration: the
+// Member / Group / Member-Set structures of the paper's Z specification,
+// the Joined-Groups relation, session chairs, and the invitation protocol
+// of the Group Discussion floor mode ("a user can create a new group to
+// invite others... user B can make a decision to accept or not; if yes,
+// user B will be chosen as listen group of user A, and user A will be the
+// session chair in his small group").
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemberID identifies a participant.
+type MemberID string
+
+// Role distinguishes the session chair (the teacher in the distance-
+// learning scenario) from ordinary participants.
+type Role int
+
+const (
+	// Participant is an ordinary member (a student).
+	Participant Role = iota + 1
+	// Chair is a session chair (the teacher, or a sub-group creator).
+	Chair
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Participant:
+		return "participant"
+	case Chair:
+		return "chair"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Member is one participant. Priority follows the Z spec's INTEGER
+// priority; the token-based floor modes require Priority ≥ 2.
+type Member struct {
+	ID       MemberID
+	Name     string
+	Role     Role
+	Priority int
+}
+
+// Validate checks structural validity.
+func (m Member) Validate() error {
+	if m.ID == "" {
+		return fmt.Errorf("%w: empty member id", ErrInvalidMember)
+	}
+	if m.Role != Participant && m.Role != Chair {
+		return fmt.Errorf("%w: bad role %d", ErrInvalidMember, int(m.Role))
+	}
+	if m.Priority < 0 {
+		return fmt.Errorf("%w: negative priority", ErrInvalidMember)
+	}
+	return nil
+}
+
+// Registry errors.
+var (
+	// ErrInvalidMember is returned for structurally invalid members.
+	ErrInvalidMember = errors.New("group: invalid member")
+	// ErrUnknownMember is returned when a member ID is not registered.
+	ErrUnknownMember = errors.New("group: unknown member")
+	// ErrUnknownGroup is returned when a group ID does not exist.
+	ErrUnknownGroup = errors.New("group: unknown group")
+	// ErrDuplicate is returned when creating an existing group or
+	// registering an existing member.
+	ErrDuplicate = errors.New("group: already exists")
+	// ErrNotMember is returned when an operation requires membership the
+	// subject does not have.
+	ErrNotMember = errors.New("group: not a member")
+	// ErrInvite is returned for invalid invitation transitions.
+	ErrInvite = errors.New("group: invalid invitation")
+)
+
+// InviteStatus is an invitation's lifecycle state.
+type InviteStatus int
+
+const (
+	// Pending means the invitee has not answered.
+	Pending InviteStatus = iota + 1
+	// Accepted means the invitee joined the group.
+	Accepted
+	// Declined means the invitee refused.
+	Declined
+)
+
+// String implements fmt.Stringer.
+func (s InviteStatus) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Accepted:
+		return "accepted"
+	case Declined:
+		return "declined"
+	default:
+		return fmt.Sprintf("InviteStatus(%d)", int(s))
+	}
+}
+
+// Invitation is one pending or resolved invitation.
+type Invitation struct {
+	ID     int64
+	Group  string
+	From   MemberID
+	To     MemberID
+	Status InviteStatus
+}
+
+// Registry is the server's group administration: the directory of members,
+// the Group-Set, the Joined-Groups relation, and invitations. It is safe
+// for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	members    map[MemberID]Member
+	groups     map[string]*groupState
+	joined     map[MemberID]map[string]bool
+	invites    map[int64]*Invitation
+	nextInvite int64
+}
+
+type groupState struct {
+	id      string
+	chair   MemberID
+	members map[MemberID]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		members: make(map[MemberID]Member),
+		groups:  make(map[string]*groupState),
+		joined:  make(map[MemberID]map[string]bool),
+		invites: make(map[int64]*Invitation),
+	}
+}
+
+// Register adds a member to the directory.
+func (r *Registry) Register(m Member) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.members[m.ID]; exists {
+		return fmt.Errorf("%w: member %q", ErrDuplicate, m.ID)
+	}
+	r.members[m.ID] = m
+	r.joined[m.ID] = make(map[string]bool)
+	return nil
+}
+
+// Unregister removes a member everywhere (their groups included).
+func (r *Registry) Unregister(id MemberID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for gid := range r.joined[id] {
+		if g := r.groups[gid]; g != nil {
+			delete(g.members, id)
+		}
+	}
+	delete(r.joined, id)
+	delete(r.members, id)
+}
+
+// Member returns the directory entry.
+func (r *Registry) Member(id MemberID) (Member, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[id]
+	if !ok {
+		return Member{}, fmt.Errorf("%w: %q", ErrUnknownMember, id)
+	}
+	return m, nil
+}
+
+// Members lists the directory in ID order.
+func (r *Registry) Members() []Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Member, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CreateGroup creates a group chaired by the given member, who joins
+// automatically (the paper's sub-group creator becomes its session chair).
+func (r *Registry) CreateGroup(id string, chair MemberID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[chair]; !ok {
+		return fmt.Errorf("%w: chair %q", ErrUnknownMember, chair)
+	}
+	if _, exists := r.groups[id]; exists {
+		return fmt.Errorf("%w: group %q", ErrDuplicate, id)
+	}
+	r.groups[id] = &groupState{id: id, chair: chair, members: map[MemberID]bool{chair: true}}
+	r.joined[chair][id] = true
+	return nil
+}
+
+// DeleteGroup removes a group and all memberships in it.
+func (r *Registry) DeleteGroup(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, id)
+	}
+	for m := range g.members {
+		delete(r.joined[m], id)
+	}
+	delete(r.groups, id)
+	return nil
+}
+
+// Join adds a member to a group.
+func (r *Registry) Join(groupID string, member MemberID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.joinLocked(groupID, member)
+}
+
+func (r *Registry) joinLocked(groupID string, member MemberID) error {
+	g, ok := r.groups[groupID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
+	}
+	if _, ok := r.members[member]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownMember, member)
+	}
+	g.members[member] = true
+	r.joined[member][groupID] = true
+	return nil
+}
+
+// Leave removes a member from a group. The chair leaving does not dissolve
+// the group; the server may later re-chair or delete it.
+func (r *Registry) Leave(groupID string, member MemberID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[groupID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
+	}
+	if !g.members[member] {
+		return fmt.Errorf("%w: %q in %q", ErrNotMember, member, groupID)
+	}
+	delete(g.members, member)
+	delete(r.joined[member], groupID)
+	return nil
+}
+
+// IsMember reports the Joined-Groups test of the Z spec:
+// G ∈ Joined-Groups(M).
+func (r *Registry) IsMember(groupID string, member MemberID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[groupID]
+	return ok && g.members[member]
+}
+
+// JoinedGroups returns the groups a member has joined, sorted.
+func (r *Registry) JoinedGroups(member MemberID) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for gid := range r.joined[member] {
+		out = append(out, gid)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GroupMembers returns a group's members, sorted by ID.
+func (r *Registry) GroupMembers(groupID string) ([]Member, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[groupID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
+	}
+	out := make([]Member, 0, len(g.members))
+	for id := range g.members {
+		out = append(out, r.members[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Chair returns the group's session chair.
+func (r *Registry) Chair(groupID string) (MemberID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[groupID]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
+	}
+	return g.chair, nil
+}
+
+// Groups lists all group IDs, sorted.
+func (r *Registry) Groups() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.groups))
+	for id := range r.groups {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invite creates an invitation from a group member to a directory member.
+// The inviter must belong to the group.
+func (r *Registry) Invite(groupID string, from, to MemberID) (Invitation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.groups[groupID]
+	if !ok {
+		return Invitation{}, fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
+	}
+	if !g.members[from] {
+		return Invitation{}, fmt.Errorf("%w: inviter %q not in %q", ErrNotMember, from, groupID)
+	}
+	if _, ok := r.members[to]; !ok {
+		return Invitation{}, fmt.Errorf("%w: invitee %q", ErrUnknownMember, to)
+	}
+	if g.members[to] {
+		return Invitation{}, fmt.Errorf("%w: %q already in %q", ErrDuplicate, to, groupID)
+	}
+	r.nextInvite++
+	inv := &Invitation{ID: r.nextInvite, Group: groupID, From: from, To: to, Status: Pending}
+	r.invites[inv.ID] = inv
+	return *inv, nil
+}
+
+// Respond resolves an invitation; accepting joins the invitee to the
+// group. Only the invitee may respond, and only once.
+func (r *Registry) Respond(inviteID int64, responder MemberID, accept bool) (Invitation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inv, ok := r.invites[inviteID]
+	if !ok {
+		return Invitation{}, fmt.Errorf("%w: id %d", ErrInvite, inviteID)
+	}
+	if inv.To != responder {
+		return Invitation{}, fmt.Errorf("%w: %q is not the invitee", ErrInvite, responder)
+	}
+	if inv.Status != Pending {
+		return Invitation{}, fmt.Errorf("%w: already %v", ErrInvite, inv.Status)
+	}
+	if !accept {
+		inv.Status = Declined
+		return *inv, nil
+	}
+	if err := r.joinLocked(inv.Group, inv.To); err != nil {
+		return Invitation{}, err
+	}
+	inv.Status = Accepted
+	return *inv, nil
+}
+
+// Invitation returns the current state of an invitation.
+func (r *Registry) Invitation(id int64) (Invitation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inv, ok := r.invites[id]
+	if !ok {
+		return Invitation{}, fmt.Errorf("%w: id %d", ErrInvite, id)
+	}
+	return *inv, nil
+}
+
+// PendingInvites lists pending invitations addressed to a member, sorted
+// by ID.
+func (r *Registry) PendingInvites(to MemberID) []Invitation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Invitation
+	for _, inv := range r.invites {
+		if inv.To == to && inv.Status == Pending {
+			out = append(out, *inv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

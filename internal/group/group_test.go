@@ -1,0 +1,262 @@
+package group
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func reg(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	for _, m := range []Member{
+		{ID: "teacher", Name: "Prof. Shih", Role: Chair, Priority: 5},
+		{ID: "alice", Name: "Alice", Role: Participant, Priority: 2},
+		{ID: "bob", Name: "Bob", Role: Participant, Priority: 2},
+		{ID: "carol", Name: "Carol", Role: Participant, Priority: 1},
+	} {
+		if err := r.Register(m); err != nil {
+			t.Fatalf("Register(%s): %v", m.ID, err)
+		}
+	}
+	return r
+}
+
+func TestMemberValidate(t *testing.T) {
+	good := Member{ID: "x", Role: Participant, Priority: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good: %v", err)
+	}
+	for i, m := range []Member{
+		{Role: Participant},                  // no ID
+		{ID: "x", Role: Role(0)},             // bad role
+		{ID: "x", Role: Chair, Priority: -1}, // negative priority
+	} {
+		if err := m.Validate(); !errors.Is(err, ErrInvalidMember) {
+			t.Errorf("bad[%d]: %v", i, err)
+		}
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	r := reg(t)
+	err := r.Register(Member{ID: "alice", Role: Participant})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCreateJoinLeave(t *testing.T) {
+	r := reg(t)
+	if err := r.CreateGroup("class", "teacher"); err != nil {
+		t.Fatal(err)
+	}
+	// Chair joined automatically.
+	if !r.IsMember("class", "teacher") {
+		t.Error("chair should be a member")
+	}
+	if chair, _ := r.Chair("class"); chair != "teacher" {
+		t.Errorf("chair = %q", chair)
+	}
+	if err := r.Join("class", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Join("class", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	members, err := r.GroupMembers("class")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 || members[0].ID != "alice" || members[2].ID != "teacher" {
+		t.Errorf("members = %v", members)
+	}
+	if err := r.Leave("class", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if r.IsMember("class", "alice") {
+		t.Error("alice left")
+	}
+	if err := r.Leave("class", "alice"); !errors.Is(err, ErrNotMember) {
+		t.Errorf("double leave: %v", err)
+	}
+}
+
+func TestJoinedGroupsRelation(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("class", "teacher")
+	_ = r.CreateGroup("breakout", "alice")
+	_ = r.Join("class", "alice")
+	got := r.JoinedGroups("alice")
+	if len(got) != 2 || got[0] != "breakout" || got[1] != "class" {
+		t.Errorf("JoinedGroups = %v", got)
+	}
+	if got := r.JoinedGroups("carol"); len(got) != 0 {
+		t.Errorf("carol joined nothing: %v", got)
+	}
+}
+
+func TestCreateGroupErrors(t *testing.T) {
+	r := reg(t)
+	if err := r.CreateGroup("g", "ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("unknown chair: %v", err)
+	}
+	_ = r.CreateGroup("g", "teacher")
+	if err := r.CreateGroup("g", "alice"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate group: %v", err)
+	}
+	if err := r.Join("nope", "alice"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("unknown group: %v", err)
+	}
+	if err := r.Join("g", "ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("unknown member: %v", err)
+	}
+}
+
+func TestDeleteGroupCleansJoined(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("g", "teacher")
+	_ = r.Join("g", "alice")
+	if err := r.DeleteGroup("g"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.JoinedGroups("alice")) != 0 || len(r.JoinedGroups("teacher")) != 0 {
+		t.Error("joined relation not cleaned")
+	}
+	if err := r.DeleteGroup("g"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestUnregisterRemovesEverywhere(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("g", "teacher")
+	_ = r.Join("g", "alice")
+	r.Unregister("alice")
+	if r.IsMember("g", "alice") {
+		t.Error("membership should be gone")
+	}
+	if _, err := r.Member("alice"); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("directory entry should be gone: %v", err)
+	}
+}
+
+func TestInvitationLifecycle(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("breakout", "alice")
+	inv, err := r.Invite("breakout", "alice", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Status != Pending {
+		t.Errorf("status = %v", inv.Status)
+	}
+	pend := r.PendingInvites("bob")
+	if len(pend) != 1 || pend[0].ID != inv.ID {
+		t.Errorf("pending = %v", pend)
+	}
+	// Only the invitee can respond.
+	if _, err := r.Respond(inv.ID, "carol", true); !errors.Is(err, ErrInvite) {
+		t.Errorf("wrong responder: %v", err)
+	}
+	resolved, err := r.Respond(inv.ID, "bob", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Status != Accepted {
+		t.Errorf("status = %v", resolved.Status)
+	}
+	if !r.IsMember("breakout", "bob") {
+		t.Error("accept should join")
+	}
+	// No double response.
+	if _, err := r.Respond(inv.ID, "bob", false); !errors.Is(err, ErrInvite) {
+		t.Errorf("double respond: %v", err)
+	}
+}
+
+func TestInvitationDecline(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("breakout", "alice")
+	inv, _ := r.Invite("breakout", "alice", "carol")
+	resolved, err := r.Respond(inv.ID, "carol", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.Status != Declined {
+		t.Errorf("status = %v", resolved.Status)
+	}
+	if r.IsMember("breakout", "carol") {
+		t.Error("decline must not join")
+	}
+	if got, _ := r.Invitation(inv.ID); got.Status != Declined {
+		t.Errorf("stored status = %v", got.Status)
+	}
+}
+
+func TestInviteErrors(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("g", "teacher")
+	if _, err := r.Invite("nope", "teacher", "alice"); !errors.Is(err, ErrUnknownGroup) {
+		t.Errorf("unknown group: %v", err)
+	}
+	if _, err := r.Invite("g", "alice", "bob"); !errors.Is(err, ErrNotMember) {
+		t.Errorf("non-member inviter: %v", err)
+	}
+	if _, err := r.Invite("g", "teacher", "ghost"); !errors.Is(err, ErrUnknownMember) {
+		t.Errorf("unknown invitee: %v", err)
+	}
+	_ = r.Join("g", "alice")
+	if _, err := r.Invite("g", "teacher", "alice"); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("already member: %v", err)
+	}
+	if _, err := r.Respond(999, "alice", true); !errors.Is(err, ErrInvite) {
+		t.Errorf("unknown invite: %v", err)
+	}
+}
+
+func TestConcurrentJoins(t *testing.T) {
+	r := reg(t)
+	_ = r.CreateGroup("g", "teacher")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				_ = r.Join("g", "alice")
+				_ = r.Leave("g", "alice")
+			}
+		}()
+	}
+	wg.Wait()
+	// Must end in a consistent state (member or not, but not corrupted).
+	_ = r.IsMember("g", "alice")
+	if !r.IsMember("g", "teacher") {
+		t.Error("teacher membership corrupted")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if Participant.String() != "participant" || Chair.String() != "chair" {
+		t.Error("role strings")
+	}
+	if Pending.String() != "pending" || Accepted.String() != "accepted" || Declined.String() != "declined" {
+		t.Error("status strings")
+	}
+	if Role(9).String() == "" || InviteStatus(9).String() == "" {
+		t.Error("unknown enums should render")
+	}
+}
+
+func TestMembersDirectory(t *testing.T) {
+	r := reg(t)
+	all := r.Members()
+	if len(all) != 4 || all[0].ID != "alice" || all[3].ID != "teacher" {
+		t.Errorf("Members = %v", all)
+	}
+	m, err := r.Member("bob")
+	if err != nil || m.Name != "Bob" {
+		t.Errorf("Member(bob) = %v, %v", m, err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package media models the multimedia objects a DMPS presentation carries:
+// typed objects with playout durations and unit rates, synthetic sources
+// standing in for capture devices, and the playout-skew measurements used
+// by the synchronization experiments.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Kind classifies a media object.
+type Kind int
+
+const (
+	// Text is a message-window text object.
+	Text Kind = iota + 1
+	// Image is a still image (slide).
+	Image
+	// Audio is a continuous audio stream.
+	Audio
+	// Video is a continuous video stream.
+	Video
+	// Annotation is a whiteboard/annotation stroke stream.
+	Annotation
+	// Control is a control signal (floor grants, clock ticks) carried on
+	// media channels.
+	Control
+)
+
+var kindNames = map[Kind]string{
+	Text:       "text",
+	Image:      "image",
+	Audio:      "audio",
+	Video:      "video",
+	Annotation: "annotation",
+	Control:    "control",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool { _, ok := kindNames[k]; return ok }
+
+// Continuous reports whether the kind is a continuous stream (has a unit
+// rate) rather than a discrete object.
+func (k Kind) Continuous() bool { return k == Audio || k == Video || k == Annotation }
+
+// Validation errors.
+var (
+	// ErrInvalidObject is returned for structurally invalid media objects.
+	ErrInvalidObject = errors.New("media: invalid object")
+	// ErrExhausted is returned by sources that have produced all units.
+	ErrExhausted = errors.New("media: source exhausted")
+)
+
+// Object is one multimedia object scheduled by a presentation: its
+// identity, kind, total playout duration, and (for continuous kinds) the
+// unit rate.
+type Object struct {
+	ID       string
+	Kind     Kind
+	Name     string
+	Duration time.Duration
+	// Rate is units per second for continuous kinds; ignored otherwise.
+	Rate float64
+	// UnitBytes is the nominal payload size of one unit.
+	UnitBytes int
+}
+
+// Validate checks structural validity.
+func (o Object) Validate() error {
+	if o.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrInvalidObject)
+	}
+	if !o.Kind.Valid() {
+		return fmt.Errorf("%w: bad kind %d", ErrInvalidObject, int(o.Kind))
+	}
+	if o.Duration < 0 {
+		return fmt.Errorf("%w: negative duration %v", ErrInvalidObject, o.Duration)
+	}
+	if o.Kind.Continuous() && o.Rate <= 0 {
+		return fmt.Errorf("%w: continuous kind %v needs positive rate", ErrInvalidObject, o.Kind)
+	}
+	return nil
+}
+
+// Units reports how many units the object comprises: rate×duration for
+// continuous kinds, 1 for discrete ones.
+func (o Object) Units() int {
+	if !o.Kind.Continuous() {
+		return 1
+	}
+	n := int(o.Rate * o.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// UnitInterval is the media-time spacing between consecutive units.
+func (o Object) UnitInterval() time.Duration {
+	if !o.Kind.Continuous() || o.Rate <= 0 {
+		return o.Duration
+	}
+	return time.Duration(float64(time.Second) / o.Rate)
+}
+
+// Unit is one transmissible piece of a media object.
+type Unit struct {
+	ObjectID string
+	Kind     Kind
+	Seq      int
+	// MediaTime is the unit's presentation timestamp relative to the
+	// object's start.
+	MediaTime time.Duration
+	Bytes     int
+}
+
+// Source produces the units of one object in order.
+type Source interface {
+	// Object describes what this source produces.
+	Object() Object
+	// Next returns the next unit, or ErrExhausted after the last.
+	Next() (Unit, error)
+	// Remaining reports how many units are still to come.
+	Remaining() int
+}
+
+// SyntheticSource generates the declared number of units at the declared
+// rate — the stand-in for a capture device or media file (DESIGN.md
+// substitution table). It is not safe for concurrent use.
+type SyntheticSource struct {
+	obj  Object
+	next int
+	n    int
+}
+
+// NewSyntheticSource validates obj and returns a source for it.
+func NewSyntheticSource(obj Object) (*SyntheticSource, error) {
+	if err := obj.Validate(); err != nil {
+		return nil, err
+	}
+	return &SyntheticSource{obj: obj, n: obj.Units()}, nil
+}
+
+// Object implements Source.
+func (s *SyntheticSource) Object() Object { return s.obj }
+
+// Remaining implements Source.
+func (s *SyntheticSource) Remaining() int { return s.n - s.next }
+
+// Next implements Source.
+func (s *SyntheticSource) Next() (Unit, error) {
+	if s.next >= s.n {
+		return Unit{}, fmt.Errorf("%w: %s after %d units", ErrExhausted, s.obj.ID, s.n)
+	}
+	u := Unit{
+		ObjectID:  s.obj.ID,
+		Kind:      s.obj.Kind,
+		Seq:       s.next,
+		MediaTime: time.Duration(s.next) * s.obj.UnitInterval(),
+		Bytes:     s.obj.UnitBytes,
+	}
+	s.next++
+	return u, nil
+}
+
+// Reset rewinds the source to the first unit.
+func (s *SyntheticSource) Reset() { s.next = 0 }
+
+var _ Source = (*SyntheticSource)(nil)

@@ -1,0 +1,181 @@
+package media
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Text: "text", Image: "image", Audio: "audio",
+		Video: "video", Annotation: "annotation", Control: "control",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	if Kind(0).Valid() || Kind(99).Valid() {
+		t.Error("zero/unknown kinds must be invalid")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown String = %q", Kind(99).String())
+	}
+}
+
+func TestKindContinuous(t *testing.T) {
+	for _, k := range []Kind{Audio, Video, Annotation} {
+		if !k.Continuous() {
+			t.Errorf("%v should be continuous", k)
+		}
+	}
+	for _, k := range []Kind{Text, Image, Control} {
+		if k.Continuous() {
+			t.Errorf("%v should be discrete", k)
+		}
+	}
+}
+
+func TestObjectValidate(t *testing.T) {
+	good := Object{ID: "v1", Kind: Video, Duration: 10 * time.Second, Rate: 30}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid object rejected: %v", err)
+	}
+	bad := []Object{
+		{Kind: Video, Duration: time.Second, Rate: 30},          // no ID
+		{ID: "x", Kind: Kind(0), Duration: time.Second},         // bad kind
+		{ID: "x", Kind: Text, Duration: -time.Second},           // negative duration
+		{ID: "x", Kind: Audio, Duration: time.Second, Rate: 0},  // continuous, no rate
+		{ID: "x", Kind: Video, Duration: time.Second, Rate: -5}, // negative rate
+	}
+	for i, o := range bad {
+		if err := o.Validate(); !errors.Is(err, ErrInvalidObject) {
+			t.Errorf("bad[%d]: err = %v, want ErrInvalidObject", i, err)
+		}
+	}
+}
+
+func TestObjectUnits(t *testing.T) {
+	video := Object{ID: "v", Kind: Video, Duration: 2 * time.Second, Rate: 30}
+	if got := video.Units(); got != 60 {
+		t.Errorf("video units = %d, want 60", got)
+	}
+	text := Object{ID: "t", Kind: Text, Duration: 5 * time.Second}
+	if got := text.Units(); got != 1 {
+		t.Errorf("text units = %d, want 1", got)
+	}
+	tiny := Object{ID: "a", Kind: Audio, Duration: time.Millisecond, Rate: 10}
+	if got := tiny.Units(); got != 1 {
+		t.Errorf("tiny units = %d, want at least 1", got)
+	}
+}
+
+func TestObjectUnitInterval(t *testing.T) {
+	video := Object{ID: "v", Kind: Video, Duration: time.Second, Rate: 25}
+	if got := video.UnitInterval(); got != 40*time.Millisecond {
+		t.Errorf("interval = %v, want 40ms", got)
+	}
+	img := Object{ID: "i", Kind: Image, Duration: 3 * time.Second}
+	if got := img.UnitInterval(); got != 3*time.Second {
+		t.Errorf("discrete interval = %v", got)
+	}
+}
+
+func TestSyntheticSourceProducesAll(t *testing.T) {
+	obj := Object{ID: "v", Kind: Video, Duration: time.Second, Rate: 10, UnitBytes: 1400}
+	src, err := NewSyntheticSource(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Remaining() != 10 {
+		t.Errorf("Remaining = %d", src.Remaining())
+	}
+	for i := 0; i < 10; i++ {
+		u, err := src.Next()
+		if err != nil {
+			t.Fatalf("Next(%d): %v", i, err)
+		}
+		if u.Seq != i || u.ObjectID != "v" || u.Kind != Video || u.Bytes != 1400 {
+			t.Errorf("unit %d = %+v", i, u)
+		}
+		if want := time.Duration(i) * 100 * time.Millisecond; u.MediaTime != want {
+			t.Errorf("unit %d MediaTime = %v, want %v", i, u.MediaTime, want)
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, ErrExhausted) {
+		t.Errorf("after exhaustion: %v", err)
+	}
+	src.Reset()
+	if src.Remaining() != 10 {
+		t.Error("Reset should rewind")
+	}
+}
+
+func TestSyntheticSourceRejectsInvalid(t *testing.T) {
+	if _, err := NewSyntheticSource(Object{}); !errors.Is(err, ErrInvalidObject) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSkewMeterInterSite(t *testing.T) {
+	var m SkewMeter
+	t0 := time.Date(2001, 4, 16, 0, 0, 0, 0, time.UTC)
+	m.Add(PlayoutRecord{Site: "a", ObjectID: "v", Seq: 0, PlayedAt: t0})
+	m.Add(PlayoutRecord{Site: "b", ObjectID: "v", Seq: 0, PlayedAt: t0.Add(30 * time.Millisecond)})
+	m.Add(PlayoutRecord{Site: "c", ObjectID: "v", Seq: 0, PlayedAt: t0.Add(10 * time.Millisecond)})
+	m.Add(PlayoutRecord{Site: "a", ObjectID: "v", Seq: 1, PlayedAt: t0.Add(100 * time.Millisecond)})
+	m.Add(PlayoutRecord{Site: "b", ObjectID: "v", Seq: 1, PlayedAt: t0.Add(105 * time.Millisecond)})
+	if got := m.MaxInterSiteSkew(); got != 30*time.Millisecond {
+		t.Errorf("inter-site skew = %v, want 30ms", got)
+	}
+	if m.Len() != 5 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestSkewMeterInterSiteSingleSite(t *testing.T) {
+	var m SkewMeter
+	t0 := time.Now()
+	m.Add(PlayoutRecord{Site: "a", ObjectID: "v", Seq: 0, PlayedAt: t0})
+	m.Add(PlayoutRecord{Site: "a", ObjectID: "v", Seq: 1, PlayedAt: t0.Add(time.Second)})
+	if got := m.MaxInterSiteSkew(); got != 0 {
+		t.Errorf("single site skew = %v, want 0", got)
+	}
+}
+
+func TestSkewMeterInterMedia(t *testing.T) {
+	var m SkewMeter
+	t0 := time.Date(2001, 4, 16, 0, 0, 0, 0, time.UTC)
+	// Audio and video units with the same media time at the same site,
+	// played 15ms apart: lip-sync error.
+	m.Add(PlayoutRecord{Site: "a", ObjectID: "aud", MediaTime: time.Second, PlayedAt: t0})
+	m.Add(PlayoutRecord{Site: "a", ObjectID: "vid", MediaTime: time.Second, PlayedAt: t0.Add(15 * time.Millisecond)})
+	// Different site: must not mix.
+	m.Add(PlayoutRecord{Site: "b", ObjectID: "aud", MediaTime: time.Second, PlayedAt: t0.Add(500 * time.Millisecond)})
+	if got := m.MaxInterMediaSkew(); got != 15*time.Millisecond {
+		t.Errorf("inter-media skew = %v, want 15ms", got)
+	}
+}
+
+func TestSkewMeterJitter(t *testing.T) {
+	var m SkewMeter
+	t0 := time.Date(2001, 4, 16, 0, 0, 0, 0, time.UTC)
+	nominal := 100 * time.Millisecond
+	// Units at 0, 100, 210, 300 ms: one gap deviates by 10ms, one by 10ms.
+	at := []time.Duration{0, 100 * time.Millisecond, 210 * time.Millisecond, 300 * time.Millisecond}
+	for i, d := range at {
+		m.Add(PlayoutRecord{Site: "a", ObjectID: "v", Seq: i, PlayedAt: t0.Add(d)})
+	}
+	got := m.JitterP95(nominal)
+	if got != 10*time.Millisecond {
+		t.Errorf("jitter p95 = %v, want 10ms", got)
+	}
+	var empty SkewMeter
+	if empty.JitterP95(nominal) != 0 {
+		t.Error("empty jitter should be 0")
+	}
+}

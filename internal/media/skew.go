@@ -1,0 +1,138 @@
+package media
+
+import (
+	"sort"
+	"time"
+)
+
+// PlayoutRecord is one unit's actual playout instant at a site.
+type PlayoutRecord struct {
+	Site      string
+	ObjectID  string
+	Seq       int
+	MediaTime time.Duration
+	PlayedAt  time.Time
+}
+
+// SkewMeter collects playout records across sites/streams and computes
+// inter-media and inter-site synchronization skew — the quantity the
+// paper's global clock is meant to bound. It is not safe for concurrent
+// use; each experiment drives it from its event loop.
+type SkewMeter struct {
+	records []PlayoutRecord
+}
+
+// Add records one playout observation.
+func (m *SkewMeter) Add(r PlayoutRecord) { m.records = append(m.records, r) }
+
+// Len reports the number of observations.
+func (m *SkewMeter) Len() int { return len(m.records) }
+
+// MaxInterSiteSkew returns, over all (object, seq) unit identities played
+// at 2+ sites, the maximum spread between the earliest and latest playout
+// instants. This is the distributed-synchronization error: with a perfect
+// global clock every site plays the same unit at the same global instant.
+func (m *SkewMeter) MaxInterSiteSkew() time.Duration {
+	type key struct {
+		obj string
+		seq int
+	}
+	groups := make(map[key][]time.Time)
+	for _, r := range m.records {
+		k := key{r.ObjectID, r.Seq}
+		groups[k] = append(groups[k], r.PlayedAt)
+	}
+	var max time.Duration
+	for _, times := range groups {
+		if len(times) < 2 {
+			continue
+		}
+		lo, hi := times[0], times[0]
+		for _, t := range times[1:] {
+			if t.Before(lo) {
+				lo = t
+			}
+			if t.After(hi) {
+				hi = t
+			}
+		}
+		if d := hi.Sub(lo); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxInterMediaSkew returns, per site, the worst misalignment between two
+// streams: for every pair of records at the same site with equal
+// MediaTime, the playout-instant difference. This is the lip-sync error
+// within one site.
+func (m *SkewMeter) MaxInterMediaSkew() time.Duration {
+	type key struct {
+		site string
+		mt   time.Duration
+	}
+	groups := make(map[key][]time.Time)
+	for _, r := range m.records {
+		k := key{r.Site, r.MediaTime}
+		groups[k] = append(groups[k], r.PlayedAt)
+	}
+	var max time.Duration
+	for _, times := range groups {
+		if len(times) < 2 {
+			continue
+		}
+		lo, hi := times[0], times[0]
+		for _, t := range times[1:] {
+			if t.Before(lo) {
+				lo = t
+			}
+			if t.After(hi) {
+				hi = t
+			}
+		}
+		if d := hi.Sub(lo); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// JitterP95 returns the 95th percentile of successive inter-playout gaps'
+// deviation from the nominal unit interval, per object, worst over
+// objects and sites. Smooth playout has near-zero jitter.
+func (m *SkewMeter) JitterP95(nominal time.Duration) time.Duration {
+	type key struct {
+		site string
+		obj  string
+	}
+	bySeq := make(map[key][]PlayoutRecord)
+	for _, r := range m.records {
+		k := key{r.Site, r.ObjectID}
+		bySeq[k] = append(bySeq[k], r)
+	}
+	var deviations []time.Duration
+	for _, recs := range bySeq {
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+		for i := 1; i < len(recs); i++ {
+			gap := recs[i].PlayedAt.Sub(recs[i-1].PlayedAt)
+			dev := gap - nominal
+			if dev < 0 {
+				dev = -dev
+			}
+			deviations = append(deviations, dev)
+		}
+	}
+	if len(deviations) == 0 {
+		return 0
+	}
+	sort.Slice(deviations, func(i, j int) bool { return deviations[i] < deviations[j] })
+	idx := int(float64(len(deviations))*0.95) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(deviations) {
+		idx = len(deviations) - 1
+	}
+	return deviations[idx]
+}

@@ -1,0 +1,242 @@
+package ocpn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dmps/internal/media"
+)
+
+// Relation is one of Allen's temporal interval relations between two media
+// objects A and B. The seven canonical relations are provided; the six
+// inverses are expressed by swapping the operands.
+type Relation int
+
+const (
+	// Equals: A and B start and end together (durations must match).
+	Equals Relation = iota + 1
+	// Before: B starts Gap after A ends (Gap ≥ 0; Gap = 0 degenerates to
+	// Meets).
+	Before
+	// Meets: B starts exactly when A ends.
+	Meets
+	// Overlaps: B starts Gap before A ends and outlives A
+	// (0 < Gap < min(dA, dB)).
+	Overlaps
+	// During: B runs strictly inside A, starting Gap after A starts
+	// (Gap > 0, Gap + dB < dA).
+	During
+	// Starts: A and B start together and A ends first (dA < dB).
+	Starts
+	// Finishes: A and B end together and A starts later (dA < dB).
+	Finishes
+)
+
+// String implements fmt.Stringer.
+func (r Relation) String() string {
+	switch r {
+	case Equals:
+		return "equals"
+	case Before:
+		return "before"
+	case Meets:
+		return "meets"
+	case Overlaps:
+		return "overlaps"
+	case During:
+		return "during"
+	case Starts:
+		return "starts"
+	case Finishes:
+		return "finishes"
+	default:
+		return fmt.Sprintf("Relation(%d)", int(r))
+	}
+}
+
+// Constraint relates object A to object B by Rel. Gap carries the
+// relation's free parameter: the lead for Before, the overlap for
+// Overlaps, and the offset for During; it is ignored elsewhere.
+type Constraint struct {
+	A, B string
+	Rel  Relation
+	Gap  time.Duration
+}
+
+// Spec is a relation-based presentation specification: a set of media
+// objects plus pairwise Allen constraints. One object (Anchor, or the
+// first object when empty) is pinned to presentation time zero; every
+// other object's start time must be derivable through the constraint
+// graph.
+type Spec struct {
+	Objects     []media.Object
+	Constraints []Constraint
+	Anchor      string
+}
+
+// Specification errors.
+var (
+	// ErrUnknownObject is returned when a constraint names an object not
+	// in the spec.
+	ErrUnknownObject = errors.New("ocpn: constraint references unknown object")
+	// ErrUnsolvable is returned when some object's start time is not
+	// determined by the constraint graph.
+	ErrUnsolvable = errors.New("ocpn: under-constrained specification")
+	// ErrInconsistent is returned when constraints contradict each other
+	// or a relation's duration precondition fails.
+	ErrInconsistent = errors.New("ocpn: inconsistent specification")
+)
+
+// startOf computes B's start from A's, or A's from B's (reverse), for one
+// constraint. It also validates the relation's duration preconditions.
+func startOf(c Constraint, dA, dB time.Duration, startA time.Duration) (time.Duration, error) {
+	switch c.Rel {
+	case Equals:
+		if dA != dB {
+			return 0, fmt.Errorf("%w: %s equals %s but durations %v != %v", ErrInconsistent, c.A, c.B, dA, dB)
+		}
+		return startA, nil
+	case Before:
+		if c.Gap < 0 {
+			return 0, fmt.Errorf("%w: before gap %v < 0", ErrInconsistent, c.Gap)
+		}
+		return startA + dA + c.Gap, nil
+	case Meets:
+		return startA + dA, nil
+	case Overlaps:
+		if c.Gap <= 0 || c.Gap >= dA || c.Gap >= dB {
+			return 0, fmt.Errorf("%w: overlaps needs 0 < overlap < min(durations); got %v (dA=%v dB=%v)", ErrInconsistent, c.Gap, dA, dB)
+		}
+		return startA + dA - c.Gap, nil
+	case During:
+		if c.Gap <= 0 || c.Gap+dB >= dA {
+			return 0, fmt.Errorf("%w: during needs 0 < offset and offset+dB < dA; got offset=%v dB=%v dA=%v", ErrInconsistent, c.Gap, dB, dA)
+		}
+		return startA + c.Gap, nil
+	case Starts:
+		if dA >= dB {
+			return 0, fmt.Errorf("%w: starts needs dA < dB; got %v >= %v", ErrInconsistent, dA, dB)
+		}
+		return startA, nil
+	case Finishes:
+		if dA >= dB {
+			return 0, fmt.Errorf("%w: finishes needs dA < dB; got %v >= %v", ErrInconsistent, dA, dB)
+		}
+		return startA + dA - dB, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown relation %d", ErrInconsistent, int(c.Rel))
+	}
+}
+
+// invert computes A's start given B's for one constraint.
+func invert(c Constraint, dA, dB time.Duration, startB time.Duration) (time.Duration, error) {
+	// Solve startB = f(startA) for startA; every relation is a pure
+	// translation so the inverse subtracts the same amount.
+	zero, err := startOf(c, dA, dB, 0)
+	if err != nil {
+		return 0, err
+	}
+	return startB - zero, nil
+}
+
+// Solve computes the absolute timeline from a relation specification via
+// constraint propagation from the anchor. It returns ErrUnsolvable when
+// the constraint graph does not reach every object, and ErrInconsistent
+// when two derivations disagree or the timeline would start before zero.
+func Solve(spec Spec) (Timeline, error) {
+	if len(spec.Objects) == 0 {
+		return Timeline{}, ErrEmptyTimeline
+	}
+	durations := make(map[string]time.Duration, len(spec.Objects))
+	objects := make(map[string]media.Object, len(spec.Objects))
+	for _, o := range spec.Objects {
+		if err := o.Validate(); err != nil {
+			return Timeline{}, fmt.Errorf("%w: %v", ErrBadTimeline, err)
+		}
+		if _, dup := objects[o.ID]; dup {
+			return Timeline{}, fmt.Errorf("%w: duplicate object %q", ErrBadTimeline, o.ID)
+		}
+		objects[o.ID] = o
+		durations[o.ID] = o.Duration
+	}
+	for _, c := range spec.Constraints {
+		if _, ok := objects[c.A]; !ok {
+			return Timeline{}, fmt.Errorf("%w: %q", ErrUnknownObject, c.A)
+		}
+		if _, ok := objects[c.B]; !ok {
+			return Timeline{}, fmt.Errorf("%w: %q", ErrUnknownObject, c.B)
+		}
+	}
+	anchor := spec.Anchor
+	if anchor == "" {
+		anchor = spec.Objects[0].ID
+	}
+	if _, ok := objects[anchor]; !ok {
+		return Timeline{}, fmt.Errorf("%w: anchor %q", ErrUnknownObject, anchor)
+	}
+
+	starts := map[string]time.Duration{anchor: 0}
+	// Propagate until fixpoint (constraint count bounds the iterations).
+	for iter := 0; iter <= len(spec.Constraints); iter++ {
+		changed := false
+		for _, c := range spec.Constraints {
+			dA, dB := durations[c.A], durations[c.B]
+			sa, haveA := starts[c.A]
+			sb, haveB := starts[c.B]
+			switch {
+			case haveA && !haveB:
+				v, err := startOf(c, dA, dB, sa)
+				if err != nil {
+					return Timeline{}, err
+				}
+				starts[c.B] = v
+				changed = true
+			case !haveA && haveB:
+				v, err := invert(c, dA, dB, sb)
+				if err != nil {
+					return Timeline{}, err
+				}
+				starts[c.A] = v
+				changed = true
+			case haveA && haveB:
+				want, err := startOf(c, dA, dB, sa)
+				if err != nil {
+					return Timeline{}, err
+				}
+				if want != sb {
+					return Timeline{}, fmt.Errorf("%w: %s %v %s gives start %v but %v already derived",
+						ErrInconsistent, c.A, c.Rel, c.B, want, sb)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	var missing []string
+	for id := range objects {
+		if _, ok := starts[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		return Timeline{}, fmt.Errorf("%w: no start derivable for %v", ErrUnsolvable, missing)
+	}
+	// Normalize so the earliest start is zero, then reject negatives
+	// (impossible after normalization, kept as a safety check).
+	min := starts[anchor]
+	for _, s := range starts {
+		if s < min {
+			min = s
+		}
+	}
+	var tl Timeline
+	for _, o := range spec.Objects {
+		tl.Items = append(tl.Items, ScheduledObject{Object: o, Start: starts[o.ID] - min})
+	}
+	if err := tl.Validate(); err != nil {
+		return Timeline{}, err
+	}
+	return tl, nil
+}

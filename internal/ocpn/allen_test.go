@@ -1,0 +1,292 @@
+package ocpn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/media"
+)
+
+func startsOf(t *testing.T, tl Timeline) map[string]time.Duration {
+	t.Helper()
+	out := make(map[string]time.Duration)
+	for _, it := range tl.Items {
+		out[it.Object.ID] = it.Start
+	}
+	return out
+}
+
+func TestSolveEquals(t *testing.T) {
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Audio, 5*time.Second),
+			obj("b", media.Video, 5*time.Second),
+		},
+		Constraints: []Constraint{{A: "a", B: "b", Rel: Equals}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startsOf(t, tl)
+	if s["a"] != 0 || s["b"] != 0 {
+		t.Errorf("starts = %v", s)
+	}
+}
+
+func TestSolveEqualsDurationMismatch(t *testing.T) {
+	_, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Audio, 5*time.Second),
+			obj("b", media.Video, 6*time.Second),
+		},
+		Constraints: []Constraint{{A: "a", B: "b", Rel: Equals}},
+	})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolveBeforeAndMeets(t *testing.T) {
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Text, 2*time.Second),
+			obj("b", media.Text, 3*time.Second),
+			obj("c", media.Text, time.Second),
+		},
+		Constraints: []Constraint{
+			{A: "a", B: "b", Rel: Before, Gap: time.Second},
+			{A: "b", B: "c", Rel: Meets},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startsOf(t, tl)
+	if s["a"] != 0 || s["b"] != 3*time.Second || s["c"] != 6*time.Second {
+		t.Errorf("starts = %v", s)
+	}
+}
+
+func TestSolveOverlaps(t *testing.T) {
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Video, 10*time.Second),
+			obj("b", media.Audio, 8*time.Second),
+		},
+		Constraints: []Constraint{{A: "a", B: "b", Rel: Overlaps, Gap: 3 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startsOf(t, tl)
+	if s["b"] != 7*time.Second {
+		t.Errorf("b start = %v, want 7s", s["b"])
+	}
+}
+
+func TestSolveOverlapsPrecondition(t *testing.T) {
+	for _, gap := range []time.Duration{0, 10 * time.Second, 15 * time.Second} {
+		_, err := Solve(Spec{
+			Objects: []media.Object{
+				obj("a", media.Video, 10*time.Second),
+				obj("b", media.Audio, 8*time.Second),
+			},
+			Constraints: []Constraint{{A: "a", B: "b", Rel: Overlaps, Gap: gap}},
+		})
+		if !errors.Is(err, ErrInconsistent) {
+			t.Errorf("gap %v: err = %v", gap, err)
+		}
+	}
+}
+
+func TestSolveDuring(t *testing.T) {
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("movie", media.Video, 20*time.Second),
+			obj("caption", media.Text, 5*time.Second),
+		},
+		Constraints: []Constraint{{A: "movie", B: "caption", Rel: During, Gap: 3 * time.Second}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startsOf(t, tl)["caption"] != 3*time.Second {
+		t.Errorf("caption start wrong")
+	}
+	// Violates offset+dB < dA.
+	_, err = Solve(Spec{
+		Objects: []media.Object{
+			obj("movie", media.Video, 20*time.Second),
+			obj("caption", media.Text, 19*time.Second),
+		},
+		Constraints: []Constraint{{A: "movie", B: "caption", Rel: During, Gap: 3 * time.Second}},
+	})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolveStartsFinishes(t *testing.T) {
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("intro", media.Audio, 3*time.Second),
+			obj("video", media.Video, 10*time.Second),
+			obj("outro", media.Audio, 4*time.Second),
+		},
+		Constraints: []Constraint{
+			{A: "intro", B: "video", Rel: Starts},
+			{A: "outro", B: "video", Rel: Finishes},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startsOf(t, tl)
+	if s["intro"] != 0 || s["video"] != 0 {
+		t.Errorf("starts: %v", s)
+	}
+	if s["outro"] != 6*time.Second {
+		t.Errorf("outro = %v, want 6s (ends with video)", s["outro"])
+	}
+}
+
+func TestSolveStartsRequiresShorterA(t *testing.T) {
+	_, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Audio, 10*time.Second),
+			obj("b", media.Video, 5*time.Second),
+		},
+		Constraints: []Constraint{{A: "a", B: "b", Rel: Starts}},
+	})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolveReversePropagation(t *testing.T) {
+	// Constraint direction b→a with only a anchored: needs the inverse.
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Text, 2*time.Second),
+			obj("b", media.Text, 2*time.Second),
+		},
+		Constraints: []Constraint{{A: "b", B: "a", Rel: Meets}},
+		Anchor:      "a",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startsOf(t, tl)
+	// b meets a: a starts when b ends. After normalization b=0, a=2s.
+	if s["b"] != 0 || s["a"] != 2*time.Second {
+		t.Errorf("starts = %v", s)
+	}
+}
+
+func TestSolveChainNormalizesNegativeStarts(t *testing.T) {
+	// Anchored at "late", the derived "early" would start negative;
+	// Solve must shift the whole timeline to zero.
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("early", media.Text, 2*time.Second),
+			obj("late", media.Text, 2*time.Second),
+		},
+		Constraints: []Constraint{{A: "early", B: "late", Rel: Before, Gap: time.Second}},
+		Anchor:      "late",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startsOf(t, tl)
+	if s["early"] != 0 || s["late"] != 3*time.Second {
+		t.Errorf("starts = %v", s)
+	}
+}
+
+func TestSolveUnsolvable(t *testing.T) {
+	_, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Text, time.Second),
+			obj("island", media.Text, time.Second),
+		},
+	})
+	if !errors.Is(err, ErrUnsolvable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolveConflict(t *testing.T) {
+	_, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("a", media.Text, 2*time.Second),
+			obj("b", media.Text, 2*time.Second),
+		},
+		Constraints: []Constraint{
+			{A: "a", B: "b", Rel: Meets},                    // b at 2s
+			{A: "a", B: "b", Rel: Before, Gap: time.Second}, // b at 3s — contradiction
+		},
+	})
+	if !errors.Is(err, ErrInconsistent) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSolveUnknownObjectAndAnchor(t *testing.T) {
+	_, err := Solve(Spec{
+		Objects:     []media.Object{obj("a", media.Text, time.Second)},
+		Constraints: []Constraint{{A: "a", B: "ghost", Rel: Meets}},
+	})
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("constraint: %v", err)
+	}
+	_, err = Solve(Spec{
+		Objects: []media.Object{obj("a", media.Text, time.Second)},
+		Anchor:  "ghost",
+	})
+	if !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("anchor: %v", err)
+	}
+}
+
+func TestSolveThenCompileRoundTrip(t *testing.T) {
+	tl, err := Solve(Spec{
+		Objects: []media.Object{
+			obj("slide", media.Image, 10*time.Second),
+			obj("narration", media.Audio, 10*time.Second),
+			obj("clip", media.Video, 5*time.Second),
+		},
+		Constraints: []Constraint{
+			{A: "slide", B: "narration", Rel: Equals},
+			{A: "slide", B: "clip", Rel: Meets},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	sets := net.DeriveSchedule().SyncSets()
+	if len(sets) != 2 {
+		t.Errorf("sync sets = %+v", sets)
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	for r, want := range map[Relation]string{
+		Equals: "equals", Before: "before", Meets: "meets",
+		Overlaps: "overlaps", During: "during", Starts: "starts", Finishes: "finishes",
+	} {
+		if r.String() != want {
+			t.Errorf("%d: %q", int(r), r.String())
+		}
+	}
+	if Relation(99).String() != "Relation(99)" {
+		t.Error("unknown relation string")
+	}
+}

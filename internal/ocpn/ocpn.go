@@ -1,0 +1,261 @@
+// Package ocpn implements the Object Composition Petri Net of Little &
+// Ghafoor ("Synchronization and Storage Models for Multimedia Objects",
+// JSAC 1990), the timed presentation model the paper's DOCPN extends.
+//
+// An OCPN is compiled from a presentation timeline: every distinct
+// start/end instant becomes a synchronization transition, and every media
+// interval becomes a chain of timed places between consecutive
+// transitions. A token entering a place is locked for the place's
+// duration (the media plays while locked) and becomes available when the
+// duration elapses; a transition fires when all of its input tokens are
+// available. The compiled net is safe, acyclic and deterministic, which is
+// what lets the scheduler derive the "synchronous set of multimedia
+// objects with respect to time duration" the paper's algorithm produces.
+package ocpn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dmps/internal/media"
+	"dmps/internal/petri"
+)
+
+// Compilation errors.
+var (
+	// ErrEmptyTimeline is returned when compiling a timeline with no items.
+	ErrEmptyTimeline = errors.New("ocpn: empty timeline")
+	// ErrBadTimeline is returned for invalid items (negative start,
+	// invalid media object, zero duration).
+	ErrBadTimeline = errors.New("ocpn: invalid timeline")
+)
+
+// ScheduledObject is one media object placed on the presentation timeline.
+type ScheduledObject struct {
+	Object media.Object
+	// Start is the presentation-time offset at which the object begins.
+	Start time.Duration
+}
+
+// End is the instant the object finishes.
+func (s ScheduledObject) End() time.Duration { return s.Start + s.Object.Duration }
+
+// Timeline is an absolute-time presentation plan, usually produced by
+// Solve from an Allen-relation specification.
+type Timeline struct {
+	Items []ScheduledObject
+}
+
+// End returns the finish time of the latest item.
+func (tl Timeline) End() time.Duration {
+	var end time.Duration
+	for _, it := range tl.Items {
+		if e := it.End(); e > end {
+			end = e
+		}
+	}
+	return end
+}
+
+// Validate checks every item.
+func (tl Timeline) Validate() error {
+	if len(tl.Items) == 0 {
+		return ErrEmptyTimeline
+	}
+	seen := make(map[string]bool, len(tl.Items))
+	for _, it := range tl.Items {
+		if err := it.Object.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadTimeline, err)
+		}
+		if it.Object.Duration <= 0 {
+			return fmt.Errorf("%w: object %q needs positive duration", ErrBadTimeline, it.Object.ID)
+		}
+		if it.Start < 0 {
+			return fmt.Errorf("%w: object %q starts at %v", ErrBadTimeline, it.Object.ID, it.Start)
+		}
+		if seen[it.Object.ID] {
+			return fmt.Errorf("%w: duplicate object %q", ErrBadTimeline, it.Object.ID)
+		}
+		seen[it.Object.ID] = true
+	}
+	return nil
+}
+
+// Place is the OCPN annotation of one petri place: which media object (if
+// any) it plays, which segment of that object, and for how long a token
+// entering it stays locked.
+type Place struct {
+	ID petri.PlaceID
+	// Object is nil for structural places (start, end, delay fillers).
+	Object *media.Object
+	// Segment is the index of this interval's slice of the object.
+	Segment int
+	// Offset is the media-time offset where this segment begins.
+	Offset time.Duration
+	// Duration is the token lock time (segment length).
+	Duration time.Duration
+}
+
+// IsMedia reports whether the place plays media (vs a structural delay).
+func (p *Place) IsMedia() bool { return p.Object != nil }
+
+// Net is a compiled OCPN.
+type Net struct {
+	// Base is the underlying place/transition structure.
+	Base *petri.Net
+	// Places annotates every place of Base.
+	Places map[petri.PlaceID]*Place
+	// Transitions are the synchronization transitions t0..tk in boundary
+	// order; Transitions[i] fires at Boundaries[i] in the ideal schedule.
+	Transitions []petri.TransitionID
+	// Boundaries are the distinct start/end instants, ascending;
+	// Boundaries[0] is the presentation start.
+	Boundaries []time.Duration
+	// Start is the initially-marked place feeding t0; End is marked after
+	// the final transition fires.
+	Start, End petri.PlaceID
+	// Source is the timeline the net was compiled from.
+	Source Timeline
+}
+
+// InitialMarking returns the marking that starts the presentation.
+func (n *Net) InitialMarking() petri.Marking { return petri.NewMarking(n.Start) }
+
+// Finished reports whether the presentation has completed in marking m.
+func (n *Net) Finished(m petri.Marking) bool { return m.Tokens(n.End) > 0 }
+
+// MediaPlaces returns the media-bearing places in deterministic order
+// (object ID, then segment).
+func (n *Net) MediaPlaces() []*Place {
+	var out []*Place
+	for _, p := range n.Places {
+		if p.IsMedia() {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object.ID != out[j].Object.ID {
+			return out[i].Object.ID < out[j].Object.ID
+		}
+		return out[i].Segment < out[j].Segment
+	})
+	return out
+}
+
+// Compile builds the OCPN for a timeline. Every distinct boundary instant
+// becomes a transition; every item becomes one place per boundary interval
+// it covers; intervals covered by no item get a structural delay place so
+// the transition chain stays connected.
+func Compile(tl Timeline) (*Net, error) {
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	// Collect distinct boundaries.
+	boundarySet := make(map[time.Duration]bool)
+	for _, it := range tl.Items {
+		boundarySet[it.Start] = true
+		boundarySet[it.End()] = true
+	}
+	boundaries := make([]time.Duration, 0, len(boundarySet))
+	for b := range boundarySet {
+		boundaries = append(boundaries, b)
+	}
+	sort.Slice(boundaries, func(i, j int) bool { return boundaries[i] < boundaries[j] })
+
+	base := petri.New()
+	net := &Net{
+		Base:       base,
+		Places:     make(map[petri.PlaceID]*Place),
+		Boundaries: boundaries,
+		Source:     tl,
+	}
+	// Transitions at every boundary.
+	for i, b := range boundaries {
+		tid := petri.TransitionID(fmt.Sprintf("t%d", i))
+		if err := base.AddTransition(tid, fmt.Sprintf("@%v", b)); err != nil {
+			return nil, fmt.Errorf("ocpn: %w", err)
+		}
+		net.Transitions = append(net.Transitions, tid)
+	}
+	addPlace := func(id petri.PlaceID, label string, info *Place) error {
+		if err := base.AddPlace(id, label); err != nil {
+			return fmt.Errorf("ocpn: %w", err)
+		}
+		info.ID = id
+		net.Places[id] = info
+		return nil
+	}
+	// Start and end structural places.
+	if err := addPlace("p_start", "start", &Place{}); err != nil {
+		return nil, err
+	}
+	net.Start = "p_start"
+	if err := base.AddInput("p_start", net.Transitions[0], 1); err != nil {
+		return nil, fmt.Errorf("ocpn: %w", err)
+	}
+	if err := addPlace("p_end", "end", &Place{}); err != nil {
+		return nil, err
+	}
+	net.End = "p_end"
+	last := net.Transitions[len(net.Transitions)-1]
+	if err := base.AddOutput(last, "p_end", 1); err != nil {
+		return nil, fmt.Errorf("ocpn: %w", err)
+	}
+
+	idx := func(b time.Duration) int {
+		return sort.Search(len(boundaries), func(i int) bool { return boundaries[i] >= b })
+	}
+	covered := make([]bool, len(boundaries)) // interval i: [b_i, b_i+1)
+	for itemIdx := range tl.Items {
+		it := tl.Items[itemIdx]
+		obj := it.Object
+		startIdx, endIdx := idx(it.Start), idx(it.End())
+		seg := 0
+		for i := startIdx; i < endIdx; i++ {
+			covered[i] = true
+			segDur := boundaries[i+1] - boundaries[i]
+			pid := petri.PlaceID(fmt.Sprintf("p_%s_%d", obj.ID, seg))
+			info := &Place{
+				Object:   &tl.Items[itemIdx].Object,
+				Segment:  seg,
+				Offset:   boundaries[i] - it.Start,
+				Duration: segDur,
+			}
+			if err := addPlace(pid, fmt.Sprintf("%s[%d] %v", obj.ID, seg, segDur), info); err != nil {
+				return nil, err
+			}
+			if err := base.AddOutput(net.Transitions[i], pid, 1); err != nil {
+				return nil, fmt.Errorf("ocpn: %w", err)
+			}
+			if err := base.AddInput(pid, net.Transitions[i+1], 1); err != nil {
+				return nil, fmt.Errorf("ocpn: %w", err)
+			}
+			seg++
+		}
+	}
+	// Fill uncovered gaps with delay places so every transition is reachable.
+	for i := 0; i+1 < len(boundaries); i++ {
+		if covered[i] {
+			continue
+		}
+		segDur := boundaries[i+1] - boundaries[i]
+		pid := petri.PlaceID(fmt.Sprintf("p_delay_%d", i))
+		if err := addPlace(pid, fmt.Sprintf("delay %v", segDur), &Place{Duration: segDur}); err != nil {
+			return nil, err
+		}
+		if err := base.AddOutput(net.Transitions[i], pid, 1); err != nil {
+			return nil, fmt.Errorf("ocpn: %w", err)
+		}
+		if err := base.AddInput(pid, net.Transitions[i+1], 1); err != nil {
+			return nil, fmt.Errorf("ocpn: %w", err)
+		}
+	}
+	return net, nil
+}
+
+// DOT renders the annotated net in Graphviz format.
+func (n *Net) DOT(name string) string {
+	return n.Base.DOT(name, n.InitialMarking())
+}

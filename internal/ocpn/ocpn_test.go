@@ -1,0 +1,250 @@
+package ocpn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dmps/internal/media"
+)
+
+func obj(id string, kind media.Kind, dur time.Duration) media.Object {
+	o := media.Object{ID: id, Kind: kind, Duration: dur, UnitBytes: 100}
+	if kind.Continuous() {
+		o.Rate = 10
+	}
+	return o
+}
+
+// lectureTimeline is the paper's Figure-1-style scenario: a slide image
+// with narration audio, then a video clip.
+func lectureTimeline() Timeline {
+	return Timeline{Items: []ScheduledObject{
+		{Object: obj("slide", media.Image, 10*time.Second), Start: 0},
+		{Object: obj("narration", media.Audio, 10*time.Second), Start: 0},
+		{Object: obj("clip", media.Video, 5*time.Second), Start: 10 * time.Second},
+	}}
+}
+
+func TestTimelineValidate(t *testing.T) {
+	if err := lectureTimeline().Validate(); err != nil {
+		t.Errorf("valid timeline rejected: %v", err)
+	}
+	var empty Timeline
+	if err := empty.Validate(); !errors.Is(err, ErrEmptyTimeline) {
+		t.Errorf("empty: %v", err)
+	}
+	bad := Timeline{Items: []ScheduledObject{
+		{Object: obj("x", media.Text, time.Second), Start: -time.Second},
+	}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadTimeline) {
+		t.Errorf("negative start: %v", err)
+	}
+	dup := Timeline{Items: []ScheduledObject{
+		{Object: obj("x", media.Text, time.Second)},
+		{Object: obj("x", media.Text, time.Second)},
+	}}
+	if err := dup.Validate(); !errors.Is(err, ErrBadTimeline) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestTimelineEnd(t *testing.T) {
+	if got := lectureTimeline().End(); got != 15*time.Second {
+		t.Errorf("End = %v", got)
+	}
+}
+
+func TestCompileStructure(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries: 0, 10s, 15s.
+	if len(net.Boundaries) != 3 {
+		t.Fatalf("boundaries = %v", net.Boundaries)
+	}
+	if len(net.Transitions) != 3 {
+		t.Fatalf("transitions = %v", net.Transitions)
+	}
+	if err := net.Base.Validate(); err != nil {
+		t.Errorf("base net invalid: %v", err)
+	}
+	// slide and narration: 1 segment each; clip: 1 segment.
+	mp := net.MediaPlaces()
+	if len(mp) != 3 {
+		t.Fatalf("media places = %d", len(mp))
+	}
+	if mp[0].Object.ID != "clip" || mp[1].Object.ID != "narration" || mp[2].Object.ID != "slide" {
+		t.Errorf("order: %s %s %s", mp[0].Object.ID, mp[1].Object.ID, mp[2].Object.ID)
+	}
+}
+
+func TestCompileSplitsSpanningIntervals(t *testing.T) {
+	// b overlaps a boundary introduced by c's start: must split into
+	// segments.
+	tl := Timeline{Items: []ScheduledObject{
+		{Object: obj("long", media.Video, 10*time.Second), Start: 0},
+		{Object: obj("mid", media.Audio, 4*time.Second), Start: 3 * time.Second},
+	}}
+	net, err := Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundaries 0, 3, 7, 10 → long has 3 segments, mid 1.
+	var longSegs, midSegs int
+	for _, p := range net.MediaPlaces() {
+		switch p.Object.ID {
+		case "long":
+			longSegs++
+		case "mid":
+			midSegs++
+		}
+	}
+	if longSegs != 3 || midSegs != 1 {
+		t.Errorf("segments: long=%d mid=%d, want 3/1", longSegs, midSegs)
+	}
+	// Segment offsets must tile the object.
+	var offsets []time.Duration
+	for _, p := range net.MediaPlaces() {
+		if p.Object.ID == "long" {
+			offsets = append(offsets, p.Offset)
+		}
+	}
+	want := []time.Duration{0, 3 * time.Second, 7 * time.Second}
+	for i, o := range offsets {
+		if o != want[i] {
+			t.Errorf("offset[%d] = %v, want %v", i, o, want[i])
+		}
+	}
+}
+
+func TestCompileGapsGetDelayPlaces(t *testing.T) {
+	tl := Timeline{Items: []ScheduledObject{
+		{Object: obj("a", media.Text, 2*time.Second), Start: 0},
+		{Object: obj("b", media.Text, 2*time.Second), Start: 5 * time.Second},
+	}}
+	net, err := Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundDelay := false
+	for id, p := range net.Places {
+		if strings.HasPrefix(string(id), "p_delay_") {
+			foundDelay = true
+			if p.Duration != 3*time.Second {
+				t.Errorf("delay duration = %v, want 3s", p.Duration)
+			}
+		}
+	}
+	if !foundDelay {
+		t.Error("gap should produce a delay place")
+	}
+	if err := net.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestCompileRejectsEmpty(t *testing.T) {
+	if _, err := Compile(Timeline{}); !errors.Is(err, ErrEmptyTimeline) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCompiledNetIsSafeAndLive(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := net.Base.Reachability(net.InitialMarking(), 10_000)
+	if err != nil {
+		t.Fatalf("reachability: %v", err)
+	}
+	if !g.IsSafe() {
+		t.Error("compiled OCPN must be 1-safe")
+	}
+	if dead := g.DeadTransitions(net.Base); len(dead) != 0 {
+		t.Errorf("dead transitions: %v", dead)
+	}
+	if !g.Reaches(net.Finished) {
+		t.Error("end place must be reachable")
+	}
+}
+
+func TestDeriveScheduleMatchesBoundaries(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.DeriveSchedule()
+	want := []time.Duration{0, 10 * time.Second, 15 * time.Second}
+	for i, at := range s.FireAt {
+		if at != want[i] {
+			t.Errorf("FireAt[%d] = %v, want %v", i, at, want[i])
+		}
+	}
+	if s.Total != 15*time.Second {
+		t.Errorf("Total = %v", s.Total)
+	}
+	if s.ObjectStart["clip"] != 10*time.Second {
+		t.Errorf("clip start = %v", s.ObjectStart["clip"])
+	}
+}
+
+func TestSyncSets(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := net.DeriveSchedule().SyncSets()
+	if len(sets) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	if sets[0].At != 0 || len(sets[0].Objects) != 2 ||
+		sets[0].Objects[0] != "narration" || sets[0].Objects[1] != "slide" {
+		t.Errorf("set0 = %+v", sets[0])
+	}
+	if sets[1].At != 10*time.Second || sets[1].Objects[0] != "clip" {
+		t.Errorf("set1 = %+v", sets[1])
+	}
+}
+
+func TestVerifyPassesForCompiledNets(t *testing.T) {
+	for _, tl := range []Timeline{
+		lectureTimeline(),
+		{Items: []ScheduledObject{{Object: obj("solo", media.Video, time.Second)}}},
+	} {
+		net, err := Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Verify(); err != nil {
+			t.Errorf("Verify: %v", err)
+		}
+	}
+}
+
+func TestTimetableString(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := net.DeriveSchedule().TimetableString()
+	for _, want := range []string{"fire t0", "start narration, slide", "start clip"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("timetable missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestDOTIncludesMediaLabels(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := net.DOT("lecture")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "slide") {
+		t.Errorf("DOT output:\n%s", dot)
+	}
+}

@@ -1,0 +1,107 @@
+package ocpn
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/petri"
+)
+
+// PlayoutEvent is emitted by Player as the presentation executes.
+type PlayoutEvent struct {
+	// At is the wall/sim instant of the event.
+	At time.Time
+	// Offset is the presentation-time offset.
+	Offset time.Duration
+	// Transition is the synchronization transition that fired ("" for
+	// segment events).
+	Transition petri.TransitionID
+	// Place is the media segment that started (nil for transition events).
+	Place *Place
+}
+
+// Player executes a compiled OCPN on a single site over a Clock, firing
+// each synchronization transition at its scheduled offset and reporting
+// segment starts. It honours the token semantics by driving the
+// underlying petri marking and verifying enabledness before each firing.
+type Player struct {
+	net   *Net
+	clk   clock.Clock
+	sched Schedule
+	// OnEvent, when non-nil, receives every playout event synchronously.
+	OnEvent func(PlayoutEvent)
+}
+
+// NewPlayer returns a player for the net over clk.
+func NewPlayer(net *Net, clk clock.Clock) *Player {
+	return &Player{net: net, clk: clk, sched: net.DeriveSchedule()}
+}
+
+// Schedule exposes the derived schedule.
+func (p *Player) Schedule() Schedule { return p.sched }
+
+// Run plays the presentation to completion, or until ctx is cancelled.
+// It returns the final marking.
+func (p *Player) Run(ctx context.Context) (petri.Marking, error) {
+	m := p.net.InitialMarking()
+	start := p.clk.Now()
+	for i, t := range p.net.Transitions {
+		target := start.Add(p.sched.FireAt[i])
+		if wait := target.Sub(p.clk.Now()); wait > 0 {
+			select {
+			case <-ctx.Done():
+				return m, fmt.Errorf("ocpn: playout cancelled before %s: %w", t, ctx.Err())
+			case <-p.clk.After(wait):
+			}
+		}
+		if !p.net.Base.Enabled(m, t) {
+			return m, fmt.Errorf("ocpn: %s not enabled at its scheduled time (marking %s)", t, m)
+		}
+		ev, err := p.net.Base.Fire(m, t)
+		if err != nil {
+			return m, fmt.Errorf("ocpn: %w", err)
+		}
+		now := p.clk.Now()
+		p.emit(PlayoutEvent{At: now, Offset: p.sched.FireAt[i], Transition: t})
+		for _, placeID := range ev.Produced.Places() {
+			info := p.net.Places[placeID]
+			if info != nil && info.IsMedia() {
+				p.emit(PlayoutEvent{At: now, Offset: p.sched.FireAt[i], Place: info})
+			}
+		}
+	}
+	// Let the final segments (inputs of no further transition) finish.
+	if tail := p.tailDuration(); tail > 0 {
+		select {
+		case <-ctx.Done():
+			return m, fmt.Errorf("ocpn: playout cancelled during tail: %w", ctx.Err())
+		case <-p.clk.After(tail):
+		}
+	}
+	if !p.net.Finished(m) {
+		return m, fmt.Errorf("ocpn: presentation ended without reaching %s (marking %s)", p.net.End, m)
+	}
+	return m, nil
+}
+
+// tailDuration is the longest lock beyond the final transition. Nets
+// compiled by Compile end every segment at the last boundary, so this is
+// normally zero; it guards hand-built nets.
+func (p *Player) tailDuration() time.Duration {
+	last := p.net.Transitions[len(p.net.Transitions)-1]
+	var max time.Duration
+	for _, placeID := range p.net.Base.Output(last).Places() {
+		if info := p.net.Places[placeID]; info != nil && info.Duration > max {
+			max = info.Duration
+		}
+	}
+	return max
+}
+
+func (p *Player) emit(ev PlayoutEvent) {
+	if p.OnEvent != nil {
+		p.OnEvent(ev)
+	}
+}

@@ -1,0 +1,140 @@
+package ocpn
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/media"
+)
+
+func TestPlayerRunsToCompletionOnSimClock(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	sim := clock.NewSim(origin)
+	player := NewPlayer(net, sim)
+
+	var mu sync.Mutex
+	var events []PlayoutEvent
+	player.OnEvent = func(ev PlayoutEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := player.Run(context.Background())
+		done <- err
+	}()
+	// Drive simulated time until the run finishes.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			goto check
+		case <-deadline:
+			t.Fatal("playout never finished")
+		default:
+			if sim.Waiters() > 0 {
+				sim.Advance(time.Second)
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+check:
+	mu.Lock()
+	defer mu.Unlock()
+	var transitions, segments int
+	var clipStart time.Time
+	for _, ev := range events {
+		if ev.Transition != "" {
+			transitions++
+		}
+		if ev.Place != nil {
+			segments++
+			if ev.Place.Object.ID == "clip" {
+				clipStart = ev.At
+			}
+		}
+	}
+	if transitions != 3 {
+		t.Errorf("transitions = %d, want 3", transitions)
+	}
+	if segments != 3 {
+		t.Errorf("segments = %d, want 3", segments)
+	}
+	if want := origin.Add(10 * time.Second); !clipStart.Equal(want) {
+		t.Errorf("clip started at %v, want %v", clipStart, want)
+	}
+}
+
+func TestPlayerRealClockShortPresentation(t *testing.T) {
+	tl := Timeline{Items: []ScheduledObject{
+		{Object: obj("a", media.Text, 5*time.Millisecond), Start: 0},
+		{Object: obj("b", media.Text, 5*time.Millisecond), Start: 5 * time.Millisecond},
+	}}
+	net, err := Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	player := NewPlayer(net, clock.Real{})
+	start := time.Now()
+	m, err := player.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !net.Finished(m) {
+		t.Error("not finished")
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Errorf("finished in %v, schedule says >= 10ms", elapsed)
+	}
+}
+
+func TestPlayerCancellation(t *testing.T) {
+	tl := Timeline{Items: []ScheduledObject{
+		{Object: obj("long", media.Video, time.Hour), Start: 0},
+	}}
+	net, err := Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	player := NewPlayer(net, clock.Real{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := player.Run(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled run should error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not observe cancellation")
+	}
+}
+
+func TestPlayerScheduleAccessor(t *testing.T) {
+	net, err := Compile(lectureTimeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlayer(net, clock.Real{})
+	if p.Schedule().Total != 15*time.Second {
+		t.Errorf("Total = %v", p.Schedule().Total)
+	}
+}

@@ -1,0 +1,167 @@
+package ocpn
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"dmps/internal/media"
+)
+
+// randomTimeline builds a valid random timeline: 1–6 objects with
+// positive durations and non-negative starts on a 100ms grid.
+func randomTimeline(rng *rand.Rand) Timeline {
+	n := 1 + rng.Intn(6)
+	var tl Timeline
+	kinds := []media.Kind{media.Text, media.Image, media.Audio, media.Video}
+	for i := 0; i < n; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		obj := media.Object{
+			ID:       string(rune('a' + i)),
+			Kind:     kind,
+			Duration: time.Duration(1+rng.Intn(50)) * 100 * time.Millisecond,
+		}
+		if kind.Continuous() {
+			obj.Rate = 10
+		}
+		tl.Items = append(tl.Items, ScheduledObject{
+			Object: obj,
+			Start:  time.Duration(rng.Intn(30)) * 100 * time.Millisecond,
+		})
+	}
+	return tl
+}
+
+// TestQuickCompileAlwaysVerifies: every valid timeline compiles into a
+// net whose derived schedule reproduces the declared starts exactly.
+func TestQuickCompileAlwaysVerifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2001))
+	for iter := 0; iter < 300; iter++ {
+		tl := randomTimeline(rng)
+		net, err := Compile(tl)
+		if err != nil {
+			t.Fatalf("iter %d: Compile: %v (timeline %+v)", iter, err, tl)
+		}
+		if err := net.Verify(); err != nil {
+			t.Fatalf("iter %d: Verify: %v", iter, err)
+		}
+	}
+}
+
+// TestQuickCompiledNetsAreSafeAndTerminate: compiled nets are 1-safe,
+// have no dead transitions and always reach the end place.
+func TestQuickCompiledNetsAreSafeAndTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4001))
+	for iter := 0; iter < 100; iter++ {
+		tl := randomTimeline(rng)
+		net, err := Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := net.Base.Reachability(net.InitialMarking(), 100_000)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if !g.IsSafe() {
+			t.Fatalf("iter %d: net not safe", iter)
+		}
+		if dead := g.DeadTransitions(net.Base); len(dead) != 0 {
+			t.Fatalf("iter %d: dead transitions %v", iter, dead)
+		}
+		if !g.Reaches(net.Finished) {
+			t.Fatalf("iter %d: end unreachable", iter)
+		}
+	}
+}
+
+// TestQuickSegmentsTileObjects: for every object, its segments' offsets
+// and durations exactly tile [0, duration) with no gaps or overlaps.
+func TestQuickSegmentsTileObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(6001))
+	for iter := 0; iter < 200; iter++ {
+		tl := randomTimeline(rng)
+		net, err := Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type seg struct {
+			offset, dur time.Duration
+		}
+		byObject := make(map[string][]seg)
+		for _, p := range net.MediaPlaces() {
+			byObject[p.Object.ID] = append(byObject[p.Object.ID], seg{p.Offset, p.Duration})
+		}
+		for _, it := range tl.Items {
+			segs := byObject[it.Object.ID]
+			if len(segs) == 0 {
+				t.Fatalf("iter %d: object %s has no segments", iter, it.Object.ID)
+			}
+			// MediaPlaces sorts by segment index; offsets must chain.
+			var cursor time.Duration
+			for i, s := range segs {
+				if s.offset != cursor {
+					t.Fatalf("iter %d: %s segment %d offset %v, want %v", iter, it.Object.ID, i, s.offset, cursor)
+				}
+				if s.dur <= 0 {
+					t.Fatalf("iter %d: %s segment %d non-positive duration", iter, it.Object.ID, i)
+				}
+				cursor += s.dur
+			}
+			if cursor != it.Object.Duration {
+				t.Fatalf("iter %d: %s tiles %v, want %v", iter, it.Object.ID, cursor, it.Object.Duration)
+			}
+		}
+	}
+}
+
+// TestQuickSyncSetsCoverAllObjects: every object appears in exactly one
+// synchronous set, at its declared (normalized) start.
+func TestQuickSyncSetsCoverAllObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(8001))
+	for iter := 0; iter < 200; iter++ {
+		tl := randomTimeline(rng)
+		net, err := Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets := net.DeriveSchedule().SyncSets()
+		seen := make(map[string]int)
+		for _, set := range sets {
+			for _, id := range set.Objects {
+				seen[id]++
+			}
+		}
+		for _, it := range tl.Items {
+			if seen[it.Object.ID] != 1 {
+				t.Fatalf("iter %d: object %s in %d sync sets", iter, it.Object.ID, seen[it.Object.ID])
+			}
+		}
+	}
+}
+
+// TestQuickScheduleTotalMatchesTimelineSpan: the derived total equals the
+// distance from the earliest start to the latest end.
+func TestQuickScheduleTotalMatchesTimelineSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(10001))
+	for iter := 0; iter < 200; iter++ {
+		tl := randomTimeline(rng)
+		net, err := Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := tl.Items[0].Start
+		var max time.Duration
+		for _, it := range tl.Items {
+			if it.Start < min {
+				min = it.Start
+			}
+			if e := it.End(); e > max {
+				max = e
+			}
+		}
+		want := max - min
+		if got := net.DeriveSchedule().Total; got != want {
+			t.Fatalf("iter %d: Total = %v, want %v", iter, got, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package ocpn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schedule is the deterministic firing plan derived from a compiled net:
+// when each synchronization transition fires and when each media segment
+// begins, assuming ideal (zero-delay, perfectly synchronized) execution.
+type Schedule struct {
+	// FireAt[i] is the ideal firing time of Net.Transitions[i].
+	FireAt []time.Duration
+	// SegmentStart maps each media place to its ideal start instant.
+	SegmentStart map[string]time.Duration // keyed by place ID
+	// ObjectStart maps object IDs to their first segment's start.
+	ObjectStart map[string]time.Duration
+	// Total is the presentation length (fire time of the last transition).
+	Total time.Duration
+}
+
+// DeriveSchedule computes the schedule from the net structure alone by
+// longest-path propagation: a transition fires when the latest of its
+// input tokens unlocks. For nets compiled by Compile this reproduces the
+// boundary times, which is exactly the consistency check Verify performs.
+func (n *Net) DeriveSchedule() Schedule {
+	s := Schedule{
+		FireAt:       make([]time.Duration, len(n.Transitions)),
+		SegmentStart: make(map[string]time.Duration),
+		ObjectStart:  make(map[string]time.Duration),
+	}
+	// Availability time of the token in each place (structural places of
+	// zero duration unlock at entry).
+	avail := make(map[string]time.Duration)
+	avail[string(n.Start)] = 0
+	for i, t := range n.Transitions {
+		var fire time.Duration
+		for _, p := range n.Base.Input(t).Places() {
+			if a, ok := avail[string(p)]; ok && a > fire {
+				fire = a
+			}
+		}
+		s.FireAt[i] = fire
+		for _, p := range n.Base.Output(t).Places() {
+			info := n.Places[p]
+			if info == nil {
+				avail[string(p)] = fire
+				continue
+			}
+			avail[string(p)] = fire + info.Duration
+			if info.IsMedia() {
+				s.SegmentStart[string(p)] = fire
+				if info.Segment == 0 {
+					s.ObjectStart[info.Object.ID] = fire
+				}
+			}
+		}
+	}
+	if len(s.FireAt) > 0 {
+		s.Total = s.FireAt[len(s.FireAt)-1]
+	}
+	return s
+}
+
+// SyncSet is one synchronous set: the media objects that begin playing at
+// the same presentation instant — the output of the paper's scheduling
+// algorithm ("produce a synchronous set of multimedia objects with respect
+// to time duration").
+type SyncSet struct {
+	At      time.Duration
+	Objects []string
+}
+
+// SyncSets groups object starts by instant, ascending.
+func (s Schedule) SyncSets() []SyncSet {
+	byTime := make(map[time.Duration][]string)
+	for id, at := range s.ObjectStart {
+		byTime[at] = append(byTime[at], id)
+	}
+	out := make([]SyncSet, 0, len(byTime))
+	for at, ids := range byTime {
+		sort.Strings(ids)
+		out = append(out, SyncSet{At: at, Objects: ids})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Verify cross-checks the net-derived schedule against the source
+// timeline: every transition must fire at its boundary instant and every
+// object must start at its declared time. A mismatch indicates the
+// compiled structure does not realize the intended temporal behaviour.
+func (n *Net) Verify() error {
+	s := n.DeriveSchedule()
+	for i, want := range n.Boundaries {
+		rel := want - n.Boundaries[0]
+		if s.FireAt[i] != rel {
+			return fmt.Errorf("ocpn: transition %s fires at %v, boundary is %v",
+				n.Transitions[i], s.FireAt[i], rel)
+		}
+	}
+	for _, it := range n.Source.Items {
+		want := it.Start - n.Boundaries[0]
+		got, ok := s.ObjectStart[it.Object.ID]
+		if !ok {
+			return fmt.Errorf("ocpn: object %q missing from schedule", it.Object.ID)
+		}
+		if got != want {
+			return fmt.Errorf("ocpn: object %q starts at %v, declared %v", it.Object.ID, got, want)
+		}
+	}
+	return nil
+}
+
+// TimetableString renders the schedule as a human-readable table, used by
+// cmd/dmps-sim to print Figure-1-style firing timelines.
+func (s Schedule) TimetableString() string {
+	var sb strings.Builder
+	sb.WriteString("time          event\n")
+	type row struct {
+		at   time.Duration
+		text string
+	}
+	var rows []row
+	for i, at := range s.FireAt {
+		rows = append(rows, row{at, fmt.Sprintf("fire t%d", i)})
+	}
+	for _, set := range s.SyncSets() {
+		rows = append(rows, row{set.At, "start " + strings.Join(set.Objects, ", ")})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].at < rows[j].at })
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-13v %s\n", r.at, r.text)
+	}
+	return sb.String()
+}

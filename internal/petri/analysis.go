@@ -1,0 +1,197 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrStateSpaceExceeded is returned when exploration hits its state budget
+// before exhausting the reachability set.
+var ErrStateSpaceExceeded = errors.New("petri: state space budget exceeded")
+
+// ReachEdge is an edge of the reachability graph: firing Transition in the
+// marking with key From yields the marking with key To.
+type ReachEdge struct {
+	From       string
+	Transition TransitionID
+	Rule       FireRule
+	To         string
+}
+
+// ReachabilityGraph is the explored state space of a net from an initial
+// marking.
+type ReachabilityGraph struct {
+	Initial  Marking
+	States   map[string]Marking
+	Edges    []ReachEdge
+	Complete bool // false when the exploration budget was exhausted
+}
+
+// Reachability explores the state space from initial, firing under both the
+// normal and priority rules, up to maxStates distinct markings. When the
+// budget is exceeded the partial graph is returned along with
+// ErrStateSpaceExceeded.
+func (n *Net) Reachability(initial Marking, maxStates int) (*ReachabilityGraph, error) {
+	g := &ReachabilityGraph{
+		Initial:  initial.Clone(),
+		States:   make(map[string]Marking),
+		Complete: true,
+	}
+	start := initial.Clone()
+	g.States[start.Key()] = start
+	queue := []Marking{start}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		fromKey := m.Key()
+		for _, t := range n.transitionOrder {
+			for _, rule := range n.applicableRules(m, t) {
+				next := m.Clone()
+				ev, err := n.fireWithRule(next, t, rule)
+				if err != nil {
+					continue
+				}
+				key := next.Key()
+				g.Edges = append(g.Edges, ReachEdge{From: fromKey, Transition: t, Rule: ev.Rule, To: key})
+				if _, seen := g.States[key]; !seen {
+					if len(g.States) >= maxStates {
+						g.Complete = false
+						return g, fmt.Errorf("%w: %d states", ErrStateSpaceExceeded, maxStates)
+					}
+					g.States[key] = next
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// applicableRules lists the distinct firing rules applicable to t in m.
+// When the normal rule applies, the priority rule would consume the same
+// tokens, so only the normal rule is reported; the priority rule is
+// reported alone when only Ip(t) is covered.
+func (n *Net) applicableRules(m Marking, t TransitionID) []FireRule {
+	switch {
+	case n.EnabledNormal(m, t):
+		return []FireRule{FireNormal}
+	case n.EnabledPriority(m, t):
+		return []FireRule{FirePriority}
+	default:
+		return nil
+	}
+}
+
+func (n *Net) fireWithRule(m Marking, t TransitionID, rule FireRule) (FireEvent, error) {
+	// Fire chooses normal before priority, matching applicableRules.
+	ev, err := n.Fire(m, t)
+	if err != nil {
+		return FireEvent{}, err
+	}
+	if ev.Rule != rule {
+		return FireEvent{}, fmt.Errorf("%w: wanted rule %v, fired %v", ErrNotEnabled, rule, ev.Rule)
+	}
+	return ev, nil
+}
+
+// Deadlocks returns the keys of reachable markings with no enabled
+// transition, in sorted order.
+func (g *ReachabilityGraph) Deadlocks(n *Net) []string {
+	var out []string
+	for key, m := range g.States {
+		if len(n.EnabledSet(m)) == 0 {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bound returns the maximum token count observed on place p across the
+// explored states.
+func (g *ReachabilityGraph) Bound(p PlaceID) int {
+	max := 0
+	for _, m := range g.States {
+		if n := m.Tokens(p); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// IsKBounded reports whether every place holds at most k tokens in every
+// explored state. Only meaningful when Complete is true.
+func (g *ReachabilityGraph) IsKBounded(k int) bool {
+	for _, m := range g.States {
+		for _, tokens := range m {
+			if tokens > k {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSafe reports 1-boundedness, the classic safety property of
+// presentation nets (OCPN nets are safe by construction).
+func (g *ReachabilityGraph) IsSafe() bool { return g.IsKBounded(1) }
+
+// IsConservative reports whether the total token count is invariant across
+// all explored states (conservation with unit weights).
+func (g *ReachabilityGraph) IsConservative() bool {
+	first := true
+	want := 0
+	for _, m := range g.States {
+		if first {
+			want, first = m.Total(), false
+			continue
+		}
+		if m.Total() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// LiveTransitions returns the transitions that fire on at least one edge of
+// the explored graph (L1-liveness witnesses), sorted.
+func (g *ReachabilityGraph) LiveTransitions() []TransitionID {
+	seen := make(map[TransitionID]bool)
+	for _, e := range g.Edges {
+		seen[e.Transition] = true
+	}
+	out := make([]TransitionID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeadTransitions returns the net's transitions that never fire in the
+// explored graph (L0-dead), sorted by insertion order.
+func (g *ReachabilityGraph) DeadTransitions(n *Net) []TransitionID {
+	live := make(map[TransitionID]bool)
+	for _, e := range g.Edges {
+		live[e.Transition] = true
+	}
+	var out []TransitionID
+	for _, t := range n.Transitions() {
+		if !live[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Reaches reports whether a marking satisfying pred is reachable in the
+// explored graph.
+func (g *ReachabilityGraph) Reaches(pred func(Marking) bool) bool {
+	for _, m := range g.States {
+		if pred(m) {
+			return true
+		}
+	}
+	return false
+}

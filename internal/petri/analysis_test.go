@@ -1,0 +1,199 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReachabilityChain(t *testing.T) {
+	n := simpleChain(t)
+	g, err := n.Reachability(NewMarking("p1"), 100)
+	if err != nil {
+		t.Fatalf("Reachability: %v", err)
+	}
+	if !g.Complete {
+		t.Error("graph should be complete")
+	}
+	if len(g.States) != 3 {
+		t.Errorf("states = %d, want 3", len(g.States))
+	}
+	if len(g.Edges) != 2 {
+		t.Errorf("edges = %d, want 2", len(g.Edges))
+	}
+	dead := g.Deadlocks(n)
+	if len(dead) != 1 || dead[0] != "p3=1" {
+		t.Errorf("deadlocks = %v", dead)
+	}
+}
+
+func TestReachabilityBudget(t *testing.T) {
+	// Unbounded producer: t produces into p forever.
+	n := newBuild(t).
+		places("run", "p").
+		transitions("t").
+		in("run", "t", 1).out("t", "run", 1).out("t", "p", 1).
+		net
+	g, err := n.Reachability(NewMarking("run"), 10)
+	if !errors.Is(err, ErrStateSpaceExceeded) {
+		t.Fatalf("err = %v, want ErrStateSpaceExceeded", err)
+	}
+	if g.Complete {
+		t.Error("graph must be marked incomplete")
+	}
+	if len(g.States) != 10 {
+		t.Errorf("states = %d, want budget 10", len(g.States))
+	}
+}
+
+func TestSafenessAndBoundedness(t *testing.T) {
+	n := simpleChain(t)
+	g, err := n.Reachability(NewMarking("p1"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSafe() {
+		t.Error("chain should be safe (1-bounded)")
+	}
+	if !g.IsKBounded(1) {
+		t.Error("chain should be 1-bounded")
+	}
+	if got := g.Bound("p2"); got != 1 {
+		t.Errorf("Bound(p2) = %d", got)
+	}
+
+	// A net where two tokens can pile onto one place.
+	n2 := newBuild(t).
+		places("a", "b", "c").
+		transitions("t1", "t2").
+		in("a", "t1", 1).out("t1", "c", 1).
+		in("b", "t2", 1).out("t2", "c", 1).
+		net
+	g2, err := n2.Reachability(NewMarking("a", "b"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.IsSafe() {
+		t.Error("c can hold 2 tokens; net is not safe")
+	}
+	if !g2.IsKBounded(2) {
+		t.Error("net is 2-bounded")
+	}
+}
+
+func TestConservation(t *testing.T) {
+	// Token ring conserves; a sink transition does not.
+	ring := newBuild(t).
+		places("a", "b").
+		transitions("ab", "ba").
+		in("a", "ab", 1).out("ab", "b", 1).
+		in("b", "ba", 1).out("ba", "a", 1).
+		net
+	g, err := ring.Reachability(NewMarking("a"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConservative() {
+		t.Error("ring should conserve tokens")
+	}
+
+	sink := newBuild(t).
+		places("a").
+		transitions("drop").
+		in("a", "drop", 1).
+		net
+	g2, err := sink.Reachability(NewMarking("a"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.IsConservative() {
+		t.Error("sink destroys a token; not conservative")
+	}
+}
+
+func TestLiveAndDeadTransitions(t *testing.T) {
+	n := newBuild(t).
+		places("p1", "p2", "never").
+		transitions("t1", "tdead").
+		in("p1", "t1", 1).out("t1", "p2", 1).
+		in("never", "tdead", 1).out("tdead", "p2", 1).
+		net
+	g, err := n.Reachability(NewMarking("p1"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := g.LiveTransitions()
+	if len(live) != 1 || live[0] != "t1" {
+		t.Errorf("live = %v", live)
+	}
+	dead := g.DeadTransitions(n)
+	if len(dead) != 1 || dead[0] != "tdead" {
+		t.Errorf("dead = %v", dead)
+	}
+}
+
+func TestReachabilityWithPriorityRuleStates(t *testing.T) {
+	// The priority rule introduces states the classic rule cannot reach:
+	// firing t with only the urgent token leaves media-place empty.
+	n := newBuild(t).
+		places("media", "urgent", "done").
+		transitions("t").
+		in("media", "t", 1).
+		prio("urgent", "t", 1).
+		out("t", "done", 1).
+		net
+	g, err := n.Reachability(NewMarking("urgent"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Reaches(func(m Marking) bool { return m.Tokens("done") == 1 }) {
+		t.Error("priority rule should reach done without media token")
+	}
+	foundPriorityEdge := false
+	for _, e := range g.Edges {
+		if e.Rule == FirePriority {
+			foundPriorityEdge = true
+		}
+	}
+	if !foundPriorityEdge {
+		t.Error("expected a priority-rule edge in the graph")
+	}
+}
+
+func TestCoverabilityBoundedNet(t *testing.T) {
+	n := simpleChain(t)
+	tree := n.CoverabilityTree(NewMarking("p1"), 1000)
+	if !tree.IsBounded() {
+		t.Errorf("chain is bounded; unbounded places = %v", tree.UnboundedPlaces())
+	}
+	if tree.Size() < 3 {
+		t.Errorf("tree too small: %d", tree.Size())
+	}
+}
+
+func TestCoverabilityUnboundedNet(t *testing.T) {
+	n := newBuild(t).
+		places("run", "p").
+		transitions("t").
+		in("run", "t", 1).out("t", "run", 1).out("t", "p", 1).
+		net
+	tree := n.CoverabilityTree(NewMarking("run"), 1000)
+	unbounded := tree.UnboundedPlaces()
+	if len(unbounded) != 1 || unbounded[0] != "p" {
+		t.Errorf("unbounded = %v, want [p]", unbounded)
+	}
+	if tree.IsBounded() {
+		t.Error("producer net is unbounded")
+	}
+}
+
+func TestCoverabilityNodeBudget(t *testing.T) {
+	n := newBuild(t).
+		places("run", "p").
+		transitions("t").
+		in("run", "t", 1).out("t", "run", 1).out("t", "p", 1).
+		net
+	tree := n.CoverabilityTree(NewMarking("run"), 5)
+	if tree.Size() > 5 {
+		t.Errorf("tree size %d exceeds budget", tree.Size())
+	}
+}

@@ -1,0 +1,122 @@
+// Package petri implements place/transition Petri nets in the style of
+// Peterson's "Petri Net Theory and the Modeling of Systems", extended with
+// the priority input arcs of Guan, Yu and Yang's prioritized Petri net model
+// (IEEE Trans. Computers, 1998), which the DMPS paper builds DOCPN upon.
+//
+// A net is the four-tuple C = (P, T, I, O) — or the five-tuple
+// C = (P, T, I, Ip, O) when priority input arcs are present. I and O map
+// transitions to bags (multisets) of places. The package provides
+// construction, enabling and firing semantics (including the paper's
+// priority fire rules), simulation, and structural/behavioural analysis:
+// reachability, boundedness, safeness, conservation, liveness and
+// coverability.
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bag is a multiset of places, used for the input and output functions
+// I: T → P^∞ and O: T → P^∞. The zero value is an empty bag ready to use.
+type Bag map[PlaceID]int
+
+// NewBag returns a bag containing each given place once.
+func NewBag(places ...PlaceID) Bag {
+	b := make(Bag, len(places))
+	for _, p := range places {
+		b[p]++
+	}
+	return b
+}
+
+// Add increases the multiplicity of p by n. Adding a non-positive n is a
+// no-op so that callers can pass computed weights without guarding.
+func (b Bag) Add(p PlaceID, n int) {
+	if n <= 0 {
+		return
+	}
+	b[p] += n
+}
+
+// Count reports the multiplicity of p in the bag.
+func (b Bag) Count(p PlaceID) int { return b[p] }
+
+// Size reports the total multiplicity over all places.
+func (b Bag) Size() int {
+	total := 0
+	for _, n := range b {
+		total += n
+	}
+	return total
+}
+
+// IsEmpty reports whether the bag has no elements.
+func (b Bag) IsEmpty() bool { return b.Size() == 0 }
+
+// Clone returns an independent copy of the bag.
+func (b Bag) Clone() Bag {
+	c := make(Bag, len(b))
+	for p, n := range b {
+		if n > 0 {
+			c[p] = n
+		}
+	}
+	return c
+}
+
+// Union returns a new bag with, for each place, the sum of multiplicities.
+func (b Bag) Union(other Bag) Bag {
+	u := b.Clone()
+	for p, n := range other {
+		u.Add(p, n)
+	}
+	return u
+}
+
+// Equal reports whether two bags contain the same places with the same
+// multiplicities.
+func (b Bag) Equal(other Bag) bool {
+	for p, n := range b {
+		if n > 0 && other[p] != n {
+			return false
+		}
+	}
+	for p, n := range other {
+		if n > 0 && b[p] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Places returns the distinct places of the bag in sorted order.
+func (b Bag) Places() []PlaceID {
+	out := make([]PlaceID, 0, len(b))
+	for p, n := range b {
+		if n > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the bag canonically, e.g. "{p1, p2:3}".
+func (b Bag) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range b.Places() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if n := b[p]; n == 1 {
+			sb.WriteString(string(p))
+		} else {
+			fmt.Fprintf(&sb, "%s:%d", p, n)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package petri
+
+import "sort"
+
+// Omega is the token count representing "unbounded" in the coverability
+// construction (Karp–Miller). Any count at or above OmegaThreshold in a
+// generalized marking is treated as ω.
+const Omega = int(^uint(0) >> 1) // max int
+
+// omegaMarking is a marking that may contain ω entries.
+type omegaMarking = Marking
+
+// CoverabilityNode is one node of the Karp–Miller tree.
+type CoverabilityNode struct {
+	Marking  Marking // may contain Omega entries
+	Depth    int
+	Via      TransitionID // transition fired to reach this node ("" at root)
+	Children []*CoverabilityNode
+}
+
+// CoverabilityTree builds the Karp–Miller coverability tree from initial,
+// bounded to maxNodes nodes. Unlike plain reachability it terminates on
+// unbounded nets by accelerating strictly-growing places to ω.
+func (n *Net) CoverabilityTree(initial Marking, maxNodes int) *CoverabilityNode {
+	root := &CoverabilityNode{Marking: initial.Clone()}
+	count := 1
+	// seen maps marking keys to true for "duplicate" pruning.
+	seen := map[string]bool{root.Marking.Key(): true}
+	stack := []*CoverabilityNode{root}
+	ancestors := map[*CoverabilityNode]*CoverabilityNode{root: nil}
+	for len(stack) > 0 && count < maxNodes {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.transitionOrder {
+			if count >= maxNodes {
+				break
+			}
+			if !n.omegaEnabled(node.Marking, t) {
+				continue
+			}
+			next := n.omegaFire(node.Marking, t)
+			// Acceleration: if an ancestor is strictly dominated, set the
+			// growing places to ω.
+			for anc := node; anc != nil; anc = ancestors[anc] {
+				if next.Dominates(anc.Marking) && !next.Equal(anc.Marking) {
+					for p, v := range next {
+						if v > anc.Marking[p] {
+							next[p] = Omega
+						}
+					}
+				}
+			}
+			child := &CoverabilityNode{Marking: next, Depth: node.Depth + 1, Via: t}
+			node.Children = append(node.Children, child)
+			ancestors[child] = node
+			count++
+			if key := next.Key(); !seen[key] {
+				seen[key] = true
+				stack = append(stack, child)
+			}
+		}
+	}
+	return root
+}
+
+// omegaCovers reports coverage over generalized markings (ω covers all).
+func omegaCovers(m omegaMarking, b Bag) bool {
+	for p, need := range b {
+		if need <= 0 {
+			continue
+		}
+		if m[p] != Omega && m[p] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// omegaEnabled mirrors Enabled over generalized markings: the normal rule
+// needs all non-priority inputs; the priority rule needs only the
+// priority inputs.
+func (n *Net) omegaEnabled(m omegaMarking, t TransitionID) bool {
+	if !n.input[t].IsEmpty() && omegaCovers(m, n.input[t]) {
+		return true
+	}
+	ip := n.priority[t]
+	return !ip.IsEmpty() && omegaCovers(m, ip)
+}
+
+// omegaFire fires t on a copy of the generalized marking, with ω absorbing
+// subtraction and addition. Consumption mirrors Fire: the satisfied rule's
+// inputs are taken in full, the other kind is swept as available.
+func (n *Net) omegaFire(m omegaMarking, t TransitionID) omegaMarking {
+	next := m.Clone()
+	takeFull := func(b Bag) {
+		for p, need := range b {
+			if need <= 0 || next[p] == Omega {
+				continue
+			}
+			next.Set(p, next[p]-need)
+		}
+	}
+	sweep := func(b Bag) {
+		for p, need := range b {
+			if need <= 0 || next[p] == Omega {
+				continue
+			}
+			have := next[p]
+			if have > need {
+				next.Set(p, have-need)
+			} else {
+				next.Set(p, 0)
+			}
+		}
+	}
+	if !n.input[t].IsEmpty() && omegaCovers(m, n.input[t]) {
+		takeFull(n.input[t])
+		sweep(n.priority[t])
+	} else {
+		takeFull(n.priority[t])
+		sweep(n.input[t])
+	}
+	for p, add := range n.output[t] {
+		if add <= 0 || next[p] == Omega {
+			continue
+		}
+		next[p] += add
+	}
+	return next
+}
+
+// UnboundedPlaces walks the coverability tree and returns the places that
+// acquire ω, i.e. the witnesses of unboundedness, sorted.
+func (c *CoverabilityNode) UnboundedPlaces() []PlaceID {
+	seen := make(map[PlaceID]bool)
+	var walk func(*CoverabilityNode)
+	walk = func(node *CoverabilityNode) {
+		for p, v := range node.Marking {
+			if v == Omega {
+				seen[p] = true
+			}
+		}
+		for _, ch := range node.Children {
+			walk(ch)
+		}
+	}
+	walk(c)
+	out := make([]PlaceID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsBounded reports whether no place acquires ω anywhere in the tree.
+func (c *CoverabilityNode) IsBounded() bool { return len(c.UnboundedPlaces()) == 0 }
+
+// Size reports the number of nodes in the tree.
+func (c *CoverabilityNode) Size() int {
+	n := 1
+	for _, ch := range c.Children {
+		n += ch.Size()
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the net (with an optional marking; pass nil for none) in
+// Graphviz DOT format: circles for places, boxes for transitions, bold red
+// edges for priority input arcs, and token counts as place annotations.
+// This reproduces diagrams in the style of the paper's Figure 1.
+func (n *Net) DOT(name string, m Marking) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", name)
+	for _, p := range n.placeOrder {
+		place := n.places[p]
+		label := string(p)
+		if place.Label != "" {
+			label += "\\n" + place.Label
+		}
+		if m != nil {
+			if tokens := m.Tokens(p); tokens > 0 {
+				label += fmt.Sprintf("\\n●×%d", tokens)
+			}
+		}
+		fmt.Fprintf(&sb, "  %q [shape=circle, label=%q];\n", "p_"+string(p), label)
+	}
+	for _, t := range n.transitionOrder {
+		tr := n.transitions[t]
+		label := string(t)
+		if tr.Label != "" {
+			label += "\\n" + tr.Label
+		}
+		fmt.Fprintf(&sb, "  %q [shape=box, style=filled, fillcolor=gray90, label=%q];\n", "t_"+string(t), label)
+	}
+	writeArcs := func(arcs map[TransitionID]Bag, reversed bool, attrs string) {
+		for _, t := range n.transitionOrder {
+			bag := arcs[t]
+			for _, p := range bag.Places() {
+				w := bag.Count(p)
+				extra := attrs
+				if w > 1 {
+					if extra != "" {
+						extra += ", "
+					}
+					extra += fmt.Sprintf("label=\"%d\"", w)
+				}
+				if extra != "" {
+					extra = " [" + extra + "]"
+				}
+				if reversed {
+					fmt.Fprintf(&sb, "  %q -> %q%s;\n", "t_"+string(t), "p_"+string(p), extra)
+				} else {
+					fmt.Fprintf(&sb, "  %q -> %q%s;\n", "p_"+string(p), "t_"+string(t), extra)
+				}
+			}
+		}
+	}
+	writeArcs(n.input, false, "")
+	writeArcs(n.priority, false, "color=red, penwidth=2")
+	writeArcs(n.output, true, "")
+	sb.WriteString("}\n")
+	return sb.String()
+}

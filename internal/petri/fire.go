@@ -1,0 +1,214 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FireRule identifies which enabling rule allowed a transition to fire.
+type FireRule int
+
+const (
+	// FireNormal is the classic rule: all inputs (normal and priority)
+	// carry enough tokens.
+	FireNormal FireRule = iota + 1
+	// FirePriority is the prioritized-net rule: the priority inputs carry
+	// enough tokens, so the transition fires without waiting for the rest.
+	FirePriority
+)
+
+// String implements fmt.Stringer.
+func (r FireRule) String() string {
+	switch r {
+	case FireNormal:
+		return "normal"
+	case FirePriority:
+		return "priority"
+	default:
+		return fmt.Sprintf("FireRule(%d)", int(r))
+	}
+}
+
+// EnabledNormal reports whether t is enabled under the paper's normal
+// rule: "a transaction with non-priority input events would fire when all
+// events are complete and ready" — i.e. the marking covers I(t). Priority
+// inputs are triggers, not prerequisites: their tokens are swept when
+// present but their absence does not block a normal firing.
+func (n *Net) EnabledNormal(m Marking, t TransitionID) bool {
+	if _, ok := n.transitions[t]; !ok {
+		return false
+	}
+	if n.input[t].IsEmpty() && n.priority[t].IsEmpty() {
+		return false // source transitions must be fired explicitly by engines
+	}
+	if n.input[t].IsEmpty() {
+		// A transition whose only inputs are priority arcs fires only on
+		// its trigger.
+		return false
+	}
+	return m.Covers(n.input[t])
+}
+
+// EnabledFully reports whether the marking covers the combined demand of
+// I(t) and Ip(t), summed place-wise. A fully-enabled firing consumes every
+// arc's tokens exactly, which is the regime where the incidence-matrix
+// state equation holds.
+func (n *Net) EnabledFully(m Marking, t TransitionID) bool {
+	if !n.Enabled(m, t) {
+		return false
+	}
+	for p, need := range n.input[t] {
+		if need > 0 && m[p] < need+n.priority[t].Count(p) {
+			return false
+		}
+	}
+	for p, need := range n.priority[t] {
+		if need > 0 && m[p] < need+n.input[t].Count(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledPriority reports whether t is enabled under the priority rule: t
+// has priority inputs and the marking covers Ip(t), regardless of I(t).
+func (n *Net) EnabledPriority(m Marking, t TransitionID) bool {
+	if _, ok := n.transitions[t]; !ok {
+		return false
+	}
+	ip := n.priority[t]
+	return !ip.IsEmpty() && m.Covers(ip)
+}
+
+// Enabled reports whether t may fire under either rule.
+func (n *Net) Enabled(m Marking, t TransitionID) bool {
+	return n.EnabledNormal(m, t) || n.EnabledPriority(m, t)
+}
+
+// EnabledSet returns the transitions enabled in m, in insertion order.
+func (n *Net) EnabledSet(m Marking) []TransitionID {
+	var out []TransitionID
+	for _, t := range n.transitionOrder {
+		if n.Enabled(m, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// FireEvent describes one firing.
+type FireEvent struct {
+	Transition TransitionID
+	Rule       FireRule
+	Consumed   Bag // tokens actually removed
+	Produced   Bag // tokens deposited
+}
+
+// Fire fires t in marking m (mutating m) and returns the event. The rule
+// is chosen per the paper: if the normal rule is satisfied (all
+// non-priority inputs ready), fire normally, additionally sweeping any
+// priority tokens already present; otherwise, if the priority inputs are
+// covered, fire under the priority rule without waiting for the rest,
+// sweeping whatever normal-input tokens have already arrived. Returns
+// ErrNotEnabled when neither applies.
+func (n *Net) Fire(m Marking, t TransitionID) (FireEvent, error) {
+	if _, ok := n.transitions[t]; !ok {
+		return FireEvent{}, fmt.Errorf("%w: %q", ErrUnknownTransition, t)
+	}
+	switch {
+	case n.EnabledNormal(m, t):
+		if !m.Sub(n.input[t]) {
+			return FireEvent{}, fmt.Errorf("%w: %q (race on marking)", ErrNotEnabled, t)
+		}
+		consumed := n.input[t].Clone()
+		// Sweep present priority tokens so triggers never go stale.
+		consumed = consumed.Union(m.SubAvailable(n.priority[t]))
+		produced := n.output[t].Clone()
+		m.AddBag(produced)
+		return FireEvent{Transition: t, Rule: FireNormal, Consumed: consumed, Produced: produced}, nil
+	case n.EnabledPriority(m, t):
+		if !m.Sub(n.priority[t]) {
+			return FireEvent{}, fmt.Errorf("%w: %q (race on marking)", ErrNotEnabled, t)
+		}
+		consumed := n.priority[t].Clone()
+		// The priority rule pre-empts: late normal inputs must not linger
+		// as stale state, so consume whatever fraction already arrived.
+		consumed = consumed.Union(m.SubAvailable(n.input[t]))
+		produced := n.output[t].Clone()
+		m.AddBag(produced)
+		return FireEvent{Transition: t, Rule: FirePriority, Consumed: consumed, Produced: produced}, nil
+	default:
+		return FireEvent{}, fmt.Errorf("%w: %q in %s", ErrNotEnabled, t, m)
+	}
+}
+
+// ResolveConflict picks which of the enabled transitions should fire when
+// they compete for tokens, per the paper's rule: "a place with a token and
+// several transitions enabled from this place will fire the transition with
+// a priority arc from this place". Among equals the lexicographically
+// smallest ID wins, making resolution deterministic. The input slice must
+// be non-empty; all entries are assumed enabled in m.
+func (n *Net) ResolveConflict(m Marking, enabled []TransitionID) TransitionID {
+	if len(enabled) == 1 {
+		return enabled[0]
+	}
+	best := enabled[0]
+	bestScore := n.conflictScore(m, best)
+	for _, t := range enabled[1:] {
+		score := n.conflictScore(m, t)
+		if score > bestScore || (score == bestScore && t < best) {
+			best, bestScore = t, score
+		}
+	}
+	return best
+}
+
+// conflictScore ranks a transition for conflict resolution: transitions
+// whose priority inputs are marked outrank purely normal ones; more marked
+// priority places outrank fewer.
+func (n *Net) conflictScore(m Marking, t TransitionID) int {
+	score := 0
+	for p, need := range n.priority[t] {
+		if need > 0 && m[p] >= need {
+			score += 2
+		}
+	}
+	return score
+}
+
+// Conflicts returns the groups of enabled transitions that share at least
+// one marked input place in m (i.e. genuinely compete for tokens). Each
+// group is sorted; groups of size 1 are omitted.
+func (n *Net) Conflicts(m Marking) [][]TransitionID {
+	enabled := n.EnabledSet(m)
+	byPlace := make(map[PlaceID][]TransitionID)
+	for _, t := range enabled {
+		seen := make(map[PlaceID]bool)
+		for _, bag := range []Bag{n.input[t], n.priority[t]} {
+			for p, w := range bag {
+				if w > 0 && m[p] > 0 && !seen[p] {
+					seen[p] = true
+					byPlace[p] = append(byPlace[p], t)
+				}
+			}
+		}
+	}
+	var out [][]TransitionID
+	seenKey := make(map[string]bool)
+	for _, group := range byPlace {
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i] < group[j] })
+		key := ""
+		for _, t := range group {
+			key += string(t) + "|"
+		}
+		if !seenKey[key] {
+			seenKey[key] = true
+			out = append(out, group)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

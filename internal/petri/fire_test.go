@@ -1,0 +1,284 @@
+package petri
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireNormalRule(t *testing.T) {
+	n := simpleChain(t)
+	m := NewMarking("p1")
+	ev, err := n.Fire(m, "t1")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if ev.Rule != FireNormal {
+		t.Errorf("Rule = %v, want normal", ev.Rule)
+	}
+	if m.Tokens("p1") != 0 || m.Tokens("p2") != 1 {
+		t.Errorf("marking after fire: %v", m)
+	}
+}
+
+func TestFireNotEnabled(t *testing.T) {
+	n := simpleChain(t)
+	m := NewMarking("p1")
+	if _, err := n.Fire(m, "t2"); !errors.Is(err, ErrNotEnabled) {
+		t.Errorf("firing disabled transition: got %v, want ErrNotEnabled", err)
+	}
+	if _, err := n.Fire(m, "nope"); !errors.Is(err, ErrUnknownTransition) {
+		t.Errorf("firing unknown transition: got %v", err)
+	}
+}
+
+func TestFireWeightedArcs(t *testing.T) {
+	n := newBuild(t).
+		places("in", "out").
+		transitions("t").
+		in("in", "t", 3).out("t", "out", 2).
+		net
+	m := Marking{"in": 2}
+	if n.Enabled(m, "t") {
+		t.Error("2 < 3 tokens should not enable t")
+	}
+	m.Set("in", 3)
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if m.Tokens("in") != 0 || m.Tokens("out") != 2 {
+		t.Errorf("marking = %v", m)
+	}
+	if ev.Consumed.Count("in") != 3 || ev.Produced.Count("out") != 2 {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+// priorityNet builds the paper's scenario: t has a normal input (media
+// ready) and a priority input (user interaction / clock deadline); the
+// priority token forces firing without waiting for the normal one.
+func priorityNet(t *testing.T) *Net {
+	t.Helper()
+	return newBuild(t).
+		places("media", "urgent", "done").
+		transitions("t").
+		in("media", "t", 1).
+		prio("urgent", "t", 1).
+		out("t", "done", 1).
+		net
+}
+
+func TestPriorityFiresWithoutNormalInput(t *testing.T) {
+	n := priorityNet(t)
+	m := NewMarking("urgent") // media has NOT arrived
+	if n.EnabledNormal(m, "t") {
+		t.Error("normal rule should not hold without media token")
+	}
+	if !n.EnabledPriority(m, "t") {
+		t.Fatal("priority rule should hold")
+	}
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if ev.Rule != FirePriority {
+		t.Errorf("Rule = %v, want priority", ev.Rule)
+	}
+	if m.Tokens("done") != 1 {
+		t.Errorf("marking = %v", m)
+	}
+}
+
+func TestPriorityConsumesAvailableNormalTokens(t *testing.T) {
+	n := newBuild(t).
+		places("a", "b", "urgent", "done").
+		transitions("t").
+		in("a", "t", 1).in("b", "t", 1).
+		prio("urgent", "t", 1).
+		out("t", "done", 1).
+		net
+	// a arrived, b did not; priority fire must sweep a to avoid stale tokens.
+	m := NewMarking("a", "urgent")
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if ev.Rule != FirePriority {
+		t.Fatalf("Rule = %v", ev.Rule)
+	}
+	if ev.Consumed.Count("a") != 1 || ev.Consumed.Count("urgent") != 1 {
+		t.Errorf("Consumed = %v", ev.Consumed)
+	}
+	if m.Tokens("a") != 0 || m.Total() != 1 || m.Tokens("done") != 1 {
+		t.Errorf("marking = %v", m)
+	}
+}
+
+func TestNormalRulePreferredWhenAllInputsReady(t *testing.T) {
+	n := priorityNet(t)
+	m := NewMarking("media", "urgent")
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if ev.Rule != FireNormal {
+		t.Errorf("Rule = %v, want normal when everything is ready", ev.Rule)
+	}
+	if m.Total() != 1 || m.Tokens("done") != 1 {
+		t.Errorf("marking = %v", m)
+	}
+}
+
+func TestPriorityRuleRequiresPriorityArc(t *testing.T) {
+	n := simpleChain(t)
+	m := NewMarking() // empty
+	if n.EnabledPriority(m, "t1") {
+		t.Error("transition without priority arcs is never priority-enabled")
+	}
+}
+
+func TestNormalFireDoesNotRequirePriorityToken(t *testing.T) {
+	// Priority inputs are triggers, not prerequisites: with only the
+	// media token present the transition fires normally.
+	n := priorityNet(t)
+	m := NewMarking("media")
+	if !n.EnabledNormal(m, "t") {
+		t.Fatal("normal rule should hold without the priority token")
+	}
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatalf("Fire: %v", err)
+	}
+	if ev.Rule != FireNormal {
+		t.Errorf("Rule = %v", ev.Rule)
+	}
+	if m.Tokens("done") != 1 || m.Total() != 1 {
+		t.Errorf("marking = %v", m)
+	}
+}
+
+func TestNormalFireSweepsPriorityTokens(t *testing.T) {
+	n := priorityNet(t)
+	m := NewMarking("media", "urgent")
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Consumed.Count("urgent") != 1 {
+		t.Errorf("priority token not swept: consumed %v", ev.Consumed)
+	}
+	if m.Tokens("urgent") != 0 {
+		t.Error("stale priority token")
+	}
+}
+
+func TestPriorityOnlyTransitionNeedsTrigger(t *testing.T) {
+	// A transition whose only inputs are priority arcs fires only when
+	// triggered.
+	n := newBuild(t).
+		places("trigger", "out").
+		transitions("t").
+		prio("trigger", "t", 1).
+		out("t", "out", 1).
+		net
+	if n.EnabledNormal(NewMarking(), "t") || n.Enabled(NewMarking(), "t") {
+		t.Error("must not be enabled without the trigger")
+	}
+	m := NewMarking("trigger")
+	ev, err := n.Fire(m, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Rule != FirePriority {
+		t.Errorf("Rule = %v", ev.Rule)
+	}
+}
+
+func TestEnabledFully(t *testing.T) {
+	n := priorityNet(t)
+	if !n.EnabledFully(NewMarking("media", "urgent"), "t") {
+		t.Error("both tokens present: fully enabled")
+	}
+	if n.EnabledFully(NewMarking("media"), "t") {
+		t.Error("missing priority token: not fully enabled")
+	}
+	if n.EnabledFully(NewMarking("urgent"), "t") {
+		t.Error("missing media token: not fully enabled")
+	}
+}
+
+func TestEnabledSetOrder(t *testing.T) {
+	n := newBuild(t).
+		places("p").
+		transitions("t1", "t2").
+		in("p", "t1", 1).in("p", "t2", 1).
+		out("t1", "p", 1).out("t2", "p", 1).
+		net
+	got := n.EnabledSet(NewMarking("p"))
+	if len(got) != 2 || got[0] != "t1" || got[1] != "t2" {
+		t.Errorf("EnabledSet = %v", got)
+	}
+}
+
+func TestResolveConflictPrefersPriorityArc(t *testing.T) {
+	// Paper rule: a place with a token and several transitions enabled from
+	// it fires the transition with a priority arc from this place.
+	n := newBuild(t).
+		places("shared", "a", "b").
+		transitions("normalT", "prioT").
+		in("shared", "normalT", 1).out("normalT", "a", 1).
+		prio("shared", "prioT", 1).out("prioT", "b", 1).
+		net
+	m := NewMarking("shared")
+	enabled := n.EnabledSet(m)
+	if len(enabled) != 2 {
+		t.Fatalf("enabled = %v", enabled)
+	}
+	if got := n.ResolveConflict(m, enabled); got != "prioT" {
+		t.Errorf("ResolveConflict = %q, want prioT", got)
+	}
+}
+
+func TestResolveConflictDeterministicTieBreak(t *testing.T) {
+	n := newBuild(t).
+		places("p", "x", "y").
+		transitions("tb", "ta").
+		in("p", "tb", 1).out("tb", "x", 1).
+		in("p", "ta", 1).out("ta", "y", 1).
+		net
+	m := NewMarking("p")
+	if got := n.ResolveConflict(m, n.EnabledSet(m)); got != "ta" {
+		t.Errorf("tie-break = %q, want lexicographically smallest (ta)", got)
+	}
+}
+
+func TestConflictsDetection(t *testing.T) {
+	n := newBuild(t).
+		places("shared", "solo", "o1", "o2", "o3").
+		transitions("t1", "t2", "t3").
+		in("shared", "t1", 1).out("t1", "o1", 1).
+		in("shared", "t2", 1).out("t2", "o2", 1).
+		in("solo", "t3", 1).out("t3", "o3", 1).
+		net
+	m := NewMarking("shared", "solo")
+	groups := n.Conflicts(m)
+	if len(groups) != 1 {
+		t.Fatalf("Conflicts = %v, want one group", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != "t1" || groups[0][1] != "t2" {
+		t.Errorf("group = %v", groups[0])
+	}
+}
+
+func TestFireEventBagsAreCopies(t *testing.T) {
+	n := simpleChain(t)
+	m := NewMarking("p1")
+	ev, err := n.Fire(m, "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Produced.Add("p2", 100)
+	if n.Output("t1").Count("p2") != 1 {
+		t.Error("FireEvent.Produced aliases the net's output bag")
+	}
+}

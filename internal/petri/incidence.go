@@ -1,0 +1,274 @@
+package petri
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IncidenceMatrix is the change matrix D = O − I of the net: rows are
+// transitions, columns places, entry D[t][p] is the net token change at p
+// when t fires under the normal rule. Priority arcs count as inputs.
+type IncidenceMatrix struct {
+	Places      []PlaceID
+	Transitions []TransitionID
+	D           [][]int // indexed [transition][place]
+}
+
+// Incidence computes the incidence matrix with places sorted
+// lexicographically and transitions in insertion order.
+func (n *Net) Incidence() *IncidenceMatrix {
+	places := n.sortedPlaceIDs()
+	idx := make(map[PlaceID]int, len(places))
+	for i, p := range places {
+		idx[p] = i
+	}
+	m := &IncidenceMatrix{Places: places, Transitions: n.Transitions()}
+	m.D = make([][]int, len(m.Transitions))
+	for ti, t := range m.Transitions {
+		row := make([]int, len(places))
+		for p, w := range n.input[t] {
+			row[idx[p]] -= w
+		}
+		for p, w := range n.priority[t] {
+			row[idx[p]] -= w
+		}
+		for p, w := range n.output[t] {
+			row[idx[p]] += w
+		}
+		m.D[ti] = row
+	}
+	return m
+}
+
+// Apply returns the marking reached from m by firing each transition the
+// number of times given in the firing-count vector x (Parikh vector),
+// ignoring intermediate enabling: m' = m + x·D. Entries of x align with
+// Transitions. Negative resulting token counts indicate the vector is not
+// realizable from m.
+func (im *IncidenceMatrix) Apply(m Marking, x []int) (Marking, bool) {
+	if len(x) != len(im.Transitions) {
+		return nil, false
+	}
+	out := m.Clone()
+	for ti, count := range x {
+		if count == 0 {
+			continue
+		}
+		for pi, delta := range im.D[ti] {
+			p := im.Places[pi]
+			out[p] += delta * count
+		}
+	}
+	for p, v := range out {
+		if v < 0 {
+			return nil, false
+		}
+		if v == 0 {
+			delete(out, p)
+		}
+	}
+	return out, true
+}
+
+// PInvariants computes a basis of place invariants: integer vectors y ≥ 0
+// with D·y = 0 (weighted token sums conserved by every firing). The
+// computation uses the Farkas algorithm over integers; the returned
+// vectors are minimal-support and component-wise non-negative.
+func (im *IncidenceMatrix) PInvariants() [][]int {
+	nP := len(im.Places)
+	nT := len(im.Transitions)
+	// rows: [D^T | Identity] — work on columns of D (i.e. place space).
+	type row struct {
+		d []int // length nT: current transformed transition-effects
+		y []int // length nP: combination coefficients (candidate invariant)
+	}
+	rows := make([]row, nP)
+	for pi := 0; pi < nP; pi++ {
+		d := make([]int, nT)
+		for ti := 0; ti < nT; ti++ {
+			d[ti] = im.D[ti][pi]
+		}
+		y := make([]int, nP)
+		y[pi] = 1
+		rows[pi] = row{d: d, y: y}
+	}
+	for ti := 0; ti < nT; ti++ {
+		var pos, neg, zero []row
+		for _, r := range rows {
+			switch {
+			case r.d[ti] > 0:
+				pos = append(pos, r)
+			case r.d[ti] < 0:
+				neg = append(neg, r)
+			default:
+				zero = append(zero, r)
+			}
+		}
+		next := zero
+		for _, rp := range pos {
+			for _, rn := range neg {
+				a, b := rp.d[ti], -rn.d[ti]
+				g := gcd(a, b)
+				ca, cb := b/g, a/g
+				nd := make([]int, nT)
+				ny := make([]int, nP)
+				for k := 0; k < nT; k++ {
+					nd[k] = ca*rp.d[k] + cb*rn.d[k]
+				}
+				for k := 0; k < nP; k++ {
+					ny[k] = ca*rp.y[k] + cb*rn.y[k]
+				}
+				next = append(next, row{d: nd, y: normalizeVec(ny)})
+			}
+		}
+		rows = next
+	}
+	var out [][]int
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if isZeroVec(r.y) {
+			continue
+		}
+		key := fmt.Sprint(r.y)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r.y)
+		}
+	}
+	return out
+}
+
+// TInvariants computes a basis of transition invariants: non-negative
+// integer firing-count vectors x with x·D = 0 — firing every transition
+// x[t] times returns the net to its starting marking (if realizable).
+// Presentation nets are acyclic and have none; the token-ring and
+// floor-token nets do. The computation mirrors PInvariants on the
+// transposed matrix.
+func (im *IncidenceMatrix) TInvariants() [][]int {
+	nP := len(im.Places)
+	nT := len(im.Transitions)
+	type row struct {
+		d []int // length nP: current transformed place-effects
+		x []int // length nT: combination coefficients (candidate invariant)
+	}
+	rows := make([]row, nT)
+	for ti := 0; ti < nT; ti++ {
+		d := make([]int, nP)
+		copy(d, im.D[ti])
+		x := make([]int, nT)
+		x[ti] = 1
+		rows[ti] = row{d: d, x: x}
+	}
+	for pi := 0; pi < nP; pi++ {
+		var pos, neg, zero []row
+		for _, r := range rows {
+			switch {
+			case r.d[pi] > 0:
+				pos = append(pos, r)
+			case r.d[pi] < 0:
+				neg = append(neg, r)
+			default:
+				zero = append(zero, r)
+			}
+		}
+		next := zero
+		for _, rp := range pos {
+			for _, rn := range neg {
+				a, b := rp.d[pi], -rn.d[pi]
+				g := gcd(a, b)
+				ca, cb := b/g, a/g
+				nd := make([]int, nP)
+				nx := make([]int, nT)
+				for k := 0; k < nP; k++ {
+					nd[k] = ca*rp.d[k] + cb*rn.d[k]
+				}
+				for k := 0; k < nT; k++ {
+					nx[k] = ca*rp.x[k] + cb*rn.x[k]
+				}
+				next = append(next, row{d: nd, x: normalizeVec(nx)})
+			}
+		}
+		rows = next
+	}
+	var out [][]int
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if isZeroVec(r.x) {
+			continue
+		}
+		key := fmt.Sprint(r.x)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, r.x)
+		}
+	}
+	return out
+}
+
+// InvariantValue evaluates the weighted token sum Σ y[p]·m(p) for an
+// invariant vector aligned with Places.
+func (im *IncidenceMatrix) InvariantValue(m Marking, y []int) int {
+	total := 0
+	for pi, p := range im.Places {
+		if pi < len(y) {
+			total += y[pi] * m.Tokens(p)
+		}
+	}
+	return total
+}
+
+// String renders the matrix for debugging.
+func (im *IncidenceMatrix) String() string {
+	var sb strings.Builder
+	sb.WriteString("      ")
+	for _, p := range im.Places {
+		fmt.Fprintf(&sb, "%6s", p)
+	}
+	sb.WriteByte('\n')
+	for ti, t := range im.Transitions {
+		fmt.Fprintf(&sb, "%6s", t)
+		for pi := range im.Places {
+			fmt.Fprintf(&sb, "%6d", im.D[ti][pi])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func gcd(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func normalizeVec(v []int) []int {
+	g := 0
+	for _, x := range v {
+		g = gcd(g, x)
+	}
+	if g > 1 {
+		for i := range v {
+			v[i] /= g
+		}
+	}
+	return v
+}
+
+func isZeroVec(v []int) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,208 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIncidenceMatrixEntries(t *testing.T) {
+	n := simpleChain(t) // p1 -> t1 -> p2 -> t2 -> p3
+	im := n.Incidence()
+	if len(im.Places) != 3 || len(im.Transitions) != 2 {
+		t.Fatalf("dims = %dx%d", len(im.Transitions), len(im.Places))
+	}
+	get := func(tr TransitionID, p PlaceID) int {
+		ti, pi := -1, -1
+		for i, x := range im.Transitions {
+			if x == tr {
+				ti = i
+			}
+		}
+		for i, x := range im.Places {
+			if x == p {
+				pi = i
+			}
+		}
+		if ti < 0 || pi < 0 {
+			t.Fatalf("missing %q/%q", tr, p)
+		}
+		return im.D[ti][pi]
+	}
+	if get("t1", "p1") != -1 || get("t1", "p2") != 1 || get("t1", "p3") != 0 {
+		t.Errorf("t1 row wrong: %v", im.D)
+	}
+	if get("t2", "p2") != -1 || get("t2", "p3") != 1 {
+		t.Errorf("t2 row wrong: %v", im.D)
+	}
+}
+
+func TestIncidencePriorityArcsCountAsInputs(t *testing.T) {
+	n := newBuild(t).
+		places("p", "q").
+		transitions("t").
+		prio("p", "t", 2).out("t", "q", 1).
+		net
+	im := n.Incidence()
+	if im.D[0][0] != -2 { // places sorted: p, q
+		t.Errorf("priority input not counted: %v", im.D)
+	}
+}
+
+func TestIncidenceApply(t *testing.T) {
+	n := simpleChain(t)
+	im := n.Incidence()
+	m, ok := im.Apply(NewMarking("p1"), []int{1, 1})
+	if !ok {
+		t.Fatal("Apply failed")
+	}
+	if m.Tokens("p3") != 1 || m.Total() != 1 {
+		t.Errorf("state equation result = %v", m)
+	}
+	// Infeasible: firing t2 twice needs two p2 tokens overall.
+	if _, ok := im.Apply(NewMarking("p1"), []int{1, 2}); ok {
+		t.Error("Apply should reject negative intermediate totals")
+	}
+	if _, ok := im.Apply(NewMarking("p1"), []int{1}); ok {
+		t.Error("Apply should reject wrong-length vectors")
+	}
+}
+
+func TestPInvariantsRing(t *testing.T) {
+	// a <-> b ring: y = (1,1) is a P-invariant.
+	n := newBuild(t).
+		places("a", "b").
+		transitions("ab", "ba").
+		in("a", "ab", 1).out("ab", "b", 1).
+		in("b", "ba", 1).out("ba", "a", 1).
+		net
+	im := n.Incidence()
+	invs := im.PInvariants()
+	if len(invs) == 0 {
+		t.Fatal("expected at least one invariant")
+	}
+	found := false
+	for _, y := range invs {
+		if len(y) == 2 && y[0] == 1 && y[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("invariants = %v, want [1 1]", invs)
+	}
+	// The invariant value must be constant across reachable markings.
+	g, err := n.Reachability(NewMarking("a"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := im.InvariantValue(NewMarking("a"), invs[0])
+	for _, m := range g.States {
+		if got := im.InvariantValue(m, invs[0]); got != want {
+			t.Errorf("invariant value %d != %d at %v", got, want, m)
+		}
+	}
+}
+
+func TestPInvariantsSinkHasNone(t *testing.T) {
+	n := newBuild(t).
+		places("a").
+		transitions("drop").
+		in("a", "drop", 1).
+		net
+	invs := n.Incidence().PInvariants()
+	for _, y := range invs {
+		if y[0] != 0 {
+			t.Errorf("sink net should have no invariant covering a: %v", invs)
+		}
+	}
+}
+
+func TestIncidenceString(t *testing.T) {
+	n := simpleChain(t)
+	s := n.Incidence().String()
+	if !strings.Contains(s, "t1") || !strings.Contains(s, "p3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestGCDHelpers(t *testing.T) {
+	if gcd(12, 18) != 6 {
+		t.Errorf("gcd(12,18) = %d", gcd(12, 18))
+	}
+	if gcd(-4, 6) != 2 {
+		t.Errorf("gcd(-4,6) = %d", gcd(-4, 6))
+	}
+	if gcd(0, 0) != 1 {
+		t.Errorf("gcd(0,0) = %d (defined as 1 to avoid div-by-zero)", gcd(0, 0))
+	}
+	v := normalizeVec([]int{4, 6, 8})
+	if v[0] != 2 || v[1] != 3 || v[2] != 4 {
+		t.Errorf("normalizeVec = %v", v)
+	}
+	if !isZeroVec([]int{0, 0}) || isZeroVec([]int{0, 1}) {
+		t.Error("isZeroVec wrong")
+	}
+}
+
+func TestTInvariantsRing(t *testing.T) {
+	// a <-> b ring: firing ab and ba once each returns to the start.
+	n := newBuild(t).
+		places("a", "b").
+		transitions("ab", "ba").
+		in("a", "ab", 1).out("ab", "b", 1).
+		in("b", "ba", 1).out("ba", "a", 1).
+		net
+	invs := n.Incidence().TInvariants()
+	if len(invs) == 0 {
+		t.Fatal("ring should have a T-invariant")
+	}
+	found := false
+	for _, x := range invs {
+		if len(x) == 2 && x[0] == 1 && x[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("T-invariants = %v, want [1 1]", invs)
+	}
+	// Realize it: fire ab then ba and compare markings.
+	m := NewMarking("a")
+	start := m.Clone()
+	if _, err := n.Fire(m, "ab"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Fire(m, "ba"); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(start) {
+		t.Errorf("T-invariant firing did not return to start: %v", m)
+	}
+}
+
+func TestTInvariantsAcyclicChainHasNone(t *testing.T) {
+	n := simpleChain(t)
+	invs := n.Incidence().TInvariants()
+	if len(invs) != 0 {
+		t.Errorf("acyclic chain should have no T-invariants: %v", invs)
+	}
+}
+
+func TestTInvariantsWeightedCycle(t *testing.T) {
+	// t1 produces 2 tokens into p; t2 consumes 1 and returns 1 to q...
+	// build: q -t1-> p(×2), p(×2) -t2-> q : x = (1,1).
+	n := newBuild(t).
+		places("p", "q").
+		transitions("t1", "t2").
+		in("q", "t1", 1).out("t1", "p", 2).
+		in("p", "t2", 2).out("t2", "q", 1).
+		net
+	invs := n.Incidence().TInvariants()
+	found := false
+	for _, x := range invs {
+		if len(x) == 2 && x[0] == 1 && x[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("T-invariants = %v, want [1 1]", invs)
+	}
+}

@@ -1,0 +1,179 @@
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Marking assigns a token count to each place. Places absent from the map
+// hold zero tokens. The zero value (nil) is a valid empty marking for reads;
+// use make(Marking) or NewMarking before writing.
+type Marking map[PlaceID]int
+
+// NewMarking returns a marking with one token on each listed place.
+func NewMarking(places ...PlaceID) Marking {
+	m := make(Marking, len(places))
+	for _, p := range places {
+		m[p]++
+	}
+	return m
+}
+
+// Tokens reports the token count at place p.
+func (m Marking) Tokens(p PlaceID) int { return m[p] }
+
+// Set assigns exactly n tokens to place p (n < 0 is clamped to 0).
+func (m Marking) Set(p PlaceID, n int) {
+	if n <= 0 {
+		delete(m, p)
+		return
+	}
+	m[p] = n
+}
+
+// Total reports the total number of tokens in the marking.
+func (m Marking) Total() int {
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	return total
+}
+
+// Covers reports whether the marking has at least the tokens demanded by
+// the bag, i.e. m(p) ≥ b(p) for every place p.
+func (m Marking) Covers(b Bag) bool {
+	for p, need := range b {
+		if need > 0 && m[p] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// Sub removes the bag's tokens from the marking. It reports false and
+// leaves the marking unchanged when the marking does not cover the bag.
+func (m Marking) Sub(b Bag) bool {
+	if !m.Covers(b) {
+		return false
+	}
+	for p, need := range b {
+		if need <= 0 {
+			continue
+		}
+		if rest := m[p] - need; rest > 0 {
+			m[p] = rest
+		} else {
+			delete(m, p)
+		}
+	}
+	return true
+}
+
+// SubAvailable removes up to the bag's tokens from the marking, consuming
+// whatever is present. It is used by the priority fire rule, which consumes
+// the normal inputs that have already arrived when a priority input forces
+// the transition. It returns the bag of tokens actually consumed.
+func (m Marking) SubAvailable(b Bag) Bag {
+	consumed := make(Bag)
+	for p, need := range b {
+		if need <= 0 {
+			continue
+		}
+		have := m[p]
+		take := need
+		if have < take {
+			take = have
+		}
+		if take == 0 {
+			continue
+		}
+		consumed.Add(p, take)
+		if rest := have - take; rest > 0 {
+			m[p] = rest
+		} else {
+			delete(m, p)
+		}
+	}
+	return consumed
+}
+
+// AddBag deposits the bag's tokens into the marking.
+func (m Marking) AddBag(b Bag) {
+	for p, n := range b {
+		if n > 0 {
+			m[p] += n
+		}
+	}
+}
+
+// Clone returns an independent copy of the marking.
+func (m Marking) Clone() Marking {
+	c := make(Marking, len(m))
+	for p, n := range m {
+		if n > 0 {
+			c[p] = n
+		}
+	}
+	return c
+}
+
+// Equal reports whether two markings assign identical token counts.
+func (m Marking) Equal(other Marking) bool {
+	for p, n := range m {
+		if n > 0 && other[p] != n {
+			return false
+		}
+	}
+	for p, n := range other {
+		if n > 0 && m[p] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether m(p) ≥ other(p) for all p. Together with
+// !Equal it detects strict growth, the unboundedness witness used by the
+// coverability construction.
+func (m Marking) Dominates(other Marking) bool {
+	for p, n := range other {
+		if n > 0 && m[p] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string form usable as a map key for state-space
+// exploration, e.g. "p1=1;p3=2".
+func (m Marking) Key() string {
+	if len(m) == 0 {
+		return ""
+	}
+	places := make([]PlaceID, 0, len(m))
+	for p, n := range m {
+		if n > 0 {
+			places = append(places, p)
+		}
+	}
+	sort.Slice(places, func(i, j int) bool { return places[i] < places[j] })
+	var sb strings.Builder
+	for i, p := range places {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%s=%d", p, m[p])
+	}
+	return sb.String()
+}
+
+// String renders the marking like "[p1=1 p3=2]".
+func (m Marking) String() string {
+	key := m.Key()
+	if key == "" {
+		return "[]"
+	}
+	return "[" + strings.ReplaceAll(key, ";", " ") + "]"
+}

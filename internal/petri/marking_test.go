@@ -1,0 +1,156 @@
+package petri
+
+import "testing"
+
+func TestBagBasics(t *testing.T) {
+	b := NewBag("a", "b", "a")
+	if got := b.Count("a"); got != 2 {
+		t.Errorf("Count(a) = %d, want 2", got)
+	}
+	if got := b.Size(); got != 3 {
+		t.Errorf("Size = %d, want 3", got)
+	}
+	if b.IsEmpty() {
+		t.Error("IsEmpty on non-empty bag")
+	}
+	var zero Bag
+	if !zero.IsEmpty() {
+		t.Error("zero bag should be empty")
+	}
+}
+
+func TestBagAddIgnoresNonPositive(t *testing.T) {
+	b := make(Bag)
+	b.Add("p", 0)
+	b.Add("p", -5)
+	if !b.IsEmpty() {
+		t.Errorf("bag should stay empty, got %v", b)
+	}
+}
+
+func TestBagUnionClone(t *testing.T) {
+	a := NewBag("x")
+	bb := NewBag("x", "y")
+	u := a.Union(bb)
+	if u.Count("x") != 2 || u.Count("y") != 1 {
+		t.Errorf("Union = %v", u)
+	}
+	// Union must not alias its receivers.
+	a.Add("x", 10)
+	if u.Count("x") != 2 {
+		t.Error("Union aliases receiver")
+	}
+	c := bb.Clone()
+	c.Add("z", 1)
+	if bb.Count("z") != 0 {
+		t.Error("Clone aliases source")
+	}
+}
+
+func TestBagEqual(t *testing.T) {
+	if !NewBag("a", "b").Equal(NewBag("b", "a")) {
+		t.Error("order must not matter")
+	}
+	if NewBag("a").Equal(NewBag("a", "a")) {
+		t.Error("multiplicity must matter")
+	}
+	withZero := Bag{"a": 1, "ghost": 0}
+	if !withZero.Equal(NewBag("a")) {
+		t.Error("zero entries must be ignored")
+	}
+}
+
+func TestBagString(t *testing.T) {
+	b := Bag{"p2": 3, "p1": 1}
+	if got := b.String(); got != "{p1, p2:3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMarkingCoversSub(t *testing.T) {
+	m := NewMarking("p1", "p1", "p2")
+	if !m.Covers(NewBag("p1", "p2")) {
+		t.Error("should cover subset")
+	}
+	if m.Covers(NewBag("p3")) {
+		t.Error("should not cover missing place")
+	}
+	if !m.Sub(NewBag("p1", "p2")) {
+		t.Error("Sub should succeed")
+	}
+	if m.Tokens("p1") != 1 || m.Tokens("p2") != 0 {
+		t.Errorf("after Sub: %v", m)
+	}
+	// Failed Sub must leave marking untouched.
+	before := m.Clone()
+	if m.Sub(NewBag("p1", "p1")) {
+		t.Error("Sub should fail when short")
+	}
+	if !m.Equal(before) {
+		t.Errorf("failed Sub mutated marking: %v vs %v", m, before)
+	}
+}
+
+func TestMarkingSubAvailable(t *testing.T) {
+	m := NewMarking("p1")
+	consumed := m.SubAvailable(Bag{"p1": 2, "p2": 1})
+	if consumed.Count("p1") != 1 || consumed.Count("p2") != 0 {
+		t.Errorf("consumed = %v", consumed)
+	}
+	if m.Total() != 0 {
+		t.Errorf("marking after SubAvailable = %v", m)
+	}
+}
+
+func TestMarkingSetClamps(t *testing.T) {
+	m := make(Marking)
+	m.Set("p", 5)
+	if m.Tokens("p") != 5 {
+		t.Errorf("Set: %v", m)
+	}
+	m.Set("p", -1)
+	if m.Tokens("p") != 0 {
+		t.Errorf("Set negative should clamp: %v", m)
+	}
+	if _, exists := m["p"]; exists {
+		t.Error("Set(0) should delete the entry")
+	}
+}
+
+func TestMarkingDominates(t *testing.T) {
+	big := Marking{"a": 2, "b": 1}
+	small := Marking{"a": 1}
+	if !big.Dominates(small) {
+		t.Error("big should dominate small")
+	}
+	if small.Dominates(big) {
+		t.Error("small should not dominate big")
+	}
+	if !big.Dominates(big) {
+		t.Error("dominates is reflexive")
+	}
+}
+
+func TestMarkingKeyCanonical(t *testing.T) {
+	a := Marking{"x": 1, "y": 2}
+	b := Marking{"y": 2, "x": 1, "z": 0}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	var empty Marking
+	if empty.Key() != "" {
+		t.Errorf("empty key = %q", empty.Key())
+	}
+	if empty.String() != "[]" {
+		t.Errorf("empty String = %q", empty.String())
+	}
+}
+
+func TestMarkingCloneIndependent(t *testing.T) {
+	m := NewMarking("p")
+	c := m.Clone()
+	c.AddBag(NewBag("p"))
+	if m.Tokens("p") != 1 {
+		t.Error("Clone aliases source")
+	}
+}

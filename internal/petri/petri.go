@@ -1,0 +1,266 @@
+package petri
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PlaceID names a place. IDs are unique within a net.
+type PlaceID string
+
+// TransitionID names a transition. IDs are unique within a net.
+type TransitionID string
+
+// Sentinel errors returned by net construction and firing.
+var (
+	// ErrDuplicateID is returned when a place or transition ID is reused.
+	ErrDuplicateID = errors.New("petri: duplicate identifier")
+	// ErrUnknownPlace is returned when an arc references an undefined place.
+	ErrUnknownPlace = errors.New("petri: unknown place")
+	// ErrUnknownTransition is returned when an arc or firing references an
+	// undefined transition.
+	ErrUnknownTransition = errors.New("petri: unknown transition")
+	// ErrNotEnabled is returned by Fire when the transition is not enabled
+	// under the requested rule.
+	ErrNotEnabled = errors.New("petri: transition not enabled")
+	// ErrInvalidWeight is returned when an arc weight is not positive.
+	ErrInvalidWeight = errors.New("petri: arc weight must be positive")
+)
+
+// Place is a condition or media object holder in the net.
+type Place struct {
+	ID    PlaceID
+	Label string // human-readable annotation, may be empty
+}
+
+// Transition is an event of the net.
+type Transition struct {
+	ID    TransitionID
+	Label string
+}
+
+// Net is a (prioritized) Petri net structure C = (P, T, I, Ip, O).
+// Construct with New and the Add* methods; a Net is not safe for concurrent
+// mutation but is safe for concurrent read-only use once built.
+type Net struct {
+	places      map[PlaceID]*Place
+	transitions map[TransitionID]*Transition
+	input       map[TransitionID]Bag // I: normal input arcs
+	priority    map[TransitionID]Bag // Ip: priority input arcs
+	output      map[TransitionID]Bag // O: output arcs
+
+	placeOrder      []PlaceID      // insertion order, for deterministic iteration
+	transitionOrder []TransitionID // insertion order
+}
+
+// New returns an empty net.
+func New() *Net {
+	return &Net{
+		places:      make(map[PlaceID]*Place),
+		transitions: make(map[TransitionID]*Transition),
+		input:       make(map[TransitionID]Bag),
+		priority:    make(map[TransitionID]Bag),
+		output:      make(map[TransitionID]Bag),
+	}
+}
+
+// AddPlace adds a place with the given ID and optional label.
+func (n *Net) AddPlace(id PlaceID, label string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty place id", ErrUnknownPlace)
+	}
+	if _, ok := n.places[id]; ok {
+		return fmt.Errorf("%w: place %q", ErrDuplicateID, id)
+	}
+	if _, ok := n.transitions[TransitionID(id)]; ok {
+		return fmt.Errorf("%w: %q already names a transition", ErrDuplicateID, id)
+	}
+	n.places[id] = &Place{ID: id, Label: label}
+	n.placeOrder = append(n.placeOrder, id)
+	return nil
+}
+
+// AddTransition adds a transition with the given ID and optional label.
+func (n *Net) AddTransition(id TransitionID, label string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty transition id", ErrUnknownTransition)
+	}
+	if _, ok := n.transitions[id]; ok {
+		return fmt.Errorf("%w: transition %q", ErrDuplicateID, id)
+	}
+	if _, ok := n.places[PlaceID(id)]; ok {
+		return fmt.Errorf("%w: %q already names a place", ErrDuplicateID, id)
+	}
+	n.transitions[id] = &Transition{ID: id, Label: label}
+	n.transitionOrder = append(n.transitionOrder, id)
+	return nil
+}
+
+// AddInput adds a normal input arc from place p to transition t with the
+// given weight (multiplicity in I(t)).
+func (n *Net) AddInput(p PlaceID, t TransitionID, weight int) error {
+	return n.addArc(n.input, p, t, weight)
+}
+
+// AddPriorityInput adds a priority input arc from p to t. Per the
+// prioritized-net fire rule, a token on a priority input may force t to
+// fire without waiting for its normal inputs.
+func (n *Net) AddPriorityInput(p PlaceID, t TransitionID, weight int) error {
+	return n.addArc(n.priority, p, t, weight)
+}
+
+// AddOutput adds an output arc from transition t to place p.
+func (n *Net) AddOutput(t TransitionID, p PlaceID, weight int) error {
+	if err := n.checkArc(p, t, weight); err != nil {
+		return err
+	}
+	bag := n.output[t]
+	if bag == nil {
+		bag = make(Bag)
+		n.output[t] = bag
+	}
+	bag.Add(p, weight)
+	return nil
+}
+
+func (n *Net) addArc(arcs map[TransitionID]Bag, p PlaceID, t TransitionID, weight int) error {
+	if err := n.checkArc(p, t, weight); err != nil {
+		return err
+	}
+	bag := arcs[t]
+	if bag == nil {
+		bag = make(Bag)
+		arcs[t] = bag
+	}
+	bag.Add(p, weight)
+	return nil
+}
+
+func (n *Net) checkArc(p PlaceID, t TransitionID, weight int) error {
+	if weight <= 0 {
+		return fmt.Errorf("%w: got %d", ErrInvalidWeight, weight)
+	}
+	if _, ok := n.places[p]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPlace, p)
+	}
+	if _, ok := n.transitions[t]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTransition, t)
+	}
+	return nil
+}
+
+// Place returns the place with the given ID, or nil.
+func (n *Net) Place(id PlaceID) *Place { return n.places[id] }
+
+// Transition returns the transition with the given ID, or nil.
+func (n *Net) Transition(id TransitionID) *Transition { return n.transitions[id] }
+
+// Places returns all place IDs in insertion order.
+func (n *Net) Places() []PlaceID {
+	out := make([]PlaceID, len(n.placeOrder))
+	copy(out, n.placeOrder)
+	return out
+}
+
+// Transitions returns all transition IDs in insertion order.
+func (n *Net) Transitions() []TransitionID {
+	out := make([]TransitionID, len(n.transitionOrder))
+	copy(out, n.transitionOrder)
+	return out
+}
+
+// Input returns a copy of I(t), the normal input bag of t.
+func (n *Net) Input(t TransitionID) Bag { return n.input[t].Clone() }
+
+// PriorityInput returns a copy of Ip(t), the priority input bag of t.
+func (n *Net) PriorityInput(t TransitionID) Bag { return n.priority[t].Clone() }
+
+// Output returns a copy of O(t), the output bag of t.
+func (n *Net) Output(t TransitionID) Bag { return n.output[t].Clone() }
+
+// HasPriorityInput reports whether t has at least one priority input arc.
+func (n *Net) HasPriorityInput(t TransitionID) bool { return !n.priority[t].IsEmpty() }
+
+// InputsOf returns every transition that consumes from place p (via normal
+// or priority arcs), sorted by ID.
+func (n *Net) InputsOf(p PlaceID) []TransitionID {
+	var out []TransitionID
+	for _, t := range n.transitionOrder {
+		if n.input[t].Count(p) > 0 || n.priority[t].Count(p) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// OutputsOf returns every transition that produces into place p, sorted by
+// insertion order.
+func (n *Net) OutputsOf(p PlaceID) []TransitionID {
+	var out []TransitionID
+	for _, t := range n.transitionOrder {
+		if n.output[t].Count(p) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: every transition must have at least one
+// input or output arc, and arc endpoints must exist (guaranteed by
+// construction, re-checked defensively).
+func (n *Net) Validate() error {
+	for _, t := range n.transitionOrder {
+		if n.input[t].IsEmpty() && n.priority[t].IsEmpty() && n.output[t].IsEmpty() {
+			return fmt.Errorf("%w: transition %q has no arcs", ErrUnknownTransition, t)
+		}
+	}
+	for t, bag := range n.input {
+		if _, ok := n.transitions[t]; !ok {
+			return fmt.Errorf("%w: arc references %q", ErrUnknownTransition, t)
+		}
+		for p := range bag {
+			if _, ok := n.places[p]; !ok {
+				return fmt.Errorf("%w: arc references %q", ErrUnknownPlace, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the size of the net.
+type Stats struct {
+	Places          int
+	Transitions     int
+	NormalArcs      int // distinct (place, transition) normal input pairs
+	PriorityArcs    int
+	OutputArcs      int
+	TotalArcWeight  int
+	PriorityWeights int
+}
+
+// Stats returns size statistics for the net.
+func (n *Net) Stats() Stats {
+	s := Stats{Places: len(n.places), Transitions: len(n.transitions)}
+	for _, b := range n.input {
+		s.NormalArcs += len(b.Places())
+		s.TotalArcWeight += b.Size()
+	}
+	for _, b := range n.priority {
+		s.PriorityArcs += len(b.Places())
+		s.PriorityWeights += b.Size()
+		s.TotalArcWeight += b.Size()
+	}
+	for _, b := range n.output {
+		s.OutputArcs += len(b.Places())
+		s.TotalArcWeight += b.Size()
+	}
+	return s
+}
+
+// sortedPlaceIDs returns the net's place IDs sorted lexicographically.
+func (n *Net) sortedPlaceIDs() []PlaceID {
+	out := n.Places()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

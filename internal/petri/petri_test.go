@@ -1,0 +1,219 @@
+package petri
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// build is a test helper that applies construction steps and fails fast.
+type build struct {
+	t   *testing.T
+	net *Net
+}
+
+func newBuild(t *testing.T) *build {
+	t.Helper()
+	return &build{t: t, net: New()}
+}
+
+func (b *build) places(ids ...PlaceID) *build {
+	b.t.Helper()
+	for _, id := range ids {
+		if err := b.net.AddPlace(id, ""); err != nil {
+			b.t.Fatalf("AddPlace(%q): %v", id, err)
+		}
+	}
+	return b
+}
+
+func (b *build) transitions(ids ...TransitionID) *build {
+	b.t.Helper()
+	for _, id := range ids {
+		if err := b.net.AddTransition(id, ""); err != nil {
+			b.t.Fatalf("AddTransition(%q): %v", id, err)
+		}
+	}
+	return b
+}
+
+func (b *build) in(p PlaceID, t TransitionID, w int) *build {
+	b.t.Helper()
+	if err := b.net.AddInput(p, t, w); err != nil {
+		b.t.Fatalf("AddInput(%q,%q,%d): %v", p, t, w, err)
+	}
+	return b
+}
+
+func (b *build) prio(p PlaceID, t TransitionID, w int) *build {
+	b.t.Helper()
+	if err := b.net.AddPriorityInput(p, t, w); err != nil {
+		b.t.Fatalf("AddPriorityInput(%q,%q,%d): %v", p, t, w, err)
+	}
+	return b
+}
+
+func (b *build) out(t TransitionID, p PlaceID, w int) *build {
+	b.t.Helper()
+	if err := b.net.AddOutput(t, p, w); err != nil {
+		b.t.Fatalf("AddOutput(%q,%q,%d): %v", t, p, w, err)
+	}
+	return b
+}
+
+// simpleChain builds p1 -> t1 -> p2 -> t2 -> p3.
+func simpleChain(t *testing.T) *Net {
+	t.Helper()
+	return newBuild(t).
+		places("p1", "p2", "p3").
+		transitions("t1", "t2").
+		in("p1", "t1", 1).out("t1", "p2", 1).
+		in("p2", "t2", 1).out("t2", "p3", 1).
+		net
+}
+
+func TestAddPlaceDuplicate(t *testing.T) {
+	n := New()
+	if err := n.AddPlace("p1", "first"); err != nil {
+		t.Fatalf("AddPlace: %v", err)
+	}
+	err := n.AddPlace("p1", "second")
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate place: got %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestAddTransitionDuplicate(t *testing.T) {
+	n := New()
+	if err := n.AddTransition("t1", ""); err != nil {
+		t.Fatalf("AddTransition: %v", err)
+	}
+	if err := n.AddTransition("t1", ""); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate transition: got %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestPlaceTransitionNamespaceCollision(t *testing.T) {
+	n := New()
+	if err := n.AddPlace("x", ""); err != nil {
+		t.Fatalf("AddPlace: %v", err)
+	}
+	if err := n.AddTransition("x", ""); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("transition colliding with place: got %v, want ErrDuplicateID", err)
+	}
+	if err := n.AddTransition("y", ""); err != nil {
+		t.Fatalf("AddTransition: %v", err)
+	}
+	if err := n.AddPlace("y", ""); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("place colliding with transition: got %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestArcValidation(t *testing.T) {
+	n := New()
+	if err := n.AddPlace("p", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTransition("t", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddInput("missing", "t", 1); !errors.Is(err, ErrUnknownPlace) {
+		t.Errorf("unknown place: got %v", err)
+	}
+	if err := n.AddInput("p", "missing", 1); !errors.Is(err, ErrUnknownTransition) {
+		t.Errorf("unknown transition: got %v", err)
+	}
+	if err := n.AddInput("p", "t", 0); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("zero weight: got %v", err)
+	}
+	if err := n.AddInput("p", "t", -3); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("negative weight: got %v", err)
+	}
+}
+
+func TestArcWeightAccumulates(t *testing.T) {
+	n := newBuild(t).places("p").transitions("t").in("p", "t", 1).in("p", "t", 2).net
+	if got := n.Input("t").Count("p"); got != 3 {
+		t.Errorf("accumulated weight = %d, want 3", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := newBuild(t).places("p1").transitions("t1").net
+	if err := n.Validate(); err == nil {
+		t.Error("Validate should reject a transition with no arcs")
+	}
+	n2 := simpleChain(t)
+	if err := n2.Validate(); err != nil {
+		t.Errorf("Validate(simpleChain): %v", err)
+	}
+}
+
+func TestPlacesTransitionsOrder(t *testing.T) {
+	n := simpleChain(t)
+	wantP := []PlaceID{"p1", "p2", "p3"}
+	gotP := n.Places()
+	if len(gotP) != len(wantP) {
+		t.Fatalf("Places len = %d, want %d", len(gotP), len(wantP))
+	}
+	for i := range wantP {
+		if gotP[i] != wantP[i] {
+			t.Errorf("Places[%d] = %q, want %q", i, gotP[i], wantP[i])
+		}
+	}
+	wantT := []TransitionID{"t1", "t2"}
+	gotT := n.Transitions()
+	for i := range wantT {
+		if gotT[i] != wantT[i] {
+			t.Errorf("Transitions[%d] = %q, want %q", i, gotT[i], wantT[i])
+		}
+	}
+}
+
+func TestInputsOfOutputsOf(t *testing.T) {
+	n := simpleChain(t)
+	ins := n.InputsOf("p2")
+	if len(ins) != 1 || ins[0] != "t2" {
+		t.Errorf("InputsOf(p2) = %v, want [t2]", ins)
+	}
+	outs := n.OutputsOf("p2")
+	if len(outs) != 1 || outs[0] != "t1" {
+		t.Errorf("OutputsOf(p2) = %v, want [t1]", outs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := newBuild(t).
+		places("p1", "p2").
+		transitions("t1").
+		in("p1", "t1", 2).prio("p2", "t1", 1).out("t1", "p2", 3).
+		net
+	s := n.Stats()
+	if s.Places != 2 || s.Transitions != 1 {
+		t.Errorf("Stats sizes = %+v", s)
+	}
+	if s.NormalArcs != 1 || s.PriorityArcs != 1 || s.OutputArcs != 1 {
+		t.Errorf("Stats arcs = %+v", s)
+	}
+	if s.TotalArcWeight != 6 {
+		t.Errorf("TotalArcWeight = %d, want 6", s.TotalArcWeight)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	n := simpleChain(t)
+	dot := n.DOT("chain", NewMarking("p1"))
+	for _, want := range []string{"digraph", "p_p1", "t_t1", "shape=circle", "shape=box", "●×1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTPriorityArcStyling(t *testing.T) {
+	n := newBuild(t).places("p").transitions("t").prio("p", "t", 1).net
+	dot := n.DOT("prio", nil)
+	if !strings.Contains(dot, "color=red") {
+		t.Errorf("priority arcs should be styled red:\n%s", dot)
+	}
+}

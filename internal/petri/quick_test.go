@@ -1,0 +1,212 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the core data structures and firing invariants.
+
+func TestQuickBagUnionCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := bagFromBytes(xs), bagFromBytes(ys)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBagUnionSize(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := bagFromBytes(xs), bagFromBytes(ys)
+		return a.Union(b).Size() == a.Size()+b.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMarkingSubAddRoundTrip(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		m := markingFromBytes(xs)
+		b := bagFromBytes(ys)
+		if !m.Covers(b) {
+			// Make it cover by adding the bag first.
+			m.AddBag(b)
+		}
+		before := m.Clone()
+		if !m.Sub(b) {
+			return false
+		}
+		m.AddBag(b)
+		return m.Equal(before)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMarkingKeyInjective(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := markingFromBytes(xs), markingFromBytes(ys)
+		if a.Equal(b) {
+			return a.Key() == b.Key()
+		}
+		return a.Key() != b.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDominatesPartialOrder(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := markingFromBytes(xs), markingFromBytes(ys)
+		// Reflexive; antisymmetric up to equality.
+		if !a.Dominates(a) {
+			return false
+		}
+		if a.Dominates(b) && b.Dominates(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFiringConservesStateEquation checks m' = m + D row for random
+// nets and fully-enabled firings (the state equation of Petri net theory;
+// it holds exactly when every arc's tokens are consumed in full).
+func TestQuickFiringConservesStateEquation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n, m := randomNet(rng)
+		enabled := n.EnabledSet(m)
+		var pick TransitionID
+		found := false
+		for _, tr := range enabled {
+			if n.EnabledFully(m, tr) && n.EnabledNormal(m, tr) {
+				pick = tr
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		im := n.Incidence()
+		x := make([]int, len(im.Transitions))
+		for i, tr := range im.Transitions {
+			if tr == pick {
+				x[i] = 1
+			}
+		}
+		want, ok := im.Apply(m, x)
+		if !ok {
+			t.Fatalf("state equation infeasible for enabled transition %q", pick)
+		}
+		got := m.Clone()
+		if _, err := n.Fire(got, pick); err != nil {
+			t.Fatalf("Fire: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("fire result %v != state equation %v (net iter %d)", got, want, iter)
+		}
+	}
+}
+
+// TestQuickPriorityFireNeverBlocks checks that a transition whose priority
+// inputs are covered always fires successfully.
+func TestQuickPriorityFireNeverBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 200; iter++ {
+		n, m := randomNet(rng)
+		for _, tr := range n.Transitions() {
+			if n.EnabledPriority(m, tr) {
+				cp := m.Clone()
+				if _, err := n.Fire(cp, tr); err != nil {
+					t.Fatalf("priority-enabled transition %q failed to fire: %v", tr, err)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickTotalTokensNeverNegative fires random sequences and checks token
+// counts stay non-negative everywhere.
+func TestQuickTotalTokensNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 100; iter++ {
+		n, m := randomNet(rng)
+		sim := NewSimulator(n, m, StrategyRandom, rng.Int63())
+		for step := 0; step < 30; step++ {
+			if _, ok := sim.Step(); !ok {
+				break
+			}
+			for p, v := range sim.Marking() {
+				if v < 0 {
+					t.Fatalf("negative tokens at %q: %d", p, v)
+				}
+			}
+		}
+	}
+}
+
+func bagFromBytes(xs []uint8) Bag {
+	b := make(Bag)
+	for i, x := range xs {
+		if i >= 8 {
+			break
+		}
+		b.Add(PlaceID(string(rune('a'+i%4))), int(x%4))
+	}
+	return b
+}
+
+func markingFromBytes(xs []uint8) Marking {
+	m := make(Marking)
+	for i, x := range xs {
+		if i >= 8 {
+			break
+		}
+		if v := int(x % 5); v > 0 {
+			m[PlaceID(string(rune('a'+i%4)))] += v
+		}
+	}
+	return m
+}
+
+// randomNet builds a small random net plus initial marking.
+func randomNet(rng *rand.Rand) (*Net, Marking) {
+	n := New()
+	nP := 2 + rng.Intn(4)
+	nT := 1 + rng.Intn(3)
+	places := make([]PlaceID, nP)
+	for i := range places {
+		places[i] = PlaceID(string(rune('a' + i)))
+		_ = n.AddPlace(places[i], "")
+	}
+	for i := 0; i < nT; i++ {
+		tid := TransitionID(string(rune('A' + i)))
+		_ = n.AddTransition(tid, "")
+		// Each transition gets 1-2 inputs, maybe a priority input, 1 output.
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			_ = n.AddInput(places[rng.Intn(nP)], tid, 1+rng.Intn(2))
+		}
+		if rng.Intn(3) == 0 {
+			_ = n.AddPriorityInput(places[rng.Intn(nP)], tid, 1)
+		}
+		_ = n.AddOutput(tid, places[rng.Intn(nP)], 1+rng.Intn(2))
+	}
+	m := make(Marking)
+	for _, p := range places {
+		if v := rng.Intn(3); v > 0 {
+			m[p] = v
+		}
+	}
+	return n, m
+}

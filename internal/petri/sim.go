@@ -1,0 +1,141 @@
+package petri
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Strategy selects which enabled transition a Simulator fires next.
+type Strategy int
+
+const (
+	// StrategyPriorityFirst applies the paper's conflict rule: transitions
+	// with marked priority arcs fire first; ties break deterministically.
+	StrategyPriorityFirst Strategy = iota + 1
+	// StrategyRandom picks uniformly among enabled transitions using the
+	// simulator's seeded RNG.
+	StrategyRandom
+	// StrategyOrdered always fires the first enabled transition in the
+	// net's insertion order (deterministic, useful in tests).
+	StrategyOrdered
+)
+
+// Simulator executes a net step by step from an initial marking.
+// It is not safe for concurrent use.
+type Simulator struct {
+	net      *Net
+	marking  Marking
+	strategy Strategy
+	rng      *rand.Rand
+	trace    []FireEvent
+	steps    int
+}
+
+// NewSimulator returns a simulator over net starting at initial (which is
+// cloned). Seed feeds StrategyRandom; other strategies ignore it.
+func NewSimulator(net *Net, initial Marking, strategy Strategy, seed int64) *Simulator {
+	return &Simulator{
+		net:      net,
+		marking:  initial.Clone(),
+		strategy: strategy,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Marking returns a copy of the current marking.
+func (s *Simulator) Marking() Marking { return s.marking.Clone() }
+
+// Steps reports how many transitions have fired so far.
+func (s *Simulator) Steps() int { return s.steps }
+
+// Trace returns the firing history.
+func (s *Simulator) Trace() []FireEvent {
+	out := make([]FireEvent, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// Dead reports whether no transition is enabled.
+func (s *Simulator) Dead() bool { return len(s.net.EnabledSet(s.marking)) == 0 }
+
+// Step fires one transition chosen by the strategy. It reports false when
+// the net is dead (no transition enabled).
+func (s *Simulator) Step() (FireEvent, bool) {
+	enabled := s.net.EnabledSet(s.marking)
+	if len(enabled) == 0 {
+		return FireEvent{}, false
+	}
+	var pick TransitionID
+	switch s.strategy {
+	case StrategyRandom:
+		pick = enabled[s.rng.Intn(len(enabled))]
+	case StrategyOrdered:
+		pick = enabled[0]
+	default: // StrategyPriorityFirst
+		pick = s.net.ResolveConflict(s.marking, enabled)
+	}
+	ev, err := s.net.Fire(s.marking, pick)
+	if err != nil {
+		// Enabled set and Fire disagree only on an internal bug; treat as dead.
+		return FireEvent{}, false
+	}
+	s.trace = append(s.trace, ev)
+	s.steps++
+	return ev, true
+}
+
+// FireSpecific fires the named transition regardless of strategy, if it is
+// enabled under either rule.
+func (s *Simulator) FireSpecific(t TransitionID) (FireEvent, error) {
+	ev, err := s.net.Fire(s.marking, t)
+	if err != nil {
+		return FireEvent{}, err
+	}
+	s.trace = append(s.trace, ev)
+	s.steps++
+	return ev, nil
+}
+
+// Inject deposits tokens directly into the marking; engines use this to
+// model external events (user interactions, clock ticks) arriving at
+// interface places.
+func (s *Simulator) Inject(b Bag) { s.marking.AddBag(b) }
+
+// Run fires until the net is dead or maxSteps transitions have fired.
+// It returns the number of transitions fired.
+func (s *Simulator) Run(maxSteps int) int {
+	fired := 0
+	for fired < maxSteps {
+		if _, ok := s.Step(); !ok {
+			break
+		}
+		fired++
+	}
+	return fired
+}
+
+// RunUntil fires until pred(marking) holds, the net is dead, or maxSteps is
+// reached. It reports whether the predicate was satisfied.
+func (s *Simulator) RunUntil(pred func(Marking) bool, maxSteps int) bool {
+	for i := 0; i < maxSteps; i++ {
+		if pred(s.marking) {
+			return true
+		}
+		if _, ok := s.Step(); !ok {
+			return pred(s.marking)
+		}
+	}
+	return pred(s.marking)
+}
+
+// TraceString renders the firing history as "t1[normal] t5[priority] ...".
+func (s *Simulator) TraceString() string {
+	out := ""
+	for i, ev := range s.trace {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s[%s]", ev.Transition, ev.Rule)
+	}
+	return out
+}

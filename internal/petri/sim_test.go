@@ -1,0 +1,147 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulatorRunChainToCompletion(t *testing.T) {
+	n := simpleChain(t)
+	sim := NewSimulator(n, NewMarking("p1"), StrategyOrdered, 1)
+	fired := sim.Run(100)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+	if !sim.Dead() {
+		t.Error("net should be dead at p3")
+	}
+	if m := sim.Marking(); m.Tokens("p3") != 1 || m.Total() != 1 {
+		t.Errorf("final marking = %v", m)
+	}
+	if got := sim.TraceString(); got != "t1[normal] t2[normal]" {
+		t.Errorf("trace = %q", got)
+	}
+}
+
+func TestSimulatorStepOnDeadNet(t *testing.T) {
+	n := simpleChain(t)
+	sim := NewSimulator(n, NewMarking(), StrategyOrdered, 1)
+	if _, ok := sim.Step(); ok {
+		t.Error("Step on dead net should report false")
+	}
+	if sim.Steps() != 0 {
+		t.Errorf("Steps = %d", sim.Steps())
+	}
+}
+
+func TestSimulatorRandomIsSeeded(t *testing.T) {
+	// A fork: p -> t1|t2, both re-produce p; random strategy must be
+	// reproducible for a fixed seed.
+	mk := func(seed int64) string {
+		n := newBuild(t).
+			places("p").
+			transitions("t1", "t2").
+			in("p", "t1", 1).out("t1", "p", 1).
+			in("p", "t2", 1).out("t2", "p", 1).
+			net
+		sim := NewSimulator(n, NewMarking("p"), StrategyRandom, seed)
+		sim.Run(50)
+		return sim.TraceString()
+	}
+	if mk(42) != mk(42) {
+		t.Error("same seed should give same trace")
+	}
+	if mk(1) == mk(2) && mk(1) == mk(3) {
+		t.Error("different seeds should usually differ")
+	}
+}
+
+func TestSimulatorPriorityFirstStrategy(t *testing.T) {
+	n := newBuild(t).
+		places("shared", "a", "b").
+		transitions("normalT", "prioT").
+		in("shared", "normalT", 1).out("normalT", "a", 1).
+		prio("shared", "prioT", 1).out("prioT", "b", 1).
+		net
+	sim := NewSimulator(n, NewMarking("shared"), StrategyPriorityFirst, 1)
+	ev, ok := sim.Step()
+	if !ok {
+		t.Fatal("Step failed")
+	}
+	if ev.Transition != "prioT" {
+		t.Errorf("fired %q, want prioT", ev.Transition)
+	}
+}
+
+func TestSimulatorInject(t *testing.T) {
+	n := simpleChain(t)
+	sim := NewSimulator(n, NewMarking(), StrategyOrdered, 1)
+	if !sim.Dead() {
+		t.Fatal("empty marking should be dead")
+	}
+	sim.Inject(NewBag("p1"))
+	if sim.Dead() {
+		t.Error("injection should enable t1")
+	}
+	sim.Run(10)
+	if m := sim.Marking(); m.Tokens("p3") != 1 {
+		t.Errorf("marking = %v", m)
+	}
+}
+
+func TestSimulatorFireSpecific(t *testing.T) {
+	n := newBuild(t).
+		places("p", "a", "b").
+		transitions("t1", "t2").
+		in("p", "t1", 1).out("t1", "a", 1).
+		in("p", "t2", 1).out("t2", "b", 1).
+		net
+	sim := NewSimulator(n, NewMarking("p"), StrategyOrdered, 1)
+	if _, err := sim.FireSpecific("t2"); err != nil {
+		t.Fatalf("FireSpecific: %v", err)
+	}
+	if m := sim.Marking(); m.Tokens("b") != 1 {
+		t.Errorf("marking = %v", m)
+	}
+	if _, err := sim.FireSpecific("t1"); err == nil {
+		t.Error("t1 should now be disabled")
+	}
+}
+
+func TestSimulatorRunUntil(t *testing.T) {
+	n := simpleChain(t)
+	sim := NewSimulator(n, NewMarking("p1"), StrategyOrdered, 1)
+	ok := sim.RunUntil(func(m Marking) bool { return m.Tokens("p2") == 1 }, 10)
+	if !ok {
+		t.Error("RunUntil should reach p2")
+	}
+	if sim.Steps() != 1 {
+		t.Errorf("Steps = %d, want 1 (stop as soon as predicate holds)", sim.Steps())
+	}
+}
+
+func TestSimulatorRunMaxSteps(t *testing.T) {
+	// Self-loop never dies; Run must respect maxSteps.
+	n := newBuild(t).places("p").transitions("t").in("p", "t", 1).out("t", "p", 1).net
+	sim := NewSimulator(n, NewMarking("p"), StrategyOrdered, 1)
+	if fired := sim.Run(7); fired != 7 {
+		t.Errorf("fired = %d, want 7", fired)
+	}
+}
+
+func TestSimulatorTraceIsCopy(t *testing.T) {
+	n := simpleChain(t)
+	sim := NewSimulator(n, NewMarking("p1"), StrategyOrdered, 1)
+	sim.Run(10)
+	tr := sim.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace len = %d", len(tr))
+	}
+	tr[0].Transition = "mutated"
+	if sim.Trace()[0].Transition == "mutated" {
+		t.Error("Trace should return a copy")
+	}
+	if !strings.HasPrefix(sim.TraceString(), "t1") {
+		t.Errorf("TraceString = %q", sim.TraceString())
+	}
+}

@@ -1,0 +1,142 @@
+package presentation
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+)
+
+// Violation is one conformance breach observed during playout.
+type Violation struct {
+	// Site and ObjectID locate the offending segment start.
+	Site     string
+	ObjectID string
+	Segment  int
+	// Expected and Actual are the scheduled and observed instants.
+	Expected time.Time
+	Actual   time.Time
+	// Delta = Actual − Expected (positive = late).
+	Delta time.Duration
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s/%s[%d]: %+v off schedule", v.Site, v.ObjectID, v.Segment, v.Delta)
+}
+
+// Monitor verifies playout records against a derived schedule at run
+// time — the paper's "users can dynamically modify and verify different
+// kinds of conditions during the presentation". Feed it every
+// PlayoutRecord; it flags segment starts that deviate from the schedule
+// beyond the tolerance. The zero value is not usable; construct with
+// NewMonitor. Monitor is not safe for concurrent use.
+type Monitor struct {
+	sched      ocpn.Schedule
+	placeByKey map[segKey]time.Duration
+	start      time.Time
+	tolerance  time.Duration
+	violations []Violation
+	checked    int
+}
+
+type segKey struct {
+	object  string
+	segment int
+}
+
+// NewMonitor builds a monitor for a compiled net, the presentation's
+// global start instant, and a conformance tolerance.
+func NewMonitor(net *ocpn.Net, start time.Time, tolerance time.Duration) *Monitor {
+	sched := net.DeriveSchedule()
+	byKey := make(map[segKey]time.Duration)
+	for _, p := range net.MediaPlaces() {
+		byKey[segKey{p.Object.ID, p.Segment}] = sched.SegmentStart[string(p.ID)]
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	return &Monitor{
+		sched:      sched,
+		placeByKey: byKey,
+		start:      start,
+		tolerance:  tolerance,
+	}
+}
+
+// Observe checks one playout record. Unknown segments are violations
+// with zero Expected (the presentation never scheduled them).
+func (m *Monitor) Observe(r media.PlayoutRecord) {
+	m.checked++
+	offset, ok := m.placeByKey[segKey{r.ObjectID, r.Seq}]
+	if !ok {
+		m.violations = append(m.violations, Violation{
+			Site: r.Site, ObjectID: r.ObjectID, Segment: r.Seq,
+			Actual: r.PlayedAt,
+		})
+		return
+	}
+	expected := m.start.Add(offset)
+	delta := r.PlayedAt.Sub(expected)
+	abs := delta
+	if abs < 0 {
+		abs = -abs
+	}
+	if abs > m.tolerance {
+		m.violations = append(m.violations, Violation{
+			Site: r.Site, ObjectID: r.ObjectID, Segment: r.Seq,
+			Expected: expected, Actual: r.PlayedAt, Delta: delta,
+		})
+	}
+}
+
+// ObserveAll feeds a batch of records.
+func (m *Monitor) ObserveAll(records []media.PlayoutRecord) {
+	for _, r := range records {
+		m.Observe(r)
+	}
+}
+
+// Checked reports how many records were observed.
+func (m *Monitor) Checked() int { return m.checked }
+
+// Conformant reports whether no violations were observed.
+func (m *Monitor) Conformant() bool { return len(m.violations) == 0 }
+
+// Violations returns the breaches sorted by severity (largest |Delta|
+// first).
+func (m *Monitor) Violations() []Violation {
+	out := make([]Violation, len(m.violations))
+	copy(out, m.violations)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Delta, out[j].Delta
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		return ai > aj
+	})
+	return out
+}
+
+// Coverage reports whether every scheduled media segment was observed at
+// least once per expected site count; it returns the missing segment
+// keys as "object[segment]" strings for nSites sites.
+func (m *Monitor) Coverage(records []media.PlayoutRecord, nSites int) []string {
+	counts := make(map[segKey]int)
+	for _, r := range records {
+		counts[segKey{r.ObjectID, r.Seq}]++
+	}
+	var missing []string
+	for key := range m.placeByKey {
+		if counts[key] < nSites {
+			missing = append(missing, fmt.Sprintf("%s[%d]", key.object, key.segment))
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}

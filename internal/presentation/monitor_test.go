@@ -1,0 +1,141 @@
+package presentation
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+)
+
+func monitorNet(t *testing.T) *ocpn.Net {
+	t.Helper()
+	net, err := ocpn.Compile(timeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestMonitorConformantPlayout(t *testing.T) {
+	net := monitorNet(t)
+	start := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	m := NewMonitor(net, start, 5*time.Millisecond)
+	records := []media.PlayoutRecord{
+		{Site: "a", ObjectID: "slide", Seq: 0, PlayedAt: start.Add(time.Millisecond)},
+		{Site: "a", ObjectID: "clip", Seq: 0, PlayedAt: start.Add(21 * time.Millisecond)},
+	}
+	m.ObserveAll(records)
+	if !m.Conformant() {
+		t.Errorf("violations = %v", m.Violations())
+	}
+	if m.Checked() != 2 {
+		t.Errorf("Checked = %d", m.Checked())
+	}
+}
+
+func TestMonitorFlagsLateStart(t *testing.T) {
+	net := monitorNet(t)
+	start := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	m := NewMonitor(net, start, 5*time.Millisecond)
+	m.Observe(media.PlayoutRecord{
+		Site: "b", ObjectID: "clip", Seq: 0,
+		PlayedAt: start.Add(80 * time.Millisecond), // scheduled at 20ms
+	})
+	if m.Conformant() {
+		t.Fatal("late start should violate")
+	}
+	v := m.Violations()[0]
+	if v.Delta != 60*time.Millisecond {
+		t.Errorf("Delta = %v", v.Delta)
+	}
+	if !strings.Contains(v.String(), "clip[0]") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestMonitorFlagsEarlyStart(t *testing.T) {
+	net := monitorNet(t)
+	start := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	m := NewMonitor(net, start, time.Millisecond)
+	m.Observe(media.PlayoutRecord{
+		Site: "a", ObjectID: "clip", Seq: 0,
+		PlayedAt: start.Add(10 * time.Millisecond), // 10ms early
+	})
+	if m.Conformant() {
+		t.Fatal("early start should violate")
+	}
+	if m.Violations()[0].Delta != -10*time.Millisecond {
+		t.Errorf("Delta = %v", m.Violations()[0].Delta)
+	}
+}
+
+func TestMonitorUnknownSegment(t *testing.T) {
+	net := monitorNet(t)
+	m := NewMonitor(net, time.Now(), time.Second)
+	m.Observe(media.PlayoutRecord{Site: "a", ObjectID: "ghost", Seq: 0, PlayedAt: time.Now()})
+	if m.Conformant() {
+		t.Error("unknown segment should violate")
+	}
+}
+
+func TestMonitorViolationsSortedBySeverity(t *testing.T) {
+	net := monitorNet(t)
+	start := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	m := NewMonitor(net, start, 0)
+	m.Observe(media.PlayoutRecord{Site: "a", ObjectID: "slide", Seq: 0, PlayedAt: start.Add(3 * time.Millisecond)})
+	m.Observe(media.PlayoutRecord{Site: "a", ObjectID: "clip", Seq: 0, PlayedAt: start.Add(20*time.Millisecond - 9*time.Millisecond)})
+	vs := m.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].ObjectID != "clip" { // |−9ms| > |3ms|
+		t.Errorf("order: %v", vs)
+	}
+}
+
+func TestMonitorCoverage(t *testing.T) {
+	net := monitorNet(t)
+	start := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	m := NewMonitor(net, start, time.Second)
+	records := []media.PlayoutRecord{
+		{Site: "a", ObjectID: "slide", Seq: 0, PlayedAt: start},
+		{Site: "b", ObjectID: "slide", Seq: 0, PlayedAt: start},
+		{Site: "a", ObjectID: "clip", Seq: 0, PlayedAt: start.Add(20 * time.Millisecond)},
+		// clip missing at site b
+	}
+	missing := m.Coverage(records, 2)
+	if len(missing) != 1 || missing[0] != "clip[0]" {
+		t.Errorf("missing = %v", missing)
+	}
+	if got := m.Coverage(records, 1); len(got) != 0 {
+		t.Errorf("1-site coverage should hold: %v", got)
+	}
+}
+
+func TestMonitorEndToEndWithPlayer(t *testing.T) {
+	net := monitorNet(t)
+	est := syncedEstimator(clockReal{})
+	p := Player{Site: "mon", Estimator: est}
+	start := time.Now().Add(5 * time.Millisecond)
+	records, err := p.Play(contextBG(), timeline(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(net, start, 50*time.Millisecond)
+	m.ObserveAll(records)
+	if !m.Conformant() {
+		t.Errorf("live playout should conform: %v", m.Violations())
+	}
+	if missing := m.Coverage(records, 1); len(missing) != 0 {
+		t.Errorf("missing coverage: %v", missing)
+	}
+}
+
+// clockReal and contextBG keep the end-to-end test terse.
+type clockReal = clock.Real
+
+func contextBG() context.Context { return context.Background() }

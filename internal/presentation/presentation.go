@@ -1,0 +1,143 @@
+// Package presentation orchestrates synchronized multimedia playout over
+// the live DMPS stack: the chair compiles a timeline, broadcasts it with
+// a global start instant (TPresent), and every client plays it through an
+// OCPN player whose synchronization transitions are admitted by the
+// estimated global clock — the paper's firing rule applied end to end.
+package presentation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+	"dmps/internal/protocol"
+)
+
+// Conversion errors.
+var (
+	// ErrBadWire is returned when a PresentBody cannot be converted back
+	// to a timeline.
+	ErrBadWire = errors.New("presentation: invalid wire body")
+)
+
+// ToWire converts a timeline and global start instant into the protocol
+// body broadcast by the server.
+func ToWire(tl ocpn.Timeline, startGlobal time.Time) protocol.PresentBody {
+	body := protocol.PresentBody{StartGlobalNanos: protocol.Nanos(startGlobal)}
+	for _, it := range tl.Items {
+		body.Objects = append(body.Objects, protocol.PresentObject{
+			ID:            it.Object.ID,
+			Kind:          it.Object.Kind.String(),
+			StartNanos:    int64(it.Start),
+			DurationNanos: int64(it.Object.Duration),
+			Rate:          it.Object.Rate,
+		})
+	}
+	return body
+}
+
+// FromWire converts a received presentation body back into a timeline and
+// start instant.
+func FromWire(body protocol.PresentBody) (ocpn.Timeline, time.Time, error) {
+	var tl ocpn.Timeline
+	for _, o := range body.Objects {
+		kind, ok := parseKind(o.Kind)
+		if !ok {
+			return ocpn.Timeline{}, time.Time{}, fmt.Errorf("%w: kind %q", ErrBadWire, o.Kind)
+		}
+		tl.Items = append(tl.Items, ocpn.ScheduledObject{
+			Object: media.Object{
+				ID:       o.ID,
+				Kind:     kind,
+				Duration: time.Duration(o.DurationNanos),
+				Rate:     o.Rate,
+			},
+			Start: time.Duration(o.StartNanos),
+		})
+	}
+	if err := tl.Validate(); err != nil {
+		return ocpn.Timeline{}, time.Time{}, fmt.Errorf("%w: %v", ErrBadWire, err)
+	}
+	return tl, protocol.FromNanos(body.StartGlobalNanos), nil
+}
+
+func parseKind(s string) (media.Kind, bool) {
+	for _, k := range []media.Kind{media.Text, media.Image, media.Audio, media.Video, media.Annotation, media.Control} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Player plays a timeline at one site under global-clock discipline.
+type Player struct {
+	// Site names the player in playout records.
+	Site string
+	// Estimator supplies the estimated global time (must be synced).
+	Estimator *clock.Estimator
+	// OnSegment, when set, observes each segment start synchronously.
+	OnSegment func(media.PlayoutRecord)
+}
+
+// Play compiles the timeline and fires each synchronization transition
+// when the estimated global clock reaches its scheduled instant,
+// returning the playout records. It honours the paper's admission rule:
+// early sites wait for the global clock; late sites fire immediately.
+// Cancellation is observed between synchronization transitions, not
+// inside a wait — callers needing sharper cancellation should bound their
+// boundary gaps.
+func (p *Player) Play(ctx context.Context, tl ocpn.Timeline, startGlobal time.Time) ([]media.PlayoutRecord, error) {
+	if p.Estimator == nil || !p.Estimator.Synced() {
+		return nil, clock.ErrNoSamples
+	}
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		return nil, err
+	}
+	sched := net.DeriveSchedule()
+	marking := net.InitialMarking()
+	var records []media.PlayoutRecord
+	for i, t := range net.Transitions {
+		if err := ctx.Err(); err != nil {
+			return records, fmt.Errorf("presentation: cancelled before %s: %w", t, err)
+		}
+		deadline := startGlobal.Add(sched.FireAt[i])
+		if _, err := clock.WaitUntilGlobal(p.Estimator, deadline); err != nil {
+			return records, err
+		}
+		ev, err := net.Base.Fire(marking, t)
+		if err != nil {
+			return records, fmt.Errorf("presentation: %w", err)
+		}
+		now, err := p.Estimator.GlobalNow()
+		if err != nil {
+			return records, err
+		}
+		for _, pid := range ev.Produced.Places() {
+			info := net.Places[pid]
+			if info == nil || !info.IsMedia() {
+				continue
+			}
+			rec := media.PlayoutRecord{
+				Site:      p.Site,
+				ObjectID:  info.Object.ID,
+				Seq:       info.Segment,
+				MediaTime: info.Offset,
+				PlayedAt:  now,
+			}
+			records = append(records, rec)
+			if p.OnSegment != nil {
+				p.OnSegment(rec)
+			}
+		}
+	}
+	if !net.Finished(marking) {
+		return records, fmt.Errorf("presentation: did not reach the end place")
+	}
+	return records, nil
+}

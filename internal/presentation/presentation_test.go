@@ -1,0 +1,180 @@
+package presentation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+	"dmps/internal/protocol"
+)
+
+func timeline() ocpn.Timeline {
+	return ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: media.Object{ID: "slide", Kind: media.Image, Duration: 20 * time.Millisecond}, Start: 0},
+		{Object: media.Object{ID: "clip", Kind: media.Video, Duration: 10 * time.Millisecond, Rate: 30}, Start: 20 * time.Millisecond},
+	}}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	start := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	body := ToWire(timeline(), start)
+	tl, gotStart, err := FromWire(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotStart.Equal(start) {
+		t.Errorf("start = %v", gotStart)
+	}
+	if len(tl.Items) != 2 || tl.Items[0].Object.ID != "slide" {
+		t.Errorf("timeline = %+v", tl)
+	}
+	if tl.Items[1].Start != 20*time.Millisecond || tl.Items[1].Object.Rate != 30 {
+		t.Errorf("clip = %+v", tl.Items[1])
+	}
+}
+
+func TestFromWireRejectsBadKind(t *testing.T) {
+	body := protocol.PresentBody{Objects: []protocol.PresentObject{
+		{ID: "x", Kind: "hologram", DurationNanos: 1000},
+	}}
+	if _, _, err := FromWire(body); !errors.Is(err, ErrBadWire) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFromWireRejectsInvalidTimeline(t *testing.T) {
+	body := protocol.PresentBody{Objects: []protocol.PresentObject{
+		{ID: "x", Kind: "image", DurationNanos: 0}, // zero duration
+	}}
+	if _, _, err := FromWire(body); !errors.Is(err, ErrBadWire) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// syncedEstimator builds an estimator over base with a perfect sample.
+func syncedEstimator(base clock.Clock) *clock.Estimator {
+	est := clock.NewEstimator(base, 4)
+	est.SyncDirect(clock.NewMaster(base))
+	return est
+}
+
+func TestPlayerRecordsSegmentsInOrder(t *testing.T) {
+	base := clock.Real{}
+	p := Player{Site: "alpha", Estimator: syncedEstimator(base)}
+	start := base.Now().Add(5 * time.Millisecond)
+	var mu sync.Mutex
+	var seen []string
+	p.OnSegment = func(r media.PlayoutRecord) {
+		mu.Lock()
+		seen = append(seen, r.ObjectID)
+		mu.Unlock()
+	}
+	records, err := p.Play(context.Background(), timeline(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %+v", records)
+	}
+	if records[0].ObjectID != "slide" || records[1].ObjectID != "clip" {
+		t.Errorf("order: %+v", records)
+	}
+	gap := records[1].PlayedAt.Sub(records[0].PlayedAt)
+	if gap < 15*time.Millisecond || gap > 100*time.Millisecond {
+		t.Errorf("clip started %v after slide, want ≈20ms", gap)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Errorf("OnSegment calls = %v", seen)
+	}
+}
+
+func TestPlayerLateStartFiresImmediately(t *testing.T) {
+	base := clock.Real{}
+	p := Player{Site: "late", Estimator: syncedEstimator(base)}
+	// The global start was 10s ago: every transition is overdue, so the
+	// player catches up instantly (the "slower clock fires without
+	// delay" rule).
+	start := base.Now().Add(-10 * time.Second)
+	began := time.Now()
+	records, err := p.Play(context.Background(), timeline(), start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(began); elapsed > time.Second {
+		t.Errorf("late playout took %v, should catch up immediately", elapsed)
+	}
+	if len(records) != 2 {
+		t.Errorf("records = %d", len(records))
+	}
+}
+
+func TestPlayerRequiresSync(t *testing.T) {
+	p := Player{Site: "x", Estimator: clock.NewEstimator(clock.Real{}, 4)}
+	_, err := p.Play(context.Background(), timeline(), time.Now())
+	if !errors.Is(err, clock.ErrNoSamples) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPlayerSkewedClocksConverge(t *testing.T) {
+	// Two players with ±20ms-offset local clocks, both synced against the
+	// same master: their playout instants in true time should agree to
+	// within a few ms (bounded by the sync error, here ~0).
+	master := clock.NewMaster(clock.Real{})
+	fast := clock.NewDrift(clock.Real{}, 20*time.Millisecond, 0)
+	slow := clock.NewDrift(clock.Real{}, -20*time.Millisecond, 0)
+	estFast := clock.NewEstimator(fast, 4)
+	estFast.SyncDirect(master)
+	estSlow := clock.NewEstimator(slow, 4)
+	estSlow.SyncDirect(master)
+
+	start := time.Now().Add(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	results := make([][]media.PlayoutRecord, 2)
+	var errs [2]error
+	for i, p := range []Player{
+		{Site: "fast", Estimator: estFast},
+		{Site: "slow", Estimator: estSlow},
+	} {
+		i, p := i, p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = p.Play(context.Background(), timeline(), start)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("player %d: %v", i, err)
+		}
+	}
+	var meter media.SkewMeter
+	for _, recs := range results {
+		for _, r := range recs {
+			meter.Add(r)
+		}
+	}
+	if skew := meter.MaxInterSiteSkew(); skew > 25*time.Millisecond {
+		t.Errorf("inter-site skew = %v despite ±20ms clock offsets", skew)
+	}
+}
+
+func TestPlayerCancellation(t *testing.T) {
+	p := Player{Site: "x", Estimator: syncedEstimator(clock.Real{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	long := ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: media.Object{ID: "movie", Kind: media.Image, Duration: time.Hour}, Start: 0},
+	}}
+	if _, err := p.Play(ctx, long, time.Now().Add(time.Hour)); err == nil {
+		t.Error("cancelled Play should error")
+	}
+}

@@ -1,0 +1,310 @@
+// Package protocol defines the DMPS wire protocol: a JSON message
+// envelope with typed bodies, carried over the message-framing transport.
+// All client↔server traffic — handshake, group administration, floor
+// control requests, chat/whiteboard, clock synchronization, status
+// probing and presentation control — uses these messages.
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Type names a message. String values keep captures human-readable.
+type Type string
+
+// Message types. Requests flow client→server; events flow server→client;
+// Ack/Err answer requests.
+const (
+	// THello opens a session: client introduces itself (HelloBody).
+	THello Type = "hello"
+	// TWelcome acknowledges THello (WelcomeBody).
+	TWelcome Type = "welcome"
+	// TJoin / TLeave manage group membership (GroupBody).
+	TJoin  Type = "join"
+	TLeave Type = "leave"
+	// TCreateGroup creates a group chaired by the sender (GroupBody).
+	TCreateGroup Type = "create_group"
+	// TFloorRequest asks for the floor (FloorRequestBody); answered by
+	// TAck (FloorDecisionBody) or TErr.
+	TFloorRequest Type = "floor_request"
+	// TFloorRelease gives up the Equal Control floor (GroupBody).
+	TFloorRelease Type = "floor_release"
+	// TTokenPass passes the Equal Control token (TokenPassBody).
+	TTokenPass Type = "token_pass"
+	// TFloorEvent notifies clients of floor state changes
+	// (FloorEventBody).
+	TFloorEvent Type = "floor_event"
+	// TInvite asks the server to invite a member (InviteBody); TInviteEvent
+	// notifies the invitee; TInviteReply answers an invitation.
+	TInvite      Type = "invite"
+	TInviteEvent Type = "invite_event"
+	TInviteReply Type = "invite_reply"
+	// TChat posts to the message window (ChatBody); broadcast as TChatEvent
+	// (SequencedBody wrapping ChatBody).
+	TChat      Type = "chat"
+	TChatEvent Type = "chat_event"
+	// TAnnotate posts a whiteboard operation (AnnotateBody); broadcast as
+	// TAnnotateEvent.
+	TAnnotate      Type = "annotate"
+	TAnnotateEvent Type = "annotate_event"
+	// TReplay asks for board operations after a sequence number
+	// (ReplayBody); answered with TAnnotateEvent / TChatEvent streams.
+	TReplay Type = "replay"
+	// TClockSync requests the global time (ClockSyncBody both ways).
+	TClockSync Type = "clock_sync"
+	// TStatusProbe and TStatusReport implement the heartbeat that drives
+	// the Figure-3 connection lights.
+	TStatusProbe  Type = "status_probe"
+	TStatusReport Type = "status_report"
+	// TLights carries the current connection lights (LightsBody).
+	TLights Type = "lights"
+	// TSuspend and TResume carry Media-Suspend decisions (SuspendBody).
+	TSuspend Type = "suspend"
+	TResume  Type = "resume"
+	// TPresent starts a synchronized presentation (PresentBody).
+	TPresent Type = "present"
+	// TMediaUnit streams one media unit (MediaUnitBody). Sent without a
+	// Seq it is fire-and-forget (streaming); with a Seq the server
+	// acks/denies it.
+	TMediaUnit Type = "media_unit"
+	// TAck acknowledges a request; TErr reports a failure (ErrBody).
+	TAck Type = "ack"
+	TErr Type = "err"
+	// TBye closes the session gracefully.
+	TBye Type = "bye"
+)
+
+// Codec errors.
+var (
+	// ErrDecode is returned for malformed wire bytes.
+	ErrDecode = errors.New("protocol: decode failed")
+	// ErrBodyMismatch is returned when a body does not match the type.
+	ErrBodyMismatch = errors.New("protocol: body mismatch")
+)
+
+// Message is the wire envelope.
+type Message struct {
+	// Type discriminates the body.
+	Type Type `json:"type"`
+	// Seq correlates requests and replies (client-assigned, echoed by the
+	// server in TAck/TErr).
+	Seq int64 `json:"seq,omitempty"`
+	// From and To are member IDs ("" when implicit).
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Group scopes the message to a group.
+	Group string `json:"group,omitempty"`
+	// Body is the type-specific payload.
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// HelloBody introduces a client.
+type HelloBody struct {
+	Name     string `json:"name"`
+	Role     string `json:"role"` // "chair" or "participant"
+	Priority int    `json:"priority"`
+}
+
+// WelcomeBody acknowledges the handshake.
+type WelcomeBody struct {
+	MemberID string `json:"member_id"`
+	// ServerTimeNanos is the global clock at admission, for a first rough
+	// sync.
+	ServerTimeNanos int64 `json:"server_time_nanos"`
+}
+
+// GroupBody names a group.
+type GroupBody struct {
+	Group string `json:"group"`
+}
+
+// FloorRequestBody asks for a floor mode.
+type FloorRequestBody struct {
+	Mode   string `json:"mode"`             // floor.Mode string form
+	Target string `json:"target,omitempty"` // direct-contact peer
+}
+
+// FloorDecisionBody reports an arbitration outcome.
+type FloorDecisionBody struct {
+	Granted       bool     `json:"granted"`
+	Mode          string   `json:"mode"`
+	Holder        string   `json:"holder,omitempty"`
+	QueuePosition int      `json:"queue_position,omitempty"`
+	Suspended     []string `json:"suspended,omitempty"`
+	Level         string   `json:"level,omitempty"`
+	Target        string   `json:"target,omitempty"`
+	Reason        string   `json:"reason,omitempty"`
+}
+
+// TokenPassBody passes the token.
+type TokenPassBody struct {
+	To string `json:"to"`
+}
+
+// FloorEventBody announces floor changes to a group.
+type FloorEventBody struct {
+	Mode   string `json:"mode"`
+	Holder string `json:"holder,omitempty"`
+	Member string `json:"member,omitempty"` // subject of the change
+	Event  string `json:"event"`            // "granted", "released", "passed", "queued"
+}
+
+// InviteBody requests an invitation.
+type InviteBody struct {
+	Group string `json:"group"`
+	To    string `json:"to"`
+}
+
+// InviteEventBody notifies the invitee.
+type InviteEventBody struct {
+	InviteID int64  `json:"invite_id"`
+	Group    string `json:"group"`
+	From     string `json:"from"`
+}
+
+// InviteReplyBody answers an invitation.
+type InviteReplyBody struct {
+	InviteID int64 `json:"invite_id"`
+	Accept   bool  `json:"accept"`
+}
+
+// ChatBody posts a message-window line.
+type ChatBody struct {
+	Text string `json:"text"`
+}
+
+// AnnotateBody posts a whiteboard operation.
+type AnnotateBody struct {
+	Kind string `json:"kind"` // "draw", "text", "clear"
+	Data string `json:"data"`
+}
+
+// SequencedBody wraps a broadcast board operation with its server
+// sequence number.
+type SequencedBody struct {
+	Seq    int64  `json:"seq"`
+	Author string `json:"author"`
+	Kind   string `json:"kind"`
+	Data   string `json:"data"`
+}
+
+// ReplayBody requests board operations after a sequence number.
+type ReplayBody struct {
+	After int64 `json:"after"`
+}
+
+// ClockSyncBody carries one Cristian exchange. The client fills
+// ClientSendNanos; the server echoes it and fills MasterNanos.
+type ClockSyncBody struct {
+	ClientSendNanos int64 `json:"client_send_nanos"`
+	MasterNanos     int64 `json:"master_nanos,omitempty"`
+}
+
+// LightsBody reports connection lights: member → "green"/"red".
+type LightsBody struct {
+	Lights map[string]string `json:"lights"`
+}
+
+// SuspendBody names a suspended/resumed member.
+type SuspendBody struct {
+	Member string `json:"member"`
+	Level  string `json:"level,omitempty"`
+}
+
+// MediaUnitBody is one streamed media unit (a video frame, an audio
+// packet) — the wire form of media.Unit.
+type MediaUnitBody struct {
+	Object         string `json:"object"`
+	Kind           string `json:"kind"`
+	Seq            int    `json:"seq"`
+	MediaTimeNanos int64  `json:"media_time_nanos"`
+	Bytes          int    `json:"bytes"`
+}
+
+// PresentObject describes one timeline item of a presentation start.
+type PresentObject struct {
+	ID            string  `json:"id"`
+	Kind          string  `json:"kind"`
+	StartNanos    int64   `json:"start_nanos"`
+	DurationNanos int64   `json:"duration_nanos"`
+	Rate          float64 `json:"rate,omitempty"`
+}
+
+// PresentBody starts a synchronized presentation at a global instant.
+type PresentBody struct {
+	// StartGlobalNanos is the global-clock instant of presentation t=0.
+	StartGlobalNanos int64           `json:"start_global_nanos"`
+	Objects          []PresentObject `json:"objects"`
+}
+
+// ErrBody reports a request failure.
+type ErrBody struct {
+	Code   string `json:"code"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// New builds a message with a marshalled body. A nil body leaves
+// Message.Body empty.
+func New(t Type, body any) (Message, error) {
+	msg := Message{Type: t}
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return Message{}, fmt.Errorf("protocol: marshal %s body: %w", t, err)
+		}
+		msg.Body = raw
+	}
+	return msg, nil
+}
+
+// MustNew is New for bodies that cannot fail to marshal (all body types
+// in this package); it panics otherwise, which indicates a programming
+// error, not input data.
+func MustNew(t Type, body any) Message {
+	m, err := New(t, body)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Encode serializes a message for the wire.
+func Encode(m Message) ([]byte, error) {
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: encode: %w", err)
+	}
+	return out, nil
+}
+
+// Decode parses wire bytes into a message.
+func Decode(data []byte) (Message, error) {
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	if m.Type == "" {
+		return Message{}, fmt.Errorf("%w: missing type", ErrDecode)
+	}
+	return m, nil
+}
+
+// Into unmarshals the message body into out.
+func (m Message) Into(out any) error {
+	if len(m.Body) == 0 {
+		return fmt.Errorf("%w: %s has no body", ErrBodyMismatch, m.Type)
+	}
+	if err := json.Unmarshal(m.Body, out); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrBodyMismatch, m.Type, err)
+	}
+	return nil
+}
+
+// Nanos converts a time to the wire representation.
+func Nanos(t time.Time) int64 { return t.UnixNano() }
+
+// FromNanos converts the wire representation back to a time.
+func FromNanos(n int64) time.Time { return time.Unix(0, n) }

@@ -1,0 +1,159 @@
+// Package qos models the per-media quality-of-service requirements that
+// XOCPN channel-setup places carry ("to set up channels according to the
+// required QoS of the data", paper §1) and the admission test a channel
+// manager runs before a media place may start playing.
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dmps/internal/media"
+)
+
+// Requirement is the QoS demanded by one media channel.
+type Requirement struct {
+	// Bandwidth is the sustained requirement in bits per second.
+	Bandwidth float64
+	// MaxLatency is the largest tolerable one-way delay.
+	MaxLatency time.Duration
+	// MaxJitter is the largest tolerable delay variation.
+	MaxJitter time.Duration
+	// LossTolerance is the acceptable fraction of lost units in [0, 1].
+	LossTolerance float64
+}
+
+// ErrInvalidRequirement is returned for out-of-range requirements.
+var ErrInvalidRequirement = errors.New("qos: invalid requirement")
+
+// Validate checks the requirement's ranges.
+func (r Requirement) Validate() error {
+	if r.Bandwidth < 0 {
+		return fmt.Errorf("%w: negative bandwidth", ErrInvalidRequirement)
+	}
+	if r.MaxLatency < 0 || r.MaxJitter < 0 {
+		return fmt.Errorf("%w: negative latency/jitter bound", ErrInvalidRequirement)
+	}
+	if r.LossTolerance < 0 || r.LossTolerance > 1 {
+		return fmt.Errorf("%w: loss tolerance %v outside [0,1]", ErrInvalidRequirement, r.LossTolerance)
+	}
+	return nil
+}
+
+// ForKind returns the default requirement for a media kind, mirroring the
+// classes in Little & Ghafoor's synchronization work: interactive audio is
+// latency- and jitter-sensitive; video tolerates some loss; text and
+// annotations must be lossless but tolerate delay.
+func ForKind(k media.Kind) Requirement {
+	switch k {
+	case media.Audio:
+		return Requirement{Bandwidth: 64_000, MaxLatency: 250 * time.Millisecond, MaxJitter: 10 * time.Millisecond, LossTolerance: 0.01}
+	case media.Video:
+		return Requirement{Bandwidth: 1_500_000, MaxLatency: 300 * time.Millisecond, MaxJitter: 30 * time.Millisecond, LossTolerance: 0.05}
+	case media.Image:
+		return Requirement{Bandwidth: 200_000, MaxLatency: 2 * time.Second, MaxJitter: time.Second, LossTolerance: 0}
+	case media.Annotation:
+		return Requirement{Bandwidth: 8_000, MaxLatency: 500 * time.Millisecond, MaxJitter: 100 * time.Millisecond, LossTolerance: 0}
+	case media.Control:
+		return Requirement{Bandwidth: 1_000, MaxLatency: 100 * time.Millisecond, MaxJitter: 50 * time.Millisecond, LossTolerance: 0}
+	default: // media.Text and unknown kinds
+		return Requirement{Bandwidth: 2_000, MaxLatency: time.Second, MaxJitter: 500 * time.Millisecond, LossTolerance: 0}
+	}
+}
+
+// LinkEstimate is the channel manager's current view of a network path.
+type LinkEstimate struct {
+	// Capacity is the available bandwidth in bits per second.
+	Capacity float64
+	// Latency is the measured one-way delay.
+	Latency time.Duration
+	// Jitter is the measured delay variation.
+	Jitter time.Duration
+	// Loss is the measured loss fraction in [0, 1].
+	Loss float64
+}
+
+// Satisfies reports whether the link meets the requirement, and if not,
+// which dimension failed first (bandwidth, latency, jitter, loss).
+func (l LinkEstimate) Satisfies(r Requirement) (bool, string) {
+	if l.Capacity < r.Bandwidth {
+		return false, "bandwidth"
+	}
+	if r.MaxLatency > 0 && l.Latency > r.MaxLatency {
+		return false, "latency"
+	}
+	if r.MaxJitter > 0 && l.Jitter > r.MaxJitter {
+		return false, "jitter"
+	}
+	if l.Loss > r.LossTolerance {
+		return false, "loss"
+	}
+	return true, ""
+}
+
+// ErrAdmission is returned when a channel cannot be admitted.
+var ErrAdmission = errors.New("qos: channel admission denied")
+
+// Channel is one admitted media channel.
+type Channel struct {
+	ID   string
+	Kind media.Kind
+	Req  Requirement
+}
+
+// Manager performs channel admission against a shared link estimate,
+// tracking the bandwidth already committed to admitted channels. It is not
+// safe for concurrent use; the DMPS server serializes admissions.
+type Manager struct {
+	link      LinkEstimate
+	committed float64
+	channels  map[string]Channel
+}
+
+// NewManager returns a manager over the given link estimate.
+func NewManager(link LinkEstimate) *Manager {
+	return &Manager{link: link, channels: make(map[string]Channel)}
+}
+
+// SetLink updates the link estimate (e.g. from a monitoring probe).
+func (m *Manager) SetLink(link LinkEstimate) { m.link = link }
+
+// Admitted reports how many channels are currently open.
+func (m *Manager) Admitted() int { return len(m.channels) }
+
+// CommittedBandwidth reports the bandwidth reserved by open channels.
+func (m *Manager) CommittedBandwidth() float64 { return m.committed }
+
+// Open admits a channel for the media kind, reserving its bandwidth. The
+// returned error wraps ErrAdmission with the failing dimension.
+func (m *Manager) Open(id string, kind media.Kind) (Channel, error) {
+	if _, exists := m.channels[id]; exists {
+		return Channel{}, fmt.Errorf("%w: channel %q already open", ErrAdmission, id)
+	}
+	req := ForKind(kind)
+	residual := m.link
+	residual.Capacity -= m.committed
+	ok, dim := residual.Satisfies(req)
+	if !ok {
+		return Channel{}, fmt.Errorf("%w: %s for %v channel %q", ErrAdmission, dim, kind, id)
+	}
+	ch := Channel{ID: id, Kind: kind, Req: req}
+	m.channels[id] = ch
+	m.committed += req.Bandwidth
+	return ch, nil
+}
+
+// Close releases an admitted channel's reservation. Closing an unknown
+// channel is a no-op so teardown paths can be idempotent.
+func (m *Manager) Close(id string) {
+	ch, ok := m.channels[id]
+	if !ok {
+		return
+	}
+	delete(m.channels, id)
+	m.committed -= ch.Req.Bandwidth
+	if m.committed < 0 {
+		m.committed = 0
+	}
+}

@@ -1,0 +1,158 @@
+package qos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/media"
+)
+
+func TestRequirementValidate(t *testing.T) {
+	good := Requirement{Bandwidth: 1000, MaxLatency: time.Second, MaxJitter: time.Millisecond, LossTolerance: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good rejected: %v", err)
+	}
+	bad := []Requirement{
+		{Bandwidth: -1},
+		{MaxLatency: -time.Second},
+		{MaxJitter: -time.Second},
+		{LossTolerance: 1.5},
+		{LossTolerance: -0.1},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); !errors.Is(err, ErrInvalidRequirement) {
+			t.Errorf("bad[%d] err = %v", i, err)
+		}
+	}
+}
+
+func TestForKindAllValid(t *testing.T) {
+	for _, k := range []media.Kind{media.Text, media.Image, media.Audio, media.Video, media.Annotation, media.Control} {
+		r := ForKind(k)
+		if err := r.Validate(); err != nil {
+			t.Errorf("ForKind(%v) invalid: %v", k, err)
+		}
+		if r.Bandwidth <= 0 {
+			t.Errorf("ForKind(%v) zero bandwidth", k)
+		}
+	}
+	// Audio must be stricter than video on jitter (interactive).
+	if ForKind(media.Audio).MaxJitter >= ForKind(media.Video).MaxJitter {
+		t.Error("audio jitter bound should be tighter than video")
+	}
+	// Annotations must be lossless.
+	if ForKind(media.Annotation).LossTolerance != 0 {
+		t.Error("annotation loss tolerance must be 0")
+	}
+}
+
+func TestSatisfiesDimensions(t *testing.T) {
+	req := Requirement{Bandwidth: 1000, MaxLatency: 100 * time.Millisecond, MaxJitter: 10 * time.Millisecond, LossTolerance: 0.01}
+	cases := []struct {
+		link LinkEstimate
+		ok   bool
+		dim  string
+	}{
+		{LinkEstimate{Capacity: 2000, Latency: 50 * time.Millisecond, Jitter: time.Millisecond, Loss: 0}, true, ""},
+		{LinkEstimate{Capacity: 500, Latency: 50 * time.Millisecond}, false, "bandwidth"},
+		{LinkEstimate{Capacity: 2000, Latency: 200 * time.Millisecond}, false, "latency"},
+		{LinkEstimate{Capacity: 2000, Latency: 50 * time.Millisecond, Jitter: 50 * time.Millisecond}, false, "jitter"},
+		{LinkEstimate{Capacity: 2000, Latency: 50 * time.Millisecond, Jitter: time.Millisecond, Loss: 0.5}, false, "loss"},
+	}
+	for i, c := range cases {
+		ok, dim := c.link.Satisfies(req)
+		if ok != c.ok || dim != c.dim {
+			t.Errorf("case %d: (%v, %q), want (%v, %q)", i, ok, dim, c.ok, c.dim)
+		}
+	}
+}
+
+func TestSatisfiesZeroBoundsUnlimited(t *testing.T) {
+	// Zero latency/jitter bounds mean "no bound".
+	req := Requirement{Bandwidth: 10}
+	link := LinkEstimate{Capacity: 100, Latency: time.Hour, Jitter: time.Hour}
+	if ok, _ := link.Satisfies(req); !ok {
+		t.Error("zero bounds should not constrain")
+	}
+}
+
+func TestManagerAdmissionAndRelease(t *testing.T) {
+	// Link fits exactly one video (1.5 Mbps) plus one audio (64 kbps).
+	m := NewManager(LinkEstimate{Capacity: 1_600_000, Latency: 50 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	if _, err := m.Open("v1", media.Video); err != nil {
+		t.Fatalf("video: %v", err)
+	}
+	if _, err := m.Open("a1", media.Audio); err != nil {
+		t.Fatalf("audio: %v", err)
+	}
+	if m.Admitted() != 2 {
+		t.Errorf("Admitted = %d", m.Admitted())
+	}
+	// Second video exceeds the residual capacity.
+	if _, err := m.Open("v2", media.Video); !errors.Is(err, ErrAdmission) {
+		t.Errorf("overcommit err = %v", err)
+	}
+	m.Close("v1")
+	if _, err := m.Open("v2", media.Video); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+}
+
+func TestManagerDuplicateChannel(t *testing.T) {
+	m := NewManager(LinkEstimate{Capacity: 1e9})
+	if _, err := m.Open("x", media.Text); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open("x", media.Text); !errors.Is(err, ErrAdmission) {
+		t.Errorf("duplicate err = %v", err)
+	}
+}
+
+func TestManagerCloseIdempotent(t *testing.T) {
+	m := NewManager(LinkEstimate{Capacity: 1e9})
+	m.Close("ghost") // must not panic or underflow
+	if _, err := m.Open("x", media.Audio); err != nil {
+		t.Fatal(err)
+	}
+	m.Close("x")
+	m.Close("x")
+	if m.CommittedBandwidth() != 0 {
+		t.Errorf("committed = %v", m.CommittedBandwidth())
+	}
+}
+
+func TestManagerLatencyGateIndependentOfBandwidth(t *testing.T) {
+	// Plenty of bandwidth but latency beyond the audio bound.
+	m := NewManager(LinkEstimate{Capacity: 1e9, Latency: 5 * time.Second})
+	_, err := m.Open("a", media.Audio)
+	if !errors.Is(err, ErrAdmission) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := err.Error(); !contains(got, "latency") {
+		t.Errorf("err should name latency: %q", got)
+	}
+}
+
+func TestManagerSetLink(t *testing.T) {
+	m := NewManager(LinkEstimate{Capacity: 0})
+	if _, err := m.Open("t", media.Text); err == nil {
+		t.Fatal("zero capacity should deny")
+	}
+	m.SetLink(LinkEstimate{Capacity: 1e6})
+	if _, err := m.Open("t", media.Text); err != nil {
+		t.Errorf("after upgrade: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

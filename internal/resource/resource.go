@@ -1,0 +1,308 @@
+// Package resource implements the Z-specification resource model of the
+// paper's floor control mechanism:
+//
+//	Resource        == Network × CPU × Memory        (REAL components)
+//	Policy-Factors  ::= NETWORK-BOUND | CPU-BOUND | MEMORY-BOUND
+//	α, β : REAL  with  α > β
+//
+// α is "the basic system resource available"; β is "the minimal system
+// resource available; α must be greater than β so that different levels of
+// treatment are used when the source is not sufficient". Availability ≥ α
+// is the normal regime; [β, α) triggers Media-Suspend of the
+// lowest-priority member; < β aborts arbitration.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Factor selects which resource component binds the availability
+// computation (the Z spec's Policy-Factors).
+type Factor int
+
+const (
+	// NetworkBound uses the network component as the binding resource.
+	NetworkBound Factor = iota + 1
+	// CPUBound uses the CPU component.
+	CPUBound
+	// MemoryBound uses the memory component.
+	MemoryBound
+	// MinBound uses the minimum across components (conservative policy,
+	// the default when no single factor dominates).
+	MinBound
+)
+
+// String implements fmt.Stringer.
+func (f Factor) String() string {
+	switch f {
+	case NetworkBound:
+		return "NETWORK-BOUND"
+	case CPUBound:
+		return "CPU-BOUND"
+	case MemoryBound:
+		return "MEMORY-BOUND"
+	case MinBound:
+		return "MIN-BOUND"
+	default:
+		return fmt.Sprintf("Factor(%d)", int(f))
+	}
+}
+
+// Vector is the Resource triple. Components are fractions of capacity
+// available in [0, 1]; 1 means fully free.
+type Vector struct {
+	Network float64
+	CPU     float64
+	Memory  float64
+}
+
+// Clamp returns the vector with each component clamped to [0, 1].
+func (v Vector) Clamp() Vector {
+	c := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	return Vector{Network: c(v.Network), CPU: c(v.CPU), Memory: c(v.Memory)}
+}
+
+// Sub returns v − u component-wise (not clamped).
+func (v Vector) Sub(u Vector) Vector {
+	return Vector{Network: v.Network - u.Network, CPU: v.CPU - u.CPU, Memory: v.Memory - u.Memory}
+}
+
+// Add returns v + u component-wise (not clamped).
+func (v Vector) Add(u Vector) Vector {
+	return Vector{Network: v.Network + u.Network, CPU: v.CPU + u.CPU, Memory: v.Memory + u.Memory}
+}
+
+// Min returns the smallest component.
+func (v Vector) Min() float64 {
+	m := v.Network
+	if v.CPU < m {
+		m = v.CPU
+	}
+	if v.Memory < m {
+		m = v.Memory
+	}
+	return m
+}
+
+// Bind reduces the vector to the scalar availability under the factor.
+func (v Vector) Bind(f Factor) float64 {
+	switch f {
+	case NetworkBound:
+		return v.Network
+	case CPUBound:
+		return v.CPU
+	case MemoryBound:
+		return v.Memory
+	default:
+		return v.Min()
+	}
+}
+
+// Level classifies availability against the α/β thresholds.
+type Level int
+
+const (
+	// Normal: availability ≥ α; all requested media can be granted.
+	Normal Level = iota + 1
+	// Degraded: β ≤ availability < α; the lowest-priority member's media
+	// are suspended (Media-Suspend).
+	Degraded
+	// Critical: availability < β; arbitration aborts (Abort-Arbitrate).
+	Critical
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Normal:
+		return "normal"
+	case Degraded:
+		return "degraded"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ErrThresholds is returned when α ≤ β or the values fall outside [0, 1].
+var ErrThresholds = errors.New("resource: thresholds require 0 ≤ β < α ≤ 1")
+
+// Thresholds holds the α/β pair of the Z specification.
+type Thresholds struct {
+	Alpha float64 // basic system resource available
+	Beta  float64 // minimal system resource available
+}
+
+// DefaultThresholds matches the regimes used by the experiments:
+// degrade below 50% availability, abort below 15%.
+func DefaultThresholds() Thresholds { return Thresholds{Alpha: 0.50, Beta: 0.15} }
+
+// Validate enforces α > β as the spec's global constraint requires.
+func (t Thresholds) Validate() error {
+	if !(t.Beta >= 0 && t.Beta < t.Alpha && t.Alpha <= 1) {
+		return fmt.Errorf("%w: α=%v β=%v", ErrThresholds, t.Alpha, t.Beta)
+	}
+	return nil
+}
+
+// Classify maps a scalar availability to its regime.
+func (t Thresholds) Classify(avail float64) Level {
+	switch {
+	case avail >= t.Alpha:
+		return Normal
+	case avail >= t.Beta:
+		return Degraded
+	default:
+		return Critical
+	}
+}
+
+// Monitor tracks the host's current resource availability. It is safe for
+// concurrent use. The zero value reports full availability under MinBound
+// with DefaultThresholds; use New to configure.
+type Monitor struct {
+	mu         sync.Mutex
+	avail      Vector
+	factor     Factor
+	thresholds Thresholds
+	inited     bool
+}
+
+// New returns a monitor starting at full availability.
+func New(factor Factor, th Thresholds) (*Monitor, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	return &Monitor{
+		avail:      Vector{Network: 1, CPU: 1, Memory: 1},
+		factor:     factor,
+		thresholds: th,
+		inited:     true,
+	}, nil
+}
+
+func (m *Monitor) initLocked() {
+	if !m.inited {
+		m.avail = Vector{Network: 1, CPU: 1, Memory: 1}
+		m.factor = MinBound
+		m.thresholds = DefaultThresholds()
+		m.inited = true
+	}
+}
+
+// Set replaces the availability vector (clamped to [0,1]).
+func (m *Monitor) Set(v Vector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	m.avail = v.Clamp()
+}
+
+// Consume subtracts a demand from availability (clamped at 0); Release
+// gives it back (clamped at 1).
+func (m *Monitor) Consume(v Vector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	m.avail = m.avail.Sub(v).Clamp()
+}
+
+// Release returns previously consumed resources.
+func (m *Monitor) Release(v Vector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	m.avail = m.avail.Add(v).Clamp()
+}
+
+// Vector returns the current availability vector.
+func (m *Monitor) Vector() Vector {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	return m.avail
+}
+
+// Availability returns the scalar availability under the monitor's factor.
+func (m *Monitor) Availability() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	return m.avail.Bind(m.factor)
+}
+
+// Level classifies the current availability.
+func (m *Monitor) Level() Level {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	return m.thresholds.Classify(m.avail.Bind(m.factor))
+}
+
+// Thresholds returns the configured α/β pair.
+func (m *Monitor) Thresholds() Thresholds {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	return m.thresholds
+}
+
+// ProfilePoint is one step of a scripted load profile.
+type ProfilePoint struct {
+	At    time.Duration // offset from profile start
+	Avail Vector
+}
+
+// Profile is a piecewise-constant scripted availability trace used by the
+// degradation experiments (the stand-in for real host probes; see
+// DESIGN.md substitutions).
+type Profile struct {
+	Points []ProfilePoint
+}
+
+// At returns the availability vector in effect at offset d: the last point
+// at or before d, or full availability before the first point.
+func (p Profile) At(d time.Duration) Vector {
+	current := Vector{Network: 1, CPU: 1, Memory: 1}
+	for _, pt := range p.Points {
+		if pt.At > d {
+			break
+		}
+		current = pt.Avail
+	}
+	return current
+}
+
+// RampDown builds a profile that degrades linearly from full availability
+// to floor over total time in steps equal intervals (all components move
+// together). Useful for sweeping across α and β.
+func RampDown(total time.Duration, steps int, floor float64) Profile {
+	if steps < 1 {
+		steps = 1
+	}
+	if floor < 0 {
+		floor = 0
+	}
+	var p Profile
+	for i := 0; i <= steps; i++ {
+		frac := float64(i) / float64(steps)
+		avail := 1 - frac*(1-floor)
+		p.Points = append(p.Points, ProfilePoint{
+			At:    time.Duration(frac * float64(total)),
+			Avail: Vector{Network: avail, CPU: avail, Memory: avail},
+		})
+	}
+	return p
+}

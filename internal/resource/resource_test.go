@@ -1,0 +1,190 @@
+package resource
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestVectorClamp(t *testing.T) {
+	v := Vector{Network: -0.5, CPU: 1.5, Memory: 0.3}.Clamp()
+	if v.Network != 0 || v.CPU != 1 || v.Memory != 0.3 {
+		t.Errorf("Clamp = %+v", v)
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	const eps = 1e-9
+	near := func(a, b float64) bool { d := a - b; return d < eps && d > -eps }
+	a := Vector{Network: 0.8, CPU: 0.6, Memory: 0.4}
+	b := Vector{Network: 0.1, CPU: 0.2, Memory: 0.3}
+	sum := a.Add(b)
+	if !near(sum.Network, 0.9) || !near(sum.CPU, 0.8) || !near(sum.Memory, 0.7) {
+		t.Errorf("Add = %+v", sum)
+	}
+	diff := a.Sub(b)
+	if !near(diff.Network, 0.7) || !near(diff.CPU, 0.4) || !near(diff.Memory, 0.1) {
+		t.Errorf("Sub = %+v", diff)
+	}
+}
+
+func TestVectorBind(t *testing.T) {
+	v := Vector{Network: 0.2, CPU: 0.9, Memory: 0.5}
+	if got := v.Bind(NetworkBound); got != 0.2 {
+		t.Errorf("NetworkBound = %v", got)
+	}
+	if got := v.Bind(CPUBound); got != 0.9 {
+		t.Errorf("CPUBound = %v", got)
+	}
+	if got := v.Bind(MemoryBound); got != 0.5 {
+		t.Errorf("MemoryBound = %v", got)
+	}
+	if got := v.Bind(MinBound); got != 0.2 {
+		t.Errorf("MinBound = %v", got)
+	}
+}
+
+func TestFactorLevelStrings(t *testing.T) {
+	if NetworkBound.String() != "NETWORK-BOUND" || MinBound.String() != "MIN-BOUND" {
+		t.Error("factor strings")
+	}
+	if Normal.String() != "normal" || Degraded.String() != "degraded" || Critical.String() != "critical" {
+		t.Error("level strings")
+	}
+	if Factor(99).String() == "" || Level(99).String() == "" {
+		t.Error("unknown enums should still render")
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	if err := DefaultThresholds().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := []Thresholds{
+		{Alpha: 0.2, Beta: 0.5}, // α < β violates the spec's a > b
+		{Alpha: 0.5, Beta: 0.5}, // equal
+		{Alpha: 1.5, Beta: 0.1}, // out of range
+		{Alpha: 0.5, Beta: -0.1},
+	}
+	for i, th := range bad {
+		if err := th.Validate(); !errors.Is(err, ErrThresholds) {
+			t.Errorf("bad[%d] err = %v", i, err)
+		}
+	}
+}
+
+func TestClassifyRegimes(t *testing.T) {
+	th := Thresholds{Alpha: 0.5, Beta: 0.2}
+	cases := []struct {
+		avail float64
+		want  Level
+	}{
+		{1.0, Normal}, {0.5, Normal}, {0.49, Degraded},
+		{0.2, Degraded}, {0.19, Critical}, {0, Critical},
+	}
+	for _, c := range cases {
+		if got := th.Classify(c.avail); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.avail, got, c.want)
+		}
+	}
+}
+
+func TestMonitorLifecycle(t *testing.T) {
+	m, err := New(MinBound, Thresholds{Alpha: 0.5, Beta: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Level() != Normal || m.Availability() != 1 {
+		t.Errorf("fresh monitor: %v %v", m.Level(), m.Availability())
+	}
+	m.Consume(Vector{Network: 0.6, CPU: 0.3, Memory: 0.1})
+	if got := m.Availability(); got != 0.4 {
+		t.Errorf("after consume = %v, want 0.4 (network binds)", got)
+	}
+	if m.Level() != Degraded {
+		t.Errorf("level = %v, want degraded", m.Level())
+	}
+	m.Consume(Vector{Network: 0.3})
+	if m.Level() != Critical {
+		t.Errorf("level = %v, want critical", m.Level())
+	}
+	m.Release(Vector{Network: 0.9, CPU: 0.3, Memory: 0.1})
+	if m.Level() != Normal {
+		t.Errorf("after release = %v", m.Level())
+	}
+	if m.Availability() != 1 {
+		t.Errorf("release should clamp at 1: %v", m.Availability())
+	}
+}
+
+func TestMonitorRejectsBadThresholds(t *testing.T) {
+	if _, err := New(MinBound, Thresholds{Alpha: 0.1, Beta: 0.9}); !errors.Is(err, ErrThresholds) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMonitorZeroValueUsable(t *testing.T) {
+	var m Monitor
+	if m.Availability() != 1 {
+		t.Errorf("zero monitor availability = %v", m.Availability())
+	}
+	if m.Level() != Normal {
+		t.Errorf("zero monitor level = %v", m.Level())
+	}
+	m.Set(Vector{Network: 0.1, CPU: 0.1, Memory: 0.1})
+	if m.Level() != Critical {
+		t.Errorf("after Set: %v", m.Level())
+	}
+	if th := m.Thresholds(); th != DefaultThresholds() {
+		t.Errorf("thresholds = %+v", th)
+	}
+}
+
+func TestProfileAt(t *testing.T) {
+	p := Profile{Points: []ProfilePoint{
+		{At: 0, Avail: Vector{Network: 1, CPU: 1, Memory: 1}},
+		{At: 10 * time.Second, Avail: Vector{Network: 0.4, CPU: 0.4, Memory: 0.4}},
+		{At: 20 * time.Second, Avail: Vector{Network: 0.1, CPU: 0.1, Memory: 0.1}},
+	}}
+	if got := p.At(5 * time.Second).Network; got != 1 {
+		t.Errorf("t=5s: %v", got)
+	}
+	if got := p.At(10 * time.Second).Network; got != 0.4 {
+		t.Errorf("t=10s: %v", got)
+	}
+	if got := p.At(15 * time.Second).Network; got != 0.4 {
+		t.Errorf("t=15s: %v", got)
+	}
+	if got := p.At(25 * time.Second).Network; got != 0.1 {
+		t.Errorf("t=25s: %v", got)
+	}
+	var empty Profile
+	if got := empty.At(time.Hour).CPU; got != 1 {
+		t.Errorf("empty profile should be full availability: %v", got)
+	}
+}
+
+func TestRampDown(t *testing.T) {
+	p := RampDown(10*time.Second, 5, 0.2)
+	if len(p.Points) != 6 {
+		t.Fatalf("points = %d", len(p.Points))
+	}
+	if got := p.At(0).Network; got != 1 {
+		t.Errorf("start = %v", got)
+	}
+	if got := p.At(10 * time.Second).Network; got < 0.19 || got > 0.21 {
+		t.Errorf("end = %v, want ~0.2", got)
+	}
+	mid := p.At(5 * time.Second).Network
+	if mid <= 0.2 || mid >= 1 {
+		t.Errorf("mid = %v, want strictly between", mid)
+	}
+	// Degenerate parameters.
+	p2 := RampDown(time.Second, 0, -1)
+	if len(p2.Points) != 2 {
+		t.Errorf("degenerate points = %d", len(p2.Points))
+	}
+	if got := p2.At(time.Second).CPU; got != 0 {
+		t.Errorf("floor clamped = %v", got)
+	}
+}

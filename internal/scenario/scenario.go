@@ -1,0 +1,158 @@
+// Package scenario parses presentation scenario files: a small JSON
+// format describing media objects and Allen-relation constraints, used
+// by cmd/dmps-sim to run arbitrary presentations. Example:
+//
+//	{
+//	  "objects": [
+//	    {"id": "slide", "kind": "image", "duration": "10s"},
+//	    {"id": "narration", "kind": "audio", "duration": "10s", "rate": 50},
+//	    {"id": "clip", "kind": "video", "duration": "5s", "rate": 30}
+//	  ],
+//	  "constraints": [
+//	    {"a": "slide", "rel": "equals", "b": "narration"},
+//	    {"a": "slide", "rel": "meets", "b": "clip"}
+//	  ],
+//	  "anchor": "slide"
+//	}
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+)
+
+// ErrParse is returned for malformed scenario files.
+var ErrParse = errors.New("scenario: parse error")
+
+// fileSpec is the on-disk shape.
+type fileSpec struct {
+	Objects     []objectSpec     `json:"objects"`
+	Constraints []constraintSpec `json:"constraints"`
+	Anchor      string           `json:"anchor,omitempty"`
+}
+
+type objectSpec struct {
+	ID       string  `json:"id"`
+	Kind     string  `json:"kind"`
+	Duration string  `json:"duration"`
+	Rate     float64 `json:"rate,omitempty"`
+	Bytes    int     `json:"unit_bytes,omitempty"`
+}
+
+type constraintSpec struct {
+	A   string `json:"a"`
+	Rel string `json:"rel"`
+	B   string `json:"b"`
+	Gap string `json:"gap,omitempty"`
+}
+
+var kinds = map[string]media.Kind{
+	"text":       media.Text,
+	"image":      media.Image,
+	"audio":      media.Audio,
+	"video":      media.Video,
+	"annotation": media.Annotation,
+}
+
+var relations = map[string]ocpn.Relation{
+	"equals":   ocpn.Equals,
+	"before":   ocpn.Before,
+	"meets":    ocpn.Meets,
+	"overlaps": ocpn.Overlaps,
+	"during":   ocpn.During,
+	"starts":   ocpn.Starts,
+	"finishes": ocpn.Finishes,
+}
+
+// Parse converts scenario JSON into an Allen specification.
+func Parse(data []byte) (ocpn.Spec, error) {
+	var fs fileSpec
+	if err := json.Unmarshal(data, &fs); err != nil {
+		return ocpn.Spec{}, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if len(fs.Objects) == 0 {
+		return ocpn.Spec{}, fmt.Errorf("%w: no objects", ErrParse)
+	}
+	spec := ocpn.Spec{Anchor: fs.Anchor}
+	for _, o := range fs.Objects {
+		kind, ok := kinds[o.Kind]
+		if !ok {
+			return ocpn.Spec{}, fmt.Errorf("%w: object %q has unknown kind %q", ErrParse, o.ID, o.Kind)
+		}
+		dur, err := time.ParseDuration(o.Duration)
+		if err != nil {
+			return ocpn.Spec{}, fmt.Errorf("%w: object %q duration: %v", ErrParse, o.ID, err)
+		}
+		obj := media.Object{ID: o.ID, Kind: kind, Duration: dur, Rate: o.Rate, UnitBytes: o.Bytes}
+		if kind.Continuous() && obj.Rate == 0 {
+			obj.Rate = 10 // sensible default for continuous media
+		}
+		spec.Objects = append(spec.Objects, obj)
+	}
+	for _, c := range fs.Constraints {
+		rel, ok := relations[c.Rel]
+		if !ok {
+			return ocpn.Spec{}, fmt.Errorf("%w: unknown relation %q", ErrParse, c.Rel)
+		}
+		gap := time.Duration(0)
+		if c.Gap != "" {
+			var err error
+			gap, err = time.ParseDuration(c.Gap)
+			if err != nil {
+				return ocpn.Spec{}, fmt.Errorf("%w: constraint gap: %v", ErrParse, err)
+			}
+		}
+		spec.Constraints = append(spec.Constraints, ocpn.Constraint{A: c.A, B: c.B, Rel: rel, Gap: gap})
+	}
+	return spec, nil
+}
+
+// Load reads and parses a scenario file.
+func Load(path string) (ocpn.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ocpn.Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data)
+}
+
+// Render serializes a specification back to scenario JSON (for tooling
+// round trips and documentation generation).
+func Render(spec ocpn.Spec) ([]byte, error) {
+	fs := fileSpec{Anchor: spec.Anchor}
+	kindNames := make(map[media.Kind]string, len(kinds))
+	for name, k := range kinds {
+		kindNames[k] = name
+	}
+	relNames := make(map[ocpn.Relation]string, len(relations))
+	for name, r := range relations {
+		relNames[r] = name
+	}
+	for _, o := range spec.Objects {
+		name, ok := kindNames[o.Kind]
+		if !ok {
+			return nil, fmt.Errorf("%w: unrenderable kind %v", ErrParse, o.Kind)
+		}
+		fs.Objects = append(fs.Objects, objectSpec{
+			ID: o.ID, Kind: name, Duration: o.Duration.String(), Rate: o.Rate, Bytes: o.UnitBytes,
+		})
+	}
+	for _, c := range spec.Constraints {
+		name, ok := relNames[c.Rel]
+		if !ok {
+			return nil, fmt.Errorf("%w: unrenderable relation %v", ErrParse, c.Rel)
+		}
+		cs := constraintSpec{A: c.A, Rel: name, B: c.B}
+		if c.Gap != 0 {
+			cs.Gap = c.Gap.String()
+		}
+		fs.Constraints = append(fs.Constraints, cs)
+	}
+	return json.MarshalIndent(fs, "", "  ")
+}

@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dmps/internal/ocpn"
+)
+
+const lectureJSON = `{
+  "objects": [
+    {"id": "slide", "kind": "image", "duration": "10s"},
+    {"id": "narration", "kind": "audio", "duration": "10s", "rate": 50},
+    {"id": "clip", "kind": "video", "duration": "5s", "rate": 30}
+  ],
+  "constraints": [
+    {"a": "slide", "rel": "equals", "b": "narration"},
+    {"a": "slide", "rel": "meets", "b": "clip"}
+  ],
+  "anchor": "slide"
+}`
+
+func TestParseLecture(t *testing.T) {
+	spec, err := Parse([]byte(lectureJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Objects) != 3 || len(spec.Constraints) != 2 || spec.Anchor != "slide" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	tl, err := ocpn.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if net.DeriveSchedule().Total != 15*time.Second {
+		t.Errorf("total = %v", net.DeriveSchedule().Total)
+	}
+}
+
+func TestParseDefaultsContinuousRate(t *testing.T) {
+	spec, err := Parse([]byte(`{"objects":[{"id":"v","kind":"video","duration":"1s"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Objects[0].Rate != 10 {
+		t.Errorf("default rate = %v", spec.Objects[0].Rate)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"objects":[]}`,
+		`{"objects":[{"id":"x","kind":"hologram","duration":"1s"}]}`,
+		`{"objects":[{"id":"x","kind":"text","duration":"soon"}]}`,
+		`{"objects":[{"id":"x","kind":"text","duration":"1s"}],"constraints":[{"a":"x","rel":"eventually","b":"x"}]}`,
+		`{"objects":[{"id":"x","kind":"text","duration":"1s"}],"constraints":[{"a":"x","rel":"before","b":"x","gap":"later"}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Parse([]byte(c)); !errors.Is(err, ErrParse) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lecture.json")
+	if err := os.WriteFile(path, []byte(lectureJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Objects) != 3 {
+		t.Errorf("objects = %d", len(spec.Objects))
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	spec, err := Parse([]byte(lectureJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if len(spec2.Objects) != len(spec.Objects) || len(spec2.Constraints) != len(spec.Constraints) {
+		t.Errorf("round trip lost entries")
+	}
+	tl1, err := ocpn.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl2, err := ocpn.Solve(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl1.End() != tl2.End() {
+		t.Errorf("round trip changed semantics: %v vs %v", tl1.End(), tl2.End())
+	}
+}
+
+func TestRenderWithGap(t *testing.T) {
+	spec, err := Parse([]byte(`{
+		"objects":[
+			{"id":"a","kind":"text","duration":"2s"},
+			{"id":"b","kind":"text","duration":"2s"}
+		],
+		"constraints":[{"a":"a","rel":"before","b":"b","gap":"500ms"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec2.Constraints[0].Gap != 500*time.Millisecond {
+		t.Errorf("gap = %v", spec2.Constraints[0].Gap)
+	}
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"dmps/internal/floor"
+	"dmps/internal/group"
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+	"dmps/internal/whiteboard"
+)
+
+// dispatch routes one decoded client message.
+func (s *Server) dispatch(sess *session, msg protocol.Message) {
+	switch msg.Type {
+	case protocol.TJoin:
+		s.onJoin(sess, msg)
+	case protocol.TCreateGroup:
+		s.onCreateGroup(sess, msg)
+	case protocol.TLeave:
+		s.onLeave(sess, msg)
+	case protocol.TFloorRequest:
+		s.onFloorRequest(sess, msg)
+	case protocol.TFloorRelease:
+		s.onFloorRelease(sess, msg)
+	case protocol.TTokenPass:
+		s.onTokenPass(sess, msg)
+	case protocol.TInvite:
+		s.onInvite(sess, msg)
+	case protocol.TInviteReply:
+		s.onInviteReply(sess, msg)
+	case protocol.TChat:
+		s.onChat(sess, msg)
+	case protocol.TAnnotate:
+		s.onAnnotate(sess, msg)
+	case protocol.TReplay:
+		s.onReplay(sess, msg)
+	case protocol.TClockSync:
+		s.onClockSync(sess, msg)
+	case protocol.TStatusReport:
+		// touch already happened in the read loop; ack not needed.
+	case protocol.TPresent:
+		s.onPresent(sess, msg)
+	case protocol.TMediaUnit:
+		s.onMediaUnit(sess, msg)
+	default:
+		s.replyErr(sess, msg.Seq, "unknown_type", fmt.Errorf("server: unhandled %q", msg.Type))
+	}
+}
+
+// onJoin joins (auto-creating) a group: the paper's "user need to initial
+// the group first" — the first joiner becomes the session chair.
+func (s *Server) onJoin(sess *session, msg protocol.Message) {
+	var body protocol.GroupBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	err := s.registry.Join(body.Group, sess.member.ID)
+	if errors.Is(err, group.ErrUnknownGroup) {
+		err = s.registry.CreateGroup(body.Group, sess.member.ID)
+	}
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "join", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
+	// Replay the board so the late joiner converges.
+	s.replayTo(sess, body.Group, 0)
+	s.broadcastLights()
+}
+
+func (s *Server) onCreateGroup(sess *session, msg protocol.Message) {
+	var body protocol.GroupBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if err := s.registry.CreateGroup(body.Group, sess.member.ID); err != nil {
+		s.replyErr(sess, msg.Seq, "create_group", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
+}
+
+func (s *Server) onLeave(sess *session, msg protocol.Message) {
+	var body protocol.GroupBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if err := s.registry.Leave(body.Group, sess.member.ID); err != nil {
+		s.replyErr(sess, msg.Seq, "leave", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
+}
+
+// onFloorRequest runs FCM-Arbitrate and reports the decision. Every
+// request is centralized here, per the paper.
+func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
+	var body protocol.FloorRequestBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	mode, ok := parseMode(body.Mode)
+	if !ok {
+		s.replyErr(sess, msg.Seq, "bad_mode", fmt.Errorf("server: unknown mode %q", body.Mode))
+		return
+	}
+	dec, err := s.floorCtl.Arbitrate(msg.Group, sess.member.ID, mode, group.MemberID(body.Target))
+	decision := decisionBody(dec)
+	if err != nil {
+		decision.Reason = err.Error()
+		// A queued request is not a failure: ack with the queue position.
+		if errors.Is(err, floor.ErrBusy) {
+			s.replyAck(sess, msg.Seq, decision)
+			s.notifySuspensions(msg.Group, dec)
+			return
+		}
+		s.replyErr(sess, msg.Seq, "floor_denied", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, decision)
+	s.notifySuspensions(msg.Group, dec)
+	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+		Mode:   mode.String(),
+		Holder: string(dec.Holder),
+		Member: string(sess.member.ID),
+		Event:  "granted",
+	})
+	event.Group = msg.Group
+	s.broadcastGroup(msg.Group, event)
+}
+
+// notifySuspensions tells each Media-Suspend victim and the group.
+func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
+	for _, victim := range dec.Suspended {
+		note := protocol.MustNew(protocol.TSuspend, protocol.SuspendBody{
+			Member: string(victim),
+			Level:  dec.Level.String(),
+		})
+		note.Group = groupID
+		s.broadcastGroup(groupID, note)
+	}
+}
+
+func (s *Server) onFloorRelease(sess *session, msg protocol.Message) {
+	next, err := s.floorCtl.Release(msg.Group, sess.member.ID)
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "release", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.FloorEventBody{Holder: string(next), Event: "released"})
+	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+		Mode:   s.floorCtl.ModeOf(msg.Group).String(),
+		Holder: string(next),
+		Member: string(sess.member.ID),
+		Event:  "released",
+	})
+	event.Group = msg.Group
+	s.broadcastGroup(msg.Group, event)
+}
+
+func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
+	var body protocol.TokenPassBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if err := s.floorCtl.Pass(msg.Group, sess.member.ID, group.MemberID(body.To)); err != nil {
+		s.replyErr(sess, msg.Seq, "pass", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.FloorEventBody{Holder: body.To, Event: "passed"})
+	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+		Mode:   s.floorCtl.ModeOf(msg.Group).String(),
+		Holder: body.To,
+		Member: string(sess.member.ID),
+		Event:  "passed",
+	})
+	event.Group = msg.Group
+	s.broadcastGroup(msg.Group, event)
+}
+
+func (s *Server) onInvite(sess *session, msg protocol.Message) {
+	var body protocol.InviteBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	inv, err := s.registry.Invite(body.Group, sess.member.ID, group.MemberID(body.To))
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "invite", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.InviteEventBody{InviteID: inv.ID, Group: inv.Group, From: string(inv.From)})
+	note := protocol.MustNew(protocol.TInviteEvent, protocol.InviteEventBody{
+		InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
+	})
+	s.sendTo(inv.To, note)
+}
+
+func (s *Server) onInviteReply(sess *session, msg protocol.Message) {
+	var body protocol.InviteReplyBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	inv, err := s.registry.Respond(body.InviteID, sess.member.ID, body.Accept)
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "invite_reply", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, protocol.InviteEventBody{InviteID: inv.ID, Group: inv.Group, From: string(inv.From)})
+	// Tell the inviter the outcome.
+	outcome := "declined"
+	if inv.Status == group.Accepted {
+		outcome = "accepted"
+		// Replay the sub-group board to the new member.
+		s.replayTo(sess, inv.Group, 0)
+	}
+	note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+		Member: string(inv.To),
+		Event:  "invite_" + outcome,
+	})
+	note.Group = inv.Group
+	s.sendTo(inv.From, note)
+}
+
+// onChat posts to the message window, enforcing the capability matrix
+// and Media-Suspend, and routes per the floor mode: private windows
+// (msg.To set) go only to the contact peer; otherwise the group sees it.
+func (s *Server) onChat(sess *session, msg protocol.Message) {
+	var body protocol.ChatBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if !s.floorCtl.MediaAvailable(msg.Group, sess.member.ID) {
+		s.replyErr(sess, msg.Seq, "suspended", fmt.Errorf("server: media suspended for %s", sess.member.ID))
+		return
+	}
+	if msg.To != "" {
+		// Direct-contact private window.
+		peer := s.floorCtl.ContactPeer(msg.Group, sess.member.ID)
+		if string(peer) != msg.To {
+			s.replyErr(sess, msg.Seq, "no_contact", fmt.Errorf("server: no direct contact with %q", msg.To))
+			return
+		}
+		event := protocol.MustNew(protocol.TChatEvent, protocol.SequencedBody{
+			Author: string(sess.member.ID), Kind: "private", Data: body.Text,
+		})
+		event.Group = msg.Group
+		event.From = string(sess.member.ID)
+		event.To = msg.To
+		s.sendTo(peer, event)
+		s.replyAck(sess, msg.Seq, protocol.SequencedBody{Author: string(sess.member.ID), Kind: "private", Data: body.Text})
+		return
+	}
+	if !s.floorCtl.CapabilityFor(msg.Group, sess.member.ID).MessageWindow {
+		s.replyErr(sess, msg.Seq, "no_floor", fmt.Errorf("server: %s may not send in %v mode", sess.member.ID, s.floorCtl.ModeOf(msg.Group)))
+		return
+	}
+	gb := s.board(msg.Group)
+	gb.mu.Lock()
+	op, err := gb.board.Append(string(sess.member.ID), whiteboard.Text, body.Text)
+	if err != nil {
+		gb.mu.Unlock()
+		s.replyErr(sess, msg.Seq, "board", err)
+		return
+	}
+	event := protocol.MustNew(protocol.TChatEvent, protocol.SequencedBody{
+		Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data,
+	})
+	event.Group = msg.Group
+	s.broadcastGroup(msg.Group, event)
+	gb.mu.Unlock()
+	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data})
+}
+
+func (s *Server) onAnnotate(sess *session, msg protocol.Message) {
+	var body protocol.AnnotateBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if !s.floorCtl.MediaAvailable(msg.Group, sess.member.ID) {
+		s.replyErr(sess, msg.Seq, "suspended", fmt.Errorf("server: media suspended for %s", sess.member.ID))
+		return
+	}
+	if !s.floorCtl.CapabilityFor(msg.Group, sess.member.ID).Whiteboard {
+		s.replyErr(sess, msg.Seq, "no_floor", fmt.Errorf("server: %s may not annotate in %v mode", sess.member.ID, s.floorCtl.ModeOf(msg.Group)))
+		return
+	}
+	kind, ok := parseOpKind(body.Kind)
+	if !ok {
+		s.replyErr(sess, msg.Seq, "bad_kind", fmt.Errorf("server: unknown op kind %q", body.Kind))
+		return
+	}
+	gb := s.board(msg.Group)
+	gb.mu.Lock()
+	op, err := gb.board.Append(string(sess.member.ID), kind, body.Data)
+	if err != nil {
+		gb.mu.Unlock()
+		s.replyErr(sess, msg.Seq, "board", err)
+		return
+	}
+	event := protocol.MustNew(protocol.TAnnotateEvent, protocol.SequencedBody{
+		Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data,
+	})
+	event.Group = msg.Group
+	s.broadcastGroup(msg.Group, event)
+	gb.mu.Unlock()
+	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data})
+}
+
+func (s *Server) onReplay(sess *session, msg protocol.Message) {
+	var body protocol.ReplayBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	// Boards are group-private (the breakout isolation of Figure 2):
+	// only members may replay.
+	if !s.registry.IsMember(msg.Group, sess.member.ID) {
+		s.replyErr(sess, msg.Seq, "not_member", fmt.Errorf("server: %s not in %q", sess.member.ID, msg.Group))
+		return
+	}
+	s.replayTo(sess, msg.Group, body.After)
+	s.replyAck(sess, msg.Seq, protocol.ReplayBody{After: body.After})
+}
+
+// replayTo streams board operations after a sequence number to one
+// session so its replica converges. It holds the group's broadcast lock
+// so no fresh operation interleaves mid-replay on this connection.
+func (s *Server) replayTo(sess *session, groupID string, after int64) {
+	gb := s.board(groupID)
+	gb.mu.Lock()
+	defer gb.mu.Unlock()
+	for _, op := range gb.board.Since(after) {
+		typ := protocol.TAnnotateEvent
+		kind := opKindString(op.Kind)
+		if op.Kind == whiteboard.Text {
+			typ = protocol.TChatEvent
+		}
+		event := protocol.MustNew(typ, protocol.SequencedBody{
+			Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data,
+		})
+		event.Group = groupID
+		_ = sess.send(event)
+	}
+}
+
+// onClockSync answers a Cristian exchange with the master time.
+func (s *Server) onClockSync(sess *session, msg protocol.Message) {
+	var body protocol.ClockSyncBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	body.MasterNanos = protocol.Nanos(s.master.GlobalNow())
+	reply := protocol.MustNew(protocol.TClockSync, body)
+	reply.Seq = msg.Seq
+	_ = sess.send(reply)
+}
+
+// onPresent broadcasts a presentation start to the group. Only the
+// session chair may start one.
+func (s *Server) onPresent(sess *session, msg protocol.Message) {
+	chair, err := s.registry.Chair(msg.Group)
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "present", err)
+		return
+	}
+	if chair != sess.member.ID {
+		s.replyErr(sess, msg.Seq, "present", fmt.Errorf("server: only the chair starts presentations"))
+		return
+	}
+	var body protocol.PresentBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, body)
+	event := protocol.MustNew(protocol.TPresent, body)
+	event.Group = msg.Group
+	s.broadcastGroup(msg.Group, event)
+}
+
+// onMediaUnit relays a streamed media unit to the group, gated by the
+// floor: the sender needs the message-window capability (the "deliver"
+// right of the current mode) and unsuspended media. Units without a Seq
+// are fire-and-forget: denials drop silently, like a muted microphone;
+// units with a Seq get an explicit ack/deny.
+func (s *Server) onMediaUnit(sess *session, msg protocol.Message) {
+	var body protocol.MediaUnitBody
+	if err := msg.Into(&body); err != nil {
+		if msg.Seq != 0 {
+			s.replyErr(sess, msg.Seq, "bad_body", err)
+		}
+		return
+	}
+	allowed := s.floorCtl.MediaAvailable(msg.Group, sess.member.ID) &&
+		s.floorCtl.CapabilityFor(msg.Group, sess.member.ID).MessageWindow
+	if !allowed {
+		if msg.Seq != 0 {
+			s.replyErr(sess, msg.Seq, "no_floor", fmt.Errorf("server: %s may not stream in %v mode", sess.member.ID, s.floorCtl.ModeOf(msg.Group)))
+		}
+		return
+	}
+	event := protocol.MustNew(protocol.TMediaUnit, body)
+	event.Group = msg.Group
+	event.From = string(sess.member.ID)
+	s.broadcastGroup(msg.Group, event)
+	if msg.Seq != 0 {
+		s.replyAck(sess, msg.Seq, body)
+	}
+}
+
+func parseMode(s string) (floor.Mode, bool) {
+	switch s {
+	case "free-access":
+		return floor.FreeAccess, true
+	case "equal-control":
+		return floor.EqualControl, true
+	case "group-discussion":
+		return floor.GroupDiscussion, true
+	case "direct-contact":
+		return floor.DirectContact, true
+	default:
+		return 0, false
+	}
+}
+
+func parseOpKind(s string) (whiteboard.OpKind, bool) {
+	switch s {
+	case "draw":
+		return whiteboard.Draw, true
+	case "text":
+		return whiteboard.Text, true
+	case "clear":
+		return whiteboard.Clear, true
+	default:
+		return 0, false
+	}
+}
+
+func opKindString(k whiteboard.OpKind) string { return k.String() }
+
+func decisionBody(dec floor.Decision) protocol.FloorDecisionBody {
+	out := protocol.FloorDecisionBody{
+		Granted:       dec.Granted,
+		Mode:          dec.Mode.String(),
+		Holder:        string(dec.Holder),
+		QueuePosition: dec.QueuePosition,
+		Level:         dec.Level.String(),
+		Target:        string(dec.Target),
+	}
+	for _, m := range dec.Suspended {
+		out.Suspended = append(out.Suspended, string(m))
+	}
+	return out
+}
+
+// levelString is used by the status loop.
+func levelString(l resource.Level) string { return l.String() }

@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/media"
+	"dmps/internal/resource"
+)
+
+func videoSource(t *testing.T, units int) *media.SyntheticSource {
+	t.Helper()
+	src, err := media.NewSyntheticSource(media.Object{
+		ID: "cam", Kind: media.Video, Duration: time.Duration(units) * 100 * time.Millisecond,
+		Rate: 10, UnitBytes: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestMediaStreamReachesGroup(t *testing.T) {
+	l := newLab(t)
+	speaker := l.dial("Speaker", "chair", 5)
+	listener := l.dial("Listener", "participant", 2)
+	_ = speaker.Join("class")
+	_ = listener.Join("class")
+
+	src := videoSource(t, 5)
+	sent, err := speaker.StreamSource("class", src, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 5 {
+		t.Errorf("sent = %d", sent)
+	}
+	waitFor(t, "units at listener", func() bool {
+		return listener.MediaStats("class")["cam"].Units == 5
+	})
+	stat := listener.MediaStats("class")["cam"]
+	if stat.Bytes != 5*1200 {
+		t.Errorf("bytes = %d", stat.Bytes)
+	}
+	if stat.LastSeq != 4 {
+		t.Errorf("last seq = %d", stat.LastSeq)
+	}
+}
+
+func TestMediaStreamGatedByFloor(t *testing.T) {
+	l := newLab(t)
+	teacher := l.dial("Teacher", "chair", 5)
+	student := l.dial("Student", "participant", 2)
+	_ = teacher.Join("class")
+	_ = student.Join("class")
+	// Teacher takes equal control: the student's microphone is cut.
+	if _, err := teacher.RequestFloor("class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+	// With-ack send is denied explicitly.
+	unit := media.Unit{ObjectID: "mic", Kind: media.Audio, Seq: 0, Bytes: 160}
+	if err := student.SendMediaUnit("class", unit, true); !errors.Is(err, client.ErrDenied) {
+		t.Errorf("muted ack send: %v", err)
+	}
+	// Fire-and-forget send vanishes silently: no unit reaches the teacher.
+	if err := student.SendMediaUnit("class", unit, false); err != nil {
+		t.Fatalf("fire-and-forget must not error: %v", err)
+	}
+	// The holder CAN stream.
+	if err := teacher.SendMediaUnit("class", media.Unit{ObjectID: "cam", Kind: media.Video, Bytes: 1000}, true); err != nil {
+		t.Fatalf("holder stream: %v", err)
+	}
+	waitFor(t, "teacher unit", func() bool {
+		return student.MediaStats("class")["cam"].Units == 1
+	})
+	if teacher.MediaStats("class")["mic"].Units != 0 {
+		t.Error("muted unit leaked to the group")
+	}
+}
+
+func TestMediaStreamBlockedWhenSuspended(t *testing.T) {
+	l := newLab(t)
+	teacher := l.dial("Teacher", "chair", 5)
+	carol := l.dial("Carol", "participant", 1)
+	_ = teacher.Join("class")
+	_ = carol.Join("class")
+	// Degrade into [β, α): the next arbitration suspends carol.
+	l.mon.Set(resourceVector(0.3))
+	if _, err := teacher.RequestFloor("class", floor.FreeAccess, ""); err != nil {
+		t.Fatal(err)
+	}
+	unit := media.Unit{ObjectID: "mic", Kind: media.Audio, Bytes: 160}
+	if err := carol.SendMediaUnit("class", unit, true); !errors.Is(err, client.ErrDenied) {
+		t.Errorf("suspended stream: %v", err)
+	}
+}
+
+func TestMediaStreamPacedBySourceInterval(t *testing.T) {
+	l := newLab(t)
+	speaker := l.dial("Speaker", "chair", 5)
+	_ = speaker.Join("class")
+	// 3 units at 10 units/s: pacing sleeps 2×100ms between units.
+	src, err := media.NewSyntheticSource(media.Object{
+		ID: "cam", Kind: media.Video, Duration: 300 * time.Millisecond, Rate: 10, UnitBytes: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := speaker.StreamSource("class", src, true); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 180*time.Millisecond {
+		t.Errorf("paced stream took %v, want ≥ ~200ms", elapsed)
+	}
+}
+
+// resourceVector builds a uniform availability vector.
+func resourceVector(v float64) resource.Vector {
+	return resource.Vector{Network: v, CPU: v, Memory: v}
+}

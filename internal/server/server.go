@@ -1,0 +1,351 @@
+// Package server implements the DMPS server: the centralized group
+// administration and floor control of the paper ("the floor control model
+// is managed by group administration of the DMPS server; all the users'
+// floor control request inputs are sent to the server"), the global clock
+// master, per-mode message routing, the sequenced whiteboard/message
+// window, and the connection-status monitor behind the Figure-3
+// red/green lights.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dmps/internal/clock"
+	"dmps/internal/floor"
+	"dmps/internal/group"
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+	"dmps/internal/transport"
+	"dmps/internal/whiteboard"
+)
+
+// Light is a connection-status light (paper Figure 3).
+type Light string
+
+const (
+	// Green: the client is connected and answering probes.
+	Green Light = "green"
+	// Red: the client has disconnected or stopped answering.
+	Red Light = "red"
+)
+
+// Config configures a server.
+type Config struct {
+	// Network provides the listener (TCP or netsim).
+	Network transport.Network
+	// Addr is the listen address.
+	Addr string
+	// Clock drives the global clock master and the status prober
+	// (defaults to the real clock).
+	Clock clock.Clock
+	// Monitor supplies resource availability for FCM-Arbitrate (nil
+	// means always Normal).
+	Monitor *resource.Monitor
+	// ProbeInterval is the status-probe period (default 200ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout marks a client red after this silence (default 3×
+	// the interval).
+	ProbeTimeout time.Duration
+}
+
+// Server is a running DMPS server.
+type Server struct {
+	cfg      Config
+	listener transport.Listener
+	registry *group.Registry
+	floorCtl *floor.Controller
+	master   *clock.Master
+
+	mu       sync.Mutex
+	sessions map[group.MemberID]*session
+	boards   map[string]*groupBoard
+	nextID   int
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// session is one connected client.
+type session struct {
+	member group.Member
+	conn   transport.Conn
+	sendMu sync.Mutex
+
+	mu       sync.Mutex
+	lastSeen time.Time
+	alive    bool
+}
+
+func (s *session) send(msg protocol.Message) error {
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return err
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	return s.conn.Send(wire)
+}
+
+func (s *session) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastSeen = now
+	s.mu.Unlock()
+}
+
+func (s *session) light(now time.Time, timeout time.Duration) Light {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.alive || now.Sub(s.lastSeen) > timeout {
+		return Red
+	}
+	return Green
+}
+
+// New creates a server and starts listening. Call Serve (usually in a
+// goroutine) to accept clients, and Close to shut down.
+func New(cfg Config) (*Server, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("server: Config.Network is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 200 * time.Millisecond
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 3 * cfg.ProbeInterval
+	}
+	l, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	registry := group.NewRegistry()
+	s := &Server{
+		cfg:      cfg,
+		listener: l,
+		registry: registry,
+		floorCtl: floor.NewController(registry, cfg.Monitor),
+		master:   clock.NewMaster(cfg.Clock),
+		sessions: make(map[group.MemberID]*session),
+		boards:   make(map[string]*groupBoard),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.probeLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.listener.Addr() }
+
+// Registry exposes the group administration (for tests and tools).
+func (s *Server) Registry() *group.Registry { return s.registry }
+
+// FloorController exposes the floor control state (for tests and tools).
+func (s *Server) FloorController() *floor.Controller { return s.floorCtl }
+
+// Master exposes the global clock master.
+func (s *Server) Master() *clock.Master { return s.master }
+
+// Serve accepts clients until Close. It returns nil after a clean Close.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return fmt.Errorf("server: accept: %w", err)
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Start runs Serve on a goroutine.
+func (s *Server) Start() { go func() { _ = s.Serve() }() }
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		_ = s.listener.Close()
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			_ = sess.conn.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+}
+
+// handle runs one client session: handshake, then the message loop.
+func (s *Server) handle(conn transport.Conn) {
+	defer s.wg.Done()
+	sess, err := s.handshake(conn)
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	for {
+		wire, err := conn.Recv()
+		if err != nil {
+			s.disconnect(sess)
+			return
+		}
+		msg, err := protocol.Decode(wire)
+		if err != nil {
+			s.replyErr(sess, 0, "decode", err)
+			continue
+		}
+		sess.touch(s.cfg.Clock.Now())
+		if msg.Type == protocol.TBye {
+			s.disconnect(sess)
+			return
+		}
+		s.dispatch(sess, msg)
+	}
+}
+
+// handshake admits a client: the first message must be THello.
+func (s *Server) handshake(conn transport.Conn) (*session, error) {
+	wire, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	msg, err := protocol.Decode(wire)
+	if err != nil || msg.Type != protocol.THello {
+		return nil, fmt.Errorf("server: handshake: got %v (%w)", msg.Type, transport.ErrClosed)
+	}
+	var hello protocol.HelloBody
+	if err := msg.Into(&hello); err != nil {
+		return nil, err
+	}
+	role := group.Participant
+	if strings.EqualFold(hello.Role, "chair") {
+		role = group.Chair
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := group.MemberID(fmt.Sprintf("%s#%d", sanitize(hello.Name), s.nextID))
+	member := group.Member{ID: id, Name: hello.Name, Role: role, Priority: hello.Priority}
+	if err := s.registry.Register(member); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+
+	sess := &session{member: member, conn: conn, lastSeen: s.cfg.Clock.Now(), alive: true}
+	// The welcome must be the first message the client sees, so send it
+	// before the session becomes visible to broadcasts and probes.
+	welcome := protocol.MustNew(protocol.TWelcome, protocol.WelcomeBody{
+		MemberID:        string(id),
+		ServerTimeNanos: protocol.Nanos(s.master.GlobalNow()),
+	})
+	welcome.Seq = msg.Seq
+	if err := sess.send(welcome); err != nil {
+		s.registry.Unregister(id)
+		_ = conn.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	return sess, nil
+}
+
+func sanitize(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	if name == "" {
+		name = "member"
+	}
+	return name
+}
+
+// disconnect marks the session dead (light turns red; membership and
+// floor state persist so the teacher can inspect the red light, as in
+// Figure 3(c)).
+func (s *Server) disconnect(sess *session) {
+	sess.mu.Lock()
+	wasAlive := sess.alive
+	sess.alive = false
+	sess.mu.Unlock()
+	_ = sess.conn.Close()
+	if wasAlive {
+		s.broadcastLights()
+	}
+}
+
+// groupBoard pairs the authoritative board with a mutex that serializes
+// append+broadcast, so every connection observes operations in sequence
+// order (concurrent handler goroutines would otherwise interleave a later
+// sequence number ahead of an earlier one).
+type groupBoard struct {
+	mu    sync.Mutex
+	board *whiteboard.Board
+}
+
+// board returns (creating) the group's authoritative board.
+func (s *Server) board(groupID string) *groupBoard {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.boards[groupID]
+	if !ok {
+		b = &groupBoard{board: whiteboard.NewBoard()}
+		s.boards[groupID] = b
+	}
+	return b
+}
+
+func (s *Server) replyAck(sess *session, seq int64, body any) {
+	msg := protocol.MustNew(protocol.TAck, body)
+	msg.Seq = seq
+	_ = sess.send(msg)
+}
+
+func (s *Server) replyErr(sess *session, seq int64, code string, err error) {
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	msg := protocol.MustNew(protocol.TErr, protocol.ErrBody{Code: code, Detail: detail})
+	msg.Seq = seq
+	_ = sess.send(msg)
+}
+
+// sendTo delivers a message to one member if connected.
+func (s *Server) sendTo(id group.MemberID, msg protocol.Message) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if ok {
+		_ = sess.send(msg)
+	}
+}
+
+// broadcastGroup delivers a message to every connected member of a group.
+func (s *Server) broadcastGroup(groupID string, msg protocol.Message) {
+	members, err := s.registry.GroupMembers(groupID)
+	if err != nil {
+		return
+	}
+	for _, m := range members {
+		s.sendTo(m.ID, msg)
+	}
+}

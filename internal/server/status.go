@@ -1,0 +1,97 @@
+package server
+
+import (
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+)
+
+// probeLoop periodically probes every session, recomputes the connection
+// lights (Figure 3) and broadcasts them, and lifts Media-Suspend once the
+// resource level returns to Normal.
+func (s *Server) probeLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.cfg.Clock.After(s.cfg.ProbeInterval):
+		}
+		probe := protocol.MustNew(protocol.TStatusProbe, nil)
+		s.mu.Lock()
+		sessions := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			sessions = append(sessions, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range sessions {
+			sess.mu.Lock()
+			alive := sess.alive
+			sess.mu.Unlock()
+			if alive {
+				_ = sess.send(probe)
+			}
+		}
+		s.broadcastLights()
+		s.maybeReinstate()
+	}
+}
+
+// Lights returns the current connection lights, member ID → light.
+func (s *Server) Lights() map[string]Light {
+	now := s.cfg.Clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Light, len(s.sessions))
+	for id, sess := range s.sessions {
+		out[string(id)] = sess.light(now, s.cfg.ProbeTimeout)
+	}
+	return out
+}
+
+// broadcastLights pushes the light table to every connected client — the
+// teacher's window renders it as the per-student indicator row.
+func (s *Server) broadcastLights() {
+	lights := s.Lights()
+	body := protocol.LightsBody{Lights: make(map[string]string, len(lights))}
+	for id, l := range lights {
+		body.Lights[id] = string(l)
+	}
+	msg := protocol.MustNew(protocol.TLights, body)
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		alive := sess.alive
+		sess.mu.Unlock()
+		if alive {
+			_ = sess.send(msg)
+		}
+	}
+}
+
+// maybeReinstate lifts suspensions in every group once resources are
+// Normal again, broadcasting TResume for each reinstated member.
+func (s *Server) maybeReinstate() {
+	if s.cfg.Monitor == nil || s.cfg.Monitor.Level() != resource.Normal {
+		return
+	}
+	for _, gid := range s.registry.Groups() {
+		suspended := s.floorCtl.Suspended(gid)
+		if len(suspended) == 0 {
+			continue
+		}
+		s.floorCtl.Reinstate(gid)
+		for _, m := range suspended {
+			note := protocol.MustNew(protocol.TResume, protocol.SuspendBody{
+				Member: string(m),
+				Level:  levelString(resource.Normal),
+			})
+			note.Group = gid
+			s.broadcastGroup(gid, note)
+		}
+	}
+}

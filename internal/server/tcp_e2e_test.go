@@ -1,0 +1,77 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/transport"
+)
+
+// TestEndToEndOverRealTCP runs the full lecture flow over actual
+// loopback sockets — the same code path cmd/dmps-server and
+// cmd/dmps-client use — proving the stack is not netsim-only.
+func TestEndToEndOverRealTCP(t *testing.T) {
+	srv, err := New(Config{
+		Network:       transport.TCP{},
+		Addr:          "127.0.0.1:0",
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+
+	dial := func(name, role string, priority int) *client.Client {
+		c, err := client.Dial(client.Config{
+			Network:  transport.TCP{},
+			Addr:     srv.Addr(),
+			Name:     name,
+			Role:     role,
+			Priority: priority,
+			Timeout:  3 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("Dial(%s): %v", name, err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	teacher := dial("Teacher", "chair", 5)
+	student := dial("Student", "participant", 2)
+
+	if err := teacher.Join("tcp-class"); err != nil {
+		t.Fatal(err)
+	}
+	if err := student.Join("tcp-class"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := teacher.RequestFloor("tcp-class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Chat("tcp-class", "over real sockets"); err != nil {
+		t.Fatal(err)
+	}
+	if err := student.Chat("tcp-class", "should be muted"); err == nil {
+		t.Error("equal control must mute the student over TCP too")
+	}
+	waitFor(t, "chat over TCP", func() bool {
+		return student.Board("tcp-class").Seq() == 1
+	})
+	// Clock sync across the socket.
+	offset, err := student.SyncClock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset < -time.Second || offset > time.Second {
+		t.Errorf("loopback offset = %v", offset)
+	}
+	// Graceful goodbye turns the light red.
+	id := student.MemberID()
+	student.Close()
+	waitFor(t, "red light over TCP", func() bool {
+		return srv.Lights()[id] == Red
+	})
+}

@@ -1,0 +1,233 @@
+// Package trace provides lightweight event recording and the statistics
+// used by the experiment harness: latency distributions, throughput
+// counters, timelines and the Jain fairness index.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is a timestamped observation.
+type Event struct {
+	At       time.Time
+	Category string
+	Name     string
+	Value    float64
+}
+
+// Recorder accumulates events. It is safe for concurrent use.
+// The zero value is ready to use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event.
+func (r *Recorder) Record(at time.Time, category, name string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{At: at, Category: category, Name: name, Value: value})
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of all events, ordered as recorded.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// ByCategory returns a copy of the events in the given category.
+func (r *Recorder) ByCategory(category string) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, e := range r.events {
+		if e.Category == category {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// Timeline renders events in order as "t+<offset> category/name value".
+func (r *Recorder) Timeline() string {
+	events := r.Events()
+	if len(events) == 0 {
+		return "(empty timeline)"
+	}
+	t0 := events[0].At
+	var sb strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&sb, "t+%-12s %s/%s", e.At.Sub(t0), e.Category, e.Name)
+		if e.Value != 0 {
+			fmt.Fprintf(&sb, " %.3f", e.Value)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// LatencyStats is an online collection of duration samples.
+// The zero value is ready to use; it is safe for concurrent use.
+type LatencyStats struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (s *LatencyStats) Add(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = append(s.samples, d)
+}
+
+// N reports the sample count.
+func (s *LatencyStats) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) by
+// nearest-rank on the sorted samples; zero when empty.
+func (s *LatencyStats) Percentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean; zero when empty.
+func (s *LatencyStats) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.samples {
+		total += d
+	}
+	return total / time.Duration(len(s.samples))
+}
+
+// Max returns the largest sample; zero when empty.
+func (s *LatencyStats) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max time.Duration
+	for _, d := range s.samples {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Min returns the smallest sample; zero when empty.
+func (s *LatencyStats) Min() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	min := s.samples[0]
+	for _, d := range s.samples[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// Summary renders "n=… mean=… p50=… p95=… p99=… max=…".
+func (s *LatencyStats) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.N(), s.Mean().Round(time.Microsecond),
+		s.Percentile(50).Round(time.Microsecond),
+		s.Percentile(95).Round(time.Microsecond),
+		s.Percentile(99).Round(time.Microsecond),
+		s.Max().Round(time.Microsecond))
+}
+
+// JainIndex computes the Jain fairness index of the shares:
+// (Σx)² / (n·Σx²). It is 1.0 for perfectly equal shares and approaches
+// 1/n under total unfairness. Returns 0 for empty or all-zero input.
+func JainIndex(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range shares {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(shares)) * sumSq)
+}
+
+// Counter is a concurrent monotone counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Inc adds one and returns the new value.
+func (c *Counter) Inc() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	t0 := time.Date(2001, 4, 16, 9, 0, 0, 0, time.UTC)
+	r.Record(t0, "floor", "grant", 1)
+	r.Record(t0.Add(time.Second), "media", "unit", 2)
+	r.Record(t0.Add(2*time.Second), "floor", "release", 0)
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	floor := r.ByCategory("floor")
+	if len(floor) != 2 || floor[0].Name != "grant" || floor[1].Name != "release" {
+		t.Errorf("ByCategory = %v", floor)
+	}
+	tl := r.Timeline()
+	for _, want := range []string{"t+0s", "floor/grant", "media/unit", "t+2s"} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset should clear")
+	}
+	if r.Timeline() != "(empty timeline)" {
+		t.Errorf("empty timeline = %q", r.Timeline())
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(time.Now(), "cat", "n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Errorf("Len = %d, want 800", r.Len())
+	}
+}
+
+func TestRecorderEventsIsCopy(t *testing.T) {
+	var r Recorder
+	r.Record(time.Now(), "a", "b", 1)
+	events := r.Events()
+	events[0].Name = "mutated"
+	if r.Events()[0].Name == "mutated" {
+		t.Error("Events must return a copy")
+	}
+}
+
+func TestLatencyStatsPercentiles(t *testing.T) {
+	var s LatencyStats
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i) * time.Millisecond)
+	}
+	if got := s.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Percentile(95); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Percentile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := s.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	if got := s.Min(); got != time.Millisecond {
+		t.Errorf("min = %v", got)
+	}
+	if got := s.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	if s.N() != 100 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestLatencyStatsEmpty(t *testing.T) {
+	var s LatencyStats
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Error("empty stats should be all zero")
+	}
+	if !strings.Contains(s.Summary(), "n=0") {
+		t.Errorf("Summary = %q", s.Summary())
+	}
+}
+
+func TestLatencyStatsSingle(t *testing.T) {
+	var s LatencyStats
+	s.Add(7 * time.Millisecond)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7*time.Millisecond {
+			t.Errorf("p%.0f = %v", p, got)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("equal shares: %v", got)
+	}
+	// One user hogging everything among n: index = 1/n.
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("hog: %v", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Errorf("all zero: %v", got)
+	}
+	// Scale invariance.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("scale variance: %v vs %v", a, b)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10000 {
+		t.Errorf("Value = %d", c.Value())
+	}
+	c.Add(-10000)
+	if c.Value() != 0 {
+		t.Errorf("after Add: %d", c.Value())
+	}
+}

@@ -1,0 +1,182 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func tcpPair(t *testing.T) (client, server Conn, cleanup func()) {
+	t.Helper()
+	var network TCP
+	l, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var (
+		sc   Conn
+		sErr error
+		wg   sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sc, sErr = l.Accept()
+	}()
+	cc, err := network.Dial(l.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	wg.Wait()
+	if sErr != nil {
+		t.Fatalf("Accept: %v", sErr)
+	}
+	return cc, sc, func() {
+		cc.Close()
+		sc.Close()
+		l.Close()
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	client, server, cleanup := tcpPair(t)
+	defer cleanup()
+	msg := []byte("hello dmps")
+	if err := client.Send(msg); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q", got)
+	}
+	// And the reverse direction.
+	if err := server.Send([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := client.Recv(); err != nil || string(got) != "ack" {
+		t.Errorf("reverse: %q %v", got, err)
+	}
+}
+
+func TestTCPOrderingManyMessages(t *testing.T) {
+	client, server, cleanup := tcpPair(t)
+	defer cleanup()
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := client.Send([]byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Errorf("Send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if int(got[0])|int(got[1])<<8 != i {
+			t.Fatalf("out of order at %d: % x", i, got)
+		}
+	}
+	wg.Wait()
+}
+
+func TestTCPEmptyMessage(t *testing.T) {
+	client, server, cleanup := tcpPair(t)
+	defer cleanup()
+	if err := client.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d bytes", len(got))
+	}
+}
+
+func TestTCPTooLarge(t *testing.T) {
+	client, _, cleanup := tcpPair(t)
+	defer cleanup()
+	big := make([]byte, MaxMessageSize+1)
+	if err := client.Send(big); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	client, server, cleanup := tcpPair(t)
+	defer cleanup()
+	done := make(chan error, 1)
+	go func() {
+		_, err := server.Recv()
+		done <- err
+	}()
+	client.Close()
+	err := <-done
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after peer close: %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPSendAfterCloseFails(t *testing.T) {
+	client, _, cleanup := tcpPair(t)
+	defer cleanup()
+	client.Close()
+	if err := client.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close: %v", err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	client, server, cleanup := tcpPair(t)
+	defer cleanup()
+	if err := client.Close(); err != nil {
+		t.Errorf("first close: %v", err)
+	}
+	if err := client.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	_ = server
+}
+
+func TestTCPListenerCloseUnblocksAccept(t *testing.T) {
+	var network TCP
+	l, err := network.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Errorf("Accept after close: %v", err)
+	}
+}
+
+func TestTCPDialUnknown(t *testing.T) {
+	var network TCP
+	if _, err := network.Dial("127.0.0.1:1"); err == nil {
+		t.Error("dialing a closed port should fail")
+	}
+}
+
+func TestTCPAddrs(t *testing.T) {
+	client, server, cleanup := tcpPair(t)
+	defer cleanup()
+	if client.RemoteAddr() != server.LocalAddr() {
+		t.Errorf("addr mismatch: %q vs %q", client.RemoteAddr(), server.LocalAddr())
+	}
+}

@@ -1,0 +1,56 @@
+// Package transport defines the message-oriented network abstraction the
+// DMPS server and clients speak over, with two interchangeable
+// implementations: real TCP (this package) and the simulated in-memory
+// network of package netsim. Messages are opaque byte slices; framing and
+// delivery order are per-connection FIFO, like TCP.
+package transport
+
+import "errors"
+
+// Errors shared by all transport implementations.
+var (
+	// ErrClosed is returned by operations on a closed connection or
+	// listener.
+	ErrClosed = errors.New("transport: closed")
+	// ErrTooLarge is returned when a message exceeds MaxMessageSize.
+	ErrTooLarge = errors.New("transport: message exceeds size limit")
+	// ErrUnknownAddress is returned by Dial for an unreachable address.
+	ErrUnknownAddress = errors.New("transport: unknown address")
+)
+
+// MaxMessageSize bounds a single framed message (16 MiB), protecting
+// against corrupt length prefixes.
+const MaxMessageSize = 16 << 20
+
+// Conn is a reliable, ordered, message-oriented connection.
+// Send and Recv may be used concurrently with each other; neither may be
+// called concurrently with itself.
+type Conn interface {
+	// Send transmits one message.
+	Send(payload []byte) error
+	// Recv blocks for the next message. It returns ErrClosed once the
+	// connection is closed and drained.
+	Recv() ([]byte, error)
+	// Close tears the connection down, unblocking the peer's Recv.
+	// Close is idempotent.
+	Close() error
+	// LocalAddr and RemoteAddr identify the endpoints.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (Conn, error)
+	// Close stops accepting; blocked Accept calls return ErrClosed.
+	Close() error
+	// Addr is the listen address.
+	Addr() string
+}
+
+// Network creates listeners and outbound connections.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}

@@ -1,0 +1,198 @@
+// Package whiteboard implements the shared message window and whiteboard
+// of the DMPS communication windows (paper Figure 2): a server-sequenced
+// operation log with idempotent application and replay for late joiners.
+// The server assigns each accepted operation a sequence number, which
+// makes every client's view converge to the same order regardless of
+// client clocks — one of the ablations EXPERIMENTS.md reports.
+package whiteboard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OpKind classifies a whiteboard operation.
+type OpKind int
+
+const (
+	// Draw adds a stroke/annotation (payload is the stroke data).
+	Draw OpKind = iota + 1
+	// Text posts a message-window line.
+	Text
+	// Clear wipes the board (the teacher's eraser).
+	Clear
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case Draw:
+		return "draw"
+	case Text:
+		return "text"
+	case Clear:
+		return "clear"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one sequenced operation.
+type Op struct {
+	// Seq is the server-assigned sequence number, 1-based and dense.
+	Seq int64
+	// Author is the member who performed the operation.
+	Author string
+	// Kind is the operation type.
+	Kind OpKind
+	// Data carries the stroke data or message text.
+	Data string
+}
+
+// Validation errors.
+var (
+	// ErrBadOp is returned for invalid operations.
+	ErrBadOp = errors.New("whiteboard: invalid operation")
+	// ErrGap is returned when applying an out-of-order remote op whose
+	// predecessors are missing.
+	ErrGap = errors.New("whiteboard: sequence gap")
+)
+
+// Board is one group's shared board state. The server holds the
+// authoritative Board (assigning sequence numbers via Append); clients
+// hold replicas updated with Apply. It is safe for concurrent use.
+type Board struct {
+	mu   sync.Mutex
+	ops  []Op
+	next int64
+}
+
+// NewBoard returns an empty board.
+func NewBoard() *Board { return &Board{next: 1} }
+
+// Append assigns the next sequence number to the operation and stores it.
+// Only the authoritative (server) board should call Append.
+func (b *Board) Append(author string, kind OpKind, data string) (Op, error) {
+	if author == "" {
+		return Op{}, fmt.Errorf("%w: empty author", ErrBadOp)
+	}
+	if kind != Draw && kind != Text && kind != Clear {
+		return Op{}, fmt.Errorf("%w: kind %d", ErrBadOp, int(kind))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	op := Op{Seq: b.next, Author: author, Kind: kind, Data: data}
+	b.ops = append(b.ops, op)
+	b.next++
+	return op, nil
+}
+
+// Apply integrates a server-sequenced operation into a replica. It is
+// idempotent: re-applying an op the replica already has is a no-op. A gap
+// (op.Seq beyond next) returns ErrGap so the client can request replay.
+func (b *Board) Apply(op Op) error {
+	if op.Seq <= 0 || op.Author == "" {
+		return fmt.Errorf("%w: %+v", ErrBadOp, op)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case op.Seq < b.next:
+		return nil // duplicate delivery
+	case op.Seq > b.next:
+		return fmt.Errorf("%w: have %d, got %d", ErrGap, b.next-1, op.Seq)
+	default:
+		b.ops = append(b.ops, op)
+		b.next++
+		return nil
+	}
+}
+
+// Seq returns the highest applied sequence number (0 when empty).
+func (b *Board) Seq() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next - 1
+}
+
+// Ops returns a copy of all operations in sequence order.
+func (b *Board) Ops() []Op {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Op, len(b.ops))
+	copy(out, b.ops)
+	return out
+}
+
+// Since returns the operations with Seq > after, for replaying to late
+// joiners or gap recovery.
+func (b *Board) Since(after int64) []Op {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	idx := sort.Search(len(b.ops), func(i int) bool { return b.ops[i].Seq > after })
+	out := make([]Op, len(b.ops)-idx)
+	copy(out, b.ops[idx:])
+	return out
+}
+
+// Strokes returns the visible strokes: every Draw since the last Clear,
+// in order.
+func (b *Board) Strokes() []Op {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lastClear := -1
+	for i, op := range b.ops {
+		if op.Kind == Clear {
+			lastClear = i
+		}
+	}
+	var out []Op
+	for _, op := range b.ops[lastClear+1:] {
+		if op.Kind == Draw {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Messages returns every message-window line in order, regardless of
+// Clear (clearing affects the drawing surface, not the chat history).
+func (b *Board) Messages() []Op {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Op
+	for _, op := range b.ops {
+		if op.Kind == Text {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Render prints the message window as "author: text" lines — the view of
+// the paper's Figure 2 message window.
+func (b *Board) Render() string {
+	var sb strings.Builder
+	for _, op := range b.Messages() {
+		fmt.Fprintf(&sb, "%s: %s\n", op.Author, op.Data)
+	}
+	return sb.String()
+}
+
+// Equal reports whether two boards hold identical op logs — the
+// convergence check used by the replication tests.
+func (b *Board) Equal(other *Board) bool {
+	a, o := b.Ops(), other.Ops()
+	if len(a) != len(o) {
+		return false
+	}
+	for i := range a {
+		if a[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+// Package workload generates the scripted participant behaviour the
+// experiments drive the floor control mechanism with: floor-request
+// arrival processes, talk-spurt (hold/gap) sequences, and invitation
+// fan-outs. All generators are seeded and deterministic (see the
+// DESIGN.md substitution table: scripted behaviours stand in for human
+// participants).
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Arrivals generates n request inter-arrival offsets with exponential
+// spacing around mean (a Poisson arrival process), returning absolute
+// offsets from zero, ascending.
+func Arrivals(seed int64, n int, mean time.Duration) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, 0, n)
+	var at time.Duration
+	for i := 0; i < n; i++ {
+		gap := time.Duration(rng.ExpFloat64() * float64(mean))
+		at += gap
+		out = append(out, at)
+	}
+	return out
+}
+
+// Spurt is one hold/release cycle of a speaker.
+type Spurt struct {
+	// Hold is how long the speaker keeps the floor.
+	Hold time.Duration
+	// Gap is the silence before the next request.
+	Gap time.Duration
+}
+
+// TalkSpurts generates n exponential hold/gap cycles — the classic
+// conversational model used for floor-holding time in the Equal Control
+// experiments.
+func TalkSpurts(seed int64, n int, meanHold, meanGap time.Duration) []Spurt {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Spurt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Spurt{
+			Hold: 1 + time.Duration(rng.ExpFloat64()*float64(meanHold)),
+			Gap:  1 + time.Duration(rng.ExpFloat64()*float64(meanGap)),
+		})
+	}
+	return out
+}
+
+// RoundRobinPasses produces the token-passing order for a fair
+// equal-control session: each member passes to the next, count times in
+// total.
+func RoundRobinPasses(members []string, count int) []string {
+	if len(members) == 0 || count <= 0 {
+		return nil
+	}
+	out := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, members[i%len(members)])
+	}
+	return out
+}
+
+// Fanout builds the invitation lists for k sub-groups over the member
+// pool: members are dealt round-robin so sub-groups are near-equal sized.
+// The first member of each sub-group is its creator.
+func Fanout(members []string, k int) [][]string {
+	if k <= 0 || len(members) == 0 {
+		return nil
+	}
+	if k > len(members) {
+		k = len(members)
+	}
+	out := make([][]string, k)
+	for i, m := range members {
+		out[i%k] = append(out[i%k], m)
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestArrivalsAscendingAndSeeded(t *testing.T) {
+	a := Arrivals(1, 100, 10*time.Millisecond)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("not ascending at %d", i)
+		}
+	}
+	b := Arrivals(1, 100, 10*time.Millisecond)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+	c := Arrivals(2, 100, 10*time.Millisecond)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestArrivalsMeanRoughlyRight(t *testing.T) {
+	a := Arrivals(7, 2000, 10*time.Millisecond)
+	mean := a[len(a)-1] / time.Duration(len(a))
+	if mean < 8*time.Millisecond || mean > 12*time.Millisecond {
+		t.Errorf("empirical mean = %v, want ≈10ms", mean)
+	}
+}
+
+func TestTalkSpurtsPositive(t *testing.T) {
+	spurts := TalkSpurts(3, 50, 20*time.Millisecond, 5*time.Millisecond)
+	if len(spurts) != 50 {
+		t.Fatalf("len = %d", len(spurts))
+	}
+	for i, s := range spurts {
+		if s.Hold <= 0 || s.Gap <= 0 {
+			t.Fatalf("spurt %d non-positive: %+v", i, s)
+		}
+	}
+}
+
+func TestRoundRobinPasses(t *testing.T) {
+	got := RoundRobinPasses([]string{"a", "b", "c"}, 7)
+	want := []string{"a", "b", "c", "a", "b", "c", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %s", i, got[i])
+		}
+	}
+	if RoundRobinPasses(nil, 5) != nil {
+		t.Error("empty members")
+	}
+	if RoundRobinPasses([]string{"a"}, 0) != nil {
+		t.Error("zero count")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	groups := Fanout(members, 2)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 2 {
+		t.Errorf("sizes = %d/%d", len(groups[0]), len(groups[1]))
+	}
+	// Every member appears exactly once.
+	seen := make(map[string]int)
+	for _, g := range groups {
+		for _, m := range g {
+			seen[m]++
+		}
+	}
+	for _, m := range members {
+		if seen[m] != 1 {
+			t.Errorf("%s appears %d times", m, seen[m])
+		}
+	}
+	// k > len: clamp.
+	if got := Fanout([]string{"a"}, 5); len(got) != 1 {
+		t.Errorf("clamped fanout = %v", got)
+	}
+	if Fanout(nil, 3) != nil || Fanout(members, 0) != nil {
+		t.Error("degenerate fanouts")
+	}
+}

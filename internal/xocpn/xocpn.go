@@ -1,0 +1,237 @@
+// Package xocpn implements the extended Object Composition Petri Net of
+// Woo, Qazi & Ghafoor ("A Synchronous Framework for Communication of
+// Pre-orchestrated Multimedia Information", IEEE Network 1994): OCPN plus
+// channel-setup places that establish network channels, with the required
+// QoS, ahead of the media places that use them.
+//
+// The extension is rendered two ways: (1) a ChannelPlan — the open/close
+// timetable with a configurable setup lead, validated against a
+// qos.Manager by replaying the plan in time order; and (2) a structural
+// petri-net extension in which every object's first synchronization
+// transition additionally requires a channel token produced by a setup
+// transition, so the analysis tools can prove "no media starts before its
+// channel exists".
+package xocpn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+	"dmps/internal/petri"
+	"dmps/internal/qos"
+)
+
+// ErrPlan is returned when the channel plan cannot be admitted.
+var ErrPlan = errors.New("xocpn: channel plan not admissible")
+
+// kindOf converts a stored kind value back to media.Kind.
+func kindOf(k int) media.Kind { return media.Kind(k) }
+
+// XNet is an OCPN with channel-setup planning.
+type XNet struct {
+	// OCPN is the underlying presentation net.
+	OCPN *ocpn.Net
+	// Lead is how long before each object's start its channel opens.
+	Lead time.Duration
+}
+
+// Extend wraps an OCPN with a channel-setup lead (negative leads are
+// clamped to zero).
+func Extend(net *ocpn.Net, lead time.Duration) *XNet {
+	if lead < 0 {
+		lead = 0
+	}
+	return &XNet{OCPN: net, Lead: lead}
+}
+
+// Plan computes the channel open/close timetable from the derived
+// schedule: each object's channel opens Lead before its first segment and
+// closes when its last segment ends.
+func (x *XNet) Plan() []ChannelLifetime {
+	sched := x.OCPN.DeriveSchedule()
+	type window struct {
+		start time.Duration
+		end   time.Duration
+		kind  int
+	}
+	windows := make(map[string]*window)
+	for _, p := range x.OCPN.MediaPlaces() {
+		segStart := sched.SegmentStart[string(p.ID)]
+		segEnd := segStart + p.Duration
+		w, ok := windows[p.Object.ID]
+		if !ok {
+			w = &window{start: segStart, end: segEnd, kind: int(p.Object.Kind)}
+			windows[p.Object.ID] = w
+			continue
+		}
+		if segStart < w.start {
+			w.start = segStart
+		}
+		if segEnd > w.end {
+			w.end = segEnd
+		}
+	}
+	out := make([]ChannelLifetime, 0, len(windows))
+	for id, w := range windows {
+		open := w.start - x.Lead
+		if open < 0 {
+			open = 0
+		}
+		out = append(out, ChannelLifetime{
+			ObjectID: id,
+			Kind:     w.kind,
+			Open:     open,
+			Close:    w.end,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Open != out[j].Open {
+			return out[i].Open < out[j].Open
+		}
+		return out[i].ObjectID < out[j].ObjectID
+	})
+	return out
+}
+
+// ChannelLifetime is one object's channel window.
+type ChannelLifetime struct {
+	ObjectID string
+	Kind     int // media.Kind value
+	Open     time.Duration
+	Close    time.Duration
+}
+
+// AdmitReport summarizes replaying the plan against a qos.Manager.
+type AdmitReport struct {
+	// PeakChannels is the largest number of simultaneously open channels.
+	PeakChannels int
+	// PeakBandwidth is the largest committed bandwidth at any instant.
+	PeakBandwidth float64
+}
+
+// Admit replays the channel plan in time order against mgr, opening and
+// closing channels as the timetable dictates. It returns ErrPlan (wrapped
+// with the failing object and dimension) if any open is denied — meaning
+// the presentation cannot honour its QoS on the given link.
+func (x *XNet) Admit(mgr *qos.Manager) (AdmitReport, error) {
+	plan := x.Plan()
+	type action struct {
+		at    time.Duration
+		open  bool
+		entry ChannelLifetime
+	}
+	var actions []action
+	for _, e := range plan {
+		actions = append(actions, action{at: e.Open, open: true, entry: e})
+		actions = append(actions, action{at: e.Close, open: false, entry: e})
+	}
+	sort.SliceStable(actions, func(i, j int) bool {
+		if actions[i].at != actions[j].at {
+			return actions[i].at < actions[j].at
+		}
+		// Closes before opens at the same instant, releasing capacity first.
+		return !actions[i].open && actions[j].open
+	})
+	var report AdmitReport
+	for _, a := range actions {
+		if a.open {
+			if _, err := mgr.Open(a.entry.ObjectID, kindOf(a.entry.Kind)); err != nil {
+				return report, fmt.Errorf("%w: object %q at %v: %v", ErrPlan, a.entry.ObjectID, a.at, err)
+			}
+			if mgr.Admitted() > report.PeakChannels {
+				report.PeakChannels = mgr.Admitted()
+			}
+			if bw := mgr.CommittedBandwidth(); bw > report.PeakBandwidth {
+				report.PeakBandwidth = bw
+			}
+		} else {
+			mgr.Close(a.entry.ObjectID)
+		}
+	}
+	return report, nil
+}
+
+// BuildNet returns the structural XOCPN: a copy of the presentation net
+// where each object's starting transition additionally consumes a channel
+// token ch_<obj>, produced by a setup transition setup_<obj> from an
+// initially-marked ready place net_<obj>. The returned marking includes
+// the ready places, so reachability analysis can show the end place is
+// reachable only through the setup transitions.
+func (x *XNet) BuildNet() (*petri.Net, petri.Marking, error) {
+	src := x.OCPN
+	n := petri.New()
+	// Copy places and transitions.
+	for _, p := range src.Base.Places() {
+		if err := n.AddPlace(p, src.Base.Place(p).Label); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+	}
+	for _, t := range src.Base.Transitions() {
+		if err := n.AddTransition(t, src.Base.Transition(t).Label); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+	}
+	for _, t := range src.Base.Transitions() {
+		for _, p := range src.Base.Input(t).Places() {
+			if err := n.AddInput(p, t, src.Base.Input(t).Count(p)); err != nil {
+				return nil, nil, fmt.Errorf("xocpn: %w", err)
+			}
+		}
+		for _, p := range src.Base.Output(t).Places() {
+			if err := n.AddOutput(t, p, src.Base.Output(t).Count(p)); err != nil {
+				return nil, nil, fmt.Errorf("xocpn: %w", err)
+			}
+		}
+	}
+	marking := src.InitialMarking()
+	// Channel structure per object: net_obj --setup_obj--> ch_obj --> startT.
+	sched := src.DeriveSchedule()
+	startTransition := make(map[string]petri.TransitionID)
+	for _, p := range src.MediaPlaces() {
+		if p.Segment != 0 {
+			continue
+		}
+		at := sched.SegmentStart[string(p.ID)]
+		for i, fireAt := range sched.FireAt {
+			if fireAt == at {
+				startTransition[p.Object.ID] = src.Transitions[i]
+				break
+			}
+		}
+	}
+	ids := make([]string, 0, len(startTransition))
+	for id := range startTransition {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := startTransition[id]
+		ready := petri.PlaceID("net_" + id)
+		ch := petri.PlaceID("ch_" + id)
+		setup := petri.TransitionID("setup_" + id)
+		if err := n.AddPlace(ready, "network ready"); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+		if err := n.AddPlace(ch, "channel "+id); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+		if err := n.AddTransition(setup, "open channel "+id); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+		if err := n.AddInput(ready, setup, 1); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+		if err := n.AddOutput(setup, ch, 1); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+		if err := n.AddInput(ch, t, 1); err != nil {
+			return nil, nil, fmt.Errorf("xocpn: %w", err)
+		}
+		marking.AddBag(petri.NewBag(ready))
+	}
+	return n, marking, nil
+}

@@ -1,0 +1,239 @@
+package xocpn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"math/rand"
+
+	"dmps/internal/media"
+	"dmps/internal/ocpn"
+	"dmps/internal/petri"
+	"dmps/internal/qos"
+)
+
+func obj(id string, kind media.Kind, dur time.Duration) media.Object {
+	o := media.Object{ID: id, Kind: kind, Duration: dur, UnitBytes: 100}
+	if kind.Continuous() {
+		o.Rate = 10
+	}
+	return o
+}
+
+func compile(t *testing.T, tl ocpn.Timeline) *ocpn.Net {
+	t.Helper()
+	net, err := ocpn.Compile(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func lectureNet(t *testing.T) *ocpn.Net {
+	return compile(t, ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: obj("slide", media.Image, 10*time.Second), Start: 0},
+		{Object: obj("narration", media.Audio, 10*time.Second), Start: 0},
+		{Object: obj("clip", media.Video, 5*time.Second), Start: 10 * time.Second},
+	}})
+}
+
+func TestPlanWindows(t *testing.T) {
+	x := Extend(lectureNet(t), 2*time.Second)
+	plan := x.Plan()
+	if len(plan) != 3 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	byID := make(map[string]ChannelLifetime)
+	for _, e := range plan {
+		byID[e.ObjectID] = e
+	}
+	// slide starts at 0: open clamps to 0; closes at 10s.
+	if e := byID["slide"]; e.Open != 0 || e.Close != 10*time.Second {
+		t.Errorf("slide window = %+v", e)
+	}
+	// clip starts at 10s: opens at 8s (2s lead), closes at 15s.
+	if e := byID["clip"]; e.Open != 8*time.Second || e.Close != 15*time.Second {
+		t.Errorf("clip window = %+v", e)
+	}
+	// Plan is sorted by open time.
+	for i := 1; i < len(plan); i++ {
+		if plan[i].Open < plan[i-1].Open {
+			t.Errorf("plan unsorted: %+v", plan)
+		}
+	}
+}
+
+func TestPlanMergesSegments(t *testing.T) {
+	// "long" is split into segments by "mid"'s boundaries; the channel
+	// window must still span the whole object.
+	x := Extend(compile(t, ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: obj("long", media.Video, 10*time.Second), Start: 0},
+		{Object: obj("mid", media.Audio, 4*time.Second), Start: 3 * time.Second},
+	}}), 0)
+	for _, e := range x.Plan() {
+		if e.ObjectID == "long" {
+			if e.Open != 0 || e.Close != 10*time.Second {
+				t.Errorf("long window = %+v", e)
+			}
+		}
+	}
+}
+
+func TestExtendClampsNegativeLead(t *testing.T) {
+	x := Extend(lectureNet(t), -time.Second)
+	if x.Lead != 0 {
+		t.Errorf("Lead = %v", x.Lead)
+	}
+}
+
+func TestAdmitSucceedsOnFastLink(t *testing.T) {
+	x := Extend(lectureNet(t), time.Second)
+	mgr := qos.NewManager(qos.LinkEstimate{Capacity: 10_000_000, Latency: 10 * time.Millisecond, Jitter: time.Millisecond})
+	report, err := x.Admit(mgr)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if report.PeakChannels < 2 {
+		t.Errorf("peak channels = %d, want >= 2 (slide+narration overlap)", report.PeakChannels)
+	}
+	if report.PeakBandwidth <= 0 {
+		t.Errorf("peak bandwidth = %v", report.PeakBandwidth)
+	}
+	// All channels must be closed after the replay.
+	if mgr.Admitted() != 0 {
+		t.Errorf("channels left open: %d", mgr.Admitted())
+	}
+}
+
+func TestAdmitFailsOnThinLink(t *testing.T) {
+	x := Extend(lectureNet(t), time.Second)
+	mgr := qos.NewManager(qos.LinkEstimate{Capacity: 100, Latency: 10 * time.Millisecond})
+	if _, err := x.Admit(mgr); !errors.Is(err, ErrPlan) {
+		t.Errorf("err = %v, want ErrPlan", err)
+	}
+}
+
+func TestAdmitClosesBeforeOpensAtSameInstant(t *testing.T) {
+	// a then b back to back, each needing the whole link: only valid if
+	// the close at t=5s releases before the open at t=5s.
+	x := Extend(compile(t, ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: obj("a", media.Video, 5*time.Second), Start: 0},
+		{Object: obj("b", media.Video, 5*time.Second), Start: 5 * time.Second},
+	}}), 0)
+	mgr := qos.NewManager(qos.LinkEstimate{Capacity: 1_600_000, Latency: 10 * time.Millisecond, Jitter: time.Millisecond})
+	report, err := x.Admit(mgr)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if report.PeakChannels != 1 {
+		t.Errorf("peak = %d, want 1", report.PeakChannels)
+	}
+}
+
+func TestAdmitLeadCausesOverlapDenial(t *testing.T) {
+	// Same scenario but a 1s setup lead makes the windows overlap, which
+	// the link cannot carry.
+	x := Extend(compile(t, ocpn.Timeline{Items: []ocpn.ScheduledObject{
+		{Object: obj("a", media.Video, 5*time.Second), Start: 0},
+		{Object: obj("b", media.Video, 5*time.Second), Start: 5 * time.Second},
+	}}), time.Second)
+	mgr := qos.NewManager(qos.LinkEstimate{Capacity: 1_600_000, Latency: 10 * time.Millisecond, Jitter: time.Millisecond})
+	if _, err := x.Admit(mgr); !errors.Is(err, ErrPlan) {
+		t.Errorf("err = %v, want ErrPlan (lead forces overlap)", err)
+	}
+}
+
+func TestBuildNetRequiresChannels(t *testing.T) {
+	x := Extend(lectureNet(t), time.Second)
+	net, marking, err := x.BuildNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With ready places marked, the extended net reaches the end.
+	g, err := net.Reachability(marking, 100_000)
+	if err != nil {
+		t.Fatalf("reachability: %v", err)
+	}
+	reached := g.Reaches(func(m petriMarking) bool { return m.Tokens("p_end") > 0 })
+	if !reached {
+		t.Error("end unreachable with channel setup available")
+	}
+	// Remove one ready place: the object's start transition must block,
+	// making the end unreachable.
+	marking2 := marking.Clone()
+	marking2.Set("net_clip", 0)
+	g2, err := net.Reachability(marking2, 100_000)
+	if err != nil {
+		t.Fatalf("reachability2: %v", err)
+	}
+	if g2.Reaches(func(m petriMarking) bool { return m.Tokens("p_end") > 0 }) {
+		t.Error("end reachable without clip's channel — setup place not enforced")
+	}
+}
+
+// petriMarking aliases the petri marking type for test readability.
+type petriMarking = petri.Marking
+
+// TestQuickChannelWindowsCoverObjects: for random timelines, every
+// object's channel window covers its full playout span with the setup
+// lead (clamped at zero), and the plan is admissible on an infinite link.
+func TestQuickChannelWindowsCoverObjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(5)
+		var tl ocpn.Timeline
+		for i := 0; i < n; i++ {
+			kind := media.Video
+			if i%2 == 1 {
+				kind = media.Audio
+			}
+			tl.Items = append(tl.Items, ocpn.ScheduledObject{
+				Object: obj(string(rune('a'+i)), kind, time.Duration(1+rng.Intn(20))*500*time.Millisecond),
+				Start:  time.Duration(rng.Intn(10)) * 500 * time.Millisecond,
+			})
+		}
+		net, err := ocpn.Compile(tl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lead := time.Duration(rng.Intn(3)) * time.Second
+		x := Extend(net, lead)
+		sched := net.DeriveSchedule()
+		byID := make(map[string]ChannelLifetime)
+		for _, e := range x.Plan() {
+			byID[e.ObjectID] = e
+		}
+		// Normalize starts the way Compile does (earliest boundary = 0).
+		min := tl.Items[0].Start
+		for _, it := range tl.Items {
+			if it.Start < min {
+				min = it.Start
+			}
+		}
+		for _, it := range tl.Items {
+			w, ok := byID[it.Object.ID]
+			if !ok {
+				t.Fatalf("iter %d: no window for %s", iter, it.Object.ID)
+			}
+			objStart := sched.ObjectStart[it.Object.ID]
+			wantOpen := objStart - lead
+			if wantOpen < 0 {
+				wantOpen = 0
+			}
+			if w.Open != wantOpen {
+				t.Fatalf("iter %d: %s open %v, want %v", iter, it.Object.ID, w.Open, wantOpen)
+			}
+			if w.Close != objStart+it.Object.Duration {
+				t.Fatalf("iter %d: %s close %v, want %v", iter, it.Object.ID, w.Close, objStart+it.Object.Duration)
+			}
+		}
+		mgr := qos.NewManager(qos.LinkEstimate{Capacity: 1e12, Latency: time.Millisecond})
+		if _, err := x.Admit(mgr); err != nil {
+			t.Fatalf("iter %d: infinite link admission failed: %v", iter, err)
+		}
+		if mgr.Admitted() != 0 {
+			t.Fatalf("iter %d: channels leaked", iter)
+		}
+	}
+}
