@@ -8,6 +8,7 @@ package dmps_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -15,6 +16,8 @@ import (
 	"dmps"
 	"dmps/internal/clock"
 	"dmps/internal/experiments"
+	"dmps/internal/floor"
+	"dmps/internal/group"
 	"dmps/internal/ocpn"
 	"dmps/internal/petri"
 	"dmps/internal/protocol"
@@ -146,6 +149,103 @@ func BenchmarkE9MediaStreaming(b *testing.B) {
 }
 
 // --- substrate micro-benchmarks ---
+
+// BenchmarkArbitrate measures the FCM-Arbitrate hot path for every
+// registered policy — the four paper modes plus ModeratedQueue — so
+// future PRs can track per-policy arbitration cost. Each iteration is
+// one request (plus the release/teardown that keeps the floor free for
+// the next grant in the exclusive modes).
+func BenchmarkArbitrate(b *testing.B) {
+	newClass := func(b *testing.B) (*group.Registry, *floor.Controller) {
+		b.Helper()
+		reg := group.NewRegistry()
+		for _, m := range []group.Member{
+			{ID: "teacher", Role: group.Chair, Priority: 5},
+			{ID: "alice", Role: group.Participant, Priority: 2},
+			{ID: "bob", Role: group.Participant, Priority: 2},
+		} {
+			if err := reg.Register(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := reg.CreateGroup("class", "teacher"); err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range []group.MemberID{"alice", "bob"} {
+			if err := reg.Join("class", id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return reg, floor.NewController(reg, nil)
+	}
+
+	b.Run("free-access", func(b *testing.B) {
+		_, ctl := newClass(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctl.Arbitrate("class", "alice", floor.FreeAccess, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("equal-control", func(b *testing.B) {
+		_, ctl := newClass(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctl.Arbitrate("class", "alice", floor.EqualControl, ""); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ctl.Release("class", "alice"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("equal-control-queued", func(b *testing.B) {
+		_, ctl := newClass(b)
+		if _, err := ctl.Arbitrate("class", "alice", floor.EqualControl, ""); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Busy answers exercise the queue path.
+			_, _ = ctl.Arbitrate("class", "bob", floor.EqualControl, "")
+		}
+	})
+	b.Run("group-discussion", func(b *testing.B) {
+		_, ctl := newClass(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctl.Arbitrate("class", "alice", floor.GroupDiscussion, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-contact", func(b *testing.B) {
+		_, ctl := newClass(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctl.Arbitrate("class", "alice", floor.DirectContact, "bob"); err != nil {
+				b.Fatal(err)
+			}
+			ctl.EndContact("class", "alice")
+		}
+	})
+	b.Run("moderated-queue", func(b *testing.B) {
+		_, ctl := newClass(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ctl.Arbitrate("class", "alice", floor.ModeratedQueue, ""); !errors.Is(err, floor.ErrBusy) {
+				b.Fatalf("want queued, got %v", err)
+			}
+			if _, err := ctl.Approve("class", "teacher", "alice"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ctl.Release("class", "alice"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 func BenchmarkPetriFireChain(b *testing.B) {
 	n := petri.New()

@@ -1,4 +1,4 @@
-// Command dmps-bench runs the full experiment suite (F1–F3, E1–E8 of
+// Command dmps-bench runs the full experiment suite (F1–F3, E1–E10 of
 // DESIGN.md §4) and prints every table EXPERIMENTS.md records.
 //
 // Usage:
@@ -24,7 +24,7 @@ func main() {
 }
 
 func run() int {
-	only := flag.String("only", "", "run a single experiment (F1..F3, E1..E8)")
+	only := flag.String("only", "", "run a single experiment (F1..F3, E1..E10)")
 	full := flag.Bool("full", false, "widen sweeps (slower, more rows)")
 	flag.Parse()
 
@@ -32,12 +32,14 @@ func run() int {
 	e6Sizes := []int{4, 8, 16}
 	e8Sizes := []int{2, 8, 32}
 	e9Sizes := []int{2, 8, 16}
+	e10Sizes := []int{2, 8}
 	e7K := 3
 	if *full {
 		e1Sizes = []int{2, 8, 24, 48, 64}
 		e6Sizes = []int{4, 8, 16, 32}
 		e8Sizes = []int{2, 8, 32, 64, 128}
 		e9Sizes = []int{2, 8, 16, 32, 64}
+		e10Sizes = []int{2, 8, 16, 32}
 		e7K = 4
 	}
 
@@ -58,6 +60,7 @@ func run() int {
 		{"E7", func() (*experiments.Table, error) { return experiments.RunE7(e7K) }},
 		{"E8", func() (*experiments.Table, error) { return experiments.RunE8(e8Sizes) }},
 		{"E9", func() (*experiments.Table, error) { return experiments.RunE9(e9Sizes) }},
+		{"E10", func() (*experiments.Table, error) { return experiments.RunE10(e10Sizes) }},
 		{"A1", experiments.RunA1},
 	}
 	failures := 0

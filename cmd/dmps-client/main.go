@@ -14,7 +14,9 @@
 //	clear <group>                clear the whiteboard
 //	floor <group> <mode> [peer]  request the floor (free-access,
 //	                             equal-control, group-discussion,
-//	                             direct-contact)
+//	                             direct-contact, moderated-queue)
+//	approve <group> <member>     approve a queued request (chair,
+//	                             moderated-queue)
 //	pass <group> <member>        pass the equal-control token
 //	release <group>              release the floor
 //	invite <group> <member>      invite a member into a group
@@ -125,7 +127,7 @@ func execute(c *client.Client, line string) error {
 		if err := need(2); err != nil {
 			return err
 		}
-		mode, ok := parseMode(args[1])
+		mode, ok := floor.ParseMode(args[1])
 		if !ok {
 			return fmt.Errorf("unknown mode %q", args[1])
 		}
@@ -139,6 +141,16 @@ func execute(c *client.Client, line string) error {
 		}
 		fmt.Printf("granted=%v holder=%s queue=%d suspended=%v level=%s\n",
 			dec.Granted, dec.Holder, dec.QueuePosition, dec.Suspended, dec.Level)
+		return nil
+	case "approve":
+		if err := need(2); err != nil {
+			return err
+		}
+		dec, err := c.ApproveFloor(args[0], args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("granted=%v holder=%s queue=%d\n", dec.Granted, dec.Holder, dec.QueuePosition)
 		return nil
 	case "pass":
 		if err := need(2); err != nil {
@@ -199,21 +211,6 @@ func execute(c *client.Client, line string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
-	}
-}
-
-func parseMode(s string) (floor.Mode, bool) {
-	switch s {
-	case "free-access", "free":
-		return floor.FreeAccess, true
-	case "equal-control", "equal":
-		return floor.EqualControl, true
-	case "group-discussion", "group":
-		return floor.GroupDiscussion, true
-	case "direct-contact", "direct":
-		return floor.DirectContact, true
-	default:
-		return 0, false
 	}
 }
 

@@ -8,12 +8,17 @@
 //   - the DOCPN presentation model: timelines, Allen-relation solving,
 //     OCPN compilation and analysis, distributed simulation with the
 //     global-clock firing discipline;
-//   - the floor control mechanism: the four modes (Free Access, Equal
-//     Control, Group Discussion, Direct Contact), FCM-Arbitrate with the
-//     α/β resource thresholds, Media-Suspend;
+//   - the floor control mechanism as a pluggable policy engine: the
+//     paper's four modes (Free Access, Equal Control, Group Discussion,
+//     Direct Contact) plus the BFCP-style ModeratedQueue mode (the chair
+//     approves queued requests), each a Policy behind FCM-Arbitrate's
+//     centralized membership checks, α/β resource thresholds and
+//     Media-Suspend; RegisterFloorPolicy admits custom modes;
 //   - the live DMPS stack: server, client, groups, whiteboard, status
 //     lights, clock synchronization, presentations — over TCP or the
-//     in-memory simulated network.
+//     in-memory simulated network. Clients observe the session through
+//     the event subscription API (Client.Subscribe) as well as the
+//     polling accessors.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
@@ -23,7 +28,18 @@
 //	student, _ := lab.NewClient("Student", "participant", 2)
 //	_ = teacher.Join("class")
 //	_ = student.Join("class")
+//	events := student.Subscribe(dmps.FloorEvents)
 //	_ = teacher.Chat("class", "welcome to DMPS")
+//
+// For moderated sessions (see examples/moderated):
+//
+//	_, _ = student.RequestFloor("class", dmps.ModeratedQueue, "") // queued at 1
+//	_, _ = teacher.ApproveFloor("class", student.MemberID())      // floor free → granted
+//	ev := <-events // Floor.Event == "granted", Floor.Holder == student
+//
+// When the floor is busy, approval parks the student as "approved" and
+// the next release promotes them (the "released" event's Holder names
+// the new floor holder).
 package dmps
 
 import (
@@ -65,21 +81,65 @@ type (
 
 // Floor control types and modes.
 type (
-	// FloorMode is one of the paper's four floor control modes.
+	// FloorMode names a floor control discipline (builtin or custom).
 	FloorMode = floor.Mode
+	// Policy is one pluggable floor-control discipline; implement it and
+	// call RegisterFloorPolicy to add a custom mode.
+	Policy = floor.Policy
+	// FloorState is the per-group bookkeeping a Policy manipulates.
+	FloorState = floor.State
+	// FloorRequest is one floor request as seen by a Policy.
+	FloorRequest = floor.Request
+	// Roster is the membership view a Policy consults.
+	Roster = floor.Roster
+	// FloorDecision reports an arbitration outcome.
+	FloorDecision = floor.Decision
 	// Capability is a member's communication-window affordances.
 	Capability = floor.Capability
 	// Thresholds is the α/β resource threshold pair.
 	Thresholds = resource.Thresholds
 )
 
-// The four floor control modes.
+// The paper's four floor control modes, plus the BFCP-style moderated
+// queue (chair approves queued requests).
 const (
 	FreeAccess      = floor.FreeAccess
 	EqualControl    = floor.EqualControl
 	GroupDiscussion = floor.GroupDiscussion
 	DirectContact   = floor.DirectContact
+	ModeratedQueue  = floor.ModeratedQueue
 )
+
+// RegisterFloorPolicy adds a custom floor mode under the given wire name.
+var RegisterFloorPolicy = floor.RegisterPolicy
+
+// ParseFloorMode resolves a mode's wire name ("equal-control") or alias
+// ("equal") — the shared parser of server, client and tools.
+var ParseFloorMode = floor.ParseMode
+
+// Client event subscription (Client.Subscribe).
+type (
+	// Event is one server-pushed notification.
+	Event = client.Event
+	// EventKind selects a class of events for Client.Subscribe.
+	EventKind = client.EventKind
+)
+
+// Subscription event kinds.
+const (
+	// FloorEvents: grants, denials, queue-position updates, approvals.
+	FloorEvents = client.FloorEvents
+	// SuspendEvents: Media-Suspend and resume notices.
+	SuspendEvents = client.SuspendEvents
+	// InviteEvents: sub-group invitations.
+	InviteEvents = client.InviteEvents
+	// LightEvents: connection-light transitions.
+	LightEvents = client.LightEvents
+)
+
+// ErrTimeout is returned when the server does not answer a client
+// request (or the Dial handshake) within ClientConfig.Timeout.
+var ErrTimeout = client.ErrTimeout
 
 // Presentation-model types.
 type (

@@ -1,0 +1,107 @@
+// Moderated: the BFCP-style chair-moderated floor mode. Students raise
+// their hands (RequestFloor queues them), the teacher approves them one
+// at a time, and everyone follows the session through the event
+// subscription API instead of polling — request → approve → grant, with
+// queue positions pushed to waiting students.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmps"
+)
+
+func main() {
+	lab, err := dmps.NewLab(dmps.LabOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	students := make([]*dmps.Client, 3)
+	events := make([]<-chan dmps.Event, 3)
+	for i := range students {
+		s, err := lab.NewClient(fmt.Sprintf("Student%d", i+1), "participant", 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		students[i] = s
+		// Subscribe before joining so no floor event is missed.
+		events[i] = s.Subscribe(dmps.FloorEvents)
+	}
+	if err := teacher.Join("seminar"); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range students {
+		if err := s.Join("seminar"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The teacher opens the moderated session and holds the floor.
+	if _, err := teacher.RequestFloor("seminar", dmps.ModeratedQueue, ""); err != nil {
+		log.Fatal(err)
+	}
+
+	// Every student raises a hand; the acks carry the queue positions.
+	for i, s := range students {
+		dec, err := s.RequestFloor("seminar", dmps.ModeratedQueue, "")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s queued at position %d\n", students[i].MemberID(), dec.QueuePosition)
+	}
+
+	// The teacher approves student 2 first — approval order, not queue
+	// order, decides who speaks next in a moderated session.
+	if _, err := teacher.ApproveFloor("seminar", students[1].MemberID()); err != nil {
+		log.Fatal(err)
+	}
+	// Handing the floor over promotes the approved student.
+	if err := teacher.ReleaseFloor("seminar"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Student 2's subscription sees queued → approved → promotion.
+	for ev := range withTimeout(events[1]) {
+		fmt.Printf("student2 event: %-14s holder=%-10s pos=%d\n",
+			ev.Floor.Event, ev.Floor.Holder, ev.Floor.QueuePosition)
+		if ev.Floor.Holder == students[1].MemberID() {
+			break
+		}
+	}
+
+	// The floor is theirs: the message window opens.
+	if err := students[1].Chat("seminar", "thank you — question about slide 3"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("student2 spoke while", students[0].MemberID(), "and",
+		students[2].MemberID(), "wait at positions",
+		students[0].QueuePosition("seminar"), "and", students[2].QueuePosition("seminar"))
+}
+
+// withTimeout guards the example against hanging on a missed event.
+func withTimeout(ch <-chan dmps.Event) <-chan dmps.Event {
+	out := make(chan dmps.Event)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case ev, ok := <-ch:
+				if !ok {
+					return
+				}
+				out <- ev
+			case <-time.After(3 * time.Second):
+				return
+			}
+		}
+	}()
+	return out
+}

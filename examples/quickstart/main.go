@@ -29,6 +29,11 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Event subscription: server pushes (floor changes, suspensions,
+	// invitations, light transitions) arrive on a channel — no polling.
+	// Subscribe before joining so nothing is missed.
+	floorEvents := student.Subscribe(dmps.FloorEvents)
+
 	// The first joiner creates the group and becomes its session chair.
 	if err := teacher.Join("class"); err != nil {
 		log.Fatal(err)
@@ -38,6 +43,18 @@ func main() {
 	}
 
 	// Free access (the default): everyone may send to the message window.
+	// The teacher makes it explicit, and the student's subscription sees
+	// the grant pushed by the server.
+	if _, err := teacher.RequestFloor("class", dmps.FreeAccess, ""); err != nil {
+		log.Fatal(err)
+	}
+	select {
+	case ev := <-floorEvents:
+		fmt.Printf("pushed floor event: %s (mode %s)\n", ev.Floor.Event, ev.Floor.Mode)
+	case <-time.After(3 * time.Second):
+		log.Fatal("no floor event received")
+	}
+
 	if err := teacher.Chat("class", "welcome to DMPS"); err != nil {
 		log.Fatal(err)
 	}

@@ -172,3 +172,51 @@ func TestPublicAPIStandaloneTCP(t *testing.T) {
 		t.Error("fresh monitor should be conformant")
 	}
 }
+
+// TestPublicAPIModeratedSubscription exercises the PR-1 surface through
+// the facade: the ModeratedQueue mode, chair approval, and the event
+// subscription API.
+func TestPublicAPIModeratedSubscription(t *testing.T) {
+	lab, err := dmps.NewLab(dmps.LabOptions{Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lab.Close()
+	teacher, err := lab.NewClient("Teacher", "chair", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	student, err := lab.NewClient("Student", "participant", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := student.Subscribe(dmps.FloorEvents)
+	if err := teacher.Join("seminar"); err != nil {
+		t.Fatal(err)
+	}
+	if err := student.Join("seminar"); err != nil {
+		t.Fatal(err)
+	}
+
+	if mode, ok := dmps.ParseFloorMode("moderated"); !ok || mode != dmps.ModeratedQueue {
+		t.Fatalf("ParseFloorMode = %v, %v", mode, ok)
+	}
+	dec, err := student.RequestFloor("seminar", dmps.ModeratedQueue, "")
+	if err != nil || dec.Granted || dec.QueuePosition != 1 {
+		t.Fatalf("request: %+v %v", dec, err)
+	}
+	if _, err := teacher.ApproveFloor("seminar", student.MemberID()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Floor.Event == "granted" && ev.Floor.Holder == student.MemberID() {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no grant event through the facade subscription")
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module dmps
+
+go 1.22

@@ -9,6 +9,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
 	"time"
 
@@ -64,13 +65,15 @@ type Client struct {
 	pending     map[int64]chan protocol.Message
 	boards      map[string]*whiteboard.Board
 	lights      map[string]string
-	holders     map[string]string // group → equal-control holder
+	holders     map[string]string // group → token holder
+	queuePos    map[string]int    // group → last pushed queue position
 	invites     []protocol.InviteEventBody
 	privates    []protocol.SequencedBody // received direct-contact lines
 	suspends    []protocol.SuspendBody
 	present     *protocol.PresentBody // last presentation start received
 	replayAsked map[string]int64      // group → last gap position we asked replay for
 	mediaStats  map[string]map[string]MediaStat
+	subs        []*subscriber // Subscribe event channels
 	closed      bool
 
 	readerDone chan struct{}
@@ -99,6 +102,7 @@ func Dial(cfg Config) (*Client, error) {
 		boards:     make(map[string]*whiteboard.Board),
 		lights:     make(map[string]string),
 		holders:    make(map[string]string),
+		queuePos:   make(map[string]int),
 		readerDone: make(chan struct{}),
 	}
 	hello := protocol.MustNew(protocol.THello, protocol.HelloBody{
@@ -112,7 +116,7 @@ func Dial(cfg Config) (*Client, error) {
 		_ = conn.Close()
 		return nil, err
 	}
-	wire, err := conn.Recv()
+	wire, err := recvDeadline(conn, cfg.Clock, cfg.Timeout)
 	if err != nil {
 		_ = conn.Close()
 		return nil, fmt.Errorf("client: handshake recv: %w", err)
@@ -132,6 +136,28 @@ func Dial(cfg Config) (*Client, error) {
 	c.mu.Unlock()
 	go c.readLoop()
 	return c, nil
+}
+
+// recvDeadline bounds one Recv by the configured timeout, so a server
+// that accepts the connection but never answers the handshake cannot
+// block Dial forever. On timeout the connection is left to the caller to
+// close (which also unblocks the pending Recv).
+func recvDeadline(conn transport.Conn, clk clock.Clock, timeout time.Duration) ([]byte, error) {
+	type result struct {
+		wire []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		wire, err := conn.Recv()
+		ch <- result{wire, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.wire, r.err
+	case <-clk.After(timeout):
+		return nil, fmt.Errorf("%w: handshake after %v", ErrTimeout, timeout)
+	}
 }
 
 // MemberID returns the server-assigned member ID.
@@ -196,6 +222,7 @@ func (c *Client) request(msg protocol.Message) (protocol.Message, error) {
 // readLoop dispatches replies and server events until the connection
 // drops.
 func (c *Client) readLoop() {
+	defer c.closeSubscribers()
 	defer close(c.readerDone)
 	for {
 		wire, err := c.conn.Recv()
@@ -229,8 +256,14 @@ func (c *Client) handle(msg protocol.Message) {
 		var body protocol.LightsBody
 		if msg.Into(&body) == nil {
 			c.mu.Lock()
+			changed := !maps.Equal(c.lights, body.Lights)
 			c.lights = body.Lights
 			c.mu.Unlock()
+			// Only transitions reach subscribers; the steady-state
+			// rebroadcast every probe tick would drown them.
+			if changed {
+				c.publish(Event{Kind: LightEvents, Type: msg.Type, Lights: body.Lights})
+			}
 		}
 	case protocol.TChatEvent, protocol.TAnnotateEvent:
 		var body protocol.SequencedBody
@@ -261,7 +294,22 @@ func (c *Client) handle(msg protocol.Message) {
 		if msg.Into(&body) == nil {
 			c.mu.Lock()
 			c.holders[msg.Group] = body.Holder
+			// Track this member's own queue movement. Becoming holder —
+			// whether granted directly or promoted on a release/pass —
+			// always clears the slot.
+			if body.Member == c.memberID {
+				switch body.Event {
+				case "queued", "queue_position", "approved":
+					c.queuePos[msg.Group] = body.QueuePosition
+				case "granted":
+					delete(c.queuePos, msg.Group)
+				}
+			}
+			if body.Holder == c.memberID {
+				delete(c.queuePos, msg.Group)
+			}
 			c.mu.Unlock()
+			c.publish(Event{Kind: FloorEvents, Type: msg.Type, Group: msg.Group, Floor: body})
 		}
 	case protocol.TInviteEvent:
 		var body protocol.InviteEventBody
@@ -269,6 +317,7 @@ func (c *Client) handle(msg protocol.Message) {
 			c.mu.Lock()
 			c.invites = append(c.invites, body)
 			c.mu.Unlock()
+			c.publish(Event{Kind: InviteEvents, Type: msg.Type, Group: body.Group, Invite: body})
 		}
 	case protocol.TSuspend, protocol.TResume:
 		var body protocol.SuspendBody
@@ -276,6 +325,7 @@ func (c *Client) handle(msg protocol.Message) {
 			c.mu.Lock()
 			c.suspends = append(c.suspends, body)
 			c.mu.Unlock()
+			c.publish(Event{Kind: SuspendEvents, Type: msg.Type, Group: msg.Group, Suspend: body})
 		}
 	case protocol.TPresent:
 		var body protocol.PresentBody
@@ -359,6 +409,23 @@ func (c *Client) RequestFloor(groupID string, mode floor.Mode, target string) (p
 	msg := protocol.MustNew(protocol.TFloorRequest, protocol.FloorRequestBody{
 		Mode: mode.String(), Target: target,
 	})
+	msg.Group = groupID
+	reply, err := c.request(msg)
+	if err != nil {
+		return protocol.FloorDecisionBody{}, err
+	}
+	var dec protocol.FloorDecisionBody
+	if err := reply.Into(&dec); err != nil {
+		return protocol.FloorDecisionBody{}, err
+	}
+	return dec, nil
+}
+
+// ApproveFloor (session chair only) clears a queued floor request in a
+// moderated mode; the member is granted immediately if the floor is
+// free, or promoted at the next release otherwise.
+func (c *Client) ApproveFloor(groupID, member string) (protocol.FloorDecisionBody, error) {
+	msg := protocol.MustNew(protocol.TFloorApprove, protocol.FloorApproveBody{Member: member})
 	msg.Group = groupID
 	reply, err := c.request(msg)
 	if err != nil {

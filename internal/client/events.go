@@ -1,0 +1,133 @@
+package client
+
+import (
+	"dmps/internal/protocol"
+)
+
+// EventKind selects a class of server-pushed events for Subscribe.
+type EventKind int
+
+const (
+	// FloorEvents: grants, denials, queue-position updates, releases,
+	// passes and chair approvals (TFloorEvent).
+	FloorEvents EventKind = iota + 1
+	// SuspendEvents: Media-Suspend and resume notices (TSuspend/TResume).
+	SuspendEvents
+	// InviteEvents: sub-group invitations (TInviteEvent).
+	InviteEvents
+	// LightEvents: connection-light transitions (TLights; delivered only
+	// when the table actually changes).
+	LightEvents
+)
+
+// Event is one server-pushed notification delivered through Subscribe.
+// Exactly one of the payload fields matching Kind is set.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Type is the raw protocol message type (distinguishes TSuspend from
+	// TResume within SuspendEvents).
+	Type protocol.Type
+	// Group scopes the event ("" for connection-wide events like lights).
+	Group string
+
+	// Floor is set for FloorEvents.
+	Floor protocol.FloorEventBody
+	// Suspend is set for SuspendEvents.
+	Suspend protocol.SuspendBody
+	// Invite is set for InviteEvents.
+	Invite protocol.InviteEventBody
+	// Lights is set for LightEvents: member → "green"/"red".
+	Lights map[string]string
+}
+
+// subscriberBuffer bounds each subscription channel. The read loop never
+// blocks on a slow subscriber: events beyond the buffer are dropped.
+const subscriberBuffer = 256
+
+type subscriber struct {
+	ch    chan Event
+	kinds map[EventKind]bool // nil means all kinds
+}
+
+func (s *subscriber) wants(k EventKind) bool {
+	return s.kinds == nil || s.kinds[k]
+}
+
+// Subscribe returns a channel of server-pushed events. With no arguments
+// it delivers every kind; otherwise only the listed kinds. Events are
+// delivered in server order. The channel is buffered (256 events); a
+// subscriber that stops draining loses the overflow rather than stalling
+// the connection's read loop. The channel is closed when the client
+// closes or the connection drops. The existing accessors (Holder,
+// Lights, PendingInvites, …) remain thin views over the same state.
+func (c *Client) Subscribe(kinds ...EventKind) <-chan Event {
+	sub := &subscriber{ch: make(chan Event, subscriberBuffer)}
+	if len(kinds) > 0 {
+		sub.kinds = make(map[EventKind]bool, len(kinds))
+		for _, k := range kinds {
+			sub.kinds[k] = true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		close(sub.ch)
+		return sub.ch
+	}
+	c.subs = append(c.subs, sub)
+	return sub.ch
+}
+
+// Unsubscribe detaches a channel obtained from Subscribe and closes it.
+// Unknown channels are ignored.
+func (c *Client) Unsubscribe(ch <-chan Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, sub := range c.subs {
+		if sub.ch == ch {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			close(sub.ch)
+			return
+		}
+	}
+}
+
+// publish fans an event out to the matching subscribers. It runs on the
+// read loop, so delivery order equals server order for every subscriber.
+func (c *Client) publish(ev Event) {
+	c.mu.Lock()
+	subs := make([]*subscriber, len(c.subs))
+	copy(subs, c.subs)
+	c.mu.Unlock()
+	for _, sub := range subs {
+		if !sub.wants(ev.Kind) {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default: // slow subscriber: drop rather than stall the read loop
+		}
+	}
+}
+
+// closeSubscribers closes every subscription channel; called once when
+// the read loop exits.
+func (c *Client) closeSubscribers() {
+	c.mu.Lock()
+	subs := c.subs
+	c.subs = nil
+	c.mu.Unlock()
+	for _, sub := range subs {
+		close(sub.ch)
+	}
+}
+
+// QueuePosition returns the client's last known 1-based queue slot in
+// the group's floor queue (0 when not queued or already granted). It is
+// maintained from pushed floor events.
+func (c *Client) QueuePosition(groupID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queuePos[groupID]
+}

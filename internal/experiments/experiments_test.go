@@ -307,3 +307,18 @@ func TestRunA1OrderingAblation(t *testing.T) {
 		t.Errorf("300ms skew should invert plenty: %v", tab.Rows[3])
 	}
 }
+
+func TestRunE10ModeratedQueue(t *testing.T) {
+	tab, err := RunE10([]int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "approval-order" {
+			t.Errorf("approval order violated: %v", row)
+		}
+	}
+}

@@ -444,3 +444,105 @@ func RunE8(sizes []int) (*Table, error) {
 	t.Note("the single centralized relay is the architecture of the paper; throughput grows with N until the relay saturates, then deliveries/s plateaus")
 	return t, nil
 }
+
+// RunE10 exercises the BFCP-style ModeratedQueue policy on the live
+// stack: n students queue, the chair approves them one at a time, and
+// each approved student holds then releases the floor. It reports the
+// approve→grant-event latency observed through the client subscription
+// API and checks that approval order (reverse of request order here)
+// overrides queue order.
+func RunE10(sizes []int) (*Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 8}
+	}
+	t := &Table{
+		ID:     "E10",
+		Title:  "moderated-queue: chair approvals over the live stack (approve → grant event)",
+		Header: []string{"students", "approvals", "grant p50", "grant p95", "order"},
+	}
+	for _, n := range sizes {
+		lab, err := core.NewLab(core.Options{Seed: int64(n) * 31})
+		if err != nil {
+			return nil, err
+		}
+		chair, err := lab.NewClient("chair", "chair", 5)
+		if err != nil {
+			lab.Close()
+			return nil, err
+		}
+		if err := chair.Join("seminar"); err != nil {
+			lab.Close()
+			return nil, err
+		}
+		students := make([]*client.Client, 0, n)
+		events := make([]<-chan client.Event, 0, n)
+		for i := 0; i < n; i++ {
+			s, err := lab.NewClient(fmt.Sprintf("s%d", i), "participant", 2)
+			if err != nil {
+				lab.Close()
+				return nil, err
+			}
+			events = append(events, s.Subscribe(client.FloorEvents))
+			if err := s.Join("seminar"); err != nil {
+				lab.Close()
+				return nil, err
+			}
+			students = append(students, s)
+		}
+		for _, s := range students {
+			if dec, err := s.RequestFloor("seminar", floor.ModeratedQueue, ""); err != nil || dec.Granted {
+				lab.Close()
+				return nil, fmt.Errorf("student should queue, got %+v, %v", dec, err)
+			}
+		}
+		stats := &trace.LatencyStats{}
+		ordered := true
+		// Approve in reverse request order: approval, not arrival,
+		// decides who speaks.
+		for i := n - 1; i >= 0; i-- {
+			s := students[i]
+			if _, err := s.ApproveFloor("seminar", s.MemberID()); err == nil {
+				lab.Close()
+				return nil, fmt.Errorf("non-chair approval must fail")
+			}
+			t0 := time.Now()
+			if _, err := chair.ApproveFloor("seminar", s.MemberID()); err != nil {
+				lab.Close()
+				return nil, err
+			}
+			// Wait for the student's own grant event.
+			granted := false
+			deadline := time.After(5 * time.Second)
+			for !granted {
+				select {
+				case ev := <-events[i]:
+					if ev.Floor.Holder == s.MemberID() {
+						granted = true
+					}
+				case <-deadline:
+					lab.Close()
+					return nil, fmt.Errorf("no grant event for %s", s.MemberID())
+				}
+			}
+			stats.Add(time.Since(t0))
+			if s.Holder("seminar") != s.MemberID() {
+				ordered = false
+			}
+			if err := s.ReleaseFloor("seminar"); err != nil {
+				lab.Close()
+				return nil, err
+			}
+		}
+		order := "approval-order"
+		if !ordered {
+			order = "VIOLATED"
+		}
+		t.AddRow(n, n,
+			stats.Percentile(50).Round(10*time.Microsecond),
+			stats.Percentile(95).Round(10*time.Microsecond),
+			order)
+		lab.Close()
+	}
+	t.Note("every grant is chair-approved (BFCP-style); latency includes the approve round trip plus the pushed grant event")
+	return t, nil
+}

@@ -30,16 +30,18 @@ type Capability struct {
 //     same group can send message together."
 //   - Direct Contact: members of a contact pair get the private window,
 //     usable concurrently with the other modes.
+//   - Moderated Queue: only the approved holder delivers, but the chair
+//     (the moderator) always keeps the message window and whiteboard.
 func (c *Controller) CapabilityFor(groupID string, member group.MemberID) Capability {
 	if !c.registry.IsMember(groupID, member) {
 		return Capability{}
 	}
 	chair, _ := c.registry.Chair(groupID)
 	c.mu.Lock()
-	st := c.state(groupID)
-	mode := st.mode
-	holder := st.holder
-	_, inContact := st.contacts[member]
+	st := &c.state(groupID).st
+	mode := st.Mode
+	holder := st.Holder
+	_, inContact := st.Contacts[member]
 	c.mu.Unlock()
 
 	var cap Capability
@@ -49,6 +51,11 @@ func (c *Controller) CapabilityFor(groupID string, member group.MemberID) Capabi
 		cap.MessageWindow = isHolder
 		cap.Whiteboard = isHolder
 		cap.PassToken = isHolder
+	case ModeratedQueue:
+		deliver := holder == member || member == chair
+		cap.MessageWindow = deliver
+		cap.Whiteboard = deliver
+		cap.PassToken = holder == member
 	case GroupDiscussion:
 		cap.MessageWindow = true
 		cap.Whiteboard = true

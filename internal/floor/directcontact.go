@@ -1,0 +1,33 @@
+package floor
+
+import "fmt"
+
+// directContactPolicy implements Direct Contact: two members communicate
+// in a private window, concurrently with the other modes (it does not
+// change the group's prevailing mode).
+type directContactPolicy struct{ tokenSemantics }
+
+func (directContactPolicy) Mode() Mode { return DirectContact }
+
+func (directContactPolicy) Decide(r Roster, st *State, req Request) (Decision, error) {
+	if err := checkTokenPriority(req.Requester); err != nil {
+		return Decision{}, err
+	}
+	member, target := req.Requester.ID, req.Target
+	if target == "" || target == member {
+		return Decision{}, fmt.Errorf("%w: %q", ErrBadTarget, target)
+	}
+	if !r.IsMember(st.Group, target) {
+		return Decision{}, fmt.Errorf("%w: target %q not in %q", ErrBadTarget, target, st.Group)
+	}
+	peer, err := r.Member(target)
+	if err != nil {
+		return Decision{}, fmt.Errorf("%w: %v", ErrBadTarget, err)
+	}
+	if peer.Priority < MinTokenPriority {
+		return Decision{}, fmt.Errorf("%w: target priority %d < %d", ErrPriority, peer.Priority, MinTokenPriority)
+	}
+	st.Contacts[member] = target
+	st.Contacts[target] = member
+	return Decision{Granted: true, Target: target}, nil
+}

@@ -1,10 +1,11 @@
-// Package floor implements the paper's floor control mechanism: the four
-// control modes (Free Access, Equal Control, Group Discussion, Direct
-// Contact), the FCM-Arbitrate algorithm from the Z specification —
-// membership check, mode-specific grant rules with the Priority ≥ 2
-// requirement, and resource arbitration against the α/β thresholds — plus
-// Media-Suspend (suspend the lowest-priority member's media in the
-// degraded regime) and Abort-Arbitrate (refuse service below β).
+// Package floor implements the paper's floor control mechanism as a
+// pluggable policy engine. The four control modes (Free Access, Equal
+// Control, Group Discussion, Direct Contact) are each one Policy behind a
+// slim Controller that owns only what the Z specification centralizes:
+// membership checks, the α/β resource thresholds (Abort-Arbitrate below
+// β, Media-Suspend in [β, α)), and suspension bookkeeping. A fifth,
+// BFCP-style ModeratedQueue policy (chair approves queued requests)
+// exercises the seam; RegisterPolicy admits further custom modes.
 //
 // All floor requests are centralized: the DMPS server owns one Controller
 // and routes every client request through it, exactly as the paper's
@@ -16,13 +17,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"dmps/internal/group"
 	"dmps/internal/resource"
 )
 
-// Mode is one of the paper's four floor control modes.
+// Mode names a floor control discipline. The paper's four modes are
+// builtin; RegisterPolicy adds more.
 type Mode int
 
 const (
@@ -38,28 +41,63 @@ const (
 	// DirectContact: two members communicate in a private window,
 	// concurrently with the other modes.
 	DirectContact
+	// ModeratedQueue: BFCP-style chair moderation — requests queue until
+	// the session chair approves them (not in the paper).
+	ModeratedQueue
 )
 
-var modeNames = map[Mode]string{
-	FreeAccess:      "free-access",
-	EqualControl:    "equal-control",
-	GroupDiscussion: "group-discussion",
-	DirectContact:   "direct-contact",
-}
+// modeNames maps registered modes to their wire names. It is populated by
+// policy registration and guarded by policyMu.
+var modeNames = make(map[Mode]string)
 
 // String implements fmt.Stringer.
 func (m Mode) String() string {
-	if s, ok := modeNames[m]; ok {
+	policyMu.RLock()
+	s, ok := modeNames[m]
+	policyMu.RUnlock()
+	if ok {
 		return s
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// Valid reports whether m is a defined mode.
-func (m Mode) Valid() bool { _, ok := modeNames[m]; return ok }
+// Valid reports whether m has a registered policy.
+func (m Mode) Valid() bool { _, ok := PolicyFor(m); return ok }
+
+// ParseMode resolves a mode's wire name (e.g. "equal-control") or its
+// short alias (the leading word, e.g. "equal") to the mode. It is the
+// single parser the server, client library and command-line tools share.
+// Full names take precedence over aliases, and RegisterPolicy rejects
+// alias collisions, so resolution is deterministic.
+func ParseMode(s string) (Mode, bool) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	for m, name := range modeNames {
+		if s == name {
+			return m, true
+		}
+	}
+	for m, name := range modeNames {
+		if a := modeAlias(name); a != "" && s == a {
+			return m, true
+		}
+	}
+	return 0, false
+}
+
+// modeAlias is a wire name's short form: its leading "-"-separated word
+// ("" when the name has no dash, so single-word names get no alias).
+func modeAlias(name string) string {
+	if head, _, found := strings.Cut(name, "-"); found {
+		return head
+	}
+	return ""
+}
 
 // MinTokenPriority is the Z spec's Priority ≥ 2 requirement for the
-// token-based modes (Equal Control, Group Discussion, Direct Contact).
+// token-based modes (Equal Control, Group Discussion, Direct Contact,
+// Moderated Queue).
 const MinTokenPriority = 2
 
 // Arbitration errors.
@@ -73,15 +111,32 @@ var (
 	// ErrPriority is returned when the requester's priority is below the
 	// mode's requirement.
 	ErrPriority = errors.New("floor: insufficient priority")
-	// ErrBusy is returned in Equal Control when another member holds the
-	// floor; the request is queued.
+	// ErrBusy is returned when another member holds the floor; the
+	// request is queued.
 	ErrBusy = errors.New("floor: floor busy, request queued")
 	// ErrNotHolder is returned when a release/pass comes from a member
 	// not holding the floor.
 	ErrNotHolder = errors.New("floor: not the floor holder")
 	// ErrBadTarget is returned for Direct Contact without a valid target.
 	ErrBadTarget = errors.New("floor: invalid direct-contact target")
+	// ErrNotChair is returned when a ModeratedQueue approval comes from a
+	// member other than the session chair.
+	ErrNotChair = errors.New("floor: approver is not the session chair")
+	// ErrNotQueued is returned when approving a member with no pending
+	// request.
+	ErrNotQueued = errors.New("floor: member not queued")
+	// ErrUnapproved is returned when a non-chair holder passes the
+	// moderated floor to a member the chair has not approved.
+	ErrUnapproved = errors.New("floor: recipient not approved by the chair")
+	// ErrNoApproval is returned when the group's policy has no chair-
+	// approval seam (it does not implement Approver).
+	ErrNoApproval = errors.New("floor: mode does not support approval")
 )
+
+// ErrPending wraps ErrBusy for requests queued behind a chair decision
+// (ModeratedQueue): the request is parked, not failed, and callers that
+// treat ErrBusy as "queued" need no special case.
+var ErrPending = fmt.Errorf("pending chair approval (%w)", ErrBusy)
 
 // Decision is the outcome of one arbitration.
 type Decision struct {
@@ -89,10 +144,10 @@ type Decision struct {
 	Granted bool
 	// Mode echoes the arbitrated mode.
 	Mode Mode
-	// Holder is the Equal Control token holder after this arbitration.
+	// Holder is the token holder after this arbitration.
 	Holder group.MemberID
 	// QueuePosition is the requester's 1-based queue slot when not
-	// granted in Equal Control (0 when granted).
+	// granted (0 when granted).
 	QueuePosition int
 	// Suspended lists members whose media were suspended by Media-Suspend
 	// during this arbitration (degraded regime).
@@ -103,8 +158,10 @@ type Decision struct {
 	Target group.MemberID
 }
 
-// Controller is the centralized floor control state for all groups.
-// It is safe for concurrent use.
+// Controller is the centralized floor control state for all groups. It
+// owns membership/threshold/suspension bookkeeping and delegates every
+// mode-specific decision to the registered Policy. It is safe for
+// concurrent use.
 type Controller struct {
 	registry *group.Registry
 	monitor  *resource.Monitor
@@ -113,13 +170,11 @@ type Controller struct {
 	floors map[string]*floorState
 }
 
+// floorState pairs the policy-visible State with the suspension set,
+// which is controller bookkeeping no policy may touch.
 type floorState struct {
-	mode      Mode
-	holder    group.MemberID
-	queue     []group.MemberID
+	st        State
 	suspended map[group.MemberID]bool
-	// contacts tracks direct-contact pairs: member → peer.
-	contacts map[group.MemberID]group.MemberID
 }
 
 // NewController returns a controller over the given group registry and
@@ -133,16 +188,20 @@ func NewController(reg *group.Registry, mon *resource.Monitor) *Controller {
 }
 
 func (c *Controller) state(groupID string) *floorState {
-	st, ok := c.floors[groupID]
+	fs, ok := c.floors[groupID]
 	if !ok {
-		st = &floorState{
-			mode:      FreeAccess,
+		fs = &floorState{
+			st: State{
+				Group:    groupID,
+				Mode:     FreeAccess,
+				Contacts: make(map[group.MemberID]group.MemberID),
+				Approved: make(map[group.MemberID]bool),
+			},
 			suspended: make(map[group.MemberID]bool),
-			contacts:  make(map[group.MemberID]group.MemberID),
 		}
-		c.floors[groupID] = st
+		c.floors[groupID] = fs
 	}
-	return st
+	return fs
 }
 
 // level reads the current resource regime.
@@ -150,27 +209,31 @@ func (c *Controller) level() resource.Level {
 	if c.monitor == nil {
 		return resource.Normal
 	}
-	return c.monitor.Level()
+	return c.monitor.Snapshot().Level
+}
+
+// policyOf returns the policy governing the group's current mode.
+func (c *Controller) policyOf(fs *floorState) (Policy, error) {
+	p, ok := PolicyFor(fs.st.Mode)
+	if !ok {
+		return nil, fmt.Errorf("%w: no policy for mode %d", ErrAborted, int(fs.st.Mode))
+	}
+	return p, nil
 }
 
 // Arbitrate is FCM-Arbitrate: it processes one floor request by member M
 // for mode F in group G (with DM the Direct Contact peer when F is
-// DirectContact). The decision procedure follows the Z specification:
+// DirectContact). The controller runs the Z specification's centralized
+// steps, then hands the mode rules to the registered policy:
 //
 //  1. Resource-Available < β            → Abort-Arbitrate.
 //  2. G ∉ Joined-Groups(M)              → Abort-Arbitrate (ErrNotMember).
 //  3. β ≤ Resource-Available < α        → Media-Suspend the lowest-
 //     priority member holding media, then proceed.
-//  4. Mode rules:
-//     Free Access     → Media-Available for every member of G.
-//     Equal Control   → requester Priority ≥ 2; single holder; queue
-//     when busy.
-//     Group Discussion→ requester Priority ≥ 2; all sub-group members
-//     may send.
-//     Direct Contact  → requester and target Priority ≥ 2; both get a
-//     private channel.
+//  4. Mode rules                        → Policy.Decide.
 func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode, target group.MemberID) (Decision, error) {
-	if !mode.Valid() {
+	pol, ok := PolicyFor(mode)
+	if !ok {
 		return Decision{}, fmt.Errorf("%w: unknown mode %d", ErrAborted, int(mode))
 	}
 	lvl := c.level()
@@ -190,84 +253,30 @@ func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode,
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
+	fs := c.state(groupID)
 	// Step 3: Media-Suspend in the degraded regime.
 	if lvl == resource.Degraded {
-		if victim, ok := c.suspendLowestLocked(groupID, st); ok {
+		if victim, ok := c.suspendLowestLocked(groupID, fs); ok {
 			dec.Suspended = append(dec.Suspended, victim)
 		}
 	}
-	// Step 4: mode rules.
-	switch mode {
-	case FreeAccess:
-		st.mode = FreeAccess
-		st.holder = ""
-		dec.Granted = true
-		return dec, nil
-	case EqualControl:
-		if requester.Priority < MinTokenPriority {
-			return dec, fmt.Errorf("%w: %d < %d", ErrPriority, requester.Priority, MinTokenPriority)
-		}
-		st.mode = EqualControl
-		switch {
-		case st.holder == "" || st.holder == member:
-			st.holder = member
-			dec.Granted = true
-			dec.Holder = member
-			return dec, nil
-		default:
-			// Queue the request; the holder passes the token later.
-			for i, q := range st.queue {
-				if q == member {
-					dec.Holder = st.holder
-					dec.QueuePosition = i + 1
-					return dec, fmt.Errorf("%w: position %d", ErrBusy, i+1)
-				}
-			}
-			st.queue = append(st.queue, member)
-			dec.Holder = st.holder
-			dec.QueuePosition = len(st.queue)
-			return dec, fmt.Errorf("%w: position %d", ErrBusy, len(st.queue))
-		}
-	case GroupDiscussion:
-		if requester.Priority < MinTokenPriority {
-			return dec, fmt.Errorf("%w: %d < %d", ErrPriority, requester.Priority, MinTokenPriority)
-		}
-		st.mode = GroupDiscussion
-		st.holder = ""
-		dec.Granted = true
-		return dec, nil
-	case DirectContact:
-		if requester.Priority < MinTokenPriority {
-			return dec, fmt.Errorf("%w: %d < %d", ErrPriority, requester.Priority, MinTokenPriority)
-		}
-		if target == "" || target == member {
-			return dec, fmt.Errorf("%w: %q", ErrBadTarget, target)
-		}
-		if !c.registry.IsMember(groupID, target) {
-			return dec, fmt.Errorf("%w: target %q not in %q", ErrBadTarget, target, groupID)
-		}
-		peer, err := c.registry.Member(target)
-		if err != nil {
-			return dec, fmt.Errorf("%w: %v", ErrBadTarget, err)
-		}
-		if peer.Priority < MinTokenPriority {
-			return dec, fmt.Errorf("%w: target priority %d < %d", ErrPriority, peer.Priority, MinTokenPriority)
-		}
-		st.contacts[member] = target
-		st.contacts[target] = member
-		dec.Granted = true
-		dec.Target = target
-		return dec, nil
-	default:
-		return dec, fmt.Errorf("%w: unhandled mode", ErrAborted)
-	}
+	// Step 4: mode rules, delegated to the policy.
+	pdec, err := pol.Decide(c.registry, &fs.st, Request{
+		Group:     groupID,
+		Requester: requester,
+		Target:    target,
+		Level:     lvl,
+	})
+	pdec.Mode = mode
+	pdec.Level = lvl
+	pdec.Suspended = dec.Suspended
+	return pdec, err
 }
 
 // suspendLowestLocked implements Media-Suspend: choose the not-yet-
 // suspended member of the group with the lowest priority and suspend
 // their media. Reports the victim, or false when everyone is suspended.
-func (c *Controller) suspendLowestLocked(groupID string, st *floorState) (group.MemberID, bool) {
+func (c *Controller) suspendLowestLocked(groupID string, fs *floorState) (group.MemberID, bool) {
 	members, err := c.registry.GroupMembers(groupID)
 	if err != nil {
 		return "", false
@@ -275,7 +284,7 @@ func (c *Controller) suspendLowestLocked(groupID string, st *floorState) (group.
 	best := -1
 	var victim group.MemberID
 	for _, m := range members {
-		if st.suspended[m.ID] {
+		if fs.suspended[m.ID] {
 			continue
 		}
 		if best == -1 || m.Priority < best {
@@ -286,100 +295,102 @@ func (c *Controller) suspendLowestLocked(groupID string, st *floorState) (group.
 	if best == -1 {
 		return "", false
 	}
-	st.suspended[victim] = true
+	fs.suspended[victim] = true
 	return victim, true
 }
 
-// Release gives up the Equal Control floor; the token passes to the head
-// of the queue, if any. It returns the new holder ("" when the floor is
-// now free).
+// Release gives up the floor under the group's current policy; in the
+// token modes the floor passes to the next eligible queued member. It
+// returns the new holder ("" when the floor is now free).
 func (c *Controller) Release(groupID string, member group.MemberID) (group.MemberID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
-	if st.holder != member {
-		return st.holder, fmt.Errorf("%w: holder is %q", ErrNotHolder, st.holder)
+	fs := c.state(groupID)
+	pol, err := c.policyOf(fs)
+	if err != nil {
+		return fs.st.Holder, err
 	}
-	if len(st.queue) > 0 {
-		st.holder = st.queue[0]
-		st.queue = st.queue[1:]
-	} else {
-		st.holder = ""
-	}
-	return st.holder, nil
+	return pol.Release(c.registry, &fs.st, member)
 }
 
-// Pass hands the Equal Control token from its holder directly to another
-// member ("until the floor control token passed by the holder"). The
-// recipient must be a group member with sufficient priority; if the
-// recipient was queued they are removed from the queue.
+// Pass hands the floor token from its holder directly to another member
+// ("until the floor control token passed by the holder"), under the
+// group's current policy.
 func (c *Controller) Pass(groupID string, from, to group.MemberID) error {
-	if !c.registry.IsMember(groupID, to) {
-		return fmt.Errorf("%w: recipient %q not in %q", ErrNotMember, to, groupID)
-	}
-	recipient, err := c.registry.Member(to)
-	if err != nil {
-		return fmt.Errorf("%w: %v", ErrAborted, err)
-	}
-	if recipient.Priority < MinTokenPriority {
-		return fmt.Errorf("%w: recipient priority %d < %d", ErrPriority, recipient.Priority, MinTokenPriority)
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
-	if st.holder != from {
-		return fmt.Errorf("%w: holder is %q", ErrNotHolder, st.holder)
+	fs := c.state(groupID)
+	pol, err := c.policyOf(fs)
+	if err != nil {
+		return err
 	}
-	st.holder = to
-	for i, q := range st.queue {
-		if q == to {
-			st.queue = append(st.queue[:i], st.queue[i+1:]...)
-			break
-		}
-	}
-	return nil
+	return pol.Pass(c.registry, &fs.st, from, to)
 }
 
-// Holder returns the Equal Control token holder ("" when free).
+// Approve lets the session chair clear a queued request in a moderated
+// mode. It fails with ErrNoApproval when the group's current policy has
+// no approval seam.
+func (c *Controller) Approve(groupID string, approver, member group.MemberID) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs := c.state(groupID)
+	pol, err := c.policyOf(fs)
+	if err != nil {
+		return Decision{}, err
+	}
+	appr, ok := pol.(Approver)
+	if !ok {
+		return Decision{}, fmt.Errorf("%w: %v", ErrNoApproval, fs.st.Mode)
+	}
+	dec, err := appr.Approve(c.registry, &fs.st, groupID, approver, member)
+	dec.Mode = fs.st.Mode
+	dec.Level = c.level()
+	return dec, err
+}
+
+// Holder returns the current token holder ("" when free).
 func (c *Controller) Holder(groupID string) group.MemberID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.state(groupID).holder
+	return c.state(groupID).st.Holder
 }
 
-// Queue returns the pending Equal Control requests in order.
+// Queue returns the pending floor requests in order, via the group
+// policy's QueueSnapshot.
 func (c *Controller) Queue(groupID string) []group.MemberID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
-	out := make([]group.MemberID, len(st.queue))
-	copy(out, st.queue)
-	return out
+	fs := c.state(groupID)
+	pol, err := c.policyOf(fs)
+	if err != nil {
+		return nil
+	}
+	return pol.QueueSnapshot(&fs.st)
 }
 
 // ModeOf returns the group's current floor mode (FreeAccess by default).
 func (c *Controller) ModeOf(groupID string) Mode {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.state(groupID).mode
+	return c.state(groupID).st.Mode
 }
 
 // ContactPeer returns the member's Direct Contact peer ("" when none).
 func (c *Controller) ContactPeer(groupID string, member group.MemberID) group.MemberID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.state(groupID).contacts[member]
+	return c.state(groupID).st.Contacts[member]
 }
 
 // EndContact tears down a direct-contact pair (idempotent).
 func (c *Controller) EndContact(groupID string, member group.MemberID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
-	peer := st.contacts[member]
-	delete(st.contacts, member)
-	if peer != "" && st.contacts[peer] == member {
-		delete(st.contacts, peer)
+	st := &c.state(groupID).st
+	peer := st.Contacts[member]
+	delete(st.Contacts, member)
+	if peer != "" && st.Contacts[peer] == member {
+		delete(st.Contacts, peer)
 	}
 }
 
@@ -398,9 +409,9 @@ func (c *Controller) MediaAvailable(groupID string, member group.MemberID) bool 
 func (c *Controller) Suspended(groupID string) []group.MemberID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
-	out := make([]group.MemberID, 0, len(st.suspended))
-	for id, on := range st.suspended {
+	fs := c.state(groupID)
+	out := make([]group.MemberID, 0, len(fs.suspended))
+	for id, on := range fs.suspended {
 		if on {
 			out = append(out, id)
 		}
@@ -414,6 +425,5 @@ func (c *Controller) Suspended(groupID string) []group.MemberID {
 func (c *Controller) Reinstate(groupID string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := c.state(groupID)
-	st.suspended = make(map[group.MemberID]bool)
+	c.state(groupID).suspended = make(map[group.MemberID]bool)
 }

@@ -1,0 +1,14 @@
+package floor
+
+// freeAccessPolicy implements Free Access: everyone (session chair and
+// participants alike) may send to the message window or whiteboard —
+// "like general discussion with no privacy and priority".
+type freeAccessPolicy struct{ tokenSemantics }
+
+func (freeAccessPolicy) Mode() Mode { return FreeAccess }
+
+func (freeAccessPolicy) Decide(_ Roster, st *State, req Request) (Decision, error) {
+	st.Mode = FreeAccess
+	st.Holder = ""
+	return Decision{Granted: true}, nil
+}

@@ -1,0 +1,17 @@
+package floor
+
+// groupDiscussionPolicy implements Group Discussion: members of an
+// invitation-built sub-group all send together; the creator is the
+// sub-group's session chair.
+type groupDiscussionPolicy struct{ tokenSemantics }
+
+func (groupDiscussionPolicy) Mode() Mode { return GroupDiscussion }
+
+func (groupDiscussionPolicy) Decide(_ Roster, st *State, req Request) (Decision, error) {
+	if err := checkTokenPriority(req.Requester); err != nil {
+		return Decision{}, err
+	}
+	st.Mode = GroupDiscussion
+	st.Holder = ""
+	return Decision{Granted: true}, nil
+}

@@ -1,0 +1,102 @@
+package floor
+
+import (
+	"fmt"
+
+	"dmps/internal/group"
+)
+
+// moderatedQueuePolicy is the BFCP-style chair-moderated mode (not in the
+// paper; the seam the Policy interface exists to prove). Every request
+// joins a FIFO queue; the session chair explicitly approves queued
+// members, who then receive the floor as soon as it is free. The chair's
+// own request is granted immediately when the floor is free (the chair
+// would approve themselves). Release hands the floor to the first
+// *approved* member in queue order — unapproved members keep waiting no
+// matter how early they queued.
+type moderatedQueuePolicy struct{ tokenSemantics }
+
+func (moderatedQueuePolicy) Mode() Mode { return ModeratedQueue }
+
+func (moderatedQueuePolicy) Decide(r Roster, st *State, req Request) (Decision, error) {
+	if err := checkTokenPriority(req.Requester); err != nil {
+		return Decision{}, err
+	}
+	st.Mode = ModeratedQueue
+	member := req.Requester.ID
+	if st.Holder == member {
+		return Decision{Granted: true, Holder: member}, nil
+	}
+	chair, _ := r.Chair(st.Group)
+	if st.Holder == "" && member == chair {
+		st.Holder = member
+		st.dequeue(member)
+		return Decision{Granted: true, Holder: member}, nil
+	}
+	pos := st.enqueue(member)
+	dec := Decision{Holder: st.Holder, QueuePosition: pos}
+	return dec, fmt.Errorf("%w: position %d", ErrPending, pos)
+}
+
+// Pass preserves the chair's authority: the chair may pass to any
+// eligible member (a chair handing the floor over is itself an
+// approval), but a non-chair holder may only pass to the chair or to a
+// member the chair has already approved — otherwise delegation would
+// bypass the moderation this mode exists to enforce.
+func (moderatedQueuePolicy) Pass(r Roster, st *State, from, to group.MemberID) error {
+	if err := checkRecipient(r, st, to); err != nil {
+		return err
+	}
+	if st.Holder != from {
+		return fmt.Errorf("%w: holder is %q", ErrNotHolder, st.Holder)
+	}
+	chair, _ := r.Chair(st.Group)
+	if from != chair && to != chair && !st.Approved[to] {
+		return fmt.Errorf("%w: %q", ErrUnapproved, to)
+	}
+	st.Holder = to
+	st.dequeue(to)
+	return nil
+}
+
+// Release promotes the earliest approved queued member; members the
+// chair has not cleared stay queued.
+func (moderatedQueuePolicy) Release(_ Roster, st *State, member group.MemberID) (group.MemberID, error) {
+	if st.Holder != member {
+		return st.Holder, fmt.Errorf("%w: holder is %q", ErrNotHolder, st.Holder)
+	}
+	st.Holder = ""
+	for _, q := range st.Queue {
+		if st.Approved[q] {
+			st.Holder = q
+			st.dequeue(q)
+			break
+		}
+	}
+	return st.Holder, nil
+}
+
+// Approve implements the Approver seam: the chair clears a queued member.
+func (moderatedQueuePolicy) Approve(r Roster, st *State, groupID string, approver, member group.MemberID) (Decision, error) {
+	chair, err := r.Chair(groupID)
+	if err != nil {
+		return Decision{}, fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	if approver != chair {
+		return Decision{}, fmt.Errorf("%w: %q is not the chair of %q", ErrNotChair, approver, groupID)
+	}
+	pos := st.queuePosition(member)
+	if pos == 0 {
+		return Decision{}, fmt.Errorf("%w: %q has no pending request in %q", ErrNotQueued, member, groupID)
+	}
+	if st.Holder == "" {
+		st.Holder = member
+		st.dequeue(member)
+		return Decision{Granted: true, Holder: member}, nil
+	}
+	if st.Approved == nil {
+		st.Approved = make(map[group.MemberID]bool)
+	}
+	st.Approved[member] = true
+	return Decision{Holder: st.Holder, QueuePosition: pos}, nil
+}

@@ -34,6 +34,10 @@ const (
 	TFloorRelease Type = "floor_release"
 	// TTokenPass passes the Equal Control token (TokenPassBody).
 	TTokenPass Type = "token_pass"
+	// TFloorApprove lets the session chair clear a queued request in a
+	// moderated mode (FloorApproveBody); answered by TAck
+	// (FloorDecisionBody) or TErr.
+	TFloorApprove Type = "floor_approve"
 	// TFloorEvent notifies clients of floor state changes
 	// (FloorEventBody).
 	TFloorEvent Type = "floor_event"
@@ -144,12 +148,22 @@ type TokenPassBody struct {
 	To string `json:"to"`
 }
 
+// FloorApproveBody clears a queued member (chair → server).
+type FloorApproveBody struct {
+	Member string `json:"member"`
+}
+
 // FloorEventBody announces floor changes to a group.
 type FloorEventBody struct {
 	Mode   string `json:"mode"`
 	Holder string `json:"holder,omitempty"`
 	Member string `json:"member,omitempty"` // subject of the change
-	Event  string `json:"event"`            // "granted", "released", "passed", "queued"
+	// Event is the transition kind: "granted", "denied", "released",
+	// "passed", "queued", "approved", or "queue_position".
+	Event string `json:"event"`
+	// QueuePosition is the subject's 1-based queue slot for "queued",
+	// "approved" and "queue_position" events.
+	QueuePosition int `json:"queue_position,omitempty"`
 }
 
 // InviteBody requests an invitation.

@@ -251,6 +251,32 @@ func (m *Monitor) Level() Level {
 	return m.thresholds.Classify(m.avail.Bind(m.factor))
 }
 
+// Status is one consistent observation of the monitor: the availability
+// vector, its scalar binding, and the α/β classification — taken under a
+// single lock acquisition so arbitration and reporting agree.
+type Status struct {
+	Vector       Vector
+	Availability float64
+	Level        Level
+	Thresholds   Thresholds
+}
+
+// Snapshot returns a consistent Status. Callers that need both the level
+// and the scalar (the floor controller, the status loop) should prefer it
+// over separate Level/Availability calls, which may interleave with Set.
+func (m *Monitor) Snapshot() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.initLocked()
+	avail := m.avail.Bind(m.factor)
+	return Status{
+		Vector:       m.avail,
+		Availability: avail,
+		Level:        m.thresholds.Classify(avail),
+		Thresholds:   m.thresholds,
+	}
+}
+
 // Thresholds returns the configured α/β pair.
 func (m *Monitor) Thresholds() Thresholds {
 	m.mu.Lock()

@@ -7,7 +7,6 @@ import (
 	"dmps/internal/floor"
 	"dmps/internal/group"
 	"dmps/internal/protocol"
-	"dmps/internal/resource"
 	"dmps/internal/whiteboard"
 )
 
@@ -26,6 +25,8 @@ func (s *Server) dispatch(sess *session, msg protocol.Message) {
 		s.onFloorRelease(sess, msg)
 	case protocol.TTokenPass:
 		s.onTokenPass(sess, msg)
+	case protocol.TFloorApprove:
+		s.onFloorApprove(sess, msg)
 	case protocol.TInvite:
 		s.onInvite(sess, msg)
 	case protocol.TInviteReply:
@@ -105,7 +106,7 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		s.replyErr(sess, msg.Seq, "bad_body", err)
 		return
 	}
-	mode, ok := parseMode(body.Mode)
+	mode, ok := floor.ParseMode(body.Mode)
 	if !ok {
 		s.replyErr(sess, msg.Seq, "bad_mode", fmt.Errorf("server: unknown mode %q", body.Mode))
 		return
@@ -114,10 +115,20 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 	decision := decisionBody(dec)
 	if err != nil {
 		decision.Reason = err.Error()
-		// A queued request is not a failure: ack with the queue position.
+		// A queued request is not a failure: ack with the queue position
+		// and push the position to the requester's event stream.
 		if errors.Is(err, floor.ErrBusy) {
 			s.replyAck(sess, msg.Seq, decision)
 			s.notifySuspensions(msg.Group, dec)
+			queued := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+				Mode:          mode.String(),
+				Holder:        string(dec.Holder),
+				Member:        string(sess.member.ID),
+				Event:         "queued",
+				QueuePosition: dec.QueuePosition,
+			})
+			queued.Group = msg.Group
+			_ = sess.send(queued)
 			return
 		}
 		s.replyErr(sess, msg.Seq, "floor_denied", err)
@@ -133,6 +144,55 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 	})
 	event.Group = msg.Group
 	s.broadcastGroup(msg.Group, event)
+}
+
+// onFloorApprove clears a queued request in a moderated mode: the chair
+// names the member; if the floor is free the member is granted at once,
+// otherwise they are marked approved and promoted on the next release.
+func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
+	var body protocol.FloorApproveBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	member := group.MemberID(body.Member)
+	dec, err := s.floorCtl.Approve(msg.Group, sess.member.ID, member)
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "approve", err)
+		return
+	}
+	s.replyAck(sess, msg.Seq, decisionBody(dec))
+	event := "approved"
+	if dec.Granted {
+		event = "granted"
+	}
+	note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+		Mode:          dec.Mode.String(),
+		Holder:        string(dec.Holder),
+		Member:        string(member),
+		Event:         event,
+		QueuePosition: dec.QueuePosition,
+	})
+	note.Group = msg.Group
+	s.broadcastGroup(msg.Group, note)
+	s.notifyQueuePositions(msg.Group, dec.Mode)
+}
+
+// notifyQueuePositions pushes each queued member their current 1-based
+// position, so clients track movement without polling.
+func (s *Server) notifyQueuePositions(groupID string, mode floor.Mode) {
+	holder := s.floorCtl.Holder(groupID)
+	for i, m := range s.floorCtl.Queue(groupID) {
+		note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+			Mode:          mode.String(),
+			Holder:        string(holder),
+			Member:        string(m),
+			Event:         "queue_position",
+			QueuePosition: i + 1,
+		})
+		note.Group = groupID
+		s.sendTo(m, note)
+	}
 }
 
 // notifySuspensions tells each Media-Suspend victim and the group.
@@ -154,14 +214,16 @@ func (s *Server) onFloorRelease(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, protocol.FloorEventBody{Holder: string(next), Event: "released"})
+	mode := s.floorCtl.ModeOf(msg.Group)
 	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
-		Mode:   s.floorCtl.ModeOf(msg.Group).String(),
+		Mode:   mode.String(),
 		Holder: string(next),
 		Member: string(sess.member.ID),
 		Event:  "released",
 	})
 	event.Group = msg.Group
 	s.broadcastGroup(msg.Group, event)
+	s.notifyQueuePositions(msg.Group, mode)
 }
 
 func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
@@ -175,14 +237,16 @@ func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, protocol.FloorEventBody{Holder: body.To, Event: "passed"})
+	mode := s.floorCtl.ModeOf(msg.Group)
 	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
-		Mode:   s.floorCtl.ModeOf(msg.Group).String(),
+		Mode:   mode.String(),
 		Holder: body.To,
 		Member: string(sess.member.ID),
 		Event:  "passed",
 	})
 	event.Group = msg.Group
 	s.broadcastGroup(msg.Group, event)
+	s.notifyQueuePositions(msg.Group, mode)
 }
 
 func (s *Server) onInvite(sess *session, msg protocol.Message) {
@@ -295,7 +359,7 @@ func (s *Server) onAnnotate(sess *session, msg protocol.Message) {
 		s.replyErr(sess, msg.Seq, "no_floor", fmt.Errorf("server: %s may not annotate in %v mode", sess.member.ID, s.floorCtl.ModeOf(msg.Group)))
 		return
 	}
-	kind, ok := parseOpKind(body.Kind)
+	kind, ok := whiteboard.ParseOpKind(body.Kind)
 	if !ok {
 		s.replyErr(sess, msg.Seq, "bad_kind", fmt.Errorf("server: unknown op kind %q", body.Kind))
 		return
@@ -342,7 +406,7 @@ func (s *Server) replayTo(sess *session, groupID string, after int64) {
 	defer gb.mu.Unlock()
 	for _, op := range gb.board.Since(after) {
 		typ := protocol.TAnnotateEvent
-		kind := opKindString(op.Kind)
+		kind := op.Kind.String()
 		if op.Kind == whiteboard.Text {
 			typ = protocol.TChatEvent
 		}
@@ -420,36 +484,6 @@ func (s *Server) onMediaUnit(sess *session, msg protocol.Message) {
 	}
 }
 
-func parseMode(s string) (floor.Mode, bool) {
-	switch s {
-	case "free-access":
-		return floor.FreeAccess, true
-	case "equal-control":
-		return floor.EqualControl, true
-	case "group-discussion":
-		return floor.GroupDiscussion, true
-	case "direct-contact":
-		return floor.DirectContact, true
-	default:
-		return 0, false
-	}
-}
-
-func parseOpKind(s string) (whiteboard.OpKind, bool) {
-	switch s {
-	case "draw":
-		return whiteboard.Draw, true
-	case "text":
-		return whiteboard.Text, true
-	case "clear":
-		return whiteboard.Clear, true
-	default:
-		return 0, false
-	}
-}
-
-func opKindString(k whiteboard.OpKind) string { return k.String() }
-
 func decisionBody(dec floor.Decision) protocol.FloorDecisionBody {
 	out := protocol.FloorDecisionBody{
 		Granted:       dec.Granted,
@@ -464,6 +498,3 @@ func decisionBody(dec floor.Decision) protocol.FloorDecisionBody {
 	}
 	return out
 }
-
-// levelString is used by the status loop.
-func levelString(l resource.Level) string { return l.String() }

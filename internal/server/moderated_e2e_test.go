@@ -1,0 +1,134 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/netsim"
+	"dmps/internal/transport"
+)
+
+// TestModeratedQueueEndToEndNetsim runs the full BFCP-style flow —
+// student requests, chair approves, student receives the grant through
+// Subscribe — over the simulated network.
+func TestModeratedQueueEndToEndNetsim(t *testing.T) {
+	net := netsim.New(21)
+	runModeratedE2E(t, net, "mod:1")
+}
+
+// TestModeratedQueueEndToEndTCP runs the same flow over real loopback
+// sockets — the cmd/dmps-server + cmd/dmps-client code path.
+func TestModeratedQueueEndToEndTCP(t *testing.T) {
+	runModeratedE2E(t, transport.TCP{}, "127.0.0.1:0")
+}
+
+func runModeratedE2E(t *testing.T, network transport.Network, addr string) {
+	t.Helper()
+	srv, err := New(Config{Network: network, Addr: addr, ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+
+	dial := func(name, role string, priority int) *client.Client {
+		c, err := client.Dial(client.Config{
+			Network: network, Addr: srv.Addr(),
+			Name: name, Role: role, Priority: priority,
+			Timeout: 3 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("Dial(%s): %v", name, err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	teacher := dial("teacher", "chair", 5)
+	student := dial("student", "participant", 2)
+	for _, c := range []*client.Client{teacher, student} {
+		if err := c.Join("seminar"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	events := student.Subscribe(client.FloorEvents)
+
+	// The student's request switches the group into moderated-queue mode
+	// and parks them at position 1 — acked, not failed.
+	dec, err := student.RequestFloor("seminar", floor.ModeratedQueue, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Granted || dec.QueuePosition != 1 {
+		t.Fatalf("dec = %+v, want queued at 1", dec)
+	}
+
+	// Queued students may not deliver yet.
+	if err := student.Chat("seminar", "premature"); err == nil {
+		t.Fatal("queued student should not hold the message window")
+	}
+
+	// The chair approves; the floor is free, so the grant is immediate.
+	adec, err := teacher.ApproveFloor("seminar", student.MemberID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adec.Granted || adec.Holder != student.MemberID() {
+		t.Fatalf("approve dec = %+v", adec)
+	}
+
+	// The student's subscription delivers the queued → granted sequence.
+	sawQueued, sawGranted := false, false
+	deadline := time.After(5 * time.Second)
+	for !sawGranted {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("event channel closed early")
+			}
+			if ev.Group != "seminar" || ev.Floor.Member != student.MemberID() {
+				continue
+			}
+			switch ev.Floor.Event {
+			case "queued":
+				if ev.Floor.QueuePosition != 1 {
+					t.Errorf("queued at %d, want 1", ev.Floor.QueuePosition)
+				}
+				sawQueued = true
+			case "granted":
+				if !sawQueued {
+					t.Error("granted arrived before queued")
+				}
+				if ev.Floor.Holder != student.MemberID() {
+					t.Errorf("granted holder = %q", ev.Floor.Holder)
+				}
+				sawGranted = true
+			}
+		case <-deadline:
+			t.Fatalf("no grant event (queued=%v)", sawQueued)
+		}
+	}
+
+	// Holding the floor, the student may now deliver; the queue slot is
+	// cleared; polling accessors agree with the event stream.
+	if err := student.Chat("seminar", "thanks!"); err != nil {
+		t.Fatalf("granted student chat: %v", err)
+	}
+	if pos := student.QueuePosition("seminar"); pos != 0 {
+		t.Errorf("QueuePosition = %d after grant", pos)
+	}
+	waitUntil(t, func() bool { return student.Holder("seminar") == student.MemberID() })
+}
+
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

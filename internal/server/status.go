@@ -88,7 +88,7 @@ func (s *Server) maybeReinstate() {
 		for _, m := range suspended {
 			note := protocol.MustNew(protocol.TResume, protocol.SuspendBody{
 				Member: string(m),
-				Level:  levelString(resource.Normal),
+				Level:  resource.Normal.String(),
 			})
 			note.Group = gid
 			s.broadcastGroup(gid, note)

@@ -40,6 +40,22 @@ func (k OpKind) String() string {
 	}
 }
 
+// ParseOpKind resolves an operation kind's wire name ("draw", "text",
+// "clear") — the inverse of OpKind.String, shared by the server and the
+// command-line tools.
+func ParseOpKind(s string) (OpKind, bool) {
+	switch s {
+	case "draw":
+		return Draw, true
+	case "text":
+		return Text, true
+	case "clear":
+		return Clear, true
+	default:
+		return 0, false
+	}
+}
+
 // Op is one sequenced operation.
 type Op struct {
 	// Seq is the server-assigned sequence number, 1-based and dense.
