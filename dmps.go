@@ -92,6 +92,13 @@ type (
 	FloorRequest = floor.Request
 	// Roster is the membership view a Policy consults.
 	Roster = floor.Roster
+	// Approver is the optional chair-approval seam a Policy may implement
+	// (ModeratedQueue does).
+	Approver = floor.Approver
+	// ModeGate is the optional seam a Policy may implement to restrict
+	// switching the group away from its mode (ModeratedQueue gates such
+	// switches behind the session chair).
+	ModeGate = floor.ModeGate
 	// FloorDecision reports an arbitration outcome.
 	FloorDecision = floor.Decision
 	// Capability is a member's communication-window affordances.

@@ -293,7 +293,17 @@ func (c *Client) handle(msg protocol.Message) {
 		var body protocol.FloorEventBody
 		if msg.Into(&body) == nil {
 			c.mu.Lock()
-			c.holders[msg.Group] = body.Holder
+			// Only events that report the group floor update the cached
+			// holder. A Direct Contact grant runs concurrently with the
+			// prevailing mode and carries no holder, and denied and
+			// invite_* outcomes change nothing — taking their empty
+			// Holder would clobber the real one.
+			switch body.Event {
+			case "granted", "released", "passed", "queued", "approved", "queue_position":
+				if !(body.Event == "granted" && body.Mode == floor.DirectContact.String()) {
+					c.holders[msg.Group] = body.Holder
+				}
+			}
 			// Track this member's own queue movement. Becoming holder —
 			// whether granted directly or promoted on a release/pass —
 			// always clears the slot.

@@ -95,12 +95,14 @@ func (c *Client) Unsubscribe(ch <-chan Event) {
 
 // publish fans an event out to the matching subscribers. It runs on the
 // read loop, so delivery order equals server order for every subscriber.
+// The whole fan-out holds c.mu: sends are non-blocking, and the lock is
+// what makes a concurrent Unsubscribe/closeSubscribers close safe — a
+// channel is only ever closed by whoever removes it from c.subs, and
+// never while a send is in flight.
 func (c *Client) publish(ev Event) {
 	c.mu.Lock()
-	subs := make([]*subscriber, len(c.subs))
-	copy(subs, c.subs)
-	c.mu.Unlock()
-	for _, sub := range subs {
+	defer c.mu.Unlock()
+	for _, sub := range c.subs {
 		if !sub.wants(ev.Kind) {
 			continue
 		}
@@ -112,15 +114,14 @@ func (c *Client) publish(ev Event) {
 }
 
 // closeSubscribers closes every subscription channel; called once when
-// the read loop exits.
+// the read loop exits. Closing under c.mu excludes a concurrent publish.
 func (c *Client) closeSubscribers() {
 	c.mu.Lock()
-	subs := c.subs
-	c.subs = nil
-	c.mu.Unlock()
-	for _, sub := range subs {
+	defer c.mu.Unlock()
+	for _, sub := range c.subs {
 		close(sub.ch)
 	}
+	c.subs = nil
 }
 
 // QueuePosition returns the client's last known 1-based queue slot in

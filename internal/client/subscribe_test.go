@@ -183,6 +183,102 @@ func TestSubscribeQueuePositions(t *testing.T) {
 	}
 }
 
+// TestSubscribeDeniedEvent: a denied floor request is pushed to the
+// requester's event stream as a "denied" event, not only returned as the
+// request error — subscribers watching FloorEvents see every outcome.
+func TestSubscribeDeniedEvent(t *testing.T) {
+	net := netsim.New(15)
+	srv, err := server.New(server.Config{Network: net, Addr: "srv:1", ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	// Priority 1 is below the token modes' requirement, so the request
+	// below is denied outright (neither granted nor queued).
+	weak, err := client.Dial(client.Config{
+		Network: net, Addr: "srv:1",
+		Name: "weak", Role: "participant", Priority: 1,
+		Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(weak.Close)
+	if err := weak.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	events := weak.Subscribe(client.FloorEvents)
+	if _, err := weak.RequestFloor("class", floor.EqualControl, ""); err == nil {
+		t.Fatal("low-priority request should be denied")
+	}
+	ev := drain(t, events, 1)[0]
+	if ev.Floor.Event != "denied" || ev.Floor.Member != weak.MemberID() || ev.Group != "class" {
+		t.Fatalf("event = %+v, want a denied event for this member", ev)
+	}
+}
+
+// TestDirectContactGrantKeepsHolderView: a Direct Contact grant runs
+// concurrently with the prevailing mode and its broadcast carries no
+// holder — it must not clear the other clients' cached floor holder.
+func TestDirectContactGrantKeepsHolderView(t *testing.T) {
+	clients := subscribeHarness(t, 17, 3)
+	a, b, c := clients[0], clients[1], clients[2]
+	events := a.Subscribe(client.FloorEvents)
+	if dec, err := a.RequestFloor("class", floor.EqualControl, ""); err != nil || !dec.Granted {
+		t.Fatalf("a: %+v, %v", dec, err)
+	}
+	waitFor(t, func() bool { return a.Holder("class") == a.MemberID() })
+	if dec, err := b.RequestFloor("class", floor.DirectContact, c.MemberID()); err != nil || !dec.Granted {
+		t.Fatalf("b: %+v, %v", dec, err)
+	}
+	// Wait until a has seen b's direct-contact grant broadcast.
+	for {
+		if ev := drain(t, events, 1)[0]; ev.Floor.Event == "granted" && ev.Floor.Member == b.MemberID() {
+			break
+		}
+	}
+	if got := a.Holder("class"); got != a.MemberID() {
+		t.Errorf("holder view = %q, want %q (direct-contact grant must not clobber it)", got, a.MemberID())
+	}
+}
+
+// TestUnsubscribeDuringEventFlow churns Subscribe/Unsubscribe while the
+// read loop is delivering events. Under -race this guards the publish/
+// Unsubscribe exclusion: closing a channel mid-fan-out used to panic the
+// read loop with a send on a closed channel.
+func TestUnsubscribeDuringEventFlow(t *testing.T) {
+	clients := subscribeHarness(t, 16, 2)
+	watcher, requester := clients[0], clients[1]
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			if _, err := requester.RequestFloor("class", floor.FreeAccess, ""); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for churning := true; churning; {
+		ch := watcher.Subscribe(client.FloorEvents)
+		watcher.Unsubscribe(ch)
+		select {
+		case <-done:
+			churning = false
+		default:
+		}
+	}
+	// The bus still works after the churn.
+	ch := watcher.Subscribe(client.FloorEvents)
+	if _, err := requester.RequestFloor("class", floor.FreeAccess, ""); err != nil {
+		t.Fatal(err)
+	}
+	if ev := drain(t, ch, 1)[0]; ev.Floor.Event != "granted" {
+		t.Fatalf("event = %+v, want granted", ev)
+	}
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(3 * time.Second)

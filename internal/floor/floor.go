@@ -254,6 +254,26 @@ func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode,
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	req := Request{
+		Group:     groupID,
+		Mode:      mode,
+		Requester: requester,
+		Target:    target,
+		Level:     lvl,
+	}
+	// A request for a different mode first passes the outgoing policy's
+	// gate (if any), so a mode that moderates its group cannot be switched
+	// off by an arbitrary member. The gate runs before Media-Suspend: a
+	// rejected request must not suspend an uninvolved member's media.
+	if mode != fs.st.Mode {
+		if cur, ok := PolicyFor(fs.st.Mode); ok {
+			if gate, ok := cur.(ModeGate); ok {
+				if gerr := gate.AllowModeChange(c.registry, &fs.st, req); gerr != nil {
+					return dec, gerr
+				}
+			}
+		}
+	}
 	// Step 3: Media-Suspend in the degraded regime.
 	if lvl == resource.Degraded {
 		if victim, ok := c.suspendLowestLocked(groupID, fs); ok {
@@ -261,12 +281,7 @@ func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode,
 		}
 	}
 	// Step 4: mode rules, delegated to the policy.
-	pdec, err := pol.Decide(c.registry, &fs.st, Request{
-		Group:     groupID,
-		Requester: requester,
-		Target:    target,
-		Level:     lvl,
-	})
+	pdec, err := pol.Decide(c.registry, &fs.st, req)
 	pdec.Mode = mode
 	pdec.Level = lvl
 	pdec.Suspended = dec.Suspended
@@ -366,6 +381,21 @@ func (c *Controller) Queue(groupID string) []group.MemberID {
 		return nil
 	}
 	return pol.QueueSnapshot(&fs.st)
+}
+
+// HolderAndQueue returns the holder and the pending queue from one lock
+// acquisition, so callers pairing the two (e.g. queue-position pushes)
+// cannot observe a holder from before a concurrent arbitration and a
+// queue from after it.
+func (c *Controller) HolderAndQueue(groupID string) (group.MemberID, []group.MemberID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fs := c.state(groupID)
+	pol, err := c.policyOf(fs)
+	if err != nil {
+		return fs.st.Holder, nil
+	}
+	return fs.st.Holder, pol.QueueSnapshot(&fs.st)
 }
 
 // ModeOf returns the group's current floor mode (FreeAccess by default).

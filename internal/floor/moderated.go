@@ -14,6 +14,13 @@ import (
 // would approve themselves). Release hands the floor to the first
 // *approved* member in queue order — unapproved members keep waiting no
 // matter how early they queued.
+//
+// Entry is deliberately open: like the paper's four modes, any eligible
+// member's request switches the group in (a student raising their hand
+// starts the moderated session without prior chair action). Exit is
+// chair-gated (AllowModeChange below), so a participant who dislikes
+// moderation cannot dissolve it; the flip side — a participant starting
+// moderation the chair didn't want — the chair undoes by switching modes.
 type moderatedQueuePolicy struct{ tokenSemantics }
 
 func (moderatedQueuePolicy) Mode() Mode { return ModeratedQueue }
@@ -28,7 +35,11 @@ func (moderatedQueuePolicy) Decide(r Roster, st *State, req Request) (Decision, 
 		return Decision{Granted: true, Holder: member}, nil
 	}
 	chair, _ := r.Chair(st.Group)
-	if st.Holder == "" && member == chair {
+	// With the floor free, the chair and already-approved members are
+	// granted at once (the chair would approve themselves; an approved
+	// member re-requesting — e.g. after a mode switch away and back, which
+	// clears Holder but keeps Queue/Approved — was already cleared).
+	if st.Holder == "" && (member == chair || st.Approved[member]) {
 		st.Holder = member
 		st.dequeue(member)
 		return Decision{Granted: true, Holder: member}, nil
@@ -36,6 +47,25 @@ func (moderatedQueuePolicy) Decide(r Roster, st *State, req Request) (Decision, 
 	pos := st.enqueue(member)
 	dec := Decision{Holder: st.Holder, QueuePosition: pos}
 	return dec, fmt.Errorf("%w: position %d", ErrPending, pos)
+}
+
+// AllowModeChange implements the ModeGate seam: only the session chair
+// may take the group out of moderated-queue — otherwise any member could
+// request free-access or equal-control and dissolve the moderation.
+// Direct Contact is exempt: it runs concurrently and never changes the
+// group's prevailing mode.
+func (moderatedQueuePolicy) AllowModeChange(r Roster, st *State, req Request) error {
+	if req.Mode == DirectContact {
+		return nil
+	}
+	chair, err := r.Chair(st.Group)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	if req.Requester.ID != chair {
+		return fmt.Errorf("%w: only chair %q may switch %q out of %v", ErrNotChair, chair, st.Group, ModeratedQueue)
+	}
+	return nil
 }
 
 // Pass preserves the chair's authority: the chair may pass to any

@@ -25,6 +25,8 @@ var _ Roster = (*group.Registry)(nil)
 type Request struct {
 	// Group is the group the floor is requested in.
 	Group string
+	// Mode is the requested floor mode.
+	Mode Mode
 	// Requester is the resolved member record (priority included).
 	Requester group.Member
 	// Target is the Direct Contact peer ("" for the other modes).
@@ -103,6 +105,19 @@ type Policy interface {
 	Pass(r Roster, st *State, from, to group.MemberID) error
 	// QueueSnapshot returns the pending requests in order.
 	QueueSnapshot(st *State) []group.MemberID
+}
+
+// ModeGate is implemented by policies that restrict switching the group
+// away from their mode. Before the Controller hands a request for a
+// *different* mode to that mode's policy, it asks the outgoing policy's
+// gate; a non-nil error denies the request without touching the state.
+// Without this, any eligible member could flip a chair-moderated group
+// into free-access or equal-control and bypass moderation entirely.
+type ModeGate interface {
+	// AllowModeChange reports whether the request (for req.Mode) may take
+	// the group out of this policy's mode. Runs under the controller's
+	// lock, after membership and resource checks.
+	AllowModeChange(r Roster, st *State, req Request) error
 }
 
 // Approver is implemented by policies whose queued requests need an

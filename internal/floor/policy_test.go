@@ -266,6 +266,86 @@ func TestModeratedPassDelegates(t *testing.T) {
 	}
 }
 
+// TestModeratedModeChangeRequiresChair covers the ModeGate seam: a
+// participant must not be able to flip a moderated group into another
+// mode (that would dissolve the moderation without chair consent), while
+// the chair may, and Direct Contact — which never changes the prevailing
+// mode — stays available to everyone.
+func TestModeratedModeChangeRequiresChair(t *testing.T) {
+	_, c := moderatedClassroom(t)
+	for _, mode := range []Mode{FreeAccess, EqualControl, GroupDiscussion} {
+		if _, err := c.Arbitrate("class", "alice", mode, ""); !errors.Is(err, ErrNotChair) {
+			t.Errorf("%v: err = %v, want ErrNotChair", mode, err)
+		}
+	}
+	// The denied attempts leave mode, holder and queue untouched.
+	if c.ModeOf("class") != ModeratedQueue {
+		t.Errorf("mode = %v, want ModeratedQueue", c.ModeOf("class"))
+	}
+	if c.Holder("class") != "teacher" {
+		t.Errorf("holder = %q, want teacher", c.Holder("class"))
+	}
+	if q := c.Queue("class"); len(q) != 2 {
+		t.Errorf("queue = %v, want 2 pending", q)
+	}
+	// Direct Contact is concurrent: not gated even in a moderated group.
+	if dec, err := c.Arbitrate("class", "alice", DirectContact, "bob"); err != nil || !dec.Granted {
+		t.Errorf("direct contact: %+v, %v", dec, err)
+	}
+	if c.ModeOf("class") != ModeratedQueue {
+		t.Errorf("direct contact changed mode to %v", c.ModeOf("class"))
+	}
+	// The chair may switch the group away.
+	if dec, err := c.Arbitrate("class", "teacher", FreeAccess, ""); err != nil || !dec.Granted {
+		t.Errorf("chair switch: %+v, %v", dec, err)
+	}
+	if c.ModeOf("class") != FreeAccess {
+		t.Errorf("mode = %v, want FreeAccess", c.ModeOf("class"))
+	}
+}
+
+// TestModeGateDeniedRequestDoesNotSuspend: the gate runs before the
+// Media-Suspend step, so a rejected mode switch in the degraded regime
+// must not suspend an uninvolved member's media.
+func TestModeGateDeniedRequestDoesNotSuspend(t *testing.T) {
+	_, mon, c := classroom(t)
+	if dec, err := c.Arbitrate("class", "teacher", ModeratedQueue, ""); err != nil || !dec.Granted {
+		t.Fatalf("chair request: %+v, %v", dec, err)
+	}
+	mon.Set(resource.Vector{Network: 0.3, CPU: 0.3, Memory: 0.3})
+	dec, err := c.Arbitrate("class", "alice", FreeAccess, "")
+	if !errors.Is(err, ErrNotChair) {
+		t.Fatalf("err = %v, want ErrNotChair", err)
+	}
+	if len(dec.Suspended) != 0 {
+		t.Errorf("decision suspended %v, want none for a gate-denied request", dec.Suspended)
+	}
+	if got := c.Suspended("class"); len(got) != 0 {
+		t.Errorf("suspended = %v, want none", got)
+	}
+}
+
+// TestModeratedApprovedRerequestWhileFree: an approved member who
+// re-requests while the floor is free (reachable after a mode switch
+// away, which clears the holder but keeps queue and approvals) is
+// granted, mirroring Release's approved-first promotion.
+func TestModeratedApprovedRerequestWhileFree(t *testing.T) {
+	_, c := moderatedClassroom(t)
+	if _, err := c.Approve("class", "teacher", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := c.Arbitrate("class", "teacher", FreeAccess, ""); err != nil || !dec.Granted {
+		t.Fatalf("chair switch: %+v, %v", dec, err)
+	}
+	dec, err := c.Arbitrate("class", "alice", ModeratedQueue, "")
+	if err != nil || !dec.Granted || dec.Holder != "alice" {
+		t.Fatalf("approved re-request: %+v, %v, want immediate grant", dec, err)
+	}
+	if q := c.Queue("class"); len(q) != 1 || q[0] != "bob" {
+		t.Errorf("queue = %v, want [bob]", q)
+	}
+}
+
 func TestRegisterPolicyRejectsAliasCollision(t *testing.T) {
 	// "group-chat" would make the alias "group" ambiguous with the
 	// builtin group-discussion.

@@ -132,6 +132,22 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 			return
 		}
 		s.replyErr(sess, msg.Seq, "floor_denied", err)
+		// A denied request can still have Media-Suspended someone in the
+		// degraded regime — the victim must hear about it here too.
+		s.notifySuspensions(msg.Group, dec)
+		// Push the denial to the requester's event stream too, so
+		// Subscribe sees every outcome, not just grants and queueing.
+		// dec.Holder (not a Holder() lookup, which would create floor
+		// state for arbitrary group names on a pure-deny path): denials
+		// carry no holder claim.
+		denied := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+			Mode:   mode.String(),
+			Holder: string(dec.Holder),
+			Member: string(sess.member.ID),
+			Event:  "denied",
+		})
+		denied.Group = msg.Group
+		_ = sess.send(denied)
 		return
 	}
 	s.replyAck(sess, msg.Seq, decision)
@@ -144,6 +160,9 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 	})
 	event.Group = msg.Group
 	s.broadcastGroup(msg.Group, event)
+	// A grant can dequeue the requester (e.g. an approved member
+	// re-requesting a moderated floor), shifting everyone behind them.
+	s.notifyQueuePositions(msg.Group, mode)
 }
 
 // onFloorApprove clears a queued request in a moderated mode: the chair
@@ -179,10 +198,12 @@ func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
 }
 
 // notifyQueuePositions pushes each queued member their current 1-based
-// position, so clients track movement without polling.
+// position, so clients track movement without polling. Holder and queue
+// come from one atomic snapshot, so a concurrent arbitration cannot pair
+// a stale holder with fresh positions.
 func (s *Server) notifyQueuePositions(groupID string, mode floor.Mode) {
-	holder := s.floorCtl.Holder(groupID)
-	for i, m := range s.floorCtl.Queue(groupID) {
+	holder, queue := s.floorCtl.HolderAndQueue(groupID)
+	for i, m := range queue {
 		note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
 			Mode:          mode.String(),
 			Holder:        string(holder),
