@@ -10,11 +10,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"dmps"
+	"dmps/internal/client"
 	"dmps/internal/clock"
+	"dmps/internal/core"
 	"dmps/internal/experiments"
 	"dmps/internal/floor"
 	"dmps/internal/group"
@@ -148,6 +151,14 @@ func BenchmarkE9MediaStreaming(b *testing.B) {
 	}
 }
 
+func BenchmarkE11Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE11([]int{2, 8}, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ---
 
 // BenchmarkArbitrate measures the FCM-Arbitrate hot path for every
@@ -245,6 +256,104 @@ func BenchmarkArbitrate(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBroadcast measures group fan-out over netsim: one server-
+// originated message delivered to every member of an N-member group. The
+// encodes/op metric proves the encode-once invariant (exactly one
+// protocol.Encode per broadcast regardless of group size), and allocs/op
+// must stay flat in N modulo the per-recipient delivery itself.
+func BenchmarkBroadcast(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("members-%d", n), func(b *testing.B) {
+			lab, err := core.NewLab(core.Options{Seed: int64(n), ProbeInterval: time.Hour})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer lab.Close()
+			clients := make([]*client.Client, 0, n)
+			for i := 0; i < n; i++ {
+				c, err := lab.NewClient(fmt.Sprintf("m%d", i), "participant", 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Join("class"); err != nil {
+					b.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+			// Converge in windows so bounded per-session queues never
+			// overflow, whatever b.N is.
+			const window = 128
+			converged := func(upTo int64) {
+				deadline := time.Now().Add(30 * time.Second)
+				for _, c := range clients {
+					for c.Board("class").Seq() < upTo {
+						if time.Now().After(deadline) {
+							b.Fatalf("fan-out stalled at %d/%d", c.Board("class").Seq(), upTo)
+						}
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}
+			b.ReportAllocs()
+			encBefore := protocol.EncodeCount()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := protocol.MustNew(protocol.TChatEvent, protocol.SequencedBody{
+					Seq: int64(i + 1), Author: "bench", Kind: "text", Data: "fanout",
+				})
+				ev.Group = "class"
+				lab.Server.Broadcast("class", ev)
+				if (i+1)%window == 0 {
+					converged(int64(i + 1))
+				}
+			}
+			converged(int64(b.N))
+			b.StopTimer()
+			encoded := protocol.EncodeCount() - encBefore
+			b.ReportMetric(float64(encoded)/float64(b.N), "encodes/op")
+		})
+	}
+}
+
+// BenchmarkArbitrateContention measures FCM-Arbitrate throughput when G
+// independent groups arbitrate concurrently. Each parallel worker is
+// pinned to one group; with per-group state sharding, ns/op should stay
+// near-flat as G grows (groups never contend), whereas a single
+// controller-wide mutex serializes all of them.
+func BenchmarkArbitrateContention(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("groups-%d", g), func(b *testing.B) {
+			reg := group.NewRegistry()
+			for i := 0; i < g; i++ {
+				id := group.MemberID(fmt.Sprintf("m%d", i))
+				if err := reg.Register(group.Member{ID: id, Name: string(id), Role: group.Chair, Priority: 5}); err != nil {
+					b.Fatal(err)
+				}
+				if err := reg.CreateGroup(fmt.Sprintf("g%d", i), id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctl := floor.NewController(reg, nil)
+			var next, failures atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				gi := int(next.Add(1)-1) % g
+				gid := fmt.Sprintf("g%d", gi)
+				mid := group.MemberID(fmt.Sprintf("m%d", gi))
+				for pb.Next() {
+					if _, err := ctl.Arbitrate(gid, mid, floor.FreeAccess, ""); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			})
+			if failures.Load() > 0 {
+				b.Fatalf("%d arbitrations failed", failures.Load())
+			}
+		})
+	}
 }
 
 func BenchmarkPetriFireChain(b *testing.B) {

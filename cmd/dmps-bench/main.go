@@ -1,9 +1,9 @@
-// Command dmps-bench runs the full experiment suite (F1–F3, E1–E10 of
+// Command dmps-bench runs the full experiment suite (F1–F3, E1–E11 of
 // DESIGN.md §4) and prints every table EXPERIMENTS.md records.
 //
 // Usage:
 //
-//	dmps-bench [-only E3] [-full]
+//	dmps-bench [-only E11] [-full]
 //
 // -full widens the sweeps (more group sizes and clients); the default
 // parameters finish in a few seconds.
@@ -33,6 +33,8 @@ func run() int {
 	e8Sizes := []int{2, 8, 32}
 	e9Sizes := []int{2, 8, 16}
 	e10Sizes := []int{2, 8}
+	e11Sizes := []int{2, 8, 32}
+	e11Groups := []int{1, 4, 16}
 	e7K := 3
 	if *full {
 		e1Sizes = []int{2, 8, 24, 48, 64}
@@ -40,6 +42,8 @@ func run() int {
 		e8Sizes = []int{2, 8, 32, 64, 128}
 		e9Sizes = []int{2, 8, 16, 32, 64}
 		e10Sizes = []int{2, 8, 16, 32}
+		e11Sizes = []int{2, 8, 32, 64, 128}
+		e11Groups = []int{1, 4, 16, 64, 256}
 		e7K = 4
 	}
 
@@ -61,6 +65,7 @@ func run() int {
 		{"E8", func() (*experiments.Table, error) { return experiments.RunE8(e8Sizes) }},
 		{"E9", func() (*experiments.Table, error) { return experiments.RunE9(e9Sizes) }},
 		{"E10", func() (*experiments.Table, error) { return experiments.RunE10(e10Sizes) }},
+		{"E11", func() (*experiments.Table, error) { return experiments.RunE11(e11Sizes, e11Groups) }},
 		{"A1", experiments.RunA1},
 	}
 	failures := 0

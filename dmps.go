@@ -73,10 +73,27 @@ type (
 	Server = server.Server
 	// ServerConfig configures NewServer.
 	ServerConfig = server.Config
+	// SlowConsumerPolicy selects what happens when a client's bounded
+	// outbound queue at the server overflows.
+	SlowConsumerPolicy = server.SlowConsumerPolicy
+	// SessionStats is one session's backpressure snapshot
+	// (Server.SessionStats).
+	SessionStats = server.SessionStats
+	// Backpressure is the wire form of a member's backpressure counters,
+	// pushed with the lights table (Client.Backpressure).
+	Backpressure = protocol.BackpressureBody
 	// LinkConfig shapes simulated links (delay, jitter, loss).
 	LinkConfig = netsim.LinkConfig
 	// TCP is the real-socket transport for standalone deployments.
 	TCP = transport.TCP
+)
+
+// Slow-consumer policies (ServerConfig.SlowPolicy / LabOptions.SlowPolicy).
+const (
+	// DropNewest drops the message that does not fit and counts it.
+	DropNewest = server.DropNewest
+	// Disconnect tears the slow session down on the first overflow.
+	Disconnect = server.Disconnect
 )
 
 // Floor control types and modes.

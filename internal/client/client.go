@@ -65,13 +65,20 @@ type Client struct {
 	pending     map[int64]chan protocol.Message
 	boards      map[string]*whiteboard.Board
 	lights      map[string]string
+	backpress   map[string]protocol.BackpressureBody
 	holders     map[string]string // group → token holder
 	queuePos    map[string]int    // group → last pushed queue position
 	invites     []protocol.InviteEventBody
 	privates    []protocol.SequencedBody // received direct-contact lines
 	suspends    []protocol.SuspendBody
+	// suspendedNow tracks which members the client currently believes
+	// suspended, per group. The server's backpressure repair re-states
+	// suspension status at least once, so redundant TSuspend/TResume
+	// deliveries must be filtered or SuspendNotices and SuspendEvents
+	// would report transitions that never happened.
+	suspendedNow map[string]map[string]bool
 	present     *protocol.PresentBody // last presentation start received
-	replayAsked map[string]int64      // group → last gap position we asked replay for
+	replayAsked map[string]replayAsk  // group → last replay request (dedup + retry pacing)
 	mediaStats  map[string]map[string]MediaStat
 	subs        []*subscriber // Subscribe event channels
 	closed      bool
@@ -258,6 +265,7 @@ func (c *Client) handle(msg protocol.Message) {
 			c.mu.Lock()
 			changed := !maps.Equal(c.lights, body.Lights)
 			c.lights = body.Lights
+			c.backpress = body.Backpressure
 			c.mu.Unlock()
 			// Only transitions reach subscribers; the steady-state
 			// rebroadcast every probe tick would drown them.
@@ -299,7 +307,7 @@ func (c *Client) handle(msg protocol.Message) {
 			// invite_* outcomes change nothing — taking their empty
 			// Holder would clobber the real one.
 			switch body.Event {
-			case "granted", "released", "passed", "queued", "approved", "queue_position":
+			case "granted", "released", "passed", "queued", "approved", "queue_position", "resync":
 				if !(body.Event == "granted" && body.Mode == floor.DirectContact.String()) {
 					c.holders[msg.Group] = body.Holder
 				}
@@ -313,6 +321,14 @@ func (c *Client) handle(msg protocol.Message) {
 					c.queuePos[msg.Group] = body.QueuePosition
 				case "granted":
 					delete(c.queuePos, msg.Group)
+				case "resync":
+					// The refresh carries the authoritative slot: 0 means
+					// not queued (any stale position is cleared).
+					if body.QueuePosition > 0 {
+						c.queuePos[msg.Group] = body.QueuePosition
+					} else {
+						delete(c.queuePos, msg.Group)
+					}
 				}
 			}
 			if body.Holder == c.memberID {
@@ -324,18 +340,50 @@ func (c *Client) handle(msg protocol.Message) {
 	case protocol.TInviteEvent:
 		var body protocol.InviteEventBody
 		if msg.Into(&body) == nil {
+			// The backpressure repair re-pushes pending invitations
+			// at-least-once; an ID already seen is not a new invitation.
 			c.mu.Lock()
-			c.invites = append(c.invites, body)
+			dup := false
+			for _, inv := range c.invites {
+				if inv.InviteID == body.InviteID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				c.invites = append(c.invites, body)
+			}
 			c.mu.Unlock()
-			c.publish(Event{Kind: InviteEvents, Type: msg.Type, Group: body.Group, Invite: body})
+			if !dup {
+				c.publish(Event{Kind: InviteEvents, Type: msg.Type, Group: body.Group, Invite: body})
+			}
 		}
 	case protocol.TSuspend, protocol.TResume:
 		var body protocol.SuspendBody
 		if msg.Into(&body) == nil {
+			// Only genuine transitions count: the repair path re-states
+			// current suspension status, so a TSuspend for a member
+			// already believed suspended — or a TResume for one never
+			// suspended — is a redundant re-delivery, not a change.
+			suspending := msg.Type == protocol.TSuspend
 			c.mu.Lock()
-			c.suspends = append(c.suspends, body)
+			if c.suspendedNow == nil {
+				c.suspendedNow = make(map[string]map[string]bool)
+			}
+			inGroup := c.suspendedNow[msg.Group]
+			changed := suspending != inGroup[body.Member]
+			if changed {
+				if inGroup == nil {
+					inGroup = make(map[string]bool)
+					c.suspendedNow[msg.Group] = inGroup
+				}
+				inGroup[body.Member] = suspending
+				c.suspends = append(c.suspends, body)
+			}
 			c.mu.Unlock()
-			c.publish(Event{Kind: SuspendEvents, Type: msg.Type, Group: msg.Group, Suspend: body})
+			if changed {
+				c.publish(Event{Kind: SuspendEvents, Type: msg.Type, Group: msg.Group, Suspend: body})
+			}
 		}
 	case protocol.TPresent:
 		var body protocol.PresentBody
@@ -369,20 +417,35 @@ func (c *Client) handle(msg protocol.Message) {
 	}
 }
 
+// replayAsk records one replay request, for dedup and retry pacing.
+type replayAsk struct {
+	after int64
+	at    time.Time
+}
+
+// replayRetry is how long a repeated gap at the same board position
+// waits before re-asking: the server may have dropped (part of) the
+// previous replay under backpressure, so the request must eventually
+// repeat or the replica would wedge, but not on every received event.
+const replayRetry = time.Second
+
 // askReplay fire-and-forgets a replay request when a sequence gap is
 // detected. It must not block the read loop, so it bypasses the
 // request/response machinery; at most one request per observed board
-// position keeps reconnect storms bounded.
+// position per retry interval keeps reconnect storms bounded while
+// still converging when a replay itself was dropped by the server's
+// slow-consumer policy.
 func (c *Client) askReplay(groupID string, after int64) {
+	now := c.cfg.Clock.Now()
 	c.mu.Lock()
 	if c.replayAsked == nil {
-		c.replayAsked = make(map[string]int64)
+		c.replayAsked = make(map[string]replayAsk)
 	}
-	if last, ok := c.replayAsked[groupID]; ok && last == after {
+	if last, ok := c.replayAsked[groupID]; ok && last.after == after && now.Sub(last.at) < replayRetry {
 		c.mu.Unlock()
 		return
 	}
-	c.replayAsked[groupID] = after
+	c.replayAsked[groupID] = replayAsk{after: after, at: now}
 	c.mu.Unlock()
 	msg := protocol.MustNew(protocol.TReplay, protocol.ReplayBody{After: after})
 	msg.Group = groupID
@@ -621,6 +684,19 @@ func (c *Client) Lights() map[string]string {
 	defer c.mu.Unlock()
 	out := make(map[string]string, len(c.lights))
 	for k, v := range c.lights {
+		out[k] = v
+	}
+	return out
+}
+
+// Backpressure returns the last received per-member backpressure table
+// (outbound queue depth and drop counts at the server), keyed by member
+// ID. It rides the lights broadcast, so it is as fresh as Lights.
+func (c *Client) Backpressure() map[string]protocol.BackpressureBody {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]protocol.BackpressureBody, len(c.backpress))
+	for k, v := range c.backpress {
 		out[k] = v
 	}
 	return out

@@ -14,7 +14,6 @@ import (
 	"dmps/internal/protocol"
 	"dmps/internal/resource"
 	"dmps/internal/server"
-	"dmps/internal/transport"
 )
 
 // ServerAddr is the well-known simulated address of the lab server.
@@ -36,6 +35,11 @@ type Options struct {
 	ProbeTimeout  time.Duration
 	// ClientTimeout bounds request/response exchanges (default 5s).
 	ClientTimeout time.Duration
+	// SendQueueCap bounds each session's outbound queue at the server
+	// (default: the server's own default).
+	SendQueueCap int
+	// SlowPolicy is the server's slow-consumer policy.
+	SlowPolicy server.SlowConsumerPolicy
 }
 
 // Lab is a fully assembled in-memory DMPS deployment.
@@ -78,6 +82,8 @@ func NewLab(opts Options) (*Lab, error) {
 		Monitor:       mon,
 		ProbeInterval: opts.ProbeInterval,
 		ProbeTimeout:  opts.ProbeTimeout,
+		SendQueueCap:  opts.SendQueueCap,
+		SlowPolicy:    opts.SlowPolicy,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -107,9 +113,8 @@ func (l *Lab) NewClient(name, role string, priority int) (*client.Client, error)
 // NewClientOn connects a client whose traffic traverses a named simulated
 // host, so per-host link configs (delay, jitter, loss) apply.
 func (l *Lab) NewClientOn(host, name, role string, priority int) (*client.Client, error) {
-	conn := hostNetwork{net: l.Net, host: host}
 	c, err := client.Dial(client.Config{
-		Network:  conn,
+		Network:  l.Net.From(host),
 		Addr:     ServerAddr,
 		Name:     name,
 		Role:     role,
@@ -130,22 +135,6 @@ func (l *Lab) Close() {
 	}
 	l.Server.Close()
 }
-
-// hostNetwork dials from a fixed simulated host.
-type hostNetwork struct {
-	net  *netsim.Net
-	host string
-}
-
-func (h hostNetwork) Dial(addr string) (transport.Conn, error) {
-	return h.net.DialFrom(h.host, addr)
-}
-
-func (h hostNetwork) Listen(addr string) (transport.Listener, error) {
-	return h.net.Listen(addr)
-}
-
-var _ transport.Network = hostNetwork{}
 
 // WirePresentation is a convenience re-export so facade users need not
 // import protocol directly.

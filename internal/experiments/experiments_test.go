@@ -322,3 +322,26 @@ func TestRunE10ModeratedQueue(t *testing.T) {
 		}
 	}
 }
+
+func TestRunE11Scalability(t *testing.T) {
+	tab, err := RunE11([]int{2, 4}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Broadcast rows must hold the encode-once invariant exactly: the
+	// probe loop is parked, so the only encodes are the broadcasts.
+	for _, row := range tab.Rows[:2] {
+		enc, err := strconv.ParseFloat(row[5], 64)
+		if err != nil || enc != 1.0 {
+			t.Errorf("encodes/op = %q, want exactly 1.00: %v", row[5], row)
+		}
+	}
+	for _, row := range tab.Rows[2:] {
+		if row[0] != "arbitration" || row[5] != "-" {
+			t.Errorf("unexpected arbitration row: %v", row)
+		}
+	}
+}

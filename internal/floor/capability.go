@@ -37,12 +37,12 @@ func (c *Controller) CapabilityFor(groupID string, member group.MemberID) Capabi
 		return Capability{}
 	}
 	chair, _ := c.registry.Chair(groupID)
-	c.mu.Lock()
-	st := &c.state(groupID).st
-	mode := st.Mode
-	holder := st.Holder
-	_, inContact := st.Contacts[member]
-	c.mu.Unlock()
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	mode := fs.st.Mode
+	holder := fs.st.Holder
+	_, inContact := fs.st.Contacts[member]
+	fs.mu.Unlock()
 
 	var cap Capability
 	switch mode {

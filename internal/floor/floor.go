@@ -10,7 +10,10 @@
 // All floor requests are centralized: the DMPS server owns one Controller
 // and routes every client request through it, exactly as the paper's
 // group administration does. Granted requests then run "with the same
-// highest priority" as the global clock control.
+// highest priority" as the global clock control. Centralized does not
+// mean serialized, though: controller state is sharded per group (each
+// group's floorState carries its own lock behind a lock-striped map), so
+// arbitration in one group never waits on arbitration in another.
 package floor
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"dmps/internal/group"
 	"dmps/internal/resource"
+	"dmps/internal/shard"
 )
 
 // Mode names a floor control discipline. The paper's four modes are
@@ -161,18 +165,21 @@ type Decision struct {
 // Controller is the centralized floor control state for all groups. It
 // owns membership/threshold/suspension bookkeeping and delegates every
 // mode-specific decision to the registered Policy. It is safe for
-// concurrent use.
+// concurrent use, and its state is sharded per group: each group's
+// floorState carries its own mutex behind a lock-striped map, so
+// arbitration in one group never contends with arbitration in another.
 type Controller struct {
 	registry *group.Registry
 	monitor  *resource.Monitor
-
-	mu     sync.Mutex
-	floors map[string]*floorState
+	floors   *shard.Map[*floorState]
 }
 
 // floorState pairs the policy-visible State with the suspension set,
-// which is controller bookkeeping no policy may touch.
+// which is controller bookkeeping no policy may touch. Its mutex is the
+// group's arbitration lock: every Controller method takes it for exactly
+// one group, so independent groups proceed in parallel.
 type floorState struct {
+	mu        sync.Mutex
 	st        State
 	suspended map[group.MemberID]bool
 }
@@ -183,14 +190,13 @@ func NewController(reg *group.Registry, mon *resource.Monitor) *Controller {
 	return &Controller{
 		registry: reg,
 		monitor:  mon,
-		floors:   make(map[string]*floorState),
+		floors:   shard.NewMap[*floorState](),
 	}
 }
 
 func (c *Controller) state(groupID string) *floorState {
-	fs, ok := c.floors[groupID]
-	if !ok {
-		fs = &floorState{
+	return c.floors.GetOrCreate(groupID, func() *floorState {
+		return &floorState{
 			st: State{
 				Group:    groupID,
 				Mode:     FreeAccess,
@@ -199,9 +205,7 @@ func (c *Controller) state(groupID string) *floorState {
 			},
 			suspended: make(map[group.MemberID]bool),
 		}
-		c.floors[groupID] = fs
-	}
-	return fs
+	})
 }
 
 // level reads the current resource regime.
@@ -251,9 +255,9 @@ func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode,
 		return dec, fmt.Errorf("%w: %v", ErrAborted, err)
 	}
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	req := Request{
 		Group:     groupID,
 		Mode:      mode,
@@ -318,9 +322,9 @@ func (c *Controller) suspendLowestLocked(groupID string, fs *floorState) (group.
 // token modes the floor passes to the next eligible queued member. It
 // returns the new holder ("" when the floor is now free).
 func (c *Controller) Release(groupID string, member group.MemberID) (group.MemberID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	pol, err := c.policyOf(fs)
 	if err != nil {
 		return fs.st.Holder, err
@@ -332,9 +336,9 @@ func (c *Controller) Release(groupID string, member group.MemberID) (group.Membe
 // ("until the floor control token passed by the holder"), under the
 // group's current policy.
 func (c *Controller) Pass(groupID string, from, to group.MemberID) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	pol, err := c.policyOf(fs)
 	if err != nil {
 		return err
@@ -346,9 +350,9 @@ func (c *Controller) Pass(groupID string, from, to group.MemberID) error {
 // mode. It fails with ErrNoApproval when the group's current policy has
 // no approval seam.
 func (c *Controller) Approve(groupID string, approver, member group.MemberID) (Decision, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	pol, err := c.policyOf(fs)
 	if err != nil {
 		return Decision{}, err
@@ -365,17 +369,18 @@ func (c *Controller) Approve(groupID string, approver, member group.MemberID) (D
 
 // Holder returns the current token holder ("" when free).
 func (c *Controller) Holder(groupID string) group.MemberID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.state(groupID).st.Holder
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.st.Holder
 }
 
 // Queue returns the pending floor requests in order, via the group
 // policy's QueueSnapshot.
 func (c *Controller) Queue(groupID string) []group.MemberID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	pol, err := c.policyOf(fs)
 	if err != nil {
 		return nil
@@ -388,9 +393,9 @@ func (c *Controller) Queue(groupID string) []group.MemberID {
 // cannot observe a holder from before a concurrent arbitration and a
 // queue from after it.
 func (c *Controller) HolderAndQueue(groupID string) (group.MemberID, []group.MemberID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	pol, err := c.policyOf(fs)
 	if err != nil {
 		return fs.st.Holder, nil
@@ -400,23 +405,26 @@ func (c *Controller) HolderAndQueue(groupID string) (group.MemberID, []group.Mem
 
 // ModeOf returns the group's current floor mode (FreeAccess by default).
 func (c *Controller) ModeOf(groupID string) Mode {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.state(groupID).st.Mode
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.st.Mode
 }
 
 // ContactPeer returns the member's Direct Contact peer ("" when none).
 func (c *Controller) ContactPeer(groupID string, member group.MemberID) group.MemberID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.state(groupID).st.Contacts[member]
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.st.Contacts[member]
 }
 
 // EndContact tears down a direct-contact pair (idempotent).
 func (c *Controller) EndContact(groupID string, member group.MemberID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	st := &c.state(groupID).st
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := &fs.st
 	peer := st.Contacts[member]
 	delete(st.Contacts, member)
 	if peer != "" && st.Contacts[peer] == member {
@@ -430,16 +438,17 @@ func (c *Controller) MediaAvailable(groupID string, member group.MemberID) bool 
 	if !c.registry.IsMember(groupID, member) {
 		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return !c.state(groupID).suspended[member]
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return !fs.suspended[member]
 }
 
 // Suspended lists the group's suspended members, sorted.
 func (c *Controller) Suspended(groupID string) []group.MemberID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	out := make([]group.MemberID, 0, len(fs.suspended))
 	for id, on := range fs.suspended {
 		if on {
@@ -453,7 +462,8 @@ func (c *Controller) Suspended(groupID string) []group.MemberID {
 // Reinstate lifts all suspensions in a group — the server calls it when
 // the resource level returns to Normal.
 func (c *Controller) Reinstate(groupID string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.state(groupID).suspended = make(map[group.MemberID]bool)
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.suspended = make(map[group.MemberID]bool)
 }

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"dmps/internal/shard"
 )
 
 // MemberID identifies a participant.
@@ -119,16 +121,28 @@ type Invitation struct {
 // Registry is the server's group administration: the directory of members,
 // the Group-Set, the Joined-Groups relation, and invitations. It is safe
 // for concurrent use.
+//
+// Locking is split for scale: the member directory, the Joined-Groups
+// relation and invitations live under one RWMutex (dirMu), while each
+// group's membership set carries its own RWMutex behind a lock-striped
+// map. Every mutating operation takes dirMu, so cross-structure updates
+// (join touches both the group set and Joined-Groups) stay atomic; the
+// hot read paths — IsMember, Chair, GroupMembers, run on every
+// arbitration and broadcast — take only the target group's lock and
+// therefore never contend across groups. Lock order is dirMu before a
+// group lock; a group lock is never held while acquiring dirMu.
 type Registry struct {
-	mu         sync.Mutex
+	dirMu      sync.RWMutex
 	members    map[MemberID]Member
-	groups     map[string]*groupState
 	joined     map[MemberID]map[string]bool
 	invites    map[int64]*Invitation
 	nextInvite int64
+
+	groups *shard.Map[*groupState]
 }
 
 type groupState struct {
+	mu      sync.RWMutex
 	id      string
 	chair   MemberID
 	members map[MemberID]bool
@@ -138,7 +152,7 @@ type groupState struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		members: make(map[MemberID]Member),
-		groups:  make(map[string]*groupState),
+		groups:  shard.NewMap[*groupState](),
 		joined:  make(map[MemberID]map[string]bool),
 		invites: make(map[int64]*Invitation),
 	}
@@ -149,8 +163,8 @@ func (r *Registry) Register(m Member) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
 	if _, exists := r.members[m.ID]; exists {
 		return fmt.Errorf("%w: member %q", ErrDuplicate, m.ID)
 	}
@@ -161,11 +175,13 @@ func (r *Registry) Register(m Member) error {
 
 // Unregister removes a member everywhere (their groups included).
 func (r *Registry) Unregister(id MemberID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
 	for gid := range r.joined[id] {
-		if g := r.groups[gid]; g != nil {
+		if g, ok := r.groups.Get(gid); ok {
+			g.mu.Lock()
 			delete(g.members, id)
+			g.mu.Unlock()
 		}
 	}
 	delete(r.joined, id)
@@ -174,8 +190,8 @@ func (r *Registry) Unregister(id MemberID) {
 
 // Member returns the directory entry.
 func (r *Registry) Member(id MemberID) (Member, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
 	m, ok := r.members[id]
 	if !ok {
 		return Member{}, fmt.Errorf("%w: %q", ErrUnknownMember, id)
@@ -185,8 +201,8 @@ func (r *Registry) Member(id MemberID) (Member, error) {
 
 // Members lists the directory in ID order.
 func (r *Registry) Members() []Member {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
 	out := make([]Member, 0, len(r.members))
 	for _, m := range r.members {
 		out = append(out, m)
@@ -198,50 +214,56 @@ func (r *Registry) Members() []Member {
 // CreateGroup creates a group chaired by the given member, who joins
 // automatically (the paper's sub-group creator becomes its session chair).
 func (r *Registry) CreateGroup(id string, chair MemberID) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
 	if _, ok := r.members[chair]; !ok {
 		return fmt.Errorf("%w: chair %q", ErrUnknownMember, chair)
 	}
-	if _, exists := r.groups[id]; exists {
+	g := &groupState{id: id, chair: chair, members: map[MemberID]bool{chair: true}}
+	if !r.groups.SetIfAbsent(id, g) {
 		return fmt.Errorf("%w: group %q", ErrDuplicate, id)
 	}
-	r.groups[id] = &groupState{id: id, chair: chair, members: map[MemberID]bool{chair: true}}
 	r.joined[chair][id] = true
 	return nil
 }
 
 // DeleteGroup removes a group and all memberships in it.
 func (r *Registry) DeleteGroup(id string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.groups[id]
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	g, ok := r.groups.Get(id)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownGroup, id)
 	}
+	g.mu.Lock()
 	for m := range g.members {
 		delete(r.joined[m], id)
 	}
-	delete(r.groups, id)
+	g.members = make(map[MemberID]bool)
+	g.mu.Unlock()
+	r.groups.Delete(id)
 	return nil
 }
 
 // Join adds a member to a group.
 func (r *Registry) Join(groupID string, member MemberID) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
 	return r.joinLocked(groupID, member)
 }
 
+// joinLocked requires dirMu held for writing.
 func (r *Registry) joinLocked(groupID string, member MemberID) error {
-	g, ok := r.groups[groupID]
+	g, ok := r.groups.Get(groupID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
 	}
 	if _, ok := r.members[member]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownMember, member)
 	}
+	g.mu.Lock()
 	g.members[member] = true
+	g.mu.Unlock()
 	r.joined[member][groupID] = true
 	return nil
 }
@@ -249,12 +271,14 @@ func (r *Registry) joinLocked(groupID string, member MemberID) error {
 // Leave removes a member from a group. The chair leaving does not dissolve
 // the group; the server may later re-chair or delete it.
 func (r *Registry) Leave(groupID string, member MemberID) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.groups[groupID]
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	g, ok := r.groups.Get(groupID)
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if !g.members[member] {
 		return fmt.Errorf("%w: %q in %q", ErrNotMember, member, groupID)
 	}
@@ -264,18 +288,23 @@ func (r *Registry) Leave(groupID string, member MemberID) error {
 }
 
 // IsMember reports the Joined-Groups test of the Z spec:
-// G ∈ Joined-Groups(M).
+// G ∈ Joined-Groups(M). It is the hottest registry read (every
+// arbitration and board post runs it) and takes only the group's own
+// read lock.
 func (r *Registry) IsMember(groupID string, member MemberID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.groups[groupID]
-	return ok && g.members[member]
+	g, ok := r.groups.Get(groupID)
+	if !ok {
+		return false
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.members[member]
 }
 
 // JoinedGroups returns the groups a member has joined, sorted.
 func (r *Registry) JoinedGroups(member MemberID) []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
 	var out []string
 	for gid := range r.joined[member] {
 		out = append(out, gid)
@@ -286,39 +315,45 @@ func (r *Registry) JoinedGroups(member MemberID) []string {
 
 // GroupMembers returns a group's members, sorted by ID.
 func (r *Registry) GroupMembers(groupID string) ([]Member, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.groups[groupID]
+	g, ok := r.groups.Get(groupID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
 	}
-	out := make([]Member, 0, len(g.members))
+	g.mu.RLock()
+	ids := make([]MemberID, 0, len(g.members))
 	for id := range g.members {
-		out = append(out, r.members[id])
+		ids = append(ids, id)
 	}
+	g.mu.RUnlock()
+	// Resolve against the directory after releasing the group lock (lock
+	// order forbids holding it while taking dirMu). A member unregistered
+	// between the two snapshots is simply skipped.
+	r.dirMu.RLock()
+	out := make([]Member, 0, len(ids))
+	for _, id := range ids {
+		if m, ok := r.members[id]; ok {
+			out = append(out, m)
+		}
+	}
+	r.dirMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
 }
 
 // Chair returns the group's session chair.
 func (r *Registry) Chair(groupID string) (MemberID, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.groups[groupID]
+	g, ok := r.groups.Get(groupID)
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
 	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.chair, nil
 }
 
 // Groups lists all group IDs, sorted.
 func (r *Registry) Groups() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.groups))
-	for id := range r.groups {
-		out = append(out, id)
-	}
+	out := r.groups.Keys()
 	sort.Strings(out)
 	return out
 }
@@ -326,19 +361,22 @@ func (r *Registry) Groups() []string {
 // Invite creates an invitation from a group member to a directory member.
 // The inviter must belong to the group.
 func (r *Registry) Invite(groupID string, from, to MemberID) (Invitation, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g, ok := r.groups[groupID]
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	g, ok := r.groups.Get(groupID)
 	if !ok {
 		return Invitation{}, fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
 	}
-	if !g.members[from] {
+	g.mu.RLock()
+	fromIn, toIn := g.members[from], g.members[to]
+	g.mu.RUnlock()
+	if !fromIn {
 		return Invitation{}, fmt.Errorf("%w: inviter %q not in %q", ErrNotMember, from, groupID)
 	}
 	if _, ok := r.members[to]; !ok {
 		return Invitation{}, fmt.Errorf("%w: invitee %q", ErrUnknownMember, to)
 	}
-	if g.members[to] {
+	if toIn {
 		return Invitation{}, fmt.Errorf("%w: %q already in %q", ErrDuplicate, to, groupID)
 	}
 	r.nextInvite++
@@ -350,8 +388,8 @@ func (r *Registry) Invite(groupID string, from, to MemberID) (Invitation, error)
 // Respond resolves an invitation; accepting joins the invitee to the
 // group. Only the invitee may respond, and only once.
 func (r *Registry) Respond(inviteID int64, responder MemberID, accept bool) (Invitation, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
 	inv, ok := r.invites[inviteID]
 	if !ok {
 		return Invitation{}, fmt.Errorf("%w: id %d", ErrInvite, inviteID)
@@ -375,8 +413,8 @@ func (r *Registry) Respond(inviteID int64, responder MemberID, accept bool) (Inv
 
 // Invitation returns the current state of an invitation.
 func (r *Registry) Invitation(id int64) (Invitation, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
 	inv, ok := r.invites[id]
 	if !ok {
 		return Invitation{}, fmt.Errorf("%w: id %d", ErrInvite, id)
@@ -387,8 +425,8 @@ func (r *Registry) Invitation(id int64) (Invitation, error) {
 // PendingInvites lists pending invitations addressed to a member, sorted
 // by ID.
 func (r *Registry) PendingInvites(to MemberID) []Invitation {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
 	var out []Invitation
 	for _, inv := range r.invites {
 		if inv.To == to && inv.Status == Pending {

@@ -33,6 +33,7 @@ type Net struct {
 	listeners  map[string]*listener
 	links      map[[2]string]LinkConfig
 	partitions map[[2]string]bool
+	stalls     map[[2]string]chan struct{}
 	defaultCfg LinkConfig
 }
 
@@ -46,6 +47,7 @@ func New(seed int64) *Net {
 		listeners:  make(map[string]*listener),
 		links:      make(map[[2]string]LinkConfig),
 		partitions: make(map[[2]string]bool),
+		stalls:     make(map[[2]string]chan struct{}),
 	}
 }
 
@@ -105,6 +107,35 @@ func (n *Net) partitioned(a, b string) bool {
 	return n.partitions[pairKey(a, b)]
 }
 
+// Stall freezes (or releases) sends between two hosts: while stalled,
+// Send blocks until the stall is lifted or the sending connection
+// closes. It is the deterministic stand-in for a peer that stops
+// reading until the sender's kernel socket buffer fills — the
+// slow-consumer scenario the server's bounded per-session queues exist
+// for. (Partition drops silently; Stall blocks, like real TCP
+// backpressure.)
+func (n *Net) Stall(hostA, hostB string, stall bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := pairKey(hostA, hostB)
+	gate, stalled := n.stalls[key]
+	switch {
+	case stall && !stalled:
+		n.stalls[key] = make(chan struct{})
+	case !stall && stalled:
+		close(gate)
+		delete(n.stalls, key)
+	}
+}
+
+// stallGate returns the release channel for a stalled pair (nil when
+// not stalled).
+func (n *Net) stallGate(a, b string) chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stalls[pairKey(a, b)]
+}
+
 // sample draws the delivery delay and loss verdict for one message.
 func (n *Net) sample(cfg LinkConfig) (time.Duration, bool) {
 	n.mu.Lock()
@@ -132,6 +163,26 @@ func (n *Net) Listen(addr string) (transport.Listener, error) {
 // Dial implements transport.Network.
 func (n *Net) Dial(addr string) (transport.Conn, error) {
 	return n.DialFrom("client", addr)
+}
+
+// From returns a transport.Network whose outbound connections originate
+// at the named simulated host, so per-host link configs, partitions and
+// stalls apply. Listen is unchanged.
+func (n *Net) From(host string) transport.Network {
+	return hostNetwork{net: n, host: host}
+}
+
+type hostNetwork struct {
+	net  *Net
+	host string
+}
+
+func (h hostNetwork) Dial(addr string) (transport.Conn, error) {
+	return h.net.DialFrom(h.host, addr)
+}
+
+func (h hostNetwork) Listen(addr string) (transport.Listener, error) {
+	return h.net.Listen(addr)
 }
 
 // DialFrom dials addr with an explicit local host name, so per-host link
@@ -266,6 +317,7 @@ type conn struct {
 	inbox      *mailbox
 	peer       *conn
 	closeOnce  sync.Once
+	done       chan struct{}
 	dropMu     sync.Mutex
 	dropped    bool
 }
@@ -278,12 +330,12 @@ func newPair(n *Net, clientHost, serverAddr string) (clientEnd, serverEnd *conn)
 	c := &conn{
 		net: n, localHost: clientHost, remoteHost: serverHost,
 		localAddr: clientAddr, remoteAddr: serverAddr,
-		inbox: newMailbox(),
+		inbox: newMailbox(), done: make(chan struct{}),
 	}
 	s := &conn{
 		net: n, localHost: serverHost, remoteHost: clientHost,
 		localAddr: serverAddr, remoteAddr: clientAddr,
-		inbox: newMailbox(),
+		inbox: newMailbox(), done: make(chan struct{}),
 	}
 	c.peer, s.peer = s, c
 	return c, s
@@ -293,6 +345,19 @@ func newPair(n *Net, clientHost, serverAddr string) (clientEnd, serverEnd *conn)
 func (c *conn) Send(payload []byte) error {
 	if len(payload) > transport.MaxMessageSize {
 		return fmt.Errorf("%w: %d bytes", transport.ErrTooLarge, len(payload))
+	}
+	// A stalled link blocks the sender (TCP-buffer-full semantics) until
+	// released or this endpoint closes.
+	for {
+		gate := c.net.stallGate(c.localHost, c.remoteHost)
+		if gate == nil {
+			break
+		}
+		select {
+		case <-gate:
+		case <-c.done:
+			return transport.ErrClosed
+		}
 	}
 	c.dropMu.Lock()
 	dropped := c.dropped
@@ -321,6 +386,7 @@ func (c *conn) Recv() ([]byte, error) { return c.inbox.pop() }
 // drains in-flight messages then sees ErrClosed.
 func (c *conn) Close() error {
 	c.closeOnce.Do(func() {
+		close(c.done)
 		c.inbox.close()
 		c.peer.inbox.close()
 	})

@@ -292,3 +292,54 @@ func TestAddrs(t *testing.T) {
 		t.Errorf("client local = %q", client.LocalAddr())
 	}
 }
+
+func TestStallBlocksSendUntilReleased(t *testing.T) {
+	n := New(1)
+	client, server, cleanup := pair(t, n)
+	defer cleanup()
+	n.Stall("alice", "server", true)
+	sent := make(chan error, 1)
+	go func() {
+		sent <- client.Send([]byte("held"))
+	}()
+	select {
+	case err := <-sent:
+		t.Fatalf("Send returned %v while stalled", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	n.Stall("alice", "server", false)
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatalf("Send after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Send still blocked after release")
+	}
+	got, err := server.Recv()
+	if err != nil || !bytes.Equal(got, []byte("held")) {
+		t.Fatalf("Recv = %q, %v", got, err)
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	n := New(1)
+	client, _, cleanup := pair(t, n)
+	defer cleanup()
+	n.Stall("alice", "server", true)
+	defer n.Stall("alice", "server", false)
+	sent := make(chan error, 1)
+	go func() {
+		sent <- client.Send([]byte("doomed"))
+	}()
+	time.Sleep(10 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-sent:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("Send on closed stalled conn = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Send still blocked after close")
+	}
+}

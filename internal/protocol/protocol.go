@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -159,10 +160,12 @@ type FloorEventBody struct {
 	Holder string `json:"holder,omitempty"`
 	Member string `json:"member,omitempty"` // subject of the change
 	// Event is the transition kind: "granted", "denied", "released",
-	// "passed", "queued", "approved", or "queue_position".
+	// "passed", "queued", "approved", "queue_position", or "resync" (a
+	// server-pushed floor-state refresh after a backpressure drop).
 	Event string `json:"event"`
 	// QueuePosition is the subject's 1-based queue slot for "queued",
-	// "approved" and "queue_position" events.
+	// "approved", "queue_position" and "resync" events (0 in "resync"
+	// when the subject is not queued).
 	QueuePosition int `json:"queue_position,omitempty"`
 }
 
@@ -217,9 +220,21 @@ type ClockSyncBody struct {
 	MasterNanos     int64 `json:"master_nanos,omitempty"`
 }
 
-// LightsBody reports connection lights: member → "green"/"red".
+// BackpressureBody is one member's outbound-queue snapshot at the
+// server: how deep their delivery queue is and how many messages the
+// slow-consumer policy has dropped.
+type BackpressureBody struct {
+	QueueDepth int   `json:"queue_depth"`
+	QueueCap   int   `json:"queue_cap"`
+	Drops      int64 `json:"drops,omitempty"`
+}
+
+// LightsBody reports connection lights: member → "green"/"red", plus
+// each member's backpressure counters (the teacher's window can show a
+// lagging student next to a disconnected one).
 type LightsBody struct {
-	Lights map[string]string `json:"lights"`
+	Lights       map[string]string           `json:"lights"`
+	Backpressure map[string]BackpressureBody `json:"backpressure,omitempty"`
 }
 
 // SuspendBody names a suspended/resumed member.
@@ -285,8 +300,17 @@ func MustNew(t Type, body any) Message {
 	return m
 }
 
+// encodes counts Encode calls process-wide; the broadcast benchmarks read
+// it to prove the encode-once fan-out invariant (one Encode per broadcast
+// regardless of group size).
+var encodes atomic.Int64
+
+// EncodeCount returns the number of Encode calls since process start.
+func EncodeCount() int64 { return encodes.Load() }
+
 // Encode serializes a message for the wire.
 func Encode(m Message) ([]byte, error) {
+	encodes.Add(1)
 	out, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: encode: %w", err)

@@ -128,7 +128,7 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 				QueuePosition: dec.QueuePosition,
 			})
 			queued.Group = msg.Group
-			_ = sess.send(queued)
+			s.sendReliable(sess, queued)
 			return
 		}
 		s.replyErr(sess, msg.Seq, "floor_denied", err)
@@ -147,7 +147,7 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 			Event:  "denied",
 		})
 		denied.Group = msg.Group
-		_ = sess.send(denied)
+		s.sendReliable(sess, denied)
 		return
 	}
 	s.replyAck(sess, msg.Seq, decision)
@@ -159,7 +159,7 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		Event:  "granted",
 	})
 	event.Group = msg.Group
-	s.broadcastGroup(msg.Group, event)
+	s.broadcastRepairable(msg.Group, event)
 	// A grant can dequeue the requester (e.g. an approved member
 	// re-requesting a moderated floor), shifting everyone behind them.
 	s.notifyQueuePositions(msg.Group, mode)
@@ -193,7 +193,7 @@ func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
 		QueuePosition: dec.QueuePosition,
 	})
 	note.Group = msg.Group
-	s.broadcastGroup(msg.Group, note)
+	s.broadcastRepairable(msg.Group, note)
 	s.notifyQueuePositions(msg.Group, dec.Mode)
 }
 
@@ -212,11 +212,13 @@ func (s *Server) notifyQueuePositions(groupID string, mode floor.Mode) {
 			QueuePosition: i + 1,
 		})
 		note.Group = groupID
-		s.sendTo(m, note)
+		s.sendFloorTo(groupID, m, note)
 	}
 }
 
-// notifySuspensions tells each Media-Suspend victim and the group.
+// notifySuspensions tells each Media-Suspend victim and the group. The
+// broadcast is repairable: a victim whose queue dropped the notice gets
+// the current suspension state on the resync tick.
 func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
 	for _, victim := range dec.Suspended {
 		note := protocol.MustNew(protocol.TSuspend, protocol.SuspendBody{
@@ -224,7 +226,7 @@ func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
 			Level:  dec.Level.String(),
 		})
 		note.Group = groupID
-		s.broadcastGroup(groupID, note)
+		s.broadcastRepairable(groupID, note)
 	}
 }
 
@@ -243,7 +245,7 @@ func (s *Server) onFloorRelease(sess *session, msg protocol.Message) {
 		Event:  "released",
 	})
 	event.Group = msg.Group
-	s.broadcastGroup(msg.Group, event)
+	s.broadcastRepairable(msg.Group, event)
 	s.notifyQueuePositions(msg.Group, mode)
 }
 
@@ -266,7 +268,7 @@ func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
 		Event:  "passed",
 	})
 	event.Group = msg.Group
-	s.broadcastGroup(msg.Group, event)
+	s.broadcastRepairable(msg.Group, event)
 	s.notifyQueuePositions(msg.Group, mode)
 }
 
@@ -285,7 +287,7 @@ func (s *Server) onInvite(sess *session, msg protocol.Message) {
 	note := protocol.MustNew(protocol.TInviteEvent, protocol.InviteEventBody{
 		InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
 	})
-	s.sendTo(inv.To, note)
+	s.sendInviteTo(inv.To, note)
 }
 
 func (s *Server) onInviteReply(sess *session, msg protocol.Message) {
@@ -361,7 +363,7 @@ func (s *Server) onChat(sess *session, msg protocol.Message) {
 		Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data,
 	})
 	event.Group = msg.Group
-	s.broadcastGroup(msg.Group, event)
+	s.broadcastRepairable(msg.Group, event)
 	gb.mu.Unlock()
 	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data})
 }
@@ -397,7 +399,7 @@ func (s *Server) onAnnotate(sess *session, msg protocol.Message) {
 		Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data,
 	})
 	event.Group = msg.Group
-	s.broadcastGroup(msg.Group, event)
+	s.broadcastRepairable(msg.Group, event)
 	gb.mu.Unlock()
 	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data})
 }
@@ -421,6 +423,12 @@ func (s *Server) onReplay(sess *session, msg protocol.Message) {
 // replayTo streams board operations after a sequence number to one
 // session so its replica converges. It holds the group's broadcast lock
 // so no fresh operation interleaves mid-replay on this connection.
+// Replay goes through the droppable queue on purpose: it runs under
+// gb.mu, and blocking there would let one slow replayer stall every
+// board append in the group. A replay truncated by the drop policy
+// marks the session for a board resync: the probe-tick tail nudge
+// re-exposes the gap, and the client re-asks after its retry interval
+// even when the group has gone quiet.
 func (s *Server) replayTo(sess *session, groupID string, after int64) {
 	gb := s.board(groupID)
 	gb.mu.Lock()
@@ -435,7 +443,9 @@ func (s *Server) replayTo(sess *session, groupID string, after int64) {
 			Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data,
 		})
 		event.Group = groupID
-		_ = sess.send(event)
+		if !s.sendMsg(sess, event) {
+			sess.markResync(groupID, resyncBoard)
+		}
 	}
 }
 
@@ -449,7 +459,7 @@ func (s *Server) onClockSync(sess *session, msg protocol.Message) {
 	body.MasterNanos = protocol.Nanos(s.master.GlobalNow())
 	reply := protocol.MustNew(protocol.TClockSync, body)
 	reply.Seq = msg.Seq
-	_ = sess.send(reply)
+	s.sendReliable(sess, reply)
 }
 
 // onPresent broadcasts a presentation start to the group. Only the

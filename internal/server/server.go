@@ -5,6 +5,16 @@
 // master, per-mode message routing, the sequenced whiteboard/message
 // window, and the connection-status monitor behind the Figure-3
 // red/green lights.
+//
+// Delivery runs on an asynchronous broadcast plane: every session owns a
+// bounded outbound queue drained by its own writer goroutine, and a
+// group broadcast encodes the message exactly once, handing the same
+// wire bytes to each recipient's queue. Handler goroutines therefore
+// never block on a peer's socket — a client that stops reading backs up
+// only its own queue, where the slow-consumer policy (count-and-drop by
+// default, optionally disconnect) applies and the per-session
+// backpressure counters (queue depth, drops) surface through
+// Server.SessionStats and the lights broadcast.
 package server
 
 import (
@@ -12,6 +22,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dmps/internal/clock"
@@ -33,6 +44,27 @@ const (
 	Red Light = "red"
 )
 
+// SlowConsumerPolicy selects what happens when a session's bounded
+// outbound queue overflows — i.e. the client reads slower than the
+// server produces for it.
+type SlowConsumerPolicy int
+
+const (
+	// DropNewest (the default) drops the message that does not fit and
+	// counts it in the session's drop counter; nobody else is affected.
+	// State-carrying traffic heals afterwards: replies never drop (they
+	// block the requester's own handler instead), floor/board/suspend
+	// state is re-pushed by the probe-tick resync, and pending
+	// invitations are re-sent. Only inherently transient messages —
+	// media units, lights tables, private direct-contact lines,
+	// presentation starts — are lost outright.
+	DropNewest SlowConsumerPolicy = iota
+	// Disconnect tears the session down on the first overflow: its light
+	// turns red and its queue is abandoned. Use when a lagging replica is
+	// worse than a missing one.
+	Disconnect
+)
+
 // Config configures a server.
 type Config struct {
 	// Network provides the listener (TCP or netsim).
@@ -50,6 +82,13 @@ type Config struct {
 	// ProbeTimeout marks a client red after this silence (default 3×
 	// the interval).
 	ProbeTimeout time.Duration
+	// SendQueueCap bounds each session's outbound queue (default 256
+	// messages). A session whose queue is full is a slow consumer and is
+	// handled per SlowPolicy; it can never block another session's
+	// delivery.
+	SendQueueCap int
+	// SlowPolicy is the slow-consumer policy (default DropNewest).
+	SlowPolicy SlowConsumerPolicy
 }
 
 // Server is a running DMPS server.
@@ -60,34 +99,118 @@ type Server struct {
 	floorCtl *floor.Controller
 	master   *clock.Master
 
+	nextID atomic.Int64
+
 	mu       sync.Mutex
 	sessions map[group.MemberID]*session
 	boards   map[string]*groupBoard
-	nextID   int
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
 }
 
-// session is one connected client.
+// session is one connected client. All outbound traffic goes through a
+// bounded queue drained by a dedicated writer goroutine, so a stalled
+// client socket backs up only its own queue — never the goroutine that
+// is fanning a broadcast out to the rest of the group.
 type session struct {
 	member group.Member
 	conn   transport.Conn
-	sendMu sync.Mutex
+
+	// queue carries encoded wire messages to the writer goroutine.
+	queue chan []byte
+	// down signals the writer to exit; closed exactly once via downOnce.
+	down     chan struct{}
+	downOnce sync.Once
+	// drops counts messages dropped on queue overflow (backpressure).
+	drops atomic.Int64
 
 	mu       sync.Mutex
 	lastSeen time.Time
 	alive    bool
+	// resync names groups whose state-carrying events were dropped on
+	// this session's full queue, with the classes of state to re-push;
+	// the probe loop repeats the push until it fits. Without this, a
+	// dropped grant would leave a token group wedged behind a holder
+	// that never learned it holds, and a dropped tail-of-burst board op
+	// would leave a quiet replica stale with no gap event to trigger
+	// replay.
+	resync map[string]resyncClass
+	// inviteResync is set when a TInviteEvent was dropped; the probe
+	// loop re-pushes the member's pending invitations.
+	inviteResync bool
 }
 
-func (s *session) send(msg protocol.Message) error {
+// resyncClass is a bitmask of per-group state classes needing re-push.
+type resyncClass uint8
+
+const (
+	resyncFloor resyncClass = 1 << iota
+	resyncBoard
+	resyncSuspend
+)
+
+// resyncClassOf maps a dropped message's type to the state class that
+// can repair it (0 for inherently transient types).
+func resyncClassOf(t protocol.Type) resyncClass {
+	switch t {
+	case protocol.TFloorEvent:
+		return resyncFloor
+	case protocol.TChatEvent, protocol.TAnnotateEvent:
+		return resyncBoard
+	case protocol.TSuspend, protocol.TResume:
+		return resyncSuspend
+	default:
+		return 0
+	}
+}
+
+// markResync schedules a group-state re-push for the given classes.
+func (s *session) markResync(groupID string, class resyncClass) {
+	if class == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.resync == nil {
+		s.resync = make(map[string]resyncClass)
+	}
+	s.resync[groupID] |= class
+	s.mu.Unlock()
+}
+
+// takeResync drains the pending resync set.
+func (s *session) takeResync() map[string]resyncClass {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.resync
+	s.resync = nil
+	return out
+}
+
+// markInviteResync / takeInviteResync do the same for invitations.
+func (s *session) markInviteResync() {
+	s.mu.Lock()
+	s.inviteResync = true
+	s.mu.Unlock()
+}
+
+func (s *session) takeInviteResync() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	was := s.inviteResync
+	s.inviteResync = false
+	return was
+}
+
+// sendDirect encodes and writes synchronously on the connection. Only
+// the handshake uses it, before the writer goroutine exists — the
+// welcome must be on the wire before the session joins any fan-out.
+func (s *session) sendDirect(msg protocol.Message) error {
 	wire, err := protocol.Encode(msg)
 	if err != nil {
 		return err
 	}
-	s.sendMu.Lock()
-	defer s.sendMu.Unlock()
 	return s.conn.Send(wire)
 }
 
@@ -106,6 +229,122 @@ func (s *session) light(now time.Time, timeout time.Duration) Light {
 	return Green
 }
 
+// sendMsg encodes a message and queues it for this session alone,
+// reporting whether it fit (an unencodable message reports true: there
+// is nothing to retry). Events shared by many recipients should be
+// encoded once with protocol.Encode and fanned out via sendWire.
+func (s *Server) sendMsg(sess *session, msg protocol.Message) bool {
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return true
+	}
+	return s.sendWire(sess, wire)
+}
+
+// sendReliable encodes and queues a message for the session, blocking
+// when the queue is full instead of dropping. It is for replies
+// (TAck/TErr) and requester-directed events sent from the session's own
+// handler goroutine while holding no locks: blocking there exerts
+// backpressure on exactly the client that is slow — its own read loop
+// pauses — and a reply can never be silently lost. Cross-session sends
+// must use sendWire instead (blocking on someone else's queue would let
+// one slow consumer stall another member's handler).
+func (s *Server) sendReliable(sess *session, msg protocol.Message) {
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return
+	}
+	select {
+	case sess.queue <- wire:
+		s.unpinIfDown(sess)
+	case <-sess.down:
+	}
+}
+
+// sendWire hands pre-encoded wire bytes to the session's writer queue.
+// It never blocks: when the queue is full the slow-consumer policy
+// applies (count-and-drop, or disconnect). It reports false only for an
+// overflow drop; a session that is already down returns true, since
+// there is nothing left to deliver to.
+func (s *Server) sendWire(sess *session, wire []byte) bool {
+	select {
+	case <-sess.down:
+		return true
+	default:
+	}
+	select {
+	case sess.queue <- wire:
+		s.unpinIfDown(sess)
+		return true
+	default:
+		sess.drops.Add(1)
+		if s.cfg.SlowPolicy == Disconnect {
+			s.disconnect(sess)
+		}
+		return false
+	}
+}
+
+// unpinIfDown covers the enqueue/disconnect race: if the session went
+// down between the down-gate check and the enqueue, the writer is gone
+// and disconnect's drain may already have run, so pull one message back
+// out — a dead session's queue must stay empty or its buffers would be
+// pinned for the server's lifetime.
+func (s *Server) unpinIfDown(sess *session) {
+	select {
+	case <-sess.down:
+		select {
+		case <-sess.queue:
+		default:
+		}
+	default:
+	}
+}
+
+// writeLoop is the per-session writer: it drains the queue onto the
+// connection until the session goes down or the connection fails.
+func (s *Server) writeLoop(sess *session) {
+	defer s.wg.Done()
+	for {
+		select {
+		case wire := <-sess.queue:
+			if err := sess.conn.Send(wire); err != nil {
+				s.disconnect(sess)
+				return
+			}
+		case <-sess.down:
+			return
+		}
+	}
+}
+
+// SessionStats is one session's backpressure snapshot.
+type SessionStats struct {
+	// QueueDepth is the number of queued outbound messages right now.
+	QueueDepth int
+	// QueueCap is the queue's capacity (Config.SendQueueCap).
+	QueueCap int
+	// Drops counts messages dropped on overflow since the session began.
+	Drops int64
+}
+
+// SessionStats returns per-member backpressure counters for every
+// connected session — the observability half of the slow-consumer
+// policy, also pushed to clients on the lights broadcast.
+func (s *Server) SessionStats() map[string]SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]SessionStats, len(s.sessions))
+	for id, sess := range s.sessions {
+		out[string(id)] = SessionStats{
+			QueueDepth: len(sess.queue),
+			QueueCap:   cap(sess.queue),
+			Drops:      sess.drops.Load(),
+		}
+	}
+	return out
+}
+
 // New creates a server and starts listening. Call Serve (usually in a
 // goroutine) to accept clients, and Close to shut down.
 func New(cfg Config) (*Server, error) {
@@ -120,6 +359,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 3 * cfg.ProbeInterval
+	}
+	if cfg.SendQueueCap <= 0 {
+		cfg.SendQueueCap = 256
 	}
 	l, err := cfg.Network.Listen(cfg.Addr)
 	if err != nil {
@@ -233,25 +475,31 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 	if strings.EqualFold(hello.Role, "chair") {
 		role = group.Chair
 	}
-	s.mu.Lock()
-	s.nextID++
-	id := group.MemberID(fmt.Sprintf("%s#%d", sanitize(hello.Name), s.nextID))
+	// Admission needs no server-wide lock: the ID counter is atomic and
+	// the registry guards itself.
+	id := group.MemberID(fmt.Sprintf("%s#%d", sanitize(hello.Name), s.nextID.Add(1)))
 	member := group.Member{ID: id, Name: hello.Name, Role: role, Priority: hello.Priority}
 	if err := s.registry.Register(member); err != nil {
-		s.mu.Unlock()
 		return nil, err
 	}
-	s.mu.Unlock()
 
-	sess := &session{member: member, conn: conn, lastSeen: s.cfg.Clock.Now(), alive: true}
+	sess := &session{
+		member:   member,
+		conn:     conn,
+		queue:    make(chan []byte, s.cfg.SendQueueCap),
+		down:     make(chan struct{}),
+		lastSeen: s.cfg.Clock.Now(),
+		alive:    true,
+	}
 	// The welcome must be the first message the client sees, so send it
-	// before the session becomes visible to broadcasts and probes.
+	// synchronously before the session becomes visible to broadcasts and
+	// probes (the writer starts only after registration).
 	welcome := protocol.MustNew(protocol.TWelcome, protocol.WelcomeBody{
 		MemberID:        string(id),
 		ServerTimeNanos: protocol.Nanos(s.master.GlobalNow()),
 	})
 	welcome.Seq = msg.Seq
-	if err := sess.send(welcome); err != nil {
+	if err := sess.sendDirect(welcome); err != nil {
 		s.registry.Unregister(id)
 		_ = conn.Close()
 		return nil, err
@@ -259,6 +507,8 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 	s.mu.Lock()
 	s.sessions[id] = sess
 	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.writeLoop(sess)
 	return sess, nil
 }
 
@@ -280,15 +530,45 @@ func sanitize(name string) string {
 
 // disconnect marks the session dead (light turns red; membership and
 // floor state persist so the teacher can inspect the red light, as in
-// Figure 3(c)).
+// Figure 3(c)). The writer goroutine is told to exit and the connection
+// closed, which also unblocks a writer stalled mid-Send.
 func (s *Server) disconnect(sess *session) {
 	sess.mu.Lock()
 	wasAlive := sess.alive
 	sess.alive = false
 	sess.mu.Unlock()
+	sess.downOnce.Do(func() { close(sess.down) })
 	_ = sess.conn.Close()
+	// Drop the abandoned backlog so a dead session pins no buffers: the
+	// session itself stays in the table (the red light persists, Figure
+	// 3(c)) but its writer is gone and sendWire's down-gate stops new
+	// enqueues, so one drain frees everything for good.
+	for {
+		select {
+		case <-sess.queue:
+			continue
+		default:
+		}
+		break
+	}
+	select {
+	case <-s.closed:
+		// No lights rebroadcast during server shutdown.
+		return
+	default:
+	}
 	if wasAlive {
-		s.broadcastLights()
+		// Rebroadcast the lights off this call stack: disconnect can be
+		// reached from inside sendWire (Disconnect policy), and a
+		// synchronous broadcast there would recurse once per
+		// simultaneously-overflowing session — an O(sessions²) send
+		// storm. One goroutine per transition is bounded by the wasAlive
+		// guard and joins the server's WaitGroup so Close waits for it.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.broadcastLights()
+		}()
 	}
 }
 
@@ -316,7 +596,7 @@ func (s *Server) board(groupID string) *groupBoard {
 func (s *Server) replyAck(sess *session, seq int64, body any) {
 	msg := protocol.MustNew(protocol.TAck, body)
 	msg.Seq = seq
-	_ = sess.send(msg)
+	s.sendReliable(sess, msg)
 }
 
 func (s *Server) replyErr(sess *session, seq int64, code string, err error) {
@@ -326,26 +606,88 @@ func (s *Server) replyErr(sess *session, seq int64, code string, err error) {
 	}
 	msg := protocol.MustNew(protocol.TErr, protocol.ErrBody{Code: code, Detail: detail})
 	msg.Seq = seq
-	_ = sess.send(msg)
+	s.sendReliable(sess, msg)
+}
+
+// session returns the live session for a member, if connected.
+func (s *Server) session(id group.MemberID) (*session, bool) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	return sess, ok
 }
 
 // sendTo delivers a message to one member if connected.
 func (s *Server) sendTo(id group.MemberID, msg protocol.Message) {
-	s.mu.Lock()
-	sess, ok := s.sessions[id]
-	s.mu.Unlock()
-	if ok {
-		_ = sess.send(msg)
+	if sess, ok := s.session(id); ok {
+		s.sendMsg(sess, msg)
 	}
 }
 
-// broadcastGroup delivers a message to every connected member of a group.
-func (s *Server) broadcastGroup(groupID string, msg protocol.Message) {
+// sendFloorTo delivers a floor event to one member, scheduling a
+// floor-state resync for the group when the event is dropped.
+func (s *Server) sendFloorTo(groupID string, id group.MemberID, msg protocol.Message) {
+	if sess, ok := s.session(id); ok && !s.sendMsg(sess, msg) {
+		sess.markResync(groupID, resyncFloor)
+	}
+}
+
+// sendInviteTo delivers an invitation event, scheduling a re-push of
+// the member's pending invitations when it is dropped.
+func (s *Server) sendInviteTo(id group.MemberID, msg protocol.Message) {
+	if sess, ok := s.session(id); ok && !s.sendMsg(sess, msg) {
+		sess.markInviteResync()
+	}
+}
+
+// broadcastGroup delivers a message to every connected member of a
+// group: the message is encoded exactly once and the wire bytes are
+// queued to each recipient's writer, with the session table snapshotted
+// under a single lock acquisition. It returns the sessions whose queue
+// overflowed (nil when everyone got it).
+func (s *Server) broadcastGroup(groupID string, msg protocol.Message) []*session {
 	members, err := s.registry.GroupMembers(groupID)
 	if err != nil {
-		return
+		return nil
 	}
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	targets := make([]*session, 0, len(members))
 	for _, m := range members {
-		s.sendTo(m.ID, msg)
+		if sess, ok := s.sessions[m.ID]; ok {
+			targets = append(targets, sess)
+		}
 	}
+	s.mu.Unlock()
+	var dropped []*session
+	for _, sess := range targets {
+		if !s.sendWire(sess, wire) {
+			dropped = append(dropped, sess)
+		}
+	}
+	return dropped
+}
+
+// broadcastRepairable is broadcastGroup for state-carrying events
+// (floor, board, suspend/resume): recipients whose queue dropped the
+// event are marked for a state resync on the next probe tick, so a
+// drop degrades to a short delay instead of a permanent divergence — a
+// lost grant would otherwise wedge a token group, and a lost
+// tail-of-burst board op would leave a quiet replica stale with no gap
+// to trigger replay. The class re-pushed is inferred from the message
+// type.
+func (s *Server) broadcastRepairable(groupID string, msg protocol.Message) {
+	class := resyncClassOf(msg.Type)
+	for _, sess := range s.broadcastGroup(groupID, msg) {
+		sess.markResync(groupID, class)
+	}
+}
+
+// Broadcast delivers a server-originated message to every connected
+// member of a group — announcements, and the fan-out benchmarks.
+func (s *Server) Broadcast(groupID string, msg protocol.Message) {
+	s.broadcastGroup(groupID, msg)
 }

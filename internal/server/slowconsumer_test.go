@@ -1,0 +1,183 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/netsim"
+)
+
+// newBackpressureLab builds a server with a tiny per-session queue so
+// overflow is cheap to trigger deterministically.
+func newBackpressureLab(t *testing.T, queueCap int, policy SlowConsumerPolicy) (*netsim.Net, *Server) {
+	t.Helper()
+	n := netsim.New(7)
+	srv, err := New(Config{
+		Network:       n,
+		Addr:          "server:1",
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  60 * time.Millisecond,
+		SendQueueCap:  queueCap,
+		SlowPolicy:    policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return n, srv
+}
+
+func dialFrom(t *testing.T, n *netsim.Net, host, name string) *client.Client {
+	t.Helper()
+	c, err := client.Dial(client.Config{
+		Network:  n.From(host),
+		Addr:     "server:1",
+		Name:     name,
+		Role:     "participant",
+		Priority: 2,
+		Timeout:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Dial(%s): %v", name, err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestSlowConsumerDoesNotBlockFloorGrants pins the core guarantee of the
+// async broadcast plane: a client that stops reading (its link stalls,
+// as when a TCP socket buffer fills) must not delay anyone else's floor
+// grants, and its backpressure must be observable — at the server via
+// SessionStats and at every client via the lights broadcast.
+func TestSlowConsumerDoesNotBlockFloorGrants(t *testing.T) {
+	n, srv := newBackpressureLab(t, 8, DropNewest)
+	slow := dialFrom(t, n, "slowhost", "slow")
+	fast1 := dialFrom(t, n, "fasthost1", "fast1")
+	fast2 := dialFrom(t, n, "fasthost2", "fast2")
+	for _, c := range []*client.Client{slow, fast1, fast2} {
+		if err := c.Join("class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := fast2.Subscribe(client.FloorEvents)
+
+	// The slow client's link freezes: server→slow sends now block, as a
+	// full kernel buffer would.
+	n.Stall("server", "slowhost", true)
+	defer n.Stall("server", "slowhost", false)
+
+	// Thirty grant/release cycles fan 60 floor events to a 3-member
+	// group; the slow session's 8-slot queue must overflow while the
+	// fast members keep getting prompt grants.
+	const cycles = 30
+	start := time.Now()
+	for i := 0; i < cycles; i++ {
+		if _, err := fast1.RequestFloor("class", floor.EqualControl, ""); err != nil {
+			t.Fatalf("cycle %d: request blocked by slow consumer: %v", i, err)
+		}
+		if err := fast1.ReleaseFloor("class"); err != nil {
+			t.Fatalf("cycle %d: release blocked by slow consumer: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("floor cycles took %v with one stalled member", elapsed)
+	}
+
+	// The other members' fan-out stayed live: fast2 saw grant events.
+	grants := 0
+	timeout := time.After(3 * time.Second)
+	for grants == 0 {
+		select {
+		case ev := <-events:
+			if ev.Floor.Event == "granted" {
+				grants++
+			}
+		case <-timeout:
+			t.Fatal("no grant event reached the healthy subscriber")
+		}
+	}
+
+	// The slow session's drop counter is visible server-side...
+	stats := srv.SessionStats()[slow.MemberID()]
+	if stats.QueueCap != 8 {
+		t.Fatalf("QueueCap = %d, want 8", stats.QueueCap)
+	}
+	if stats.Drops == 0 {
+		t.Fatal("stalled session recorded no drops after 60 fanned-out events")
+	}
+	// ...and client-side, pushed with the lights table.
+	waitFor(t, "backpressure on the lights path", func() bool {
+		return fast1.Backpressure()[slow.MemberID()].Drops > 0
+	})
+
+	// The slow member stays connected under DropNewest: the session is
+	// degraded (red light once probes time out), never torn down.
+	if _, ok := srv.SessionStats()[slow.MemberID()]; !ok {
+		t.Fatal("DropNewest policy must keep the slow session")
+	}
+
+	// State repair after the link heals: while slow's queue is still
+	// jammed, fast1 takes the floor (the grant event drops), posts a
+	// board line (the tail op drops — no later event would ever expose
+	// the gap), and invites slow into a breakout (the invite drops).
+	// The probe-tick resync must deliver all three once the stall lifts.
+	if _, err := fast1.RequestFloor("class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast1.Chat("class", "tail line"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast1.Join("breakout"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fast1.Invite("breakout", slow.MemberID()); err != nil {
+		t.Fatal(err)
+	}
+	n.Stall("server", "slowhost", false)
+	waitFor(t, "floor resync after backpressure drops", func() bool {
+		return slow.Holder("class") == fast1.MemberID()
+	})
+	waitFor(t, "board tail repair", func() bool {
+		return slow.Board("class").Seq() == 1
+	})
+	waitFor(t, "pending-invite repair", func() bool {
+		return len(slow.PendingInvites()) == 1
+	})
+}
+
+// TestSlowConsumerDisconnectPolicy covers the stricter policy: the first
+// overflow tears the slow session down and its light goes red.
+func TestSlowConsumerDisconnectPolicy(t *testing.T) {
+	n, srv := newBackpressureLab(t, 4, Disconnect)
+	slow := dialFrom(t, n, "slowhost", "slow")
+	fast := dialFrom(t, n, "fasthost1", "fast")
+	for _, c := range []*client.Client{slow, fast} {
+		if err := c.Join("class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Stall("server", "slowhost", true)
+	defer n.Stall("server", "slowhost", false)
+
+	for i := 0; i < 20; i++ {
+		if _, err := fast.RequestFloor("class", floor.EqualControl, ""); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+		if err := fast.ReleaseFloor("class"); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	waitFor(t, "slow session disconnected", func() bool {
+		return srv.Lights()[slow.MemberID()] == Red
+	})
+	if drops := srv.SessionStats()[slow.MemberID()].Drops; drops == 0 {
+		t.Fatal("disconnect policy fired without a recorded drop")
+	}
+	// The healthy member is untouched.
+	if _, err := fast.RequestFloor("class", floor.EqualControl, ""); err != nil {
+		t.Fatalf("healthy member affected: %v", err)
+	}
+}

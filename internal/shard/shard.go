@@ -1,0 +1,141 @@
+// Package shard provides a lock-striped string-keyed map: the state
+// partitioning substrate behind the per-group floor and group-admin
+// sharding. Keys hash (FNV-1a) onto a fixed set of shards, each guarded
+// by its own RWMutex, so operations on different keys contend only when
+// they collide on a shard — and then only for the map access itself.
+// Values that need exclusion across calls carry their own lock; the
+// shard lock is never held while caller code runs.
+package shard
+
+import "sync"
+
+// NumShards is the stripe count. 64 keeps collision probability low for
+// thousands of groups while staying cache-friendly; it must be a power
+// of two so the hash reduces with a mask.
+const NumShards = 64
+
+// Map is a sharded map from string keys to values of type V. The zero
+// value is not usable; call NewMap.
+type Map[V any] struct {
+	shards [NumShards]mapShard[V]
+}
+
+type mapShard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// NewMap returns an empty sharded map.
+func NewMap[V any]() *Map[V] {
+	sm := &Map[V]{}
+	for i := range sm.shards {
+		sm.shards[i].m = make(map[string]V)
+	}
+	return sm
+}
+
+// fnv1a is a tiny inlined FNV-1a over the key; the stdlib hash/fnv costs
+// an allocation per call via the hash.Hash interface.
+func fnv1a(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}
+
+func (sm *Map[V]) shard(key string) *mapShard[V] {
+	return &sm.shards[fnv1a(key)&(NumShards-1)]
+}
+
+// Get returns the value for key.
+func (sm *Map[V]) Get(key string) (V, bool) {
+	s := sm.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// GetOrCreate returns the value for key, calling create (at most once
+// per insertion) to make it when absent. Concurrent callers for the same
+// absent key race to the shard's write lock; exactly one create value is
+// kept and every caller observes it.
+func (sm *Map[V]) GetOrCreate(key string, create func() V) V {
+	s := sm.shard(key)
+	s.mu.RLock()
+	v, ok := s.m[key]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok = s.m[key]; ok {
+		return v
+	}
+	v = create()
+	s.m[key] = v
+	return v
+}
+
+// Set stores the value for key unconditionally.
+func (sm *Map[V]) Set(key string, v V) {
+	s := sm.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// SetIfAbsent stores v only when the key is absent, reporting whether it
+// stored (true) or the key already existed (false).
+func (sm *Map[V]) SetIfAbsent(key string, v V) bool {
+	s := sm.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[key]; exists {
+		return false
+	}
+	s.m[key] = v
+	return true
+}
+
+// Delete removes the key.
+func (sm *Map[V]) Delete(key string) {
+	s := sm.shard(key)
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// Len counts entries across every shard.
+func (sm *Map[V]) Len() int {
+	n := 0
+	for i := range sm.shards {
+		s := &sm.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Keys returns every key, in shard order (unsorted).
+func (sm *Map[V]) Keys() []string {
+	out := make([]string, 0, sm.Len())
+	for i := range sm.shards {
+		s := &sm.shards[i]
+		s.mu.RLock()
+		for k := range s.m {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+

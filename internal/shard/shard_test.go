@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := NewMap[int]()
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("empty map reported a key")
+	}
+	m.Set("a", 1)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if m.SetIfAbsent("a", 2) {
+		t.Fatal("SetIfAbsent overwrote an existing key")
+	}
+	if !m.SetIfAbsent("b", 2) {
+		t.Fatal("SetIfAbsent failed on an absent key")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	m.Delete("a")
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestMapGetOrCreateSingleWinner(t *testing.T) {
+	m := NewMap[*int]()
+	var created atomic.Int64
+	const workers = 16
+	results := make([]*int, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = m.GetOrCreate("key", func() *int {
+				created.Add(1)
+				v := new(int)
+				return v
+			})
+		}()
+	}
+	wg.Wait()
+	if created.Load() != 1 {
+		t.Fatalf("create ran %d times", created.Load())
+	}
+	for i := 1; i < workers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("workers observed different values")
+		}
+	}
+}
+
+func TestMapKeys(t *testing.T) {
+	m := NewMap[int]()
+	want := map[string]int{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("group-%d", i)
+		m.Set(k, i)
+		want[k] = i
+	}
+	keys := m.Keys()
+	if len(keys) != 200 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	for _, k := range keys {
+		v, ok := m.Get(k)
+		if !ok || v != want[k] {
+			t.Fatalf("Get(%s) = %d, %v; want %d", k, v, ok, want[k])
+		}
+		delete(want, k)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Keys missed %d entries", len(want))
+	}
+}
+
+func TestMapConcurrentDisjointKeys(t *testing.T) {
+	m := NewMap[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("w%d-k%d", w, i)
+				m.Set(k, i)
+				if v, ok := m.Get(k); !ok || v != i {
+					t.Errorf("lost %s", k)
+					return
+				}
+				if i%2 == 0 {
+					m.Delete(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Len(); got != 8*250 {
+		t.Fatalf("Len = %d, want %d", got, 8*250)
+	}
+}
