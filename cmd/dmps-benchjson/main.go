@@ -1,0 +1,133 @@
+// Command dmps-benchjson converts `go test -bench` output into the
+// repository's BENCH_*.json format and gates the log plane's headline
+// invariant: with the event-log append on the broadcast hot path,
+// encodes/op must stay at exactly one Encode per broadcast. CI pipes
+// the bench smoke output through it and fails the step on a regression.
+//
+// Usage:
+//
+//	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkArbitrateContention' -benchmem . \
+//	  | go run ./cmd/dmps-benchjson -out BENCH_pr3.json -max-encodes 1.0 -note "..."
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result row: name, iterations, then
+// whitespace-separated "value unit" metric pairs. The name is kept
+// verbatim (including Go's -GOMAXPROCS suffix on multi-core hosts):
+// guessing which trailing -N is the procs suffix would corrupt
+// sub-benchmark names like members-32 on single-core runners.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// metrics is one benchmark's parsed measurements, keyed by unit with
+// "/" flattened to "_" ("ns/op" → "ns_op"), matching BENCH_baseline.json.
+type metrics map[string]float64
+
+func parse(r io.Reader) (map[string]metrics, error) {
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], strings.Fields(m[3])
+		row := make(metrics)
+		for i := 0; i+1 < len(rest); i += 2 {
+			val, err := strconv.ParseFloat(rest[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := strings.ReplaceAll(rest[i+1], "/", "_")
+			row[unit] = val
+		}
+		if len(row) > 0 {
+			out[name] = row
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON file to write (default stdout)")
+	maxEncodes := flag.Float64("max-encodes", 0, "fail if any encodes/op metric exceeds this (0 disables the gate)")
+	note := flag.String("note", "", "free-form note recorded under _meta")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rows, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rows) == 0 {
+		fatal(fmt.Errorf("no benchmark rows found in input"))
+	}
+
+	// The gate: encodes/op proves the encode-once invariant held with
+	// the log append on the hot path. Requiring at least one such metric
+	// keeps the gate from passing vacuously when the bench selection or
+	// output format drifts.
+	if *maxEncodes > 0 {
+		gated := 0
+		for name, row := range rows {
+			enc, ok := row["encodes_op"]
+			if !ok {
+				continue
+			}
+			gated++
+			if enc > *maxEncodes {
+				fatal(fmt.Errorf("%s: encodes/op %.3f exceeds %.3f — the encode-once invariant regressed", name, enc, *maxEncodes))
+			}
+		}
+		if gated == 0 {
+			fatal(fmt.Errorf("no encodes/op metrics in input: the gate would pass vacuously"))
+		}
+	}
+
+	doc := make(map[string]any, len(rows)+1)
+	doc["_meta"] = map[string]string{
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"note":   *note,
+	}
+	for name, row := range rows {
+		doc[name] = row
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, _ = os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmps-benchjson:", err)
+	os.Exit(1)
+}

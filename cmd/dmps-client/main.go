@@ -17,6 +17,11 @@
 //	                             direct-contact, moderated-queue)
 //	approve <group> <member>     approve a queued request (chair,
 //	                             moderated-queue)
+//	mode <group> <mode> [pin]    switch the group's floor mode; "pin"
+//	                             (chair only) pins the policy so only
+//	                             the chair may switch again
+//	reconnect                    resume the session after a lost
+//	                             connection (same member, no re-joins)
 //	pass <group> <member>        pass the equal-control token
 //	release <group>              release the floor
 //	invite <group> <member>      invite a member into a group
@@ -152,6 +157,18 @@ func execute(c *client.Client, line string) error {
 		}
 		fmt.Printf("granted=%v holder=%s queue=%d\n", dec.Granted, dec.Holder, dec.QueuePosition)
 		return nil
+	case "mode":
+		if err := need(2); err != nil {
+			return err
+		}
+		mode, ok := floor.ParseMode(args[1])
+		if !ok {
+			return fmt.Errorf("unknown mode %q", args[1])
+		}
+		pin := len(args) > 2 && args[2] == "pin"
+		return c.SwitchMode(args[0], mode, pin)
+	case "reconnect":
+		return c.Reconnect()
 	case "pass":
 		if err := need(2); err != nil {
 			return err

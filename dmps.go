@@ -20,6 +20,22 @@
 //     the event subscription API (Client.Subscribe) as well as the
 //     polling accessors.
 //
+// State reaches clients through a sequenced per-group event log: every
+// state broadcast (floor events, suspend/resume, board operations, mode
+// switches, invitations) is appended to its group's ring log and
+// stamped with a sequence number before it is fanned out, so a client
+// that took backpressure drops detects the hole and recovers the
+// missing suffix with one request (TBackfill) — or a compact snapshot
+// when it is behind by more than the ring retains. ServerConfig.LogCap
+// (and LabOptions.LogCap) sizes that ring, default 512 events per
+// group: larger rings reach further back before falling over to
+// snapshots, at the cost of retained memory per group; the setting
+// never affects correctness. The same machinery powers
+// Client.Reconnect — a client that lost its connection resumes with
+// its session token, keeping its member identity, group memberships
+// and subscriptions — and Client.SwitchMode, the chair's explicit
+// (optionally pinned) floor-mode control.
+//
 // Quick start (see examples/quickstart for the runnable version):
 //
 //	lab, _ := dmps.NewLab(dmps.LabOptions{})
@@ -79,9 +95,16 @@ type (
 	// SessionStats is one session's backpressure snapshot
 	// (Server.SessionStats).
 	SessionStats = server.SessionStats
+	// SubscriberStats is one client subscription channel's backpressure
+	// snapshot (Client.SubscriberStats): local drop-on-full counters,
+	// never confused with delivery gaps by the event-log plane.
+	SubscriberStats = client.SubscriberStats
 	// Backpressure is the wire form of a member's backpressure counters,
 	// pushed with the lights table (Client.Backpressure).
 	Backpressure = protocol.BackpressureBody
+	// Snapshot is the wire form of a group's catch-up state (sent for
+	// late joins, explicit replays, and backfills past the log ring).
+	Snapshot = protocol.SnapshotBody
 	// LinkConfig shapes simulated links (delay, jitter, loss).
 	LinkConfig = netsim.LinkConfig
 	// TCP is the real-socket transport for standalone deployments.

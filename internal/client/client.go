@@ -4,17 +4,30 @@
 // the message window and whiteboard, maintains a clock-sync estimator
 // against the server's global clock, and mirrors the connection lights
 // the teacher's window shows (Figure 3).
+//
+// State events arrive on the sequenced event-log plane: every logged
+// broadcast carries its group log's GSeq, and the read loop applies
+// them strictly in sequence. A hole in the sequence — or a log head in
+// the lights broadcast's digest beyond the client's position — means
+// the server dropped something on this client's queue; the client asks
+// TBackfill (paced by a jittered exponential backoff) and converges
+// from the replayed suffix, or from a compact snapshot when the ring
+// has wrapped. The same machinery powers Reconnect: a client that lost
+// its connection dials again with its session token and resumes — same
+// member identity, same subscriptions, no re-joining.
 package client
 
 import (
 	"errors"
 	"fmt"
 	"maps"
+	"math/rand"
 	"sync"
 	"time"
 
 	"dmps/internal/clock"
 	"dmps/internal/floor"
+	"dmps/internal/grouplog"
 	"dmps/internal/media"
 	"dmps/internal/protocol"
 	"dmps/internal/transport"
@@ -53,37 +66,48 @@ type Config struct {
 
 // Client is a connected DMPS client.
 type Client struct {
-	cfg  Config
-	conn transport.Conn
-	est  *clock.Estimator
+	cfg Config
+	est *clock.Estimator
 
 	sendMu sync.Mutex
 
-	mu          sync.Mutex
-	memberID    string
-	seq         int64
-	pending     map[int64]chan protocol.Message
-	boards      map[string]*whiteboard.Board
-	lights      map[string]string
-	backpress   map[string]protocol.BackpressureBody
-	holders     map[string]string // group → token holder
-	queuePos    map[string]int    // group → last pushed queue position
-	invites     []protocol.InviteEventBody
-	privates    []protocol.SequencedBody // received direct-contact lines
-	suspends    []protocol.SuspendBody
+	mu        sync.Mutex
+	conn      transport.Conn // replaced by Reconnect
+	memberID  string
+	token     string // session-resume credential from the welcome
+	seq       int64
+	pending   map[int64]chan protocol.Message
+	boards    map[string]*whiteboard.Board
+	joined    map[string]bool // groups this client has joined
+	lights    map[string]string
+	backpress map[string]protocol.BackpressureBody
+	holders   map[string]string // group → token holder
+	queuePos  map[string]int    // group → last pushed queue position
+	invites   []protocol.InviteEventBody
+	privates  []protocol.SequencedBody // received direct-contact lines
+	suspends  []protocol.SuspendBody
 	// suspendedNow tracks which members the client currently believes
-	// suspended, per group. The server's backpressure repair re-states
-	// suspension status at least once, so redundant TSuspend/TResume
-	// deliveries must be filtered or SuspendNotices and SuspendEvents
-	// would report transitions that never happened.
+	// suspended, per group. Snapshots re-state (and reconcile) the
+	// suspension set, so redundant TSuspend/TResume deliveries must be
+	// filtered or SuspendNotices and SuspendEvents would report
+	// transitions that never happened.
 	suspendedNow map[string]map[string]bool
-	present     *protocol.PresentBody // last presentation start received
-	replayAsked map[string]replayAsk  // group → last replay request (dedup + retry pacing)
-	mediaStats  map[string]map[string]MediaStat
-	subs        []*subscriber // Subscribe event channels
-	closed      bool
+	// lastSeq is the highest applied GSeq per event log (group ID, or
+	// the member-log key for invitations). Logged events apply strictly
+	// in sequence: a duplicate is dropped, a hole triggers a TBackfill.
+	lastSeq map[string]int64
+	// repairs paces backfill/replay re-asks per log: jittered
+	// exponential backoff so a fleet of behind replicas cannot stampede
+	// the server in lockstep.
+	repairs      map[string]*repairAsk
+	present      *protocol.PresentBody // last presentation start received
+	mediaStats   map[string]map[string]MediaStat
+	subs         []*subscriber // Subscribe event channels
+	closed       bool          // user called Close: the session is over
+	connDown     bool          // connection lost; Reconnect can resume
+	reconnecting bool          // a Reconnect is in flight (at most one)
 
-	readerDone chan struct{}
+	readerDone chan struct{} // replaced by Reconnect; read under mu
 }
 
 // Dial connects and performs the hello/welcome handshake.
@@ -107,42 +131,55 @@ func Dial(cfg Config) (*Client, error) {
 		est:        clock.NewEstimator(cfg.Clock, 8),
 		pending:    make(map[int64]chan protocol.Message),
 		boards:     make(map[string]*whiteboard.Board),
+		joined:     make(map[string]bool),
 		lights:     make(map[string]string),
 		holders:    make(map[string]string),
 		queuePos:   make(map[string]int),
+		lastSeq:    make(map[string]int64),
 		readerDone: make(chan struct{}),
 	}
-	hello := protocol.MustNew(protocol.THello, protocol.HelloBody{
-		Name: cfg.Name, Role: cfg.Role, Priority: cfg.Priority,
-	})
-	hello.Seq = 1
 	c.mu.Lock()
 	c.seq = 1
 	c.mu.Unlock()
-	if err := c.send(hello); err != nil {
-		_ = conn.Close()
-		return nil, err
-	}
-	wire, err := recvDeadline(conn, cfg.Clock, cfg.Timeout)
+	welcome, err := handshake(conn, cfg, protocol.HelloBody{
+		Name: cfg.Name, Role: cfg.Role, Priority: cfg.Priority,
+	}, 1)
 	if err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("client: handshake recv: %w", err)
-	}
-	msg, err := protocol.Decode(wire)
-	if err != nil || msg.Type != protocol.TWelcome {
-		_ = conn.Close()
-		return nil, fmt.Errorf("client: unexpected handshake reply %q (%v)", msg.Type, err)
-	}
-	var welcome protocol.WelcomeBody
-	if err := msg.Into(&welcome); err != nil {
 		_ = conn.Close()
 		return nil, err
 	}
 	c.mu.Lock()
 	c.memberID = welcome.MemberID
+	c.token = welcome.Token
 	c.mu.Unlock()
 	go c.readLoop()
 	return c, nil
+}
+
+// handshake performs one hello/welcome exchange on a fresh connection.
+func handshake(conn transport.Conn, cfg Config, hello protocol.HelloBody, seq int64) (protocol.WelcomeBody, error) {
+	msg := protocol.MustNew(protocol.THello, hello)
+	msg.Seq = seq
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return protocol.WelcomeBody{}, err
+	}
+	if err := conn.Send(wire); err != nil {
+		return protocol.WelcomeBody{}, err
+	}
+	reply, err := recvDeadline(conn, cfg.Clock, cfg.Timeout)
+	if err != nil {
+		return protocol.WelcomeBody{}, fmt.Errorf("client: handshake recv: %w", err)
+	}
+	got, err := protocol.Decode(reply)
+	if err != nil || got.Type != protocol.TWelcome {
+		return protocol.WelcomeBody{}, fmt.Errorf("client: unexpected handshake reply %q (%v)", got.Type, err)
+	}
+	var welcome protocol.WelcomeBody
+	if err := got.Into(&welcome); err != nil {
+		return protocol.WelcomeBody{}, err
+	}
+	return welcome, nil
 }
 
 // recvDeadline bounds one Recv by the configured timeout, so a server
@@ -185,16 +222,19 @@ func (c *Client) send(msg protocol.Message) error {
 	if err != nil {
 		return err
 	}
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.conn.Send(wire)
+	return conn.Send(wire)
 }
 
 // request sends a message and waits for the matching TAck/TErr/TClockSync
 // reply.
 func (c *Client) request(msg protocol.Message) (protocol.Message, error) {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.connDown {
 		c.mu.Unlock()
 		return protocol.Message{}, ErrClosed
 	}
@@ -202,6 +242,7 @@ func (c *Client) request(msg protocol.Message) (protocol.Message, error) {
 	msg.Seq = c.seq
 	ch := make(chan protocol.Message, 1)
 	c.pending[msg.Seq] = ch
+	done := c.readerDone
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
@@ -221,22 +262,30 @@ func (c *Client) request(msg protocol.Message) (protocol.Message, error) {
 		return reply, nil
 	case <-c.cfg.Clock.After(c.cfg.Timeout):
 		return protocol.Message{}, fmt.Errorf("%w: %s", ErrTimeout, msg.Type)
-	case <-c.readerDone:
+	case <-done:
 		return protocol.Message{}, ErrClosed
 	}
 }
 
 // readLoop dispatches replies and server events until the connection
-// drops.
+// drops. Losing the connection does not end the session: subscriptions
+// stay attached (Reconnect resumes them) and are closed only when the
+// client itself is Closed.
 func (c *Client) readLoop() {
-	defer c.closeSubscribers()
-	defer close(c.readerDone)
+	c.mu.Lock()
+	conn, done := c.conn, c.readerDone
+	c.mu.Unlock()
+	defer close(done)
 	for {
-		wire, err := c.conn.Recv()
+		wire, err := conn.Recv()
 		if err != nil {
 			c.mu.Lock()
-			c.closed = true
+			c.connDown = true
+			userClosed := c.closed
 			c.mu.Unlock()
+			if userClosed {
+				c.closeSubscribers()
+			}
 			return
 		}
 		msg, err := protocol.Decode(wire)
@@ -247,7 +296,57 @@ func (c *Client) readLoop() {
 	}
 }
 
+// handle processes one server message: logged state events pass the
+// in-order admission first (duplicates dropped, holes answered with a
+// backfill ask), then apply; everything else applies directly. The
+// OnEvent tap observes every received message either way.
 func (c *Client) handle(msg protocol.Message) {
+	if c.admit(msg) {
+		c.apply(msg)
+	}
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(msg)
+	}
+}
+
+// admit enforces strict sequence order for logged state events. An
+// event at exactly lastSeq+1 for its log advances the cursor and
+// applies; a duplicate (GSeq ≤ lastSeq) is discarded — backfills and
+// live delivery may overlap, and every logged event is idempotent to
+// re-deliver but cheaper to drop; a hole (GSeq > lastSeq+1) proves the
+// server dropped something on this client's queue, so the event is NOT
+// applied — the missing prefix must come first — and a paced TBackfill
+// ask goes out. Unlogged messages (GSeq 0) always admit.
+//
+// Admission runs in the read loop against the wire stream, so a slow
+// local subscriber dropping events off its own buffered channel can
+// never be mistaken for a delivery gap.
+func (c *Client) admit(msg protocol.Message) bool {
+	if msg.GSeq == 0 {
+		return true
+	}
+	key := msg.Group
+	c.mu.Lock()
+	if msg.Type == protocol.TInviteEvent {
+		key = grouplog.MemberKey(c.memberID)
+	}
+	last := c.lastSeq[key]
+	switch {
+	case msg.GSeq <= last:
+		c.mu.Unlock()
+		return false
+	case msg.GSeq == last+1:
+		c.lastSeq[key] = msg.GSeq
+		c.mu.Unlock()
+		return true
+	default:
+		c.mu.Unlock()
+		c.askBackfill(key)
+		return false
+	}
+}
+
+func (c *Client) apply(msg protocol.Message) {
 	switch msg.Type {
 	case protocol.TAck, protocol.TErr, protocol.TClockSync:
 		c.mu.Lock()
@@ -266,12 +365,24 @@ func (c *Client) handle(msg protocol.Message) {
 			changed := !maps.Equal(c.lights, body.Lights)
 			c.lights = body.Lights
 			c.backpress = body.Backpressure
+			behind := c.behindLogsLocked(body.Heads)
 			c.mu.Unlock()
+			// The heads digest is the quiet-tail repair trigger: any log
+			// whose head is past our cursor dropped something for us that
+			// no later event will expose. Ask for each (paced).
+			for _, key := range behind {
+				c.askBackfill(key)
+			}
 			// Only transitions reach subscribers; the steady-state
 			// rebroadcast every probe tick would drown them.
 			if changed {
 				c.publish(Event{Kind: LightEvents, Type: msg.Type, Lights: body.Lights})
 			}
+		}
+	case protocol.TSnapshot:
+		var body protocol.SnapshotBody
+		if msg.Into(&body) == nil {
+			c.applySnapshot(msg.Group, body)
 		}
 	case protocol.TChatEvent, protocol.TAnnotateEvent:
 		var body protocol.SequencedBody
@@ -293,7 +404,11 @@ func (c *Client) handle(msg protocol.Message) {
 					Seq: body.Seq, Author: body.Author, Kind: kind, Data: body.Data,
 				})
 				if errors.Is(err, whiteboard.ErrGap) {
-					c.askReplay(msg.Group, board.Seq())
+					// Board ops ride the log in board order, so an
+					// in-sequence event can only gap when the board's
+					// prefix predates what the log ring still holds (a
+					// lost join snapshot): ask for a fresh one.
+					c.askBoardReplay(msg.Group, board.Seq())
 				}
 			}
 		}
@@ -307,79 +422,89 @@ func (c *Client) handle(msg protocol.Message) {
 			// invite_* outcomes change nothing — taking their empty
 			// Holder would clobber the real one.
 			switch body.Event {
-			case "granted", "released", "passed", "queued", "approved", "queue_position", "resync":
+			case "granted", "released", "passed", "queued", "approved", "queue_position", "queue", "mode_switch":
 				if !(body.Event == "granted" && body.Mode == floor.DirectContact.String()) {
 					c.holders[msg.Group] = body.Holder
 				}
 			}
 			// Track this member's own queue movement. Becoming holder —
 			// whether granted directly or promoted on a release/pass —
-			// always clears the slot.
-			if body.Member == c.memberID {
+			// always clears the slot, a mode switch resets the whole
+			// floor (queue included), and a "queue" restatement is
+			// authoritative either way: present at its slot, absent means
+			// not queued.
+			selfPos := -1 // ≥ 0: this member's slot changed (0 = dequeued)
+			switch {
+			case body.Event == "mode_switch":
+				delete(c.queuePos, msg.Group)
+			case body.Event == "queue":
+				pos := 0
+				for i, m := range body.Queue {
+					if m == c.memberID {
+						pos = i + 1
+						break
+					}
+				}
+				if pos != c.queuePos[msg.Group] {
+					selfPos = pos
+				}
+				if pos > 0 {
+					c.queuePos[msg.Group] = pos
+				} else {
+					delete(c.queuePos, msg.Group)
+				}
+			case body.Member == c.memberID:
 				switch body.Event {
 				case "queued", "queue_position", "approved":
 					c.queuePos[msg.Group] = body.QueuePosition
 				case "granted":
 					delete(c.queuePos, msg.Group)
-				case "resync":
-					// The refresh carries the authoritative slot: 0 means
-					// not queued (any stale position is cleared).
-					if body.QueuePosition > 0 {
-						c.queuePos[msg.Group] = body.QueuePosition
-					} else {
-						delete(c.queuePos, msg.Group)
-					}
 				}
 			}
 			if body.Holder == c.memberID {
 				delete(c.queuePos, msg.Group)
 			}
+			me := c.memberID
 			c.mu.Unlock()
-			c.publish(Event{Kind: FloorEvents, Type: msg.Type, Group: msg.Group, Floor: body})
+			if body.Event == "queue" {
+				// The raw restatement is a transport detail; subscribers
+				// get the member-facing rendering — their own movement —
+				// exactly as a directed push would have delivered it.
+				if selfPos > 0 {
+					c.publish(Event{Kind: FloorEvents, Type: msg.Type, Group: msg.Group, Floor: protocol.FloorEventBody{
+						Mode:          body.Mode,
+						Holder:        body.Holder,
+						Member:        me,
+						Event:         "queue_position",
+						QueuePosition: selfPos,
+					}})
+				}
+			} else {
+				c.publish(Event{Kind: FloorEvents, Type: msg.Type, Group: msg.Group, Floor: body})
+			}
 		}
 	case protocol.TInviteEvent:
 		var body protocol.InviteEventBody
 		if msg.Into(&body) == nil {
-			// The backpressure repair re-pushes pending invitations
-			// at-least-once; an ID already seen is not a new invitation.
+			// Backfill can re-deliver invitations at-least-once across
+			// reconnects; an ID already seen is not a new invitation.
 			c.mu.Lock()
-			dup := false
-			for _, inv := range c.invites {
-				if inv.InviteID == body.InviteID {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				c.invites = append(c.invites, body)
-			}
+			fresh := c.addInviteLocked(body)
 			c.mu.Unlock()
-			if !dup {
+			if fresh {
 				c.publish(Event{Kind: InviteEvents, Type: msg.Type, Group: body.Group, Invite: body})
 			}
 		}
 	case protocol.TSuspend, protocol.TResume:
 		var body protocol.SuspendBody
 		if msg.Into(&body) == nil {
-			// Only genuine transitions count: the repair path re-states
-			// current suspension status, so a TSuspend for a member
-			// already believed suspended — or a TResume for one never
-			// suspended — is a redundant re-delivery, not a change.
+			// Only genuine transitions count: snapshots re-state current
+			// suspension status, so a TSuspend for a member already
+			// believed suspended — or a TResume for one never suspended —
+			// is a redundant re-delivery, not a change.
 			suspending := msg.Type == protocol.TSuspend
 			c.mu.Lock()
-			if c.suspendedNow == nil {
-				c.suspendedNow = make(map[string]map[string]bool)
-			}
-			inGroup := c.suspendedNow[msg.Group]
-			changed := suspending != inGroup[body.Member]
-			if changed {
-				if inGroup == nil {
-					inGroup = make(map[string]bool)
-					c.suspendedNow[msg.Group] = inGroup
-				}
-				inGroup[body.Member] = suspending
-				c.suspends = append(c.suspends, body)
-			}
+			changed := c.setSuspendedLocked(msg.Group, body, suspending)
 			c.mu.Unlock()
 			if changed {
 				c.publish(Event{Kind: SuspendEvents, Type: msg.Type, Group: msg.Group, Suspend: body})
@@ -412,41 +537,233 @@ func (c *Client) handle(msg protocol.Message) {
 			c.mu.Unlock()
 		}
 	}
-	if c.cfg.OnEvent != nil {
-		c.cfg.OnEvent(msg)
+}
+
+// addInviteLocked records an invitation unless its ID is already known,
+// reporting whether it was new. Requires c.mu.
+func (c *Client) addInviteLocked(body protocol.InviteEventBody) bool {
+	for _, inv := range c.invites {
+		if inv.InviteID == body.InviteID {
+			return false
+		}
+	}
+	c.invites = append(c.invites, body)
+	return true
+}
+
+// setSuspendedLocked updates the believed suspension state of one
+// member, reporting whether it was a genuine transition. Requires c.mu.
+func (c *Client) setSuspendedLocked(groupID string, body protocol.SuspendBody, suspending bool) bool {
+	if c.suspendedNow == nil {
+		c.suspendedNow = make(map[string]map[string]bool)
+	}
+	inGroup := c.suspendedNow[groupID]
+	if suspending == inGroup[body.Member] {
+		return false
+	}
+	if inGroup == nil {
+		inGroup = make(map[string]bool)
+		c.suspendedNow[groupID] = inGroup
+	}
+	inGroup[body.Member] = suspending
+	c.suspends = append(c.suspends, body)
+	return true
+}
+
+// behindLogsLocked compares the server's heads digest against the
+// client's applied cursors and returns the log keys this client is
+// behind on: its joined groups and its own member log — other members'
+// logs in the digest are not ours to fetch. Requires c.mu.
+func (c *Client) behindLogsLocked(heads map[string]int64) []string {
+	if len(heads) == 0 {
+		return nil
+	}
+	var behind []string
+	for g := range c.joined {
+		if heads[g] > c.lastSeq[g] {
+			behind = append(behind, g)
+		}
+	}
+	if mk := grouplog.MemberKey(c.memberID); heads[mk] > c.lastSeq[mk] {
+		behind = append(behind, mk)
+	}
+	return behind
+}
+
+// applySnapshot reconciles one log's authoritative state: the floor
+// caches, the believed suspension set (publishing only genuine
+// transitions), the board suffix and pending invitations, then advances
+// the log cursor to the snapshot's Seq so live events continue from it.
+func (c *Client) applySnapshot(groupID string, body protocol.SnapshotBody) {
+	var events []Event
+	c.mu.Lock()
+	key := groupID
+	if key == "" {
+		key = grouplog.MemberKey(c.memberID)
+	}
+	// A snapshot older than the applied cursor must not rewrite the
+	// state caches: the server reads the log head before the floor
+	// state, so a transition logged (and applied here) after the head
+	// read but before the snapshot was queued would be clobbered by the
+	// snapshot's pre-transition view — with cursor == head, nothing
+	// would ever repair it. Board ops and invitations still apply below:
+	// both are idempotent and never regress.
+	stale := body.Seq < c.lastSeq[key]
+	if body.Seq > c.lastSeq[key] {
+		c.lastSeq[key] = body.Seq
+	}
+	for _, inv := range body.Invites {
+		if c.addInviteLocked(inv) {
+			events = append(events, Event{Kind: InviteEvents, Type: protocol.TInviteEvent, Group: inv.Group, Invite: inv})
+		}
+	}
+	if groupID != "" && !stale {
+		c.holders[groupID] = body.Holder
+		pos := 0
+		for i, m := range body.Queue {
+			if m == c.memberID {
+				pos = i + 1
+				break
+			}
+		}
+		if pos > 0 && body.Holder != c.memberID {
+			c.queuePos[groupID] = pos
+		} else {
+			delete(c.queuePos, groupID)
+		}
+		// Reconcile the suspension set both ways: members the snapshot
+		// lists as suspended transition in, members we believed suspended
+		// but the snapshot omits transition out — a bystander converges
+		// on everyone's state, not just its own.
+		inSnap := make(map[string]bool, len(body.Suspended))
+		for _, m := range body.Suspended {
+			inSnap[m] = true
+		}
+		for m := range c.suspendedNow[groupID] {
+			if c.suspendedNow[groupID][m] && !inSnap[m] {
+				note := protocol.SuspendBody{Member: m, Level: body.Level}
+				c.setSuspendedLocked(groupID, note, false)
+				events = append(events, Event{Kind: SuspendEvents, Type: protocol.TResume, Group: groupID, Suspend: note})
+			}
+		}
+		for _, m := range body.Suspended {
+			note := protocol.SuspendBody{Member: m, Level: body.Level}
+			if c.setSuspendedLocked(groupID, note, true) {
+				events = append(events, Event{Kind: SuspendEvents, Type: protocol.TSuspend, Group: groupID, Suspend: note})
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	if groupID != "" {
+		board := c.boardLocked(groupID)
+		for _, op := range body.Board {
+			if kind, ok := whiteboard.ParseOpKind(op.Kind); ok {
+				_ = board.Apply(whiteboard.Op{Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data})
+			}
+		}
+		if !stale {
+			// One floor event tells subscribers the snapshot's last word
+			// on the group floor (holder/mode may have changed while
+			// behind).
+			events = append(events, Event{Kind: FloorEvents, Type: protocol.TSnapshot, Group: groupID, Floor: protocol.FloorEventBody{
+				Mode:   body.Mode,
+				Holder: body.Holder,
+				Event:  "snapshot",
+			}})
+		}
+	}
+	for _, ev := range events {
+		c.publish(ev)
 	}
 }
 
-// replayAsk records one replay request, for dedup and retry pacing.
-type replayAsk struct {
-	after int64
-	at    time.Time
+// repairAsk paces one log's backfill/replay re-asks.
+type repairAsk struct {
+	after int64         // cursor position of the last ask
+	at    time.Time     // when it fired
+	delay time.Duration // current backoff step
+	wait  time.Duration // jittered wait before the same ask may repeat
 }
 
-// replayRetry is how long a repeated gap at the same board position
-// waits before re-asking: the server may have dropped (part of) the
-// previous replay under backpressure, so the request must eventually
-// repeat or the replica would wedge, but not on every received event.
-const replayRetry = time.Second
+const (
+	// repairRetryBase is the first re-ask delay after an unanswered
+	// repair request; repairRetryCap bounds the exponential backoff. The
+	// jitter decorrelates replicas that wedged on the same wrapped ring,
+	// so a loaded server sees a spread of re-asks instead of a stampede.
+	repairRetryBase = 250 * time.Millisecond
+	repairRetryCap  = 5 * time.Second
+)
 
-// askReplay fire-and-forgets a replay request when a sequence gap is
-// detected. It must not block the read loop, so it bypasses the
-// request/response machinery; at most one request per observed board
-// position per retry interval keeps reconnect storms bounded while
-// still converging when a replay itself was dropped by the server's
-// slow-consumer policy.
-func (c *Client) askReplay(groupID string, after int64) {
+// jitter spreads a delay uniformly over [d/2, d].
+func jitter(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// paceRepair reports whether a repair ask for the key at cursor
+// position after may fire now. The first ask — and any ask after the
+// cursor moved forward — fires immediately and restarts the backoff;
+// repeats at the same position wait out a jittered exponential delay
+// capped at repairRetryCap.
+func (c *Client) paceRepair(key string, after int64) bool {
 	now := c.cfg.Clock.Now()
 	c.mu.Lock()
-	if c.replayAsked == nil {
-		c.replayAsked = make(map[string]replayAsk)
+	defer c.mu.Unlock()
+	if c.repairs == nil {
+		c.repairs = make(map[string]*repairAsk)
 	}
-	if last, ok := c.replayAsked[groupID]; ok && last.after == after && now.Sub(last.at) < replayRetry {
-		c.mu.Unlock()
+	st, ok := c.repairs[key]
+	if !ok || after > st.after {
+		c.repairs[key] = &repairAsk{after: after, at: now, delay: repairRetryBase, wait: jitter(repairRetryBase)}
+		return true
+	}
+	if now.Sub(st.at) < st.wait {
+		return false
+	}
+	if st.delay < repairRetryCap {
+		st.delay *= 2
+		if st.delay > repairRetryCap {
+			st.delay = repairRetryCap
+		}
+	}
+	st.wait = jitter(st.delay)
+	st.at = now
+	return true
+}
+
+// askBackfill fire-and-forgets a TBackfill for one event log (a group,
+// or the member log) from the client's current cursor. It runs on the
+// read loop, so it bypasses the request/response machinery; pacing via
+// paceRepair keeps a wedged replica from flooding the server while
+// still converging when the backfill itself was dropped under
+// backpressure.
+func (c *Client) askBackfill(key string) {
+	c.mu.Lock()
+	after := c.lastSeq[key]
+	group := key
+	var boardSeq int64
+	if key == grouplog.MemberKey(c.memberID) {
+		group = ""
+	} else if b, ok := c.boards[key]; ok {
+		boardSeq = b.Seq()
+	}
+	c.mu.Unlock()
+	if !c.paceRepair("log:"+key, after) {
 		return
 	}
-	c.replayAsked[groupID] = replayAsk{after: after, at: now}
-	c.mu.Unlock()
+	msg := protocol.MustNew(protocol.TBackfill, protocol.BackfillBody{
+		Group: group, After: after, BoardSeq: boardSeq,
+	})
+	_ = c.send(msg)
+}
+
+// askBoardReplay fire-and-forgets a TReplay when the board replica
+// itself is behind what the event log can still replay (a lost join
+// snapshot); the server answers with a fresh snapshot.
+func (c *Client) askBoardReplay(groupID string, after int64) {
+	if !c.paceRepair("board:"+groupID, after) {
+		return
+	}
 	msg := protocol.MustNew(protocol.TReplay, protocol.ReplayBody{After: after})
 	msg.Group = groupID
 	_ = c.send(msg)
@@ -466,13 +783,36 @@ func (c *Client) boardLocked(groupID string) *whiteboard.Board {
 // Join joins (auto-creating) a group.
 func (c *Client) Join(groupID string) error {
 	msg := protocol.MustNew(protocol.TJoin, protocol.GroupBody{Group: groupID})
-	_, err := c.request(msg)
-	return err
+	if _, err := c.request(msg); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.joined[groupID] = true
+	c.mu.Unlock()
+	return nil
 }
 
 // Leave leaves a group.
 func (c *Client) Leave(groupID string) error {
 	msg := protocol.MustNew(protocol.TLeave, protocol.GroupBody{Group: groupID})
+	if _, err := c.request(msg); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.joined, groupID)
+	c.mu.Unlock()
+	return nil
+}
+
+// SwitchMode sets the group's floor mode explicitly, resetting the
+// floor (holder, queue, approvals). With pin (session chair only) the
+// policy is chair-pinned: no other member may move the group to a
+// different mode — by SwitchMode or by requesting one — until the chair
+// switches again without pin. On a pinned group SwitchMode from anyone
+// but the chair is denied.
+func (c *Client) SwitchMode(groupID string, mode floor.Mode, pin bool) error {
+	msg := protocol.MustNew(protocol.TModeSwitch, protocol.ModeSwitchBody{Mode: mode.String(), Pin: pin})
+	msg.Group = groupID
 	_, err := c.request(msg)
 	return err
 }
@@ -567,11 +907,23 @@ func (c *Client) Invite(groupID, to string) (int64, error) {
 	return body.InviteID, nil
 }
 
-// ReplyInvite answers an invitation.
+// ReplyInvite answers an invitation. Accepting joins the invited group.
 func (c *Client) ReplyInvite(inviteID int64, accept bool) error {
 	msg := protocol.MustNew(protocol.TInviteReply, protocol.InviteReplyBody{InviteID: inviteID, Accept: accept})
-	_, err := c.request(msg)
-	return err
+	if _, err := c.request(msg); err != nil {
+		return err
+	}
+	if accept {
+		c.mu.Lock()
+		for _, inv := range c.invites {
+			if inv.InviteID == inviteID {
+				c.joined[inv.Group] = true
+				break
+			}
+		}
+		c.mu.Unlock()
+	}
+	return nil
 }
 
 // Replay requests board operations after the given sequence number.
@@ -756,7 +1108,8 @@ func (c *Client) StartPresentation(groupID string, body protocol.PresentBody) er
 	return err
 }
 
-// Close says goodbye and tears the connection down.
+// Close says goodbye and tears the connection down for good:
+// subscription channels close and the session cannot be resumed.
 func (c *Client) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -764,23 +1117,129 @@ func (c *Client) Close() {
 		return
 	}
 	c.closed = true
+	conn := c.conn
+	done := c.readerDone
 	c.mu.Unlock()
 	bye := protocol.MustNew(protocol.TBye, nil)
 	_ = c.send(bye)
-	_ = c.conn.Close()
-	<-c.readerDone
+	_ = conn.Close()
+	<-done
+	// The read loop closes the subscribers when it observes the closed
+	// flag, but it may already have exited on a connection error before
+	// Close was called; closing here too covers that path (idempotent).
+	c.closeSubscribers()
 }
 
 // Drop abandons the connection without a goodbye — the crash of Figure
-// 3(c). Only meaningful over netsim transports; returns false otherwise.
+// 3(c). Over netsim the outbound packets silently vanish (the server
+// notices only through heartbeat silence); over other transports the
+// connection is severed abruptly. Unlike Close, Drop does not end the
+// session: subscriptions stay attached and Reconnect can resume it.
 func (c *Client) Drop() bool {
 	c.mu.Lock()
-	c.closed = true
+	c.connDown = true
+	conn := c.conn
 	c.mu.Unlock()
 	type dropper interface{ Drop() }
-	if d, ok := c.conn.(dropper); ok {
+	if d, ok := conn.(dropper); ok {
 		d.Drop()
 		return true
 	}
-	return false
+	_ = conn.Close()
+	return true
+}
+
+// Reconnect resumes a session whose connection was lost (Drop, a
+// network failure, or a server-side disconnect): it dials the server
+// again, presents the session token from the original welcome, and
+// converges every joined group — floor, suspensions, board, queue — and
+// the invitation log through TBackfill from the last applied sequence
+// numbers. The member identity is unchanged, groups stay joined, and
+// Subscribe channels keep delivering across the gap. A Closed client
+// cannot reconnect.
+func (c *Client) Reconnect() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: session closed", ErrClosed)
+	}
+	if !c.connDown {
+		c.mu.Unlock()
+		return errors.New("client: still connected")
+	}
+	if c.reconnecting {
+		c.mu.Unlock()
+		return errors.New("client: reconnect already in flight")
+	}
+	c.reconnecting = true
+	token := c.token
+	oldConn := c.conn
+	done := c.readerDone
+	c.seq++
+	helloSeq := c.seq
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.reconnecting = false
+		c.mu.Unlock()
+	}()
+	if token == "" {
+		return errors.New("client: server issued no session token")
+	}
+	// Make sure the old read loop is fully parked before swapping the
+	// connection underneath it.
+	_ = oldConn.Close()
+	<-done
+
+	conn, err := c.cfg.Network.Dial(c.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("client: reconnect: %w", err)
+	}
+	welcome, err := handshake(conn, c.cfg, protocol.HelloBody{
+		Name: c.cfg.Name, Role: c.cfg.Role, Priority: c.cfg.Priority, Token: token,
+	}, helloSeq)
+	if err != nil {
+		_ = conn.Close()
+		return fmt.Errorf("client: reconnect: %w", err)
+	}
+
+	type resumeAsk struct {
+		group    string
+		after    int64
+		boardSeq int64
+	}
+	var asks []resumeAsk
+	c.mu.Lock()
+	if c.closed {
+		// Close ran while we were handshaking: the session is over and
+		// the new connection must not outlive it.
+		c.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("%w: session closed", ErrClosed)
+	}
+	c.conn = conn
+	c.connDown = false
+	c.memberID = welcome.MemberID
+	c.token = welcome.Token
+	c.readerDone = make(chan struct{})
+	c.repairs = nil // fresh connection, fresh pacing
+	for g := range c.joined {
+		ask := resumeAsk{group: g, after: c.lastSeq[g]}
+		if b, ok := c.boards[g]; ok {
+			ask.boardSeq = b.Seq()
+		}
+		asks = append(asks, ask)
+	}
+	mk := grouplog.MemberKey(c.memberID)
+	asks = append(asks, resumeAsk{group: "", after: c.lastSeq[mk]})
+	c.mu.Unlock()
+
+	go c.readLoop()
+	for _, ask := range asks {
+		msg := protocol.MustNew(protocol.TBackfill, protocol.BackfillBody{
+			Group: ask.group, After: ask.after, BoardSeq: ask.boardSeq,
+		})
+		_ = c.send(msg)
+	}
+	return nil
 }

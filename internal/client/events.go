@@ -9,7 +9,9 @@ type EventKind int
 
 const (
 	// FloorEvents: grants, denials, queue-position updates, releases,
-	// passes and chair approvals (TFloorEvent).
+	// passes, chair approvals and mode switches (TFloorEvent), plus one
+	// synthesized "snapshot" event whenever a catch-up snapshot restates
+	// the group floor (Event.Type == TSnapshot).
 	FloorEvents EventKind = iota + 1
 	// SuspendEvents: Media-Suspend and resume notices (TSuspend/TResume).
 	SuspendEvents
@@ -42,16 +44,60 @@ type Event struct {
 }
 
 // subscriberBuffer bounds each subscription channel. The read loop never
-// blocks on a slow subscriber: events beyond the buffer are dropped.
+// blocks on a slow subscriber: events beyond the buffer are dropped and
+// counted (SubscriberStats).
 const subscriberBuffer = 256
 
 type subscriber struct {
 	ch    chan Event
 	kinds map[EventKind]bool // nil means all kinds
+	// delivered / dropped count fan-out outcomes, under Client.mu.
+	delivered int64
+	dropped   int64
 }
 
 func (s *subscriber) wants(k EventKind) bool {
 	return s.kinds == nil || s.kinds[k]
+}
+
+// SubscriberStats is one subscription channel's backpressure snapshot.
+type SubscriberStats struct {
+	// Kinds are the subscribed event kinds (nil means every kind).
+	Kinds []EventKind
+	// Delivered counts events handed to the channel; Dropped counts
+	// events discarded because the buffer was full.
+	Delivered int64
+	Dropped   int64
+	// Buffered is the number of events waiting in the channel right now;
+	// Cap is the channel's capacity.
+	Buffered int
+	Cap      int
+}
+
+// SubscriberStats returns per-subscription backpressure counters, in
+// subscription order — the client-side mirror of the server's
+// SessionStats. A subscriber that stops draining loses events locally
+// (drop-on-full), and those local drops are invisible to the log
+// plane's gap detection by construction: sequence admission runs in the
+// read loop against the wire stream before fan-out, so a lazy consumer
+// can never trigger a TBackfill, only grow its Dropped counter.
+func (c *Client) SubscriberStats() []SubscriberStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SubscriberStats, 0, len(c.subs))
+	for _, sub := range c.subs {
+		st := SubscriberStats{
+			Delivered: sub.delivered,
+			Dropped:   sub.dropped,
+			Buffered:  len(sub.ch),
+			Cap:       cap(sub.ch),
+		}
+		for k := range sub.kinds {
+			st.Kinds = append(st.Kinds, k)
+		}
+		out = append(out, st)
+	}
+	return out
 }
 
 // Subscribe returns a channel of server-pushed events. With no arguments
@@ -108,7 +154,13 @@ func (c *Client) publish(ev Event) {
 		}
 		select {
 		case sub.ch <- ev:
-		default: // slow subscriber: drop rather than stall the read loop
+			sub.delivered++
+		default:
+			// Slow subscriber: drop rather than stall the read loop. The
+			// drop is counted, and it is purely local — the log cursors
+			// already advanced in the read loop, so gap detection never
+			// mistakes it for a delivery hole.
+			sub.dropped++
 		}
 	}
 }

@@ -40,6 +40,10 @@ type Options struct {
 	SendQueueCap int
 	// SlowPolicy is the server's slow-consumer policy.
 	SlowPolicy server.SlowConsumerPolicy
+	// LogCap bounds each group's event-log ring at the server (default:
+	// the server's own default); clients behind by more than LogCap
+	// logged events converge through a snapshot instead of a replay.
+	LogCap int
 }
 
 // Lab is a fully assembled in-memory DMPS deployment.
@@ -84,6 +88,7 @@ func NewLab(opts Options) (*Lab, error) {
 		ProbeTimeout:  opts.ProbeTimeout,
 		SendQueueCap:  opts.SendQueueCap,
 		SlowPolicy:    opts.SlowPolicy,
+		LogCap:        opts.LogCap,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

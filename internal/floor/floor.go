@@ -174,14 +174,19 @@ type Controller struct {
 	floors   *shard.Map[*floorState]
 }
 
-// floorState pairs the policy-visible State with the suspension set,
-// which is controller bookkeeping no policy may touch. Its mutex is the
-// group's arbitration lock: every Controller method takes it for exactly
-// one group, so independent groups proceed in parallel.
+// floorState pairs the policy-visible State with the suspension set and
+// the pin flag, which are controller bookkeeping no policy may touch.
+// Its mutex is the group's arbitration lock: every Controller method
+// takes it for exactly one group, so independent groups proceed in
+// parallel.
 type floorState struct {
 	mu        sync.Mutex
 	st        State
 	suspended map[group.MemberID]bool
+	// pinned is the chair-pinned policy flag: while set, only the
+	// session chair may move the group to a different mode — whether by
+	// an explicit SwitchMode or by requesting a different mode's floor.
+	pinned bool
 }
 
 // NewController returns a controller over the given group registry and
@@ -265,11 +270,18 @@ func (c *Controller) Arbitrate(groupID string, member group.MemberID, mode Mode,
 		Target:    target,
 		Level:     lvl,
 	}
-	// A request for a different mode first passes the outgoing policy's
-	// gate (if any), so a mode that moderates its group cannot be switched
-	// off by an arbitrary member. The gate runs before Media-Suspend: a
-	// rejected request must not suspend an uninvolved member's media.
+	// A request for a different mode must clear the group's pin (a
+	// chair-pinned policy gates mode *entry* behind the chair, not just
+	// exit) and then the outgoing policy's gate (if any), so a mode that
+	// moderates its group cannot be switched off by an arbitrary member.
+	// Both run before Media-Suspend: a rejected request must not suspend
+	// an uninvolved member's media. Direct Contact is exempt from the
+	// pin, as it is from ModeGates: it runs concurrently and never
+	// changes the group's prevailing mode.
 	if mode != fs.st.Mode {
+		if mode != DirectContact && c.pinEnforcedLocked(groupID, fs, member) {
+			return dec, fmt.Errorf("%w: %q policy is pinned by the chair", ErrNotChair, groupID)
+		}
 		if cur, ok := PolicyFor(fs.st.Mode); ok {
 			if gate, ok := cur.(ModeGate); ok {
 				if gerr := gate.AllowModeChange(c.registry, &fs.st, req); gerr != nil {
@@ -365,6 +377,108 @@ func (c *Controller) Approve(groupID string, approver, member group.MemberID) (D
 	dec.Mode = fs.st.Mode
 	dec.Level = c.level()
 	return dec, err
+}
+
+// SwitchMode sets the group's floor mode explicitly, without running an
+// arbitration. The switch passes the same gates as mode entry through
+// Arbitrate — a pinned group only obeys its session chair, and the
+// outgoing policy's ModeGate may veto — and then resets the floor:
+// holder, queue and approvals clear, so the new mode starts from an
+// empty room. Pin (chair only) records the chair-pinned policy; every
+// chair switch rewrites the flag, so a chair switching without pin also
+// unpins. It returns the group's resulting mode and whether the mode
+// (and with it the floor state) actually changed — a same-mode call is
+// a pin update only, and callers must not announce a floor reset that
+// never happened.
+func (c *Controller) SwitchMode(groupID string, member group.MemberID, mode Mode, pin bool) (Mode, bool, error) {
+	if _, ok := PolicyFor(mode); !ok {
+		return 0, false, fmt.Errorf("%w: unknown mode %d", ErrAborted, int(mode))
+	}
+	if !c.registry.IsMember(groupID, member) {
+		return 0, false, fmt.Errorf("%w: %q in %q (%w)", ErrNotMember, member, groupID, ErrAborted)
+	}
+	requester, err := c.registry.Member(member)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: %v", ErrAborted, err)
+	}
+	chair, _ := c.registry.Chair(groupID)
+	isChair := member == chair
+
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if c.pinEnforcedLocked(groupID, fs, member) {
+		return fs.st.Mode, false, fmt.Errorf("%w: %q policy is pinned by the chair", ErrNotChair, groupID)
+	}
+	if pin && !isChair {
+		return fs.st.Mode, false, fmt.Errorf("%w: only chair %q may pin %q", ErrNotChair, chair, groupID)
+	}
+	changed := mode != fs.st.Mode
+	if changed {
+		if cur, ok := PolicyFor(fs.st.Mode); ok {
+			if gate, ok := cur.(ModeGate); ok {
+				req := Request{Group: groupID, Mode: mode, Requester: requester, Level: c.level()}
+				if gerr := gate.AllowModeChange(c.registry, &fs.st, req); gerr != nil {
+					return fs.st.Mode, false, gerr
+				}
+			}
+		}
+		fs.st.Mode = mode
+		fs.st.Holder = ""
+		fs.st.Queue = nil
+		fs.st.Approved = make(map[group.MemberID]bool)
+	}
+	if isChair {
+		fs.pinned = pin
+	}
+	return fs.st.Mode, changed, nil
+}
+
+// Pinned reports whether the group's floor policy is chair-pinned.
+func (c *Controller) Pinned(groupID string) bool {
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.pinned
+}
+
+// pinEnforcedLocked reports whether the group's pin blocks a mode
+// change by member. The pin binds only while its chair is still in the
+// group: a chair who leaves would otherwise lock the group into its
+// mode forever (the registry never reassigns the chair seat), so an
+// orphaned pin lapses — and resumes if the chair rejoins. Requires
+// fs.mu.
+func (c *Controller) pinEnforcedLocked(groupID string, fs *floorState, member group.MemberID) bool {
+	if !fs.pinned {
+		return false
+	}
+	chair, err := c.registry.Chair(groupID)
+	if err != nil || member == chair {
+		return false
+	}
+	return c.registry.IsMember(groupID, chair)
+}
+
+// StateSnapshot returns the group's mode, holder, queue, suspended set
+// (sorted) and pin flag from one lock acquisition — the floor half of
+// the catch-up snapshot a behind client converges from, so it can never
+// pair a holder from before a concurrent arbitration with a queue from
+// after it.
+func (c *Controller) StateSnapshot(groupID string) (mode Mode, holder group.MemberID, queue []group.MemberID, suspended []group.MemberID, pinned bool) {
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	mode, holder, pinned = fs.st.Mode, fs.st.Holder, fs.pinned
+	if pol, err := c.policyOf(fs); err == nil {
+		queue = pol.QueueSnapshot(&fs.st)
+	}
+	for id, on := range fs.suspended {
+		if on {
+			suspended = append(suspended, id)
+		}
+	}
+	sort.Slice(suspended, func(i, j int) bool { return suspended[i] < suspended[j] })
+	return mode, holder, queue, suspended, pinned
 }
 
 // Holder returns the current token holder ("" when free).

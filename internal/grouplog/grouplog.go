@@ -1,0 +1,149 @@
+// Package grouplog is the server's sequenced event-log plane: one
+// bounded ring log of encoded state events per key, where a key is a
+// group ID (floor grants/releases/queueing, suspend/resume, board
+// operations, mode switches) or a member's private event log
+// (invitations). Every state broadcast is appended here first — the
+// append assigns the event its per-key sequence number, which is
+// stamped into the wire bytes — and the same bytes are fanned out and
+// retained for replay. A client that took drops, or reconnects with its
+// last-seen sequence numbers, asks for the missing suffix; when the
+// ring has wrapped past the requested position the caller falls back to
+// a compact state snapshot instead.
+//
+// Logs are sharded behind the lock-striped shard.Map, so appends in one
+// group never contend with appends in another — the same partitioning
+// discipline as the floor controller and the group registry.
+package grouplog
+
+import (
+	"sync"
+
+	"dmps/internal/shard"
+)
+
+// DefaultCap is the per-key ring capacity when the caller does not
+// choose one. 512 events rides out multi-second stalls at classroom
+// event rates while bounding retained memory per group; a client behind
+// by more than the ring converges through a snapshot instead of a
+// replay, so the capacity trades replay reach against memory, never
+// correctness.
+const DefaultCap = 512
+
+// MemberKey returns the log key of a member's private event log. The
+// "~" prefix cannot collide with group IDs that reach the server
+// through Join/CreateGroup message bodies only; group logs use the
+// group ID itself as the key.
+func MemberKey(memberID string) string { return "~" + memberID }
+
+// Plane is the set of per-key logs, sharded for concurrency.
+type Plane struct {
+	cap  int
+	logs *shard.Map[*Log]
+}
+
+// NewPlane returns an empty plane whose logs hold cap entries each
+// (DefaultCap when cap <= 0).
+func NewPlane(cap int) *Plane {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	return &Plane{cap: cap, logs: shard.NewMap[*Log]()}
+}
+
+// Cap returns the per-key ring capacity.
+func (p *Plane) Cap() int { return p.cap }
+
+// Get returns (creating) the log for a key.
+func (p *Plane) Get(key string) *Log {
+	return p.logs.GetOrCreate(key, func() *Log { return newLog(p.cap) })
+}
+
+// Peek returns the log for a key without creating it.
+func (p *Plane) Peek(key string) (*Log, bool) { return p.logs.Get(key) }
+
+// Heads returns the head sequence number of every non-empty log, keyed
+// as the plane is. It is the digest the server broadcasts with the
+// connection lights so clients can detect that they are behind even
+// when the group has gone quiet — the repair path that used to need
+// per-class server-side bookkeeping.
+func (p *Plane) Heads() map[string]int64 {
+	keys := p.logs.Keys()
+	out := make(map[string]int64, len(keys))
+	for _, key := range keys {
+		if lg, ok := p.logs.Get(key); ok {
+			if head := lg.Head(); head > 0 {
+				out[key] = head
+			}
+		}
+	}
+	return out
+}
+
+// Log is one key's ring of sequenced, already-encoded events. Sequence
+// numbers are 1-based and dense; the ring retains the most recent cap
+// of them.
+type Log struct {
+	mu   sync.Mutex
+	ring [][]byte // slot (seq-1) % cap holds the event with that seq
+	head int64    // highest assigned sequence number (0 when empty)
+}
+
+func newLog(cap int) *Log { return &Log{ring: make([][]byte, cap)} }
+
+// Append assigns the next sequence number, calls encode(seq) to produce
+// the wire bytes with that number stamped in, stores them in the ring
+// and hands them to deliver (which may be nil). The lock is held across
+// encode, store and deliver so fan-out order equals log order — two
+// concurrent appends can never reach a recipient's queue inverted,
+// which is what lets clients apply events strictly in sequence. deliver
+// must therefore never block (the server's per-session queues drop
+// rather than wait). An encode error leaves the log untouched.
+func (l *Log) Append(encode func(seq int64) ([]byte, error), deliver func(seq int64, wire []byte)) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.head + 1
+	wire, err := encode(seq)
+	if err != nil {
+		return 0, err
+	}
+	l.ring[(seq-1)%int64(len(l.ring))] = wire
+	l.head = seq
+	if deliver != nil {
+		deliver(seq, wire)
+	}
+	return seq, nil
+}
+
+// Head returns the highest assigned sequence number (0 when empty).
+func (l *Log) Head() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Replay emits every retained event with sequence number > after, in
+// order, and reports the current head and whether the suffix was
+// complete. complete == false means the ring has wrapped past after+1 —
+// the oldest retained event no longer connects to the caller's position
+// — and nothing is emitted: the caller must send a snapshot instead.
+// The lock is held across the emits so a concurrent Append cannot fan
+// out between (or ahead of) replayed entries; like Append's deliver,
+// emit must not block.
+func (l *Log) Replay(after int64, emit func(seq int64, wire []byte)) (head int64, complete bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after >= l.head {
+		return l.head, true
+	}
+	oldest := l.head - int64(len(l.ring)) + 1
+	if oldest < 1 {
+		oldest = 1
+	}
+	if after+1 < oldest {
+		return l.head, false
+	}
+	for seq := after + 1; seq <= l.head; seq++ {
+		emit(seq, l.ring[(seq-1)%int64(len(l.ring))])
+	}
+	return l.head, true
+}

@@ -1,0 +1,190 @@
+package grouplog
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// appendN appends n numbered events whose wire bytes are their decimal
+// sequence numbers, so replays can be checked for order and density.
+func appendN(t testing.TB, lg *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := lg.Append(func(seq int64) ([]byte, error) {
+			return []byte(strconv.FormatInt(seq, 10)), nil
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendAssignsDenseSeqsAndDelivers(t *testing.T) {
+	lg := newLog(4)
+	var delivered []int64
+	for i := 1; i <= 3; i++ {
+		seq, err := lg.Append(func(seq int64) ([]byte, error) {
+			return []byte(strconv.FormatInt(seq, 10)), nil
+		}, func(seq int64, wire []byte) {
+			if string(wire) != strconv.FormatInt(seq, 10) {
+				t.Errorf("deliver got wire %q for seq %d", wire, seq)
+			}
+			delivered = append(delivered, seq)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != int64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if lg.Head() != 3 || len(delivered) != 3 {
+		t.Fatalf("head = %d, delivered = %v", lg.Head(), delivered)
+	}
+}
+
+func TestAppendEncodeErrorLeavesLogUntouched(t *testing.T) {
+	lg := newLog(4)
+	appendN(t, lg, 2)
+	if _, err := lg.Append(func(int64) ([]byte, error) {
+		return nil, fmt.Errorf("boom")
+	}, nil); err == nil {
+		t.Fatal("encode error not surfaced")
+	}
+	if lg.Head() != 2 {
+		t.Fatalf("head moved to %d after failed append", lg.Head())
+	}
+	appendN(t, lg, 1)
+	if lg.Head() != 3 {
+		t.Fatalf("head = %d after recovery append", lg.Head())
+	}
+}
+
+func TestReplaySuffixAndWrap(t *testing.T) {
+	lg := newLog(4)
+	appendN(t, lg, 10) // ring retains 7..10
+
+	// Caught-up caller: nothing to emit, complete.
+	head, complete := lg.Replay(10, func(int64, []byte) { t.Error("emitted at head") })
+	if head != 10 || !complete {
+		t.Fatalf("at-head replay = (%d, %v)", head, complete)
+	}
+
+	// In-window suffix replays in order.
+	var got []string
+	head, complete = lg.Replay(7, func(seq int64, wire []byte) {
+		got = append(got, string(wire))
+	})
+	if head != 10 || !complete {
+		t.Fatalf("suffix replay = (%d, %v)", head, complete)
+	}
+	if want := []string{"8", "9", "10"}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replayed %v, want %v", got, want)
+	}
+
+	// The oldest retained event is 7: after=6 still connects…
+	if _, complete = lg.Replay(6, func(int64, []byte) {}); !complete {
+		t.Fatal("after=6 should still be within the ring")
+	}
+	// …but after=5 has wrapped out; nothing may be emitted.
+	head, complete = lg.Replay(5, func(int64, []byte) { t.Error("emitted past wrap") })
+	if head != 10 || complete {
+		t.Fatalf("wrapped replay = (%d, %v), want (10, false)", head, complete)
+	}
+}
+
+func TestPlaneKeysAndHeads(t *testing.T) {
+	p := NewPlane(8)
+	if p.Cap() != 8 {
+		t.Fatalf("cap = %d", p.Cap())
+	}
+	appendN(t, p.Get("class"), 3)
+	appendN(t, p.Get(MemberKey("alice#1")), 1)
+	p.Get("idle") // created but empty: must not appear in Heads
+	heads := p.Heads()
+	if len(heads) != 2 || heads["class"] != 3 || heads[MemberKey("alice#1")] != 1 {
+		t.Fatalf("heads = %v", heads)
+	}
+	if _, ok := p.Peek("never"); ok {
+		t.Fatal("Peek created a log")
+	}
+	if NewPlane(0).Cap() != DefaultCap {
+		t.Fatalf("default cap = %d", NewPlane(0).Cap())
+	}
+}
+
+// TestConcurrentAppendBackfillChurn is the -race witness for the log
+// plane: writers append to a handful of keys while readers replay
+// suffixes and poll heads. Every replay must observe a dense, in-order
+// suffix — the lock held across append+deliver and across replay emits
+// is exactly what makes that true.
+func TestConcurrentAppendBackfillChurn(t *testing.T) {
+	p := NewPlane(32)
+	keys := []string{"g1", "g2", MemberKey("m#1")}
+	const writers, perWriter = 4, 200
+
+	var writersWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		for _, key := range keys {
+			writersWG.Add(1)
+			go func(key string) {
+				defer writersWG.Done()
+				lg := p.Get(key)
+				for i := 0; i < perWriter; i++ {
+					if _, err := lg.Append(func(seq int64) ([]byte, error) {
+						return []byte(strconv.FormatInt(seq, 10)), nil
+					}, func(int64, []byte) {}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(key)
+		}
+	}
+	stop := make(chan struct{})
+	var readersWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readersWG.Add(1)
+		go func(r int) {
+			defer readersWG.Done()
+			key := keys[r%len(keys)]
+			lg := p.Get(key)
+			after := int64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				last := after
+				head, complete := lg.Replay(after, func(seq int64, wire []byte) {
+					if seq != last+1 {
+						t.Errorf("replay gap: %d after %d", seq, last)
+					}
+					if got, _ := strconv.ParseInt(string(wire), 10, 64); got != seq {
+						t.Errorf("slot %d holds wire %q", seq, wire)
+					}
+					last = seq
+				})
+				if complete {
+					after = last
+					if after != head {
+						t.Errorf("complete replay stopped at %d, head %d", last, head)
+					}
+				} else {
+					after = head // snapshot fallback: jump to head
+				}
+				_ = p.Heads()
+			}
+		}(r)
+	}
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+	for _, key := range keys {
+		if head := p.Get(key).Head(); head != int64(writers*perWriter) {
+			t.Errorf("%s head = %d, want %d", key, head, writers*perWriter)
+		}
+	}
+}

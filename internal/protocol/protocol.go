@@ -56,8 +56,23 @@ const (
 	TAnnotate      Type = "annotate"
 	TAnnotateEvent Type = "annotate_event"
 	// TReplay asks for board operations after a sequence number
-	// (ReplayBody); answered with TAnnotateEvent / TChatEvent streams.
+	// (ReplayBody); answered with a TSnapshot carrying the board suffix.
 	TReplay Type = "replay"
+	// TBackfill asks for the suffix of a group's event log — or, with
+	// Group empty, of the sender's own member event log — after a
+	// sequence number (BackfillBody). The server re-sends the retained
+	// logged events (each stamped with its GSeq) or, when the ring has
+	// wrapped past the requested position, one compact TSnapshot.
+	TBackfill Type = "backfill"
+	// TSnapshot carries a group's authoritative state as of a log
+	// sequence number (SnapshotBody): the catch-up payload for late
+	// joiners, explicit replays, and backfills past the ring.
+	TSnapshot Type = "snapshot"
+	// TModeSwitch sets a group's floor mode explicitly, optionally
+	// pinning the policy so only the session chair may change it again
+	// (ModeSwitchBody); broadcast to the group as a TFloorEvent with
+	// Event "mode_switch".
+	TModeSwitch Type = "mode_switch"
 	// TClockSync requests the global time (ClockSyncBody both ways).
 	TClockSync Type = "clock_sync"
 	// TStatusProbe and TStatusReport implement the heartbeat that drives
@@ -97,6 +112,13 @@ type Message struct {
 	// Seq correlates requests and replies (client-assigned, echoed by the
 	// server in TAck/TErr).
 	Seq int64 `json:"seq,omitempty"`
+	// GSeq is the event-log sequence number stamped on logged state
+	// broadcasts (floor events, suspend/resume, board operations, mode
+	// switches, invitations): 1-based and dense per log, so a recipient
+	// applies them strictly in order and a hole proves a drop happened —
+	// the trigger for TBackfill. 0 on everything unlogged (replies,
+	// probes, lights, media, private lines, presentation starts).
+	GSeq int64 `json:"gseq,omitempty"`
 	// From and To are member IDs ("" when implicit).
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
@@ -106,11 +128,15 @@ type Message struct {
 	Body json.RawMessage `json:"body,omitempty"`
 }
 
-// HelloBody introduces a client.
+// HelloBody introduces a client. With Token set it resumes an existing
+// session instead of opening a new one: the server re-binds the member
+// identity (and any live stale session is displaced), after which the
+// client converges through TBackfill without re-joining its groups.
 type HelloBody struct {
 	Name     string `json:"name"`
 	Role     string `json:"role"` // "chair" or "participant"
 	Priority int    `json:"priority"`
+	Token    string `json:"token,omitempty"`
 }
 
 // WelcomeBody acknowledges the handshake.
@@ -119,6 +145,9 @@ type WelcomeBody struct {
 	// ServerTimeNanos is the global clock at admission, for a first rough
 	// sync.
 	ServerTimeNanos int64 `json:"server_time_nanos"`
+	// Token is the session-resume credential: presenting it in a later
+	// THello reconnects as the same member.
+	Token string `json:"token,omitempty"`
 }
 
 // GroupBody names a group.
@@ -160,13 +189,17 @@ type FloorEventBody struct {
 	Holder string `json:"holder,omitempty"`
 	Member string `json:"member,omitempty"` // subject of the change
 	// Event is the transition kind: "granted", "denied", "released",
-	// "passed", "queued", "approved", "queue_position", or "resync" (a
-	// server-pushed floor-state refresh after a backpressure drop).
+	// "passed", "queued", "approved", "queue_position", "mode_switch"
+	// (the group's floor mode changed; Mode is the new mode), or "queue"
+	// (a full restatement of the pending queue after a transition
+	// shifted it; Queue carries the order and clients pick out their own
+	// slot — delivered to subscribers as a per-member "queue_position").
 	Event string `json:"event"`
 	// QueuePosition is the subject's 1-based queue slot for "queued",
-	// "approved", "queue_position" and "resync" events (0 in "resync"
-	// when the subject is not queued).
+	// "approved" and "queue_position" events.
 	QueuePosition int `json:"queue_position,omitempty"`
+	// Queue is the whole pending queue in order, for "queue" events.
+	Queue []string `json:"queue,omitempty"`
 }
 
 // InviteBody requests an invitation.
@@ -213,6 +246,44 @@ type ReplayBody struct {
 	After int64 `json:"after"`
 }
 
+// BackfillBody asks for the suffix of an event log. Group names a group
+// log; an empty Group means the sender's own member event log
+// (invitations). After is the highest GSeq the sender has applied for
+// that log; BoardSeq is its whiteboard replica's highest operation, so
+// a snapshot fallback carries only the missing board suffix.
+type BackfillBody struct {
+	Group    string `json:"group,omitempty"`
+	After    int64  `json:"after"`
+	BoardSeq int64  `json:"board_seq,omitempty"`
+}
+
+// ModeSwitchBody sets a group's floor mode. Pin (session chair only)
+// pins the group's policy: afterwards only the chair may switch modes —
+// by TModeSwitch or by requesting a different mode's floor — until a
+// later chair switch clears the pin.
+type ModeSwitchBody struct {
+	Mode string `json:"mode"`
+	Pin  bool   `json:"pin,omitempty"`
+}
+
+// SnapshotBody is a group's authoritative state as of event-log
+// sequence Seq — the compact catch-up a client applies when the log
+// suffix it needs has left the ring (or when it joins late). For a
+// member event log (Message.Group empty) only Seq and Invites are set.
+type SnapshotBody struct {
+	Seq       int64    `json:"seq"`
+	Mode      string   `json:"mode,omitempty"`
+	Holder    string   `json:"holder,omitempty"`
+	Queue     []string `json:"queue,omitempty"`
+	Suspended []string `json:"suspended,omitempty"`
+	Level     string   `json:"level,omitempty"`
+	Pinned    bool     `json:"pinned,omitempty"`
+	// Board is the whiteboard suffix after the requester's reported
+	// BoardSeq (the whole board for a late joiner).
+	Board   []SequencedBody   `json:"board,omitempty"`
+	Invites []InviteEventBody `json:"invites,omitempty"`
+}
+
 // ClockSyncBody carries one Cristian exchange. The client fills
 // ClientSendNanos; the server echoes it and fills MasterNanos.
 type ClockSyncBody struct {
@@ -231,10 +302,17 @@ type BackpressureBody struct {
 
 // LightsBody reports connection lights: member → "green"/"red", plus
 // each member's backpressure counters (the teacher's window can show a
-// lagging student next to a disconnected one).
+// lagging student next to a disconnected one). Heads is the event-log
+// digest — log key (group ID, or "~member" for the recipient's own
+// invitation log) → head sequence number — that lets a client notice
+// it is behind even on a quiet group: a head beyond its last applied
+// GSeq means a logged event was dropped on its queue, and it asks
+// TBackfill. The digest is filtered to the recipient's joined groups
+// and own member log (event logs are group-private, like boards).
 type LightsBody struct {
 	Lights       map[string]string           `json:"lights"`
 	Backpressure map[string]BackpressureBody `json:"backpressure,omitempty"`
+	Heads        map[string]int64            `json:"heads,omitempty"`
 }
 
 // SuspendBody names a suspended/resumed member.

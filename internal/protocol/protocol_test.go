@@ -79,6 +79,7 @@ func TestAllBodyTypesRoundTrip(t *testing.T) {
 		{TAck, FloorDecisionBody{Granted: true, Mode: "free-access", Suspended: []string{"carol"}}},
 		{TTokenPass, TokenPassBody{To: "bob"}},
 		{TFloorEvent, FloorEventBody{Mode: "equal-control", Holder: "alice", Event: "granted"}},
+		{TFloorEvent, FloorEventBody{Mode: "equal-control", Holder: "alice", Event: "queue", Queue: []string{"bob", "carol"}}},
 		{TInvite, InviteBody{Group: "g", To: "bob"}},
 		{TInviteEvent, InviteEventBody{InviteID: 3, Group: "g", From: "alice"}},
 		{TInviteReply, InviteReplyBody{InviteID: 3, Accept: true}},
@@ -86,6 +87,15 @@ func TestAllBodyTypesRoundTrip(t *testing.T) {
 		{TAnnotate, AnnotateBody{Kind: "draw", Data: "stroke"}},
 		{TChatEvent, SequencedBody{Seq: 9, Author: "a", Kind: "text", Data: "hi"}},
 		{TReplay, ReplayBody{After: 4}},
+		{TBackfill, BackfillBody{Group: "g", After: 17, BoardSeq: 4}},
+		{TModeSwitch, ModeSwitchBody{Mode: "moderated-queue", Pin: true}},
+		{TSnapshot, SnapshotBody{
+			Seq: 21, Mode: "equal-control", Holder: "alice",
+			Queue: []string{"bob"}, Suspended: []string{"carol"},
+			Level: "degraded", Pinned: true,
+			Board:   []SequencedBody{{Seq: 2, Author: "a", Kind: "text", Data: "hi"}},
+			Invites: []InviteEventBody{{InviteID: 5, Group: "g", From: "alice"}},
+		}},
 		{TClockSync, ClockSyncBody{ClientSendNanos: 1, MasterNanos: 2}},
 		{TLights, LightsBody{Lights: map[string]string{"alice": "green"}}},
 		{TSuspend, SuspendBody{Member: "carol", Level: "degraded"}},

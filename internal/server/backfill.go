@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+
+	"dmps/internal/grouplog"
+	"dmps/internal/protocol"
+	"dmps/internal/resource"
+)
+
+// onBackfill is the single repair path of the delivery plane: a client
+// that saw a hole in a log's GSeq stream — or learned from the heads
+// digest that it is behind, or just reconnected with its last-seen
+// sequence numbers — asks for the suffix after its position. The server
+// re-sends the retained logged events verbatim (their GSeq already
+// stamped), or one compact snapshot when the ring has wrapped past the
+// requested position. An empty Group names the sender's own member
+// event log (invitations). The request is usually fired without a Seq
+// from the client's read loop; it is acked only when one is present.
+//
+// Backfill sends ride the same droppable per-session queue as live
+// traffic: if the suffix itself overflows the client's queue, the
+// heads digest keeps showing the client behind and its next paced ask
+// retries — repair never blocks a handler on a slow consumer.
+func (s *Server) onBackfill(sess *session, msg protocol.Message) {
+	var body protocol.BackfillBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+
+	if body.Group == "" {
+		s.backfillMemberLog(sess, body.After)
+	} else {
+		// Logs are group-private, like the boards they carry: only
+		// members may read a group's event stream.
+		if !s.registry.IsMember(body.Group, sess.member.ID) {
+			s.replyErr(sess, msg.Seq, "not_member", fmt.Errorf("server: %s not in %q", sess.member.ID, body.Group))
+			return
+		}
+		s.backfillGroupLog(sess, body.Group, body.After, body.BoardSeq)
+	}
+	if msg.Seq != 0 {
+		s.replyAck(sess, msg.Seq, protocol.BackfillBody{Group: body.Group, After: body.After})
+	}
+}
+
+func (s *Server) backfillGroupLog(sess *session, groupID string, after, boardSeq int64) {
+	lg, ok := s.logs.Peek(groupID)
+	if !ok {
+		return
+	}
+	if _, complete := lg.Replay(after, func(_ int64, wire []byte) {
+		s.sendWire(sess, wire)
+	}); !complete {
+		s.sendSnapshot(sess, groupID, boardSeq)
+	}
+}
+
+func (s *Server) backfillMemberLog(sess *session, after int64) {
+	lg, ok := s.logs.Peek(grouplog.MemberKey(string(sess.member.ID)))
+	if !ok {
+		return
+	}
+	head, complete := lg.Replay(after, func(_ int64, wire []byte) {
+		s.sendWire(sess, wire)
+	})
+	if complete {
+		return
+	}
+	// The invitation log wrapped: reconcile from the registry's pending
+	// set instead of replaying events.
+	body := protocol.SnapshotBody{Seq: head}
+	for _, inv := range s.registry.PendingInvites(sess.member.ID) {
+		body.Invites = append(body.Invites, protocol.InviteEventBody{
+			InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
+		})
+	}
+	s.sendMsg(sess, protocol.MustNew(protocol.TSnapshot, body))
+}
+
+// sendSnapshot pushes one group's authoritative state to a session: the
+// event-log position it covers through, the floor (mode, holder, queue,
+// pin), the suspended set, and the board suffix after boardSeq. It is
+// the convergence payload for late joiners (boardSeq 0 → whole board),
+// explicit TReplay, and backfills whose suffix has left the ring. The
+// log head is read before the state, so a concurrent transition can at
+// worst be reflected in the state and then re-delivered as a live event
+// — every snapshot field is absolute and every logged event idempotent,
+// so over-delivery is harmless, whereas the opposite order could stamp
+// a head whose effect the snapshot missed.
+func (s *Server) sendSnapshot(sess *session, groupID string, boardSeq int64) {
+	head := s.logs.Get(groupID).Head()
+	mode, holder, queue, suspended, pinned := s.floorCtl.StateSnapshot(groupID)
+	level := resource.Normal
+	if s.cfg.Monitor != nil {
+		level = s.cfg.Monitor.Level()
+	}
+	body := protocol.SnapshotBody{
+		Seq:    head,
+		Mode:   mode.String(),
+		Holder: string(holder),
+		Level:  level.String(),
+		Pinned: pinned,
+	}
+	for _, m := range queue {
+		body.Queue = append(body.Queue, string(m))
+	}
+	for _, m := range suspended {
+		body.Suspended = append(body.Suspended, string(m))
+	}
+	gb := s.board(groupID)
+	for _, op := range gb.board.Since(boardSeq) {
+		body.Board = append(body.Board, protocol.SequencedBody{
+			Seq: op.Seq, Author: op.Author, Kind: op.Kind.String(), Data: op.Data,
+		})
+	}
+	msg := protocol.MustNew(protocol.TSnapshot, body)
+	msg.Group = groupID
+	s.sendMsg(sess, msg)
+}

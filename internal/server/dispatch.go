@@ -3,6 +3,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"dmps/internal/floor"
 	"dmps/internal/group"
@@ -37,6 +38,10 @@ func (s *Server) dispatch(sess *session, msg protocol.Message) {
 		s.onAnnotate(sess, msg)
 	case protocol.TReplay:
 		s.onReplay(sess, msg)
+	case protocol.TBackfill:
+		s.onBackfill(sess, msg)
+	case protocol.TModeSwitch:
+		s.onModeSwitch(sess, msg)
 	case protocol.TClockSync:
 		s.onClockSync(sess, msg)
 	case protocol.TStatusReport:
@@ -50,12 +55,25 @@ func (s *Server) dispatch(sess *session, msg protocol.Message) {
 	}
 }
 
+// validGroupID rejects group names that would collide with the event-
+// log plane's reserved member-log keyspace ("~member").
+func validGroupID(id string) error {
+	if strings.HasPrefix(id, "~") {
+		return fmt.Errorf("server: group %q: names starting with '~' are reserved", id)
+	}
+	return nil
+}
+
 // onJoin joins (auto-creating) a group: the paper's "user need to initial
 // the group first" — the first joiner becomes the session chair.
 func (s *Server) onJoin(sess *session, msg protocol.Message) {
 	var body protocol.GroupBody
 	if err := msg.Into(&body); err != nil {
 		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if err := validGroupID(body.Group); err != nil {
+		s.replyErr(sess, msg.Seq, "join", err)
 		return
 	}
 	err := s.registry.Join(body.Group, sess.member.ID)
@@ -67,8 +85,9 @@ func (s *Server) onJoin(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
-	// Replay the board so the late joiner converges.
-	s.replayTo(sess, body.Group, 0)
+	// One snapshot converges the late joiner: board history, floor
+	// state, suspensions, and the log position live events continue from.
+	s.sendSnapshot(sess, body.Group, 0)
 	s.broadcastLights()
 }
 
@@ -76,6 +95,10 @@ func (s *Server) onCreateGroup(sess *session, msg protocol.Message) {
 	var body protocol.GroupBody
 	if err := msg.Into(&body); err != nil {
 		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	if err := validGroupID(body.Group); err != nil {
+		s.replyErr(sess, msg.Seq, "create_group", err)
 		return
 	}
 	if err := s.registry.CreateGroup(body.Group, sess.member.ID); err != nil {
@@ -116,19 +139,18 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 	if err != nil {
 		decision.Reason = err.Error()
 		// A queued request is not a failure: ack with the queue position
-		// and push the position to the requester's event stream.
+		// and log the queueing — the queue is group state, so the event
+		// broadcasts (and is backfillable) like any other transition.
 		if errors.Is(err, floor.ErrBusy) {
 			s.replyAck(sess, msg.Seq, decision)
 			s.notifySuspensions(msg.Group, dec)
-			queued := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+			s.logFloorEvent(msg.Group, protocol.FloorEventBody{
 				Mode:          mode.String(),
 				Holder:        string(dec.Holder),
 				Member:        string(sess.member.ID),
 				Event:         "queued",
 				QueuePosition: dec.QueuePosition,
 			})
-			queued.Group = msg.Group
-			s.sendReliable(sess, queued)
 			return
 		}
 		s.replyErr(sess, msg.Seq, "floor_denied", err)
@@ -136,7 +158,9 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		// degraded regime — the victim must hear about it here too.
 		s.notifySuspensions(msg.Group, dec)
 		// Push the denial to the requester's event stream too, so
-		// Subscribe sees every outcome, not just grants and queueing.
+		// Subscribe sees every outcome, not just grants and queueing. A
+		// denial changes no group state, so it stays requester-directed
+		// and unlogged — sendReliable means it cannot be dropped either.
 		// dec.Holder (not a Holder() lookup, which would create floor
 		// state for arbitrary group names on a pure-deny path): denials
 		// carry no holder claim.
@@ -152,17 +176,50 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 	}
 	s.replyAck(sess, msg.Seq, decision)
 	s.notifySuspensions(msg.Group, dec)
-	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+	s.logFloorEvent(msg.Group, protocol.FloorEventBody{
 		Mode:   mode.String(),
 		Holder: string(dec.Holder),
 		Member: string(sess.member.ID),
 		Event:  "granted",
 	})
-	event.Group = msg.Group
-	s.broadcastRepairable(msg.Group, event)
 	// A grant can dequeue the requester (e.g. an approved member
 	// re-requesting a moderated floor), shifting everyone behind them.
 	s.notifyQueuePositions(msg.Group, mode)
+}
+
+// onModeSwitch sets the group's floor mode explicitly. The controller
+// enforces the chair-pinned policy (a pinned group only obeys its
+// chair, and only the chair may pin) and the outgoing policy's exit
+// gate; a successful switch resets the floor and is logged to the
+// group's event stream as a "mode_switch".
+func (s *Server) onModeSwitch(sess *session, msg protocol.Message) {
+	var body protocol.ModeSwitchBody
+	if err := msg.Into(&body); err != nil {
+		s.replyErr(sess, msg.Seq, "bad_body", err)
+		return
+	}
+	mode, ok := floor.ParseMode(body.Mode)
+	if !ok {
+		s.replyErr(sess, msg.Seq, "bad_mode", fmt.Errorf("server: unknown mode %q", body.Mode))
+		return
+	}
+	newMode, changed, err := s.floorCtl.SwitchMode(msg.Group, sess.member.ID, mode, body.Pin)
+	if err != nil {
+		s.replyErr(sess, msg.Seq, "mode_switch", err)
+		return
+	}
+	note := protocol.FloorEventBody{
+		Mode:   newMode.String(),
+		Member: string(sess.member.ID),
+		Event:  "mode_switch",
+	}
+	s.replyAck(sess, msg.Seq, note)
+	// A same-mode call only updates the pin: nothing about the floor
+	// changed, so broadcasting would make every client wrongly clear its
+	// cached holder and queue position.
+	if changed {
+		s.logFloorEvent(msg.Group, note)
+	}
 }
 
 // onFloorApprove clears a queued request in a moderated mode: the chair
@@ -185,40 +242,39 @@ func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
 	if dec.Granted {
 		event = "granted"
 	}
-	note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+	s.logFloorEvent(msg.Group, protocol.FloorEventBody{
 		Mode:          dec.Mode.String(),
 		Holder:        string(dec.Holder),
 		Member:        string(member),
 		Event:         event,
 		QueuePosition: dec.QueuePosition,
 	})
-	note.Group = msg.Group
-	s.broadcastRepairable(msg.Group, note)
 	s.notifyQueuePositions(msg.Group, dec.Mode)
 }
 
-// notifyQueuePositions pushes each queued member their current 1-based
-// position, so clients track movement without polling. Holder and queue
-// come from one atomic snapshot, so a concurrent arbitration cannot pair
-// a stale holder with fresh positions.
+// notifyQueuePositions logs ONE "queue" event restating the whole
+// pending queue after a transition shifted it: each client picks out
+// its own slot (and its subscribers see it as a per-member
+// queue_position), so every queued member is covered by a single ring
+// slot and a single fan-out — not one broadcast per queued member. The
+// event content is re-read inside the log append (logFloorEvent), so a
+// concurrent arbitration cannot make a stale queue the log's last
+// word. A transition that left the queue empty needs no restatement:
+// whatever emptied it (grants, releases) cleared the members' slots
+// through its own events.
 func (s *Server) notifyQueuePositions(groupID string, mode floor.Mode) {
-	holder, queue := s.floorCtl.HolderAndQueue(groupID)
-	for i, m := range queue {
-		note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
-			Mode:          mode.String(),
-			Holder:        string(holder),
-			Member:        string(m),
-			Event:         "queue_position",
-			QueuePosition: i + 1,
-		})
-		note.Group = groupID
-		s.sendFloorTo(groupID, m, note)
+	if _, queue := s.floorCtl.HolderAndQueue(groupID); len(queue) == 0 {
+		return
 	}
+	s.logFloorEvent(groupID, protocol.FloorEventBody{
+		Mode:  mode.String(),
+		Event: "queue",
+	})
 }
 
 // notifySuspensions tells each Media-Suspend victim and the group. The
-// broadcast is repairable: a victim whose queue dropped the notice gets
-// the current suspension state on the resync tick.
+// notice is logged: a recipient whose queue dropped it converges
+// through backfill (or the snapshot's suspended-set reconciliation).
 func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
 	for _, victim := range dec.Suspended {
 		note := protocol.MustNew(protocol.TSuspend, protocol.SuspendBody{
@@ -226,7 +282,7 @@ func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
 			Level:  dec.Level.String(),
 		})
 		note.Group = groupID
-		s.broadcastRepairable(groupID, note)
+		s.logBroadcast(groupID, note)
 	}
 }
 
@@ -238,14 +294,12 @@ func (s *Server) onFloorRelease(sess *session, msg protocol.Message) {
 	}
 	s.replyAck(sess, msg.Seq, protocol.FloorEventBody{Holder: string(next), Event: "released"})
 	mode := s.floorCtl.ModeOf(msg.Group)
-	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+	s.logFloorEvent(msg.Group, protocol.FloorEventBody{
 		Mode:   mode.String(),
 		Holder: string(next),
 		Member: string(sess.member.ID),
 		Event:  "released",
 	})
-	event.Group = msg.Group
-	s.broadcastRepairable(msg.Group, event)
 	s.notifyQueuePositions(msg.Group, mode)
 }
 
@@ -261,14 +315,12 @@ func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
 	}
 	s.replyAck(sess, msg.Seq, protocol.FloorEventBody{Holder: body.To, Event: "passed"})
 	mode := s.floorCtl.ModeOf(msg.Group)
-	event := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
+	s.logFloorEvent(msg.Group, protocol.FloorEventBody{
 		Mode:   mode.String(),
 		Holder: body.To,
 		Member: string(sess.member.ID),
 		Event:  "passed",
 	})
-	event.Group = msg.Group
-	s.broadcastRepairable(msg.Group, event)
 	s.notifyQueuePositions(msg.Group, mode)
 }
 
@@ -287,7 +339,9 @@ func (s *Server) onInvite(sess *session, msg protocol.Message) {
 	note := protocol.MustNew(protocol.TInviteEvent, protocol.InviteEventBody{
 		InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
 	})
-	s.sendInviteTo(inv.To, note)
+	// Member-directed state: logged in the invitee's own event log, so a
+	// drop (or an offline invitee) is repaired through backfill.
+	s.logSendTo(inv.To, note)
 }
 
 func (s *Server) onInviteReply(sess *session, msg protocol.Message) {
@@ -306,8 +360,8 @@ func (s *Server) onInviteReply(sess *session, msg protocol.Message) {
 	outcome := "declined"
 	if inv.Status == group.Accepted {
 		outcome = "accepted"
-		// Replay the sub-group board to the new member.
-		s.replayTo(sess, inv.Group, 0)
+		// One snapshot converges the new member on the sub-group.
+		s.sendSnapshot(sess, inv.Group, 0)
 	}
 	note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
 		Member: string(inv.To),
@@ -363,7 +417,7 @@ func (s *Server) onChat(sess *session, msg protocol.Message) {
 		Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data,
 	})
 	event.Group = msg.Group
-	s.broadcastRepairable(msg.Group, event)
+	s.logBroadcast(msg.Group, event)
 	gb.mu.Unlock()
 	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data})
 }
@@ -399,54 +453,28 @@ func (s *Server) onAnnotate(sess *session, msg protocol.Message) {
 		Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data,
 	})
 	event.Group = msg.Group
-	s.broadcastRepairable(msg.Group, event)
+	s.logBroadcast(msg.Group, event)
 	gb.mu.Unlock()
 	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data})
 }
 
+// onReplay answers the legacy explicit-replay request with a snapshot
+// carrying the board suffix after the given sequence number — the same
+// convergence payload late joiners and wrapped backfills use. Boards
+// are group-private (the breakout isolation of Figure 2): only members
+// may replay.
 func (s *Server) onReplay(sess *session, msg protocol.Message) {
 	var body protocol.ReplayBody
 	if err := msg.Into(&body); err != nil {
 		s.replyErr(sess, msg.Seq, "bad_body", err)
 		return
 	}
-	// Boards are group-private (the breakout isolation of Figure 2):
-	// only members may replay.
 	if !s.registry.IsMember(msg.Group, sess.member.ID) {
 		s.replyErr(sess, msg.Seq, "not_member", fmt.Errorf("server: %s not in %q", sess.member.ID, msg.Group))
 		return
 	}
-	s.replayTo(sess, msg.Group, body.After)
+	s.sendSnapshot(sess, msg.Group, body.After)
 	s.replyAck(sess, msg.Seq, protocol.ReplayBody{After: body.After})
-}
-
-// replayTo streams board operations after a sequence number to one
-// session so its replica converges. It holds the group's broadcast lock
-// so no fresh operation interleaves mid-replay on this connection.
-// Replay goes through the droppable queue on purpose: it runs under
-// gb.mu, and blocking there would let one slow replayer stall every
-// board append in the group. A replay truncated by the drop policy
-// marks the session for a board resync: the probe-tick tail nudge
-// re-exposes the gap, and the client re-asks after its retry interval
-// even when the group has gone quiet.
-func (s *Server) replayTo(sess *session, groupID string, after int64) {
-	gb := s.board(groupID)
-	gb.mu.Lock()
-	defer gb.mu.Unlock()
-	for _, op := range gb.board.Since(after) {
-		typ := protocol.TAnnotateEvent
-		kind := op.Kind.String()
-		if op.Kind == whiteboard.Text {
-			typ = protocol.TChatEvent
-		}
-		event := protocol.MustNew(typ, protocol.SequencedBody{
-			Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data,
-		})
-		event.Group = groupID
-		if !s.sendMsg(sess, event) {
-			sess.markResync(groupID, resyncBoard)
-		}
-	}
 }
 
 // onClockSync answers a Cristian exchange with the master time.

@@ -15,9 +15,23 @@
 // default, optionally disconnect) applies and the per-session
 // backpressure counters (queue depth, drops) surface through
 // Server.SessionStats and the lights broadcast.
+//
+// State reaches clients through one sequenced event-log plane
+// (internal/grouplog): every state broadcast — floor events,
+// suspend/resume, board operations, mode switches, invitations — is
+// appended to its group's ring log first, stamped with the log's
+// sequence number (Message.GSeq) and fanned out as those bytes. A
+// recipient that took drops sees the hole (or learns from the heads
+// digest on the lights broadcast that it is behind) and asks TBackfill
+// for the missing suffix; when the ring has wrapped, it gets one
+// compact TSnapshot instead. The same path serves late joiners,
+// explicit replays and token-based session reconnects — there is no
+// per-class repair machinery.
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,6 +42,7 @@ import (
 	"dmps/internal/clock"
 	"dmps/internal/floor"
 	"dmps/internal/group"
+	"dmps/internal/grouplog"
 	"dmps/internal/protocol"
 	"dmps/internal/resource"
 	"dmps/internal/transport"
@@ -53,11 +68,13 @@ const (
 	// DropNewest (the default) drops the message that does not fit and
 	// counts it in the session's drop counter; nobody else is affected.
 	// State-carrying traffic heals afterwards: replies never drop (they
-	// block the requester's own handler instead), floor/board/suspend
-	// state is re-pushed by the probe-tick resync, and pending
-	// invitations are re-sent. Only inherently transient messages —
-	// media units, lights tables, private direct-contact lines,
-	// presentation starts — are lost outright.
+	// block the requester's own handler instead), and every logged state
+	// event — floor, suspend/resume, board, mode switches, invitations —
+	// is recovered through the event log: the client sees the sequence
+	// hole (or the heads digest on the lights broadcast) and asks
+	// TBackfill. Only inherently transient messages — media units,
+	// lights tables, private direct-contact lines, presentation starts —
+	// are lost outright.
 	DropNewest SlowConsumerPolicy = iota
 	// Disconnect tears the session down on the first overflow: its light
 	// turns red and its queue is abandoned. Use when a lagging replica is
@@ -89,6 +106,12 @@ type Config struct {
 	SendQueueCap int
 	// SlowPolicy is the slow-consumer policy (default DropNewest).
 	SlowPolicy SlowConsumerPolicy
+	// LogCap bounds each group's (and each member's) event-log ring
+	// (default grouplog.DefaultCap, 512 events). A client behind by more
+	// than LogCap logged events converges through a TSnapshot instead of
+	// a log replay, so the capacity trades backfill reach against
+	// retained memory per group — never correctness.
+	LogCap int
 }
 
 // Server is a running DMPS server.
@@ -98,12 +121,18 @@ type Server struct {
 	registry *group.Registry
 	floorCtl *floor.Controller
 	master   *clock.Master
+	logs     *grouplog.Plane
 
 	nextID atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[group.MemberID]*session
 	boards   map[string]*groupBoard
+	// tokens maps session-resume tokens to members (and tokenOf the
+	// reverse): a reconnecting client presents its token in THello and
+	// is re-bound to the same member identity without re-joining groups.
+	tokens  map[string]group.MemberID
+	tokenOf map[group.MemberID]string
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -129,78 +158,21 @@ type session struct {
 	mu       sync.Mutex
 	lastSeen time.Time
 	alive    bool
-	// resync names groups whose state-carrying events were dropped on
-	// this session's full queue, with the classes of state to re-push;
-	// the probe loop repeats the push until it fits. Without this, a
-	// dropped grant would leave a token group wedged behind a holder
-	// that never learned it holds, and a dropped tail-of-burst board op
-	// would leave a quiet replica stale with no gap event to trigger
-	// replay.
-	resync map[string]resyncClass
-	// inviteResync is set when a TInviteEvent was dropped; the probe
-	// loop re-pushes the member's pending invitations.
-	inviteResync bool
 }
 
-// resyncClass is a bitmask of per-group state classes needing re-push.
-type resyncClass uint8
-
-const (
-	resyncFloor resyncClass = 1 << iota
-	resyncBoard
-	resyncSuspend
-)
-
-// resyncClassOf maps a dropped message's type to the state class that
-// can repair it (0 for inherently transient types).
-func resyncClassOf(t protocol.Type) resyncClass {
+// loggable reports whether a broadcast type is a sequenced state event:
+// appended to the group's event log and stamped with a GSeq, so a drop
+// on any recipient's queue is repairable through TBackfill. Everything
+// else (media units, lights, probes, presentation starts, private
+// lines, replies) is transient and delivered best-effort.
+func loggable(t protocol.Type) bool {
 	switch t {
-	case protocol.TFloorEvent:
-		return resyncFloor
-	case protocol.TChatEvent, protocol.TAnnotateEvent:
-		return resyncBoard
-	case protocol.TSuspend, protocol.TResume:
-		return resyncSuspend
+	case protocol.TFloorEvent, protocol.TSuspend, protocol.TResume,
+		protocol.TChatEvent, protocol.TAnnotateEvent:
+		return true
 	default:
-		return 0
+		return false
 	}
-}
-
-// markResync schedules a group-state re-push for the given classes.
-func (s *session) markResync(groupID string, class resyncClass) {
-	if class == 0 {
-		return
-	}
-	s.mu.Lock()
-	if s.resync == nil {
-		s.resync = make(map[string]resyncClass)
-	}
-	s.resync[groupID] |= class
-	s.mu.Unlock()
-}
-
-// takeResync drains the pending resync set.
-func (s *session) takeResync() map[string]resyncClass {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := s.resync
-	s.resync = nil
-	return out
-}
-
-// markInviteResync / takeInviteResync do the same for invitations.
-func (s *session) markInviteResync() {
-	s.mu.Lock()
-	s.inviteResync = true
-	s.mu.Unlock()
-}
-
-func (s *session) takeInviteResync() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	was := s.inviteResync
-	s.inviteResync = false
-	return was
 }
 
 // sendDirect encodes and writes synchronously on the connection. Only
@@ -374,8 +346,11 @@ func New(cfg Config) (*Server, error) {
 		registry: registry,
 		floorCtl: floor.NewController(registry, cfg.Monitor),
 		master:   clock.NewMaster(cfg.Clock),
+		logs:     grouplog.NewPlane(cfg.LogCap),
 		sessions: make(map[group.MemberID]*session),
 		boards:   make(map[string]*groupBoard),
+		tokens:   make(map[string]group.MemberID),
+		tokenOf:  make(map[group.MemberID]string),
 		closed:   make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -457,7 +432,10 @@ func (s *Server) handle(conn transport.Conn) {
 	}
 }
 
-// handshake admits a client: the first message must be THello.
+// handshake admits a client: the first message must be THello. A hello
+// carrying a session token resumes the member it was issued to — the
+// new connection displaces any stale session still in the table, and
+// the client converges through TBackfill instead of re-joining groups.
 func (s *Server) handshake(conn transport.Conn) (*session, error) {
 	wire, err := conn.Recv()
 	if err != nil {
@@ -471,17 +449,33 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 	if err := msg.Into(&hello); err != nil {
 		return nil, err
 	}
-	role := group.Participant
-	if strings.EqualFold(hello.Role, "chair") {
-		role = group.Chair
+
+	var member group.Member
+	fresh := hello.Token == ""
+	if fresh {
+		role := group.Participant
+		if strings.EqualFold(hello.Role, "chair") {
+			role = group.Chair
+		}
+		// Admission needs no server-wide lock: the ID counter is atomic
+		// and the registry guards itself.
+		id := group.MemberID(fmt.Sprintf("%s#%d", sanitize(hello.Name), s.nextID.Add(1)))
+		member = group.Member{ID: id, Name: hello.Name, Role: role, Priority: hello.Priority}
+		if err := s.registry.Register(member); err != nil {
+			return nil, err
+		}
+	} else {
+		s.mu.Lock()
+		id, ok := s.tokens[hello.Token]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("server: handshake: unknown session token (%w)", transport.ErrClosed)
+		}
+		if member, err = s.registry.Member(id); err != nil {
+			return nil, err
+		}
 	}
-	// Admission needs no server-wide lock: the ID counter is atomic and
-	// the registry guards itself.
-	id := group.MemberID(fmt.Sprintf("%s#%d", sanitize(hello.Name), s.nextID.Add(1)))
-	member := group.Member{ID: id, Name: hello.Name, Role: role, Priority: hello.Priority}
-	if err := s.registry.Register(member); err != nil {
-		return nil, err
-	}
+	token := s.issueToken(member.ID)
 
 	sess := &session{
 		member:   member,
@@ -495,21 +489,53 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 	// synchronously before the session becomes visible to broadcasts and
 	// probes (the writer starts only after registration).
 	welcome := protocol.MustNew(protocol.TWelcome, protocol.WelcomeBody{
-		MemberID:        string(id),
+		MemberID:        string(member.ID),
 		ServerTimeNanos: protocol.Nanos(s.master.GlobalNow()),
+		Token:           token,
 	})
 	welcome.Seq = msg.Seq
 	if err := sess.sendDirect(welcome); err != nil {
-		s.registry.Unregister(id)
+		if fresh {
+			s.registry.Unregister(member.ID)
+		}
 		_ = conn.Close()
 		return nil, err
 	}
 	s.mu.Lock()
-	s.sessions[id] = sess
+	old := s.sessions[member.ID]
+	s.sessions[member.ID] = sess
 	s.mu.Unlock()
+	if old != nil {
+		// A resumed member displaces their previous session (its writer
+		// may still be parked on a dead connection): the regular
+		// disconnect path tears it down — its table entry is already
+		// replaced, so the member's light reflects the new session.
+		s.disconnect(old)
+	}
 	s.wg.Add(1)
 	go s.writeLoop(sess)
 	return sess, nil
+}
+
+// issueToken returns the member's session-resume token, minting one on
+// first use. Tokens are random and live for the server's lifetime, like
+// the member directory entries they resume.
+func (s *Server) issueToken(id group.MemberID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tok, ok := s.tokenOf[id]; ok {
+		return tok
+	}
+	buf := make([]byte, 16)
+	if _, err := rand.Read(buf); err != nil {
+		// No entropy, no resumable session; the client simply cannot
+		// reconnect with a token it never got.
+		return ""
+	}
+	tok := hex.EncodeToString(buf)
+	s.tokens[tok] = id
+	s.tokenOf[id] = tok
+	return tok
 }
 
 func sanitize(name string) string {
@@ -624,33 +650,10 @@ func (s *Server) sendTo(id group.MemberID, msg protocol.Message) {
 	}
 }
 
-// sendFloorTo delivers a floor event to one member, scheduling a
-// floor-state resync for the group when the event is dropped.
-func (s *Server) sendFloorTo(groupID string, id group.MemberID, msg protocol.Message) {
-	if sess, ok := s.session(id); ok && !s.sendMsg(sess, msg) {
-		sess.markResync(groupID, resyncFloor)
-	}
-}
-
-// sendInviteTo delivers an invitation event, scheduling a re-push of
-// the member's pending invitations when it is dropped.
-func (s *Server) sendInviteTo(id group.MemberID, msg protocol.Message) {
-	if sess, ok := s.session(id); ok && !s.sendMsg(sess, msg) {
-		sess.markInviteResync()
-	}
-}
-
-// broadcastGroup delivers a message to every connected member of a
-// group: the message is encoded exactly once and the wire bytes are
-// queued to each recipient's writer, with the session table snapshotted
-// under a single lock acquisition. It returns the sessions whose queue
-// overflowed (nil when everyone got it).
-func (s *Server) broadcastGroup(groupID string, msg protocol.Message) []*session {
+// groupTargets snapshots the connected sessions of a group's members
+// under a single lock acquisition.
+func (s *Server) groupTargets(groupID string) []*session {
 	members, err := s.registry.GroupMembers(groupID)
-	if err != nil {
-		return nil
-	}
-	wire, err := protocol.Encode(msg)
 	if err != nil {
 		return nil
 	}
@@ -662,32 +665,122 @@ func (s *Server) broadcastGroup(groupID string, msg protocol.Message) []*session
 		}
 	}
 	s.mu.Unlock()
-	var dropped []*session
-	for _, sess := range targets {
-		if !s.sendWire(sess, wire) {
-			dropped = append(dropped, sess)
-		}
-	}
-	return dropped
+	return targets
 }
 
-// broadcastRepairable is broadcastGroup for state-carrying events
-// (floor, board, suspend/resume): recipients whose queue dropped the
-// event are marked for a state resync on the next probe tick, so a
-// drop degrades to a short delay instead of a permanent divergence — a
-// lost grant would otherwise wedge a token group, and a lost
-// tail-of-burst board op would leave a quiet replica stale with no gap
-// to trigger replay. The class re-pushed is inferred from the message
-// type.
-func (s *Server) broadcastRepairable(groupID string, msg protocol.Message) {
-	class := resyncClassOf(msg.Type)
-	for _, sess := range s.broadcastGroup(groupID, msg) {
-		sess.markResync(groupID, class)
+// broadcastGroup delivers a transient (unlogged) message to every
+// connected member of a group: the message is encoded exactly once and
+// the wire bytes are queued to each recipient's writer. Drops are final
+// — state events must go through logBroadcast instead.
+func (s *Server) broadcastGroup(groupID string, msg protocol.Message) {
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return
 	}
+	for _, sess := range s.groupTargets(groupID) {
+		s.sendWire(sess, wire)
+	}
+}
+
+// logBroadcast delivers a state event to a group through the event-log
+// plane: the append assigns the event its sequence number, stamps it
+// into the wire bytes (one encode per broadcast, group size
+// notwithstanding) and retains them for backfill; the same bytes are
+// fanned out to every connected member while the log's lock is held, so
+// fan-out order equals log order and clients can apply strictly in
+// sequence. A recipient whose queue drops the event needs no server-side
+// bookkeeping: the hole in its GSeq stream — or the heads digest riding
+// the lights broadcast, for drops with no later event behind them —
+// makes the client ask TBackfill.
+func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
+	targets := s.groupTargets(groupID)
+	_, _ = s.logs.Get(groupID).Append(func(seq int64) ([]byte, error) {
+		msg.GSeq = seq
+		// The group on the wire MUST match the log the event is
+		// sequenced in: clients key their cursors by Message.Group, and
+		// a mismatch (easy via the public Broadcast, whose callers have
+		// already named the group once) would desynchronize every
+		// member's cursor into a permanent backfill loop.
+		msg.Group = groupID
+		return protocol.Encode(msg)
+	}, func(_ int64, wire []byte) {
+		for _, sess := range targets {
+			s.sendWire(sess, wire)
+		}
+	})
+}
+
+// logFloorEvent is logBroadcast for floor events, with one extra
+// guarantee: Mode, Holder, and the queue content are re-read from the
+// authoritative floor state inside the log lock, not taken from the
+// state snapshot the caller computed earlier. Handlers run
+// concurrently, so two transitions can append in the opposite order of
+// their state mutations — a "released" computed before a concurrent
+// grant (or a grant computed before a concurrent mode switch) could
+// otherwise become the log's last word and clobber every client's
+// caches with values the server has already moved past. Re-reading at
+// append time makes whichever entry lands last carry the current
+// state, so strict in-order application always converges on the truth.
+// Direct Contact grants are exempt: they run concurrently with the
+// prevailing mode, name their own Mode, and deliberately carry no
+// group-floor claim.
+func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
+	targets := s.groupTargets(groupID)
+	refresh := !(body.Event == "granted" && body.Mode == floor.DirectContact.String())
+	_, _ = s.logs.Get(groupID).Append(func(seq int64) ([]byte, error) {
+		if refresh {
+			mode, holder, queue, _, _ := s.floorCtl.StateSnapshot(groupID)
+			body.Mode = mode.String()
+			body.Holder = string(holder)
+			switch body.Event {
+			case "queued", "queue_position", "approved":
+				body.QueuePosition = 0
+				for i, m := range queue {
+					if string(m) == body.Member {
+						body.QueuePosition = i + 1
+						break
+					}
+				}
+			case "queue":
+				body.Queue = body.Queue[:0]
+				for _, m := range queue {
+					body.Queue = append(body.Queue, string(m))
+				}
+			}
+		}
+		msg := protocol.MustNew(protocol.TFloorEvent, body)
+		msg.Group = groupID
+		msg.GSeq = seq
+		return protocol.Encode(msg)
+	}, func(_ int64, wire []byte) {
+		for _, sess := range targets {
+			s.sendWire(sess, wire)
+		}
+	})
+}
+
+// logSendTo delivers a member-directed state event (an invitation)
+// through the member's private event log, so it enjoys the same
+// drop-repair as group state: logged, stamped, and backfillable.
+func (s *Server) logSendTo(id group.MemberID, msg protocol.Message) {
+	_, _ = s.logs.Get(grouplog.MemberKey(string(id))).Append(func(seq int64) ([]byte, error) {
+		msg.GSeq = seq
+		return protocol.Encode(msg)
+	}, func(_ int64, wire []byte) {
+		if sess, ok := s.session(id); ok {
+			s.sendWire(sess, wire)
+		}
+	})
 }
 
 // Broadcast delivers a server-originated message to every connected
-// member of a group — announcements, and the fan-out benchmarks.
+// member of a group — announcements, and the fan-out benchmarks. State
+// event types go through the log plane (append + stamp on the hot
+// path); transient types fan out unlogged.
 func (s *Server) Broadcast(groupID string, msg protocol.Message) {
+	if loggable(msg.Type) {
+		s.logBroadcast(groupID, msg)
+		return
+	}
 	s.broadcastGroup(groupID, msg)
 }

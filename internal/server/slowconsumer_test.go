@@ -123,7 +123,9 @@ func TestSlowConsumerDoesNotBlockFloorGrants(t *testing.T) {
 	// jammed, fast1 takes the floor (the grant event drops), posts a
 	// board line (the tail op drops — no later event would ever expose
 	// the gap), and invites slow into a breakout (the invite drops).
-	// The probe-tick resync must deliver all three once the stall lifts.
+	// Once the stall lifts, the heads digest on the lights broadcast
+	// shows slow behind on both logs and its TBackfill asks must
+	// recover all three.
 	if _, err := fast1.RequestFloor("class", floor.EqualControl, ""); err != nil {
 		t.Fatal(err)
 	}
@@ -137,13 +139,13 @@ func TestSlowConsumerDoesNotBlockFloorGrants(t *testing.T) {
 		t.Fatal(err)
 	}
 	n.Stall("server", "slowhost", false)
-	waitFor(t, "floor resync after backpressure drops", func() bool {
+	waitFor(t, "floor backfill after backpressure drops", func() bool {
 		return slow.Holder("class") == fast1.MemberID()
 	})
-	waitFor(t, "board tail repair", func() bool {
+	waitFor(t, "board backfill after backpressure drops", func() bool {
 		return slow.Board("class").Seq() == 1
 	})
-	waitFor(t, "pending-invite repair", func() bool {
+	waitFor(t, "invitation backfill after backpressure drops", func() bool {
 		return len(slow.PendingInvites()) == 1
 	})
 }

@@ -1,9 +1,9 @@
 package server
 
 import (
+	"dmps/internal/grouplog"
 	"dmps/internal/protocol"
 	"dmps/internal/resource"
-	"dmps/internal/whiteboard"
 )
 
 // snapshotSessions copies the session table under one lock acquisition.
@@ -42,142 +42,8 @@ func (s *Server) probeLoop() {
 			}
 		}
 		s.broadcastLights()
-		s.resyncSessions()
 		s.maybeReinstate()
 	}
-}
-
-// resyncSessions re-pushes authoritative state to sessions that dropped
-// state-carrying events under backpressure, until the push fits their
-// queue. Per marked group and class it sends the current floor state (a
-// dropped grant would otherwise wedge a token group — floor state has
-// no client-side catch-up path), re-sends the board's tail operation
-// (behind replicas see a gap and ask replay; current replicas ignore
-// the duplicate — this repairs tail-of-burst and truncated-replay drops
-// that no later event would expose), and re-states the member's current
-// suspension status. Dropped invitations are re-pushed from the
-// registry's pending set.
-func (s *Server) resyncSessions() {
-	for _, sess := range s.snapshotSessions() {
-		for gid, class := range sess.takeResync() {
-			if failed := s.resyncGroupState(sess, gid, class); failed != 0 {
-				sess.markResync(gid, failed)
-			}
-		}
-		if sess.takeInviteResync() && !s.resyncInvites(sess) {
-			sess.markInviteResync()
-		}
-	}
-}
-
-// resyncGroupState pushes the requested classes of one group's state to
-// a session, returning the classes that did not fit the queue.
-func (s *Server) resyncGroupState(sess *session, gid string, class resyncClass) resyncClass {
-	var failed resyncClass
-	if class&resyncFloor != 0 {
-		holder, queue := s.floorCtl.HolderAndQueue(gid)
-		pos := 0
-		for i, m := range queue {
-			if m == sess.member.ID {
-				pos = i + 1
-				break
-			}
-		}
-		note := protocol.MustNew(protocol.TFloorEvent, protocol.FloorEventBody{
-			Mode:          s.floorCtl.ModeOf(gid).String(),
-			Holder:        string(holder),
-			Member:        string(sess.member.ID),
-			Event:         "resync",
-			QueuePosition: pos,
-		})
-		note.Group = gid
-		if !s.sendMsg(sess, note) {
-			failed |= resyncFloor
-		}
-		// A concurrent arbitration between the snapshot and the enqueue
-		// can slip its own broadcast in first, making the resync the
-		// stale last word in the client's cache. Re-check and re-mark so
-		// the next tick pushes the fresher state: staleness is bounded
-		// by one probe interval instead of lasting until the next
-		// unrelated floor event.
-		if h2, q2 := s.floorCtl.HolderAndQueue(gid); h2 != holder || len(q2) != len(queue) {
-			failed |= resyncFloor
-		}
-	}
-	if class&resyncBoard != 0 {
-		// Board tail nudge.
-		gb := s.board(gid)
-		gb.mu.Lock()
-		tail := gb.board.Since(gb.board.Seq() - 1)
-		gb.mu.Unlock()
-		if len(tail) > 0 {
-			op := tail[len(tail)-1]
-			typ := protocol.TAnnotateEvent
-			if op.Kind == whiteboard.Text {
-				typ = protocol.TChatEvent
-			}
-			event := protocol.MustNew(typ, protocol.SequencedBody{
-				Seq: op.Seq, Author: op.Author, Kind: op.Kind.String(), Data: op.Data,
-			})
-			event.Group = gid
-			if !s.sendMsg(sess, event) {
-				failed |= resyncBoard
-			}
-		}
-	}
-	if class&resyncSuspend != 0 {
-		// The dropped notice could have concerned any member, so
-		// re-state the group's whole suspended set (usually small —
-		// Media-Suspend picks one victim per arbitration), plus this
-		// member's own reinstatement when they are clear: a victim that
-		// missed its TSuspend hears it, a bystander that missed
-		// another's TSuspend hears it, and a reinstated member that
-		// missed its own TResume hears that. A bystander's view of
-		// someone ELSE's reinstatement is the one thing repaired lazily
-		// (next suspension broadcast); media gating is server-side, so
-		// that lag has no functional effect.
-		level := resource.Normal
-		if s.cfg.Monitor != nil {
-			level = s.cfg.Monitor.Level()
-		}
-		selfSuspended := false
-		for _, m := range s.floorCtl.Suspended(gid) {
-			if m == sess.member.ID {
-				selfSuspended = true
-			}
-			note := protocol.MustNew(protocol.TSuspend, protocol.SuspendBody{
-				Member: string(m),
-				Level:  level.String(),
-			})
-			note.Group = gid
-			if !s.sendMsg(sess, note) {
-				failed |= resyncSuspend
-			}
-		}
-		if !selfSuspended && s.registry.IsMember(gid, sess.member.ID) {
-			note := protocol.MustNew(protocol.TResume, protocol.SuspendBody{
-				Member: string(sess.member.ID),
-				Level:  level.String(),
-			})
-			note.Group = gid
-			if !s.sendMsg(sess, note) {
-				failed |= resyncSuspend
-			}
-		}
-	}
-	return failed
-}
-
-// resyncInvites re-pushes the member's pending invitations.
-func (s *Server) resyncInvites(sess *session) bool {
-	ok := true
-	for _, inv := range s.registry.PendingInvites(sess.member.ID) {
-		note := protocol.MustNew(protocol.TInviteEvent, protocol.InviteEventBody{
-			InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
-		})
-		ok = s.sendMsg(sess, note) && ok
-	}
-	return ok
 }
 
 // Lights returns the current connection lights, member ID → light.
@@ -193,37 +59,73 @@ func (s *Server) Lights() map[string]Light {
 }
 
 // broadcastLights pushes the light table — with each member's
-// backpressure counters — to every connected client. The teacher's
-// window renders it as the per-student indicator row; the counters make
-// a slow consumer visible before its light ever turns red.
+// backpressure counters and the event-log heads digest — to every
+// connected client. The teacher's window renders the lights as the
+// per-student indicator row; the counters make a slow consumer visible
+// before its light ever turns red; and the heads digest is the repair
+// plane's quiet-tail nudge: a client comparing a log's head against its
+// own last applied GSeq discovers drops that no later event would ever
+// expose (a tail-of-burst board op, an invitation, a grant on a group
+// that then went silent) and asks TBackfill.
+//
+// The digest is filtered per recipient — the logs of their joined
+// groups plus their own member log — because event logs are
+// group-private like the boards they carry: an unfiltered digest would
+// leak every breakout group's existence and activity to every session.
+// That costs one encode per recipient on this probe-tick path (the
+// lights and backpressure tables are still built once); the hot
+// broadcast path keeps its single encode.
 func (s *Server) broadcastLights() {
 	now := s.cfg.Clock.Now()
 	sessions := s.snapshotSessions()
-	body := protocol.LightsBody{
-		Lights:       make(map[string]string, len(sessions)),
-		Backpressure: make(map[string]protocol.BackpressureBody, len(sessions)),
-	}
+	lights := make(map[string]string, len(sessions))
+	backpress := make(map[string]protocol.BackpressureBody, len(sessions))
 	for _, sess := range sessions {
 		id := string(sess.member.ID)
-		body.Lights[id] = string(sess.light(now, s.cfg.ProbeTimeout))
-		body.Backpressure[id] = protocol.BackpressureBody{
+		lights[id] = string(sess.light(now, s.cfg.ProbeTimeout))
+		backpress[id] = protocol.BackpressureBody{
 			QueueDepth: len(sess.queue),
 			QueueCap:   cap(sess.queue),
 			Drops:      sess.drops.Load(),
 		}
 	}
-	wire, err := protocol.Encode(protocol.MustNew(protocol.TLights, body))
-	if err != nil {
-		return
-	}
+	heads := s.logs.Heads()
 	for _, sess := range sessions {
 		sess.mu.Lock()
 		alive := sess.alive
 		sess.mu.Unlock()
-		if alive {
-			s.sendWire(sess, wire)
+		if !alive {
+			continue
+		}
+		body := protocol.LightsBody{
+			Lights:       lights,
+			Backpressure: backpress,
+			Heads:        s.headsFor(sess, heads),
+		}
+		s.sendMsg(sess, protocol.MustNew(protocol.TLights, body))
+	}
+}
+
+// headsFor filters the heads digest to what one recipient may see: the
+// logs of their joined groups and their own member event log.
+func (s *Server) headsFor(sess *session, heads map[string]int64) map[string]int64 {
+	if len(heads) == 0 {
+		return nil
+	}
+	var out map[string]int64
+	add := func(key string) {
+		if h, ok := heads[key]; ok {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[key] = h
 		}
 	}
+	for _, gid := range s.registry.JoinedGroups(sess.member.ID) {
+		add(gid)
+	}
+	add(grouplog.MemberKey(string(sess.member.ID)))
+	return out
 }
 
 // maybeReinstate lifts suspensions in every group once resources are
@@ -244,7 +146,7 @@ func (s *Server) maybeReinstate() {
 				Level:  resource.Normal.String(),
 			})
 			note.Group = gid
-			s.broadcastRepairable(gid, note)
+			s.logBroadcast(gid, note)
 		}
 	}
 }

@@ -75,3 +75,111 @@ func TestEndToEndOverRealTCP(t *testing.T) {
 		return srv.Lights()[id] == Red
 	})
 }
+
+// TestReconnectResumeOverRealTCP is the reconnect-resume e2e on real
+// loopback sockets: a student whose connection dies abruptly resumes
+// with the session token and converges on everything missed — board,
+// floor, invitation — through TBackfill, with the same member identity
+// and without re-joining any group.
+func TestReconnectResumeOverRealTCP(t *testing.T) {
+	srv, err := New(Config{
+		Network:       transport.TCP{},
+		Addr:          "127.0.0.1:0",
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Close()
+
+	dial := func(name, role string, priority int) *client.Client {
+		c, err := client.Dial(client.Config{
+			Network:  transport.TCP{},
+			Addr:     srv.Addr(),
+			Name:     name,
+			Role:     role,
+			Priority: priority,
+			Timeout:  3 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("Dial(%s): %v", name, err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	teacher := dial("Teacher", "chair", 5)
+	student := dial("Student", "participant", 2)
+	for _, c := range []*client.Client{teacher, student} {
+		if err := c.Join("resume-class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := student.Subscribe(client.FloorEvents)
+	if err := teacher.Chat("resume-class", "before the crash"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pre-crash chat", func() bool {
+		return student.Board("resume-class").Seq() == 1
+	})
+	id := student.MemberID()
+
+	// The student's machine dies mid-session (no goodbye). Over TCP the
+	// server sees the reset and marks the session red.
+	student.Drop()
+	waitFor(t, "red light after crash", func() bool {
+		return srv.Lights()[id] == Red
+	})
+	// Meanwhile: more board history, a floor grant, and an invitation.
+	if err := teacher.Chat("resume-class", "while you were away"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := teacher.RequestFloor("resume-class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := teacher.Join("resume-breakout"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := teacher.Invite("resume-breakout", id); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := student.Reconnect(); err != nil {
+		t.Fatalf("Reconnect over TCP: %v", err)
+	}
+	if got := student.MemberID(); got != id {
+		t.Fatalf("member identity changed across reconnect: %q → %q", id, got)
+	}
+	waitFor(t, "board resume over TCP", func() bool {
+		return student.Board("resume-class").Seq() == 2
+	})
+	waitFor(t, "floor resume over TCP", func() bool {
+		return student.Holder("resume-class") == teacher.MemberID()
+	})
+	waitFor(t, "invitation resume over TCP", func() bool {
+		return len(student.PendingInvites()) == 1
+	})
+	waitFor(t, "green light after resume", func() bool {
+		return srv.Lights()[id] == Green
+	})
+
+	// The pre-crash subscription still delivers: release the floor and
+	// the student — without re-subscribing — sees the transition.
+	if err := teacher.ReleaseFloor("resume-class"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("subscription closed across reconnect")
+			}
+			if ev.Floor.Event == "released" {
+				return
+			}
+		case <-deadline:
+			t.Fatal("released event never crossed the reconnect")
+		}
+	}
+}

@@ -138,4 +138,3 @@ func (sm *Map[V]) Keys() []string {
 	}
 	return out
 }
-
