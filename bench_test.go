@@ -356,6 +356,68 @@ func BenchmarkArbitrateContention(b *testing.B) {
 	}
 }
 
+// BenchmarkQueueChurn measures queue-shifting floor churn over the live
+// stack: four members rotate an Equal Control floor (the holder
+// releases, promoting the queue front, then re-queues at the back), so
+// every iteration shifts every queued member's slot. The headline
+// metric is logged_queue_events/transition — coalesced queue
+// restatements actually logged per queue-shifting transition. With
+// coalescing (Config.CoalesceInterval) N transitions per tick collapse
+// into one logged restatement, so the ratio must stay at or below 1.0;
+// a regression to per-transition (or worse, per-queued-member)
+// restatement pushes multiplies ring slots and fan-outs by the churn
+// rate, and CI gates on it via cmd/dmps-benchjson.
+func BenchmarkQueueChurn(b *testing.B) {
+	lab, err := core.NewLab(core.Options{
+		Seed:             7,
+		ProbeInterval:    time.Hour,
+		CoalesceInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Close()
+	const members = 4
+	clients := make([]*client.Client, 0, members)
+	for i := 0; i < members; i++ {
+		c, err := lab.NewClient(fmt.Sprintf("m%d", i), "participant", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Join("class"); err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	// m0 takes the floor; the rest queue behind it.
+	if dec, err := clients[0].RequestFloor("class", floor.EqualControl, ""); err != nil || !dec.Granted {
+		b.Fatalf("seed grant: %+v %v", dec, err)
+	}
+	for i := 1; i < members; i++ {
+		if dec, err := clients[i].RequestFloor("class", floor.EqualControl, ""); err != nil || dec.QueuePosition != i {
+			b.Fatalf("seed queue %d: %+v %v", i, dec, err)
+		}
+	}
+	marked0, logged0 := lab.Server.CoalesceStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		holder := clients[i%members]
+		if err := holder.ReleaseFloor("class"); err != nil {
+			b.Fatalf("iter %d release: %v", i, err)
+		}
+		if _, err := holder.RequestFloor("class", floor.EqualControl, ""); err != nil {
+			b.Fatalf("iter %d re-queue: %v", i, err)
+		}
+	}
+	b.StopTimer()
+	lab.Server.FlushQueueRestatements()
+	marked, logged := lab.Server.CoalesceStats()
+	if marked-marked0 > 0 {
+		b.ReportMetric(float64(logged-logged0)/float64(marked-marked0), "logged_queue_events/transition")
+	}
+}
+
 func BenchmarkPetriFireChain(b *testing.B) {
 	n := petri.New()
 	_ = n.AddPlace("a", "")

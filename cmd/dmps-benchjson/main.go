@@ -1,13 +1,16 @@
 // Command dmps-benchjson converts `go test -bench` output into the
 // repository's BENCH_*.json format and gates the log plane's headline
-// invariant: with the event-log append on the broadcast hot path,
-// encodes/op must stay at exactly one Encode per broadcast. CI pipes
-// the bench smoke output through it and fails the step on a regression.
+// invariants: with the event-log append on the broadcast hot path,
+// encodes/op must stay at exactly one Encode per broadcast, and with
+// restatement coalescing on, queue churn must log at most one "queue"
+// restatement per queue-shifting transition
+// (logged_queue_events/transition from BenchmarkQueueChurn). CI pipes
+// the bench output through it and fails the step on a regression.
 //
 // Usage:
 //
-//	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkArbitrateContention' -benchmem . \
-//	  | go run ./cmd/dmps-benchjson -out BENCH_pr3.json -max-encodes 1.0 -note "..."
+//	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkArbitrateContention|BenchmarkQueueChurn' -benchmem . \
+//	  | go run ./cmd/dmps-benchjson -out BENCH_pr4.json -max-encodes 1.0 -max-queue-churn 1.0 -note "..."
 package main
 
 import (
@@ -63,6 +66,7 @@ func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
 	maxEncodes := flag.Float64("max-encodes", 0, "fail if any encodes/op metric exceeds this (0 disables the gate)")
+	maxQueueChurn := flag.Float64("max-queue-churn", 0, "fail if any logged_queue_events/transition metric exceeds this (0 disables the gate)")
 	note := flag.String("note", "", "free-form note recorded under _meta")
 	flag.Parse()
 
@@ -83,25 +87,33 @@ func main() {
 		fatal(fmt.Errorf("no benchmark rows found in input"))
 	}
 
-	// The gate: encodes/op proves the encode-once invariant held with
-	// the log append on the hot path. Requiring at least one such metric
-	// keeps the gate from passing vacuously when the bench selection or
-	// output format drifts.
-	if *maxEncodes > 0 {
+	// The gates: encodes/op proves the encode-once invariant held with
+	// the log append on the hot path; logged_queue_events/transition
+	// proves queue churn still coalesces into per-tick restatements.
+	// Requiring at least one matching metric keeps each enabled gate
+	// from passing vacuously when the bench selection or output format
+	// drifts.
+	gate := func(unit string, max float64, what string) {
 		gated := 0
 		for name, row := range rows {
-			enc, ok := row["encodes_op"]
+			val, ok := row[unit]
 			if !ok {
 				continue
 			}
 			gated++
-			if enc > *maxEncodes {
-				fatal(fmt.Errorf("%s: encodes/op %.3f exceeds %.3f — the encode-once invariant regressed", name, enc, *maxEncodes))
+			if val > max {
+				fatal(fmt.Errorf("%s: %s %.3f exceeds %.3f — %s regressed", name, unit, val, max, what))
 			}
 		}
 		if gated == 0 {
-			fatal(fmt.Errorf("no encodes/op metrics in input: the gate would pass vacuously"))
+			fatal(fmt.Errorf("no %s metrics in input: the gate would pass vacuously", unit))
 		}
+	}
+	if *maxEncodes > 0 {
+		gate("encodes_op", *maxEncodes, "the encode-once invariant")
+	}
+	if *maxQueueChurn > 0 {
+		gate("logged_queue_events_transition", *maxQueueChurn, "queue-restatement coalescing")
 	}
 
 	doc := make(map[string]any, len(rows)+1)

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	dmps-server [-addr :4321] [-probe 500ms] [-alpha 0.5] [-beta 0.15]
+//	            [-session-ttl 1h]
 //
 // Clients (cmd/dmps-client) connect, join groups, request the floor and
 // chat; the server centralizes group administration, floor arbitration,
@@ -30,6 +31,7 @@ func run() int {
 	probe := flag.Duration("probe", 500*time.Millisecond, "status probe interval")
 	alpha := flag.Float64("alpha", 0.5, "α threshold: basic resource availability")
 	beta := flag.Float64("beta", 0.15, "β threshold: minimal resource availability")
+	sessionTTL := flag.Duration("session-ttl", time.Hour, "reap members whose sessions stay silent this long")
 	flag.Parse()
 
 	mon, err := resource.New(resource.MinBound, resource.Thresholds{Alpha: *alpha, Beta: *beta})
@@ -42,6 +44,7 @@ func run() int {
 		Addr:          *addr,
 		Monitor:       mon,
 		ProbeInterval: *probe,
+		SessionTTL:    *sessionTTL,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmps-server:", err)

@@ -22,19 +22,34 @@
 //
 // State reaches clients through a sequenced per-group event log: every
 // state broadcast (floor events, suspend/resume, board operations, mode
-// switches, invitations) is appended to its group's ring log and
-// stamped with a sequence number before it is fanned out, so a client
+// switches, invitations) is appended to its group's log and stamped
+// with per-class sequence numbers before it is fanned out, so a client
 // that took backpressure drops detects the hole and recovers the
 // missing suffix with one request (TBackfill) — or a compact snapshot
-// when it is behind by more than the ring retains. ServerConfig.LogCap
-// (and LabOptions.LogCap) sizes that ring, default 512 events per
-// group: larger rings reach further back before falling over to
-// snapshots, at the cost of retained memory per group; the setting
-// never affects correctness. The same machinery powers
-// Client.Reconnect — a client that lost its connection resumes with
-// its session token, keeping its member identity, group memberships
-// and subscriptions — and Client.SwitchMode, the chair's explicit
-// (optionally pinned) floor-mode control.
+// when the log can no longer connect it. ServerConfig.LogCap (and
+// LabOptions.LogCap) sizes the retained log, default 512 events per
+// group; under capacity pressure the log compacts class-wise, keeping
+// each class's latest state-bearing restatement plus the recent board
+// suffix, so even clients far behind usually converge from a short
+// compacted suffix. The setting never affects correctness. The same
+// machinery powers Client.Reconnect — a client that lost its
+// connection resumes with its session token, keeping its member
+// identity, group memberships and subscriptions — and
+// Client.SwitchMode, the chair's explicit (optionally pinned)
+// floor-mode control.
+//
+// Delivery is scale-hygienic. Sessions carry a server-side event-class
+// mask (ClientConfig.EventClasses / Client.SetEventClasses, widened
+// automatically by Client.Subscribe): logged events of unsubscribed
+// classes are filtered before they touch the session's queue, so an
+// uninterested member costs zero bytes under churn. Queue slots are
+// private — every member sees only the queue length and their own
+// position, live, in backfills and in snapshots. Queue restatements
+// coalesce (ServerConfig.CoalesceInterval, default one probe tick): N
+// transitions per tick cost one logged restatement. And members gone
+// longer than ServerConfig.SessionTTL (default one hour) are reaped —
+// token, directory entry, memberships, member log — with a later
+// Reconnect failing as ErrSessionExpired.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
@@ -187,6 +202,30 @@ const (
 // ErrTimeout is returned when the server does not answer a client
 // request (or the Dial handshake) within ClientConfig.Timeout.
 var ErrTimeout = client.ErrTimeout
+
+// ErrSessionExpired is returned by Client.Reconnect when the server has
+// reaped the session (gone longer than ServerConfig.SessionTTL): the
+// token no longer resumes anything and a fresh Dial is the way back in.
+var ErrSessionExpired = client.ErrSessionExpired
+
+// Event classes for the server-side delivery filter
+// (ClientConfig.EventClasses, Client.SetEventClasses): the classes of
+// logged state events a session wants pushed. Filtering runs at the
+// server, before the session's delivery queue — an unsubscribed class
+// costs the client zero bytes, even under churn.
+const (
+	// ClassFloor: floor events (grants, queueing, releases, restatements,
+	// mode switches).
+	ClassFloor = protocol.ClassFloor
+	// ClassSuspend: Media-Suspend / resume notices.
+	ClassSuspend = protocol.ClassSuspend
+	// ClassBoard: whiteboard and message-window operations.
+	ClassBoard = protocol.ClassBoard
+	// ClassInvite: sub-group invitations.
+	ClassInvite = protocol.ClassInvite
+	// ClassNone subscribes to no logged class at all.
+	ClassNone = protocol.ClassNone
+)
 
 // Presentation-model types.
 type (

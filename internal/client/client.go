@@ -6,15 +6,21 @@
 // the teacher's window shows (Figure 3).
 //
 // State events arrive on the sequenced event-log plane: every logged
-// broadcast carries its group log's GSeq, and the read loop applies
-// them strictly in sequence. A hole in the sequence — or a log head in
-// the lights broadcast's digest beyond the client's position — means
-// the server dropped something on this client's queue; the client asks
-// TBackfill (paced by a jittered exponential backoff) and converges
-// from the replayed suffix, or from a compact snapshot when the ring
-// has wrapped. The same machinery powers Reconnect: a client that lost
+// broadcast carries its log's per-class sequence (Message.Class/CSeq),
+// and the read loop applies each class strictly in sequence — with
+// state-bearing restatements (Message.State) admissible across holes,
+// since they carry everything the missed events did to their class. A
+// hole on a non-restating event — or a digest head in the lights
+// broadcast beyond the client's cursor — means the server dropped
+// something on this client's queue; the client asks TBackfill (paced
+// by a jittered exponential backoff) and converges from the replayed
+// compacted suffix, or from a compact snapshot when the log no longer
+// connects. The same machinery powers Reconnect: a client that lost
 // its connection dials again with its session token and resumes — same
-// member identity, same subscriptions, no re-joining.
+// member identity, same subscriptions, no re-joining. Sessions may
+// run with a server-side event-class mask (Config.EventClasses,
+// SetEventClasses): unsubscribed classes are filtered before they ever
+// reach this client's delivery queue.
 package client
 
 import (
@@ -43,6 +49,11 @@ var (
 	ErrDenied = errors.New("client: request denied")
 	// ErrClosed is returned after Close or connection loss.
 	ErrClosed = errors.New("client: closed")
+	// ErrSessionExpired is returned by Reconnect when the server no
+	// longer recognizes the session token — the member was reaped after
+	// being gone longer than the server's session TTL. The session
+	// cannot be resumed; dial a fresh client instead.
+	ErrSessionExpired = errors.New("client: session expired")
 )
 
 // Config configures a client.
@@ -59,9 +70,28 @@ type Config struct {
 	Clock clock.Clock
 	// Timeout bounds each request/response exchange (default 5s).
 	Timeout time.Duration
+	// EventClasses is the session's initial event-class mask: the logged
+	// event classes (protocol.ClassFloor, ClassSuspend, ClassBoard,
+	// ClassInvite) this client wants pushed. Filtering runs server-side
+	// — an unsubscribed class costs this client zero bytes under churn —
+	// at the price of the matching polling accessors going stale. Nil or
+	// empty means every class; protocol.ClassNone alone means none.
+	// SetEventClasses changes it later, and Subscribe widens it
+	// automatically when a subscription needs a class the mask excludes.
+	EventClasses []string
 	// OnEvent, when set, observes every server-initiated event
 	// synchronously from the read loop: keep it fast and non-blocking.
 	OnEvent func(protocol.Message)
+}
+
+// cursorKey addresses one admission cursor: a log (group ID, or the
+// member-log key) and an event class within it. Logged events are
+// sequenced densely per (log, class), which is what lets the server
+// filter whole classes per recipient without the survivors looking like
+// holes.
+type cursorKey struct {
+	log   string
+	class string
 }
 
 // Client is a connected DMPS client.
@@ -92,10 +122,15 @@ type Client struct {
 	// filtered or SuspendNotices and SuspendEvents would report
 	// transitions that never happened.
 	suspendedNow map[string]map[string]bool
-	// lastSeq is the highest applied GSeq per event log (group ID, or
-	// the member-log key for invitations). Logged events apply strictly
-	// in sequence: a duplicate is dropped, a hole triggers a TBackfill.
-	lastSeq map[string]int64
+	// lastSeq is the highest applied CSeq per (event log, class). Logged
+	// events apply strictly in per-class sequence: a duplicate is
+	// dropped, a hole triggers a TBackfill — unless the event is
+	// state-bearing (a full restatement of its class), which may be
+	// admitted across the hole, jumping the cursor.
+	lastSeq map[cursorKey]int64
+	// classes is the session's current event-class mask (nil = all),
+	// mirrored at the server, which filters before enqueuing.
+	classes map[string]bool
 	// repairs paces backfill/replay re-asks per log: jittered
 	// exponential backoff so a fleet of behind replicas cannot stampede
 	// the server in lockstep.
@@ -135,7 +170,8 @@ func Dial(cfg Config) (*Client, error) {
 		lights:     make(map[string]string),
 		holders:    make(map[string]string),
 		queuePos:   make(map[string]int),
-		lastSeq:    make(map[string]int64),
+		lastSeq:    make(map[cursorKey]int64),
+		classes:    protocol.ClassMask(cfg.EventClasses),
 		readerDone: make(chan struct{}),
 	}
 	c.mu.Lock()
@@ -143,6 +179,7 @@ func Dial(cfg Config) (*Client, error) {
 	c.mu.Unlock()
 	welcome, err := handshake(conn, cfg, protocol.HelloBody{
 		Name: cfg.Name, Role: cfg.Role, Priority: cfg.Priority,
+		Classes: cfg.EventClasses,
 	}, 1)
 	if err != nil {
 		_ = conn.Close()
@@ -154,6 +191,24 @@ func Dial(cfg Config) (*Client, error) {
 	c.mu.Unlock()
 	go c.readLoop()
 	return c, nil
+}
+
+// wantsClassLocked reports whether the current mask admits a class.
+// Requires c.mu.
+func (c *Client) wantsClassLocked(class string) bool {
+	return c.classes == nil || c.classes[class]
+}
+
+// groupClassesLocked lists the event classes this client tracks on a
+// group log — the classes its mask admits. Requires c.mu.
+func (c *Client) groupClassesLocked() []string {
+	var out []string
+	for _, class := range []string{protocol.ClassFloor, protocol.ClassSuspend, protocol.ClassBoard} {
+		if c.wantsClassLocked(class) {
+			out = append(out, class)
+		}
+	}
+	return out
 }
 
 // handshake performs one hello/welcome exchange on a fresh connection.
@@ -172,6 +227,14 @@ func handshake(conn transport.Conn, cfg Config, hello protocol.HelloBody, seq in
 		return protocol.WelcomeBody{}, fmt.Errorf("client: handshake recv: %w", err)
 	}
 	got, err := protocol.Decode(reply)
+	if err == nil && got.Type == protocol.TErr {
+		var body protocol.ErrBody
+		_ = got.Into(&body)
+		if body.Code == "session_expired" {
+			return protocol.WelcomeBody{}, fmt.Errorf("%w: %s", ErrSessionExpired, body.Detail)
+		}
+		return protocol.WelcomeBody{}, fmt.Errorf("%w: %s: %s", ErrDenied, body.Code, body.Detail)
+	}
 	if err != nil || got.Type != protocol.TWelcome {
 		return protocol.WelcomeBody{}, fmt.Errorf("client: unexpected handshake reply %q (%v)", got.Type, err)
 	}
@@ -309,39 +372,43 @@ func (c *Client) handle(msg protocol.Message) {
 	}
 }
 
-// admit enforces strict sequence order for logged state events. An
-// event at exactly lastSeq+1 for its log advances the cursor and
-// applies; a duplicate (GSeq ≤ lastSeq) is discarded — backfills and
-// live delivery may overlap, and every logged event is idempotent to
-// re-deliver but cheaper to drop; a hole (GSeq > lastSeq+1) proves the
-// server dropped something on this client's queue, so the event is NOT
-// applied — the missing prefix must come first — and a paced TBackfill
-// ask goes out. Unlogged messages (GSeq 0) always admit.
+// admit enforces per-class sequence order for logged state events. An
+// event at exactly lastSeq+1 for its (log, class) cursor advances it
+// and applies; a duplicate (CSeq ≤ lastSeq) is discarded — backfills
+// and live delivery may overlap, and every logged event is idempotent
+// to re-deliver but cheaper to drop. A hole (CSeq > lastSeq+1) proves
+// the server dropped — or compacted away — something in this class:
+// when the event is state-bearing it is admitted ANYWAY and the cursor
+// jumps to it, because a state-bearing event fully restates its class's
+// state and the missing prefix has nothing left to say; otherwise the
+// event is not applied and a paced TBackfill ask goes out. Unlogged
+// messages (CSeq 0) always admit.
 //
 // Admission runs in the read loop against the wire stream, so a slow
 // local subscriber dropping events off its own buffered channel can
 // never be mistaken for a delivery gap.
 func (c *Client) admit(msg protocol.Message) bool {
-	if msg.GSeq == 0 {
+	if msg.CSeq == 0 {
 		return true
 	}
-	key := msg.Group
+	log := msg.Group
 	c.mu.Lock()
 	if msg.Type == protocol.TInviteEvent {
-		key = grouplog.MemberKey(c.memberID)
+		log = grouplog.MemberKey(c.memberID)
 	}
+	key := cursorKey{log: log, class: msg.Class}
 	last := c.lastSeq[key]
 	switch {
-	case msg.GSeq <= last:
+	case msg.CSeq <= last:
 		c.mu.Unlock()
 		return false
-	case msg.GSeq == last+1:
-		c.lastSeq[key] = msg.GSeq
+	case msg.CSeq == last+1 || msg.State:
+		c.lastSeq[key] = msg.CSeq
 		c.mu.Unlock()
 		return true
 	default:
 		c.mu.Unlock()
-		c.askBackfill(key)
+		c.askBackfill(log)
 		return false
 	}
 }
@@ -431,20 +498,16 @@ func (c *Client) apply(msg protocol.Message) {
 			// whether granted directly or promoted on a release/pass —
 			// always clears the slot, a mode switch resets the whole
 			// floor (queue included), and a "queue" restatement is
-			// authoritative either way: present at its slot, absent means
-			// not queued.
+			// authoritative either way: queue slots are private, so the
+			// server personalizes the copy a queued member receives
+			// (QueuePosition > 0) while everyone else's copy carries 0 —
+			// meaning "you are not queued", never "here is the queue".
 			selfPos := -1 // ≥ 0: this member's slot changed (0 = dequeued)
 			switch {
 			case body.Event == "mode_switch":
 				delete(c.queuePos, msg.Group)
 			case body.Event == "queue":
-				pos := 0
-				for i, m := range body.Queue {
-					if m == c.memberID {
-						pos = i + 1
-						break
-					}
-				}
+				pos := body.QueuePosition
 				if pos != c.queuePos[msg.Group] {
 					selfPos = pos
 				}
@@ -498,16 +561,26 @@ func (c *Client) apply(msg protocol.Message) {
 	case protocol.TSuspend, protocol.TResume:
 		var body protocol.SuspendBody
 		if msg.Into(&body) == nil {
-			// Only genuine transitions count: snapshots re-state current
-			// suspension status, so a TSuspend for a member already
-			// believed suspended — or a TResume for one never suspended —
-			// is a redundant re-delivery, not a change.
+			// Only genuine transitions count: snapshots and state-bearing
+			// notices re-state current suspension status, so a TSuspend
+			// for a member already believed suspended — or a TResume for
+			// one never suspended — is a redundant re-delivery, not a
+			// change. A state-bearing notice (msg.State) carries the whole
+			// suspended set, so reconcile everyone, both directions — a
+			// recipient that missed earlier transitions converges from
+			// whichever notice it sees next.
 			suspending := msg.Type == protocol.TSuspend
+			var events []Event
 			c.mu.Lock()
-			changed := c.setSuspendedLocked(msg.Group, body, suspending)
+			if c.setSuspendedLocked(msg.Group, body, suspending) {
+				events = append(events, Event{Kind: SuspendEvents, Type: msg.Type, Group: msg.Group, Suspend: body})
+			}
+			if msg.State {
+				events = append(events, c.reconcileSuspendedLocked(msg.Group, body.Suspended, body.Level)...)
+			}
 			c.mu.Unlock()
-			if changed {
-				c.publish(Event{Kind: SuspendEvents, Type: msg.Type, Group: msg.Group, Suspend: body})
+			for _, ev := range events {
+				c.publish(ev)
 			}
 		}
 	case protocol.TPresent:
@@ -570,21 +643,57 @@ func (c *Client) setSuspendedLocked(groupID string, body protocol.SuspendBody, s
 	return true
 }
 
-// behindLogsLocked compares the server's heads digest against the
-// client's applied cursors and returns the log keys this client is
+// reconcileSuspendedLocked converges the believed suspension set of one
+// group on an authoritative restatement (from a snapshot or a
+// state-bearing suspend notice): members the set lists transition in,
+// members believed suspended but absent transition out. It returns the
+// events for the genuine transitions. Requires c.mu.
+func (c *Client) reconcileSuspendedLocked(groupID string, suspended []string, level string) []Event {
+	var events []Event
+	inSet := make(map[string]bool, len(suspended))
+	for _, m := range suspended {
+		inSet[m] = true
+	}
+	for m := range c.suspendedNow[groupID] {
+		if c.suspendedNow[groupID][m] && !inSet[m] {
+			note := protocol.SuspendBody{Member: m, Level: level}
+			c.setSuspendedLocked(groupID, note, false)
+			events = append(events, Event{Kind: SuspendEvents, Type: protocol.TResume, Group: groupID, Suspend: note})
+		}
+	}
+	for _, m := range suspended {
+		note := protocol.SuspendBody{Member: m, Level: level}
+		if c.setSuspendedLocked(groupID, note, true) {
+			events = append(events, Event{Kind: SuspendEvents, Type: protocol.TSuspend, Group: groupID, Suspend: note})
+		}
+	}
+	return events
+}
+
+// behindLogsLocked compares the server's per-class heads digest against
+// the client's applied cursors and returns the log keys this client is
 // behind on: its joined groups and its own member log — other members'
-// logs in the digest are not ours to fetch. Requires c.mu.
-func (c *Client) behindLogsLocked(heads map[string]int64) []string {
+// logs in the digest are not ours to fetch, and classes outside the
+// mask are not ours to chase. Requires c.mu.
+func (c *Client) behindLogsLocked(heads map[string]map[string]int64) []string {
 	if len(heads) == 0 {
 		return nil
 	}
+	behindOn := func(log string) bool {
+		for class, head := range heads[log] {
+			if c.wantsClassLocked(class) && head > c.lastSeq[cursorKey{log: log, class: class}] {
+				return true
+			}
+		}
+		return false
+	}
 	var behind []string
 	for g := range c.joined {
-		if heads[g] > c.lastSeq[g] {
+		if behindOn(g) {
 			behind = append(behind, g)
 		}
 	}
-	if mk := grouplog.MemberKey(c.memberID); heads[mk] > c.lastSeq[mk] {
+	if mk := grouplog.MemberKey(c.memberID); behindOn(mk) {
 		behind = append(behind, mk)
 	}
 	return behind
@@ -593,66 +702,53 @@ func (c *Client) behindLogsLocked(heads map[string]int64) []string {
 // applySnapshot reconciles one log's authoritative state: the floor
 // caches, the believed suspension set (publishing only genuine
 // transitions), the board suffix and pending invitations, then advances
-// the log cursor to the snapshot's Seq so live events continue from it.
+// the per-class log cursors to the snapshot's ClassSeqs so live events
+// continue from them.
 func (c *Client) applySnapshot(groupID string, body protocol.SnapshotBody) {
 	var events []Event
 	c.mu.Lock()
-	key := groupID
-	if key == "" {
-		key = grouplog.MemberKey(c.memberID)
+	log := groupID
+	if log == "" {
+		log = grouplog.MemberKey(c.memberID)
 	}
-	// A snapshot older than the applied cursor must not rewrite the
-	// state caches: the server reads the log head before the floor
-	// state, so a transition logged (and applied here) after the head
-	// read but before the snapshot was queued would be clobbered by the
-	// snapshot's pre-transition view — with cursor == head, nothing
-	// would ever repair it. Board ops and invitations still apply below:
-	// both are idempotent and never regress.
-	stale := body.Seq < c.lastSeq[key]
-	if body.Seq > c.lastSeq[key] {
-		c.lastSeq[key] = body.Seq
+	// A snapshot older than an applied cursor must not rewrite that
+	// class's state caches: the server reads the log heads before the
+	// floor state, so a transition logged (and applied here) after the
+	// head read but before the snapshot was queued would be clobbered by
+	// the snapshot's pre-transition view — with cursor == head, nothing
+	// would ever repair it. Staleness is judged per class; board ops and
+	// invitations still apply below either way, as both are idempotent
+	// and never regress.
+	staleFor := func(class string) bool {
+		return body.ClassSeqs[class] < c.lastSeq[cursorKey{log: log, class: class}]
+	}
+	floorStale := staleFor(protocol.ClassFloor)
+	suspendStale := staleFor(protocol.ClassSuspend)
+	for class, head := range body.ClassSeqs {
+		key := cursorKey{log: log, class: class}
+		if head > c.lastSeq[key] {
+			c.lastSeq[key] = head
+		}
 	}
 	for _, inv := range body.Invites {
 		if c.addInviteLocked(inv) {
 			events = append(events, Event{Kind: InviteEvents, Type: protocol.TInviteEvent, Group: inv.Group, Invite: inv})
 		}
 	}
-	if groupID != "" && !stale {
+	if groupID != "" && !floorStale {
 		c.holders[groupID] = body.Holder
-		pos := 0
-		for i, m := range body.Queue {
-			if m == c.memberID {
-				pos = i + 1
-				break
-			}
-		}
-		if pos > 0 && body.Holder != c.memberID {
-			c.queuePos[groupID] = pos
+		// QueuePos is personalized by the server: this recipient's own
+		// slot, or 0 when not queued (other members' slots never arrive).
+		if body.QueuePos > 0 && body.Holder != c.memberID {
+			c.queuePos[groupID] = body.QueuePos
 		} else {
 			delete(c.queuePos, groupID)
 		}
-		// Reconcile the suspension set both ways: members the snapshot
-		// lists as suspended transition in, members we believed suspended
-		// but the snapshot omits transition out — a bystander converges
-		// on everyone's state, not just its own.
-		inSnap := make(map[string]bool, len(body.Suspended))
-		for _, m := range body.Suspended {
-			inSnap[m] = true
-		}
-		for m := range c.suspendedNow[groupID] {
-			if c.suspendedNow[groupID][m] && !inSnap[m] {
-				note := protocol.SuspendBody{Member: m, Level: body.Level}
-				c.setSuspendedLocked(groupID, note, false)
-				events = append(events, Event{Kind: SuspendEvents, Type: protocol.TResume, Group: groupID, Suspend: note})
-			}
-		}
-		for _, m := range body.Suspended {
-			note := protocol.SuspendBody{Member: m, Level: body.Level}
-			if c.setSuspendedLocked(groupID, note, true) {
-				events = append(events, Event{Kind: SuspendEvents, Type: protocol.TSuspend, Group: groupID, Suspend: note})
-			}
-		}
 	}
+	if groupID != "" && !suspendStale {
+		events = append(events, c.reconcileSuspendedLocked(groupID, body.Suspended, body.Level)...)
+	}
+	stale := floorStale
 	c.mu.Unlock()
 
 	if groupID != "" {
@@ -732,29 +828,46 @@ func (c *Client) paceRepair(key string, after int64) bool {
 }
 
 // askBackfill fire-and-forgets a TBackfill for one event log (a group,
-// or the member log) from the client's current cursor. It runs on the
-// read loop, so it bypasses the request/response machinery; pacing via
-// paceRepair keeps a wedged replica from flooding the server while
-// still converging when the backfill itself was dropped under
+// or the member log) from the client's current per-class cursors. It
+// runs on the read loop, so it bypasses the request/response machinery;
+// pacing via paceRepair keeps a wedged replica from flooding the server
+// while still converging when the backfill itself was dropped under
 // backpressure.
 func (c *Client) askBackfill(key string) {
 	c.mu.Lock()
-	after := c.lastSeq[key]
-	group := key
-	var boardSeq int64
-	if key == grouplog.MemberKey(c.memberID) {
-		group = ""
-	} else if b, ok := c.boards[key]; ok {
-		boardSeq = b.Seq()
-	}
+	afters, boardSeq, group := c.aftersLocked(key)
 	c.mu.Unlock()
-	if !c.paceRepair("log:"+key, after) {
+	var pace int64
+	for _, a := range afters {
+		pace += a
+	}
+	if !c.paceRepair("log:"+key, pace) {
 		return
 	}
 	msg := protocol.MustNew(protocol.TBackfill, protocol.BackfillBody{
-		Group: group, After: after, BoardSeq: boardSeq,
+		Group: group, Afters: afters, BoardSeq: boardSeq,
 	})
 	_ = c.send(msg)
+}
+
+// aftersLocked assembles the per-class cursor positions for one log's
+// backfill ask, with the board replica's position and the wire Group
+// ("" for the member log). Requires c.mu.
+func (c *Client) aftersLocked(key string) (afters map[string]int64, boardSeq int64, group string) {
+	afters = make(map[string]int64)
+	group = key
+	if key == grouplog.MemberKey(c.memberID) {
+		group = ""
+		afters[protocol.ClassInvite] = c.lastSeq[cursorKey{log: key, class: protocol.ClassInvite}]
+		return afters, 0, group
+	}
+	for _, class := range c.groupClassesLocked() {
+		afters[class] = c.lastSeq[cursorKey{log: key, class: class}]
+	}
+	if b, ok := c.boards[key]; ok {
+		boardSeq = b.Seq()
+	}
+	return afters, boardSeq, group
 }
 
 // askBoardReplay fire-and-forgets a TReplay when the board replica
@@ -1195,8 +1308,18 @@ func (c *Client) Reconnect() error {
 	if err != nil {
 		return fmt.Errorf("client: reconnect: %w", err)
 	}
+	c.mu.Lock()
+	var classes []string
+	for class := range c.classes {
+		classes = append(classes, class)
+	}
+	if c.classes != nil && len(classes) == 0 {
+		classes = []string{protocol.ClassNone}
+	}
+	c.mu.Unlock()
 	welcome, err := handshake(conn, c.cfg, protocol.HelloBody{
 		Name: c.cfg.Name, Role: c.cfg.Role, Priority: c.cfg.Priority, Token: token,
+		Classes: classes,
 	}, helloSeq)
 	if err != nil {
 		_ = conn.Close()
@@ -1205,7 +1328,7 @@ func (c *Client) Reconnect() error {
 
 	type resumeAsk struct {
 		group    string
-		after    int64
+		afters   map[string]int64
 		boardSeq int64
 	}
 	var asks []resumeAsk
@@ -1224,20 +1347,18 @@ func (c *Client) Reconnect() error {
 	c.readerDone = make(chan struct{})
 	c.repairs = nil // fresh connection, fresh pacing
 	for g := range c.joined {
-		ask := resumeAsk{group: g, after: c.lastSeq[g]}
-		if b, ok := c.boards[g]; ok {
-			ask.boardSeq = b.Seq()
-		}
-		asks = append(asks, ask)
+		afters, boardSeq, _ := c.aftersLocked(g)
+		asks = append(asks, resumeAsk{group: g, afters: afters, boardSeq: boardSeq})
 	}
 	mk := grouplog.MemberKey(c.memberID)
-	asks = append(asks, resumeAsk{group: "", after: c.lastSeq[mk]})
+	memberAfters, _, _ := c.aftersLocked(mk)
+	asks = append(asks, resumeAsk{group: "", afters: memberAfters})
 	c.mu.Unlock()
 
 	go c.readLoop()
 	for _, ask := range asks {
 		msg := protocol.MustNew(protocol.TBackfill, protocol.BackfillBody{
-			Group: ask.group, After: ask.after, BoardSeq: ask.boardSeq,
+			Group: ask.group, Afters: ask.afters, BoardSeq: ask.boardSeq,
 		})
 		_ = c.send(msg)
 	}

@@ -100,6 +100,84 @@ func (c *Client) SubscriberStats() []SubscriberStats {
 	return out
 }
 
+// classOfKind maps a subscription kind to the wire event class its
+// events ride on (LightEvents are transient, not logged: no class).
+func classOfKind(k EventKind) (string, bool) {
+	switch k {
+	case FloorEvents:
+		return protocol.ClassFloor, true
+	case SuspendEvents:
+		return protocol.ClassSuspend, true
+	case InviteEvents:
+		return protocol.ClassInvite, true
+	default:
+		return "", false
+	}
+}
+
+// SetEventClasses replaces the session's server-side event-class mask:
+// the server stops queuing logged events of classes outside it (zero
+// bytes for an unsubscribed class, even under churn), and the polling
+// accessors backed by a dropped class go stale. With no arguments the
+// mask resets to every class; protocol.ClassNone alone subscribes to
+// none. Re-admitting a class converges like a late join: the client
+// backfills (or jumps onto the class's next state-bearing restatement).
+func (c *Client) SetEventClasses(classes ...string) error {
+	msg := protocol.MustNew(protocol.TSubscribe, protocol.SubscribeBody{Classes: classes})
+	if _, err := c.request(msg); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.classes = protocol.ClassMask(classes)
+	c.mu.Unlock()
+	return nil
+}
+
+// widenMask grows the server-side mask to cover the given kinds when
+// the current mask excludes any of them (a Subscribe on a class the
+// server filters would otherwise wait on a silent channel). Fired from
+// Subscribe without blocking on the ack: the mask only ever widens, so
+// the races are benign.
+func (c *Client) widenMask(kinds []EventKind) {
+	c.mu.Lock()
+	if c.classes == nil { // already everything
+		c.mu.Unlock()
+		return
+	}
+	widened := false
+	mask := make(map[string]bool, len(c.classes)+len(kinds))
+	for class := range c.classes {
+		mask[class] = true
+	}
+	grow := func(class string) {
+		if !mask[class] {
+			mask[class] = true
+			widened = true
+		}
+	}
+	if len(kinds) == 0 { // subscribe-to-all: the mask must be everything
+		for _, class := range protocol.AllClasses {
+			grow(class)
+		}
+	}
+	for _, k := range kinds {
+		if class, ok := classOfKind(k); ok {
+			grow(class)
+		}
+	}
+	if !widened {
+		c.mu.Unlock()
+		return
+	}
+	c.classes = mask
+	classes := make([]string, 0, len(mask))
+	for class := range mask {
+		classes = append(classes, class)
+	}
+	c.mu.Unlock()
+	_ = c.send(protocol.MustNew(protocol.TSubscribe, protocol.SubscribeBody{Classes: classes}))
+}
+
 // Subscribe returns a channel of server-pushed events. With no arguments
 // it delivers every kind; otherwise only the listed kinds. Events are
 // delivered in server order. The channel is buffered (256 events); a
@@ -107,7 +185,13 @@ func (c *Client) SubscriberStats() []SubscriberStats {
 // the connection's read loop. The channel is closed when the client
 // closes or the connection drops. The existing accessors (Holder,
 // Lights, PendingInvites, …) remain thin views over the same state.
+//
+// When the client runs with a narrowed event-class mask (EventClasses /
+// SetEventClasses), subscribing to a kind whose class the mask excludes
+// widens the mask automatically — the server starts pushing that class
+// again and the client converges on it like a late joiner.
 func (c *Client) Subscribe(kinds ...EventKind) <-chan Event {
+	c.widenMask(kinds)
 	sub := &subscriber{ch: make(chan Event, subscriberBuffer)}
 	if len(kinds) > 0 {
 		sub.kinds = make(map[EventKind]bool, len(kinds))

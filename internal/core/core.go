@@ -40,10 +40,18 @@ type Options struct {
 	SendQueueCap int
 	// SlowPolicy is the server's slow-consumer policy.
 	SlowPolicy server.SlowConsumerPolicy
-	// LogCap bounds each group's event-log ring at the server (default:
-	// the server's own default); clients behind by more than LogCap
-	// logged events converge through a snapshot instead of a replay.
+	// LogCap bounds each group's retained event log at the server
+	// (default: the server's own default); under pressure the log
+	// compacts class-wise, and clients the retained suffix cannot
+	// connect converge through a snapshot instead of a replay.
 	LogCap int
+	// CoalesceInterval batches queue-restatement pushes at the server
+	// (default: one probe tick).
+	CoalesceInterval time.Duration
+	// SessionTTL bounds how long a disconnected member's session token
+	// and directory entry outlive their last connection before the
+	// server reaps them (default: the server's own default, one hour).
+	SessionTTL time.Duration
 }
 
 // Lab is a fully assembled in-memory DMPS deployment.
@@ -81,14 +89,16 @@ func NewLab(opts Options) (*Lab, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	srv, err := server.New(server.Config{
-		Network:       net,
-		Addr:          ServerAddr,
-		Monitor:       mon,
-		ProbeInterval: opts.ProbeInterval,
-		ProbeTimeout:  opts.ProbeTimeout,
-		SendQueueCap:  opts.SendQueueCap,
-		SlowPolicy:    opts.SlowPolicy,
-		LogCap:        opts.LogCap,
+		Network:          net,
+		Addr:             ServerAddr,
+		Monitor:          mon,
+		ProbeInterval:    opts.ProbeInterval,
+		ProbeTimeout:     opts.ProbeTimeout,
+		SendQueueCap:     opts.SendQueueCap,
+		SlowPolicy:       opts.SlowPolicy,
+		LogCap:           opts.LogCap,
+		CoalesceInterval: opts.CoalesceInterval,
+		SessionTTL:       opts.SessionTTL,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

@@ -434,6 +434,48 @@ func (c *Controller) SwitchMode(groupID string, member group.MemberID, mode Mode
 	return fs.st.Mode, changed, nil
 }
 
+// Evict removes a member from a group's floor bookkeeping entirely —
+// queue slot, chair approval, direct contacts, suspension — and, when
+// they hold the floor, releases it under the group's policy (promoting
+// the next eligible queued member in the token modes). The server calls
+// it when a member is reaped from the directory; a regular leave keeps
+// floor state, matching the paper's persistent red-light semantics. It
+// reports the holder after eviction and whether the member held the
+// floor or occupied a queue slot (the cases that shift other members).
+func (c *Controller) Evict(groupID string, member group.MemberID) (holder group.MemberID, wasHolder, wasQueued bool) {
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := &fs.st
+	for i, q := range st.Queue {
+		if q == member {
+			st.Queue = append(st.Queue[:i], st.Queue[i+1:]...)
+			wasQueued = true
+			break
+		}
+	}
+	delete(st.Approved, member)
+	delete(fs.suspended, member)
+	if peer := st.Contacts[member]; peer != "" {
+		delete(st.Contacts, member)
+		if st.Contacts[peer] == member {
+			delete(st.Contacts, peer)
+		}
+	}
+	if st.Holder == member {
+		wasHolder = true
+		if pol, err := c.policyOf(fs); err == nil {
+			_, _ = pol.Release(c.registry, st, member)
+		}
+		if st.Holder == member {
+			// The policy declined (or had no release semantics for this
+			// mode); the seat must not stay with a reaped member.
+			st.Holder = ""
+		}
+	}
+	return st.Holder, wasHolder, wasQueued
+}
+
 // Pinned reports whether the group's floor policy is chair-pinned.
 func (c *Controller) Pinned(groupID string) bool {
 	fs := c.state(groupID)

@@ -1,14 +1,24 @@
 // Package grouplog is the server's sequenced event-log plane: one
-// bounded ring log of encoded state events per key, where a key is a
-// group ID (floor grants/releases/queueing, suspend/resume, board
+// bounded, compacting log of encoded state events per key, where a key
+// is a group ID (floor grants/releases/queueing, suspend/resume, board
 // operations, mode switches) or a member's private event log
 // (invitations). Every state broadcast is appended here first — the
-// append assigns the event its per-key sequence number, which is
-// stamped into the wire bytes — and the same bytes are fanned out and
-// retained for replay. A client that took drops, or reconnects with its
-// last-seen sequence numbers, asks for the missing suffix; when the
-// ring has wrapped past the requested position the caller falls back to
-// a compact state snapshot instead.
+// append assigns the event its per-key GSeq and its per-(key, class)
+// CSeq, which the caller stamps into the wire bytes — and the same
+// bytes are fanned out and retained for replay. A client that took
+// drops, or reconnects with its last-seen sequence numbers, asks for
+// the missing suffix of the classes it subscribes to.
+//
+// Retention is class-keyed, not FIFO: when the log exceeds its
+// capacity, entries superseded by a later state-bearing event of the
+// same class are dropped first (a state-bearing event fully restates
+// its class's state, so everything older than it is redundant for
+// catch-up), and only then does the plain suffix shrink from the
+// front. Each class's latest state-bearing event is never evicted. The
+// payoff is reach: a client stalled past what a FIFO ring would retain
+// usually still finds a connectable suffix — the latest floor and
+// suspend restatements plus the recent board ops — instead of needing
+// a full snapshot.
 //
 // Logs are sharded behind the lock-striped shard.Map, so appends in one
 // group never contend with appends in another — the same partitioning
@@ -21,12 +31,12 @@ import (
 	"dmps/internal/shard"
 )
 
-// DefaultCap is the per-key ring capacity when the caller does not
-// choose one. 512 events rides out multi-second stalls at classroom
-// event rates while bounding retained memory per group; a client behind
-// by more than the ring converges through a snapshot instead of a
-// replay, so the capacity trades replay reach against memory, never
-// correctness.
+// DefaultCap is the per-key retained-entry capacity when the caller
+// does not choose one. 512 events rides out multi-second stalls at
+// classroom event rates while bounding retained memory per group; a
+// client the retained suffix can no longer connect converges through a
+// snapshot instead, so the capacity trades replay reach against
+// memory, never correctness.
 const DefaultCap = 512
 
 // MemberKey returns the log key of a member's private event log. The
@@ -50,7 +60,7 @@ func NewPlane(cap int) *Plane {
 	return &Plane{cap: cap, logs: shard.NewMap[*Log]()}
 }
 
-// Cap returns the per-key ring capacity.
+// Cap returns the per-key retained-entry capacity.
 func (p *Plane) Cap() int { return p.cap }
 
 // Get returns (creating) the log for a key.
@@ -61,89 +71,257 @@ func (p *Plane) Get(key string) *Log {
 // Peek returns the log for a key without creating it.
 func (p *Plane) Peek(key string) (*Log, bool) { return p.logs.Get(key) }
 
-// Heads returns the head sequence number of every non-empty log, keyed
-// as the plane is. It is the digest the server broadcasts with the
-// connection lights so clients can detect that they are behind even
-// when the group has gone quiet — the repair path that used to need
-// per-class server-side bookkeeping.
-func (p *Plane) Heads() map[string]int64 {
+// Drop discards a key's log entirely — the reap path for members whose
+// session and directory entry have expired.
+func (p *Plane) Drop(key string) { p.logs.Delete(key) }
+
+// ClassHeads returns, for every log with at least one assigned
+// sequence, its per-class head CSeqs. It is the digest the server
+// broadcasts with the connection lights so clients can detect that
+// they are behind even when the group has gone quiet — filtered per
+// recipient to their groups and subscribed classes before it leaves
+// the server.
+func (p *Plane) ClassHeads() map[string]map[string]int64 {
 	keys := p.logs.Keys()
-	out := make(map[string]int64, len(keys))
+	out := make(map[string]map[string]int64, len(keys))
 	for _, key := range keys {
 		if lg, ok := p.logs.Get(key); ok {
-			if head := lg.Head(); head > 0 {
-				out[key] = head
+			if heads := lg.ClassHeads(); len(heads) > 0 {
+				out[key] = heads
 			}
 		}
 	}
 	return out
 }
 
-// Log is one key's ring of sequenced, already-encoded events. Sequence
-// numbers are 1-based and dense; the ring retains the most recent cap
-// of them.
-type Log struct {
-	mu   sync.Mutex
-	ring [][]byte // slot (seq-1) % cap holds the event with that seq
-	head int64    // highest assigned sequence number (0 when empty)
+// entry is one retained event: its log-wide GSeq, per-class CSeq, the
+// class, whether it is state-bearing (a full restatement of its
+// class's state) and the encoded wire bytes.
+type entry struct {
+	gseq  int64
+	cseq  int64
+	class string
+	state bool
+	wire  []byte
 }
 
-func newLog(cap int) *Log { return &Log{ring: make([][]byte, cap)} }
+// Log is one key's compacting sequence of encoded events. GSeq numbers
+// are 1-based and dense at append time; CSeq numbers are 1-based and
+// dense within each class. Compaction may thin the retained set, but
+// it never drops a class's latest state-bearing event.
+//
+// The retained window is entries[start:]; dropping the oldest entry is
+// a start++ with storage reclaimed in bulk, so steady-state churn on a
+// full log (the broadcast hot path) costs O(1) amortized — the O(n)
+// sweep runs only when superseded entries actually exist.
+type Log struct {
+	mu      sync.Mutex
+	cap     int
+	entries []entry
+	start   int              // entries[start:] is the live window
+	head    int64            // highest assigned GSeq (0 when empty)
+	cheads  map[string]int64 // class → highest assigned CSeq
+	// latestState tracks, per class, the GSeq of the newest
+	// state-bearing entry: everything older of the same class is
+	// superseded and is compaction's first prey. fresh counts each
+	// class's retained not-superseded entries, and superseded the total
+	// retained superseded entries — bookkeeping that lets the compactor
+	// skip its sweep when there is nothing to sweep.
+	latestState map[string]int64
+	fresh       map[string]int
+	superseded  int
+}
 
-// Append assigns the next sequence number, calls encode(seq) to produce
-// the wire bytes with that number stamped in, stores them in the ring
-// and hands them to deliver (which may be nil). The lock is held across
-// encode, store and deliver so fan-out order equals log order — two
-// concurrent appends can never reach a recipient's queue inverted,
-// which is what lets clients apply events strictly in sequence. deliver
-// must therefore never block (the server's per-session queues drop
-// rather than wait). An encode error leaves the log untouched.
-func (l *Log) Append(encode func(seq int64) ([]byte, error), deliver func(seq int64, wire []byte)) (int64, error) {
+func newLog(cap int) *Log {
+	return &Log{
+		cap:         cap,
+		cheads:      make(map[string]int64),
+		latestState: make(map[string]int64),
+		fresh:       make(map[string]int),
+	}
+}
+
+// live returns the retained window. Requires l.mu.
+func (l *Log) live() []entry { return l.entries[l.start:] }
+
+// Append assigns the event's sequence numbers, calls encode(gseq, cseq)
+// to produce the wire bytes with them stamped in, retains the entry
+// (compacting under capacity pressure) and hands the bytes to deliver
+// (which may be nil). The lock is held across encode, store and
+// deliver so fan-out order equals log order — two concurrent appends
+// can never reach a recipient's queue inverted, which is what lets
+// clients apply events strictly in sequence. deliver must therefore
+// never block (the server's per-session queues drop rather than wait).
+// An encode error leaves the log untouched.
+func (l *Log) Append(class string, state bool, encode func(gseq, cseq int64) ([]byte, error), deliver func(wire []byte)) (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	seq := l.head + 1
-	wire, err := encode(seq)
+	gseq := l.head + 1
+	cseq := l.cheads[class] + 1
+	wire, err := encode(gseq, cseq)
 	if err != nil {
 		return 0, err
 	}
-	l.ring[(seq-1)%int64(len(l.ring))] = wire
-	l.head = seq
-	if deliver != nil {
-		deliver(seq, wire)
+	l.head = gseq
+	l.cheads[class] = cseq
+	if state {
+		l.superseded += l.fresh[class]
+		l.fresh[class] = 0
+		l.latestState[class] = gseq
 	}
-	return seq, nil
+	l.fresh[class]++
+	l.entries = append(l.entries, entry{gseq: gseq, cseq: cseq, class: class, state: state, wire: wire})
+	if len(l.live()) > l.cap {
+		l.compactLocked()
+	}
+	if deliver != nil {
+		deliver(wire)
+	}
+	return gseq, nil
 }
 
-// Head returns the highest assigned sequence number (0 when empty).
+// compactLocked brings the retained window back under capacity: first
+// it drops every entry superseded by a later state-bearing entry of
+// the same class (skipped outright when the superseded counter says
+// there are none — the broadcast hot path must not pay a sweep per
+// append), then — if still over — trims from the front, skipping each
+// class's latest state-bearing entry (those are the anchors a
+// far-behind client converges from). Requires l.mu.
+func (l *Log) compactLocked() {
+	if l.superseded > 0 {
+		prev := l.entries
+		kept := l.entries[:0]
+		for _, e := range l.live() {
+			if e.gseq < l.latestState[e.class] {
+				continue // superseded: a newer full restatement exists
+			}
+			kept = append(kept, e)
+		}
+		// Zero the dropped tail so the evicted wire bytes are released
+		// now, not when a future append happens to overwrite the slot.
+		for i := len(kept); i < len(prev); i++ {
+			prev[i] = entry{}
+		}
+		l.entries = kept
+		l.start = 0
+		l.superseded = 0
+	}
+	for len(l.live()) > l.cap {
+		// Evict the oldest non-anchor entry. It is almost always at (or
+		// within a few anchors of) the front, so this is a start bump,
+		// not a rebuild. No superseded entries exist here (swept above),
+		// so every eviction debits fresh.
+		idx := -1
+		for i, e := range l.live() {
+			if !(e.state && e.gseq == l.latestState[e.class]) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Only anchors remain: keep them all — the bound is soft by
+			// at most the number of classes.
+			return
+		}
+		l.fresh[l.live()[idx].class]--
+		// Shift the idx leading anchors right one slot (idx is bounded
+		// by the number of classes) and bump start: the eviction is
+		// O(classes), never a rebuild.
+		at := l.start + idx
+		copy(l.entries[l.start+1:at+1], l.entries[l.start:at])
+		l.entries[l.start] = entry{} // release the wire bytes
+		l.start++
+	}
+	// Reclaim the dead prefix in bulk once it dominates the backing
+	// array: one copy per ~cap front drops keeps eviction O(1) amortized
+	// without the slice growing forever.
+	if l.start > l.cap {
+		n := copy(l.entries, l.entries[l.start:])
+		l.entries = l.entries[:n]
+		l.start = 0
+	}
+}
+
+// Head returns the highest assigned GSeq (0 when empty).
 func (l *Log) Head() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.head
 }
 
-// Replay emits every retained event with sequence number > after, in
-// order, and reports the current head and whether the suffix was
-// complete. complete == false means the ring has wrapped past after+1 —
-// the oldest retained event no longer connects to the caller's position
-// — and nothing is emitted: the caller must send a snapshot instead.
+// ClassHeads returns the highest assigned CSeq per class.
+func (l *Log) ClassHeads() map[string]int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]int64, len(l.cheads))
+	for c, h := range l.cheads {
+		out[c] = h
+	}
+	return out
+}
+
+// Replay emits, in log order, every retained event whose class passes
+// the want filter and whose CSeq is beyond the caller's position in
+// afters (a class absent from afters counts as position 0). It reports
+// the per-class heads and whether the emitted suffix lets the caller
+// converge.
+//
+// Convergence is judged by simulating the client's admission rule over
+// the retained entries: a cursor at position p admits an entry with
+// CSeq p+1 (exact continuation) or any state-bearing entry beyond p (a
+// full restatement the client jumps its cursor onto). A wanted class
+// whose simulated cursor cannot reach its head — the connecting
+// entries were compacted or trimmed away without a state-bearing
+// anchor to jump to — makes the whole replay incomplete: nothing is
+// emitted and the caller must send a snapshot instead.
+//
 // The lock is held across the emits so a concurrent Append cannot fan
 // out between (or ahead of) replayed entries; like Append's deliver,
 // emit must not block.
-func (l *Log) Replay(after int64, emit func(seq int64, wire []byte)) (head int64, complete bool) {
+func (l *Log) Replay(afters map[string]int64, want func(class string) bool, emit func(wire []byte)) (heads map[string]int64, complete bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if after >= l.head {
-		return l.head, true
+	heads = make(map[string]int64, len(l.cheads))
+	for c, h := range l.cheads {
+		heads[c] = h
 	}
-	oldest := l.head - int64(len(l.ring)) + 1
-	if oldest < 1 {
-		oldest = 1
+	// Entries older than the newest state-bearing entry of their class
+	// within the needed suffix are superseded by it — replaying them
+	// would only re-derive what that one restatement already says, and
+	// a long suffix of restatements could flood the very queue whose
+	// drops the caller is repairing. Skip them.
+	lastSB := make(map[string]int64)
+	for _, e := range l.live() {
+		if e.state && want(e.class) && e.cseq > afters[e.class] && e.cseq > lastSB[e.class] {
+			lastSB[e.class] = e.cseq
+		}
 	}
-	if after+1 < oldest {
-		return l.head, false
+	// walk runs the admission simulation; with emit set it re-sends
+	// exactly the entries an in-order client will admit.
+	walk := func(emit func(wire []byte)) map[string]int64 {
+		cur := make(map[string]int64, len(afters))
+		for c, a := range afters {
+			cur[c] = a
+		}
+		for _, e := range l.live() {
+			if !want(e.class) || e.cseq <= cur[e.class] || e.cseq < lastSB[e.class] {
+				continue
+			}
+			if e.cseq == cur[e.class]+1 || e.state {
+				cur[e.class] = e.cseq
+				if emit != nil {
+					emit(e.wire)
+				}
+			}
+		}
+		return cur
 	}
-	for seq := after + 1; seq <= l.head; seq++ {
-		emit(seq, l.ring[(seq-1)%int64(len(l.ring))])
+	cur := walk(nil)
+	for c, h := range l.cheads {
+		if want(c) && cur[c] < h {
+			return heads, false
+		}
 	}
-	return l.head, true
+	walk(emit)
+	return heads, true
 }

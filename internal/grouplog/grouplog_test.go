@@ -7,13 +7,22 @@ import (
 	"testing"
 )
 
-// appendN appends n numbered events whose wire bytes are their decimal
-// sequence numbers, so replays can be checked for order and density.
-func appendN(t testing.TB, lg *Log, n int) {
+// all is the class filter that wants everything.
+func all(string) bool { return true }
+
+// only wants a single class.
+func only(class string) func(string) bool {
+	return func(c string) bool { return c == class }
+}
+
+// appendClass appends n events of one class whose wire bytes are
+// "class:cseq", so replays can be checked for order and density. state
+// marks them state-bearing.
+func appendClass(t testing.TB, lg *Log, class string, state bool, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
-		if _, err := lg.Append(func(seq int64) ([]byte, error) {
-			return []byte(strconv.FormatInt(seq, 10)), nil
+		if _, err := lg.Append(class, state, func(_, cseq int64) ([]byte, error) {
+			return []byte(class + ":" + strconv.FormatInt(cseq, 10)), nil
 		}, nil); err != nil {
 			t.Fatal(err)
 		}
@@ -22,92 +31,169 @@ func appendN(t testing.TB, lg *Log, n int) {
 
 func TestAppendAssignsDenseSeqsAndDelivers(t *testing.T) {
 	lg := newLog(4)
-	var delivered []int64
+	var delivered []string
 	for i := 1; i <= 3; i++ {
-		seq, err := lg.Append(func(seq int64) ([]byte, error) {
-			return []byte(strconv.FormatInt(seq, 10)), nil
-		}, func(seq int64, wire []byte) {
-			if string(wire) != strconv.FormatInt(seq, 10) {
-				t.Errorf("deliver got wire %q for seq %d", wire, seq)
+		gseq, err := lg.Append("board", false, func(gseq, cseq int64) ([]byte, error) {
+			if gseq != int64(i) || cseq != int64(i) {
+				t.Errorf("append %d numbered (%d, %d)", i, gseq, cseq)
 			}
-			delivered = append(delivered, seq)
+			return []byte(strconv.FormatInt(cseq, 10)), nil
+		}, func(wire []byte) {
+			delivered = append(delivered, string(wire))
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if seq != int64(i) {
-			t.Fatalf("seq = %d, want %d", seq, i)
+		if gseq != int64(i) {
+			t.Fatalf("gseq = %d, want %d", gseq, i)
 		}
 	}
 	if lg.Head() != 3 || len(delivered) != 3 {
 		t.Fatalf("head = %d, delivered = %v", lg.Head(), delivered)
 	}
+	if heads := lg.ClassHeads(); heads["board"] != 3 {
+		t.Fatalf("class heads = %v", heads)
+	}
+	// GSeq is log-wide, CSeq per class: a second class starts at 1.
+	if _, err := lg.Append("floor", true, func(gseq, cseq int64) ([]byte, error) {
+		if gseq != 4 || cseq != 1 {
+			t.Errorf("cross-class append numbered (%d, %d), want (4, 1)", gseq, cseq)
+		}
+		return []byte("f"), nil
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestAppendEncodeErrorLeavesLogUntouched(t *testing.T) {
 	lg := newLog(4)
-	appendN(t, lg, 2)
-	if _, err := lg.Append(func(int64) ([]byte, error) {
+	appendClass(t, lg, "board", false, 2)
+	if _, err := lg.Append("board", false, func(int64, int64) ([]byte, error) {
 		return nil, fmt.Errorf("boom")
 	}, nil); err == nil {
 		t.Fatal("encode error not surfaced")
 	}
-	if lg.Head() != 2 {
-		t.Fatalf("head moved to %d after failed append", lg.Head())
+	if lg.Head() != 2 || lg.ClassHeads()["board"] != 2 {
+		t.Fatalf("log moved after failed append: head %d, cheads %v", lg.Head(), lg.ClassHeads())
 	}
-	appendN(t, lg, 1)
+	appendClass(t, lg, "board", false, 1)
 	if lg.Head() != 3 {
 		t.Fatalf("head = %d after recovery append", lg.Head())
 	}
 }
 
-func TestReplaySuffixAndWrap(t *testing.T) {
+func TestReplaySuffixAndTrim(t *testing.T) {
 	lg := newLog(4)
-	appendN(t, lg, 10) // ring retains 7..10
+	appendClass(t, lg, "board", false, 10) // retains board 7..10
 
 	// Caught-up caller: nothing to emit, complete.
-	head, complete := lg.Replay(10, func(int64, []byte) { t.Error("emitted at head") })
-	if head != 10 || !complete {
-		t.Fatalf("at-head replay = (%d, %v)", head, complete)
+	heads, complete := lg.Replay(map[string]int64{"board": 10}, all,
+		func([]byte) { t.Error("emitted at head") })
+	if heads["board"] != 10 || !complete {
+		t.Fatalf("at-head replay = (%v, %v)", heads, complete)
 	}
 
 	// In-window suffix replays in order.
 	var got []string
-	head, complete = lg.Replay(7, func(seq int64, wire []byte) {
+	_, complete = lg.Replay(map[string]int64{"board": 7}, all, func(wire []byte) {
 		got = append(got, string(wire))
 	})
-	if head != 10 || !complete {
-		t.Fatalf("suffix replay = (%d, %v)", head, complete)
+	if !complete {
+		t.Fatal("suffix replay incomplete")
 	}
-	if want := []string{"8", "9", "10"}; fmt.Sprint(got) != fmt.Sprint(want) {
+	if want := []string{"board:8", "board:9", "board:10"}; fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("replayed %v, want %v", got, want)
 	}
 
 	// The oldest retained event is 7: after=6 still connects…
-	if _, complete = lg.Replay(6, func(int64, []byte) {}); !complete {
-		t.Fatal("after=6 should still be within the ring")
+	if _, complete = lg.Replay(map[string]int64{"board": 6}, all, func([]byte) {}); !complete {
+		t.Fatal("after=6 should still connect")
 	}
-	// …but after=5 has wrapped out; nothing may be emitted.
-	head, complete = lg.Replay(5, func(int64, []byte) { t.Error("emitted past wrap") })
-	if head != 10 || complete {
-		t.Fatalf("wrapped replay = (%d, %v), want (10, false)", head, complete)
+	// …but after=5 was trimmed out; nothing may be emitted.
+	if _, complete = lg.Replay(map[string]int64{"board": 5}, all,
+		func([]byte) { t.Error("emitted past trim") }); complete {
+		t.Fatal("trimmed replay should be incomplete")
 	}
 }
 
-func TestPlaneKeysAndHeads(t *testing.T) {
+// TestCompactionRetainsLatestStatePerClass: under capacity pressure the
+// log drops events superseded by a newer state-bearing event of their
+// class, and keeps each class's latest state-bearing event no matter
+// how old — so a client far behind still connects by jumping onto it.
+func TestCompactionRetainsLatestStatePerClass(t *testing.T) {
+	lg := newLog(6)
+	appendClass(t, lg, "floor", true, 5)   // floor 1..5, each a restatement
+	appendClass(t, lg, "suspend", true, 2) // suspend 1..2
+	appendClass(t, lg, "board", false, 10) // board churn forces compaction
+
+	// Superseded floor/suspend events are gone; the latest restatement
+	// of each class survives, plus the trimmed board suffix. A client
+	// current through board op 6 connects everything: the state classes
+	// by jumping onto their anchors, the board by exact continuation.
+	var got []string
+	_, complete := lg.Replay(map[string]int64{"board": 6}, all, func(wire []byte) {
+		got = append(got, string(wire))
+	})
+	if !complete {
+		t.Fatalf("replay should connect via state anchors; retained %v", got)
+	}
+	want := []string{"floor:5", "suspend:2", "board:7", "board:8", "board:9", "board:10"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("retained %v, want %v", got, want)
+	}
+
+	// A client current on board but stale on floor converges from the
+	// floor anchor alone.
+	got = nil
+	_, complete = lg.Replay(map[string]int64{"floor": 1, "board": 10}, only("floor"), func(wire []byte) {
+		got = append(got, string(wire))
+	})
+	if !complete || fmt.Sprint(got) != fmt.Sprint([]string{"floor:5"}) {
+		t.Fatalf("floor catch-up = (%v, %v)", got, complete)
+	}
+
+	// Board ops are not state-bearing: a client whose board cursor
+	// predates the retained suffix cannot connect and must snapshot.
+	if _, complete = lg.Replay(map[string]int64{"board": 2}, only("board"), func([]byte) {}); complete {
+		t.Fatal("board gap must force the snapshot fallback")
+	}
+}
+
+// TestClassFilterSkipsUnwantedClasses: replay emits only wanted
+// classes, unwanted classes never affect completeness, and a run of
+// state-bearing restatements collapses to its newest member — replaying
+// superseded restatements would only flood the queue being repaired.
+func TestClassFilterSkipsUnwantedClasses(t *testing.T) {
+	lg := newLog(16)
+	appendClass(t, lg, "board", false, 4)
+	appendClass(t, lg, "floor", true, 2)
+	var got []string
+	_, complete := lg.Replay(map[string]int64{}, only("floor"), func(wire []byte) {
+		got = append(got, string(wire))
+	})
+	if !complete || fmt.Sprint(got) != fmt.Sprint([]string{"floor:2"}) {
+		t.Fatalf("filtered replay = (%v, %v)", got, complete)
+	}
+}
+
+func TestPlaneKeysAndClassHeads(t *testing.T) {
 	p := NewPlane(8)
 	if p.Cap() != 8 {
 		t.Fatalf("cap = %d", p.Cap())
 	}
-	appendN(t, p.Get("class"), 3)
-	appendN(t, p.Get(MemberKey("alice#1")), 1)
-	p.Get("idle") // created but empty: must not appear in Heads
-	heads := p.Heads()
-	if len(heads) != 2 || heads["class"] != 3 || heads[MemberKey("alice#1")] != 1 {
+	appendClass(t, p.Get("class"), "board", false, 3)
+	appendClass(t, p.Get(MemberKey("alice#1")), "invite", false, 1)
+	p.Get("idle") // created but empty: must not appear in the digest
+	heads := p.ClassHeads()
+	if len(heads) != 2 || heads["class"]["board"] != 3 || heads[MemberKey("alice#1")]["invite"] != 1 {
 		t.Fatalf("heads = %v", heads)
 	}
 	if _, ok := p.Peek("never"); ok {
 		t.Fatal("Peek created a log")
+	}
+	p.Drop("class")
+	if _, ok := p.Peek("class"); ok {
+		t.Fatal("Drop left the log behind")
 	}
 	if NewPlane(0).Cap() != DefaultCap {
 		t.Fatalf("default cap = %d", NewPlane(0).Cap())
@@ -116,9 +202,9 @@ func TestPlaneKeysAndHeads(t *testing.T) {
 
 // TestConcurrentAppendBackfillChurn is the -race witness for the log
 // plane: writers append to a handful of keys while readers replay
-// suffixes and poll heads. Every replay must observe a dense, in-order
-// suffix — the lock held across append+deliver and across replay emits
-// is exactly what makes that true.
+// suffixes and poll heads. Every complete replay must observe an
+// admissible, in-order suffix — the lock held across append+deliver
+// and across replay emits is exactly what makes that true.
 func TestConcurrentAppendBackfillChurn(t *testing.T) {
 	p := NewPlane(32)
 	keys := []string{"g1", "g2", MemberKey("m#1")}
@@ -132,9 +218,9 @@ func TestConcurrentAppendBackfillChurn(t *testing.T) {
 				defer writersWG.Done()
 				lg := p.Get(key)
 				for i := 0; i < perWriter; i++ {
-					if _, err := lg.Append(func(seq int64) ([]byte, error) {
-						return []byte(strconv.FormatInt(seq, 10)), nil
-					}, func(int64, []byte) {}); err != nil {
+					if _, err := lg.Append("board", false, func(_, cseq int64) ([]byte, error) {
+						return []byte(strconv.FormatInt(cseq, 10)), nil
+					}, func([]byte) {}); err != nil {
 						t.Error(err)
 						return
 					}
@@ -158,24 +244,22 @@ func TestConcurrentAppendBackfillChurn(t *testing.T) {
 				default:
 				}
 				last := after
-				head, complete := lg.Replay(after, func(seq int64, wire []byte) {
-					if seq != last+1 {
-						t.Errorf("replay gap: %d after %d", seq, last)
+				heads, complete := lg.Replay(map[string]int64{"board": after}, all, func(wire []byte) {
+					got, _ := strconv.ParseInt(string(wire), 10, 64)
+					if got != last+1 {
+						t.Errorf("replay gap: %d after %d", got, last)
 					}
-					if got, _ := strconv.ParseInt(string(wire), 10, 64); got != seq {
-						t.Errorf("slot %d holds wire %q", seq, wire)
-					}
-					last = seq
+					last = got
 				})
 				if complete {
 					after = last
-					if after != head {
-						t.Errorf("complete replay stopped at %d, head %d", last, head)
+					if after != heads["board"] {
+						t.Errorf("complete replay stopped at %d, head %d", last, heads["board"])
 					}
 				} else {
-					after = head // snapshot fallback: jump to head
+					after = heads["board"] // snapshot fallback: jump to head
 				}
-				_ = p.Heads()
+				_ = p.ClassHeads()
 			}
 		}(r)
 	}

@@ -1,0 +1,87 @@
+package protocol
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// declaredTypes parses protocol.go and returns the names of every
+// constant declared with type Type — the ground truth AllTypes (and the
+// wire reference) must cover.
+func declaredTypes(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "protocol.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse protocol.go: %v", err)
+	}
+	var names []string
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ident, ok := vs.Type.(*ast.Ident)
+			if !ok || ident.Name != "Type" {
+				continue
+			}
+			for _, name := range vs.Names {
+				names = append(names, name.Name)
+			}
+		}
+	}
+	return names
+}
+
+// TestAllTypesListsEveryDeclaredType keeps AllTypes honest: a new Type
+// constant that is not added to the list would silently escape the
+// documentation check below and every tool that ranges over AllTypes.
+func TestAllTypesListsEveryDeclaredType(t *testing.T) {
+	declared := declaredTypes(t)
+	if len(declared) == 0 {
+		t.Fatal("found no Type constants in protocol.go")
+	}
+	if len(declared) != len(AllTypes) {
+		t.Fatalf("protocol.go declares %d Type constants, AllTypes lists %d", len(declared), len(AllTypes))
+	}
+	listed := make(map[Type]bool, len(AllTypes))
+	for _, typ := range AllTypes {
+		listed[typ] = true
+	}
+	if len(listed) != len(AllTypes) {
+		t.Fatal("AllTypes contains duplicates")
+	}
+}
+
+// TestProtocolDocCoversEveryMessageType fails when a wire message type
+// has no entry in docs/PROTOCOL.md: the reference is generated-skeleton
+// style — one "### `type`" heading per message — and this check is what
+// keeps it complete as the protocol grows.
+func TestProtocolDocCoversEveryMessageType(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatalf("read docs/PROTOCOL.md: %v", err)
+	}
+	for _, typ := range AllTypes {
+		heading := regexp.MustCompile(fmt.Sprintf("(?m)^### .*`%s`", regexp.QuoteMeta(string(typ))))
+		if !heading.Match(doc) {
+			t.Errorf("docs/PROTOCOL.md has no heading documenting message type %q", typ)
+		}
+	}
+	// The event classes are part of the wire contract too.
+	for _, class := range AllClasses {
+		if !regexp.MustCompile("`" + regexp.QuoteMeta(class) + "`").Match(doc) {
+			t.Errorf("docs/PROTOCOL.md never mentions event class %q", class)
+		}
+	}
+}

@@ -73,6 +73,11 @@ const (
 	// (ModeSwitchBody); broadcast to the group as a TFloorEvent with
 	// Event "mode_switch".
 	TModeSwitch Type = "mode_switch"
+	// TSubscribe replaces the session's event-class mask
+	// (SubscribeBody): logged events of classes outside the mask are
+	// filtered server-side, before they reach the session's delivery
+	// queue. The mask can also be set at admission via HelloBody.Classes.
+	TSubscribe Type = "subscribe"
 	// TClockSync requests the global time (ClockSyncBody both ways).
 	TClockSync Type = "clock_sync"
 	// TStatusProbe and TStatusReport implement the heartbeat that drives
@@ -97,6 +102,82 @@ const (
 	TBye Type = "bye"
 )
 
+// AllTypes lists every wire message type, in protocol order. Tools and
+// the documentation-completeness test range over it; a new Type constant
+// must be added here (the protocol test cross-checks this list against
+// the declared constants).
+var AllTypes = []Type{
+	THello, TWelcome, TJoin, TLeave, TCreateGroup,
+	TFloorRequest, TFloorRelease, TTokenPass, TFloorApprove, TFloorEvent,
+	TInvite, TInviteEvent, TInviteReply,
+	TChat, TChatEvent, TAnnotate, TAnnotateEvent,
+	TReplay, TBackfill, TSnapshot, TModeSwitch, TSubscribe,
+	TClockSync, TStatusProbe, TStatusReport, TLights,
+	TSuspend, TResume, TPresent, TMediaUnit,
+	TAck, TErr, TBye,
+}
+
+// Event classes partition the logged state stream so the server can
+// filter per recipient: a session's class mask (HelloBody.Classes /
+// TSubscribe) names the classes it wants pushed, and events of other
+// classes are dropped before they reach its delivery queue. Each class
+// carries its own dense per-log sequence (Message.CSeq), so filtering
+// never punches holes in the sequence a client admits against.
+const (
+	// ClassFloor: floor events — grants, releases, passes, queueing,
+	// approvals, queue restatements, mode switches (TFloorEvent).
+	ClassFloor = "floor"
+	// ClassSuspend: Media-Suspend and resume notices (TSuspend/TResume).
+	ClassSuspend = "suspend"
+	// ClassBoard: whiteboard and message-window operations
+	// (TChatEvent/TAnnotateEvent).
+	ClassBoard = "board"
+	// ClassInvite: sub-group invitations on the member's private log
+	// (TInviteEvent).
+	ClassInvite = "invite"
+	// ClassNone is the sentinel mask entry for "no logged pushes at
+	// all": a mask containing it matches no class.
+	ClassNone = "none"
+)
+
+// AllClasses lists the event classes of the logged state stream.
+var AllClasses = []string{ClassFloor, ClassSuspend, ClassBoard, ClassInvite}
+
+// ClassMask builds the canonical mask for a wire class list — the one
+// rule shared by the server's filter and the client's local mirror: nil
+// (admit every class) for an empty list, otherwise exactly the named
+// classes, with the ClassNone sentinel contributing nothing (so a list
+// of just ClassNone admits no class).
+func ClassMask(classes []string) map[string]bool {
+	if len(classes) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(classes))
+	for _, c := range classes {
+		if c != ClassNone {
+			m[c] = true
+		}
+	}
+	return m
+}
+
+// ClassOf maps a logged message type to its event class. Types outside
+// the logged state stream report ok == false.
+func ClassOf(t Type) (class string, ok bool) {
+	switch t {
+	case TFloorEvent:
+		return ClassFloor, true
+	case TSuspend, TResume:
+		return ClassSuspend, true
+	case TChatEvent, TAnnotateEvent:
+		return ClassBoard, true
+	case TInviteEvent:
+		return ClassInvite, true
+	default:
+		return "", false
+	}
+}
+
 // Codec errors.
 var (
 	// ErrDecode is returned for malformed wire bytes.
@@ -114,11 +195,30 @@ type Message struct {
 	Seq int64 `json:"seq,omitempty"`
 	// GSeq is the event-log sequence number stamped on logged state
 	// broadcasts (floor events, suspend/resume, board operations, mode
-	// switches, invitations): 1-based and dense per log, so a recipient
-	// applies them strictly in order and a hole proves a drop happened —
-	// the trigger for TBackfill. 0 on everything unlogged (replies,
-	// probes, lights, media, private lines, presentation starts).
+	// switches, invitations): 1-based and dense per log at append time
+	// (compaction may later retain a gapped subset). 0 on everything
+	// unlogged (replies, probes, lights, media, private lines,
+	// presentation starts).
 	GSeq int64 `json:"gseq,omitempty"`
+	// Class is the logged event's class (ClassFloor, ClassSuspend,
+	// ClassBoard, ClassInvite) and CSeq its 1-based dense sequence
+	// number within (log, class). Clients admit logged events strictly
+	// in CSeq order per class: a duplicate is dropped, and a hole proves
+	// the server dropped something on this recipient's queue — the
+	// trigger for TBackfill. Per-class sequencing is what lets the
+	// server filter whole classes per recipient without punching holes
+	// in the stream a client admits against.
+	Class string `json:"class,omitempty"`
+	CSeq  int64  `json:"cseq,omitempty"`
+	// State marks a state-bearing event: one that fully restates its
+	// class's group state (floor events re-read mode/holder/queue at
+	// append; suspend notices carry the whole suspended set). A client
+	// may admit a state-bearing event ACROSS a hole — jumping its class
+	// cursor forward — because everything the missed events did to that
+	// class's state is restated here. Log compaction relies on the same
+	// property: under ring pressure only each class's latest
+	// state-bearing event (plus the board suffix) is retained.
+	State bool `json:"state,omitempty"`
 	// From and To are member IDs ("" when implicit).
 	From string `json:"from,omitempty"`
 	To   string `json:"to,omitempty"`
@@ -137,6 +237,17 @@ type HelloBody struct {
 	Role     string `json:"role"` // "chair" or "participant"
 	Priority int    `json:"priority"`
 	Token    string `json:"token,omitempty"`
+	// Classes is the session's initial event-class mask: the logged
+	// event classes this client wants pushed (nil or empty means all;
+	// ClassNone alone means none). TSubscribe replaces it later.
+	Classes []string `json:"classes,omitempty"`
+}
+
+// SubscribeBody replaces the session's event-class mask: the server
+// stops queuing logged events of classes outside it. Nil or empty means
+// every class; a mask containing ClassNone matches none.
+type SubscribeBody struct {
+	Classes []string `json:"classes,omitempty"`
 }
 
 // WelcomeBody acknowledges the handshake.
@@ -191,15 +302,18 @@ type FloorEventBody struct {
 	// Event is the transition kind: "granted", "denied", "released",
 	// "passed", "queued", "approved", "queue_position", "mode_switch"
 	// (the group's floor mode changed; Mode is the new mode), or "queue"
-	// (a full restatement of the pending queue after a transition
-	// shifted it; Queue carries the order and clients pick out their own
-	// slot — delivered to subscribers as a per-member "queue_position").
+	// (a coalesced restatement of the pending queue after transitions
+	// shifted it).
 	Event string `json:"event"`
-	// QueuePosition is the subject's 1-based queue slot for "queued",
-	// "approved" and "queue_position" events.
+	// QueuePosition is the recipient's own 1-based queue slot. Queue
+	// slots are private: the logged (and backfilled) form of every floor
+	// event carries 0, and the server personalizes the copy delivered to
+	// a queued member — nobody learns another member's position, only
+	// the public queue length.
 	QueuePosition int `json:"queue_position,omitempty"`
-	// Queue is the whole pending queue in order, for "queue" events.
-	Queue []string `json:"queue,omitempty"`
+	// QueueLen is the pending queue's length — the only queue shape
+	// everyone sees.
+	QueueLen int `json:"queue_len,omitempty"`
 }
 
 // InviteBody requests an invitation.
@@ -248,13 +362,18 @@ type ReplayBody struct {
 
 // BackfillBody asks for the suffix of an event log. Group names a group
 // log; an empty Group means the sender's own member event log
-// (invitations). After is the highest GSeq the sender has applied for
-// that log; BoardSeq is its whiteboard replica's highest operation, so
-// a snapshot fallback carries only the missing board suffix.
+// (invitations). Afters carries, per event class, the highest CSeq the
+// sender has applied for that log; the server replays the retained
+// events of the sender's subscribed classes past those positions, or
+// falls back to one TSnapshot when a needed class no longer connects
+// (its suffix was compacted away without a state-bearing entry to
+// converge from). BoardSeq is the sender's whiteboard replica's highest
+// operation, so a snapshot fallback carries only the missing board
+// suffix.
 type BackfillBody struct {
-	Group    string `json:"group,omitempty"`
-	After    int64  `json:"after"`
-	BoardSeq int64  `json:"board_seq,omitempty"`
+	Group    string           `json:"group,omitempty"`
+	Afters   map[string]int64 `json:"afters,omitempty"`
+	BoardSeq int64            `json:"board_seq,omitempty"`
 }
 
 // ModeSwitchBody sets a group's floor mode. Pin (session chair only)
@@ -266,18 +385,26 @@ type ModeSwitchBody struct {
 	Pin  bool   `json:"pin,omitempty"`
 }
 
-// SnapshotBody is a group's authoritative state as of event-log
-// sequence Seq — the compact catch-up a client applies when the log
-// suffix it needs has left the ring (or when it joins late). For a
-// member event log (Message.Group empty) only Seq and Invites are set.
+// SnapshotBody is a group's authoritative state as of the event-log
+// position in ClassSeqs — the compact catch-up a client applies when
+// the log suffix it needs has been compacted away (or when it joins
+// late). Queue slots stay private even here: the snapshot is built per
+// recipient and carries only their own slot (QueuePos) next to the
+// public QueueLen. For a member event log (Message.Group empty) only
+// Seq, ClassSeqs and Invites are set.
 type SnapshotBody struct {
-	Seq       int64    `json:"seq"`
-	Mode      string   `json:"mode,omitempty"`
-	Holder    string   `json:"holder,omitempty"`
-	Queue     []string `json:"queue,omitempty"`
-	Suspended []string `json:"suspended,omitempty"`
-	Level     string   `json:"level,omitempty"`
-	Pinned    bool     `json:"pinned,omitempty"`
+	// Seq is the log's overall head (highest GSeq) at snapshot time;
+	// ClassSeqs carries the per-class head CSeqs the recipient's class
+	// cursors advance to.
+	Seq       int64            `json:"seq"`
+	ClassSeqs map[string]int64 `json:"class_seqs,omitempty"`
+	Mode      string           `json:"mode,omitempty"`
+	Holder    string           `json:"holder,omitempty"`
+	QueuePos  int              `json:"queue_pos,omitempty"`
+	QueueLen  int              `json:"queue_len,omitempty"`
+	Suspended []string         `json:"suspended,omitempty"`
+	Level     string           `json:"level,omitempty"`
+	Pinned    bool             `json:"pinned,omitempty"`
 	// Board is the whiteboard suffix after the requester's reported
 	// BoardSeq (the whole board for a late joiner).
 	Board   []SequencedBody   `json:"board,omitempty"`
@@ -304,21 +431,28 @@ type BackpressureBody struct {
 // each member's backpressure counters (the teacher's window can show a
 // lagging student next to a disconnected one). Heads is the event-log
 // digest — log key (group ID, or "~member" for the recipient's own
-// invitation log) → head sequence number — that lets a client notice
-// it is behind even on a quiet group: a head beyond its last applied
-// GSeq means a logged event was dropped on its queue, and it asks
-// TBackfill. The digest is filtered to the recipient's joined groups
-// and own member log (event logs are group-private, like boards).
+// invitation log) → event class → head CSeq — that lets a client
+// notice it is behind even on a quiet group: a head beyond its last
+// applied CSeq for that class means a logged event was dropped on its
+// queue, and it asks TBackfill. The digest is filtered to the
+// recipient's joined groups, own member log and subscribed classes
+// (event logs are group-private, like boards), and the whole lights
+// push is skipped for a session when nothing in it changed since the
+// last copy that session accepted.
 type LightsBody struct {
 	Lights       map[string]string           `json:"lights"`
 	Backpressure map[string]BackpressureBody `json:"backpressure,omitempty"`
-	Heads        map[string]int64            `json:"heads,omitempty"`
+	Heads        map[string]map[string]int64 `json:"heads,omitempty"`
 }
 
-// SuspendBody names a suspended/resumed member.
+// SuspendBody names a suspended/resumed member. Suspended restates the
+// group's whole suspended set as of the event (making every suspend
+// notice state-bearing): a recipient that missed earlier transitions
+// reconciles its believed set from it, both directions.
 type SuspendBody struct {
-	Member string `json:"member"`
-	Level  string `json:"level,omitempty"`
+	Member    string   `json:"member"`
+	Level     string   `json:"level,omitempty"`
+	Suspended []string `json:"suspended,omitempty"`
 }
 
 // MediaUnitBody is one streamed media unit (a video frame, an audio

@@ -79,7 +79,7 @@ func TestAllBodyTypesRoundTrip(t *testing.T) {
 		{TAck, FloorDecisionBody{Granted: true, Mode: "free-access", Suspended: []string{"carol"}}},
 		{TTokenPass, TokenPassBody{To: "bob"}},
 		{TFloorEvent, FloorEventBody{Mode: "equal-control", Holder: "alice", Event: "granted"}},
-		{TFloorEvent, FloorEventBody{Mode: "equal-control", Holder: "alice", Event: "queue", Queue: []string{"bob", "carol"}}},
+		{TFloorEvent, FloorEventBody{Mode: "equal-control", Holder: "alice", Event: "queue", QueuePosition: 2, QueueLen: 3}},
 		{TInvite, InviteBody{Group: "g", To: "bob"}},
 		{TInviteEvent, InviteEventBody{InviteID: 3, Group: "g", From: "alice"}},
 		{TInviteReply, InviteReplyBody{InviteID: 3, Accept: true}},
@@ -87,18 +87,20 @@ func TestAllBodyTypesRoundTrip(t *testing.T) {
 		{TAnnotate, AnnotateBody{Kind: "draw", Data: "stroke"}},
 		{TChatEvent, SequencedBody{Seq: 9, Author: "a", Kind: "text", Data: "hi"}},
 		{TReplay, ReplayBody{After: 4}},
-		{TBackfill, BackfillBody{Group: "g", After: 17, BoardSeq: 4}},
+		{TBackfill, BackfillBody{Group: "g", Afters: map[string]int64{ClassFloor: 17, ClassBoard: 4}, BoardSeq: 4}},
+		{TSubscribe, SubscribeBody{Classes: []string{ClassFloor, ClassBoard}}},
 		{TModeSwitch, ModeSwitchBody{Mode: "moderated-queue", Pin: true}},
 		{TSnapshot, SnapshotBody{
-			Seq: 21, Mode: "equal-control", Holder: "alice",
-			Queue: []string{"bob"}, Suspended: []string{"carol"},
+			Seq: 21, ClassSeqs: map[string]int64{ClassFloor: 7, ClassBoard: 14},
+			Mode: "equal-control", Holder: "alice",
+			QueuePos: 1, QueueLen: 2, Suspended: []string{"carol"},
 			Level: "degraded", Pinned: true,
 			Board:   []SequencedBody{{Seq: 2, Author: "a", Kind: "text", Data: "hi"}},
 			Invites: []InviteEventBody{{InviteID: 5, Group: "g", From: "alice"}},
 		}},
 		{TClockSync, ClockSyncBody{ClientSendNanos: 1, MasterNanos: 2}},
 		{TLights, LightsBody{Lights: map[string]string{"alice": "green"}}},
-		{TSuspend, SuspendBody{Member: "carol", Level: "degraded"}},
+		{TSuspend, SuspendBody{Member: "carol", Level: "degraded", Suspended: []string{"carol", "dave"}}},
 		{TPresent, PresentBody{StartGlobalNanos: 99, Objects: []PresentObject{{ID: "v", Kind: "video", DurationNanos: 10}}}},
 		{TErr, ErrBody{Code: "floor_busy", Detail: "position 2"}},
 	}

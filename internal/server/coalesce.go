@@ -1,0 +1,68 @@
+package server
+
+import (
+	"dmps/internal/floor"
+	"dmps/internal/protocol"
+)
+
+// markQueueRestate records that a floor transition shifted the group's
+// pending queue, so queued members' slots need restating. The
+// restatement itself is coalesced: the group is marked dirty and the
+// next CoalesceInterval tick logs ONE "queue" event for it, whatever
+// number of transitions landed in between — one ring slot and one
+// fan-out per tick per churning group, instead of one per transition.
+// The event content is re-read inside the log append (logFloorEvent),
+// so a restatement can never carry a queue older than the transitions
+// it stands for. A transition that left the queue empty needs no
+// restatement: whatever emptied it (grants, releases, mode switches)
+// cleared the members' slots through its own events.
+func (s *Server) markQueueRestate(groupID string, mode floor.Mode) {
+	if _, queue := s.floorCtl.HolderAndQueue(groupID); len(queue) == 0 {
+		return
+	}
+	s.restateMarked.Add(1)
+	s.coMu.Lock()
+	if s.coDirty == nil {
+		s.coDirty = make(map[string]floor.Mode)
+	}
+	s.coDirty[groupID] = mode
+	s.coMu.Unlock()
+}
+
+// FlushQueueRestatements logs the pending coalesced "queue"
+// restatements now — one per dirty group — and reports how many went
+// out. The coalesce loop calls it every CoalesceInterval; tests and
+// benchmarks call it directly for deterministic timing.
+func (s *Server) FlushQueueRestatements() int {
+	s.coMu.Lock()
+	dirty := s.coDirty
+	s.coDirty = nil
+	s.coMu.Unlock()
+	for gid, mode := range dirty {
+		s.restateLogged.Add(1)
+		s.logFloorEvent(gid, protocol.FloorEventBody{Mode: mode.String(), Event: "queue"})
+	}
+	return len(dirty)
+}
+
+// CoalesceStats reports the queue-restatement coalescing ratio: marked
+// counts transitions that requested a restatement, logged counts the
+// restatements actually logged. logged/marked is the amortized cost the
+// queue-churn benchmark gates on — N transitions per tick must cost one
+// logged event, not N.
+func (s *Server) CoalesceStats() (marked, logged int64) {
+	return s.restateMarked.Load(), s.restateLogged.Load()
+}
+
+// coalesceLoop flushes the dirty-queue set every CoalesceInterval.
+func (s *Server) coalesceLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-s.cfg.Clock.After(s.cfg.CoalesceInterval):
+		}
+		s.FlushQueueRestatements()
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/group"
+	"dmps/internal/netsim"
+	"dmps/internal/protocol"
+)
+
+// TestCompactedReconnectSkipsSnapshot is the compaction acceptance
+// test: a member that reconnects after missing far more floor churn
+// than the log's capacity must converge through a short compacted
+// suffix — the class's latest state-bearing restatement — with zero
+// TSnapshot. Before compaction, anything past the ring was an
+// unconditional full snapshot.
+func TestCompactedReconnectSkipsSnapshot(t *testing.T) {
+	const logCap = 8
+	n := netsim.New(33)
+	srv, err := New(Config{
+		Network:       n,
+		Addr:          "server:1",
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  60 * time.Millisecond,
+		LogCap:        logCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	tap := newEventTap()
+	roamer, err := client.Dial(client.Config{
+		Network: n.From("roamhost"), Addr: "server:1",
+		Name: "roamer", Role: "participant", Priority: 2,
+		Timeout: 2 * time.Second,
+		OnEvent: tap.observe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(roamer.Close)
+	writer, err := client.Dial(client.Config{
+		Network: n.From("writehost"), Addr: "server:1",
+		Name: "writer", Role: "participant", Priority: 2,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(writer.Close)
+	for _, c := range []*client.Client{writer, roamer} {
+		if err := c.Join("class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Board content before the gap, so the roamer's board cursor is
+	// non-trivial and must connect across the churn.
+	if _, err := writer.RequestFloor("class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Chat("class", "before the gap"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.ReleaseFloor("class"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "pre-drop board", func() bool {
+		return roamer.Board("class").Seq() == 1
+	})
+
+	if !roamer.Drop() {
+		t.Fatal("drop failed")
+	}
+	// Far more floor churn than the log retains verbatim. Every floor
+	// event is a state-bearing restatement, so compaction keeps just the
+	// newest one — the anchor the roamer will converge from.
+	const cycles = 5 * logCap
+	for i := 0; i < cycles; i++ {
+		if _, err := writer.RequestFloor("class", floor.EqualControl, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := writer.ReleaseFloor("class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := writer.RequestFloor("class", floor.EqualControl, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	snapshotsBefore := tap.typeCount(protocol.TSnapshot)
+	if err := roamer.Reconnect(); err != nil {
+		t.Fatalf("Reconnect: %v", err)
+	}
+	waitFor(t, "floor convergence via compacted suffix", func() bool {
+		return roamer.Holder("class") == writer.MemberID()
+	})
+	if got := tap.typeCount(protocol.TSnapshot) - snapshotsBefore; got != 0 {
+		t.Errorf("reconnect fell back to %d TSnapshot(s); the compacted suffix should have converged it", got)
+	}
+	// The board replica is intact and still connected.
+	if seq := roamer.Board("class").Seq(); seq != 1 {
+		t.Errorf("board seq = %d after reconnect, want 1", seq)
+	}
+}
+
+// TestReapExpiresSessions is the expiry acceptance test: a member gone
+// past SessionTTL is reaped — directory entry gone, floor released and
+// the next queued member promoted, token resume rejected with the typed
+// session_expired error.
+func TestReapExpiresSessions(t *testing.T) {
+	n := netsim.New(34)
+	srv, err := New(Config{
+		Network:       n,
+		Addr:          "server:1",
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  30 * time.Millisecond,
+		SessionTTL:    50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	ghost, err := client.Dial(client.Config{
+		Network: n.From("ghosthost"), Addr: "server:1",
+		Name: "ghost", Role: "participant", Priority: 2,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ghost.Close)
+	heir, err := client.Dial(client.Config{
+		Network: n.From("heirhost"), Addr: "server:1",
+		Name: "heir", Role: "participant", Priority: 2,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(heir.Close)
+	for _, c := range []*client.Client{ghost, heir} {
+		if err := c.Join("class"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The ghost holds the floor; the heir queues behind it.
+	if dec, err := ghost.RequestFloor("class", floor.EqualControl, ""); err != nil || !dec.Granted {
+		t.Fatalf("ghost grant: %+v %v", dec, err)
+	}
+	if dec, err := heir.RequestFloor("class", floor.EqualControl, ""); err != nil || dec.QueuePosition != 1 {
+		t.Fatalf("heir queue: %+v %v", dec, err)
+	}
+	ghostID := ghost.MemberID()
+
+	if !ghost.Drop() {
+		t.Fatal("drop failed")
+	}
+	// The probe loop reaps once the TTL elapses.
+	waitFor(t, "directory entry reaped", func() bool {
+		_, err := srv.Registry().Member(group.MemberID(ghostID))
+		return err != nil
+	})
+	// The held floor was released to the queued heir.
+	waitFor(t, "heir promoted after reap", func() bool {
+		return heir.Holder("class") == heir.MemberID()
+	})
+	if lights := srv.Lights(); lights[ghostID] != "" {
+		t.Errorf("reaped member still in the lights table: %q", lights[ghostID])
+	}
+	// The token no longer resumes: typed rejection.
+	err = ghost.Reconnect()
+	if !errors.Is(err, client.ErrSessionExpired) {
+		t.Fatalf("Reconnect after reap = %v, want ErrSessionExpired", err)
+	}
+}

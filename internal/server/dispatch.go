@@ -42,6 +42,8 @@ func (s *Server) dispatch(sess *session, msg protocol.Message) {
 		s.onBackfill(sess, msg)
 	case protocol.TModeSwitch:
 		s.onModeSwitch(sess, msg)
+	case protocol.TSubscribe:
+		s.onSubscribe(sess, msg)
 	case protocol.TClockSync:
 		s.onClockSync(sess, msg)
 	case protocol.TStatusReport:
@@ -144,12 +146,13 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		if errors.Is(err, floor.ErrBusy) {
 			s.replyAck(sess, msg.Seq, decision)
 			s.notifySuspensions(msg.Group, dec)
+			// The broadcast form is redacted (queue length only); the
+			// requester's copy is personalized with their slot.
 			s.logFloorEvent(msg.Group, protocol.FloorEventBody{
-				Mode:          mode.String(),
-				Holder:        string(dec.Holder),
-				Member:        string(sess.member.ID),
-				Event:         "queued",
-				QueuePosition: dec.QueuePosition,
+				Mode:   mode.String(),
+				Holder: string(dec.Holder),
+				Member: string(sess.member.ID),
+				Event:  "queued",
 			})
 			return
 		}
@@ -184,7 +187,31 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 	})
 	// A grant can dequeue the requester (e.g. an approved member
 	// re-requesting a moderated floor), shifting everyone behind them.
-	s.notifyQueuePositions(msg.Group, mode)
+	s.markQueueRestate(msg.Group, mode)
+}
+
+// onSubscribe replaces the session's event-class mask: logged events of
+// classes outside it stop reaching this session's queue, and the heads
+// digest is filtered to match — the class filter runs server-side, so
+// an unsubscribed class costs the client zero bytes under churn. The
+// initial mask arrives with the hello (HelloBody.Classes); widening it
+// later converges like a late join: the first event of a newly wanted
+// class either continues the client's cursor, is a state-bearing
+// restatement it jumps onto, or triggers a backfill.
+func (s *Server) onSubscribe(sess *session, msg protocol.Message) {
+	var body protocol.SubscribeBody
+	if len(msg.Body) > 0 {
+		if err := msg.Into(&body); err != nil {
+			s.replyErr(sess, msg.Seq, "bad_body", err)
+			return
+		}
+	}
+	sess.classes.Store(classSet(body.Classes))
+	// Fire-and-forget widenings (Subscribe's automatic mask growth)
+	// carry no Seq and want no ack; explicit SetEventClasses does.
+	if msg.Seq != 0 {
+		s.replyAck(sess, msg.Seq, protocol.SubscribeBody{Classes: body.Classes})
+	}
 }
 
 // onModeSwitch sets the group's floor mode explicitly. The controller
@@ -243,46 +270,21 @@ func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
 		event = "granted"
 	}
 	s.logFloorEvent(msg.Group, protocol.FloorEventBody{
-		Mode:          dec.Mode.String(),
-		Holder:        string(dec.Holder),
-		Member:        string(member),
-		Event:         event,
-		QueuePosition: dec.QueuePosition,
+		Mode:   dec.Mode.String(),
+		Holder: string(dec.Holder),
+		Member: string(member),
+		Event:  event,
 	})
-	s.notifyQueuePositions(msg.Group, dec.Mode)
-}
-
-// notifyQueuePositions logs ONE "queue" event restating the whole
-// pending queue after a transition shifted it: each client picks out
-// its own slot (and its subscribers see it as a per-member
-// queue_position), so every queued member is covered by a single ring
-// slot and a single fan-out — not one broadcast per queued member. The
-// event content is re-read inside the log append (logFloorEvent), so a
-// concurrent arbitration cannot make a stale queue the log's last
-// word. A transition that left the queue empty needs no restatement:
-// whatever emptied it (grants, releases) cleared the members' slots
-// through its own events.
-func (s *Server) notifyQueuePositions(groupID string, mode floor.Mode) {
-	if _, queue := s.floorCtl.HolderAndQueue(groupID); len(queue) == 0 {
-		return
-	}
-	s.logFloorEvent(groupID, protocol.FloorEventBody{
-		Mode:  mode.String(),
-		Event: "queue",
-	})
+	s.markQueueRestate(msg.Group, dec.Mode)
 }
 
 // notifySuspensions tells each Media-Suspend victim and the group. The
-// notice is logged: a recipient whose queue dropped it converges
-// through backfill (or the snapshot's suspended-set reconciliation).
+// notice is logged and state-bearing — it restates the whole suspended
+// set — so a recipient whose queue dropped it converges from the next
+// suspend-class event or the snapshot reconciliation.
 func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
 	for _, victim := range dec.Suspended {
-		note := protocol.MustNew(protocol.TSuspend, protocol.SuspendBody{
-			Member: string(victim),
-			Level:  dec.Level.String(),
-		})
-		note.Group = groupID
-		s.logBroadcast(groupID, note)
+		s.logSuspend(groupID, protocol.TSuspend, string(victim), dec.Level)
 	}
 }
 
@@ -300,7 +302,7 @@ func (s *Server) onFloorRelease(sess *session, msg protocol.Message) {
 		Member: string(sess.member.ID),
 		Event:  "released",
 	})
-	s.notifyQueuePositions(msg.Group, mode)
+	s.markQueueRestate(msg.Group, mode)
 }
 
 func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
@@ -321,7 +323,7 @@ func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
 		Member: string(sess.member.ID),
 		Event:  "passed",
 	})
-	s.notifyQueuePositions(msg.Group, mode)
+	s.markQueueRestate(msg.Group, mode)
 }
 
 func (s *Server) onInvite(sess *session, msg protocol.Message) {

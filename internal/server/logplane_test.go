@@ -12,11 +12,13 @@ import (
 )
 
 // eventTap counts server messages a client receives, by type, and
-// watches for floor events of a given kind.
+// retains the floor-event and snapshot bodies for assertions.
 type eventTap struct {
 	mu     sync.Mutex
 	types  map[protocol.Type]int
 	events map[string]int // FloorEventBody.Event → count
+	floors []protocol.FloorEventBody
+	snaps  []protocol.SnapshotBody
 }
 
 func newEventTap() *eventTap {
@@ -27,10 +29,17 @@ func (tap *eventTap) observe(msg protocol.Message) {
 	tap.mu.Lock()
 	defer tap.mu.Unlock()
 	tap.types[msg.Type]++
-	if msg.Type == protocol.TFloorEvent {
+	switch msg.Type {
+	case protocol.TFloorEvent:
 		var body protocol.FloorEventBody
 		if msg.Into(&body) == nil {
 			tap.events[body.Event]++
+			tap.floors = append(tap.floors, body)
+		}
+	case protocol.TSnapshot:
+		var body protocol.SnapshotBody
+		if msg.Into(&body) == nil {
+			tap.snaps = append(tap.snaps, body)
 		}
 	}
 }

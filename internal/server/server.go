@@ -19,14 +19,20 @@
 // State reaches clients through one sequenced event-log plane
 // (internal/grouplog): every state broadcast — floor events,
 // suspend/resume, board operations, mode switches, invitations — is
-// appended to its group's ring log first, stamped with the log's
-// sequence number (Message.GSeq) and fanned out as those bytes. A
-// recipient that took drops sees the hole (or learns from the heads
-// digest on the lights broadcast that it is behind) and asks TBackfill
-// for the missing suffix; when the ring has wrapped, it gets one
-// compact TSnapshot instead. The same path serves late joiners,
-// explicit replays and token-based session reconnects — there is no
-// per-class repair machinery.
+// appended to its group's log first, stamped with per-class sequence
+// numbers (Message.Class/CSeq, plus the log-wide GSeq) and fanned out
+// as those bytes — to the sessions whose event-class mask admits the
+// class; the rest pay nothing, which is what per-class sequencing
+// buys. A recipient that took drops sees the hole (or learns from the
+// heads digest on the lights broadcast that it is behind) and asks
+// TBackfill for the missing suffix; the log compacts class-wise under
+// pressure, so the reply is usually a short compacted suffix anchored
+// on each class's latest state-bearing restatement, with one compact
+// TSnapshot only when a needed class no longer connects. The same
+// path serves late joiners, explicit replays and token-based session
+// reconnects. Queue restatements coalesce per CoalesceInterval tick,
+// and members silent past SessionTTL are reaped — tokens, directory
+// entries and member logs track the live population.
 package server
 
 import (
@@ -106,12 +112,31 @@ type Config struct {
 	SendQueueCap int
 	// SlowPolicy is the slow-consumer policy (default DropNewest).
 	SlowPolicy SlowConsumerPolicy
-	// LogCap bounds each group's (and each member's) event-log ring
-	// (default grouplog.DefaultCap, 512 events). A client behind by more
-	// than LogCap logged events converges through a TSnapshot instead of
-	// a log replay, so the capacity trades backfill reach against
-	// retained memory per group — never correctness.
+	// LogCap bounds each group's (and each member's) retained event log
+	// (default grouplog.DefaultCap, 512 events). Under capacity pressure
+	// the log compacts class-wise — events superseded by a newer
+	// state-bearing restatement of their class go first, and each
+	// class's latest restatement is never evicted — so a client far
+	// behind usually converges from a short compacted suffix; only when
+	// a needed class no longer connects does it fall back to a
+	// TSnapshot. The capacity trades backfill reach against retained
+	// memory per group — never correctness.
 	LogCap int
+	// CoalesceInterval batches the queue-restatement pushes: floor
+	// transitions that shift the pending queue mark their group dirty,
+	// and one logged "queue" restatement per dirty group goes out per
+	// interval — N transitions in a tick cost one ring slot and one
+	// fan-out, not N. Defaults to one probe tick (ProbeInterval).
+	CoalesceInterval time.Duration
+	// SessionTTL bounds how long a disconnected member's session token,
+	// directory entry and private event log outlive their last
+	// connection. Members gone longer are reaped: their token stops
+	// resuming (the reconnect handshake answers a typed
+	// "session_expired" error), their memberships, queue slots and any
+	// held floor are released, and their member log is dropped — the
+	// growth bound that keeps a million-user directory from
+	// accumulating every member that ever connected. Default one hour.
+	SessionTTL time.Duration
 }
 
 // Server is a running DMPS server.
@@ -134,6 +159,16 @@ type Server struct {
 	tokens  map[string]group.MemberID
 	tokenOf map[group.MemberID]string
 
+	// coalesce state: groups whose pending floor queue shifted since the
+	// last flush, restated once per CoalesceInterval tick.
+	coMu    sync.Mutex
+	coDirty map[string]floor.Mode
+	// restateMarked counts transitions that requested a queue
+	// restatement; restateLogged counts restatements actually logged —
+	// the coalescing ratio the queue-churn benchmark gates on.
+	restateMarked atomic.Int64
+	restateLogged atomic.Int64
+
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -154,10 +189,45 @@ type session struct {
 	downOnce sync.Once
 	// drops counts messages dropped on queue overflow (backpressure).
 	drops atomic.Int64
+	// classes is the session's event-class mask (nil means every
+	// class): logged events of classes outside it are filtered before
+	// they reach the queue, counted in filtered. Set at the handshake
+	// (HelloBody.Classes), replaced by TSubscribe; read lock-free on
+	// every fan-out.
+	classes  atomic.Pointer[map[string]bool]
+	filtered atomic.Int64
 
 	mu       sync.Mutex
 	lastSeen time.Time
 	alive    bool
+	// Lights-push dedup: the digest, light table and drop counters of
+	// the last lights message this session accepted. While none of them
+	// change, the probe tick skips the session entirely — no re-encode,
+	// no bytes (queue depth is telemetry riding along, not a trigger).
+	sentLights map[string]string
+	sentHeads  map[string]map[string]int64
+	sentDrops  map[string]int64
+	lightsSent bool
+}
+
+// wantsClass reports whether the session's event-class mask admits a
+// logged event class (a nil mask admits everything).
+func (s *session) wantsClass(class string) bool {
+	m := s.classes.Load()
+	if m == nil {
+		return true
+	}
+	return (*m)[class]
+}
+
+// classSet adapts the shared protocol.ClassMask rule to the session's
+// atomic pointer (nil pointer = admit every class).
+func classSet(classes []string) *map[string]bool {
+	m := protocol.ClassMask(classes)
+	if m == nil {
+		return nil
+	}
+	return &m
 }
 
 // loggable reports whether a broadcast type is a sequenced state event:
@@ -298,6 +368,10 @@ type SessionStats struct {
 	QueueCap int
 	// Drops counts messages dropped on overflow since the session began.
 	Drops int64
+	// Filtered counts logged events the session's event-class mask kept
+	// off its queue entirely — the scale-hygiene dividend of server-side
+	// filtering, observable per session.
+	Filtered int64
 }
 
 // SessionStats returns per-member backpressure counters for every
@@ -312,6 +386,7 @@ func (s *Server) SessionStats() map[string]SessionStats {
 			QueueDepth: len(sess.queue),
 			QueueCap:   cap(sess.queue),
 			Drops:      sess.drops.Load(),
+			Filtered:   sess.filtered.Load(),
 		}
 	}
 	return out
@@ -335,6 +410,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SendQueueCap <= 0 {
 		cfg.SendQueueCap = 256
 	}
+	if cfg.CoalesceInterval <= 0 {
+		cfg.CoalesceInterval = cfg.ProbeInterval
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = time.Hour
+	}
 	l, err := cfg.Network.Listen(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -353,8 +434,9 @@ func New(cfg Config) (*Server, error) {
 		tokenOf:  make(map[group.MemberID]string),
 		closed:   make(chan struct{}),
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.probeLoop()
+	go s.coalesceLoop()
 	return s, nil
 }
 
@@ -469,6 +551,18 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		id, ok := s.tokens[hello.Token]
 		s.mu.Unlock()
 		if !ok {
+			// The token was reaped (SessionTTL) or never issued. Answer
+			// with a typed error before closing so the client can tell an
+			// expired session apart from a network failure and knows a
+			// fresh hello is its only way back in.
+			reject := protocol.MustNew(protocol.TErr, protocol.ErrBody{
+				Code:   "session_expired",
+				Detail: "unknown or expired session token; reconnect with a fresh hello",
+			})
+			reject.Seq = msg.Seq
+			if wire, encErr := protocol.Encode(reject); encErr == nil {
+				_ = conn.Send(wire)
+			}
 			return nil, fmt.Errorf("server: handshake: unknown session token (%w)", transport.ErrClosed)
 		}
 		if member, err = s.registry.Member(id); err != nil {
@@ -485,6 +579,7 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		lastSeen: s.cfg.Clock.Now(),
 		alive:    true,
 	}
+	sess.classes.Store(classSet(hello.Classes))
 	// The welcome must be the first message the client sees, so send it
 	// synchronously before the session becomes visible to broadcasts and
 	// probes (the writer starts only after registration).
@@ -502,6 +597,26 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		return nil, err
 	}
 	s.mu.Lock()
+	if !fresh {
+		// Re-check the token under the same lock that installs the
+		// session: Reap revokes a member's token and collects their
+		// stale session in one critical section, so a token still
+		// present here proves the reaper has not claimed this member —
+		// and once our fresh session is in the table, its recent
+		// lastSeen keeps the member alive. A token gone means the
+		// member was reaped mid-handshake: back out, including the
+		// token issueToken just re-minted (the member is gone, so that
+		// entry could never be cleaned up again).
+		if id, ok := s.tokens[hello.Token]; !ok || id != member.ID {
+			if tok, ok := s.tokenOf[member.ID]; ok {
+				delete(s.tokens, tok)
+				delete(s.tokenOf, member.ID)
+			}
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil, fmt.Errorf("server: handshake: session reaped during resume (%w)", transport.ErrClosed)
+		}
+	}
 	old := s.sessions[member.ID]
 	s.sessions[member.ID] = sess
 	s.mu.Unlock()
@@ -518,8 +633,9 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 }
 
 // issueToken returns the member's session-resume token, minting one on
-// first use. Tokens are random and live for the server's lifetime, like
-// the member directory entries they resume.
+// first use. Tokens are random and live as long as the member directory
+// entry they resume: a member gone past Config.SessionTTL is reaped and
+// their token stops resolving.
 func (s *Server) issueToken(id group.MemberID) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -682,80 +798,158 @@ func (s *Server) broadcastGroup(groupID string, msg protocol.Message) {
 	}
 }
 
+// stampLogged writes the log-plane envelope fields onto a message: the
+// group the log is keyed by (clients key their cursors by Message.Group,
+// so a mismatch would desynchronize every member's cursor into a
+// permanent backfill loop), the log-wide GSeq, and the class-sequencing
+// triple that per-recipient filtering admits against.
+func stampLogged(msg *protocol.Message, groupID, class string, state bool, gseq, cseq int64) {
+	msg.Group = groupID
+	msg.GSeq = gseq
+	msg.Class = class
+	msg.CSeq = cseq
+	msg.State = state
+}
+
+// fanOutLogged queues pre-encoded logged-event bytes to every target
+// session whose event-class mask admits the class; masked sessions get
+// nothing — not even a marker — which is exactly why logged events are
+// sequenced per class.
+func (s *Server) fanOutLogged(targets []*session, class string, wire []byte) {
+	for _, sess := range targets {
+		if !sess.wantsClass(class) {
+			sess.filtered.Add(1)
+			continue
+		}
+		s.sendWire(sess, wire)
+	}
+}
+
 // logBroadcast delivers a state event to a group through the event-log
-// plane: the append assigns the event its sequence number, stamps it
+// plane: the append assigns the event its sequence numbers, stamps them
 // into the wire bytes (one encode per broadcast, group size
 // notwithstanding) and retains them for backfill; the same bytes are
-// fanned out to every connected member while the log's lock is held, so
-// fan-out order equals log order and clients can apply strictly in
-// sequence. A recipient whose queue drops the event needs no server-side
-// bookkeeping: the hole in its GSeq stream — or the heads digest riding
-// the lights broadcast, for drops with no later event behind them —
-// makes the client ask TBackfill.
+// fanned out to every connected, subscribed member while the log's lock
+// is held, so fan-out order equals log order and clients can apply
+// strictly in sequence. A recipient whose queue drops the event needs
+// no server-side bookkeeping: the hole in its per-class CSeq stream —
+// or the heads digest riding the lights broadcast, for drops with no
+// later event behind them — makes the client ask TBackfill.
 func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
+	class, ok := protocol.ClassOf(msg.Type)
+	if !ok {
+		// Not a logged state type; deliver transiently rather than
+		// corrupt the class sequencing.
+		s.broadcastGroup(groupID, msg)
+		return
+	}
 	targets := s.groupTargets(groupID)
-	_, _ = s.logs.Get(groupID).Append(func(seq int64) ([]byte, error) {
-		msg.GSeq = seq
-		// The group on the wire MUST match the log the event is
-		// sequenced in: clients key their cursors by Message.Group, and
-		// a mismatch (easy via the public Broadcast, whose callers have
-		// already named the group once) would desynchronize every
-		// member's cursor into a permanent backfill loop.
-		msg.Group = groupID
+	_, _ = s.logs.Get(groupID).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
+		stampLogged(&msg, groupID, class, false, gseq, cseq)
 		return protocol.Encode(msg)
-	}, func(_ int64, wire []byte) {
+	}, func(wire []byte) {
+		s.fanOutLogged(targets, class, wire)
+	})
+}
+
+// logFloorEvent is logBroadcast for floor events, with two extra
+// guarantees. First, Mode, Holder and the queue shape are re-read from
+// the authoritative floor state inside the log lock, not taken from the
+// state snapshot the caller computed earlier: handlers run
+// concurrently, so two transitions can append in the opposite order of
+// their state mutations — a "released" computed before a concurrent
+// grant could otherwise become the log's last word and clobber every
+// client's caches with values the server has already moved past.
+// Re-reading at append time makes whichever entry lands last carry the
+// current state (which is also what lets these events be marked
+// state-bearing: compaction keeps only the latest one, and clients may
+// jump a hole onto it). Second, queue slots stay private: the canonical
+// logged bytes carry only the queue length, and a member who owns a
+// slot gets a personalized copy — same sequence numbers, plus their own
+// QueuePosition. Nobody ever receives another member's position, live
+// or via backfill. Direct Contact grants are exempt from the refresh:
+// they run concurrently with the prevailing mode, name their own Mode,
+// and deliberately carry no group-floor claim.
+func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
+	targets := s.groupTargets(groupID)
+	refresh := !(body.Event == "granted" && body.Mode == floor.DirectContact.String())
+	var queue []group.MemberID
+	var gseqAt, cseqAt int64
+	_, _ = s.logs.Get(groupID).Append(protocol.ClassFloor, refresh, func(gseq, cseq int64) ([]byte, error) {
+		gseqAt, cseqAt = gseq, cseq
+		if refresh {
+			mode, holder, q, _, _ := s.floorCtl.StateSnapshot(groupID)
+			body.Mode = mode.String()
+			body.Holder = string(holder)
+			queue = q
+			body.QueueLen = len(q)
+		}
+		body.QueuePosition = 0 // canonical form: slots are per-recipient
+		msg := protocol.MustNew(protocol.TFloorEvent, body)
+		stampLogged(&msg, groupID, protocol.ClassFloor, refresh, gseq, cseq)
+		return protocol.Encode(msg)
+	}, func(wire []byte) {
 		for _, sess := range targets {
-			s.sendWire(sess, wire)
+			if !sess.wantsClass(protocol.ClassFloor) {
+				sess.filtered.Add(1)
+				continue
+			}
+			w := wire
+			if pos := queueSlotFor(body, queue, string(sess.member.ID)); pos > 0 {
+				personal := body
+				personal.QueuePosition = pos
+				pmsg := protocol.MustNew(protocol.TFloorEvent, personal)
+				stampLogged(&pmsg, groupID, protocol.ClassFloor, refresh, gseqAt, cseqAt)
+				if pw, err := protocol.Encode(pmsg); err == nil {
+					w = pw
+				}
+			}
+			s.sendWire(sess, w)
 		}
 	})
 }
 
-// logFloorEvent is logBroadcast for floor events, with one extra
-// guarantee: Mode, Holder, and the queue content are re-read from the
-// authoritative floor state inside the log lock, not taken from the
-// state snapshot the caller computed earlier. Handlers run
-// concurrently, so two transitions can append in the opposite order of
-// their state mutations — a "released" computed before a concurrent
-// grant (or a grant computed before a concurrent mode switch) could
-// otherwise become the log's last word and clobber every client's
-// caches with values the server has already moved past. Re-reading at
-// append time makes whichever entry lands last carry the current
-// state, so strict in-order application always converges on the truth.
-// Direct Contact grants are exempt: they run concurrently with the
-// prevailing mode, name their own Mode, and deliberately carry no
-// group-floor claim.
-func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
+// queueSlotFor returns the recipient's own 1-based slot when this floor
+// event should carry it: queue restatements tell every queued member
+// their slot, and queued/approved/queue_position events tell their
+// subject. Everyone else gets 0 — the redacted canonical form.
+func queueSlotFor(body protocol.FloorEventBody, queue []group.MemberID, recipient string) int {
+	switch body.Event {
+	case "queue":
+	case "queued", "approved", "queue_position":
+		if body.Member != recipient {
+			return 0
+		}
+	default:
+		return 0
+	}
+	for i, m := range queue {
+		if string(m) == recipient {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// logSuspend broadcasts a Media-Suspend/Resume transition as a
+// state-bearing suspend-class event: the whole suspended set is re-read
+// from the controller inside the log lock and rides the notice, so any
+// single suspend event fully restates the group's suspension state — a
+// recipient that missed earlier transitions reconciles from whichever
+// notice it sees next, and compaction can retain just the latest one.
+func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, level resource.Level) {
 	targets := s.groupTargets(groupID)
-	refresh := !(body.Event == "granted" && body.Mode == floor.DirectContact.String())
-	_, _ = s.logs.Get(groupID).Append(func(seq int64) ([]byte, error) {
-		if refresh {
-			mode, holder, queue, _, _ := s.floorCtl.StateSnapshot(groupID)
-			body.Mode = mode.String()
-			body.Holder = string(holder)
-			switch body.Event {
-			case "queued", "queue_position", "approved":
-				body.QueuePosition = 0
-				for i, m := range queue {
-					if string(m) == body.Member {
-						body.QueuePosition = i + 1
-						break
-					}
-				}
-			case "queue":
-				body.Queue = body.Queue[:0]
-				for _, m := range queue {
-					body.Queue = append(body.Queue, string(m))
-				}
-			}
+	_, _ = s.logs.Get(groupID).Append(protocol.ClassSuspend, true, func(gseq, cseq int64) ([]byte, error) {
+		body := protocol.SuspendBody{Member: member, Level: level.String()}
+		body.Suspended = []string{}
+		for _, m := range s.floorCtl.Suspended(groupID) {
+			body.Suspended = append(body.Suspended, string(m))
 		}
-		msg := protocol.MustNew(protocol.TFloorEvent, body)
-		msg.Group = groupID
-		msg.GSeq = seq
+		msg := protocol.MustNew(typ, body)
+		stampLogged(&msg, groupID, protocol.ClassSuspend, true, gseq, cseq)
 		return protocol.Encode(msg)
-	}, func(_ int64, wire []byte) {
-		for _, sess := range targets {
-			s.sendWire(sess, wire)
-		}
+	}, func(wire []byte) {
+		s.fanOutLogged(targets, protocol.ClassSuspend, wire)
 	})
 }
 
@@ -763,13 +957,26 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 // through the member's private event log, so it enjoys the same
 // drop-repair as group state: logged, stamped, and backfillable.
 func (s *Server) logSendTo(id group.MemberID, msg protocol.Message) {
-	_, _ = s.logs.Get(grouplog.MemberKey(string(id))).Append(func(seq int64) ([]byte, error) {
-		msg.GSeq = seq
+	class, ok := protocol.ClassOf(msg.Type)
+	if !ok {
+		s.sendTo(id, msg)
+		return
+	}
+	_, _ = s.logs.Get(grouplog.MemberKey(string(id))).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
+		msg.GSeq = gseq
+		msg.Class = class
+		msg.CSeq = cseq
 		return protocol.Encode(msg)
-	}, func(_ int64, wire []byte) {
-		if sess, ok := s.session(id); ok {
-			s.sendWire(sess, wire)
+	}, func(wire []byte) {
+		sess, ok := s.session(id)
+		if !ok {
+			return
 		}
+		if !sess.wantsClass(class) {
+			sess.filtered.Add(1)
+			return
+		}
+		s.sendWire(sess, wire)
 	})
 }
 

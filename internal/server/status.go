@@ -1,6 +1,8 @@
 package server
 
 import (
+	"maps"
+
 	"dmps/internal/grouplog"
 	"dmps/internal/protocol"
 	"dmps/internal/resource"
@@ -18,8 +20,9 @@ func (s *Server) snapshotSessions() []*session {
 }
 
 // probeLoop periodically probes every session, recomputes the connection
-// lights (Figure 3) and broadcasts them, and lifts Media-Suspend once the
-// resource level returns to Normal.
+// lights (Figure 3) and broadcasts them, lifts Media-Suspend once the
+// resource level returns to Normal, and reaps members gone longer than
+// the session TTL.
 func (s *Server) probeLoop() {
 	defer s.wg.Done()
 	for {
@@ -43,6 +46,7 @@ func (s *Server) probeLoop() {
 		}
 		s.broadcastLights()
 		s.maybeReinstate()
+		s.Reap(s.cfg.Clock.Now())
 	}
 }
 
@@ -60,36 +64,40 @@ func (s *Server) Lights() map[string]Light {
 
 // broadcastLights pushes the light table — with each member's
 // backpressure counters and the event-log heads digest — to every
-// connected client. The teacher's window renders the lights as the
-// per-student indicator row; the counters make a slow consumer visible
-// before its light ever turns red; and the heads digest is the repair
-// plane's quiet-tail nudge: a client comparing a log's head against its
-// own last applied GSeq discovers drops that no later event would ever
-// expose (a tail-of-burst board op, an invitation, a grant on a group
-// that then went silent) and asks TBackfill.
+// connected client whose copy is stale. The teacher's window renders
+// the lights as the per-student indicator row; the counters make a slow
+// consumer visible before its light ever turns red; and the heads
+// digest is the repair plane's quiet-tail nudge: a client comparing a
+// log's per-class head against its own last applied CSeq discovers
+// drops that no later event would ever expose (a tail-of-burst board
+// op, an invitation, a grant on a group that then went silent) and asks
+// TBackfill.
 //
 // The digest is filtered per recipient — the logs of their joined
-// groups plus their own member log — because event logs are
-// group-private like the boards they carry: an unfiltered digest would
-// leak every breakout group's existence and activity to every session.
-// That costs one encode per recipient on this probe-tick path (the
-// lights and backpressure tables are still built once); the hot
-// broadcast path keeps its single encode.
+// groups plus their own member log, masked to their subscribed event
+// classes — because event logs are group-private like the boards they
+// carry: an unfiltered digest would leak every breakout group's
+// existence and activity to every session. And the push itself is
+// deduplicated per recipient: a session whose last accepted copy
+// already matches the current lights, drop counters and digest is
+// skipped outright — on a quiet server the probe tick re-encodes and
+// re-sends nothing. Queue depth is deliberately not part of the
+// comparison (it flutters with the probes themselves); it rides along
+// whenever something meaningful changed.
 func (s *Server) broadcastLights() {
 	now := s.cfg.Clock.Now()
 	sessions := s.snapshotSessions()
 	lights := make(map[string]string, len(sessions))
-	backpress := make(map[string]protocol.BackpressureBody, len(sessions))
+	drops := make(map[string]int64, len(sessions))
 	for _, sess := range sessions {
 		id := string(sess.member.ID)
 		lights[id] = string(sess.light(now, s.cfg.ProbeTimeout))
-		backpress[id] = protocol.BackpressureBody{
-			QueueDepth: len(sess.queue),
-			QueueCap:   cap(sess.queue),
-			Drops:      sess.drops.Load(),
-		}
+		drops[id] = sess.drops.Load()
 	}
-	heads := s.logs.Heads()
+	heads := s.logs.ClassHeads()
+	// Built lazily, once, when the first stale session needs it: a fully
+	// quiet tick allocates nothing beyond the comparison inputs.
+	var backpress map[string]protocol.BackpressureBody
 	for _, sess := range sessions {
 		sess.mu.Lock()
 		alive := sess.alive
@@ -97,28 +105,83 @@ func (s *Server) broadcastLights() {
 		if !alive {
 			continue
 		}
+		myHeads := s.headsFor(sess, heads)
+		sess.mu.Lock()
+		fresh := sess.lightsSent &&
+			maps.Equal(sess.sentLights, lights) &&
+			maps.Equal(sess.sentDrops, drops) &&
+			headsEqual(sess.sentHeads, myHeads)
+		sess.mu.Unlock()
+		if fresh {
+			continue
+		}
+		if backpress == nil {
+			backpress = make(map[string]protocol.BackpressureBody, len(sessions))
+			for _, other := range sessions {
+				backpress[string(other.member.ID)] = protocol.BackpressureBody{
+					QueueDepth: len(other.queue),
+					QueueCap:   cap(other.queue),
+					Drops:      other.drops.Load(),
+				}
+			}
+		}
 		body := protocol.LightsBody{
 			Lights:       lights,
 			Backpressure: backpress,
-			Heads:        s.headsFor(sess, heads),
+			Heads:        myHeads,
 		}
-		s.sendMsg(sess, protocol.MustNew(protocol.TLights, body))
+		if s.sendMsg(sess, protocol.MustNew(protocol.TLights, body)) {
+			sess.mu.Lock()
+			sess.lightsSent = true
+			sess.sentLights = lights
+			sess.sentDrops = drops
+			sess.sentHeads = myHeads
+			sess.mu.Unlock()
+		}
 	}
 }
 
+// headsEqual compares two per-log, per-class head digests.
+func headsEqual(a, b map[string]map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		if !maps.Equal(av, b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
 // headsFor filters the heads digest to what one recipient may see: the
-// logs of their joined groups and their own member event log.
-func (s *Server) headsFor(sess *session, heads map[string]int64) map[string]int64 {
+// logs of their joined groups and their own member event log, further
+// masked to the event classes they subscribe to.
+func (s *Server) headsFor(sess *session, heads map[string]map[string]int64) map[string]map[string]int64 {
 	if len(heads) == 0 {
 		return nil
 	}
-	var out map[string]int64
+	var out map[string]map[string]int64
 	add := func(key string) {
-		if h, ok := heads[key]; ok {
-			if out == nil {
-				out = make(map[string]int64)
+		hs, ok := heads[key]
+		if !ok {
+			return
+		}
+		var filtered map[string]int64
+		for class, head := range hs {
+			if !sess.wantsClass(class) {
+				continue
 			}
-			out[key] = h
+			if filtered == nil {
+				filtered = make(map[string]int64, len(hs))
+			}
+			filtered[class] = head
+		}
+		if filtered != nil {
+			if out == nil {
+				out = make(map[string]map[string]int64)
+			}
+			out[key] = filtered
 		}
 	}
 	for _, gid := range s.registry.JoinedGroups(sess.member.ID) {
@@ -129,7 +192,8 @@ func (s *Server) headsFor(sess *session, heads map[string]int64) map[string]int6
 }
 
 // maybeReinstate lifts suspensions in every group once resources are
-// Normal again, broadcasting TResume for each reinstated member.
+// Normal again, broadcasting TResume for each reinstated member (each
+// notice restating the — by then empty — suspended set).
 func (s *Server) maybeReinstate() {
 	if s.cfg.Monitor == nil || s.cfg.Monitor.Level() != resource.Normal {
 		return
@@ -141,12 +205,7 @@ func (s *Server) maybeReinstate() {
 		}
 		s.floorCtl.Reinstate(gid)
 		for _, m := range suspended {
-			note := protocol.MustNew(protocol.TResume, protocol.SuspendBody{
-				Member: string(m),
-				Level:  resource.Normal.String(),
-			})
-			note.Group = gid
-			s.logBroadcast(gid, note)
+			s.logSuspend(gid, protocol.TResume, string(m), resource.Normal)
 		}
 	}
 }
