@@ -17,6 +17,7 @@ import (
 	"dmps"
 	"dmps/internal/client"
 	"dmps/internal/clock"
+	"dmps/internal/cluster"
 	"dmps/internal/core"
 	"dmps/internal/experiments"
 	"dmps/internal/floor"
@@ -154,6 +155,14 @@ func BenchmarkE9MediaStreaming(b *testing.B) {
 func BenchmarkE11Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunE11([]int{2, 8}, []int{1, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE12ClusterScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunE12([]int{1, 2}, 25); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -415,6 +424,133 @@ func BenchmarkQueueChurn(b *testing.B) {
 	marked, logged := lab.Server.CoalesceStats()
 	if marked-marked0 > 0 {
 		b.ReportMetric(float64(logged-logged0)/float64(marked-marked0), "logged_queue_events/transition")
+	}
+}
+
+// BenchmarkBoardStorm measures an annotation storm over the live stack:
+// one author streams whiteboard operations as fast as the
+// request/response loop allows while a second replica follows. The
+// headline metric is logged_board_events/op — coalesced logged events
+// per board operation. With per-tick batching (contiguous same-author
+// ops ride one logged event, flushed every CoalesceInterval or at the
+// batch bound) the ratio sits far below 1.0; a regression to
+// per-stroke logging multiplies ring slots and fan-outs by the storm
+// rate, and CI gates on it via cmd/dmps-benchjson.
+func BenchmarkBoardStorm(b *testing.B) {
+	lab, err := core.NewLab(core.Options{
+		Seed:             3,
+		ProbeInterval:    time.Hour,
+		CoalesceInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lab.Close()
+	artist, err := lab.NewClient("artist", "participant", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	viewer, err := lab.NewClient("viewer", "participant", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []*client.Client{artist, viewer} {
+		if err := c.Join("studio"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ops0, logged0 := lab.Server.BoardStormStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := artist.Annotate("studio", "draw", "stroke"); err != nil {
+			b.Fatalf("iter %d: %v", i, err)
+		}
+	}
+	b.StopTimer()
+	lab.Server.FlushBoardBatches()
+	deadline := time.Now().Add(30 * time.Second)
+	for viewer.Board("studio").Seq() < int64(b.N) {
+		if time.Now().After(deadline) {
+			b.Fatalf("storm stalled at %d/%d", viewer.Board("studio").Seq(), b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	ops, logged := lab.Server.BoardStormStats()
+	if ops-ops0 > 0 {
+		b.ReportMetric(float64(logged-logged0)/float64(ops-ops0), "logged_board_events/op")
+	}
+}
+
+// BenchmarkClusterBroadcast measures the hot broadcast path of one
+// cluster node: a group owned by node 1 of a 1-router + 2-node netsim
+// cluster, every member connected through the router. The encodes/op
+// metric proves the encode-once invariant survives the cluster plane —
+// the node encodes each logged event exactly once for its whole
+// fan-out, and successor replication reuses those bytes verbatim (its
+// envelope wrap is plain marshalling of a per-append forward, not
+// per-recipient work).
+func BenchmarkClusterBroadcast(b *testing.B) {
+	for _, n := range []int{2, 8} {
+		b.Run(fmt.Sprintf("members-%d", n), func(b *testing.B) {
+			cl, err := core.StartCluster(core.ClusterOptions{
+				Options: core.Options{Seed: int64(n), ProbeInterval: time.Hour},
+				Nodes:   2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			// A group owned by node 1, found under the lab addresses.
+			gid := ""
+			addrs := []string{core.NodeAddr(0), core.NodeAddr(1)}
+			pmap := cluster.NewMap(addrs)
+			for i := 0; gid == ""; i++ {
+				if key := fmt.Sprintf("cbench%d", i); pmap.Primary(key) == 1 {
+					gid = key
+				}
+			}
+			clients := make([]*client.Client, 0, n)
+			for i := 0; i < n; i++ {
+				c, err := cl.NewClient(fmt.Sprintf("m%d", i), "participant", 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Join(gid); err != nil {
+					b.Fatal(err)
+				}
+				clients = append(clients, c)
+			}
+			const window = 128
+			converged := func(upTo int64) {
+				deadline := time.Now().Add(30 * time.Second)
+				for _, c := range clients {
+					for c.Board(gid).Seq() < upTo {
+						if time.Now().After(deadline) {
+							b.Fatalf("routed fan-out stalled at %d/%d", c.Board(gid).Seq(), upTo)
+						}
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}
+			b.ReportAllocs()
+			encBefore := protocol.EncodeCount()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := protocol.MustNew(protocol.TChatEvent, protocol.SequencedBody{
+					Seq: int64(i + 1), Author: "bench", Kind: "text", Data: "fanout",
+				})
+				ev.Group = gid
+				cl.Nodes[1].Broadcast(gid, ev)
+				if (i+1)%window == 0 {
+					converged(int64(i + 1))
+				}
+			}
+			converged(int64(b.N))
+			b.StopTimer()
+			encoded := protocol.EncodeCount() - encBefore
+			b.ReportMetric(float64(encoded)/float64(b.N), "encodes/op")
+		})
 	}
 }
 

@@ -35,6 +35,8 @@ func run() int {
 	e10Sizes := []int{2, 8}
 	e11Sizes := []int{2, 8, 32}
 	e11Groups := []int{1, 4, 16}
+	e12Nodes := []int{1, 2, 4}
+	e12Cycles := 100
 	e7K := 3
 	if *full {
 		e1Sizes = []int{2, 8, 24, 48, 64}
@@ -44,6 +46,8 @@ func run() int {
 		e10Sizes = []int{2, 8, 16, 32}
 		e11Sizes = []int{2, 8, 32, 64, 128}
 		e11Groups = []int{1, 4, 16, 64, 256}
+		e12Nodes = []int{1, 2, 4, 8}
+		e12Cycles = 400
 		e7K = 4
 	}
 
@@ -66,6 +70,7 @@ func run() int {
 		{"E9", func() (*experiments.Table, error) { return experiments.RunE9(e9Sizes) }},
 		{"E10", func() (*experiments.Table, error) { return experiments.RunE10(e10Sizes) }},
 		{"E11", func() (*experiments.Table, error) { return experiments.RunE11(e11Sizes, e11Groups) }},
+		{"E12", func() (*experiments.Table, error) { return experiments.RunE12(e12Nodes, e12Cycles) }},
 		{"A1", experiments.RunA1},
 	}
 	failures := 0

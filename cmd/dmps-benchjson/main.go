@@ -4,13 +4,15 @@
 // encodes/op must stay at exactly one Encode per broadcast, and with
 // restatement coalescing on, queue churn must log at most one "queue"
 // restatement per queue-shifting transition
-// (logged_queue_events/transition from BenchmarkQueueChurn). CI pipes
-// the bench output through it and fails the step on a regression.
+// (logged_queue_events/transition from BenchmarkQueueChurn), and an
+// annotation storm must coalesce board ops into per-tick batches
+// (logged_board_events/op from BenchmarkBoardStorm). CI pipes the
+// bench output through it and fails the step on a regression.
 //
 // Usage:
 //
-//	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkArbitrateContention|BenchmarkQueueChurn' -benchmem . \
-//	  | go run ./cmd/dmps-benchjson -out BENCH_pr4.json -max-encodes 1.0 -max-queue-churn 1.0 -note "..."
+//	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkQueueChurn|BenchmarkBoardStorm|BenchmarkClusterBroadcast' -benchmem . \
+//	  | go run ./cmd/dmps-benchjson -out BENCH_pr5.json -max-encodes 1.0 -max-queue-churn 1.0 -max-board-storm 0.5 -note "..."
 package main
 
 import (
@@ -67,6 +69,7 @@ func main() {
 	out := flag.String("out", "", "JSON file to write (default stdout)")
 	maxEncodes := flag.Float64("max-encodes", 0, "fail if any encodes/op metric exceeds this (0 disables the gate)")
 	maxQueueChurn := flag.Float64("max-queue-churn", 0, "fail if any logged_queue_events/transition metric exceeds this (0 disables the gate)")
+	maxBoardStorm := flag.Float64("max-board-storm", 0, "fail if any logged_board_events/op metric exceeds this (0 disables the gate)")
 	note := flag.String("note", "", "free-form note recorded under _meta")
 	flag.Parse()
 
@@ -114,6 +117,9 @@ func main() {
 	}
 	if *maxQueueChurn > 0 {
 		gate("logged_queue_events_transition", *maxQueueChurn, "queue-restatement coalescing")
+	}
+	if *maxBoardStorm > 0 {
+		gate("logged_board_events_op", *maxBoardStorm, "board-op storm coalescing")
 	}
 
 	doc := make(map[string]any, len(rows)+1)

@@ -3,11 +3,18 @@
 // Usage:
 //
 //	dmps-server [-addr :4321] [-probe 500ms] [-alpha 0.5] [-beta 0.15]
-//	            [-session-ttl 1h]
+//	            [-session-ttl 1h] [-cluster host1:4321,host2:4321 -node 0]
 //
 // Clients (cmd/dmps-client) connect, join groups, request the floor and
 // chat; the server centralizes group administration, floor arbitration,
 // the global clock and the connection lights.
+//
+// With -cluster the server runs as one group-partition node of a
+// multi-process cluster: -cluster lists every node address in ring
+// order (identical on all nodes and on cmd/dmps-router) and -node is
+// this process's index in that list. The node serves only its hash
+// partitions, homes only its members, and replicates its partitions'
+// logged state to the ring successor for takeover.
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"dmps/internal/resource"
@@ -32,6 +40,8 @@ func run() int {
 	alpha := flag.Float64("alpha", 0.5, "α threshold: basic resource availability")
 	beta := flag.Float64("beta", 0.15, "β threshold: minimal resource availability")
 	sessionTTL := flag.Duration("session-ttl", time.Hour, "reap members whose sessions stay silent this long")
+	clusterNodes := flag.String("cluster", "", "comma-separated node addresses in ring order; enables cluster mode")
+	nodeIdx := flag.Int("node", 0, "this node's index in -cluster")
 	flag.Parse()
 
 	mon, err := resource.New(resource.MinBound, resource.Thresholds{Alpha: *alpha, Beta: *beta})
@@ -39,18 +49,31 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dmps-server:", err)
 		return 1
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Network:       transport.TCP{},
 		Addr:          *addr,
 		Monitor:       mon,
 		ProbeInterval: *probe,
 		SessionTTL:    *sessionTTL,
-	})
+	}
+	if *clusterNodes != "" {
+		nodes := strings.Split(*clusterNodes, ",")
+		for i := range nodes {
+			nodes[i] = strings.TrimSpace(nodes[i])
+		}
+		cfg.Cluster = &server.ClusterConfig{Nodes: nodes, Self: *nodeIdx}
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmps-server:", err)
 		return 1
 	}
-	fmt.Printf("dmps-server listening on %s (α=%.2f β=%.2f probe=%v)\n", srv.Addr(), *alpha, *beta, *probe)
+	if cfg.Cluster != nil {
+		fmt.Printf("dmps-server node %d/%d listening on %s (α=%.2f β=%.2f probe=%v)\n",
+			*nodeIdx, len(cfg.Cluster.Nodes), srv.Addr(), *alpha, *beta, *probe)
+	} else {
+		fmt.Printf("dmps-server listening on %s (α=%.2f β=%.2f probe=%v)\n", srv.Addr(), *alpha, *beta, *probe)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,0 +1,148 @@
+// Command dmps-smoke drives the quickstart flow against a RUNNING
+// cluster (cmd/dmps-router + cmd/dmps-server -cluster) across a
+// partition boundary, and exits non-zero if anything fails to
+// converge. CI uses it as the multi-process end-to-end check
+// (scripts/cluster_smoke.sh boots the processes); operators can point
+// it at a deployment as a health probe.
+//
+// Usage:
+//
+//	dmps-smoke -router 127.0.0.1:4320 -nodes host1:4321,host2:4321
+//
+// The -nodes list (the same ring order the cluster runs with) is used
+// only to compute partition ownership, so the flow provably crosses
+// nodes: member homes on both, one group owned by each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/cluster"
+	"dmps/internal/floor"
+	"dmps/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// pick returns a key with the wanted primary owner.
+func pick(m *cluster.Map, prefix string, owner int) string {
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("%s%d", prefix, i)
+		if m.Primary(key) == owner {
+			return key
+		}
+	}
+}
+
+// waitFor polls until ok or the deadline; it reports success.
+func waitFor(ok func() bool) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}
+
+func run() int {
+	router := flag.String("router", "127.0.0.1:4320", "router address")
+	nodes := flag.String("nodes", "", "comma-separated node addresses, in the cluster's ring order")
+	flag.Parse()
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "dmps-smoke: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	nodeList := strings.Split(*nodes, ",")
+	for i := range nodeList {
+		nodeList[i] = strings.TrimSpace(nodeList[i])
+	}
+	if *nodes == "" || len(nodeList) < 2 {
+		return fail("-nodes needs at least two addresses")
+	}
+	pmap := cluster.NewMap(nodeList)
+
+	dial := func(name, role string, prio int) (*client.Client, error) {
+		return client.Dial(client.Config{
+			Network: transport.TCP{}, Addr: *router,
+			Name: name, Role: role, Priority: prio,
+			Timeout: 5 * time.Second,
+		})
+	}
+	// Members homed on different nodes (the hash runs over the
+	// sanitized name), groups owned by each node.
+	teacher, err := dial(pick(pmap, "smoke-t", 0), "chair", 5)
+	if err != nil {
+		return fail("dial teacher: %v", err)
+	}
+	defer teacher.Close()
+	student, err := dial(pick(pmap, "smoke-s", 1), "participant", 3)
+	if err != nil {
+		return fail("dial student: %v", err)
+	}
+	defer student.Close()
+	g0 := pick(pmap, "smoke-class", 0)
+	g1 := pick(pmap, "smoke-lab", 1)
+
+	// Quickstart across the boundary: both join both groups, the
+	// teacher takes the floor in each and posts a line.
+	for _, g := range []string{g0, g1} {
+		if err := teacher.Join(g); err != nil {
+			return fail("teacher join %s: %v", g, err)
+		}
+		if err := student.Join(g); err != nil {
+			return fail("student join %s: %v", g, err)
+		}
+		dec, err := teacher.RequestFloor(g, floor.EqualControl, "")
+		if err != nil || !dec.Granted {
+			return fail("floor in %s: dec=%+v err=%v", g, dec, err)
+		}
+		if err := teacher.Chat(g, "welcome to "+g); err != nil {
+			return fail("chat in %s: %v", g, err)
+		}
+		if !waitFor(func() bool { return student.Board(g).Seq() == 1 }) {
+			return fail("board in %s never reached the student", g)
+		}
+		if !waitFor(func() bool { return student.Holder(g) == teacher.MemberID() }) {
+			return fail("floor event in %s never reached the student", g)
+		}
+	}
+	// An invitation whose invitee's home is the other node.
+	breakout := pick(pmap, "smoke-breakout", 0)
+	if err := teacher.Join(breakout); err != nil {
+		return fail("join %s: %v", breakout, err)
+	}
+	inviteID, err := teacher.Invite(breakout, student.MemberID())
+	if err != nil {
+		return fail("cross-node invite: %v", err)
+	}
+	if !waitFor(func() bool { return len(student.PendingInvites()) == 1 }) {
+		return fail("invitation never crossed to the student's home node")
+	}
+	if err := student.ReplyInvite(inviteID, true); err != nil {
+		return fail("accept: %v", err)
+	}
+	if err := student.Chat(breakout, "present"); err != nil {
+		return fail("chat after accept: %v", err)
+	}
+	if !waitFor(func() bool { return teacher.Board(breakout).Seq() == 1 }) {
+		return fail("breakout board never converged")
+	}
+	// The homes really are on different nodes — the whole point. (The
+	// member-ID prefix is the sanitized name the home hash runs over.)
+	tHome := pmap.Primary(cluster.HomeKey(teacher.MemberID()))
+	sHome := pmap.Primary(cluster.HomeKey(student.MemberID()))
+	if tHome == sHome {
+		return fail("member homes collapsed onto one node")
+	}
+	fmt.Printf("dmps-smoke: PASS — cross-partition quickstart over %s (%d nodes)\n", *router, len(nodeList))
+	return 0
+}

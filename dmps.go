@@ -76,6 +76,7 @@ package dmps
 import (
 	"dmps/internal/client"
 	"dmps/internal/clock"
+	"dmps/internal/cluster"
 	"dmps/internal/core"
 	"dmps/internal/docpn"
 	"dmps/internal/floor"
@@ -124,6 +125,23 @@ type (
 	LinkConfig = netsim.LinkConfig
 	// TCP is the real-socket transport for standalone deployments.
 	TCP = transport.TCP
+	// ClusterLab is a fully assembled in-memory multi-process
+	// deployment: N group-partition nodes behind one router
+	// (StartCluster).
+	ClusterLab = core.Cluster
+	// ClusterOptions configures StartCluster.
+	ClusterOptions = core.ClusterOptions
+	// ClusterNodeConfig turns a Server into one group-partition node of
+	// a cluster (ServerConfig.Cluster).
+	ClusterNodeConfig = server.ClusterConfig
+	// Router is the cluster's routing tier: the one address clients
+	// dial, proxying each session's traffic to the owning nodes.
+	Router = cluster.Router
+	// RouterConfig configures NewRouter.
+	RouterConfig = cluster.RouterConfig
+	// PartitionMap is the shared hash assignment of groups (and member
+	// homes) to cluster nodes, with deterministic ring failover.
+	PartitionMap = cluster.Map
 )
 
 // Slow-consumer policies (ServerConfig.SlowPolicy / LabOptions.SlowPolicy).
@@ -294,8 +312,19 @@ const (
 // NewLab builds and starts an in-memory DMPS deployment.
 func NewLab(opts LabOptions) (*Lab, error) { return core.NewLab(opts) }
 
+// StartCluster builds and starts an in-memory multi-process cluster:
+// hash-partitioned group nodes behind a routing tier, on the simulated
+// network. Production clusters run the same pieces as real processes
+// (cmd/dmps-server -cluster, cmd/dmps-router).
+func StartCluster(opts ClusterOptions) (*ClusterLab, error) { return core.StartCluster(opts) }
+
+// NewRouter starts a cluster routing tier (pass TCP{} as
+// RouterConfig.Network for real sockets).
+func NewRouter(cfg RouterConfig) (*Router, error) { return cluster.NewRouter(cfg) }
+
 // NewServer starts a standalone DMPS server (pass TCP{} as
-// ServerConfig.Network for real sockets).
+// ServerConfig.Network for real sockets); with ServerConfig.Cluster it
+// runs as one group-partition node of a cluster.
 func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // Dial connects a standalone client.

@@ -101,21 +101,28 @@ type Client struct {
 
 	sendMu sync.Mutex
 
-	mu        sync.Mutex
-	conn      transport.Conn // replaced by Reconnect
-	memberID  string
-	token     string // session-resume credential from the welcome
-	seq       int64
-	pending   map[int64]chan protocol.Message
-	boards    map[string]*whiteboard.Board
-	joined    map[string]bool // groups this client has joined
-	lights    map[string]string
-	backpress map[string]protocol.BackpressureBody
-	holders   map[string]string // group → token holder
-	queuePos  map[string]int    // group → last pushed queue position
-	invites   []protocol.InviteEventBody
-	privates  []protocol.SequencedBody // received direct-contact lines
-	suspends  []protocol.SuspendBody
+	mu       sync.Mutex
+	conn     transport.Conn // replaced by Reconnect
+	memberID string
+	token    string // session-resume credential from the welcome
+	seq      int64
+	pending  map[int64]chan protocol.Message
+	boards   map[string]*whiteboard.Board
+	joined   map[string]bool // groups this client has joined
+	// Lights arrive sharded by origin (one table per cluster node,
+	// covering the members it homes; origin "" is a standalone server's
+	// whole table): each push replaces its origin's table — pruning
+	// members that left it — and the merged view is rebuilt for the
+	// accessors.
+	lightsByOrigin    map[string]map[string]string
+	backpressByOrigin map[string]map[string]protocol.BackpressureBody
+	lights            map[string]string
+	backpress         map[string]protocol.BackpressureBody
+	holders           map[string]string // group → token holder
+	queuePos          map[string]int    // group → last pushed queue position
+	invites           []protocol.InviteEventBody
+	privates          []protocol.SequencedBody // received direct-contact lines
+	suspends          []protocol.SuspendBody
 	// suspendedNow tracks which members the client currently believes
 	// suspended, per group. Snapshots re-state (and reconcile) the
 	// suspension set, so redundant TSuspend/TResume deliveries must be
@@ -145,7 +152,21 @@ type Client struct {
 	readerDone chan struct{} // replaced by Reconnect; read under mu
 }
 
-// Dial connects and performs the hello/welcome handshake.
+// redirectError carries a cluster node's node_moved redirect: the
+// member is homed on (or the session belongs to) another node.
+type redirectError struct{ addr string }
+
+func (e *redirectError) Error() string { return "client: redirected to " + e.addr }
+
+// maxRedirects bounds the node_moved redirect chain a Dial follows —
+// one hop resolves any consistent partition map; the bound only guards
+// against a misconfigured cluster bouncing a hello in a cycle.
+const maxRedirects = 3
+
+// Dial connects and performs the hello/welcome handshake. Against a
+// cluster it follows node_moved redirects transparently: a node that
+// does not home this member answers with the owning node's address, and
+// the dial is retried there.
 func Dial(cfg Config) (*Client, error) {
 	if cfg.Network == nil {
 		return nil, errors.New("client: Config.Network is required")
@@ -161,26 +182,48 @@ func Dial(cfg Config) (*Client, error) {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	c := &Client{
-		cfg:        cfg,
-		conn:       conn,
-		est:        clock.NewEstimator(cfg.Clock, 8),
-		pending:    make(map[int64]chan protocol.Message),
-		boards:     make(map[string]*whiteboard.Board),
-		joined:     make(map[string]bool),
-		lights:     make(map[string]string),
-		holders:    make(map[string]string),
-		queuePos:   make(map[string]int),
-		lastSeq:    make(map[cursorKey]int64),
-		classes:    protocol.ClassMask(cfg.EventClasses),
-		readerDone: make(chan struct{}),
+		cfg:               cfg,
+		conn:              conn,
+		est:               clock.NewEstimator(cfg.Clock, 8),
+		pending:           make(map[int64]chan protocol.Message),
+		boards:            make(map[string]*whiteboard.Board),
+		joined:            make(map[string]bool),
+		lights:            make(map[string]string),
+		lightsByOrigin:    make(map[string]map[string]string),
+		backpressByOrigin: make(map[string]map[string]protocol.BackpressureBody),
+		holders:           make(map[string]string),
+		queuePos:          make(map[string]int),
+		lastSeq:           make(map[cursorKey]int64),
+		classes:           protocol.ClassMask(cfg.EventClasses),
+		readerDone:        make(chan struct{}),
 	}
 	c.mu.Lock()
 	c.seq = 1
 	c.mu.Unlock()
-	welcome, err := handshake(conn, cfg, protocol.HelloBody{
+	hello := protocol.HelloBody{
 		Name: cfg.Name, Role: cfg.Role, Priority: cfg.Priority,
 		Classes: cfg.EventClasses,
-	}, 1)
+	}
+	welcome, err := handshake(conn, cfg, hello, 1)
+	for hops := 0; err != nil && hops < maxRedirects; hops++ {
+		var redirect *redirectError
+		if !errors.As(err, &redirect) {
+			break
+		}
+		_ = conn.Close()
+		if conn, err = cfg.Network.Dial(redirect.addr); err != nil {
+			return nil, fmt.Errorf("client: redirect: %w", err)
+		}
+		// The redirect target is the session's real home: remember it so
+		// a later Reconnect resumes there, not at the node that bounced
+		// us (which would not recognize the token).
+		cfg.Addr = redirect.addr
+		c.cfg.Addr = redirect.addr
+		c.mu.Lock()
+		c.conn = conn
+		c.mu.Unlock()
+		welcome, err = handshake(conn, cfg, hello, 1)
+	}
 	if err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -232,6 +275,11 @@ func handshake(conn transport.Conn, cfg Config, hello protocol.HelloBody, seq in
 		_ = got.Into(&body)
 		if body.Code == "session_expired" {
 			return protocol.WelcomeBody{}, fmt.Errorf("%w: %s", ErrSessionExpired, body.Detail)
+		}
+		if body.Code == protocol.CodeNodeMoved && body.Detail != "" {
+			// A cluster node that does not home this member redirects to
+			// the one that does; Dial follows transparently.
+			return protocol.WelcomeBody{}, &redirectError{addr: body.Detail}
 		}
 		return protocol.WelcomeBody{}, fmt.Errorf("%w: %s: %s", ErrDenied, body.Code, body.Detail)
 	}
@@ -425,13 +473,73 @@ func (c *Client) apply(msg protocol.Message) {
 	case protocol.TStatusProbe:
 		report := protocol.MustNew(protocol.TStatusReport, nil)
 		_ = c.send(report)
+	case protocol.TNodeMoved:
+		// A partition handoff: the routing tier names the groups that
+		// moved. Converge each exactly like a reconnect — one backfill
+		// from the last applied sequence numbers; the new owner's restored
+		// log replays with the same CSeqs, so nothing applies twice. A
+		// named Origin is a dead node's lights shard: its members' lights
+		// flip red (their home will push no more updates; the last pushed
+		// value would otherwise read healthy forever).
+		var body protocol.NodeMovedBody
+		if msg.Into(&body) == nil {
+			if body.Origin != "" {
+				var changed bool
+				c.mu.Lock()
+				shard := c.lightsByOrigin[body.Origin]
+				for id, light := range shard {
+					if light != "red" {
+						shard[id] = "red"
+						c.lights[id] = "red"
+						changed = true
+					}
+				}
+				lights := make(map[string]string, len(c.lights))
+				for k, v := range c.lights {
+					lights[k] = v
+				}
+				c.mu.Unlock()
+				if changed {
+					c.publish(Event{Kind: LightEvents, Type: msg.Type, Lights: lights})
+				}
+			}
+			for _, g := range body.Groups {
+				c.askBackfill(g)
+			}
+		}
 	case protocol.TLights:
 		var body protocol.LightsBody
 		if msg.Into(&body) == nil {
 			c.mu.Lock()
-			changed := !maps.Equal(c.lights, body.Lights)
-			c.lights = body.Lights
-			c.backpress = body.Backpressure
+			// Replace per origin shard, then rebuild the merged view: in
+			// a cluster each node pushes the members it homes, so a member
+			// absent from their own node's next push is pruned while other
+			// nodes' entries stand; a standalone push (origin "") replaces
+			// the whole table, exactly as before the cluster plane.
+			c.lightsByOrigin[body.Origin] = body.Lights
+			c.backpressByOrigin[body.Origin] = body.Backpressure
+			merged := make(map[string]string)
+			for _, shard := range c.lightsByOrigin {
+				for id, light := range shard {
+					merged[id] = light
+				}
+			}
+			changed := !maps.Equal(c.lights, merged)
+			c.lights = merged
+			// Publish a private copy: c.lights keeps being mutated under
+			// the lock (later pushes, dead-shard reddening) while
+			// subscribers hold theirs.
+			published := make(map[string]string, len(merged))
+			for k, v := range merged {
+				published[k] = v
+			}
+			mergedBP := make(map[string]protocol.BackpressureBody)
+			for _, shard := range c.backpressByOrigin {
+				for id, bp := range shard {
+					mergedBP[id] = bp
+				}
+			}
+			c.backpress = mergedBP
 			behind := c.behindLogsLocked(body.Heads)
 			c.mu.Unlock()
 			// The heads digest is the quiet-tail repair trigger: any log
@@ -441,9 +549,12 @@ func (c *Client) apply(msg protocol.Message) {
 				c.askBackfill(key)
 			}
 			// Only transitions reach subscribers; the steady-state
-			// rebroadcast every probe tick would drown them.
+			// rebroadcast every probe tick would drown them. Publish the
+			// MERGED view, not the pushing shard: subscribers read
+			// Event.Lights as the whole member table, whichever node's
+			// push moved it.
 			if changed {
-				c.publish(Event{Kind: LightEvents, Type: msg.Type, Lights: body.Lights})
+				c.publish(Event{Kind: LightEvents, Type: msg.Type, Lights: published})
 			}
 		}
 	case protocol.TSnapshot:
@@ -459,23 +570,30 @@ func (c *Client) apply(msg protocol.Message) {
 				c.privates = append(c.privates, body)
 				c.mu.Unlock()
 			} else {
-				kind := whiteboard.Text
-				switch body.Kind {
-				case "draw":
-					kind = whiteboard.Draw
-				case "clear":
-					kind = whiteboard.Clear
-				}
+				// A coalesced event carries a burst: the first operation
+				// on the top-level fields, the rest in More, in board
+				// order — apply them exactly as if they arrived singly.
 				board := c.boardLocked(msg.Group)
-				err := board.Apply(whiteboard.Op{
-					Seq: body.Seq, Author: body.Author, Kind: kind, Data: body.Data,
-				})
-				if errors.Is(err, whiteboard.ErrGap) {
-					// Board ops ride the log in board order, so an
-					// in-sequence event can only gap when the board's
-					// prefix predates what the log ring still holds (a
-					// lost join snapshot): ask for a fresh one.
-					c.askBoardReplay(msg.Group, board.Seq())
+				ops := append([]protocol.SequencedBody{body}, body.More...)
+				for _, op := range ops {
+					kind := whiteboard.Text
+					switch op.Kind {
+					case "draw":
+						kind = whiteboard.Draw
+					case "clear":
+						kind = whiteboard.Clear
+					}
+					err := board.Apply(whiteboard.Op{
+						Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data,
+					})
+					if errors.Is(err, whiteboard.ErrGap) {
+						// Board ops ride the log in board order, so an
+						// in-sequence event can only gap when the board's
+						// prefix predates what the log ring still holds (a
+						// lost join snapshot): ask for a fresh one.
+						c.askBoardReplay(msg.Group, board.Seq())
+						break
+					}
 				}
 			}
 		}
@@ -755,7 +873,11 @@ func (c *Client) applySnapshot(groupID string, body protocol.SnapshotBody) {
 		board := c.boardLocked(groupID)
 		for _, op := range body.Board {
 			if kind, ok := whiteboard.ParseOpKind(op.Kind); ok {
-				_ = board.Apply(whiteboard.Op{Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data})
+				// Converge, not Apply: the snapshot is the server's own
+				// board, so a leading sequence jump is authoritative
+				// history the retention window (or a cluster takeover)
+				// no longer holds — never a loss to re-request.
+				_ = board.Converge(whiteboard.Op{Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data})
 			}
 		}
 		if !stale {
@@ -1021,8 +1143,19 @@ func (c *Client) Invite(groupID, to string) (int64, error) {
 }
 
 // ReplyInvite answers an invitation. Accepting joins the invited group.
+// The reply is scoped to the invitation's group (when the invitation is
+// known) so a cluster's routing tier can steer it to the node holding
+// the invite record — the group's owner.
 func (c *Client) ReplyInvite(inviteID int64, accept bool) error {
 	msg := protocol.MustNew(protocol.TInviteReply, protocol.InviteReplyBody{InviteID: inviteID, Accept: accept})
+	c.mu.Lock()
+	for _, inv := range c.invites {
+		if inv.InviteID == inviteID {
+			msg.Group = inv.Group
+			break
+		}
+	}
+	c.mu.Unlock()
 	if _, err := c.request(msg); err != nil {
 		return err
 	}

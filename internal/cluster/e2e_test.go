@@ -1,0 +1,146 @@
+// Cross-partition end-to-end tests: a 1-router + N-node cluster on the
+// simulated network, driven through the ordinary client library — the
+// whole point being that clients cannot tell a cluster from the
+// standalone server.
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/cluster"
+	"dmps/internal/core"
+	"dmps/internal/floor"
+)
+
+// waitFor polls until ok or the deadline.
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// pickKey finds a key with the given primary owner under the lab
+// cluster's partition map.
+func pickKey(t *testing.T, nodes int, prefix string, owner int) string {
+	t.Helper()
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		addrs[i] = core.NodeAddr(i)
+	}
+	m := cluster.NewMap(addrs)
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("%s%d", prefix, i)
+		if m.Primary(key) == owner {
+			return key
+		}
+	}
+	t.Fatalf("no %q key owned by node %d", prefix, owner)
+	return ""
+}
+
+// TestClusterCrossPartition drives the acceptance flow on netsim: two
+// members homed on different nodes, two groups owned by different
+// nodes, joins and floor arbitration across the partition boundary, a
+// whiteboard that converges for both, and an invitation whose invitee's
+// home is not the group's owner.
+func TestClusterCrossPartition(t *testing.T) {
+	cl, err := core.StartCluster(core.ClusterOptions{Options: core.Options{Seed: 7}, Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Two members homed on different nodes (names hash to their homes).
+	aliceName := pickKey(t, 2, "user-a", 0)
+	bobName := pickKey(t, 2, "user-b", 1)
+	alice, err := cl.NewClientOn("hostA", aliceName, "chair", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := cl.NewClientOn("hostB", bobName, "participant", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two groups owned by different nodes; both members join both.
+	g0 := pickKey(t, 2, "class-x", 0)
+	g1 := pickKey(t, 2, "class-y", 1)
+	for _, c := range []*client.Client{alice, bob} {
+		for _, g := range []string{g0, g1} {
+			if err := c.Join(g); err != nil {
+				t.Fatalf("%s join %s: %v", c.MemberID(), g, err)
+			}
+		}
+	}
+
+	// Floor arbitration in the group owned by the member's non-home
+	// node, with the queue crossing the boundary too.
+	dec, err := alice.RequestFloor(g1, floor.EqualControl, "")
+	if err != nil {
+		t.Fatalf("alice floor in %s: %v", g1, err)
+	}
+	if !dec.Granted {
+		t.Fatalf("alice not granted in %s: %+v", g1, dec)
+	}
+	if dec, err = bob.RequestFloor(g1, floor.EqualControl, ""); err != nil {
+		t.Fatalf("bob queued request: %v", err)
+	}
+	if dec.Granted || dec.QueuePosition != 1 {
+		t.Fatalf("bob should queue behind alice at position 1, got %+v", dec)
+	}
+	waitFor(t, "floor event at bob", func() bool { return bob.Holder(g1) == alice.MemberID() })
+
+	// Whiteboard across the boundary, coalescing included.
+	for i := 0; i < 5; i++ {
+		if err := alice.Chat(g1, fmt.Sprintf("line %d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "board convergence across nodes", func() bool {
+		return bob.Board(g1).Seq() == 5 && alice.Board(g1).Seq() == 5
+	})
+
+	// Release passes the floor to the queued cross-node member.
+	if err := alice.ReleaseFloor(g1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "promotion after release", func() bool { return bob.Holder(g1) == bob.MemberID() })
+
+	// Invitation across partitions: the breakout group is owned by node
+	// 0, the invitee's home is node 1 — the invite event crosses a typed
+	// forward to bob's home node and lands in his member log.
+	breakout := pickKey(t, 2, "breakout", 0)
+	if err := alice.Join(breakout); err != nil {
+		t.Fatal(err)
+	}
+	inviteID, err := alice.Invite(breakout, bob.MemberID())
+	if err != nil {
+		t.Fatalf("cross-node invite: %v", err)
+	}
+	waitFor(t, "invite delivery via home node", func() bool {
+		return len(bob.PendingInvites()) == 1
+	})
+	if err := bob.ReplyInvite(inviteID, true); err != nil {
+		t.Fatalf("accept across nodes: %v", err)
+	}
+	if err := bob.Chat(breakout, "made it"); err != nil {
+		t.Fatalf("chat in breakout after cross-node accept: %v", err)
+	}
+	waitFor(t, "breakout board at alice", func() bool { return alice.Board(breakout).Seq() == 1 })
+
+	// Lights: each node reports the members it homes; the client's
+	// merged table names both.
+	waitFor(t, "merged lights", func() bool {
+		lights := alice.Lights()
+		return lights[alice.MemberID()] == "green" && lights[bob.MemberID()] == "green"
+	})
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import "testing"
+
+func TestMapOwnershipAndFailover(t *testing.T) {
+	m := NewMap([]string{"a:1", "b:1", "c:1"})
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Ownership is deterministic and stable.
+	for _, key := range []string{"physics", "math", "g0", "g1", "g2"} {
+		p := m.Primary(key)
+		idx, addr := m.Owner(key)
+		if idx != p {
+			t.Errorf("Owner(%q) = %d, Primary = %d with nothing down", key, idx, p)
+		}
+		if addr != m.Addr(idx) {
+			t.Errorf("Owner(%q) addr %q != Addr(%d) %q", key, addr, idx, m.Addr(idx))
+		}
+	}
+	// Failover: a down primary's keys land on the ring successor, and
+	// recover when the node comes back.
+	key := "physics"
+	p := m.Primary(key)
+	m.MarkDown(p)
+	idx, _ := m.Owner(key)
+	if idx != (p+1)%3 {
+		t.Errorf("failover owner = %d, want successor %d", idx, (p+1)%3)
+	}
+	if m.Primary(key) != p {
+		t.Error("Primary must ignore the down-set")
+	}
+	m.MarkDown((p + 1) % 3)
+	idx, _ = m.Owner(key)
+	if idx != (p+2)%3 {
+		t.Errorf("double failover owner = %d, want %d", idx, (p+2)%3)
+	}
+	m.MarkUp(p)
+	idx, _ = m.Owner(key)
+	if idx != p {
+		t.Errorf("recovered owner = %d, want primary %d", idx, p)
+	}
+	if m.Version() != 3 {
+		t.Errorf("Version = %d after 3 transitions", m.Version())
+	}
+}
+
+func TestHomeKey(t *testing.T) {
+	for in, want := range map[string]string{
+		"alice#7":    "alice",
+		"alice":      "alice",
+		"a#b#9":      "a#b",
+		"member#12":  "member",
+		"bob-x#1234": "bob-x",
+	} {
+		if got := HomeKey(in); got != want {
+			t.Errorf("HomeKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

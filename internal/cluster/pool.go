@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"dmps/internal/protocol"
+	"dmps/internal/transport"
+)
+
+// peerQueueCap bounds each peer link's outbound queue. Forwards are
+// best-effort by design — a lost replica narrows takeover reach, a lost
+// invitation is re-derived from the registry on the next member-log
+// backfill — so overflow drops (counted) rather than blocking the
+// group's append path on a slow peer.
+const peerQueueCap = 1024
+
+// Pool is the pooled inter-node transport: one connection per peer
+// node, dialed lazily, drained by a dedicated writer goroutine per
+// peer. Sends never block the caller: a full queue or a dead peer drops
+// the forward (counted in Drops), and the next send after a connection
+// failure re-dials. Pool is safe for concurrent use.
+type Pool struct {
+	network transport.Network
+	mu      sync.Mutex
+	peers   map[string]*peerLink
+	closed  bool
+	drops   atomic.Int64
+	sent    atomic.Int64
+	wg      sync.WaitGroup
+}
+
+type peerLink struct {
+	addr  string
+	queue chan []byte
+	down  chan struct{}
+	once  sync.Once
+}
+
+// NewPool returns a pool that dials peers over the given network.
+func NewPool(network transport.Network) *Pool {
+	return &Pool{network: network, peers: make(map[string]*peerLink)}
+}
+
+// WrapForward encodes a TForward envelope around the body with plain
+// json.Marshal, deliberately outside protocol.Encode: replication rides
+// the broadcast hot path (one forward per logged append), and the
+// encode-once gate counts protocol.Encode calls per broadcast — the
+// per-RECIPIENT cost. The forward is per-append, reuses the already-
+// encoded event bytes verbatim (ForwardBody.Msg is raw JSON), and must
+// not read as fan-out amplification.
+func WrapForward(body protocol.ForwardBody) []byte {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil
+	}
+	wire, err := json.Marshal(protocol.Message{Type: protocol.TForward, Body: raw})
+	if err != nil {
+		return nil
+	}
+	return wire
+}
+
+// Send queues pre-encoded wire bytes for the peer at addr, dialing the
+// link on first use. It reports false when the forward was dropped (a
+// nil wire, a closed pool, or a full queue).
+func (p *Pool) Send(addr string, wire []byte) bool {
+	if wire == nil {
+		return false
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	link, ok := p.peers[addr]
+	if !ok {
+		link = &peerLink{addr: addr, queue: make(chan []byte, peerQueueCap), down: make(chan struct{})}
+		p.peers[addr] = link
+		p.wg.Add(1)
+		go p.drain(link)
+	}
+	p.mu.Unlock()
+	select {
+	case link.queue <- wire:
+		p.sent.Add(1)
+		return true
+	default:
+		p.drops.Add(1)
+		return false
+	}
+}
+
+// drain is the per-peer writer: it dials once and pushes queued
+// forwards until the connection fails or the pool closes. On failure
+// the link is retired; the next Send re-creates it (and re-dials).
+func (p *Pool) drain(link *peerLink) {
+	defer p.wg.Done()
+	conn, err := p.network.Dial(link.addr)
+	if err != nil {
+		p.retire(link)
+		return
+	}
+	defer conn.Close()
+	for {
+		select {
+		case wire := <-link.queue:
+			if err := conn.Send(wire); err != nil {
+				p.retire(link)
+				return
+			}
+		case <-link.down:
+			return
+		}
+	}
+}
+
+// retire removes a failed link so future sends re-dial, and counts its
+// queued backlog as drops.
+func (p *Pool) retire(link *peerLink) {
+	link.once.Do(func() { close(link.down) })
+	p.mu.Lock()
+	if p.peers[link.addr] == link {
+		delete(p.peers, link.addr)
+	}
+	p.mu.Unlock()
+	for {
+		select {
+		case <-link.queue:
+			p.drops.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// Stats reports forwards sent and dropped since the pool started.
+func (p *Pool) Stats() (sent, drops int64) { return p.sent.Load(), p.drops.Load() }
+
+// Close tears every peer link down and waits for the writers.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	links := make([]*peerLink, 0, len(p.peers))
+	for _, l := range p.peers {
+		links = append(links, l)
+	}
+	p.peers = make(map[string]*peerLink)
+	p.mu.Unlock()
+	for _, l := range links {
+		l.once.Do(func() { close(l.down) })
+	}
+	p.wg.Wait()
+}

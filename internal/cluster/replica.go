@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"encoding/json"
+	"sync"
+
+	"dmps/internal/protocol"
+)
+
+// ReplicaEvent is one replicated logged event: the stamped wire bytes
+// exactly as the owner fanned them out, plus the sequence fields parsed
+// back out so a takeover can install them into the adopting node's log
+// plane with the original numbering (clients' cursors keep counting).
+type ReplicaEvent struct {
+	GSeq  int64
+	CSeq  int64
+	Class string
+	State bool
+	Wire  []byte
+}
+
+// GroupReplica is the takeover package for one group partition: the
+// retained logged-event suffix, the latest floor-state blob (mode,
+// holder, the queue the redacted wire bytes cannot carry, suspensions,
+// pin), and the membership roster with its chair.
+type GroupReplica struct {
+	Events  []ReplicaEvent
+	Floor   *protocol.FloorReplicaBody
+	Members []protocol.NodeMemberInfo
+	Chair   string
+	Head    int64
+	// BoardHead is the highest board operation sequence the owner was
+	// known to have issued. The adopting node advances its board past it
+	// even when the retained event suffix is incomplete (trimmed by the
+	// cap, or a dropped best-effort forward), so a takeover can never
+	// re-mint board sequence numbers clients already applied.
+	BoardHead int64
+}
+
+// ReplicaStore holds the group replicas a node keeps on behalf of its
+// ring predecessor: ForwardReplica and ForwardMembers forwards
+// accumulate here, and a takeover drains one group's package into the
+// live planes. Retention is bounded per group (cap events, FIFO) — a
+// client older than the retained suffix converges through the snapshot
+// fallback, same as with the in-process log ring. Safe for concurrent
+// use.
+type ReplicaStore struct {
+	mu     sync.Mutex
+	cap    int
+	groups map[string]*GroupReplica
+}
+
+// NewReplicaStore returns an empty store retaining up to cap events per
+// group (cap <= 0 means 512, matching the log plane's default).
+func NewReplicaStore(cap int) *ReplicaStore {
+	if cap <= 0 {
+		cap = 512
+	}
+	return &ReplicaStore{cap: cap, groups: make(map[string]*GroupReplica)}
+}
+
+func (s *ReplicaStore) group(id string) *GroupReplica {
+	g, ok := s.groups[id]
+	if !ok {
+		g = &GroupReplica{}
+		s.groups[id] = g
+	}
+	return g
+}
+
+// ApplyEvent records one replicated logged event for a group. The wire
+// bytes are the owner's stamped fan-out bytes; their envelope is parsed
+// here (off the owner's hot path) to recover the sequence fields. An
+// optional floor blob replaces the group's takeover floor state.
+func (s *ReplicaStore) ApplyEvent(groupID string, wire []byte, floor *protocol.FloorReplicaBody) {
+	var env protocol.Message
+	if err := json.Unmarshal(wire, &env); err != nil || env.GSeq == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.group(groupID)
+	// Forwards ride FIFO per-peer queues, so duplicates cannot happen but
+	// a re-dial after a pool hiccup can replay nothing; only advance.
+	if env.GSeq <= g.Head {
+		return
+	}
+	g.Head = env.GSeq
+	g.Events = append(g.Events, ReplicaEvent{
+		GSeq: env.GSeq, CSeq: env.CSeq, Class: env.Class, State: env.State, Wire: wire,
+	})
+	if env.Class == protocol.ClassBoard {
+		// Track the owner's board head across the whole coalesced burst,
+		// so takeover knows where sequence minting must resume even if
+		// earlier board events were trimmed from the retained suffix.
+		var body protocol.SequencedBody
+		if json.Unmarshal(env.Body, &body) == nil {
+			if body.Seq > g.BoardHead {
+				g.BoardHead = body.Seq
+			}
+			for _, op := range body.More {
+				if op.Seq > g.BoardHead {
+					g.BoardHead = op.Seq
+				}
+			}
+		}
+	}
+	if len(g.Events) > s.cap {
+		g.Events = append(g.Events[:0:0], g.Events[len(g.Events)-s.cap:]...)
+	}
+	if floor != nil {
+		g.Floor = floor
+	}
+}
+
+// ApplyMembers records a group's replicated membership roster and chair.
+func (s *ReplicaStore) ApplyMembers(groupID, chair string, members []protocol.NodeMemberInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.group(groupID)
+	g.Chair = chair
+	g.Members = members
+}
+
+// Has reports whether the store holds any replica state for a group —
+// the adoption test: a node asked to serve a partition it does not
+// primarily own adopts it exactly when a replica is present.
+func (s *ReplicaStore) Has(groupID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.groups[groupID]
+	return ok
+}
+
+// Head returns the highest replicated GSeq for a group (0 when none) —
+// what tests wait on to know replication caught up before a kill.
+func (s *ReplicaStore) Head(groupID string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.groups[groupID]; ok {
+		return g.Head
+	}
+	return 0
+}
+
+// Take removes and returns a group's replica package for takeover. The
+// removal is what makes adoption idempotent: the second caller finds
+// nothing and treats the group as already live.
+func (s *ReplicaStore) Take(groupID string) (GroupReplica, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[groupID]
+	if !ok {
+		return GroupReplica{}, false
+	}
+	delete(s.groups, groupID)
+	return *g, true
+}

@@ -1,0 +1,550 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dmps/internal/group"
+	"dmps/internal/protocol"
+	"dmps/internal/transport"
+)
+
+// tokenPrefix tags session-resume tokens with the home node they were
+// minted on ("n3:<token>"), so a resume hello routes to the node that
+// actually holds the token without the router keeping per-member state.
+func tokenPrefix(idx int, token string) string {
+	return "n" + strconv.Itoa(idx) + ":" + token
+}
+
+// parseTokenPrefix splits a router-tagged token back into home node
+// index and the node's own token.
+func parseTokenPrefix(token string) (idx int, raw string, ok bool) {
+	if !strings.HasPrefix(token, "n") {
+		return 0, "", false
+	}
+	head, rest, found := strings.Cut(token[1:], ":")
+	if !found {
+		return 0, "", false
+	}
+	n, err := strconv.Atoi(head)
+	if err != nil || n < 0 {
+		return 0, "", false
+	}
+	return n, rest, true
+}
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Network provides the client-facing listener and the node dialer
+	// (TCP or netsim).
+	Network transport.Network
+	// Addr is the router's listen address — the one address clients see.
+	Addr string
+	// Nodes lists the cluster's node addresses in ring order. Every node
+	// must be configured with the same list (its own position via the
+	// node's Self index).
+	Nodes []string
+}
+
+// Router is the thin routing tier in front of a node cluster: it
+// terminates client connections, admits each session at the member's
+// home node (the plain hello travels there, so the home node mints the
+// member ID, the session token and the member event log), and proxies
+// group-scoped traffic to each group's owning node over per-session
+// upstream connections opened with TNodeHello. Replies and events relay
+// back verbatim — the router re-encodes nothing on the hot path (the
+// one exception is the welcome, whose token it tags with the home node
+// index so a later resume routes straight back).
+//
+// The router is also the failure detector: when an upstream connection
+// dies it marks the node down in the shared partition map, pushes a
+// TNodeMoved naming the groups that were flowing through it, and routes
+// their next traffic to the ring successor — where the replication
+// plane already delivered the partition's takeover state. The client
+// converges through its ordinary backfill path, like a reconnect.
+type Router struct {
+	cfg      RouterConfig
+	pmap     *Map
+	listener transport.Listener
+
+	mu       sync.Mutex
+	sessions map[*routerSession]bool
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewRouter creates a router and starts listening. Call Serve (or
+// Start) to accept clients, Close to shut down.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Network == nil {
+		return nil, errors.New("cluster: RouterConfig.Network is required")
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: RouterConfig.Nodes is required")
+	}
+	l, err := cfg.Network.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: router: %w", err)
+	}
+	return &Router{
+		cfg:      cfg,
+		pmap:     NewMap(cfg.Nodes),
+		listener: l,
+		sessions: make(map[*routerSession]bool),
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the router's listen address.
+func (r *Router) Addr() string { return r.listener.Addr() }
+
+// Map exposes the shared partition map (tests mark nodes down/up
+// through it; the router updates it when it detects failures).
+func (r *Router) Map() *Map { return r.pmap }
+
+// Serve accepts clients until Close. It returns nil after a clean Close.
+func (r *Router) Serve() error {
+	for {
+		conn, err := r.listener.Accept()
+		if err != nil {
+			select {
+			case <-r.closed:
+				return nil
+			default:
+				return fmt.Errorf("cluster: router accept: %w", err)
+			}
+		}
+		rs := &routerSession{r: r, client: conn, ups: make(map[int]*upstream)}
+		r.mu.Lock()
+		r.sessions[rs] = true
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go rs.run()
+	}
+}
+
+// Start runs Serve on a goroutine.
+func (r *Router) Start() { go func() { _ = r.Serve() }() }
+
+// Close shuts the router down: the listener stops, every client and
+// upstream connection closes, and the goroutines are waited for.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		_ = r.listener.Close()
+		r.mu.Lock()
+		for rs := range r.sessions {
+			rs.teardown()
+		}
+		r.mu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+// routerSession is one proxied client: the client connection, the
+// member identity captured at admission, and the per-node upstream
+// connections the session's traffic fans across.
+type routerSession struct {
+	r      *Router
+	client transport.Conn
+	cmu    sync.Mutex // serializes writes to the client connection
+
+	mu       sync.Mutex
+	identity protocol.NodeHelloBody
+	homeIdx  int
+	ups      map[int]*upstream
+	done     bool
+}
+
+// upstream is one node-side connection of a session, with the groups
+// currently routed through it (the TNodeMoved payload if it dies).
+type upstream struct {
+	idx    int
+	conn   transport.Conn
+	groups map[string]bool
+}
+
+// sendClient writes one message to the client connection.
+func (rs *routerSession) sendClient(wire []byte) error {
+	rs.cmu.Lock()
+	defer rs.cmu.Unlock()
+	return rs.client.Send(wire)
+}
+
+// run drives one proxied session: admission at the home node, then the
+// relay loop.
+func (rs *routerSession) run() {
+	defer rs.r.wg.Done()
+	defer rs.retire()
+	if err := rs.admit(); err != nil {
+		return
+	}
+	for {
+		wire, err := rs.client.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := protocol.Decode(wire)
+		if err != nil {
+			continue
+		}
+		rs.route(msg, wire)
+		if msg.Type == protocol.TBye {
+			return
+		}
+	}
+}
+
+// admit reads the client's hello, routes it to the member's home node —
+// chosen by the same hash that partitions groups, over the sanitized
+// name (fresh session) or the token's node tag (resume) — and relays
+// the welcome back with the token tagged for the next resume.
+func (rs *routerSession) admit() error {
+	wire, err := rs.client.Recv()
+	if err != nil {
+		return err
+	}
+	msg, err := protocol.Decode(wire)
+	if err != nil || msg.Type != protocol.THello {
+		return fmt.Errorf("cluster: router: first message %v (%w)", msg.Type, transport.ErrClosed)
+	}
+	var hello protocol.HelloBody
+	if err := msg.Into(&hello); err != nil {
+		return err
+	}
+	homeIdx := -1
+	if hello.Token != "" {
+		idx, raw, ok := parseTokenPrefix(hello.Token)
+		if !ok || idx >= rs.r.pmap.Len() {
+			rs.reject(msg.Seq, "session_expired", "unrecognized session token")
+			return transport.ErrClosed
+		}
+		homeIdx = idx
+		hello.Token = raw
+	} else {
+		// Always the PRIMARY home, ignoring the down-set: member state
+		// (directory, tokens, member logs) lives only there, and a
+		// successor would just bounce the hello with a redirect. The
+		// dial doubles as the liveness probe — a recovered home serves
+		// new members again without any un-mark step, while group
+		// partitions stay failed over (the successor holds their
+		// adopted state; routing them back to a blank primary would
+		// reset them).
+		homeIdx = rs.r.pmap.Primary(HomeKey(group.SanitizeName(hello.Name)))
+	}
+	conn, err := rs.r.cfg.Network.Dial(rs.r.pmap.Addr(homeIdx))
+	if err != nil {
+		rs.r.pmap.MarkDown(homeIdx)
+		rs.reject(msg.Seq, "node_down", "home node unreachable")
+		return err
+	}
+	fwd := protocol.MustNew(protocol.THello, hello)
+	fwd.Seq = msg.Seq
+	fwdWire, err := protocol.Encode(fwd)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if err := conn.Send(fwdWire); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	replyWire, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	reply, err := protocol.Decode(replyWire)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if reply.Type != protocol.TWelcome {
+		// A typed rejection (session_expired and friends) passes through
+		// verbatim: the client's handshake knows how to read it.
+		_ = rs.sendClient(replyWire)
+		_ = conn.Close()
+		return transport.ErrClosed
+	}
+	var welcome protocol.WelcomeBody
+	if err := reply.Into(&welcome); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	rs.mu.Lock()
+	rs.homeIdx = homeIdx
+	rs.identity = protocol.NodeHelloBody{
+		MemberID: welcome.MemberID,
+		Name:     hello.Name,
+		Role:     hello.Role,
+		Priority: hello.Priority,
+		Classes:  hello.Classes,
+	}
+	up := &upstream{idx: homeIdx, conn: conn, groups: make(map[string]bool)}
+	rs.ups[homeIdx] = up
+	rs.mu.Unlock()
+	if welcome.Token != "" {
+		welcome.Token = tokenPrefix(homeIdx, welcome.Token)
+	}
+	tagged := protocol.MustNew(protocol.TWelcome, welcome)
+	tagged.Seq = reply.Seq
+	taggedWire, err := protocol.Encode(tagged)
+	if err != nil {
+		return err
+	}
+	if err := rs.sendClient(taggedWire); err != nil {
+		return err
+	}
+	rs.r.wg.Add(1)
+	go rs.relay(up)
+	return nil
+}
+
+// reject answers the client handshake with a typed error and gives up.
+func (rs *routerSession) reject(seq int64, code, detail string) {
+	msg := protocol.MustNew(protocol.TErr, protocol.ErrBody{Code: code, Detail: detail})
+	msg.Seq = seq
+	if wire, err := protocol.Encode(msg); err == nil {
+		_ = rs.sendClient(wire)
+	}
+}
+
+// route forwards one client message to the owning node: group-scoped
+// traffic to the group's owner, probe answers and subscription changes
+// to every upstream (each node tracks its own session liveness and
+// filter mask), everything else to the member's home node.
+func (rs *routerSession) route(msg protocol.Message, wire []byte) {
+	switch msg.Type {
+	case protocol.TStatusReport, protocol.TBye:
+		rs.eachUpstream(func(up *upstream) { _ = up.conn.Send(wire) })
+		return
+	case protocol.TSubscribe:
+		var body protocol.SubscribeBody
+		if len(msg.Body) > 0 && msg.Into(&body) == nil {
+			rs.mu.Lock()
+			rs.identity.Classes = body.Classes
+			rs.mu.Unlock()
+		}
+		rs.eachUpstream(func(up *upstream) { _ = up.conn.Send(wire) })
+		return
+	}
+	gid := protocol.RequestGroup(msg)
+	for attempt := 0; attempt < rs.r.pmap.Len(); attempt++ {
+		idx := rs.homeIdxLocked()
+		if gid != "" {
+			idx, _ = rs.r.pmap.Owner(gid)
+		}
+		up, err := rs.ensureUpstream(idx)
+		if err != nil {
+			if rs.closing() {
+				// The session (or router) is tearing down: the failure is
+				// ours, not the node's — never poison the shared map.
+				return
+			}
+			rs.r.pmap.MarkDown(idx)
+			if gid == "" {
+				return // the home node is gone; the session cannot continue
+			}
+			continue
+		}
+		if gid != "" {
+			rs.mu.Lock()
+			up.groups[gid] = true
+			rs.mu.Unlock()
+		}
+		if err := up.conn.Send(wire); err != nil {
+			rs.upstreamDown(up)
+			continue
+		}
+		return
+	}
+}
+
+func (rs *routerSession) homeIdxLocked() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.homeIdx
+}
+
+// closing reports whether the session or its router is tearing down.
+func (rs *routerSession) closing() bool {
+	select {
+	case <-rs.r.closed:
+		return true
+	default:
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.done
+}
+
+// eachUpstream runs fn over a snapshot of the session's live upstreams.
+func (rs *routerSession) eachUpstream(fn func(*upstream)) {
+	rs.mu.Lock()
+	ups := make([]*upstream, 0, len(rs.ups))
+	for _, up := range rs.ups {
+		ups = append(ups, up)
+	}
+	rs.mu.Unlock()
+	for _, up := range ups {
+		fn(up)
+	}
+}
+
+// ensureUpstream returns the session's connection to node idx, opening
+// it — dial plus a TNodeHello binding the member identity — on first
+// use.
+func (rs *routerSession) ensureUpstream(idx int) (*upstream, error) {
+	rs.mu.Lock()
+	if up, ok := rs.ups[idx]; ok {
+		rs.mu.Unlock()
+		return up, nil
+	}
+	identity := rs.identity
+	rs.mu.Unlock()
+	conn, err := rs.r.cfg.Network.Dial(rs.r.pmap.Addr(idx))
+	if err != nil {
+		return nil, err
+	}
+	hello := protocol.MustNew(protocol.TNodeHello, identity)
+	helloWire, err := protocol.Encode(hello)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	if err := conn.Send(helloWire); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	replyWire, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	reply, err := protocol.Decode(replyWire)
+	if err != nil || reply.Type != protocol.TWelcome {
+		_ = conn.Close()
+		return nil, fmt.Errorf("cluster: node %d refused node hello (%v)", idx, reply.Type)
+	}
+	up := &upstream{idx: idx, conn: conn, groups: make(map[string]bool)}
+	rs.mu.Lock()
+	if rs.done {
+		rs.mu.Unlock()
+		_ = conn.Close()
+		return nil, transport.ErrClosed
+	}
+	if prior, ok := rs.ups[idx]; ok {
+		// A concurrent open won; keep theirs.
+		rs.mu.Unlock()
+		_ = conn.Close()
+		return prior, nil
+	}
+	rs.ups[idx] = up
+	rs.mu.Unlock()
+	rs.r.wg.Add(1)
+	go rs.relay(up)
+	return up, nil
+}
+
+// relay pumps one upstream's traffic back to the client verbatim. When
+// the upstream dies (and the session does not), the node is marked down
+// and the client is told which groups moved.
+func (rs *routerSession) relay(up *upstream) {
+	defer rs.r.wg.Done()
+	for {
+		wire, err := up.conn.Recv()
+		if err != nil {
+			rs.upstreamDown(up)
+			return
+		}
+		if err := rs.sendClient(wire); err != nil {
+			return
+		}
+	}
+}
+
+// upstreamDown handles a dead node-side connection. One session's
+// upstream dying is not node death — the node may have closed just
+// this connection (a session reaped for silence, displaced by a
+// resume, or torn down by the slow-consumer policy) — so the node is
+// probed with a fresh dial first and only an unreachable node is
+// marked down in the shared map. Either way the client receives a
+// TNodeMoved naming the groups that were flowing through the dead
+// upstream — its cue to backfill each one, which re-opens an upstream
+// to wherever the map now points (the same node when it was alive, the
+// ring successor when it was not).
+func (rs *routerSession) upstreamDown(up *upstream) {
+	_ = up.conn.Close()
+	rs.mu.Lock()
+	if rs.done || rs.ups[up.idx] != up {
+		rs.mu.Unlock()
+		return
+	}
+	delete(rs.ups, up.idx)
+	home := up.idx == rs.homeIdx
+	groups := make([]string, 0, len(up.groups))
+	for g := range up.groups {
+		groups = append(groups, g)
+	}
+	rs.mu.Unlock()
+	select {
+	case <-rs.r.closed:
+		return
+	default:
+	}
+	alive := false
+	if probe, err := rs.r.cfg.Network.Dial(rs.r.pmap.Addr(up.idx)); err == nil {
+		_ = probe.Close()
+		alive = true
+	}
+	if !alive {
+		rs.r.pmap.MarkDown(up.idx)
+	}
+	if home {
+		// The home node carried the session's identity and token: there
+		// is nothing to transparently move it to. Severing the client
+		// connection hands the decision to its reconnect logic.
+		rs.teardown()
+		return
+	}
+	moved := protocol.NodeMovedBody{Groups: groups}
+	if !alive {
+		// Name the dead node's lights shard so clients can flip its
+		// members red: their home stopped reporting, and a frozen last
+		// value would read as a healthy connection forever.
+		moved.Origin = fmt.Sprintf("n%d", up.idx)
+	}
+	note := protocol.MustNew(protocol.TNodeMoved, moved)
+	if wire, err := protocol.Encode(note); err == nil {
+		_ = rs.sendClient(wire)
+	}
+}
+
+// teardown severs the client and every upstream connection.
+func (rs *routerSession) teardown() {
+	rs.mu.Lock()
+	rs.done = true
+	ups := make([]*upstream, 0, len(rs.ups))
+	for _, up := range rs.ups {
+		ups = append(ups, up)
+	}
+	rs.ups = make(map[int]*upstream)
+	rs.mu.Unlock()
+	_ = rs.client.Close()
+	for _, up := range ups {
+		_ = up.conn.Close()
+	}
+}
+
+// retire removes the session from the router's table on exit.
+func (rs *routerSession) retire() {
+	rs.teardown()
+	rs.r.mu.Lock()
+	delete(rs.r.sessions, rs)
+	rs.r.mu.Unlock()
+}

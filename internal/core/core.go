@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dmps/internal/client"
+	"dmps/internal/cluster"
 	"dmps/internal/netsim"
 	"dmps/internal/protocol"
 	"dmps/internal/resource"
@@ -154,3 +155,161 @@ func (l *Lab) Close() {
 // WirePresentation is a convenience re-export so facade users need not
 // import protocol directly.
 type WirePresentation = protocol.PresentBody
+
+// RouterAddr is the well-known simulated address of the lab cluster's
+// routing tier; NodeAddr derives each node's.
+const RouterAddr = "dmps-router:4321"
+
+// NodeAddr returns the simulated address of lab cluster node i.
+func NodeAddr(i int) string { return fmt.Sprintf("dmps-node%d:4321", i) }
+
+// ClusterOptions configure a StartCluster lab deployment: the base lab
+// options apply to every node, and Nodes picks the node count.
+type ClusterOptions struct {
+	// Options configure each node (probe cadence, queue caps, log caps,
+	// TTLs) and the simulated network, exactly as for NewLab.
+	Options
+	// Nodes is the number of group-partition node processes (default 2).
+	Nodes int
+}
+
+// Cluster is a fully assembled in-memory multi-process DMPS deployment:
+// N group-partition nodes behind one router, all on the simulated
+// network. It is the lab helper behind cluster experiments and tests;
+// production deployments run the same pieces as real processes
+// (cmd/dmps-server -cluster, cmd/dmps-router).
+type Cluster struct {
+	// Net is the simulated network shared by router, nodes and clients.
+	Net *netsim.Net
+	// Router is the routing tier clients dial.
+	Router *cluster.Router
+	// Nodes are the group-partition node servers, in ring order.
+	Nodes []*server.Server
+	// Monitors drive each node's resource-based arbitration, index-
+	// aligned with Nodes.
+	Monitors []*resource.Monitor
+
+	opts    ClusterOptions
+	clients []*client.Client
+}
+
+// StartCluster builds and starts an in-memory cluster: Nodes partition
+// nodes (hash-assigned groups and member homes, successor replication,
+// typed forwards) behind one router on the simulated network.
+func StartCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 2
+	}
+	if opts.Thresholds == (resource.Thresholds{}) {
+		opts.Thresholds = resource.DefaultThresholds()
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 50 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 3 * opts.ProbeInterval
+	}
+	if opts.ClientTimeout <= 0 {
+		opts.ClientTimeout = 5 * time.Second
+	}
+	net := netsim.New(opts.Seed)
+	net.SetDefaultLink(opts.Link)
+	addrs := make([]string, opts.Nodes)
+	for i := range addrs {
+		addrs[i] = NodeAddr(i)
+	}
+	c := &Cluster{Net: net, opts: opts}
+	for i := range addrs {
+		mon, err := resource.New(resource.MinBound, opts.Thresholds)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		srv, err := server.New(server.Config{
+			Network:          net,
+			Addr:             addrs[i],
+			Monitor:          mon,
+			ProbeInterval:    opts.ProbeInterval,
+			ProbeTimeout:     opts.ProbeTimeout,
+			SendQueueCap:     opts.SendQueueCap,
+			SlowPolicy:       opts.SlowPolicy,
+			LogCap:           opts.LogCap,
+			CoalesceInterval: opts.CoalesceInterval,
+			SessionTTL:       opts.SessionTTL,
+			Cluster: &server.ClusterConfig{
+				Nodes: addrs,
+				Self:  i,
+				// Inter-node traffic originates at the node's own host so
+				// per-host link configs apply.
+				Network: net.From(netsim.Host(addrs[i])),
+			},
+		})
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		srv.Start()
+		c.Nodes = append(c.Nodes, srv)
+		c.Monitors = append(c.Monitors, mon)
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Network: net.From(netsim.Host(RouterAddr)),
+		Addr:    RouterAddr,
+		Nodes:   addrs,
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	router.Start()
+	c.Router = router
+	return c, nil
+}
+
+// NewClient connects a client through the router.
+func (c *Cluster) NewClient(name, role string, priority int) (*client.Client, error) {
+	return c.NewClientOn("client", name, role, priority)
+}
+
+// NewClientOn connects a client through the router from a named
+// simulated host, so per-host link configs apply.
+func (c *Cluster) NewClientOn(host, name, role string, priority int) (*client.Client, error) {
+	cl, err := client.Dial(client.Config{
+		Network:  c.Net.From(host),
+		Addr:     RouterAddr,
+		Name:     name,
+		Role:     role,
+		Priority: priority,
+		Timeout:  c.opts.ClientTimeout,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}
+
+// KillNode abruptly stops node i — the partition-handoff drill: its
+// partitions fail over to the ring successor, which restores them from
+// the replicated state, and clients converge through the router's
+// node_moved push.
+func (c *Cluster) KillNode(i int) {
+	if i >= 0 && i < len(c.Nodes) && c.Nodes[i] != nil {
+		c.Nodes[i].Close()
+	}
+}
+
+// Close disconnects every client and stops the router and all nodes.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	if c.Router != nil {
+		c.Router.Close()
+	}
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}

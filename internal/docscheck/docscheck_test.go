@@ -20,6 +20,7 @@ var surface = []string{
 	"../..", // package dmps (the facade)
 	"../client",
 	"../server",
+	"../cluster",
 	"../floor",
 	"../protocol",
 	"../grouplog",

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/core"
+	"dmps/internal/floor"
+)
+
+// RunE12 measures the cluster plane: aggregate floor-arbitration
+// throughput as group partitions spread across more nodes. Each round
+// boots a 1-router + N-node in-memory cluster, joins one client per
+// group through the router (groups hash across the nodes), and runs the
+// workers concurrently — every request crosses the router to its
+// group's owning node, so the ops/s column is end-to-end routed
+// throughput. Groups on different nodes share no locks and no process;
+// on multi-core hardware the aggregate rate is what scales with the
+// node count (a single-core host serializes all processes and shows
+// the routing overhead instead).
+func RunE12(nodeCounts []int, cycles int) (*Table, error) {
+	if len(nodeCounts) == 0 {
+		nodeCounts = []int{1, 2, 4}
+	}
+	if cycles <= 0 {
+		cycles = 100
+	}
+	t := &Table{
+		ID:     "E12",
+		Title:  "cluster scale-out: routed arbitration throughput vs node count",
+		Header: []string{"nodes", "groups", "ops", "elapsed", "ops/s"},
+	}
+	for _, n := range nodeCounts {
+		row, err := clusterRound(n, cycles)
+		if err != nil {
+			return nil, fmt.Errorf("E12 nodes=%d: %w", n, err)
+		}
+		t.AddRow(row...)
+	}
+	t.Note("every request crosses the router to the group's owning node; per-group state never crosses a process. multi-core hardware is the intended witness for node-count scaling")
+	return t, nil
+}
+
+// clusterRound drives one pinned worker per group against an n-node
+// cluster through the router.
+func clusterRound(nodes, cycles int) ([]any, error) {
+	cl, err := core.StartCluster(core.ClusterOptions{
+		Options: core.Options{Seed: int64(nodes) * 31, ProbeInterval: time.Hour},
+		Nodes:   nodes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	const groups = 8
+	workers := make([]*client.Client, 0, groups)
+	for i := 0; i < groups; i++ {
+		c, err := cl.NewClient(fmt.Sprintf("e12w%d", i), "participant", 2)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Join(fmt.Sprintf("e12g%d", i)); err != nil {
+			return nil, err
+		}
+		workers = append(workers, c)
+	}
+	errCh := make(chan error, groups)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		gid := fmt.Sprintf("e12g%d", i)
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < cycles; k++ {
+				if _, err := w.RequestFloor(gid, floor.FreeAccess, ""); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	ops := groups * cycles
+	return []any{
+		nodes, groups, ops, elapsed.Round(time.Millisecond),
+		fmt.Sprintf("%.0f", float64(ops)/elapsed.Seconds()),
+	}, nil
+}

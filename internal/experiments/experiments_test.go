@@ -345,3 +345,20 @@ func TestRunE11Scalability(t *testing.T) {
 		}
 	}
 }
+
+func TestRunE12ClusterScaleOut(t *testing.T) {
+	tab, err := RunE12([]int{1, 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every round completes the full routed op count, whatever the node
+	// count — correctness first, scaling is the multi-core story.
+	for _, row := range tab.Rows {
+		if row[2] != "80" {
+			t.Errorf("ops = %v, want 80: %v", row[2], row)
+		}
+	}
+}

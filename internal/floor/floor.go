@@ -476,6 +476,33 @@ func (c *Controller) Evict(groupID string, member group.MemberID) (holder group.
 	return st.Holder, wasHolder, wasQueued
 }
 
+// Restore installs a group's floor state wholesale — the cluster
+// takeover path: when a partition fails over, the adopting node's
+// controller receives the mode, holder, pending queue, suspended set
+// and pin flag the failed owner last replicated, so arbitration resumes
+// mid-hold with zero duplicate grants (the holder keeps the floor; the
+// queue keeps its order). Chair approvals are deliberately not carried:
+// an approval that was pending at the moment of failover degrades to
+// re-queueing, never to an unapproved grant.
+func (c *Controller) Restore(groupID string, mode Mode, holder group.MemberID, queue, suspended []group.MemberID, pinned bool) {
+	if !mode.Valid() {
+		mode = FreeAccess
+	}
+	fs := c.state(groupID)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.st.Mode = mode
+	fs.st.Holder = holder
+	fs.st.Queue = append([]group.MemberID(nil), queue...)
+	fs.st.Approved = make(map[group.MemberID]bool)
+	fs.st.Contacts = make(map[group.MemberID]group.MemberID)
+	fs.suspended = make(map[group.MemberID]bool, len(suspended))
+	for _, m := range suspended {
+		fs.suspended[m] = true
+	}
+	fs.pinned = pinned
+}
+
 // Pinned reports whether the group's floor policy is chair-pinned.
 func (c *Controller) Pinned(groupID string) bool {
 	fs := c.state(groupID)

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"dmps/internal/shard"
@@ -158,6 +159,28 @@ func NewRegistry() *Registry {
 	}
 }
 
+// SanitizeName lowercases a display name and folds everything outside
+// [a-z0-9] to '-' ("member" when nothing survives). It is the one
+// normalization shared by member-ID minting at admission and the
+// cluster's home-node placement hash: both must see the same string or
+// a member's ID prefix would hash to a different node than their hello
+// did.
+func SanitizeName(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '-'
+		}
+	}, name)
+	if name == "" {
+		name = "member"
+	}
+	return name
+}
+
 // Register adds a member to the directory.
 func (r *Registry) Register(m Member) error {
 	if err := m.Validate(); err != nil {
@@ -170,6 +193,25 @@ func (r *Registry) Register(m Member) error {
 	}
 	r.members[m.ID] = m
 	r.joined[m.ID] = make(map[string]bool)
+	return nil
+}
+
+// EnsureMember upserts a directory entry with a caller-chosen ID — the
+// cluster's shadow registration: a group-partition node serving a
+// member whose home (and ID mint) is another node installs the record
+// the home node assigned, idempotently. An existing entry is refreshed
+// in place (role or priority may have been stale) without touching the
+// member's group memberships.
+func (r *Registry) EnsureMember(m Member) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	if _, exists := r.members[m.ID]; !exists {
+		r.joined[m.ID] = make(map[string]bool)
+	}
+	r.members[m.ID] = m
 	return nil
 }
 
@@ -361,6 +403,20 @@ func (r *Registry) Groups() []string {
 // Invite creates an invitation from a group member to a directory member.
 // The inviter must belong to the group.
 func (r *Registry) Invite(groupID string, from, to MemberID) (Invitation, error) {
+	return r.invite(groupID, from, to, true)
+}
+
+// InviteRemote creates an invitation to a member this registry does not
+// hold a directory row for — the cluster's cross-partition path, where
+// the invitee's directory lives on their home node. Existence is
+// validated there, at delivery: the group owner must not fabricate a
+// directory entry (it would be unreapable — no session ever refreshes
+// it), and must not reject a member it simply cannot see.
+func (r *Registry) InviteRemote(groupID string, from, to MemberID) (Invitation, error) {
+	return r.invite(groupID, from, to, false)
+}
+
+func (r *Registry) invite(groupID string, from, to MemberID, checkInvitee bool) (Invitation, error) {
 	r.dirMu.Lock()
 	defer r.dirMu.Unlock()
 	g, ok := r.groups.Get(groupID)
@@ -373,7 +429,7 @@ func (r *Registry) Invite(groupID string, from, to MemberID) (Invitation, error)
 	if !fromIn {
 		return Invitation{}, fmt.Errorf("%w: inviter %q not in %q", ErrNotMember, from, groupID)
 	}
-	if _, ok := r.members[to]; !ok {
+	if _, ok := r.members[to]; !ok && checkInvitee {
 		return Invitation{}, fmt.Errorf("%w: invitee %q", ErrUnknownMember, to)
 	}
 	if toIn {

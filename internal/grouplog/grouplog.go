@@ -180,6 +180,39 @@ func (l *Log) Append(class string, state bool, encode func(gseq, cseq int64) ([]
 	return gseq, nil
 }
 
+// AppendRaw installs an already-stamped event — the cluster takeover
+// path, where an adopting node replays a partition's replicated log
+// suffix into its own plane so clients' per-class cursors keep counting
+// across the handoff. The sequence numbers come from the original
+// owner's append; entries must arrive in GSeq order (out-of-order or
+// duplicate installs are dropped). Nothing is delivered: adoption
+// restores retention and heads, and clients pull what they miss through
+// the ordinary backfill path.
+func (l *Log) AppendRaw(gseq, cseq int64, class string, state bool, wire []byte) {
+	if gseq <= 0 || class == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if gseq <= l.head {
+		return
+	}
+	l.head = gseq
+	if cseq > l.cheads[class] {
+		l.cheads[class] = cseq
+	}
+	if state {
+		l.superseded += l.fresh[class]
+		l.fresh[class] = 0
+		l.latestState[class] = gseq
+	}
+	l.fresh[class]++
+	l.entries = append(l.entries, entry{gseq: gseq, cseq: cseq, class: class, state: state, wire: wire})
+	if len(l.live()) > l.cap {
+		l.compactLocked()
+	}
+}
+
 // compactLocked brings the retained window back under capacity: first
 // it drops every entry superseded by a later state-bearing entry of
 // the same class (skipped outright when the superseded counter says

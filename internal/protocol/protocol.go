@@ -95,6 +95,26 @@ const (
 	// Seq it is fire-and-forget (streaming); with a Seq the server
 	// acks/denies it.
 	TMediaUnit Type = "media_unit"
+	// TNodeHello opens a node-scoped session on a cluster node
+	// (NodeHelloBody): the routing tier binds an already-admitted member
+	// identity to a fresh connection, so a group-partition node can serve
+	// a member whose home (directory entry, token, member log) lives on
+	// another node. Answered by TWelcome; no session token is issued —
+	// tokens belong to the home node.
+	TNodeHello Type = "node_hello"
+	// TForward carries a typed node-to-node forward (ForwardBody): the
+	// inter-node plane for cross-partition state — member-directed
+	// invitations routed to the invitee's home node, logged-event
+	// replication to the partition's successor, and group-membership
+	// replication for takeover. A connection whose first message is a
+	// TForward is a peer link, not a client session.
+	TForward Type = "forward"
+	// TNodeMoved tells a client that one or more of its groups now live
+	// on a different node (NodeMovedBody) — the routing tier pushes it
+	// when a partition is handed off (a node died or the map was
+	// rebalanced). The client converges exactly like a reconnect: one
+	// TBackfill per moved group from its last applied sequence numbers.
+	TNodeMoved Type = "node_moved"
 	// TAck acknowledges a request; TErr reports a failure (ErrBody).
 	TAck Type = "ack"
 	TErr Type = "err"
@@ -114,6 +134,7 @@ var AllTypes = []Type{
 	TReplay, TBackfill, TSnapshot, TModeSwitch, TSubscribe,
 	TClockSync, TStatusProbe, TStatusReport, TLights,
 	TSuspend, TResume, TPresent, TMediaUnit,
+	TNodeHello, TForward, TNodeMoved,
 	TAck, TErr, TBye,
 }
 
@@ -347,12 +368,20 @@ type AnnotateBody struct {
 }
 
 // SequencedBody wraps a broadcast board operation with its server
-// sequence number.
+// sequence number. Under annotation storms the server coalesces
+// contiguous same-author operations into one logged event: the first
+// operation rides the top-level fields and the rest follow in More, in
+// board order — one ring slot, one class sequence number and one
+// fan-out for the whole burst. Recipients apply the top-level operation
+// and then each entry of More exactly as if they had arrived singly.
 type SequencedBody struct {
 	Seq    int64  `json:"seq"`
 	Author string `json:"author"`
 	Kind   string `json:"kind"`
 	Data   string `json:"data"`
+	// More carries the rest of a coalesced burst (nil on singletons and
+	// on private direct-contact lines, which never batch).
+	More []SequencedBody `json:"more,omitempty"`
 }
 
 // ReplayBody requests board operations after a sequence number.
@@ -443,6 +472,13 @@ type LightsBody struct {
 	Lights       map[string]string           `json:"lights"`
 	Backpressure map[string]BackpressureBody `json:"backpressure,omitempty"`
 	Heads        map[string]map[string]int64 `json:"heads,omitempty"`
+	// Origin identifies the shard this push covers: in a cluster each
+	// node pushes the lights of exactly the members it homes, stamped
+	// with its node index, and the client keeps one table per origin —
+	// so a member's disappearance from their home node's next push
+	// prunes them, while other nodes' entries are untouched. Empty on a
+	// standalone server (whose push is the whole table).
+	Origin string `json:"origin,omitempty"`
 }
 
 // SuspendBody names a suspended/resumed member. Suspended restates the
@@ -485,6 +521,123 @@ type PresentBody struct {
 type ErrBody struct {
 	Code   string `json:"code"`
 	Detail string `json:"detail,omitempty"`
+}
+
+// CodeNodeMoved is the TErr code a cluster node answers with when asked
+// to serve a group (or admit a member) it does not own: Detail carries
+// the owning node's address, and a redirect-aware caller — the routing
+// tier, or a directly-dialing client during its handshake — follows it.
+const CodeNodeMoved = "node_moved"
+
+// NodeHelloBody opens a node-scoped session: the routing tier presents
+// an already-admitted member identity (assigned by the member's home
+// node) and the node binds it to this connection without re-admission —
+// same member ID on every node the session touches. Classes is the
+// session's event-class mask, as in HelloBody.
+type NodeHelloBody struct {
+	MemberID string   `json:"member_id"`
+	Name     string   `json:"name"`
+	Role     string   `json:"role"`
+	Priority int      `json:"priority"`
+	Classes  []string `json:"classes,omitempty"`
+}
+
+// NodeMemberInfo is one member record riding a node-to-node forward —
+// the directory row a receiving node upserts before it can serve the
+// member (shadow registration).
+type NodeMemberInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Role     string `json:"role"`
+	Priority int    `json:"priority"`
+}
+
+// FloorReplicaBody is the floor-state blob replicated alongside logged
+// floor/suspend events: everything the partition's successor needs to
+// restore the group's arbitration state on takeover. Queue carries the
+// member IDs in order — the canonical logged bytes redact them (queue
+// slots are private), so takeover cannot be rebuilt from the wire
+// events alone.
+type FloorReplicaBody struct {
+	Mode      string   `json:"mode"`
+	Holder    string   `json:"holder,omitempty"`
+	Queue     []string `json:"queue,omitempty"`
+	Suspended []string `json:"suspended,omitempty"`
+	Pinned    bool     `json:"pinned,omitempty"`
+}
+
+// Forward kinds: the typed node-to-node messages of the cluster plane.
+const (
+	// ForwardInvite delivers a member-directed state event (an
+	// invitation) to the member's home node, which appends it to their
+	// private event log and pushes it to their session.
+	ForwardInvite = "invite"
+	// ForwardReplica replicates one logged group event (the stamped wire
+	// bytes, plus the floor blob for floor/suspend classes) to the
+	// partition's successor node for takeover.
+	ForwardReplica = "replica"
+	// ForwardMembers replicates a group's membership roster (and chair)
+	// to the successor, so a takeover can restore who belongs where.
+	ForwardMembers = "members"
+)
+
+// ForwardBody is a typed node-to-node forward. Kind selects the shape:
+// ForwardInvite carries To (the member) and Msg (the inner event);
+// ForwardReplica carries Group, Msg (the logged wire bytes, sequence
+// numbers already stamped) and optionally Floor; ForwardMembers carries
+// Group, Members and Chair.
+type ForwardBody struct {
+	Kind    string            `json:"kind"`
+	Group   string            `json:"group,omitempty"`
+	To      string            `json:"to,omitempty"`
+	Chair   string            `json:"chair,omitempty"`
+	Members []NodeMemberInfo  `json:"members,omitempty"`
+	Floor   *FloorReplicaBody `json:"floor,omitempty"`
+	Msg     json.RawMessage   `json:"msg,omitempty"`
+}
+
+// NodeMovedBody names the groups whose partition moved to another node.
+// Addr is the new owner (informational — a routed client keeps talking
+// to the router, which already follows the rebalanced map). The client
+// treats each moved group like a reconnect: one TBackfill from its last
+// applied sequence numbers converges floor, suspensions and board.
+// Origin, when set, is the dead node's lights shard (LightsBody.Origin
+// form): that node homes members whose lights it alone reported, so the
+// client flips that shard's entries red — the shard will push no more.
+type NodeMovedBody struct {
+	Groups []string `json:"groups,omitempty"`
+	Addr   string   `json:"addr,omitempty"`
+	Origin string   `json:"origin,omitempty"`
+}
+
+// RequestGroup extracts the group a client request scopes to — the one
+// rule the cluster's routing tier and a node's ownership gate share,
+// so a request can never be routed by one key and gated by another.
+// Most requests carry the group in the envelope; group administration
+// scopes in the body, and a backfill names its log there (empty = the
+// sender's member log, which is home-node state, not a group key).
+func RequestGroup(m Message) string {
+	if m.Group != "" {
+		return m.Group
+	}
+	switch m.Type {
+	case TJoin, TLeave, TCreateGroup:
+		var body GroupBody
+		if m.Into(&body) == nil {
+			return body.Group
+		}
+	case TInvite:
+		var body InviteBody
+		if m.Into(&body) == nil {
+			return body.Group
+		}
+	case TBackfill:
+		var body BackfillBody
+		if m.Into(&body) == nil {
+			return body.Group
+		}
+	}
+	return ""
 }
 
 // New builds a message with a marshalled body. A nil body leaves

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"dmps/internal/protocol"
+	"dmps/internal/whiteboard"
+)
+
+// boardBatchMax bounds a coalesced board event: a storm longer than
+// this flushes mid-tick, keeping any single logged message (and the
+// burst a catching-up client applies at once) small.
+const boardBatchMax = 64
+
+// enqueueBoardOp routes one authoritative board operation into the
+// coalescing plane. The idle path pays nothing: when no batch is open
+// and the last logged board event is at least a CoalesceInterval old,
+// the operation logs immediately (leading-edge flush) — a lone chat
+// line is broadcast inline, exactly as before batching. Only ops
+// arriving within an interval of the last logged event accumulate,
+// going out as one logged event per tick; a different author or a
+// different wire type (chat vs annotate) flushes the open batch first,
+// so attribution, typing and ordering survive verbatim, and
+// boardBatchMax bounds any single event. The operation is already
+// appended to the board; only the logged broadcast defers, by at most
+// one tick, and only under storm. Requires gb.mu — the same lock that
+// serialized append+broadcast before batching, so log order still
+// equals board order.
+func (s *Server) enqueueBoardOp(groupID string, gb *groupBoard, op whiteboard.Op, kind string, typ protocol.Type) {
+	s.boardOps.Add(1)
+	now := s.cfg.Clock.Now()
+	if len(gb.pend) > 0 && (gb.pend[0].Author != op.Author || gb.pendType != typ) {
+		s.flushBoardLocked(groupID, gb)
+	}
+	body := protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data}
+	if len(gb.pend) == 0 && now.Sub(gb.lastLog) >= s.cfg.CoalesceInterval {
+		gb.lastLog = now
+		s.logBoardEvent(groupID, typ, body)
+		return
+	}
+	gb.pendType = typ
+	gb.pend = append(gb.pend, body)
+	if len(gb.pend) >= boardBatchMax {
+		s.flushBoardLocked(groupID, gb)
+	}
+}
+
+// flushBoardLocked logs the group's pending board batch as one event:
+// the first operation rides the top-level body, the rest follow in
+// More. Requires gb.mu.
+func (s *Server) flushBoardLocked(groupID string, gb *groupBoard) {
+	if len(gb.pend) == 0 {
+		return
+	}
+	body := gb.pend[0]
+	if len(gb.pend) > 1 {
+		body.More = append([]protocol.SequencedBody(nil), gb.pend[1:]...)
+	}
+	gb.pend = gb.pend[:0]
+	gb.lastLog = s.cfg.Clock.Now()
+	s.logBoardEvent(groupID, gb.pendType, body)
+}
+
+// logBoardEvent broadcasts one (possibly batched) board event through
+// the log plane, counting it for the storm ratio.
+func (s *Server) logBoardEvent(groupID string, typ protocol.Type, body protocol.SequencedBody) {
+	s.boardEvents.Add(1)
+	event := protocol.MustNew(typ, body)
+	event.Group = groupID
+	s.logBroadcast(groupID, event)
+}
+
+// FlushBoardBatches logs every group's pending board batch now and
+// reports how many events went out. The coalesce loop calls it every
+// CoalesceInterval; tests and benchmarks call it directly for
+// deterministic timing.
+func (s *Server) FlushBoardBatches() int {
+	s.mu.Lock()
+	boards := make(map[string]*groupBoard, len(s.boards))
+	for gid, gb := range s.boards {
+		boards[gid] = gb
+	}
+	s.mu.Unlock()
+	flushed := 0
+	for gid, gb := range boards {
+		gb.mu.Lock()
+		if len(gb.pend) > 0 {
+			s.flushBoardLocked(gid, gb)
+			flushed++
+		}
+		gb.mu.Unlock()
+	}
+	return flushed
+}
+
+// BoardStormStats reports the board-op coalescing ratio: ops counts
+// operations appended to boards, logged counts the coalesced events
+// actually logged. logged/ops is what BenchmarkBoardStorm gates —
+// an annotation storm must cost one ring slot and one fan-out per
+// batch, not per stroke.
+func (s *Server) BoardStormStats() (ops, logged int64) {
+	return s.boardOps.Load(), s.boardEvents.Load()
+}

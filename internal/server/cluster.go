@@ -1,0 +1,417 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"dmps/internal/cluster"
+	"dmps/internal/floor"
+	"dmps/internal/group"
+	"dmps/internal/grouplog"
+	"dmps/internal/protocol"
+	"dmps/internal/transport"
+	"dmps/internal/whiteboard"
+)
+
+// ClusterConfig turns a server into one group-partition node of a
+// multi-process cluster: the node serves only the groups (and homes
+// only the members) the shared partition map assigns to Self, rejects
+// the rest with a "node_moved" redirect, replicates every logged append
+// of its partitions to the ring successor for takeover, and exchanges
+// typed TForward messages with its peers for cross-partition state
+// (invitations to a member's home node). A nil ClusterConfig on
+// Config.Cluster is the ordinary standalone server.
+type ClusterConfig struct {
+	// Nodes lists every node address in ring order — identical on every
+	// node and on the router.
+	Nodes []string
+	// Self is this node's index in Nodes.
+	Self int
+	// Network dials peer nodes (defaults to Config.Network). On netsim
+	// pass the node's own host-pinned dialer so link configs apply.
+	Network transport.Network
+}
+
+// clusterState is a node's runtime cluster machinery: the shared
+// partition map, the pooled peer transport, the replica store holding
+// partitions this node stands by for, and the set of partitions it has
+// adopted after a failover.
+type clusterState struct {
+	cfg   ClusterConfig
+	topo  *cluster.Map
+	pool  *cluster.Pool
+	store *cluster.ReplicaStore
+
+	mu      sync.Mutex
+	adopted map[string]bool
+	// served mirrors adopted with lock-free reads for the append path:
+	// replicateLogged runs inside a group's log lock, and taking mu
+	// there would invert against adoption (which holds mu while
+	// installing into log locks). Entries are stored only after a
+	// takeover's restore completes.
+	served sync.Map
+}
+
+// newClusterState validates and assembles a node's cluster machinery.
+func newClusterState(cfg ClusterConfig, fallback transport.Network, replicaCap int) (*clusterState, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("server: ClusterConfig.Nodes is empty")
+	}
+	if cfg.Self < 0 || cfg.Self >= len(cfg.Nodes) {
+		return nil, fmt.Errorf("server: ClusterConfig.Self %d out of range", cfg.Self)
+	}
+	if cfg.Network == nil {
+		cfg.Network = fallback
+	}
+	return &clusterState{
+		cfg:     cfg,
+		topo:    cluster.NewMap(cfg.Nodes),
+		pool:    cluster.NewPool(cfg.Network),
+		store:   cluster.NewReplicaStore(replicaCap),
+		adopted: make(map[string]bool),
+	}, nil
+}
+
+// ReplicaHead reports the highest replicated GSeq this node holds for a
+// group it stands by for — what tests wait on before killing the owner.
+func (s *Server) ReplicaHead(groupID string) int64 {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.store.Head(groupID)
+}
+
+// homesMember reports whether this node is the member's home — the
+// owner of their directory entry, session token and private event log.
+// Standalone servers home everyone.
+func (s *Server) homesMember(id group.MemberID) bool {
+	if s.cluster == nil {
+		return true
+	}
+	return s.cluster.topo.Primary(cluster.HomeKey(string(id))) == s.cluster.cfg.Self
+}
+
+// ownerAddr names the node currently assigned a partition key (primary
+// assignment; the router layers liveness on top).
+func (s *Server) ownerAddr(key string) string {
+	return s.cluster.cfg.Nodes[s.cluster.topo.Primary(key)]
+}
+
+// servesGroup reports whether this node serves a group's partition:
+// natively (the map's primary), by adoption (a takeover already ran),
+// or by adopting now — the routing tier sent us traffic for a partition
+// we hold a replica of, which is exactly the failover signal. A node
+// with neither claim answers node_moved.
+func (s *Server) servesGroup(groupID string) bool {
+	if s.cluster == nil {
+		return true
+	}
+	if s.cluster.topo.Primary(groupID) == s.cluster.cfg.Self {
+		return true
+	}
+	s.cluster.mu.Lock()
+	defer s.cluster.mu.Unlock()
+	if s.cluster.adopted[groupID] {
+		return true
+	}
+	if !s.cluster.store.Has(groupID) {
+		return false
+	}
+	// Holding a replica is necessary but not sufficient: stray traffic
+	// (a directly-dialing client, a stale route) must not split a
+	// partition whose primary is alive. Probe with a fresh dial — on the
+	// failover path the primary is down and the dial fails fast; while
+	// it is up, the redirect below sends the caller where it belongs.
+	if probe, err := s.cluster.cfg.Network.Dial(s.ownerAddr(groupID)); err == nil {
+		_ = probe.Close()
+		return false
+	}
+	s.adoptLocked(groupID)
+	return true
+}
+
+// servesGroupFast is the append-path form of servesGroup: primary
+// ownership or a completed adoption, with no locks the log append could
+// deadlock against — and no adoption side effect.
+func (s *Server) servesGroupFast(groupID string) bool {
+	if s.cluster.topo.Primary(groupID) == s.cluster.cfg.Self {
+		return true
+	}
+	_, ok := s.cluster.served.Load(groupID)
+	return ok
+}
+
+// adoptLocked takes over a group partition from its replica package:
+// membership is restored into the registry, the floor state (mode,
+// holder, queue, suspensions, pin) into the controller, the logged
+// suffix into the log plane with its original sequence numbers, and the
+// board ops into the authoritative board. Clients then converge through
+// their ordinary backfill path — the restored log replays with the same
+// CSeqs their cursors expect, so a handoff looks exactly like a
+// reconnect, with zero duplicate grants (the holder is restored, never
+// re-granted). Requires s.cluster.mu.
+func (s *Server) adoptLocked(groupID string) {
+	rep, ok := s.cluster.store.Take(groupID)
+	if !ok {
+		return
+	}
+	s.cluster.adopted[groupID] = true
+	defer s.cluster.served.Store(groupID, true)
+	chair := group.MemberID(rep.Chair)
+	for _, m := range rep.Members {
+		_ = s.registry.EnsureMember(memberFromInfo(m))
+	}
+	if chair != "" {
+		if err := s.registry.CreateGroup(groupID, chair); err != nil && !errors.Is(err, group.ErrDuplicate) {
+			// Without a chair record the group cannot be rebuilt; serve
+			// what the floor/log restore below still provides.
+			_ = err
+		}
+		for _, m := range rep.Members {
+			_ = s.registry.Join(groupID, group.MemberID(m.ID))
+		}
+	}
+	if rep.Floor != nil {
+		mode, ok := floor.ParseMode(rep.Floor.Mode)
+		if !ok {
+			mode = floor.FreeAccess
+		}
+		queue := make([]group.MemberID, 0, len(rep.Floor.Queue))
+		for _, m := range rep.Floor.Queue {
+			queue = append(queue, group.MemberID(m))
+		}
+		suspended := make([]group.MemberID, 0, len(rep.Floor.Suspended))
+		for _, m := range rep.Floor.Suspended {
+			suspended = append(suspended, group.MemberID(m))
+		}
+		s.floorCtl.Restore(groupID, mode, group.MemberID(rep.Floor.Holder), queue, suspended, rep.Floor.Pinned)
+	}
+	lg := s.logs.Get(groupID)
+	gb := s.board(groupID)
+	for _, ev := range rep.Events {
+		lg.AppendRaw(ev.GSeq, ev.CSeq, ev.Class, ev.State, ev.Wire)
+		if ev.Class != protocol.ClassBoard {
+			continue
+		}
+		var msg protocol.Message
+		if json.Unmarshal(ev.Wire, &msg) != nil {
+			continue
+		}
+		var body protocol.SequencedBody
+		if msg.Into(&body) != nil || body.Seq == 0 {
+			continue
+		}
+		// A coalesced event carries a burst: the top-level op plus the
+		// rest in More. Converge (not Apply): the replicated suffix is
+		// authoritative but may start past history the retention window
+		// dropped — a leading hole must not reject the retained tail.
+		ops := append([]protocol.SequencedBody{body}, body.More...)
+		gb.mu.Lock()
+		for _, op := range ops {
+			if kind, ok := whiteboard.ParseOpKind(op.Kind); ok {
+				_ = gb.board.Converge(whiteboard.Op{Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data})
+			}
+		}
+		gb.mu.Unlock()
+	}
+	// Never re-mint board sequence numbers clients already applied: even
+	// if the retained suffix missed tail ops (a trimmed window, a
+	// dropped best-effort forward), minting resumes past the owner's
+	// known head.
+	gb.mu.Lock()
+	gb.board.SkipTo(rep.BoardHead)
+	gb.mu.Unlock()
+}
+
+// memberFromInfo converts a replicated directory row back to a Member.
+func memberFromInfo(m protocol.NodeMemberInfo) group.Member {
+	role := group.Participant
+	if strings.EqualFold(m.Role, "chair") {
+		role = group.Chair
+	}
+	return group.Member{ID: group.MemberID(m.ID), Name: m.Name, Role: role, Priority: m.Priority}
+}
+
+// memberInfo converts a directory row to its replication form.
+func memberInfo(m group.Member) protocol.NodeMemberInfo {
+	return protocol.NodeMemberInfo{ID: string(m.ID), Name: m.Name, Role: m.Role.String(), Priority: m.Priority}
+}
+
+// successorAddr names the peer this node replicates its partitions to:
+// the ring successor of Self ("" outside cluster mode or in a
+// single-node ring).
+func (s *Server) successorAddr() string {
+	if s.cluster == nil || len(s.cluster.cfg.Nodes) < 2 {
+		return ""
+	}
+	return s.cluster.cfg.Nodes[s.cluster.topo.Successor(s.cluster.cfg.Self)]
+}
+
+// replicateLogged ships one logged append (the stamped fan-out bytes,
+// verbatim) to the ring successor, with the floor-state blob attached
+// for the classes whose takeover state the redacted wire bytes cannot
+// carry (queue membership is private on the wire). It runs inside the
+// log append's deliver callback — the pool enqueue never blocks — so
+// the replica stream observes exactly the log's order. The envelope is
+// built with cluster.WrapForward (plain json.Marshal, reusing the
+// already-encoded event bytes), keeping the encode-once invariant of
+// the per-recipient hot path intact.
+func (s *Server) replicateLogged(groupID, class string, wire []byte) {
+	succ := s.successorAddr()
+	if succ == "" || !s.servesGroupFast(groupID) {
+		return
+	}
+	fwd := protocol.ForwardBody{Kind: protocol.ForwardReplica, Group: groupID, Msg: wire}
+	if class == protocol.ClassFloor || class == protocol.ClassSuspend {
+		mode, holder, queue, suspended, pinned := s.floorCtl.StateSnapshot(groupID)
+		blob := &protocol.FloorReplicaBody{
+			Mode: mode.String(), Holder: string(holder), Pinned: pinned,
+		}
+		for _, m := range queue {
+			blob.Queue = append(blob.Queue, string(m))
+		}
+		for _, m := range suspended {
+			blob.Suspended = append(blob.Suspended, string(m))
+		}
+		fwd.Floor = blob
+	}
+	s.cluster.pool.Send(succ, cluster.WrapForward(fwd))
+}
+
+// replicateMembers ships a group's membership roster and chair to the
+// ring successor after a membership change, so a takeover can restore
+// who belongs where. No-op outside cluster mode.
+func (s *Server) replicateMembers(groupID string) {
+	if s.cluster == nil {
+		return
+	}
+	succ := s.successorAddr()
+	if succ == "" || !s.servesGroup(groupID) {
+		return
+	}
+	members, err := s.registry.GroupMembers(groupID)
+	if err != nil {
+		return
+	}
+	chair, _ := s.registry.Chair(groupID)
+	fwd := protocol.ForwardBody{Kind: protocol.ForwardMembers, Group: groupID, Chair: string(chair)}
+	for _, m := range members {
+		fwd.Members = append(fwd.Members, memberInfo(m))
+	}
+	s.cluster.pool.Send(succ, cluster.WrapForward(fwd))
+}
+
+// deliverMemberEvent routes a member-directed state event (an
+// invitation) to wherever the member's private event log lives: the
+// local log plane when this node homes them, a typed ForwardInvite to
+// their home node otherwise. The home node appends it there — same
+// sequence discipline, same backfill — so invitations work across
+// partitions.
+func (s *Server) deliverMemberEvent(id group.MemberID, msg protocol.Message) {
+	if s.homesMember(id) {
+		s.logSendTo(id, msg)
+		return
+	}
+	wire, err := protocol.Encode(msg)
+	if err != nil {
+		return
+	}
+	fwd := protocol.ForwardBody{Kind: protocol.ForwardInvite, To: string(id), Msg: wire}
+	s.cluster.pool.Send(s.ownerAddr(cluster.HomeKey(string(id))), cluster.WrapForward(fwd))
+}
+
+// peerLoop serves one inter-node link: a connection whose first message
+// was a TForward processes forwards until the peer hangs up. Peer links
+// carry no session and get no replies — forwards are one-way by design.
+// The connection is tracked so Close can sever it (it is not in the
+// session table).
+func (s *Server) peerLoop(conn transport.Conn, first protocol.Message) {
+	s.mu.Lock()
+	if s.peerLinks == nil {
+		s.peerLinks = make(map[transport.Conn]bool)
+	}
+	s.peerLinks[conn] = true
+	s.mu.Unlock()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.peerLinks, conn)
+		s.mu.Unlock()
+	}()
+	s.handleForward(first)
+	for {
+		wire, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := protocol.Decode(wire)
+		if err != nil || msg.Type != protocol.TForward {
+			continue
+		}
+		s.handleForward(msg)
+	}
+}
+
+// handleForward applies one typed node-to-node forward.
+func (s *Server) handleForward(msg protocol.Message) {
+	if s.cluster == nil {
+		return
+	}
+	var body protocol.ForwardBody
+	if msg.Into(&body) != nil {
+		return
+	}
+	switch body.Kind {
+	case protocol.ForwardReplica:
+		if body.Group != "" && len(body.Msg) > 0 {
+			s.cluster.store.ApplyEvent(body.Group, body.Msg, body.Floor)
+		}
+	case protocol.ForwardMembers:
+		if body.Group != "" {
+			s.cluster.store.ApplyMembers(body.Group, body.Chair, body.Members)
+		}
+	case protocol.ForwardInvite:
+		if body.To == "" || len(body.Msg) == 0 {
+			return
+		}
+		inner, err := protocol.Decode(body.Msg)
+		if err != nil {
+			return
+		}
+		// This node is authoritative for the members it homes: every
+		// live member's hello came here, so an unknown ID names a member
+		// that does not exist (or was reaped). Drop the forward rather
+		// than fabricate a ghost directory row and a member log nobody
+		// will ever read — the group owner's invite record stays pending
+		// and undeliverable, the documented best-effort shape of
+		// cross-partition invitations to bad IDs.
+		if _, err := s.registry.Member(group.MemberID(body.To)); err != nil {
+			return
+		}
+		s.logSendTo(group.MemberID(body.To), inner)
+	}
+}
+
+// clusterGroupGate rejects a group-scoped request for a partition this
+// node does not serve, answering the typed node_moved redirect whose
+// detail is the owning node's address. It reports whether the request
+// was intercepted.
+func (s *Server) clusterGroupGate(sess *session, msg protocol.Message) bool {
+	if s.cluster == nil {
+		return false
+	}
+	gid := protocol.RequestGroup(msg)
+	if gid == "" || s.servesGroup(gid) {
+		return false
+	}
+	s.replyErr(sess, msg.Seq, protocol.CodeNodeMoved, errors.New(s.ownerAddr(gid)))
+	return true
+}
+
+// MemberLogKeyOf is a small test hook: the member-log key a member's
+// invitations land under (re-exported so cluster tests outside this
+// package need not import grouplog).
+func MemberLogKeyOf(memberID string) string { return grouplog.MemberKey(memberID) }

@@ -54,7 +54,8 @@ func (s *Server) CoalesceStats() (marked, logged int64) {
 	return s.restateMarked.Load(), s.restateLogged.Load()
 }
 
-// coalesceLoop flushes the dirty-queue set every CoalesceInterval.
+// coalesceLoop flushes the dirty-queue set and the pending board
+// batches every CoalesceInterval.
 func (s *Server) coalesceLoop() {
 	defer s.wg.Done()
 	for {
@@ -64,5 +65,6 @@ func (s *Server) coalesceLoop() {
 		case <-s.cfg.Clock.After(s.cfg.CoalesceInterval):
 		}
 		s.FlushQueueRestatements()
+		s.FlushBoardBatches()
 	}
 }

@@ -11,8 +11,13 @@ import (
 	"dmps/internal/whiteboard"
 )
 
-// dispatch routes one decoded client message.
+// dispatch routes one decoded client message. In cluster mode a
+// group-scoped request for a partition this node does not serve is
+// intercepted first and answered with the typed node_moved redirect.
 func (s *Server) dispatch(sess *session, msg protocol.Message) {
+	if s.clusterGroupGate(sess, msg) {
+		return
+	}
 	switch msg.Type {
 	case protocol.TJoin:
 		s.onJoin(sess, msg)
@@ -87,6 +92,7 @@ func (s *Server) onJoin(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
+	s.replicateMembers(body.Group)
 	// One snapshot converges the late joiner: board history, floor
 	// state, suspensions, and the log position live events continue from.
 	s.sendSnapshot(sess, body.Group, 0)
@@ -108,6 +114,7 @@ func (s *Server) onCreateGroup(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
+	s.replicateMembers(body.Group)
 }
 
 func (s *Server) onLeave(sess *session, msg protocol.Message) {
@@ -121,6 +128,7 @@ func (s *Server) onLeave(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, protocol.GroupBody{Group: body.Group})
+	s.replicateMembers(body.Group)
 }
 
 // onFloorRequest runs FCM-Arbitrate and reports the decision. Every
@@ -332,7 +340,18 @@ func (s *Server) onInvite(sess *session, msg protocol.Message) {
 		s.replyErr(sess, msg.Seq, "bad_body", err)
 		return
 	}
-	inv, err := s.registry.Invite(body.Group, sess.member.ID, group.MemberID(body.To))
+	to := group.MemberID(body.To)
+	invite := s.registry.Invite
+	if s.cluster != nil && !s.homesMember(to) {
+		// Cross-partition invitation: the invitee's directory row lives
+		// on their home node, not here, so the record is created without
+		// the local existence check — no fabricated (and unreapable)
+		// directory row. The home node validates existence at delivery;
+		// an accepted invite registers the member properly when their
+		// node-scoped session opens.
+		invite = s.registry.InviteRemote
+	}
+	inv, err := invite(body.Group, sess.member.ID, to)
 	if err != nil {
 		s.replyErr(sess, msg.Seq, "invite", err)
 		return
@@ -341,9 +360,10 @@ func (s *Server) onInvite(sess *session, msg protocol.Message) {
 	note := protocol.MustNew(protocol.TInviteEvent, protocol.InviteEventBody{
 		InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
 	})
-	// Member-directed state: logged in the invitee's own event log, so a
-	// drop (or an offline invitee) is repaired through backfill.
-	s.logSendTo(inv.To, note)
+	// Member-directed state: logged in the invitee's own event log — on
+	// their home node, across a typed forward if that is another process
+	// — so a drop (or an offline invitee) is repaired through backfill.
+	s.deliverMemberEvent(inv.To, note)
 }
 
 func (s *Server) onInviteReply(sess *session, msg protocol.Message) {
@@ -362,6 +382,7 @@ func (s *Server) onInviteReply(sess *session, msg protocol.Message) {
 	outcome := "declined"
 	if inv.Status == group.Accepted {
 		outcome = "accepted"
+		s.replicateMembers(inv.Group)
 		// One snapshot converges the new member on the sub-group.
 		s.sendSnapshot(sess, inv.Group, 0)
 	}
@@ -415,11 +436,10 @@ func (s *Server) onChat(sess *session, msg protocol.Message) {
 		s.replyErr(sess, msg.Seq, "board", err)
 		return
 	}
-	event := protocol.MustNew(protocol.TChatEvent, protocol.SequencedBody{
-		Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data,
-	})
-	event.Group = msg.Group
-	s.logBroadcast(msg.Group, event)
+	// The broadcast coalesces under storms: contiguous same-author lines
+	// within a tick ride a single logged event; an idle board logs
+	// inline (leading-edge flush).
+	s.enqueueBoardOp(msg.Group, gb, op, "text", protocol.TChatEvent)
 	gb.mu.Unlock()
 	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: "text", Data: op.Data})
 }
@@ -451,11 +471,10 @@ func (s *Server) onAnnotate(sess *session, msg protocol.Message) {
 		s.replyErr(sess, msg.Seq, "board", err)
 		return
 	}
-	event := protocol.MustNew(protocol.TAnnotateEvent, protocol.SequencedBody{
-		Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data,
-	})
-	event.Group = msg.Group
-	s.logBroadcast(msg.Group, event)
+	// An annotation storm coalesces into per-tick batched events; the
+	// authoritative append above is immediate either way, and an idle
+	// board logs inline.
+	s.enqueueBoardOp(msg.Group, gb, op, body.Kind, protocol.TAnnotateEvent)
 	gb.mu.Unlock()
 	s.replyAck(sess, msg.Seq, protocol.SequencedBody{Seq: op.Seq, Author: op.Author, Kind: body.Kind, Data: op.Data})
 }

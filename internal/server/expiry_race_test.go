@@ -1,0 +1,59 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/netsim"
+)
+
+// TestReconnectExpiredMidResume is the regression test for the
+// reap-races-the-resume window: the session token resolves when the
+// resume handshake first checks it, and a Reap revokes it before the
+// install-time re-check. The client's Reconnect must surface the typed
+// ErrSessionExpired — not a generic handshake failure, and never a
+// welcome followed by a dead connection (the re-check runs before the
+// welcome is written).
+func TestReconnectExpiredMidResume(t *testing.T) {
+	n := netsim.New(5)
+	srv, err := New(Config{
+		Network:       n,
+		Addr:          "server:1",
+		ProbeInterval: 20 * time.Millisecond,
+		SessionTTL:    time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+
+	cl, err := client.Dial(client.Config{
+		Network: n.From("host"), Addr: "server:1",
+		Name: "racer", Role: "participant", Priority: 2,
+		Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.Join("class"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Drop()
+
+	// Fire the reap exactly inside the race window: after the resume
+	// hello's token resolved, before the re-check that installs the
+	// session.
+	testResumeRaceHook = func() {
+		srv.Reap(srv.cfg.Clock.Now().Add(2 * time.Hour))
+	}
+	t.Cleanup(func() { testResumeRaceHook = nil })
+
+	err = cl.Reconnect()
+	if !errors.Is(err, client.ErrSessionExpired) {
+		t.Fatalf("Reconnect with mid-resume reap = %v, want ErrSessionExpired", err)
+	}
+}

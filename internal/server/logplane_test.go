@@ -120,6 +120,10 @@ func TestStallPastRingSnapshotBackfill(t *testing.T) {
 		if err := writer.Chat("class", "line"); err != nil {
 			t.Fatal(err)
 		}
+		// Flush each line into its own logged event: this test is about
+		// wrapping the ring, not about the storm coalescing that would
+		// otherwise compress the burst into a handful of events.
+		srv.FlushBoardBatches()
 	}
 	if _, err := writer.RequestFloor("class", floor.EqualControl, ""); err != nil {
 		t.Fatal(err)

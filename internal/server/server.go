@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"dmps/internal/clock"
+	"dmps/internal/cluster"
 	"dmps/internal/floor"
 	"dmps/internal/group"
 	"dmps/internal/grouplog"
@@ -137,6 +138,14 @@ type Config struct {
 	// growth bound that keeps a million-user directory from
 	// accumulating every member that ever connected. Default one hour.
 	SessionTTL time.Duration
+	// Cluster, when set, runs this server as one group-partition node of
+	// a multi-process cluster: it serves only the partitions the shared
+	// map assigns to it (rejecting the rest with a node_moved redirect),
+	// homes only the members whose hash lands on it, replicates its
+	// partitions' logged appends to the ring successor, and speaks typed
+	// TForward messages with its peers. Nil is the ordinary standalone
+	// server.
+	Cluster *ClusterConfig
 }
 
 // Server is a running DMPS server.
@@ -147,12 +156,16 @@ type Server struct {
 	floorCtl *floor.Controller
 	master   *clock.Master
 	logs     *grouplog.Plane
+	cluster  *clusterState // nil outside cluster mode
 
 	nextID atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[group.MemberID]*session
 	boards   map[string]*groupBoard
+	// peerLinks tracks inbound inter-node connections (they carry no
+	// session), so Close can sever them.
+	peerLinks map[transport.Conn]bool
 	// tokens maps session-resume tokens to members (and tokenOf the
 	// reverse): a reconnecting client presents its token in THello and
 	// is re-bound to the same member identity without re-joining groups.
@@ -168,6 +181,11 @@ type Server struct {
 	// the coalescing ratio the queue-churn benchmark gates on.
 	restateMarked atomic.Int64
 	restateLogged atomic.Int64
+	// boardOps counts board operations appended; boardEvents the
+	// coalesced logged events they produced — the annotation-storm
+	// ratio BenchmarkBoardStorm gates on.
+	boardOps    atomic.Int64
+	boardEvents atomic.Int64
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
@@ -181,6 +199,12 @@ type Server struct {
 type session struct {
 	member group.Member
 	conn   transport.Conn
+	// homed marks a session admitted by this node's own handshake (the
+	// member's home is here); node-scoped sessions opened by the routing
+	// tier for remote-homed members are not homed, and in cluster mode
+	// the lights/backpressure tables cover homed sessions only — a node
+	// tracks lights for exactly the members it homes.
+	homed bool
 
 	// queue carries encoded wire messages to the writer goroutine.
 	queue chan []byte
@@ -416,6 +440,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SessionTTL <= 0 {
 		cfg.SessionTTL = time.Hour
 	}
+	var cl *clusterState
+	if cfg.Cluster != nil {
+		var err error
+		if cl, err = newClusterState(*cfg.Cluster, cfg.Network, cfg.LogCap); err != nil {
+			return nil, err
+		}
+	}
 	l, err := cfg.Network.Listen(cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -432,6 +463,7 @@ func New(cfg Config) (*Server, error) {
 		boards:   make(map[string]*groupBoard),
 		tokens:   make(map[string]group.MemberID),
 		tokenOf:  make(map[group.MemberID]string),
+		cluster:  cl,
 		closed:   make(chan struct{}),
 	}
 	s.wg.Add(2)
@@ -481,17 +513,29 @@ func (s *Server) Close() {
 		for _, sess := range s.sessions {
 			_ = sess.conn.Close()
 		}
+		for conn := range s.peerLinks {
+			_ = conn.Close()
+		}
 		s.mu.Unlock()
+		if s.cluster != nil {
+			s.cluster.pool.Close()
+		}
 	})
 	s.wg.Wait()
 }
 
-// handle runs one client session: handshake, then the message loop.
+// handle runs one client session: handshake, then the message loop. A
+// connection whose first message is a TForward is an inter-node peer
+// link and runs the forward loop instead.
 func (s *Server) handle(conn transport.Conn) {
 	defer s.wg.Done()
-	sess, err := s.handshake(conn)
+	sess, peer, err := s.handshake(conn)
 	if err != nil {
 		_ = conn.Close()
+		return
+	}
+	if sess == nil {
+		s.peerLoop(conn, peer)
 		return
 	}
 	for {
@@ -514,66 +558,136 @@ func (s *Server) handle(conn transport.Conn) {
 	}
 }
 
-// handshake admits a client: the first message must be THello. A hello
+// testResumeRaceHook, when set by a test, runs between the resume
+// handshake's first token check and the install-time re-check —
+// the window a concurrent Reap can revoke the token in.
+var testResumeRaceHook func()
+
+// rejectExpired answers a resume attempt whose token no longer resolves
+// with the typed session_expired error before the connection closes, so
+// the client can tell an expired session apart from a network failure —
+// on every path, including the reap-races-the-resume window.
+func rejectExpired(conn transport.Conn, seq int64) {
+	reject := protocol.MustNew(protocol.TErr, protocol.ErrBody{
+		Code:   "session_expired",
+		Detail: "unknown or expired session token; reconnect with a fresh hello",
+	})
+	reject.Seq = seq
+	if wire, err := protocol.Encode(reject); err == nil {
+		_ = conn.Send(wire)
+	}
+}
+
+// handshake admits a client: the first message must be THello (or, on a
+// cluster node, a TNodeHello binding a remote-homed member, or a
+// TForward opening a peer link — returned with a nil session). A hello
 // carrying a session token resumes the member it was issued to — the
 // new connection displaces any stale session still in the table, and
 // the client converges through TBackfill instead of re-joining groups.
-func (s *Server) handshake(conn transport.Conn) (*session, error) {
+func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, error) {
 	wire, err := conn.Recv()
 	if err != nil {
-		return nil, err
+		return nil, protocol.Message{}, err
 	}
 	msg, err := protocol.Decode(wire)
-	if err != nil || msg.Type != protocol.THello {
-		return nil, fmt.Errorf("server: handshake: got %v (%w)", msg.Type, transport.ErrClosed)
+	if err != nil {
+		return nil, protocol.Message{}, fmt.Errorf("server: handshake: %w (%w)", err, transport.ErrClosed)
 	}
+	homed := true
+	var member group.Member
 	var hello protocol.HelloBody
-	if err := msg.Into(&hello); err != nil {
-		return nil, err
+	fresh := true
+	switch msg.Type {
+	case protocol.THello:
+		if err := msg.Into(&hello); err != nil {
+			return nil, protocol.Message{}, err
+		}
+	case protocol.TForward:
+		if s.cluster == nil {
+			return nil, protocol.Message{}, fmt.Errorf("server: handshake: forward outside cluster mode (%w)", transport.ErrClosed)
+		}
+		return nil, msg, nil
+	case protocol.TNodeHello:
+		if s.cluster == nil {
+			return nil, protocol.Message{}, fmt.Errorf("server: handshake: node hello outside cluster mode (%w)", transport.ErrClosed)
+		}
+		var nh protocol.NodeHelloBody
+		if err := msg.Into(&nh); err != nil {
+			return nil, protocol.Message{}, err
+		}
+		if nh.MemberID == "" {
+			return nil, protocol.Message{}, fmt.Errorf("server: handshake: node hello without member (%w)", transport.ErrClosed)
+		}
+		member = memberFromInfo(protocol.NodeMemberInfo{ID: nh.MemberID, Name: nh.Name, Role: nh.Role, Priority: nh.Priority})
+		if err := s.registry.EnsureMember(member); err != nil {
+			return nil, protocol.Message{}, err
+		}
+		hello.Classes = nh.Classes
+		homed = false
+		fresh = false
+	default:
+		return nil, protocol.Message{}, fmt.Errorf("server: handshake: got %v (%w)", msg.Type, transport.ErrClosed)
 	}
 
-	var member group.Member
-	fresh := hello.Token == ""
-	if fresh {
-		role := group.Participant
-		if strings.EqualFold(hello.Role, "chair") {
-			role = group.Chair
-		}
-		// Admission needs no server-wide lock: the ID counter is atomic
-		// and the registry guards itself.
-		id := group.MemberID(fmt.Sprintf("%s#%d", sanitize(hello.Name), s.nextID.Add(1)))
-		member = group.Member{ID: id, Name: hello.Name, Role: role, Priority: hello.Priority}
-		if err := s.registry.Register(member); err != nil {
-			return nil, err
-		}
-	} else {
-		s.mu.Lock()
-		id, ok := s.tokens[hello.Token]
-		s.mu.Unlock()
-		if !ok {
-			// The token was reaped (SessionTTL) or never issued. Answer
-			// with a typed error before closing so the client can tell an
-			// expired session apart from a network failure and knows a
-			// fresh hello is its only way back in.
-			reject := protocol.MustNew(protocol.TErr, protocol.ErrBody{
-				Code:   "session_expired",
-				Detail: "unknown or expired session token; reconnect with a fresh hello",
-			})
-			reject.Seq = msg.Seq
-			if wire, encErr := protocol.Encode(reject); encErr == nil {
-				_ = conn.Send(wire)
+	if homed {
+		fresh = hello.Token == ""
+		if fresh {
+			role := group.Participant
+			if strings.EqualFold(hello.Role, "chair") {
+				role = group.Chair
 			}
-			return nil, fmt.Errorf("server: handshake: unknown session token (%w)", transport.ErrClosed)
-		}
-		if member, err = s.registry.Member(id); err != nil {
-			return nil, err
+			// A cluster node homes only the members whose hash lands on
+			// it: a directly-dialing client whose home is elsewhere gets
+			// the typed redirect and follows it.
+			if s.cluster != nil {
+				key := cluster.HomeKey(group.SanitizeName(hello.Name))
+				if !s.homesMember(group.MemberID(key)) {
+					reject := protocol.MustNew(protocol.TErr, protocol.ErrBody{
+						Code: protocol.CodeNodeMoved, Detail: s.ownerAddr(key),
+					})
+					reject.Seq = msg.Seq
+					if w, encErr := protocol.Encode(reject); encErr == nil {
+						_ = conn.Send(w)
+					}
+					return nil, protocol.Message{}, fmt.Errorf("server: handshake: member homed elsewhere (%w)", transport.ErrClosed)
+				}
+			}
+			// Admission needs no server-wide lock: the ID counter is atomic
+			// and the registry guards itself.
+			id := group.MemberID(fmt.Sprintf("%s#%d", group.SanitizeName(hello.Name), s.nextID.Add(1)))
+			member = group.Member{ID: id, Name: hello.Name, Role: role, Priority: hello.Priority}
+			if err := s.registry.Register(member); err != nil {
+				return nil, protocol.Message{}, err
+			}
+		} else {
+			s.mu.Lock()
+			id, ok := s.tokens[hello.Token]
+			s.mu.Unlock()
+			if !ok {
+				// The token was reaped (SessionTTL) or never issued.
+				rejectExpired(conn, msg.Seq)
+				return nil, protocol.Message{}, fmt.Errorf("server: handshake: unknown session token (%w)", transport.ErrClosed)
+			}
+			if member, err = s.registry.Member(id); err != nil {
+				return nil, protocol.Message{}, err
+			}
+			if testResumeRaceHook != nil {
+				// Test seam for the reap-races-the-resume window: the
+				// token resolved above, and whatever runs here (a reap)
+				// must still surface as the typed session_expired below.
+				testResumeRaceHook()
+			}
 		}
 	}
-	token := s.issueToken(member.ID)
+	token := ""
+	if homed {
+		token = s.issueToken(member.ID)
+	}
 
 	sess := &session{
 		member:   member,
 		conn:     conn,
+		homed:    homed,
 		queue:    make(chan []byte, s.cfg.SendQueueCap),
 		down:     make(chan struct{}),
 		lastSeen: s.cfg.Clock.Now(),
@@ -589,15 +703,8 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		Token:           token,
 	})
 	welcome.Seq = msg.Seq
-	if err := sess.sendDirect(welcome); err != nil {
-		if fresh {
-			s.registry.Unregister(member.ID)
-		}
-		_ = conn.Close()
-		return nil, err
-	}
 	s.mu.Lock()
-	if !fresh {
+	if homed && !fresh {
 		// Re-check the token under the same lock that installs the
 		// session: Reap revokes a member's token and collects their
 		// stale session in one critical section, so a token still
@@ -606,15 +713,19 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		// lastSeen keeps the member alive. A token gone means the
 		// member was reaped mid-handshake: back out, including the
 		// token issueToken just re-minted (the member is gone, so that
-		// entry could never be cleaned up again).
+		// entry could never be cleaned up again), and reject with the
+		// same typed session_expired the up-front check answers — the
+		// race must not masquerade as a network failure to the client,
+		// which is why the re-check runs before the welcome is written.
 		if id, ok := s.tokens[hello.Token]; !ok || id != member.ID {
 			if tok, ok := s.tokenOf[member.ID]; ok {
 				delete(s.tokens, tok)
 				delete(s.tokenOf, member.ID)
 			}
 			s.mu.Unlock()
+			rejectExpired(conn, msg.Seq)
 			_ = conn.Close()
-			return nil, fmt.Errorf("server: handshake: session reaped during resume (%w)", transport.ErrClosed)
+			return nil, protocol.Message{}, fmt.Errorf("server: handshake: session reaped during resume (%w)", transport.ErrClosed)
 		}
 	}
 	old := s.sessions[member.ID]
@@ -627,9 +738,24 @@ func (s *Server) handshake(conn transport.Conn) (*session, error) {
 		// replaced, so the member's light reflects the new session.
 		s.disconnect(old)
 	}
+	// The session is in the table, but its writer has not started: the
+	// direct welcome send below is still the first message on the wire —
+	// broadcasts racing this window only queue.
+	if err := sess.sendDirect(welcome); err != nil {
+		s.mu.Lock()
+		if s.sessions[member.ID] == sess {
+			delete(s.sessions, member.ID)
+		}
+		s.mu.Unlock()
+		s.disconnect(sess)
+		if fresh && homed {
+			s.registry.Unregister(member.ID)
+		}
+		return nil, protocol.Message{}, err
+	}
 	s.wg.Add(1)
 	go s.writeLoop(sess)
-	return sess, nil
+	return sess, protocol.Message{}, nil
 }
 
 // issueToken returns the member's session-resume token, minting one on
@@ -652,22 +778,6 @@ func (s *Server) issueToken(id group.MemberID) string {
 	s.tokens[tok] = id
 	s.tokenOf[id] = tok
 	return tok
-}
-
-func sanitize(name string) string {
-	name = strings.ToLower(strings.TrimSpace(name))
-	name = strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
-			return r
-		default:
-			return '-'
-		}
-	}, name)
-	if name == "" {
-		name = "member"
-	}
-	return name
 }
 
 // disconnect marks the session dead (light turns red; membership and
@@ -717,10 +827,19 @@ func (s *Server) disconnect(sess *session) {
 // groupBoard pairs the authoritative board with a mutex that serializes
 // append+broadcast, so every connection observes operations in sequence
 // order (concurrent handler goroutines would otherwise interleave a later
-// sequence number ahead of an earlier one).
+// sequence number ahead of an earlier one). pend is the group's pending
+// coalesced board batch: contiguous same-author operations accumulate
+// here and go out as one logged event per CoalesceInterval tick.
 type groupBoard struct {
 	mu    sync.Mutex
 	board *whiteboard.Board
+	// pend is the open coalesced batch (one author, one wire type);
+	// pendType its envelope type and lastLog when the group last logged
+	// a board event — the leading-edge clock that lets an idle board
+	// broadcast inline.
+	pend     []protocol.SequencedBody
+	pendType protocol.Type
+	lastLog  time.Time
 }
 
 // board returns (creating) the group's authoritative board.
@@ -849,6 +968,9 @@ func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
 		return protocol.Encode(msg)
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, class, wire)
+		if s.cluster != nil {
+			s.replicateLogged(groupID, class, wire)
+		}
 	})
 }
 
@@ -906,6 +1028,11 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 			}
 			s.sendWire(sess, w)
 		}
+		if s.cluster != nil {
+			// The canonical (redacted) bytes replicate; the queue's member
+			// identities travel in the floor blob replicateLogged attaches.
+			s.replicateLogged(groupID, protocol.ClassFloor, wire)
+		}
 	})
 }
 
@@ -950,6 +1077,9 @@ func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, le
 		return protocol.Encode(msg)
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, protocol.ClassSuspend, wire)
+		if s.cluster != nil {
+			s.replicateLogged(groupID, protocol.ClassSuspend, wire)
+		}
 	})
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"maps"
 
 	"dmps/internal/grouplog"
@@ -90,6 +91,15 @@ func (s *Server) broadcastLights() {
 	lights := make(map[string]string, len(sessions))
 	drops := make(map[string]int64, len(sessions))
 	for _, sess := range sessions {
+		// The lights and backpressure tables are sharded by home node: in
+		// cluster mode each node names only the members it homes, so no
+		// table anywhere grows with the whole fleet — a client merges the
+		// per-node tables it receives. (Node-scoped sessions still receive
+		// the push below: it carries the heads digest for the groups this
+		// node owns.)
+		if s.cluster != nil && !sess.homed {
+			continue
+		}
 		id := string(sess.member.ID)
 		lights[id] = string(sess.light(now, s.cfg.ProbeTimeout))
 		drops[id] = sess.drops.Load()
@@ -118,6 +128,9 @@ func (s *Server) broadcastLights() {
 		if backpress == nil {
 			backpress = make(map[string]protocol.BackpressureBody, len(sessions))
 			for _, other := range sessions {
+				if s.cluster != nil && !other.homed {
+					continue
+				}
 				backpress[string(other.member.ID)] = protocol.BackpressureBody{
 					QueueDepth: len(other.queue),
 					QueueCap:   cap(other.queue),
@@ -129,6 +142,12 @@ func (s *Server) broadcastLights() {
 			Lights:       lights,
 			Backpressure: backpress,
 			Heads:        myHeads,
+		}
+		if s.cluster != nil {
+			// Stamp the shard so clients replace this node's entries
+			// wholesale (pruning departed members) instead of merging
+			// blindly across nodes.
+			body.Origin = fmt.Sprintf("n%d", s.cluster.cfg.Self)
 		}
 		if s.sendMsg(sess, protocol.MustNew(protocol.TLights, body)) {
 			sess.mu.Lock()

@@ -127,6 +127,41 @@ func (b *Board) Apply(op Op) error {
 	}
 }
 
+// Converge integrates an operation from an AUTHORITATIVE catch-up
+// payload (a snapshot, or a cluster takeover's replicated suffix):
+// unlike Apply, a sequence jump is accepted — the source is the
+// server's own board, so missing predecessors are not "loss to repair"
+// but history the retention window no longer holds. The skipped range
+// stays empty; replicas converge on the retained suffix. Duplicates
+// remain no-ops.
+func (b *Board) Converge(op Op) error {
+	if op.Seq <= 0 || op.Author == "" {
+		return fmt.Errorf("%w: %+v", ErrBadOp, op)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if op.Seq < b.next {
+		return nil // duplicate delivery
+	}
+	b.ops = append(b.ops, op)
+	b.next = op.Seq + 1
+	return nil
+}
+
+// SkipTo advances the next sequence number past seq without recording
+// operations — the cluster-takeover guard: when an adopting node's
+// replicated suffix provably misses tail operations, the authoritative
+// board must never re-mint sequence numbers clients already applied.
+// The skipped range reads as an (empty) hole that Converge-applying
+// replicas jump over. A seq at or below the current head is a no-op.
+func (b *Board) SkipTo(seq int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if seq >= b.next {
+		b.next = seq + 1
+	}
+}
+
 // Seq returns the highest applied sequence number (0 when empty).
 func (b *Board) Seq() int64 {
 	b.mu.Lock()

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Multi-process cluster smoke: boot 1 router + 2 group-partition nodes
+# as REAL processes over localhost TCP, then drive the quickstart flow
+# across a partition boundary with cmd/dmps-smoke. CI runs this as the
+# end-to-end check that the cluster plane works process-to-process, not
+# just in-memory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODE0=127.0.0.1:7141
+NODE1=127.0.0.1:7142
+ROUTER=127.0.0.1:7140
+NODES="$NODE0,$NODE1"
+
+BIN="$(mktemp -d)"
+cleanup() {
+    # Kill the whole tree; the trap runs on success and failure alike.
+    kill "${PIDS[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/dmps-server ./cmd/dmps-router ./cmd/dmps-smoke
+
+PIDS=()
+"$BIN/dmps-server" -addr "$NODE0" -cluster "$NODES" -node 0 -probe 100ms &
+PIDS+=($!)
+"$BIN/dmps-server" -addr "$NODE1" -cluster "$NODES" -node 1 -probe 100ms &
+PIDS+=($!)
+"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" &
+PIDS+=($!)
+
+# Wait for all three listeners to come up.
+for addr in "$NODE0" "$NODE1" "$ROUTER"; do
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}") 2>/dev/null; then
+            exec 3>&- || true
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "cluster_smoke: $addr never came up" >&2
+    exit 1
+done
+
+"$BIN/dmps-smoke" -router "$ROUTER" -nodes "$NODES"
+echo "cluster_smoke: OK (router + 2 nodes, real TCP, separate processes)"
