@@ -9,10 +9,18 @@
 // (logged_board_events/op from BenchmarkBoardStorm). CI pipes the
 // bench output through it and fails the step on a regression.
 //
+// With -baseline it additionally gates the wire-cost trend: every
+// benchmark present in BOTH the baseline document and this run must
+// not have grown its B/op or allocs/op by more than -max-growth
+// (a ratio; 1.30 allows 30% drift for allocator noise). Benchmarks
+// new in this run pass freely — the trend gate never blocks adding
+// coverage, only regressing what is already measured.
+//
 // Usage:
 //
 //	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkQueueChurn|BenchmarkBoardStorm|BenchmarkClusterBroadcast' -benchmem . \
-//	  | go run ./cmd/dmps-benchjson -out BENCH_pr5.json -max-encodes 1.0 -max-queue-churn 1.0 -max-board-storm 0.5 -note "..."
+//	  | go run ./cmd/dmps-benchjson -out BENCH_pr6.json -max-encodes 1.0 -max-queue-churn 1.0 -max-board-storm 0.5 \
+//	      -baseline BENCH_pr5.json -max-growth 1.30 -note "..."
 package main
 
 import (
@@ -70,6 +78,8 @@ func main() {
 	maxEncodes := flag.Float64("max-encodes", 0, "fail if any encodes/op metric exceeds this (0 disables the gate)")
 	maxQueueChurn := flag.Float64("max-queue-churn", 0, "fail if any logged_queue_events/transition metric exceeds this (0 disables the gate)")
 	maxBoardStorm := flag.Float64("max-board-storm", 0, "fail if any logged_board_events/op metric exceeds this (0 disables the gate)")
+	baseline := flag.String("baseline", "", "prior BENCH_*.json to gate B/op and allocs/op growth against")
+	maxGrowth := flag.Float64("max-growth", 1.30, "fail if B/op or allocs/op grows past baseline×this ratio (with -baseline)")
 	note := flag.String("note", "", "free-form note recorded under _meta")
 	flag.Parse()
 
@@ -121,6 +131,11 @@ func main() {
 	if *maxBoardStorm > 0 {
 		gate("logged_board_events_op", *maxBoardStorm, "board-op storm coalescing")
 	}
+	if *baseline != "" {
+		if err := gateTrend(*baseline, rows, *maxGrowth); err != nil {
+			fatal(err)
+		}
+	}
 
 	doc := make(map[string]any, len(rows)+1)
 	doc["_meta"] = map[string]string{
@@ -143,6 +158,54 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// gateTrend compares this run's wire-cost units against a prior
+// BENCH_*.json: any benchmark present in both documents must keep
+// B/op and allocs/op within baseline×maxGrowth. Comparing only the
+// intersection keeps renamed or newly added benchmarks from tripping
+// (or silently escaping) the gate, and — like gate above — an empty
+// intersection fails rather than passing vacuously.
+func gateTrend(path string, rows map[string]metrics, maxGrowth float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	// _meta holds strings; decode per entry and keep only numeric rows.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := make(map[string]metrics, len(raw))
+	for name, blob := range raw {
+		var row metrics
+		if json.Unmarshal(blob, &row) == nil {
+			base[name] = row
+		}
+	}
+	compared := 0
+	for name, row := range rows {
+		ref, ok := base[name]
+		if !ok {
+			continue
+		}
+		for _, unit := range []string{"B_op", "allocs_op"} {
+			was, okWas := ref[unit]
+			now, okNow := row[unit]
+			if !okWas || !okNow || was <= 0 {
+				continue
+			}
+			compared++
+			if now > was*maxGrowth {
+				return fmt.Errorf("%s: %s %.0f exceeds baseline %.0f×%.2f — wire cost regressed vs %s",
+					name, unit, now, was, maxGrowth, path)
+			}
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmarks shared with baseline %s: the trend gate would pass vacuously", path)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -7,10 +7,14 @@
 //
 // Usage:
 //
-//	dmps-router -addr :4320 -nodes host1:4321,host2:4321
+//	dmps-router -addr :4320 -nodes host1:4321,host2:4321 [-metrics :9320]
 //
 // The -nodes list must be identical (same order) to the one every node
 // runs with: the ring order is the cluster's identity.
+//
+// With -metrics the router serves its observability plane — proxied
+// session count, routed/relayed throughput, and the partition map's
+// version and down-set — as Prometheus text at http://ADDR/metrics.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strings"
 
 	"dmps/internal/cluster"
+	"dmps/internal/metrics"
 	"dmps/internal/transport"
 )
 
@@ -31,6 +36,7 @@ func main() {
 func run() int {
 	addr := flag.String("addr", ":4320", "listen address clients dial")
 	nodes := flag.String("nodes", "", "comma-separated node addresses, in ring order")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (off when empty)")
 	flag.Parse()
 
 	nodeList := strings.Split(*nodes, ",")
@@ -51,6 +57,18 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("dmps-router listening on %s, %d nodes: %s\n", router.Addr(), len(nodeList), strings.Join(nodeList, ", "))
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		router.RegisterMetrics(reg)
+		ln, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmps-router: metrics:", err)
+			router.Close()
+			return 1
+		}
+		defer ln.Close()
+		fmt.Printf("dmps-router metrics on http://%s/metrics\n", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

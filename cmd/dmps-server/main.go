@@ -4,6 +4,12 @@
 //
 //	dmps-server [-addr :4321] [-probe 500ms] [-alpha 0.5] [-beta 0.15]
 //	            [-session-ttl 1h] [-cluster host1:4321,host2:4321 -node 0]
+//	            [-metrics :9321]
+//
+// With -metrics the server serves its observability plane — session,
+// coalesce, grouplog and (in cluster mode) forward-pool and
+// partition-map series — as Prometheus text at http://ADDR/metrics.
+// See docs/OPERATIONS.md for the series and their meanings.
 //
 // Clients (cmd/dmps-client) connect, join groups, request the floor and
 // chat; the server centralizes group administration, floor arbitration,
@@ -25,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"dmps/internal/metrics"
 	"dmps/internal/resource"
 	"dmps/internal/server"
 	"dmps/internal/transport"
@@ -42,6 +49,7 @@ func run() int {
 	sessionTTL := flag.Duration("session-ttl", time.Hour, "reap members whose sessions stay silent this long")
 	clusterNodes := flag.String("cluster", "", "comma-separated node addresses in ring order; enables cluster mode")
 	nodeIdx := flag.Int("node", 0, "this node's index in -cluster")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (off when empty)")
 	flag.Parse()
 
 	mon, err := resource.New(resource.MinBound, resource.Thresholds{Alpha: *alpha, Beta: *beta})
@@ -73,6 +81,18 @@ func run() int {
 			*nodeIdx, len(cfg.Cluster.Nodes), srv.Addr(), *alpha, *beta, *probe)
 	} else {
 		fmt.Printf("dmps-server listening on %s (α=%.2f β=%.2f probe=%v)\n", srv.Addr(), *alpha, *beta, *probe)
+	}
+	if *metricsAddr != "" {
+		reg := metrics.NewRegistry()
+		srv.RegisterMetrics(reg)
+		ln, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmps-server: metrics:", err)
+			srv.Close()
+			return 1
+		}
+		defer ln.Close()
+		fmt.Printf("dmps-server metrics on http://%s/metrics\n", ln.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

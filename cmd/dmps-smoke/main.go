@@ -7,16 +7,22 @@
 //
 // Usage:
 //
-//	dmps-smoke -router 127.0.0.1:4320 -nodes host1:4321,host2:4321
+//	dmps-smoke -router 127.0.0.1:4320 -nodes host1:4321,host2:4321 \
+//	    [-metrics 127.0.0.1:7150,127.0.0.1:7151]
 //
 // The -nodes list (the same ring order the cluster runs with) is used
 // only to compute partition ownership, so the flow provably crosses
-// nodes: member homes on both, one group owned by each.
+// nodes: member homes on both, one group owned by each. With -metrics
+// it additionally scrapes each listed observability endpoint after the
+// flow and fails unless every one serves Prometheus text with dmps_
+// series — the probe that the fleet is observable, not just alive.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -56,6 +62,7 @@ func waitFor(ok func() bool) bool {
 func run() int {
 	router := flag.String("router", "127.0.0.1:4320", "router address")
 	nodes := flag.String("nodes", "", "comma-separated node addresses, in the cluster's ring order")
+	metricsAddrs := flag.String("metrics", "", "comma-separated metrics endpoints to scrape (host:port, empty skips the probe)")
 	flag.Parse()
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "dmps-smoke: FAIL: "+format+"\n", args...)
@@ -143,6 +150,45 @@ func run() int {
 	if tHome == sHome {
 		return fail("member homes collapsed onto one node")
 	}
+	// The observability probe: every listed endpoint must scrape.
+	if *metricsAddrs != "" {
+		for _, addr := range strings.Split(*metricsAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := scrape(addr); err != nil {
+				return fail("metrics %s: %v", addr, err)
+			}
+			fmt.Printf("dmps-smoke: metrics OK at http://%s/metrics\n", addr)
+		}
+	}
 	fmt.Printf("dmps-smoke: PASS — cross-partition quickstart over %s (%d nodes)\n", *router, len(nodeList))
 	return 0
+}
+
+// scrape fetches one /metrics endpoint and checks it actually serves
+// this system's series: an HTTP 200 with at least one dmps_ sample
+// line. Anything else — refused connection, error status, empty or
+// foreign exposition — fails the smoke.
+func scrape(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "dmps_") {
+			return nil
+		}
+	}
+	return fmt.Errorf("no dmps_ series in %d-byte exposition", len(body))
 }

@@ -1,0 +1,171 @@
+// Command dmps-swarm runs the open-loop swarm harness against a
+// RUNNING deployment (a single cmd/dmps-server, or cmd/dmps-router in
+// front of cluster nodes) and reports floor-grant and event-propagation
+// latency SLOs as a BENCH_*.json-compatible document.
+//
+// Usage:
+//
+//	dmps-swarm -addr 127.0.0.1:4320 [-nodes host1:4321,host2:4321] \
+//	    [-mix lecture,reconnect-storm] [-members 16] [-ops 200] \
+//	    [-mean 5ms] [-seed 1] [-out BENCH_pr6.json] [-note "..."]
+//
+// The -nodes list (the cluster's ring order) is used only to attribute
+// per-node throughput in the report; omit it against a single server.
+//
+// Check mode validates a previously written report instead of running
+// load — the CI gate after the swarm smoke:
+//
+//	dmps-swarm -check BENCH_pr6.json
+//
+// It exits non-zero unless every Swarm/<mix> entry present has a
+// finite, non-zero p99 grant latency and zero errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/cluster"
+	"dmps/internal/swarm"
+	"dmps/internal/transport"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:4320", "router or server address to swarm")
+	nodes := flag.String("nodes", "", "comma-separated node addresses in ring order (per-node attribution; empty for a single server)")
+	mixList := flag.String("mix", "", "comma-separated mixes to run (default: all of "+strings.Join(swarm.Mixes, ","))
+	members := flag.Int("members", 8, "listener/contender pool size per mix")
+	ops := flag.Int("ops", 50, "scheduled operations per mix")
+	mean := flag.Duration("mean", 10*time.Millisecond, "mean inter-arrival gap (open-loop rate knob)")
+	settle := flag.Duration("settle", 2*time.Second, "post-schedule settle bound per mix")
+	seed := flag.Int64("seed", 1, "arrival-schedule seed")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in _meta")
+	check := flag.String("check", "", "validate an existing report file instead of running load")
+	flag.Parse()
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "dmps-swarm: "+format+"\n", args...)
+		return 1
+	}
+
+	if *check != "" {
+		return checkReport(*check, fail)
+	}
+
+	opts := swarm.Options{
+		Dial: func(cfg client.Config) (*client.Client, error) {
+			cfg.Network = transport.TCP{}
+			cfg.Addr = *addr
+			cfg.Timeout = *timeout
+			return client.Dial(cfg)
+		},
+		Seed:    *seed,
+		Members: *members,
+		Ops:     *ops,
+		Mean:    *mean,
+		Settle:  *settle,
+	}
+	if *nodes != "" {
+		list := strings.Split(*nodes, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		pmap := cluster.NewMap(list)
+		opts.NodeFor = func(group string) string {
+			_, owner := pmap.Owner(group)
+			return owner
+		}
+	}
+	var mixes []string
+	if *mixList != "" {
+		mixes = strings.Split(*mixList, ",")
+		for i := range mixes {
+			mixes[i] = strings.TrimSpace(mixes[i])
+		}
+	}
+
+	results, err := swarm.Run(opts, mixes...)
+	if err != nil {
+		return fail("%v", err)
+	}
+	doc := swarm.Report(results, opts, *note, runtime.GOOS, runtime.GOARCH)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fail("encode: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return fail("write %s: %v", *out, err)
+	}
+	for _, r := range results {
+		fmt.Printf("dmps-swarm: %s: %d ops, %d errors, grant p99 %.3fms (%d samples), prop p99 %.3fms (%d samples)\n",
+			r.Mix, r.Ops, r.Errors,
+			r.Grant.Quantile(0.99)*1e3, r.Grant.Count(),
+			r.Prop.Quantile(0.99)*1e3, r.Prop.Count())
+	}
+	fmt.Printf("dmps-swarm: report written to %s\n", *out)
+	return 0
+}
+
+// checkReport is the CI gate: the report must parse, contain at least
+// one Swarm/<mix> entry, and every entry must show zero errors and a
+// finite, non-zero p99 grant latency — the smoke-level SLO that load
+// actually flowed and grants actually resolved.
+func checkReport(path string, fail func(string, ...any) int) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail("check: %v", err)
+	}
+	// _meta carries strings; decode loosely and skim only Swarm/ keys.
+	var loose map[string]map[string]any
+	if err := json.Unmarshal(data, &loose); err != nil {
+		return fail("check: parse %s: %v", path, err)
+	}
+	doc := map[string]map[string]float64{}
+	for name, entry := range loose {
+		row := map[string]float64{}
+		for unit, v := range entry {
+			if f, ok := v.(float64); ok {
+				row[unit] = f
+			}
+		}
+		doc[name] = row
+	}
+	checked := 0
+	for name, entry := range doc {
+		if !strings.HasPrefix(name, "Swarm/") {
+			continue
+		}
+		checked++
+		p99 := entry["grant_p99_ms"]
+		if !(p99 > 0) || p99 != p99 || p99 > 1e12 {
+			return fail("check: %s: grant_p99_ms = %v, want finite and non-zero", name, p99)
+		}
+		if entry["grant_samples"] <= 0 {
+			return fail("check: %s: no grant samples", name)
+		}
+		if entry["errors"] > 0 {
+			return fail("check: %s: %v errors", name, entry["errors"])
+		}
+	}
+	if checked == 0 {
+		return fail("check: %s has no Swarm/ entries", path)
+	}
+	fmt.Printf("dmps-swarm: check OK: %d mixes in %s\n", checked, path)
+	return 0
+}

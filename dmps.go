@@ -181,13 +181,16 @@ type (
 )
 
 // The paper's four floor control modes, plus the BFCP-style moderated
-// queue (chair approves queued requests).
+// queue (chair approves queued requests) and the auto-rotating round
+// robin (a release re-enqueues the holder at the tail, so contenders
+// take turns without re-requesting).
 const (
 	FreeAccess      = floor.FreeAccess
 	EqualControl    = floor.EqualControl
 	GroupDiscussion = floor.GroupDiscussion
 	DirectContact   = floor.DirectContact
 	ModeratedQueue  = floor.ModeratedQueue
+	RoundRobin      = floor.RoundRobin
 )
 
 // RegisterFloorPolicy adds a custom floor mode under the given wire name.

@@ -25,10 +25,30 @@ type Pool struct {
 	network transport.Network
 	mu      sync.Mutex
 	peers   map[string]*peerLink
-	closed  bool
-	drops   atomic.Int64
-	sent    atomic.Int64
-	wg      sync.WaitGroup
+	// stats persists per-peer send/drop counters across link
+	// retirements: a link that dies and re-dials keeps accumulating
+	// into the same addr's counters, so the metrics endpoint reads a
+	// peer's whole history, not its current connection's.
+	stats  map[string]*peerStat
+	closed bool
+	drops  atomic.Int64
+	sent   atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// PeerStats is one peer's cumulative forward counters.
+type PeerStats struct {
+	// Sent counts forwards queued to this peer.
+	Sent int64
+	// Drops counts forwards dropped for this peer (full queue, dead
+	// link backlog, dial failure).
+	Drops int64
+}
+
+// peerStat is the live, atomically updated form of PeerStats.
+type peerStat struct {
+	sent  atomic.Int64
+	drops atomic.Int64
 }
 
 type peerLink struct {
@@ -36,11 +56,12 @@ type peerLink struct {
 	queue chan []byte
 	down  chan struct{}
 	once  sync.Once
+	stat  *peerStat
 }
 
 // NewPool returns a pool that dials peers over the given network.
 func NewPool(network transport.Network) *Pool {
-	return &Pool{network: network, peers: make(map[string]*peerLink)}
+	return &Pool{network: network, peers: make(map[string]*peerLink), stats: make(map[string]*peerStat)}
 }
 
 // WrapForward encodes a TForward envelope around the body with plain
@@ -76,7 +97,12 @@ func (p *Pool) Send(addr string, wire []byte) bool {
 	}
 	link, ok := p.peers[addr]
 	if !ok {
-		link = &peerLink{addr: addr, queue: make(chan []byte, peerQueueCap), down: make(chan struct{})}
+		st := p.stats[addr]
+		if st == nil {
+			st = &peerStat{}
+			p.stats[addr] = st
+		}
+		link = &peerLink{addr: addr, queue: make(chan []byte, peerQueueCap), down: make(chan struct{}), stat: st}
 		p.peers[addr] = link
 		p.wg.Add(1)
 		go p.drain(link)
@@ -85,9 +111,11 @@ func (p *Pool) Send(addr string, wire []byte) bool {
 	select {
 	case link.queue <- wire:
 		p.sent.Add(1)
+		link.stat.sent.Add(1)
 		return true
 	default:
 		p.drops.Add(1)
+		link.stat.drops.Add(1)
 		return false
 	}
 }
@@ -129,6 +157,7 @@ func (p *Pool) retire(link *peerLink) {
 		select {
 		case <-link.queue:
 			p.drops.Add(1)
+			link.stat.drops.Add(1)
 		default:
 			return
 		}
@@ -137,6 +166,19 @@ func (p *Pool) retire(link *peerLink) {
 
 // Stats reports forwards sent and dropped since the pool started.
 func (p *Pool) Stats() (sent, drops int64) { return p.sent.Load(), p.drops.Load() }
+
+// PeerStats snapshots the per-peer forward counters, keyed by peer
+// address. Counters persist across link retirement and re-dial, so a
+// flapping peer's history accumulates rather than resetting.
+func (p *Pool) PeerStats() map[string]PeerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PeerStats, len(p.stats))
+	for addr, st := range p.stats {
+		out[addr] = PeerStats{Sent: st.sent.Load(), Drops: st.drops.Load()}
+	}
+	return out
+}
 
 // Close tears every peer link down and waits for the writers.
 func (p *Pool) Close() {

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dmps/internal/group"
 	"dmps/internal/protocol"
@@ -73,10 +74,27 @@ type Router struct {
 	mu       sync.Mutex
 	sessions map[*routerSession]bool
 
+	// routed counts client messages forwarded up to nodes, relayed the
+	// node messages relayed back down — the routing tier's throughput
+	// counters, exported by RegisterMetrics.
+	routed  atomic.Int64
+	relayed atomic.Int64
+
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
 }
+
+// Sessions returns the number of live proxied client sessions.
+func (r *Router) Sessions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Routed reports messages forwarded up to nodes and relayed back down
+// since the router started.
+func (r *Router) Routed() (up, down int64) { return r.routed.Load(), r.relayed.Load() }
 
 // NewRouter creates a router and starts listening. Call Serve (or
 // Start) to accept clients, Close to shut down.
@@ -319,6 +337,7 @@ func (rs *routerSession) reject(seq int64, code, detail string) {
 // to every upstream (each node tracks its own session liveness and
 // filter mask), everything else to the member's home node.
 func (rs *routerSession) route(msg protocol.Message, wire []byte) {
+	rs.r.routed.Add(1)
 	switch msg.Type {
 	case protocol.TStatusReport, protocol.TBye:
 		rs.eachUpstream(func(up *upstream) { _ = up.conn.Send(wire) })
@@ -465,6 +484,7 @@ func (rs *routerSession) relay(up *upstream) {
 		if err := rs.sendClient(wire); err != nil {
 			return
 		}
+		rs.r.relayed.Add(1)
 	}
 }
 

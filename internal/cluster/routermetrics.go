@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dmps/internal/metrics"
+)
+
+// RegisterMetrics wires the router's observability series into reg.
+// Everything is read at scrape time from state the router already
+// maintains — the session table, the routed/relayed counters, the
+// shared partition map — so the routing hot path carries no extra
+// bookkeeping beyond its two throughput atomics.
+//
+// Exported series:
+//
+//	dmps_router_sessions            live proxied client sessions
+//	dmps_router_routed_total        client messages forwarded to nodes
+//	dmps_router_relayed_total       node messages relayed to clients
+//	dmps_cluster_map_version        partition map change counter
+//	dmps_cluster_node_down{node}    1 when the node is in the down-set
+func (r *Router) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("dmps_router_sessions", "Live proxied client sessions.", func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(r.Sessions())}}
+	})
+	reg.CounterFunc("dmps_router_routed_total", "Client messages forwarded up to cluster nodes.", func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(r.routed.Load())}}
+	})
+	reg.CounterFunc("dmps_router_relayed_total", "Node messages relayed back down to clients.", func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(r.relayed.Load())}}
+	})
+	RegisterMapMetrics(reg, r.pmap)
+}
+
+// RegisterMapMetrics exports a partition map's version and down-set.
+// Shared by the router and by cluster nodes (both hold a map; each
+// exports its own view, which is exactly what an operator comparing
+// their disagreement wants).
+func RegisterMapMetrics(reg *metrics.Registry, pmap *Map) {
+	reg.GaugeFunc("dmps_cluster_map_version", "Partition map version (bumps on every down/up mark).", func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(pmap.Version())}}
+	})
+	reg.GaugeFunc("dmps_cluster_node_down", "1 when the node is marked down in the partition map.", func() []metrics.Sample {
+		out := make([]metrics.Sample, pmap.Len())
+		for i := range out {
+			v := 0.0
+			if pmap.Down(i) {
+				v = 1
+			}
+			out[i] = metrics.Sample{LabelKey: "node", LabelValue: fmt.Sprintf("n%d", i), Value: v}
+		}
+		return out
+	})
+}

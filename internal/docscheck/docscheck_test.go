@@ -28,6 +28,8 @@ var surface = []string{
 	"../core",
 	"../resource",
 	"../whiteboard",
+	"../metrics",
+	"../swarm",
 }
 
 // TestExportedSymbolsDocumented walks every non-test file of the

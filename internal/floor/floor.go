@@ -48,6 +48,11 @@ const (
 	// ModeratedQueue: BFCP-style chair moderation — requests queue until
 	// the session chair approves them (not in the paper).
 	ModeratedQueue
+	// RoundRobin: Equal Control whose release auto-rotates — the
+	// releasing holder rejoins the tail of the queue, so contenders take
+	// turns without re-requesting (not in the paper; the first policy
+	// registered through the RegisterPolicy seam after the builtins).
+	RoundRobin
 )
 
 // modeNames maps registered modes to their wire names. It is populated by
@@ -467,6 +472,9 @@ func (c *Controller) Evict(groupID string, member group.MemberID) (holder group.
 		if pol, err := c.policyOf(fs); err == nil {
 			_, _ = pol.Release(c.registry, st, member)
 		}
+		// A policy's release may have re-queued the releaser (RoundRobin
+		// rotates it to the tail); eviction means gone, so scrub again.
+		st.dequeue(member)
 		if st.Holder == member {
 			// The policy declined (or had no release semantics for this
 			// mode); the seat must not stay with a reaped member.

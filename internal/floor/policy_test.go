@@ -25,10 +25,12 @@ var conformanceModes = []struct {
 	{GroupDiscussion, "group-discussion", true, "", true, false},
 	{DirectContact, "direct-contact", true, "bob", true, false},
 	{ModeratedQueue, "moderated-queue", true, "", false, true},
+	{RoundRobin, "round-robin", true, "", true, true},
 }
 
-// TestPolicyConformance runs the shared contract against all five
-// registered policies.
+// TestPolicyConformance runs the shared contract against every
+// registered policy — the paper's four modes, ModeratedQueue, and the
+// post-seed RoundRobin rotation.
 func TestPolicyConformance(t *testing.T) {
 	for _, tc := range conformanceModes {
 		t.Run(tc.name, func(t *testing.T) {

@@ -94,6 +94,41 @@ func (p *Plane) ClassHeads() map[string]map[string]int64 {
 	return out
 }
 
+// Stats is the plane-wide occupancy and compaction digest the metrics
+// endpoint exports: how many logs exist, how many entries they retain
+// between them, and the cumulative compaction-run and evicted-entry
+// counts. The counters live on the logs themselves — Stats only sums
+// what appends already maintain, so scraping adds no bookkeeping to the
+// broadcast hot path.
+type Stats struct {
+	// Logs is the number of live per-key logs.
+	Logs int
+	// Entries is the total retained entries across all logs.
+	Entries int
+	// Compactions is the cumulative number of compaction runs.
+	Compactions int64
+	// Evicted is the cumulative number of entries dropped by compaction.
+	Evicted int64
+}
+
+// Stats sums the plane's occupancy and compaction counters.
+func (p *Plane) Stats() Stats {
+	var st Stats
+	for _, key := range p.logs.Keys() {
+		lg, ok := p.logs.Get(key)
+		if !ok {
+			continue
+		}
+		lg.mu.Lock()
+		st.Logs++
+		st.Entries += len(lg.live())
+		st.Compactions += lg.compactions
+		st.Evicted += lg.evicted
+		lg.mu.Unlock()
+	}
+	return st
+}
+
 // entry is one retained event: its log-wide GSeq, per-class CSeq, the
 // class, whether it is state-bearing (a full restatement of its
 // class's state) and the encoded wire bytes.
@@ -130,6 +165,12 @@ type Log struct {
 	latestState map[string]int64
 	fresh       map[string]int
 	superseded  int
+	// compactions counts compactLocked runs and evicted the entries
+	// those runs dropped (superseded sweeps and front trims alike) —
+	// the observability plane's view of retention pressure: a log whose
+	// evicted counter climbs is outliving its replay window.
+	compactions int64
+	evicted     int64
 }
 
 func newLog(cap int) *Log {
@@ -221,6 +262,9 @@ func (l *Log) AppendRaw(gseq, cseq int64, class string, state bool, wire []byte)
 // class's latest state-bearing entry (those are the anchors a
 // far-behind client converges from). Requires l.mu.
 func (l *Log) compactLocked() {
+	l.compactions++
+	before := len(l.live())
+	defer func() { l.evicted += int64(before - len(l.live())) }()
 	if l.superseded > 0 {
 		prev := l.entries
 		kept := l.entries[:0]
@@ -273,6 +317,14 @@ func (l *Log) compactLocked() {
 		l.entries = l.entries[:n]
 		l.start = 0
 	}
+}
+
+// Len returns the number of retained entries — the log's ring
+// occupancy, at most Cap plus the soft anchor overhang.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.live())
 }
 
 // Head returns the highest assigned GSeq (0 when empty).

@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Serve listens on addr and serves the registry at /metrics until the
+// process exits, returning the bound listener so callers can learn the
+// port (addr may end in ":0") and close it on shutdown. The scrape
+// endpoint is opt-in — cmd/dmps-server and cmd/dmps-router only call
+// this when the operator passes -metrics.
+func (r *Registry) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,313 @@
+// Package metrics is the fleet observability plane's instrument
+// registry: a small, dependency-free set of counters, gauges and
+// fixed-bucket histograms exposed in the Prometheus text exposition
+// format. The server and the router register their existing counters
+// behind scrape-time collectors — SessionStats, CoalesceStats,
+// BoardStormStats, the grouplog occupancy/compaction counters, the
+// cluster pool's per-peer forward counters, the partition map's
+// down-set — so a scrape reads the numbers the system already computes
+// and nothing is sampled twice. The swarm harness (internal/swarm)
+// records its floor-grant and event-propagation latencies into the same
+// Histogram type, so swarm runs and production operators read one
+// gauge vocabulary.
+//
+// Instruments are safe for concurrent use: counters and gauges are
+// atomics, histograms use per-bucket atomic counters, and a scrape
+// (WritePrometheus) never blocks an Observe. Label support is deliberately
+// minimal — one optional label pair per sample, rendered inline — which
+// covers the per-peer and per-node series the cluster plane needs
+// without growing a label-set engine.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (negative deltas are ignored:
+// counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets are the fixed export buckets latency histograms
+// use when the caller does not choose their own: 250µs to ~32s in
+// powers of two, in seconds. The range covers a sub-millisecond
+// in-process grant as well as a reconnect storm riding out a multi-
+// second failover, with enough resolution between to read a p999.
+var DefaultLatencyBuckets = func() []float64 {
+	out := make([]float64, 0, 18)
+	for b := 0.00025; b < 40; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}()
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is ≥ the value, plus a cumulative sum and
+// count, matching the Prometheus histogram exposition. Buckets are
+// fixed at construction so a scrape is a lock-free read of atomics.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sum    Gauge
+	n      atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds (DefaultLatencyBuckets when nil).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	sort.Float64s(cp)
+	return &Histogram{bounds: cp, counts: make([]atomic.Int64, len(cp))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.counts) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the observation total.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation within the containing bucket — the same estimate a
+// Prometheus histogram_quantile would report from these buckets. It
+// returns NaN on an empty histogram; an estimate landing in the
+// overflow bucket reports the highest finite bound (a floor, not a
+// guess).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var seen int64
+	lower := 0.0
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if float64(seen+c) >= rank && c > 0 {
+			within := (rank - float64(seen)) / float64(c)
+			return lower + (h.bounds[i]-lower)*within
+		}
+		seen += c
+		lower = h.bounds[i]
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Sample is one exported time series value: an optional single label
+// pair qualifying the metric name.
+type Sample struct {
+	// LabelKey/LabelValue qualify the sample ("peer"/"10.0.0.2:4321");
+	// both empty means the bare metric.
+	LabelKey   string
+	LabelValue string
+	// Value is the sample's value.
+	Value float64
+}
+
+// metricKind is the exposition TYPE line of a registered metric.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// metric is one registered instrument or collector.
+type metric struct {
+	name    string
+	help    string
+	kind    metricKind
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	collect func() []Sample
+}
+
+// Registry holds named instruments and renders them in the Prometheus
+// text exposition format. Registration is typically done once at
+// startup; scrapes run concurrently with updates.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register appends a metric, panicking on a duplicate name — metric
+// names are a public interface, and two writers racing for one name is
+// a programming error worth failing loudly at startup.
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a fixed-bucket histogram
+// (DefaultLatencyBuckets when bounds is nil).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// GaugeFunc registers a scrape-time gauge collector: collect runs on
+// every scrape and returns the samples to export (one bare sample, or
+// several distinguished by a label pair). This is how the server and
+// router export the counters they already keep — SessionStats,
+// CoalesceStats, pool and partition state — without double bookkeeping.
+func (r *Registry) GaugeFunc(name, help string, collect func() []Sample) {
+	r.register(&metric{name: name, help: help, kind: kindGauge, collect: collect})
+}
+
+// CounterFunc is GaugeFunc with counter semantics: the collected
+// samples are cumulative totals the underlying system already counts.
+func (r *Registry) CounterFunc(name, help string, collect func() []Sample) {
+	r.register(&metric{name: name, help: help, kind: kindCounter, collect: collect})
+}
+
+// fmtValue renders a float the way the exposition format expects.
+func fmtValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Collectors run inline; instrument
+// reads are atomic, so a scrape observes each series at one instant
+// without pausing writers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.RUnlock()
+	var b strings.Builder
+	for _, m := range ms {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind)
+		switch {
+		case m.collect != nil:
+			for _, s := range m.collect() {
+				if s.LabelKey == "" {
+					fmt.Fprintf(&b, "%s %s\n", m.name, fmtValue(s.Value))
+				} else {
+					fmt.Fprintf(&b, "%s{%s=%q} %s\n", m.name, s.LabelKey, escapeLabel(s.LabelValue), fmtValue(s.Value))
+				}
+			}
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, fmtValue(m.gauge.Value()))
+		case m.hist != nil:
+			var cum int64
+			for i, bound := range m.hist.bounds {
+				cum += m.hist.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, fmtValue(bound), cum)
+			}
+			cum += m.hist.inf.Load()
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", m.name, fmtValue(m.hist.Sum()), m.name, m.hist.Count())
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

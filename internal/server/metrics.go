@@ -1,0 +1,121 @@
+package server
+
+import (
+	"dmps/internal/cluster"
+	"dmps/internal/metrics"
+)
+
+// RegisterMetrics wires the server's observability series into reg.
+// Every series is a scrape-time read of a counter the server already
+// maintains for its own purposes — the session table and its
+// backpressure atomics, the coalescing planes' storm counters, the
+// event-log plane's occupancy and compaction bookkeeping, and (in
+// cluster mode) the forward pool and partition map — so enabling the
+// endpoint adds nothing to the broadcast hot path and nothing is
+// sampled twice.
+//
+// Session series are aggregated across members, not labelled per
+// member: at fleet scale a per-member series set would make every
+// scrape O(population) in exposition size, while the aggregate plus the
+// existing per-member lights/backpressure push covers both audiences.
+//
+// Exported series:
+//
+//	dmps_sessions                        live sessions on this node
+//	dmps_session_queue_depth             queued events across sessions
+//	dmps_session_queue_cap               queue capacity across sessions
+//	dmps_session_drops_total             slow-consumer drops
+//	dmps_session_filtered_total          events skipped by class filters
+//	dmps_coalesce_marked_total           queue restatements marked dirty
+//	dmps_coalesce_logged_total           coalesced restatements logged
+//	dmps_board_ops_total                 board ops accepted into batches
+//	dmps_board_events_total              board batch events logged
+//	dmps_grouplog_logs                   live event logs
+//	dmps_grouplog_entries                retained entries across logs
+//	dmps_grouplog_compactions_total      compaction runs
+//	dmps_grouplog_evicted_total          entries dropped by compaction
+//	dmps_groups                          groups in the registry
+//
+// and, in cluster mode, dmps_cluster_forwards_total{peer},
+// dmps_cluster_forward_drops_total{peer} plus the shared partition-map
+// series from cluster.RegisterMapMetrics.
+func (s *Server) RegisterMetrics(reg *metrics.Registry) {
+	one := func(v float64) []metrics.Sample { return []metrics.Sample{{Value: v}} }
+	reg.GaugeFunc("dmps_sessions", "Live sessions on this node.", func() []metrics.Sample {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return one(float64(len(s.sessions)))
+	})
+	type sessTotals struct{ depth, capacity, drops, filtered float64 }
+	totals := func() sessTotals {
+		var t sessTotals
+		for _, st := range s.SessionStats() {
+			t.depth += float64(st.QueueDepth)
+			t.capacity += float64(st.QueueCap)
+			t.drops += float64(st.Drops)
+			t.filtered += float64(st.Filtered)
+		}
+		return t
+	}
+	reg.GaugeFunc("dmps_session_queue_depth", "Events queued across all session send queues.", func() []metrics.Sample {
+		return one(totals().depth)
+	})
+	reg.GaugeFunc("dmps_session_queue_cap", "Total send-queue capacity across sessions.", func() []metrics.Sample {
+		return one(totals().capacity)
+	})
+	reg.CounterFunc("dmps_session_drops_total", "Events dropped on slow-consumer queues.", func() []metrics.Sample {
+		return one(totals().drops)
+	})
+	reg.CounterFunc("dmps_session_filtered_total", "Events skipped by per-session class filters.", func() []metrics.Sample {
+		return one(totals().filtered)
+	})
+	reg.CounterFunc("dmps_coalesce_marked_total", "Queue restatements marked dirty for coalescing.", func() []metrics.Sample {
+		marked, _ := s.CoalesceStats()
+		return one(float64(marked))
+	})
+	reg.CounterFunc("dmps_coalesce_logged_total", "Coalesced queue restatements actually logged.", func() []metrics.Sample {
+		_, logged := s.CoalesceStats()
+		return one(float64(logged))
+	})
+	reg.CounterFunc("dmps_board_ops_total", "Board operations accepted into batches.", func() []metrics.Sample {
+		ops, _ := s.BoardStormStats()
+		return one(float64(ops))
+	})
+	reg.CounterFunc("dmps_board_events_total", "Batched board events logged and fanned out.", func() []metrics.Sample {
+		_, logged := s.BoardStormStats()
+		return one(float64(logged))
+	})
+	reg.GaugeFunc("dmps_grouplog_logs", "Live per-key event logs.", func() []metrics.Sample {
+		return one(float64(s.logs.Stats().Logs))
+	})
+	reg.GaugeFunc("dmps_grouplog_entries", "Retained entries across all event logs.", func() []metrics.Sample {
+		return one(float64(s.logs.Stats().Entries))
+	})
+	reg.CounterFunc("dmps_grouplog_compactions_total", "Event-log compaction runs.", func() []metrics.Sample {
+		return one(float64(s.logs.Stats().Compactions))
+	})
+	reg.CounterFunc("dmps_grouplog_evicted_total", "Event-log entries dropped by compaction.", func() []metrics.Sample {
+		return one(float64(s.logs.Stats().Evicted))
+	})
+	reg.GaugeFunc("dmps_groups", "Groups in the registry.", func() []metrics.Sample {
+		return one(float64(len(s.registry.Groups())))
+	})
+	if s.cluster == nil {
+		return
+	}
+	peerSamples := func(pick func(cluster.PeerStats) int64) []metrics.Sample {
+		stats := s.cluster.pool.PeerStats()
+		out := make([]metrics.Sample, 0, len(stats))
+		for addr, st := range stats {
+			out = append(out, metrics.Sample{LabelKey: "peer", LabelValue: addr, Value: float64(pick(st))})
+		}
+		return out
+	}
+	reg.CounterFunc("dmps_cluster_forwards_total", "Replication forwards queued, by peer.", func() []metrics.Sample {
+		return peerSamples(func(st cluster.PeerStats) int64 { return st.Sent })
+	})
+	reg.CounterFunc("dmps_cluster_forward_drops_total", "Replication forwards dropped, by peer.", func() []metrics.Sample {
+		return peerSamples(func(st cluster.PeerStats) int64 { return st.Drops })
+	})
+	cluster.RegisterMapMetrics(reg, s.cluster.topo)
+}

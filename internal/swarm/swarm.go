@@ -1,0 +1,725 @@
+// Package swarm is the fleet load harness: an open-loop generator that
+// drives scripted workload mixes against a running DMPS deployment and
+// measures the latencies the paper's floor-control loop promises to
+// keep small — how long a member waits for a floor grant, and how long
+// a posted event takes to reach every listener.
+//
+// Open-loop means arrival-rate driven: every operation fires at its
+// pre-computed Poisson offset in its own goroutine, regardless of how
+// long earlier operations are taking. A system that slows down under
+// load therefore accumulates in-flight work and its tail latencies
+// blow up in the report — exactly the signal a closed-loop generator
+// (which politely waits for each response before sending the next
+// request) would hide.
+//
+// Four mixes script the scenarios the system is built for:
+//
+//   - lecture: one holder chats to N listeners — steady fan-out;
+//     measures event propagation plus periodic release/re-acquire
+//     grant cycles.
+//   - flash-crowd: members dial in at Poisson offsets and immediately
+//     contend for a round-robin floor — join-storm admission plus
+//     grant rotation under contention.
+//   - moderated-churn: a moderated queue whose chair auto-approves;
+//     members churn through request → approve → grant → release.
+//   - reconnect-storm: established members drop and resume their
+//     sessions at Poisson offsets (optionally after a node kill);
+//     measures time back to service and post-resume propagation.
+//
+// The same engine drives a netsim lab (tests, determinism) and a real
+// TCP cluster (cmd/dmps-swarm) through the Dialer seam.
+package swarm
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/floor"
+	"dmps/internal/metrics"
+	"dmps/internal/protocol"
+	"dmps/internal/workload"
+)
+
+// Dialer connects one swarm member to the system under test. The swarm
+// fills the identity fields (Name, Role, Priority) and its measurement
+// tap (OnEvent); the dialer overlays transport — Network and Addr for
+// a TCP router, a lab's simulated network for tests — and dials.
+// Dial errors are counted as mix errors, not fatal: a swarm keeps
+// going when one member cannot get in.
+type Dialer func(cfg client.Config) (*client.Client, error)
+
+// Options configure a swarm run.
+type Options struct {
+	// Dial connects members (required).
+	Dial Dialer
+	// Seed feeds the Poisson arrival schedule; same seed, same offsets.
+	Seed int64
+	// Members is the listener/contender pool size per mix (default 8).
+	Members int
+	// Ops is the number of scheduled operations per mix (default 50).
+	Ops int
+	// Mean is the mean inter-arrival gap between operations — the
+	// open-loop rate knob (default 10ms ≈ 100 ops/s).
+	Mean time.Duration
+	// Settle bounds how long a mix waits after its last scheduled
+	// operation for in-flight grants and propagations to land
+	// (default 2s).
+	Settle time.Duration
+	// Kill, when set, is invoked once at the start of the
+	// reconnect-storm mix — the node-failure injection hook
+	// (e.g. Cluster.KillNode).
+	Kill func()
+	// NodeFor maps a group ID to the cluster node that owns it, for
+	// per-node throughput attribution in the report. Nil means a
+	// single-node deployment: everything lands on "server".
+	NodeFor func(group string) string
+}
+
+// Mixes lists the scripted workload mixes in canonical run order.
+var Mixes = []string{"lecture", "flash-crowd", "moderated-churn", "reconnect-storm"}
+
+// MixResult is one mix's measured outcome. Grant holds floor-grant (or
+// time-back-to-service, for reconnects) latencies in seconds; Prop
+// holds event-propagation latencies in seconds.
+type MixResult struct {
+	Mix    string
+	Group  string
+	Ops    int
+	Errors int
+	Wall   time.Duration
+	Grant  *metrics.Histogram
+	Prop   *metrics.Histogram
+}
+
+// mixGroup names the group a mix runs in — one group per mix, so a
+// partitioned cluster spreads the mixes across nodes. The run seed is
+// part of the name: against a long-lived deployment, a re-run with a
+// fresh seed gets fresh groups (and a fresh chair) instead of
+// inheriting the previous run's.
+func mixGroup(mix string, seed int64) string {
+	return fmt.Sprintf("swarm-%s-%d", mix, seed)
+}
+
+// Run executes the named mixes in order and returns their results.
+// Unknown mix names are an error before anything dials.
+func Run(opts Options, mixes ...string) ([]MixResult, error) {
+	if opts.Dial == nil {
+		return nil, fmt.Errorf("swarm: Options.Dial is required")
+	}
+	if opts.Members <= 0 {
+		opts.Members = 8
+	}
+	if opts.Ops <= 0 {
+		opts.Ops = 50
+	}
+	if opts.Mean <= 0 {
+		opts.Mean = 10 * time.Millisecond
+	}
+	if opts.Settle <= 0 {
+		opts.Settle = 2 * time.Second
+	}
+	if len(mixes) == 0 {
+		mixes = Mixes
+	}
+	for _, m := range mixes {
+		if !knownMix(m) {
+			return nil, fmt.Errorf("swarm: unknown mix %q (have %s)", m, strings.Join(Mixes, ", "))
+		}
+	}
+	var out []MixResult
+	for i, m := range mixes {
+		r, err := runMix(opts, m, opts.Seed+int64(i)*7919)
+		if err != nil {
+			return out, fmt.Errorf("swarm: mix %s: %w", m, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func knownMix(m string) bool {
+	for _, k := range Mixes {
+		if m == k {
+			return true
+		}
+	}
+	return false
+}
+
+func runMix(opts Options, mix string, seed int64) (MixResult, error) {
+	res := MixResult{
+		Mix:   mix,
+		Group: mixGroup(mix, opts.Seed),
+		Grant: metrics.NewHistogram(nil),
+		Prop:  metrics.NewHistogram(nil),
+	}
+	start := time.Now()
+	var err error
+	switch mix {
+	case "lecture":
+		err = runLecture(opts, seed, &res)
+	case "flash-crowd":
+		err = runFlashCrowd(opts, seed, &res)
+	case "moderated-churn":
+		err = runModeratedChurn(opts, seed, &res)
+	case "reconnect-storm":
+		err = runReconnectStorm(opts, seed, &res)
+	}
+	res.Wall = time.Since(start)
+	return res, err
+}
+
+// tickPrefix marks timestamped swarm chat lines: "swarm-tick <nanos>".
+// Listeners parse the send time back out to measure propagation.
+const tickPrefix = "swarm-tick "
+
+// tickLine embeds the send instant in a chat line.
+func tickLine() string {
+	return tickPrefix + strconv.FormatInt(time.Now().UnixNano(), 10)
+}
+
+// observeTick records the propagation delay of a timestamped line, if
+// it is one. Sender and listeners share one process clock, so the
+// difference is a true one-way delay (plus scheduler noise).
+func observeTick(h *metrics.Histogram, text string) {
+	nanos, ok := strings.CutPrefix(text, tickPrefix)
+	if !ok {
+		return
+	}
+	sent, err := strconv.ParseInt(nanos, 10, 64)
+	if err != nil {
+		return
+	}
+	if d := time.Now().UnixNano() - sent; d >= 0 {
+		h.Observe(float64(d) / 1e9)
+	}
+}
+
+// propTap is an OnEvent hook recording chat-propagation samples into
+// h. It runs synchronously in the client read loop, so it parses and
+// observes without blocking work of its own.
+func propTap(h *metrics.Histogram) func(protocol.Message) {
+	return func(msg protocol.Message) {
+		if msg.Type != protocol.TChatEvent {
+			return
+		}
+		var body protocol.SequencedBody
+		if msg.Into(&body) != nil {
+			return
+		}
+		observeTick(h, body.Data)
+		for _, more := range body.More {
+			observeTick(h, more.Data)
+		}
+	}
+}
+
+// errCounter counts failures without failing the swarm: open-loop load
+// keeps arriving whatever an individual operation did.
+type errCounter struct{ n atomic.Int64 }
+
+func (e *errCounter) note(err error) {
+	if err != nil {
+		if os.Getenv("SWARM_DEBUG") != "" {
+			fmt.Fprintln(os.Stderr, "swarm debug:", err)
+		}
+		e.n.Add(1)
+	}
+}
+
+// fireAt runs fn in its own goroutine at each offset past start — the
+// open-loop dispatcher. The returned WaitGroup lets the caller wait
+// for every scheduled operation to return.
+func fireAt(start time.Time, offsets []time.Duration, fn func(i int)) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(len(offsets))
+	for i, off := range offsets {
+		go func(i int, off time.Duration) {
+			defer wg.Done()
+			if d := time.Until(start.Add(off)); d > 0 {
+				time.Sleep(d)
+			}
+			fn(i)
+		}(i, off)
+	}
+	return &wg
+}
+
+// settle waits (bounded by Settle) for in-flight measurements to land:
+// until the histogram reaches the expected sample count or stops
+// growing between polls.
+func settle(opts Options, h *metrics.Histogram, want int64) {
+	deadline := time.Now().Add(opts.Settle)
+	for time.Now().Before(deadline) {
+		n := h.Count()
+		if n >= want {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+		if h.Count() == n && n > 0 {
+			return // drained: nothing new arrived during the poll gap
+		}
+	}
+}
+
+// runLecture drives the one-holder/N-listener fan-out mix: a chair
+// holds an equal-control floor and posts timestamped chat lines at
+// Poisson offsets; every listener's read-loop tap measures how long
+// each line took to arrive. Every tenth operation the chair releases
+// and re-acquires the floor, sampling uncontended grant latency.
+func runLecture(opts Options, seed int64, res *MixResult) error {
+	var errs errCounter
+	chair, err := opts.Dial(client.Config{Name: "lecturer", Role: "chair", Priority: 10})
+	if err != nil {
+		return err
+	}
+	defer chair.Close()
+	if err := chair.Join(res.Group); err != nil {
+		return err
+	}
+	var listeners []*client.Client
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < opts.Members; i++ {
+		l, err := opts.Dial(client.Config{
+			Name: fmt.Sprintf("listener-%d", i), Role: "participant", Priority: 3,
+			OnEvent: propTap(res.Prop),
+		})
+		if err != nil {
+			errs.note(err)
+			continue
+		}
+		if err := l.Join(res.Group); err != nil {
+			errs.note(err)
+			l.Close()
+			continue
+		}
+		listeners = append(listeners, l)
+	}
+	t0 := time.Now()
+	if _, err := chair.RequestFloor(res.Group, floor.EqualControl, ""); err != nil {
+		return err
+	}
+	res.Grant.Observe(time.Since(t0).Seconds())
+
+	// Chat ops run concurrently with each other, but never inside the
+	// release→re-grant window: an equal-control chair holds no floor
+	// there, and the resulting denials would be mix artifacts, not
+	// system failures. The RWMutex keeps chats open-loop among
+	// themselves while excluding only the probe.
+	var floorMu sync.RWMutex
+	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
+	fireAt(time.Now(), offsets, func(i int) {
+		if i%10 == 9 {
+			// Release/re-acquire cycle: the grant-latency probe.
+			floorMu.Lock()
+			defer floorMu.Unlock()
+			if err := chair.ReleaseFloor(res.Group); err != nil {
+				errs.note(err)
+				return
+			}
+			t0 := time.Now()
+			dec, err := chair.RequestFloor(res.Group, floor.EqualControl, "")
+			if err != nil || !dec.Granted {
+				errs.note(fmt.Errorf("re-grant: granted=%v err=%v", dec.Granted, err))
+				return
+			}
+			res.Grant.Observe(time.Since(t0).Seconds())
+			return
+		}
+		floorMu.RLock()
+		defer floorMu.RUnlock()
+		errs.note(chair.Chat(res.Group, tickLine()))
+	}).Wait()
+	// Each chat line should reach every listener.
+	settle(opts, res.Prop, int64(len(listeners))*int64(opts.Ops-opts.Ops/10))
+	res.Ops = opts.Ops
+	res.Errors = int(errs.n.Load())
+	return nil
+}
+
+// granted resolves each pending floor request exactly once: either the
+// synchronous decision already granted, or a read-loop tap resolves it
+// when the member's "granted" push arrives.
+type granted struct {
+	mu      sync.Mutex
+	pending map[string]pendingGrant // member ID → request state
+}
+
+type pendingGrant struct {
+	t0   time.Time
+	done func(latency time.Duration)
+}
+
+func newGranted() *granted {
+	return &granted{pending: make(map[string]pendingGrant)}
+}
+
+func (g *granted) arm(member string, t0 time.Time, done func(time.Duration)) {
+	g.mu.Lock()
+	g.pending[member] = pendingGrant{t0: t0, done: done}
+	g.mu.Unlock()
+}
+
+// resolve fires the member's pending callback, if armed.
+func (g *granted) resolve(member string) {
+	g.mu.Lock()
+	p, ok := g.pending[member]
+	if ok {
+		delete(g.pending, member)
+	}
+	g.mu.Unlock()
+	if ok {
+		p.done(time.Since(p.t0))
+	}
+}
+
+// cancel disarms a pending request whose grant will never come.
+func (g *granted) cancel(member string) {
+	g.mu.Lock()
+	delete(g.pending, member)
+	g.mu.Unlock()
+}
+
+// grantTap is an OnEvent hook resolving pending grants when the server
+// pushes a floor event that hands the watched member the floor.
+func grantTap(g *granted) func(protocol.Message) {
+	return func(msg protocol.Message) {
+		if msg.Type != protocol.TFloorEvent {
+			return
+		}
+		var body protocol.FloorEventBody
+		if msg.Into(&body) != nil {
+			return
+		}
+		switch body.Event {
+		case "granted", "passed", "approved":
+			if body.Holder != "" {
+				g.resolve(body.Holder)
+			}
+		}
+	}
+}
+
+// contend requests the floor for c and records the grant latency: the
+// synchronous decision if immediate, else the later pushed grant
+// resolved through g. On grant the member releases (asynchronously —
+// the tap must not block the read loop), keeping the floor moving.
+func contend(c *client.Client, group string, mode floor.Mode, g *granted, res *MixResult, errs *errCounter) {
+	me := c.MemberID()
+	g.arm(me, time.Now(), func(d time.Duration) {
+		res.Grant.Observe(d.Seconds())
+		go func() {
+			err := c.ReleaseFloor(group)
+			// A member re-requesting while still holding is granted
+			// immediately and releases again; if the first release is
+			// still in flight, the second finds the floor already moved
+			// on — an open-loop collision, not a system failure.
+			if err != nil && !strings.Contains(err.Error(), "not the floor holder") {
+				errs.note(err)
+			}
+		}()
+	})
+	dec, err := c.RequestFloor(group, mode, "")
+	switch {
+	case err == nil && dec.Granted:
+		g.resolve(me)
+	case err == nil && dec.QueuePosition > 0:
+		// Parked: the grant arrives as a push and the tap resolves it.
+	default:
+		g.cancel(me)
+		errs.note(fmt.Errorf("request: %v", err))
+	}
+}
+
+// runFlashCrowd drives the join-storm mix: fresh members dial in at
+// Poisson offsets, join, and immediately contend for a round-robin
+// floor. Whoever is granted releases at once, so the floor rotates
+// through the crowd while it is still arriving. Ops beyond the member
+// pool are re-requests from already-admitted members — members asking
+// again after their turn.
+func runFlashCrowd(opts Options, seed int64, res *MixResult) error {
+	var errs errCounter
+	g := newGranted()
+	var mu sync.Mutex
+	var crowd []*client.Client
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range crowd {
+			c.Close()
+		}
+	}()
+	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
+	fireAt(time.Now(), offsets, func(i int) {
+		var c *client.Client
+		if i < opts.Members {
+			fresh, err := opts.Dial(client.Config{
+				Name: fmt.Sprintf("crowd-%d", i), Role: "participant", Priority: 3,
+				OnEvent: grantTap(g),
+			})
+			if err != nil {
+				errs.note(err)
+				return
+			}
+			if err := fresh.Join(res.Group); err != nil {
+				errs.note(err)
+				fresh.Close()
+				return
+			}
+			mu.Lock()
+			crowd = append(crowd, fresh)
+			mu.Unlock()
+			c = fresh
+		} else {
+			mu.Lock()
+			if len(crowd) > 0 {
+				c = crowd[i%len(crowd)]
+			}
+			mu.Unlock()
+			if c == nil {
+				errs.note(fmt.Errorf("no admitted members yet"))
+				return
+			}
+		}
+		contend(c, res.Group, floor.RoundRobin, g, res, &errs)
+	}).Wait()
+	settle(opts, res.Grant, int64(opts.Ops))
+	res.Ops = opts.Ops
+	res.Errors = int(errs.n.Load())
+	return nil
+}
+
+// runModeratedChurn drives the moderated-queue mix: a chair holds the
+// approval duty and auto-approves every "queued" push its read loop
+// sees; members churn through request → approval → grant → release at
+// Poisson offsets. Grant latency spans the member's request to its
+// granted push — it includes the chair's approval hop, which is the
+// point of the mix.
+func runModeratedChurn(opts Options, seed int64, res *MixResult) error {
+	var errs errCounter
+	g := newGranted()
+	var chair *client.Client
+	approve := func(msg protocol.Message) {
+		if msg.Type != protocol.TFloorEvent {
+			return
+		}
+		var body protocol.FloorEventBody
+		if msg.Into(&body) != nil {
+			return
+		}
+		if body.Event == "queued" && body.Member != "" {
+			member := body.Member
+			go func() {
+				_, err := chair.ApproveFloor(res.Group, member)
+				// A member's approval persists across grant cycles, so a
+				// re-queued member may be promoted by a release before
+				// this (redundant) approval lands — benign, not an error.
+				if err != nil && !strings.Contains(err.Error(), "no pending request") {
+					errs.note(err)
+				}
+			}()
+		}
+	}
+	chair, err := opts.Dial(client.Config{
+		Name: "moderator", Role: "chair", Priority: 10, OnEvent: approve,
+	})
+	if err != nil {
+		return err
+	}
+	defer chair.Close()
+	if err := chair.Join(res.Group); err != nil {
+		return err
+	}
+	if err := chair.SwitchMode(res.Group, floor.ModeratedQueue, false); err != nil {
+		return err
+	}
+	var members []*client.Client
+	defer func() {
+		for _, m := range members {
+			m.Close()
+		}
+	}()
+	for i := 0; i < opts.Members; i++ {
+		m, err := opts.Dial(client.Config{
+			Name: fmt.Sprintf("churn-%d", i), Role: "participant", Priority: 3,
+			OnEvent: grantTap(g),
+		})
+		if err != nil {
+			errs.note(err)
+			continue
+		}
+		if err := m.Join(res.Group); err != nil {
+			errs.note(err)
+			m.Close()
+			continue
+		}
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return fmt.Errorf("no members admitted")
+	}
+	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
+	fireAt(time.Now(), offsets, func(i int) {
+		contend(members[i%len(members)], res.Group, floor.ModeratedQueue, g, res, &errs)
+	}).Wait()
+	settle(opts, res.Grant, int64(opts.Ops))
+	res.Ops = opts.Ops
+	res.Errors = int(errs.n.Load())
+	return nil
+}
+
+// runReconnectStorm drives the session-resume mix: an established
+// fleet drops and resumes its sessions at Poisson offsets — after the
+// optional Kill hook fells a node, for the full failover drill. The
+// grant histogram here records time back to service (Drop to Reconnect
+// returning), and each resumed member posts a timestamped line so the
+// propagation histogram shows the post-resume fan-out is live.
+func runReconnectStorm(opts Options, seed int64, res *MixResult) error {
+	var errs errCounter
+	var fleet []*client.Client
+	defer func() {
+		for _, c := range fleet {
+			c.Close()
+		}
+	}()
+	for i := 0; i < opts.Members; i++ {
+		c, err := opts.Dial(client.Config{
+			Name: fmt.Sprintf("storm-%d", i), Role: "participant", Priority: 3,
+			OnEvent: propTap(res.Prop),
+		})
+		if err != nil {
+			errs.note(err)
+			continue
+		}
+		if err := c.Join(res.Group); err != nil {
+			errs.note(err)
+			c.Close()
+			continue
+		}
+		fleet = append(fleet, c)
+	}
+	if len(fleet) == 0 {
+		return fmt.Errorf("no members admitted")
+	}
+	if opts.Kill != nil {
+		opts.Kill()
+	}
+	ops := opts.Ops
+	if ops > len(fleet) {
+		ops = len(fleet) // each member storms at most once
+	}
+	var ticks atomic.Int64
+	offsets := workload.Arrivals(seed, ops, opts.Mean)
+	fireAt(time.Now(), offsets, func(i int) {
+		c := fleet[i]
+		t0 := time.Now()
+		if !c.Drop() {
+			errs.note(fmt.Errorf("drop %d failed", i))
+			return
+		}
+		if err := c.Reconnect(); err != nil {
+			errs.note(err)
+			return
+		}
+		res.Grant.Observe(time.Since(t0).Seconds())
+		if err := c.Chat(res.Group, tickLine()); err != nil {
+			errs.note(err)
+			return
+		}
+		ticks.Add(1)
+	}).Wait()
+	// Each post-resume line should reach the whole fleet.
+	settle(opts, res.Prop, ticks.Load()*int64(len(fleet)))
+	res.Ops = ops
+	res.Errors = int(errs.n.Load())
+	return nil
+}
+
+// Report renders mix results as a BENCH_*.json-compatible document:
+// "_meta" plus one "Swarm/<mix>" entry per mix carrying the SLO
+// quantiles in milliseconds, and one "SwarmNode/<node>" entry per
+// cluster node attributing mix throughput to the node owning the
+// mix's group.
+func Report(results []MixResult, opts Options, note, goos, goarch string) map[string]map[string]any {
+	doc := map[string]map[string]any{
+		"_meta": {
+			"goos":    goos,
+			"goarch":  goarch,
+			"note":    note,
+			"seed":    opts.Seed,
+			"members": opts.Members,
+			"ops":     opts.Ops,
+		},
+	}
+	type nodeLoad struct {
+		ops  int
+		wall time.Duration
+	}
+	nodes := map[string]*nodeLoad{}
+	for _, r := range results {
+		entry := map[string]any{
+			"ops":           r.Ops,
+			"errors":        r.Errors,
+			"wall_ms":       round3(r.Wall.Seconds() * 1e3),
+			"grant_samples": r.Grant.Count(),
+			"prop_samples":  r.Prop.Count(),
+		}
+		for _, q := range []struct {
+			key string
+			q   float64
+		}{{"p50", 0.5}, {"p99", 0.99}, {"p999", 0.999}} {
+			entry["grant_"+q.key+"_ms"] = round3(r.Grant.Quantile(q.q) * 1e3)
+			entry["prop_"+q.key+"_ms"] = round3(r.Prop.Quantile(q.q) * 1e3)
+		}
+		doc["Swarm/"+r.Mix] = entry
+		node := "server"
+		if opts.NodeFor != nil {
+			node = opts.NodeFor(r.Group)
+		}
+		nl := nodes[node]
+		if nl == nil {
+			nl = &nodeLoad{}
+			nodes[node] = nl
+		}
+		nl.ops += r.Ops
+		nl.wall += r.Wall
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		nl := nodes[n]
+		perSec := 0.0
+		if nl.wall > 0 {
+			perSec = float64(nl.ops) / nl.wall.Seconds()
+		}
+		doc["SwarmNode/"+n] = map[string]any{
+			"ops":       nl.ops,
+			"ops_per_s": round3(perSec),
+		}
+	}
+	return doc
+}
+
+// round3 trims a float to 3 decimals for the JSON report — the report
+// is milliseconds, so this keeps microsecond resolution. NaN (an empty
+// histogram's quantile) renders as 0 rather than invalid JSON.
+func round3(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return float64(int64(v*1000+0.5)) / 1000
+}

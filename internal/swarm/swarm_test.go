@@ -1,0 +1,137 @@
+package swarm
+
+import (
+	"testing"
+	"time"
+
+	"dmps/internal/client"
+	"dmps/internal/core"
+	"dmps/internal/metrics"
+)
+
+// labOptions keeps the fleet tiny and the probes fast: the point is
+// that every mix produces measurements, not throughput.
+func labOptions(t *testing.T) (Options, *core.Cluster) {
+	t.Helper()
+	lab, err := core.StartCluster(core.ClusterOptions{
+		Options: core.Options{Seed: 7},
+		Nodes:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lab.Close)
+	host := 0
+	return Options{
+		Dial: func(cfg client.Config) (*client.Client, error) {
+			// Each member gets its own simulated host, like real fleets.
+			host++
+			cfg.Network = lab.Net.From(cfg.Name)
+			cfg.Addr = core.RouterAddr
+			cfg.Timeout = 5 * time.Second
+			return client.Dial(cfg)
+		},
+		Seed:    42,
+		Members: 3,
+		Ops:     12,
+		Mean:    2 * time.Millisecond,
+		Settle:  3 * time.Second,
+	}, lab
+}
+
+// TestSwarmMixesProduceHistograms runs every scripted mix against a
+// two-node netsim cluster and checks each yields the measurements its
+// SLO report is built from: grant samples for every mix, propagation
+// samples for the fan-out mixes, and no errors — deterministically,
+// with no real network involved.
+func TestSwarmMixesProduceHistograms(t *testing.T) {
+	opts, _ := labOptions(t)
+	results, err := Run(opts, Mixes...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Mixes) {
+		t.Fatalf("got %d results, want %d", len(results), len(Mixes))
+	}
+	for _, r := range results {
+		if r.Errors > 0 {
+			t.Errorf("%s: %d errors", r.Mix, r.Errors)
+		}
+		if r.Grant.Count() == 0 {
+			t.Errorf("%s: empty grant histogram", r.Mix)
+		}
+		if q := r.Grant.Quantile(0.99); !(q > 0) {
+			t.Errorf("%s: grant p99 = %v, want > 0", r.Mix, q)
+		}
+		switch r.Mix {
+		case "lecture", "reconnect-storm":
+			if r.Prop.Count() == 0 {
+				t.Errorf("%s: empty propagation histogram", r.Mix)
+			}
+		}
+	}
+}
+
+// TestSwarmReconnectStormSurvivesKill wires the Kill hook to a node
+// kill: the storm reconnects through the failover and still measures
+// time back to service for every member.
+func TestSwarmReconnectStormSurvivesKill(t *testing.T) {
+	opts, lab := labOptions(t)
+	opts.Kill = func() { lab.KillNode(1) }
+	opts.Settle = 5 * time.Second
+	results, err := Run(opts, "reconnect-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Grant.Count() == 0 {
+		t.Fatalf("no reconnects measured (errors=%d)", r.Errors)
+	}
+}
+
+// TestSwarmReport renders results into the BENCH_*.json-compatible
+// shape: _meta, one Swarm/<mix> entry with the quantile units, and
+// per-node throughput attribution through NodeFor.
+func TestSwarmReport(t *testing.T) {
+	h := metrics.NewHistogram(nil)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001 * float64(i+1))
+	}
+	res := []MixResult{{
+		Mix: "lecture", Group: "swarm-lecture",
+		Ops: 100, Wall: time.Second, Grant: h, Prop: metrics.NewHistogram(nil),
+	}}
+	opts := Options{Members: 3, Ops: 100, NodeFor: func(string) string { return "node0" }}
+	doc := Report(res, opts, "test", "linux", "amd64")
+	meta := doc["_meta"]
+	if meta["goos"] != "linux" || meta["note"] != "test" {
+		t.Fatalf("_meta = %v", meta)
+	}
+	entry := doc["Swarm/lecture"]
+	if entry == nil {
+		t.Fatal("missing Swarm/lecture entry")
+	}
+	p99, ok := entry["grant_p99_ms"].(float64)
+	if !ok || !(p99 > 0) {
+		t.Fatalf("grant_p99_ms = %v", entry["grant_p99_ms"])
+	}
+	// Empty propagation histogram must render as 0, not NaN (invalid JSON).
+	if v := entry["prop_p99_ms"].(float64); v != 0 {
+		t.Fatalf("prop_p99_ms = %v, want 0 for empty histogram", v)
+	}
+	node := doc["SwarmNode/node0"]
+	if node == nil || node["ops"].(int) != 100 {
+		t.Fatalf("SwarmNode/node0 = %v", node)
+	}
+}
+
+// TestSwarmUnknownMix fails fast, before anything dials.
+func TestSwarmUnknownMix(t *testing.T) {
+	_, err := Run(Options{Dial: func(client.Config) (*client.Client, error) {
+		t.Fatal("dialed for an unknown mix")
+		return nil, nil
+	}}, "rave")
+	if err == nil {
+		t.Fatal("want error for unknown mix")
+	}
+}

@@ -11,6 +11,10 @@ NODE0=127.0.0.1:7141
 NODE1=127.0.0.1:7142
 ROUTER=127.0.0.1:7140
 NODES="$NODE0,$NODE1"
+MET0=127.0.0.1:7151
+MET1=127.0.0.1:7152
+METR=127.0.0.1:7150
+METRICS="$METR,$MET0,$MET1"
 
 BIN="$(mktemp -d)"
 cleanup() {
@@ -24,11 +28,11 @@ trap cleanup EXIT
 go build -o "$BIN" ./cmd/dmps-server ./cmd/dmps-router ./cmd/dmps-smoke
 
 PIDS=()
-"$BIN/dmps-server" -addr "$NODE0" -cluster "$NODES" -node 0 -probe 100ms &
+"$BIN/dmps-server" -addr "$NODE0" -cluster "$NODES" -node 0 -probe 100ms -metrics "$MET0" &
 PIDS+=($!)
-"$BIN/dmps-server" -addr "$NODE1" -cluster "$NODES" -node 1 -probe 100ms &
+"$BIN/dmps-server" -addr "$NODE1" -cluster "$NODES" -node 1 -probe 100ms -metrics "$MET1" &
 PIDS+=($!)
-"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" &
+"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" -metrics "$METR" &
 PIDS+=($!)
 
 # Wait for all three listeners to come up.
@@ -44,5 +48,5 @@ for addr in "$NODE0" "$NODE1" "$ROUTER"; do
     exit 1
 done
 
-"$BIN/dmps-smoke" -router "$ROUTER" -nodes "$NODES"
-echo "cluster_smoke: OK (router + 2 nodes, real TCP, separate processes)"
+"$BIN/dmps-smoke" -router "$ROUTER" -nodes "$NODES" -metrics "$METRICS"
+echo "cluster_smoke: OK (router + 2 nodes + /metrics, real TCP, separate processes)"

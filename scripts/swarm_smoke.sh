@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Swarm smoke: boot 1 router + 2 group-partition nodes as REAL
+# processes over localhost TCP, run a short open-loop swarm (the
+# lecture fan-out and the reconnect storm), and gate the resulting SLO
+# report with dmps-swarm -check: it must parse and every mix must show
+# zero errors and a finite, non-zero p99 grant latency. CI uploads the
+# report as the BENCH_pr6.json artifact of the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_swarm_smoke.json}"
+
+NODE0=127.0.0.1:7241
+NODE1=127.0.0.1:7242
+ROUTER=127.0.0.1:7240
+NODES="$NODE0,$NODE1"
+
+BIN="$(mktemp -d)"
+cleanup() {
+    kill "${PIDS[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/dmps-server ./cmd/dmps-router ./cmd/dmps-swarm
+
+PIDS=()
+"$BIN/dmps-server" -addr "$NODE0" -cluster "$NODES" -node 0 -probe 100ms &
+PIDS+=($!)
+"$BIN/dmps-server" -addr "$NODE1" -cluster "$NODES" -node 1 -probe 100ms &
+PIDS+=($!)
+"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" &
+PIDS+=($!)
+
+for addr in "$NODE0" "$NODE1" "$ROUTER"; do
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}") 2>/dev/null; then
+            exec 3>&- || true
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "swarm_smoke: $addr never came up" >&2
+    exit 1
+done
+
+# ~5s of open-loop load: 100 ops per mix at a 20ms mean gap ≈ 2s of
+# scheduled arrivals each, plus settle.
+"$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
+    -mix lecture,reconnect-storm -members 6 -ops 100 -mean 20ms \
+    -seed 6 -note "swarm smoke: router + 2 nodes over localhost TCP" \
+    -out "$OUT"
+"$BIN/dmps-swarm" -check "$OUT"
+echo "swarm_smoke: OK ($OUT)"
