@@ -7,10 +7,17 @@
 //
 // Usage:
 //
-//	dmps-router -addr :4320 -nodes host1:4321,host2:4321 [-metrics :9320]
+//	dmps-router -addr :4320 -nodes host1:4321,host2:4321 \
+//	    [-recover 2s] [-metrics :9320]
 //
 // The -nodes list must be identical (same order) to the one every node
 // runs with: the ring order is the cluster's identity.
+//
+// With -recover the router self-heals: it re-dials down nodes on that
+// cadence and returns any that answer to service through the
+// epoch-versioned live migration (the state their partitions
+// accumulated elsewhere is shipped back before traffic moves). Zero
+// disables the prober.
 //
 // With -metrics the router serves its observability plane — proxied
 // session count, routed/relayed throughput, and the partition map's
@@ -23,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"dmps/internal/cluster"
 	"dmps/internal/metrics"
@@ -37,6 +45,7 @@ func run() int {
 	addr := flag.String("addr", ":4320", "listen address clients dial")
 	nodes := flag.String("nodes", "", "comma-separated node addresses, in ring order")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (off when empty)")
+	recoverEvery := flag.Duration("recover", 2*time.Second, "re-probe down nodes and migrate their partitions home on this cadence (0 disables)")
 	flag.Parse()
 
 	nodeList := strings.Split(*nodes, ",")
@@ -48,9 +57,10 @@ func run() int {
 		return 1
 	}
 	router, err := cluster.NewRouter(cluster.RouterConfig{
-		Network: transport.TCP{},
-		Addr:    *addr,
-		Nodes:   nodeList,
+		Network:         transport.TCP{},
+		Addr:            *addr,
+		Nodes:           nodeList,
+		RecoverInterval: *recoverEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmps-router:", err)

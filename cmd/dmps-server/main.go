@@ -4,7 +4,7 @@
 //
 //	dmps-server [-addr :4321] [-probe 500ms] [-alpha 0.5] [-beta 0.15]
 //	            [-session-ttl 1h] [-cluster host1:4321,host2:4321 -node 0]
-//	            [-metrics :9321]
+//	            [-rf 2] [-wal /var/lib/dmps/node0] [-metrics :9321]
 //
 // With -metrics the server serves its observability plane — session,
 // coalesce, grouplog and (in cluster mode) forward-pool and
@@ -19,8 +19,14 @@
 // multi-process cluster: -cluster lists every node address in ring
 // order (identical on all nodes and on cmd/dmps-router) and -node is
 // this process's index in that list. The node serves only its hash
-// partitions, homes only its members, and replicates its partitions'
-// logged state to the ring successor for takeover.
+// partitions, homes only its members, and replicates every logged
+// append to -rf minus one ring successors (acked, with resend) so any
+// rf-1 simultaneous node losses keep every logged event.
+//
+// With -wal the server journals logged state to a write-ahead segment
+// store in the given directory and replays it on start, resuming at
+// the same event-log cursors — the full-restart durability leg. Give
+// every node its own directory.
 package main
 
 import (
@@ -49,6 +55,8 @@ func run() int {
 	sessionTTL := flag.Duration("session-ttl", time.Hour, "reap members whose sessions stay silent this long")
 	clusterNodes := flag.String("cluster", "", "comma-separated node addresses in ring order; enables cluster mode")
 	nodeIdx := flag.Int("node", 0, "this node's index in -cluster")
+	rf := flag.Int("rf", 0, "replication factor: nodes holding each logged append (default 2 in cluster mode)")
+	walDir := flag.String("wal", "", "write-ahead log directory; journals and replays logged state (off when empty)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics at http://ADDR/metrics (off when empty)")
 	flag.Parse()
 
@@ -69,8 +77,9 @@ func run() int {
 		for i := range nodes {
 			nodes[i] = strings.TrimSpace(nodes[i])
 		}
-		cfg.Cluster = &server.ClusterConfig{Nodes: nodes, Self: *nodeIdx}
+		cfg.Cluster = &server.ClusterConfig{Nodes: nodes, Self: *nodeIdx, ReplicationFactor: *rf}
 	}
+	cfg.WALDir = *walDir
 	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dmps-server:", err)

@@ -15,7 +15,10 @@
 // nodes: member homes on both, one group owned by each. With -metrics
 // it additionally scrapes each listed observability endpoint after the
 // flow and fails unless every one serves Prometheus text with dmps_
-// series — the probe that the fleet is observable, not just alive.
+// series and, fleet-wide, the replication-durability series exist
+// (partition-map epoch, ack latency, unacked gauge; plus the WAL
+// series with -wal) — the probe that the fleet is observable, not
+// just alive.
 package main
 
 import (
@@ -63,6 +66,8 @@ func run() int {
 	router := flag.String("router", "127.0.0.1:4320", "router address")
 	nodes := flag.String("nodes", "", "comma-separated node addresses, in the cluster's ring order")
 	metricsAddrs := flag.String("metrics", "", "comma-separated metrics endpoints to scrape (host:port, empty skips the probe)")
+	expectWAL := flag.Bool("wal", false, "with -metrics, also require the WAL series (nodes run with -wal)")
+	prefix := flag.String("prefix", "smoke", "name prefix for members and groups (vary it to re-run against a deployment that remembers the last run)")
 	flag.Parse()
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "dmps-smoke: FAIL: "+format+"\n", args...)
@@ -86,18 +91,18 @@ func run() int {
 	}
 	// Members homed on different nodes (the hash runs over the
 	// sanitized name), groups owned by each node.
-	teacher, err := dial(pick(pmap, "smoke-t", 0), "chair", 5)
+	teacher, err := dial(pick(pmap, *prefix+"-t", 0), "chair", 5)
 	if err != nil {
 		return fail("dial teacher: %v", err)
 	}
 	defer teacher.Close()
-	student, err := dial(pick(pmap, "smoke-s", 1), "participant", 3)
+	student, err := dial(pick(pmap, *prefix+"-s", 1), "participant", 3)
 	if err != nil {
 		return fail("dial student: %v", err)
 	}
 	defer student.Close()
-	g0 := pick(pmap, "smoke-class", 0)
-	g1 := pick(pmap, "smoke-lab", 1)
+	g0 := pick(pmap, *prefix+"-class", 0)
+	g1 := pick(pmap, *prefix+"-lab", 1)
 
 	// Quickstart across the boundary: both join both groups, the
 	// teacher takes the floor in each and posts a line.
@@ -123,7 +128,7 @@ func run() int {
 		}
 	}
 	// An invitation whose invitee's home is the other node.
-	breakout := pick(pmap, "smoke-breakout", 0)
+	breakout := pick(pmap, *prefix+"-breakout", 0)
 	if err := teacher.Join(breakout); err != nil {
 		return fail("join %s: %v", breakout, err)
 	}
@@ -150,17 +155,32 @@ func run() int {
 	if tHome == sHome {
 		return fail("member homes collapsed onto one node")
 	}
-	// The observability probe: every listed endpoint must scrape.
+	// The observability probe: every listed endpoint must scrape, and
+	// across the fleet the replication-durability series must exist —
+	// the check that the new cluster plane is observable, not merely
+	// wired.
 	if *metricsAddrs != "" {
+		var union strings.Builder
 		for _, addr := range strings.Split(*metricsAddrs, ",") {
 			addr = strings.TrimSpace(addr)
 			if addr == "" {
 				continue
 			}
-			if err := scrape(addr); err != nil {
+			body, err := scrape(addr)
+			if err != nil {
 				return fail("metrics %s: %v", addr, err)
 			}
+			union.WriteString(body)
 			fmt.Printf("dmps-smoke: metrics OK at http://%s/metrics\n", addr)
+		}
+		want := []string{"dmps_cluster_map_epoch", "dmps_repl_ack_latency_seconds", "dmps_repl_unacked"}
+		if *expectWAL {
+			want = append(want, "dmps_wal_segments", "dmps_wal_bytes")
+		}
+		for _, name := range want {
+			if !strings.Contains(union.String(), name) {
+				return fail("metrics: no endpoint serves %s", name)
+			}
 		}
 	}
 	fmt.Printf("dmps-smoke: PASS — cross-partition quickstart over %s (%d nodes)\n", *router, len(nodeList))
@@ -170,25 +190,26 @@ func run() int {
 // scrape fetches one /metrics endpoint and checks it actually serves
 // this system's series: an HTTP 200 with at least one dmps_ sample
 // line. Anything else — refused connection, error status, empty or
-// foreign exposition — fails the smoke.
-func scrape(addr string) error {
+// foreign exposition — fails the smoke. It returns the exposition so
+// the caller can assert fleet-wide series coverage.
+func scrape(addr string) (string, error) {
 	client := &http.Client{Timeout: 5 * time.Second}
 	resp, err := client.Get("http://" + addr + "/metrics")
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return err
+		return "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("status %s", resp.Status)
+		return "", fmt.Errorf("status %s", resp.Status)
 	}
 	for _, line := range strings.Split(string(body), "\n") {
 		if strings.HasPrefix(line, "dmps_") {
-			return nil
+			return string(body), nil
 		}
 	}
-	return fmt.Errorf("no dmps_ series in %d-byte exposition", len(body))
+	return "", fmt.Errorf("no dmps_ series in %d-byte exposition", len(body))
 }

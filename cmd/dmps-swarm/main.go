@@ -7,18 +7,33 @@
 //
 //	dmps-swarm -addr 127.0.0.1:4320 [-nodes host1:4321,host2:4321] \
 //	    [-mix lecture,reconnect-storm] [-members 16] [-ops 200] \
-//	    [-mean 5ms] [-seed 1] [-out BENCH_pr6.json] [-note "..."]
+//	    [-mean 5ms] [-seed 1] [-out BENCH_pr7.json] [-note "..."] \
+//	    [-chaos-kill 'kill $(cat node$DMPS_CHAOS_NODE.pid)'] \
+//	    [-chaos-restart '...']
 //
-// The -nodes list (the cluster's ring order) is used only to attribute
-// per-node throughput in the report; omit it against a single server.
+// The -nodes list (the cluster's ring order) attributes per-node
+// throughput in the report and locates the chaos mix's victim; omit it
+// against a single server.
+//
+// The chaos flags arm the chaos mix's failure injections with shell
+// commands: -chaos-kill runs when the mix fells the group's owner
+// (its ring index is $DMPS_CHAOS_NODE), -chaos-restart later in the
+// mix to bring the process back — pair it with the router's -recover
+// prober so the restarted node's partitions migrate home under a new
+// epoch while load still flows. Without the flags the chaos mix runs
+// as steady load.
 //
 // Check mode validates a previously written report instead of running
 // load — the CI gate after the swarm smoke:
 //
-//	dmps-swarm -check BENCH_pr6.json
+//	dmps-swarm -check BENCH_pr7.json [-baseline BENCH_pr6.json -max-growth 4.0]
 //
 // It exits non-zero unless every Swarm/<mix> entry present has a
-// finite, non-zero p99 grant latency and zero errors.
+// finite, non-zero p99 grant latency and zero errors. With -baseline
+// it additionally gates the latency trend: every mix present in BOTH
+// documents must not have grown its p99 grant latency past -max-growth
+// times the baseline's (a ratio; latency on shared runners is noisy,
+// so pick a tolerant one). Mixes new in this run pass freely.
 package main
 
 import (
@@ -26,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"time"
@@ -53,6 +69,10 @@ func run() int {
 	out := flag.String("out", "", "write the JSON report here (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in _meta")
 	check := flag.String("check", "", "validate an existing report file instead of running load")
+	chaosKill := flag.String("chaos-kill", "", "shell command felling the chaos group's owner node ($DMPS_CHAOS_NODE = owner index; needs -nodes)")
+	chaosRestart := flag.String("chaos-restart", "", "shell command restarting the felled node later in the chaos mix")
+	baseline := flag.String("baseline", "", "with -check, gate p99 grant latencies against this prior report")
+	maxGrowth := flag.Float64("max-growth", 0, "with -baseline, fail if a mix's grant_p99_ms exceeds baseline × this ratio")
 	flag.Parse()
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "dmps-swarm: "+format+"\n", args...)
@@ -60,7 +80,7 @@ func run() int {
 	}
 
 	if *check != "" {
-		return checkReport(*check, fail)
+		return checkReport(*check, *baseline, *maxGrowth, fail)
 	}
 
 	opts := swarm.Options{
@@ -76,16 +96,42 @@ func run() int {
 		Mean:    *mean,
 		Settle:  *settle,
 	}
+	var pmap *cluster.Map
 	if *nodes != "" {
 		list := strings.Split(*nodes, ",")
 		for i := range list {
 			list[i] = strings.TrimSpace(list[i])
 		}
-		pmap := cluster.NewMap(list)
+		pmap = cluster.NewMap(list)
 		opts.NodeFor = func(group string) string {
 			_, owner := pmap.Owner(group)
 			return owner
 		}
+	}
+	if *chaosKill != "" {
+		if pmap == nil {
+			return fail("-chaos-kill needs -nodes to locate the group's owner")
+		}
+		// The hooks run a shell command with the owner's ring index in
+		// the environment, so a smoke script can kill (and later
+		// restart) the real node process the chaos group lands on.
+		killed := -1 // hooks run one at a time under the mix's injection lock
+		hook := func(cmdline string, node int) {
+			cmd := exec.Command("/bin/sh", "-c", cmdline)
+			cmd.Env = append(os.Environ(), fmt.Sprintf("DMPS_CHAOS_NODE=%d", node))
+			cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+			if err := cmd.Run(); err != nil {
+				fmt.Fprintf(os.Stderr, "dmps-swarm: chaos hook %q: %v\n", cmdline, err)
+			}
+		}
+		ch := &swarm.Chaos{KillOwner: func(group string) {
+			killed = pmap.Primary(group)
+			hook(*chaosKill, killed)
+		}}
+		if *chaosRestart != "" {
+			ch.Restart = func(group string) { hook(*chaosRestart, killed) }
+		}
+		opts.Chaos = ch
 	}
 	var mixes []string
 	if *mixList != "" {
@@ -122,19 +168,17 @@ func run() int {
 	return 0
 }
 
-// checkReport is the CI gate: the report must parse, contain at least
-// one Swarm/<mix> entry, and every entry must show zero errors and a
-// finite, non-zero p99 grant latency — the smoke-level SLO that load
-// actually flowed and grants actually resolved.
-func checkReport(path string, fail func(string, ...any) int) int {
+// loadReport parses a swarm report into numeric rows. _meta carries
+// strings; decoding loosely and keeping only float cells skims exactly
+// the Swarm/ material the gates read.
+func loadReport(path string) (map[string]map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return fail("check: %v", err)
+		return nil, err
 	}
-	// _meta carries strings; decode loosely and skim only Swarm/ keys.
 	var loose map[string]map[string]any
 	if err := json.Unmarshal(data, &loose); err != nil {
-		return fail("check: parse %s: %v", path, err)
+		return nil, fmt.Errorf("parse %s: %w", path, err)
 	}
 	doc := map[string]map[string]float64{}
 	for name, entry := range loose {
@@ -145,6 +189,29 @@ func checkReport(path string, fail func(string, ...any) int) int {
 			}
 		}
 		doc[name] = row
+	}
+	return doc, nil
+}
+
+// checkReport is the CI gate: the report must parse, contain at least
+// one Swarm/<mix> entry, and every entry must show zero errors and a
+// finite, non-zero p99 grant latency — the smoke-level SLO that load
+// actually flowed and grants actually resolved. With a baseline, each
+// mix present in both reports must also hold its p99 grant latency
+// within growth × the baseline's — the latency trend gate.
+func checkReport(path, baseline string, growth float64, fail func(string, ...any) int) int {
+	doc, err := loadReport(path)
+	if err != nil {
+		return fail("check: %v", err)
+	}
+	var base map[string]map[string]float64
+	if baseline != "" {
+		if base, err = loadReport(baseline); err != nil {
+			return fail("check: baseline: %v", err)
+		}
+		if !(growth > 0) {
+			return fail("check: -baseline needs -max-growth > 0")
+		}
 	}
 	checked := 0
 	for name, entry := range doc {
@@ -161,6 +228,12 @@ func checkReport(path string, fail func(string, ...any) int) int {
 		}
 		if entry["errors"] > 0 {
 			return fail("check: %s: %v errors", name, entry["errors"])
+		}
+		if prior, ok := base[name]; ok && prior["grant_p99_ms"] > 0 {
+			if p99 > prior["grant_p99_ms"]*growth {
+				return fail("check: %s: grant_p99_ms %.3f > %.2f× baseline %.3f",
+					name, p99, growth, prior["grant_p99_ms"])
+			}
 		}
 	}
 	if checked == 0 {

@@ -69,6 +69,7 @@ type Map struct {
 	nodes   []string
 	down    []bool
 	version int
+	epoch   int64
 }
 
 // NewMap builds a partition map over the given node addresses, in ring
@@ -121,6 +122,24 @@ func (m *Map) Successor(idx int) int {
 	return (idx + 1) % len(m.nodes)
 }
 
+// Successors returns the r distinct nodes after idx in ring order — the
+// replication target list of a partition whose primary is idx under
+// replication factor r+1. With fewer than r other nodes it returns them
+// all (the cluster cannot hold more copies than it has nodes).
+func (m *Map) Successors(idx, r int) []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := len(m.nodes)
+	if r > n-1 {
+		r = n - 1
+	}
+	out := make([]int, 0, r)
+	for i := 1; i <= r; i++ {
+		out = append(out, (idx+i)%n)
+	}
+	return out
+}
+
 // Owner returns the node currently serving a key: the primary, or —
 // while the primary is marked down — the first up node after it in ring
 // order. With every node down it falls back to the primary (the caller
@@ -151,7 +170,11 @@ func (m *Map) MarkDown(idx int) {
 }
 
 // MarkUp restores a node to the map, reverting its partitions to the
-// static assignment. It bumps the map version.
+// static assignment. It bumps the map version. MarkUp alone is NOT a
+// safe recovery path for a node that missed writes while down — the
+// live state of its partitions accumulated on the ring successors — so
+// cluster recovery routes through Router.Recover, which migrates the
+// adopted state back under a new epoch before calling MarkUp.
 func (m *Map) MarkUp(idx int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -174,4 +197,37 @@ func (m *Map) Version() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.version
+}
+
+// Epoch returns the map's migration epoch: a monotonic counter bumped
+// by every coordinated live migration (node recovery, replacement,
+// resharding). Takeover packages are stamped with the epoch that
+// shipped them, and receivers discard packages from epochs older than
+// the newest they have installed — the rule that makes concurrent or
+// repeated migrations converge instead of resurrecting stale state.
+func (m *Map) Epoch() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.epoch
+}
+
+// NextEpoch bumps the migration epoch and returns the new value — the
+// coordinator calls it once per migration, before shipping packages.
+func (m *Map) NextEpoch() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	return m.epoch
+}
+
+// AdvanceEpoch raises the epoch to at least e (monotonic max): nodes
+// observing a migration stamped with a newer epoch than their own map's
+// adopt it, so every map in the cluster converges on the coordinator's
+// count.
+func (m *Map) AdvanceEpoch(e int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e > m.epoch {
+		m.epoch = e
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmps/internal/protocol"
 	"dmps/internal/transport"
@@ -15,6 +16,21 @@ import (
 // backfill — so overflow drops (counted) rather than blocking the
 // group's append path on a slow peer.
 const peerQueueCap = 1024
+
+// Dial-retry and circuit-breaker tuning. A fresh link retries its dial
+// with exponential backoff before giving up (queued forwards wait in
+// the link's buffer, so a peer restarting under the sender loses
+// nothing); only when every attempt fails does the peer's circuit open,
+// and sends during the cooloff fast-fail as counted drops instead of
+// burning a dial each. The first Send after the cooloff is the
+// half-open probe: it re-creates the link and the retry ladder runs
+// again.
+const (
+	dialAttempts    = 6
+	dialBackoffBase = 5 * time.Millisecond
+	dialBackoffMax  = 160 * time.Millisecond
+	circuitCooloff  = time.Second
+)
 
 // Pool is the pooled inter-node transport: one connection per peer
 // node, dialed lazily, drained by a dedicated writer goroutine per
@@ -41,14 +57,28 @@ type PeerStats struct {
 	// Sent counts forwards queued to this peer.
 	Sent int64
 	// Drops counts forwards dropped for this peer (full queue, dead
-	// link backlog, dial failure).
+	// link backlog, dial failure, open circuit).
 	Drops int64
+	// Redials counts dial retries for this peer — every dial attempt
+	// beyond a link's first. A non-zero Redials with a quiet CircuitOpen
+	// reads as "flapping but reachable"; a climbing Redials is the
+	// backoff ladder running.
+	Redials int64
+	// CircuitOpen reports whether the peer's circuit is currently open:
+	// every dial attempt of the last link failed, and sends fast-fail
+	// until the cooloff expires (after which the next send half-opens
+	// the circuit with a fresh dial).
+	CircuitOpen bool
 }
 
 // peerStat is the live, atomically updated form of PeerStats.
 type peerStat struct {
-	sent  atomic.Int64
-	drops atomic.Int64
+	sent    atomic.Int64
+	drops   atomic.Int64
+	redials atomic.Int64
+	// circuitUntil is the unix-nano deadline of an open circuit (0 =
+	// closed); sends before it fast-fail without a link.
+	circuitUntil atomic.Int64
 }
 
 type peerLink struct {
@@ -102,6 +132,15 @@ func (p *Pool) Send(addr string, wire []byte) bool {
 			st = &peerStat{}
 			p.stats[addr] = st
 		}
+		if until := st.circuitUntil.Load(); until > time.Now().UnixNano() {
+			// Circuit open: the last link exhausted its dial ladder.
+			// Fast-fail instead of re-dialing on every send.
+			p.mu.Unlock()
+			p.drops.Add(1)
+			st.drops.Add(1)
+			return false
+		}
+		st.circuitUntil.Store(0) // half-open: this link is the probe
 		link = &peerLink{addr: addr, queue: make(chan []byte, peerQueueCap), down: make(chan struct{}), stat: st}
 		p.peers[addr] = link
 		p.wg.Add(1)
@@ -120,13 +159,18 @@ func (p *Pool) Send(addr string, wire []byte) bool {
 	}
 }
 
-// drain is the per-peer writer: it dials once and pushes queued
-// forwards until the connection fails or the pool closes. On failure
-// the link is retired; the next Send re-creates it (and re-dials).
+// drain is the per-peer writer: it dials (with the bounded backoff
+// ladder) and pushes queued forwards until the connection fails or the
+// pool closes. While the ladder runs, queued forwards wait in the
+// link's buffer — a peer restarting under the sender loses nothing.
+// When every dial attempt fails the peer's circuit opens and the link
+// is retired (backlog counted as drops); a mid-stream send failure just
+// retires the link, and the next Send re-dials.
 func (p *Pool) drain(link *peerLink) {
 	defer p.wg.Done()
-	conn, err := p.network.Dial(link.addr)
-	if err != nil {
+	conn := p.dialWithBackoff(link)
+	if conn == nil {
+		link.stat.circuitUntil.Store(time.Now().Add(circuitCooloff).UnixNano())
 		p.retire(link)
 		return
 	}
@@ -142,6 +186,34 @@ func (p *Pool) drain(link *peerLink) {
 			return
 		}
 	}
+}
+
+// dialWithBackoff runs the link's dial ladder: dialAttempts tries with
+// exponential backoff between them, counting every retry into the
+// peer's Redials. It returns nil when every attempt failed or the link
+// went down while waiting.
+func (p *Pool) dialWithBackoff(link *peerLink) transport.Conn {
+	backoff := dialBackoffBase
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			link.stat.redials.Add(1)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-link.down:
+				timer.Stop()
+				return nil
+			}
+			if backoff *= 2; backoff > dialBackoffMax {
+				backoff = dialBackoffMax
+			}
+		}
+		conn, err := p.network.Dial(link.addr)
+		if err == nil {
+			return conn
+		}
+	}
+	return nil
 }
 
 // retire removes a failed link so future sends re-dial, and counts its
@@ -174,8 +246,14 @@ func (p *Pool) PeerStats() map[string]PeerStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := make(map[string]PeerStats, len(p.stats))
+	now := time.Now().UnixNano()
 	for addr, st := range p.stats {
-		out[addr] = PeerStats{Sent: st.sent.Load(), Drops: st.drops.Load()}
+		out[addr] = PeerStats{
+			Sent:        st.sent.Load(),
+			Drops:       st.drops.Load(),
+			Redials:     st.redials.Load(),
+			CircuitOpen: st.circuitUntil.Load() > now,
+		}
 	}
 	return out
 }

@@ -1,0 +1,65 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"dmps/internal/cluster"
+	"dmps/internal/netsim"
+)
+
+// TestPoolBackoffAndCircuitBreaker exercises the inter-node pool's
+// failure ladder directly: a dead peer runs the bounded dial-retry
+// ladder (counted in Redials), then opens the circuit so further sends
+// fast-fail as drops without burning dials; a live peer delivers with
+// a quiet ladder and a closed circuit.
+func TestPoolBackoffAndCircuitBreaker(t *testing.T) {
+	net := netsim.New(31)
+	p := cluster.NewPool(net.From("sender"))
+	defer p.Close()
+
+	// Nothing listens at dead:1. The first send queues (the link buffers
+	// while the ladder runs); when every dial attempt fails, the circuit
+	// opens and the backlog is counted as drops.
+	if !p.Send("dead:1", []byte(`{"probe":1}`)) {
+		t.Fatal("first send must queue while the dial ladder runs")
+	}
+	waitFor(t, "dial ladder exhausts and the circuit opens", func() bool {
+		st := p.PeerStats()["dead:1"]
+		return st.CircuitOpen && st.Redials >= 1 && st.Drops >= 1
+	})
+
+	// While the circuit is open, sends fast-fail as counted drops and
+	// never re-run the ladder.
+	before := p.PeerStats()["dead:1"]
+	if p.Send("dead:1", []byte(`{"probe":2}`)) {
+		t.Fatal("send during an open circuit must be dropped")
+	}
+	after := p.PeerStats()["dead:1"]
+	if after.Drops != before.Drops+1 {
+		t.Errorf("open-circuit send: drops %d -> %d, want +1", before.Drops, after.Drops)
+	}
+	if after.Redials != before.Redials {
+		t.Errorf("open-circuit send dialed anyway: redials %d -> %d", before.Redials, after.Redials)
+	}
+
+	// A live peer: delivery with no retries and a closed circuit.
+	ln, err := net.Listen("live:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	if !p.Send("live:1", []byte(`{"probe":3}`)) {
+		t.Fatal("send to a live peer must queue")
+	}
+	waitFor(t, "live peer counters settle", func() bool {
+		st := p.PeerStats()["live:1"]
+		return st.Sent == 1 && st.Drops == 0 && st.Redials == 0 && !st.CircuitOpen
+	})
+}

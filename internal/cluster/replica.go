@@ -45,9 +45,23 @@ type GroupReplica struct {
 // fallback, same as with the in-process log ring. Safe for concurrent
 // use.
 type ReplicaStore struct {
-	mu     sync.Mutex
-	cap    int
-	groups map[string]*GroupReplica
+	mu      sync.Mutex
+	cap     int
+	groups  map[string]*GroupReplica
+	members map[string]*MemberHome
+	// epochs records, per key, the newest migration epoch whose takeover
+	// package this store (or its node) has installed; packages stamped
+	// older are stale and discarded.
+	epochs map[string]int64
+}
+
+// MemberHome is a member's replicated home-node state: the directory
+// row and the session-resume token. The home's successor holds it so a
+// resume presented after home-node death can be adopted instead of
+// expiring the session.
+type MemberHome struct {
+	Info  protocol.NodeMemberInfo
+	Token string
 }
 
 // NewReplicaStore returns an empty store retaining up to cap events per
@@ -56,7 +70,10 @@ func NewReplicaStore(cap int) *ReplicaStore {
 	if cap <= 0 {
 		cap = 512
 	}
-	return &ReplicaStore{cap: cap, groups: make(map[string]*GroupReplica)}
+	return &ReplicaStore{
+		cap: cap, groups: make(map[string]*GroupReplica),
+		members: make(map[string]*MemberHome), epochs: make(map[string]int64),
+	}
 }
 
 func (s *ReplicaStore) group(id string) *GroupReplica {
@@ -155,4 +172,102 @@ func (s *ReplicaStore) Take(groupID string) (GroupReplica, bool) {
 	}
 	delete(s.groups, groupID)
 	return *g, true
+}
+
+// GroupKeys lists the keys the store holds replica packages for —
+// migration's enumeration of what a recovering node may be owed.
+func (s *ReplicaStore) GroupKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.groups))
+	for k := range s.groups {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MemberIDs lists the member IDs the store holds replicated homes for.
+func (s *ReplicaStore) MemberIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.members))
+	for id := range s.members {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ApplyMemberHome records a member's replicated home state (directory
+// row + resume token), keyed by member ID.
+func (s *ReplicaStore) ApplyMemberHome(info protocol.NodeMemberInfo, token string) {
+	if info.ID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[info.ID] = &MemberHome{Info: info, Token: token}
+}
+
+// DropMemberHome retracts a replicated member home — the home node
+// expired the session, so the replica must not adopt it back to life.
+func (s *ReplicaStore) DropMemberHome(memberID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.members, memberID)
+}
+
+// MemberByToken finds the replicated member home holding the given
+// resume token — the lookup a successor runs when a resume arrives for
+// a token it never minted.
+func (s *ReplicaStore) MemberByToken(token string) (MemberHome, bool) {
+	if token == "" {
+		return MemberHome{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, mh := range s.members {
+		if mh.Token == token {
+			return *mh, true
+		}
+	}
+	return MemberHome{}, false
+}
+
+// TakeMember removes and returns a member's replicated home for
+// adoption — delete-on-read idempotency, like Take.
+func (s *ReplicaStore) TakeMember(memberID string) (MemberHome, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mh, ok := s.members[memberID]
+	if !ok {
+		return MemberHome{}, false
+	}
+	delete(s.members, memberID)
+	return *mh, true
+}
+
+// AdmitEpoch checks a takeover package's epoch against the newest this
+// store has seen for the key, recording it when newer. It reports false
+// for a stale package (epoch older than one already installed) — the
+// rule that keeps repeated or racing migrations from resurrecting old
+// state.
+func (s *ReplicaStore) AdmitEpoch(key string, epoch int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch < s.epochs[key] {
+		return false
+	}
+	s.epochs[key] = epoch
+	return true
+}
+
+// Install replaces a group's replica package wholesale — how a
+// takeover package shipped by a migration lands on a node that does not
+// natively own the key (it becomes replica state for a later failover).
+func (s *ReplicaStore) Install(groupID string, rep GroupReplica) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := rep
+	cp.Events = append([]ReplicaEvent(nil), rep.Events...)
+	s.groups[groupID] = &cp
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmps/internal/group"
 	"dmps/internal/protocol"
@@ -48,6 +49,12 @@ type RouterConfig struct {
 	// must be configured with the same list (its own position via the
 	// node's Self index).
 	Nodes []string
+	// RecoverInterval, when positive, runs a background prober that
+	// re-dials down nodes on this cadence and returns any that answer
+	// to service through Recover — the epoch-versioned live migration.
+	// Zero leaves recovery to explicit Recover calls (tests, admin
+	// tooling).
+	RecoverInterval time.Duration
 }
 
 // Router is the thin routing tier in front of a node cluster: it
@@ -109,13 +116,40 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: router: %w", err)
 	}
-	return &Router{
+	r := &Router{
 		cfg:      cfg,
 		pmap:     NewMap(cfg.Nodes),
 		listener: l,
 		sessions: make(map[*routerSession]bool),
 		closed:   make(chan struct{}),
-	}, nil
+	}
+	if cfg.RecoverInterval > 0 {
+		r.wg.Add(1)
+		go r.recoverLoop(cfg.RecoverInterval)
+	}
+	return r, nil
+}
+
+// recoverLoop is the router's self-healing prober: every interval it
+// re-dials each down node and, for any that answer, runs the full
+// Recover migration. Recover itself probes first, so a still-dead node
+// costs one failed dial and changes nothing.
+func (r *Router) recoverLoop(interval time.Duration) {
+	defer r.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-t.C:
+			for i := 0; i < r.pmap.Len(); i++ {
+				if r.pmap.Down(i) {
+					_ = r.Recover(i)
+				}
+			}
+		}
+	}
 }
 
 // Addr returns the router's listen address.
@@ -258,8 +292,29 @@ func (rs *routerSession) admit() error {
 	conn, err := rs.r.cfg.Network.Dial(rs.r.pmap.Addr(homeIdx))
 	if err != nil {
 		rs.r.pmap.MarkDown(homeIdx)
-		rs.reject(msg.Seq, "node_down", "home node unreachable")
-		return err
+		if hello.Token == "" {
+			rs.reject(msg.Seq, "node_down", "home node unreachable")
+			return err
+		}
+		// Resume failover: the token's minting node is gone, but its ring
+		// successors hold the member's replicated home state (directory
+		// row, token, member log). Route the resume to the first reachable
+		// successor — it verifies the home really is dead and adopts the
+		// member — and tag the welcome token with the serving node so the
+		// NEXT resume goes straight there.
+		for _, j := range rs.r.pmap.Successors(homeIdx, rs.r.pmap.Len()-1) {
+			c, derr := rs.r.cfg.Network.Dial(rs.r.pmap.Addr(j))
+			if derr != nil {
+				rs.r.pmap.MarkDown(j)
+				continue
+			}
+			conn, homeIdx, err = c, j, nil
+			break
+		}
+		if err != nil {
+			rs.reject(msg.Seq, "node_down", "home node unreachable")
+			return err
+		}
 	}
 	fwd := protocol.MustNew(protocol.THello, hello)
 	fwd.Seq = msg.Seq
@@ -532,7 +587,7 @@ func (rs *routerSession) upstreamDown(up *upstream) {
 		rs.teardown()
 		return
 	}
-	moved := protocol.NodeMovedBody{Groups: groups}
+	moved := protocol.NodeMovedBody{Groups: groups, Epoch: rs.r.pmap.Epoch()}
 	if !alive {
 		// Name the dead node's lights shard so clients can flip its
 		// members red: their home stopped reporting, and a frozen last
@@ -542,6 +597,99 @@ func (rs *routerSession) upstreamDown(up *upstream) {
 	note := protocol.MustNew(protocol.TNodeMoved, moved)
 	if wire, err := protocol.Encode(note); err == nil {
 		_ = rs.sendClient(wire)
+	}
+}
+
+// Recover returns a recovered node (restarted, replaced, or newly
+// reachable again) to service through a coordinated, epoch-versioned
+// live migration — the safe form of what a bare Map.MarkUp used to
+// split-brain: the state the node's partitions accumulated elsewhere
+// while it was down (adopted live state and never-adopted standby
+// replicas alike) is shipped back and installed BEFORE the partition
+// map points traffic at it.
+//
+// The sequence: probe the node (unreachable → error, nothing changes);
+// bump the map epoch; ask every other up node to migrate what it holds
+// for the recovering node (ForwardMigrate → the node ships epoch-
+// stamped takeover packages and answers ForwardMigrated once its
+// receiver confirmed the installs); only then MarkUp, and push one
+// TNodeMoved naming the migrated groups and the new epoch to every
+// proxied client — their cue to backfill, exactly like a failover.
+// A peer that cannot be reached keeps its adopted state and keeps
+// serving it (the map still routes those partitions to it until a
+// later Recover completes); epoch staleness makes retries converge.
+func (r *Router) Recover(idx int) error {
+	if idx < 0 || idx >= r.pmap.Len() {
+		return fmt.Errorf("cluster: recover: node %d out of range", idx)
+	}
+	addr := r.pmap.Addr(idx)
+	probe, err := r.cfg.Network.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: recover: node %d unreachable: %w", idx, err)
+	}
+	_ = probe.Close()
+	epoch := r.pmap.NextEpoch()
+	var moved []string
+	for j := 0; j < r.pmap.Len(); j++ {
+		if j == idx || r.pmap.Down(j) {
+			continue
+		}
+		groups, err := r.askMigrate(j, idx, addr, epoch)
+		if err != nil {
+			// This peer keeps its claim; a later Recover retries under a
+			// newer epoch and the staleness rule discards the older ship.
+			continue
+		}
+		moved = append(moved, groups...)
+	}
+	r.pmap.MarkUp(idx)
+	if wire, err := protocol.Encode(protocol.MustNew(protocol.TNodeMoved, protocol.NodeMovedBody{
+		Groups: moved, Epoch: epoch,
+	})); err == nil {
+		r.mu.Lock()
+		sessions := make([]*routerSession, 0, len(r.sessions))
+		for rs := range r.sessions {
+			sessions = append(sessions, rs)
+		}
+		r.mu.Unlock()
+		for _, rs := range sessions {
+			_ = rs.sendClient(wire)
+		}
+	}
+	return nil
+}
+
+// askMigrate asks node j to migrate everything it holds for the
+// recovering node, blocking until its ForwardMigrated confirmation. It
+// returns the group/member-log keys the node reported shipped.
+func (r *Router) askMigrate(j, node int, addr string, epoch int64) ([]string, error) {
+	conn, err := r.cfg.Network.Dial(r.pmap.Addr(j))
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	wire := WrapForward(protocol.ForwardBody{
+		Kind: protocol.ForwardMigrate, Node: node, Addr: addr, Epoch: epoch,
+	})
+	if wire == nil {
+		return nil, errors.New("cluster: recover: encode migrate")
+	}
+	if err := conn.Send(wire); err != nil {
+		return nil, err
+	}
+	for {
+		reply, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		msg, err := protocol.Decode(reply)
+		if err != nil || msg.Type != protocol.TForward {
+			continue
+		}
+		var body protocol.ForwardBody
+		if msg.Into(&body) == nil && body.Kind == protocol.ForwardMigrated {
+			return body.Groups, nil
+		}
 	}
 }
 

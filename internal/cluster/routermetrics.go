@@ -40,6 +40,9 @@ func RegisterMapMetrics(reg *metrics.Registry, pmap *Map) {
 	reg.GaugeFunc("dmps_cluster_map_version", "Partition map version (bumps on every down/up mark).", func() []metrics.Sample {
 		return []metrics.Sample{{Value: float64(pmap.Version())}}
 	})
+	reg.GaugeFunc("dmps_cluster_map_epoch", "Partition map migration epoch (bumps on every coordinated recovery).", func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(pmap.Epoch())}}
+	})
 	reg.GaugeFunc("dmps_cluster_node_down", "1 when the node is marked down in the partition map.", func() []metrics.Sample {
 		out := make([]metrics.Sample, pmap.Len())
 		for i := range out {

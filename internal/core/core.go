@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"dmps/internal/client"
@@ -171,6 +172,14 @@ type ClusterOptions struct {
 	Options
 	// Nodes is the number of group-partition node processes (default 2).
 	Nodes int
+	// ReplicationFactor is how many nodes hold each logged append
+	// (default: the cluster plane's own default, 2 — primary plus one
+	// ring successor).
+	ReplicationFactor int
+	// WALDir, when set, gives each node a write-ahead log under
+	// WALDir/node<i>, so KillNode+RestartNode drills replay durable
+	// state instead of starting empty.
+	WALDir string
 }
 
 // Cluster is a fully assembled in-memory multi-process DMPS deployment:
@@ -189,6 +198,7 @@ type Cluster struct {
 	// aligned with Nodes.
 	Monitors []*resource.Monitor
 
+	addrs   []string
 	opts    ClusterOptions
 	clients []*client.Client
 }
@@ -218,37 +228,13 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	for i := range addrs {
 		addrs[i] = NodeAddr(i)
 	}
-	c := &Cluster{Net: net, opts: opts}
+	c := &Cluster{Net: net, addrs: addrs, opts: opts}
 	for i := range addrs {
-		mon, err := resource.New(resource.MinBound, opts.Thresholds)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		srv, err := server.New(server.Config{
-			Network:          net,
-			Addr:             addrs[i],
-			Monitor:          mon,
-			ProbeInterval:    opts.ProbeInterval,
-			ProbeTimeout:     opts.ProbeTimeout,
-			SendQueueCap:     opts.SendQueueCap,
-			SlowPolicy:       opts.SlowPolicy,
-			LogCap:           opts.LogCap,
-			CoalesceInterval: opts.CoalesceInterval,
-			SessionTTL:       opts.SessionTTL,
-			Cluster: &server.ClusterConfig{
-				Nodes: addrs,
-				Self:  i,
-				// Inter-node traffic originates at the node's own host so
-				// per-host link configs apply.
-				Network: net.From(netsim.Host(addrs[i])),
-			},
-		})
+		srv, mon, err := c.startNode(i)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("core: node %d: %w", i, err)
 		}
-		srv.Start()
 		c.Nodes = append(c.Nodes, srv)
 		c.Monitors = append(c.Monitors, mon)
 	}
@@ -264,6 +250,67 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	router.Start()
 	c.Router = router
 	return c, nil
+}
+
+// startNode builds and starts cluster node i from the lab options. The
+// WAL dir (when configured) is per-node and stable across restarts, so
+// a restarted node replays the state its predecessor journalled.
+func (c *Cluster) startNode(i int) (*server.Server, *resource.Monitor, error) {
+	mon, err := resource.New(resource.MinBound, c.opts.Thresholds)
+	if err != nil {
+		return nil, nil, err
+	}
+	var walDir string
+	if c.opts.WALDir != "" {
+		walDir = filepath.Join(c.opts.WALDir, fmt.Sprintf("node%d", i))
+	}
+	srv, err := server.New(server.Config{
+		Network:          c.Net,
+		Addr:             c.addrs[i],
+		Monitor:          mon,
+		ProbeInterval:    c.opts.ProbeInterval,
+		ProbeTimeout:     c.opts.ProbeTimeout,
+		SendQueueCap:     c.opts.SendQueueCap,
+		SlowPolicy:       c.opts.SlowPolicy,
+		LogCap:           c.opts.LogCap,
+		CoalesceInterval: c.opts.CoalesceInterval,
+		SessionTTL:       c.opts.SessionTTL,
+		WALDir:           walDir,
+		Cluster: &server.ClusterConfig{
+			Nodes:             c.addrs,
+			Self:              i,
+			ReplicationFactor: c.opts.ReplicationFactor,
+			// Inter-node traffic originates at the node's own host so
+			// per-host link configs apply.
+			Network: c.Net.From(netsim.Host(c.addrs[i])),
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.Start()
+	return srv, mon, nil
+}
+
+// RestartNode brings a killed node i back at its original address with
+// its original WAL dir — the node-replacement drill. The restarted
+// process replays its write-ahead log (if ClusterOptions.WALDir is
+// set), resumes at the journalled GSeq/CSeq cursors, and is ready for
+// Router.Recover to migrate its partitions home.
+func (c *Cluster) RestartNode(i int) error {
+	if i < 0 || i >= len(c.Nodes) {
+		return fmt.Errorf("core: no node %d", i)
+	}
+	if c.Nodes[i] != nil {
+		c.Nodes[i].Close()
+	}
+	srv, mon, err := c.startNode(i)
+	if err != nil {
+		return fmt.Errorf("core: restart node %d: %w", i, err)
+	}
+	c.Nodes[i] = srv
+	c.Monitors[i] = mon
+	return nil
 }
 
 // NewClient connects a client through the router.

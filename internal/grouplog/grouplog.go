@@ -345,6 +345,35 @@ func (l *Log) ClassHeads() map[string]int64 {
 	return out
 }
 
+// Entry is one retained event in export form: the sequence coordinates
+// and wire bytes a migration takeover package or a WAL checkpoint needs
+// to re-install the event elsewhere with AppendRaw.
+type Entry struct {
+	GSeq  int64
+	CSeq  int64
+	Class string
+	State bool
+	Wire  []byte
+}
+
+// Dump exports the retained window in log order — the live-state source
+// for an epoch-versioned migration's takeover package and for WAL
+// checkpoints. The wire byte slices are shared, not copied; callers
+// must treat them as read-only (every producer in this plane already
+// does).
+func (l *Log) Dump() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.live()))
+	for _, e := range l.live() {
+		out = append(out, Entry{GSeq: e.gseq, CSeq: e.cseq, Class: e.class, State: e.state, Wire: e.wire})
+	}
+	return out
+}
+
+// Keys lists the plane's live log keys.
+func (p *Plane) Keys() []string { return p.logs.Keys() }
+
 // Replay emits, in log order, every retained event whose class passes
 // the want filter and whose CSeq is beyond the caller's position in
 // afters (a class absent from afters counts as position 0). It reports

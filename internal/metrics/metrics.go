@@ -231,6 +231,15 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	return h
 }
 
+// RegisterHistogram registers a histogram the caller already owns and
+// observes into — how a subsystem that records latencies for its own
+// purposes (the replication ack table, the swarm harness) exports them
+// without double bookkeeping. Panics on a duplicate name, like every
+// registration.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+}
+
 // GaugeFunc registers a scrape-time gauge collector: collect runs on
 // every scrape and returns the samples to export (one bare sample, or
 // several distinguished by a label pair). This is how the server and

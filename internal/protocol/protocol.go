@@ -579,13 +579,79 @@ const (
 	// ForwardMembers replicates a group's membership roster (and chair)
 	// to the successor, so a takeover can restore who belongs where.
 	ForwardMembers = "members"
+	// ForwardAck acknowledges an identified replication forward: the
+	// receiver echoes ID back to From once the payload is durably applied
+	// to its replica store. The sender's in-flight table clears the entry
+	// (or resends it after a timeout) — replication factor R means a
+	// logged append is only lost if R nodes die before any ack lands.
+	ForwardAck = "ack"
+	// ForwardMemberHome replicates a member's home-node state — the
+	// directory row and the session-resume token — to the home's
+	// successor list, so a resume (Client.Reconnect) survives home-node
+	// death: the successor adopts the member the way it adopts groups.
+	ForwardMemberHome = "member_home"
+	// ForwardMemberDrop retracts a replicated member home after the home
+	// node expires the session (reap), so a dead member cannot be
+	// adopted back to life from a stale replica.
+	ForwardMemberDrop = "member_drop"
+	// ForwardMigrate asks a node to ship every partition it adopted from
+	// the recovering node (Node/Addr) back to it — the coordinated
+	// live-migration step of an epoch bump. The node answers on the same
+	// connection with ForwardMigrated once every takeover package has
+	// been shipped and the adopted state dropped.
+	ForwardMigrate = "migrate"
+	// ForwardMigrated is the reply to ForwardMigrate: Groups lists the
+	// log keys (group IDs and "~member" keys) that were shipped back.
+	ForwardMigrated = "migrated"
+	// ForwardTakeover installs a complete partition package — roster,
+	// floor blob, retained log events, board head — on the receiving
+	// node, stamped with the epoch of the migration that shipped it. The
+	// receiver installs it into live state when it owns the key natively,
+	// and into its replica store otherwise; packages from a stale epoch
+	// are discarded.
+	ForwardTakeover = "takeover"
 )
+
+// ReplicaEventBody is one retained log event riding a takeover package:
+// the stamped wire bytes plus the sequence coordinates needed to
+// re-install them with AppendRaw, preserving GSeq/CSeq exactly.
+type ReplicaEventBody struct {
+	GSeq  int64           `json:"gseq"`
+	CSeq  int64           `json:"cseq"`
+	Class string          `json:"class,omitempty"`
+	State bool            `json:"state,omitempty"`
+	Wire  json.RawMessage `json:"wire"`
+}
+
+// TakeoverBody is a complete partition package shipped by an
+// epoch-versioned migration: everything a node needs to serve the key —
+// roster and chair, the floor blob, the retained log suffix, and the
+// board head. For a "~member" key, Member and Token carry the home-node
+// state instead of the group fields. Epoch stamps the migration; a
+// receiver discards packages older than the newest epoch it has
+// installed for the key.
+type TakeoverBody struct {
+	Key       string             `json:"key"`
+	Epoch     int64              `json:"epoch"`
+	Chair     string             `json:"chair,omitempty"`
+	Members   []NodeMemberInfo   `json:"members,omitempty"`
+	Floor     *FloorReplicaBody  `json:"floor,omitempty"`
+	Events    []ReplicaEventBody `json:"events,omitempty"`
+	BoardHead int64              `json:"board_head,omitempty"`
+	Member    *NodeMemberInfo    `json:"member,omitempty"`
+	Token     string             `json:"token,omitempty"`
+}
 
 // ForwardBody is a typed node-to-node forward. Kind selects the shape:
 // ForwardInvite carries To (the member) and Msg (the inner event);
 // ForwardReplica carries Group, Msg (the logged wire bytes, sequence
 // numbers already stamped) and optionally Floor; ForwardMembers carries
-// Group, Members and Chair.
+// Group, Members and Chair; ForwardAck carries ID and From;
+// ForwardMemberHome carries Member and Token; ForwardMemberDrop carries
+// To; ForwardMigrate carries Node and Addr; ForwardMigrated carries
+// Groups; ForwardTakeover carries Takeover. Replicated kinds (replica,
+// members, member_home, member_drop) additionally carry ID and From so
+// the receiver can ack them.
 type ForwardBody struct {
 	Kind    string            `json:"kind"`
 	Group   string            `json:"group,omitempty"`
@@ -594,6 +660,24 @@ type ForwardBody struct {
 	Members []NodeMemberInfo  `json:"members,omitempty"`
 	Floor   *FloorReplicaBody `json:"floor,omitempty"`
 	Msg     json.RawMessage   `json:"msg,omitempty"`
+	// ID identifies an acked replication forward (per-sender monotonic,
+	// 0 = unacked fire-and-forget); From is the sender's peer address the
+	// ack is sent back to.
+	ID   int64  `json:"id,omitempty"`
+	From string `json:"from,omitempty"`
+	// Epoch stamps migration-coordination forwards with the partition-map
+	// epoch they belong to.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Member and Token carry a replicated member home (ForwardMemberHome).
+	Member *NodeMemberInfo `json:"member,omitempty"`
+	Token  string          `json:"token,omitempty"`
+	// Node and Addr identify the recovering node of a ForwardMigrate;
+	// Groups lists the shipped keys of a ForwardMigrated reply.
+	Node   int      `json:"node,omitempty"`
+	Addr   string   `json:"addr,omitempty"`
+	Groups []string `json:"groups,omitempty"`
+	// Takeover is the partition package of a ForwardTakeover.
+	Takeover *TakeoverBody `json:"takeover,omitempty"`
 }
 
 // NodeMovedBody names the groups whose partition moved to another node.
@@ -608,6 +692,11 @@ type NodeMovedBody struct {
 	Groups []string `json:"groups,omitempty"`
 	Addr   string   `json:"addr,omitempty"`
 	Origin string   `json:"origin,omitempty"`
+	// Epoch is the partition-map epoch the move belongs to, when the
+	// push came from an epoch-versioned migration (0 on a plain
+	// failover push). A client needs no epoch bookkeeping — backfill
+	// converges either way — but tooling can order moves by it.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // RequestGroup extracts the group a client request scopes to — the one

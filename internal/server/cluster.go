@@ -1,28 +1,35 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"dmps/internal/cluster"
 	"dmps/internal/floor"
 	"dmps/internal/group"
 	"dmps/internal/grouplog"
+	"dmps/internal/metrics"
 	"dmps/internal/protocol"
 	"dmps/internal/transport"
-	"dmps/internal/whiteboard"
 )
+
+// DefaultReplicationFactor is the cluster's copy count when the config
+// does not choose one: the owner plus one ring successor — the PR-5
+// topology, now with acks.
+const DefaultReplicationFactor = 2
 
 // ClusterConfig turns a server into one group-partition node of a
 // multi-process cluster: the node serves only the groups (and homes
 // only the members) the shared partition map assigns to Self, rejects
 // the rest with a "node_moved" redirect, replicates every logged append
-// of its partitions to the ring successor for takeover, and exchanges
-// typed TForward messages with its peers for cross-partition state
-// (invitations to a member's home node). A nil ClusterConfig on
+// of its partitions to R-1 ring successors for takeover (each forward
+// tracked until acked), and exchanges typed TForward messages with its
+// peers for cross-partition state (invitations to a member's home
+// node, epoch-versioned migration). A nil ClusterConfig on
 // Config.Cluster is the ordinary standalone server.
 type ClusterConfig struct {
 	// Nodes lists every node address in ring order — identical on every
@@ -30,6 +37,11 @@ type ClusterConfig struct {
 	Nodes []string
 	// Self is this node's index in Nodes.
 	Self int
+	// ReplicationFactor is the number of copies of every logged append
+	// (the owner plus ReplicationFactor-1 ring successors). It clamps
+	// to len(Nodes); <= 0 means DefaultReplicationFactor. A grant is
+	// only as lost as ReplicationFactor simultaneous deaths.
+	ReplicationFactor int
 	// Network dials peer nodes (defaults to Config.Network). On netsim
 	// pass the node's own host-pinned dialer so link configs apply.
 	Network transport.Network
@@ -37,22 +49,35 @@ type ClusterConfig struct {
 
 // clusterState is a node's runtime cluster machinery: the shared
 // partition map, the pooled peer transport, the replica store holding
-// partitions this node stands by for, and the set of partitions it has
-// adopted after a failover.
+// partitions this node stands by for, the in-flight ack table for the
+// replication stream, and the partitions/member homes it has adopted
+// after a failover.
 type clusterState struct {
-	cfg   ClusterConfig
-	topo  *cluster.Map
-	pool  *cluster.Pool
-	store *cluster.ReplicaStore
+	cfg        ClusterConfig
+	topo       *cluster.Map
+	pool       *cluster.Pool
+	store      *cluster.ReplicaStore
+	acks       *cluster.AckTable
+	ackLatency *metrics.Histogram
 
 	mu      sync.Mutex
 	adopted map[string]bool
+	// adoptedMembers tracks member IDs whose home this node adopted
+	// after their home node died (resume-time adoption).
+	adoptedMembers map[string]bool
+	// migrating marks keys mid-handoff to a recovering node: the gate
+	// answers node_moved for them until the migration completes, so no
+	// append can land between the takeover dump and the epoch bump.
+	migrating map[string]bool
 	// served mirrors adopted with lock-free reads for the append path:
 	// replicateLogged runs inside a group's log lock, and taking mu
 	// there would invert against adoption (which holds mu while
 	// installing into log locks). Entries are stored only after a
 	// takeover's restore completes.
 	served sync.Map
+	// homes mirrors adoptedMembers with lock-free reads, for the same
+	// reason (member-log appends replicate inside the log lock).
+	homes sync.Map
 }
 
 // newClusterState validates and assembles a node's cluster machinery.
@@ -66,13 +91,38 @@ func newClusterState(cfg ClusterConfig, fallback transport.Network, replicaCap i
 	if cfg.Network == nil {
 		cfg.Network = fallback
 	}
-	return &clusterState{
-		cfg:     cfg,
-		topo:    cluster.NewMap(cfg.Nodes),
-		pool:    cluster.NewPool(cfg.Network),
-		store:   cluster.NewReplicaStore(replicaCap),
-		adopted: make(map[string]bool),
-	}, nil
+	if cfg.ReplicationFactor <= 0 {
+		cfg.ReplicationFactor = DefaultReplicationFactor
+	}
+	if cfg.ReplicationFactor > len(cfg.Nodes) {
+		cfg.ReplicationFactor = len(cfg.Nodes)
+	}
+	cs := &clusterState{
+		cfg:            cfg,
+		topo:           cluster.NewMap(cfg.Nodes),
+		pool:           cluster.NewPool(cfg.Network),
+		store:          cluster.NewReplicaStore(replicaCap),
+		adopted:        make(map[string]bool),
+		adoptedMembers: make(map[string]bool),
+		migrating:      make(map[string]bool),
+		ackLatency:     metrics.NewHistogram(nil),
+	}
+	cs.acks = cluster.NewAckTable(func(sec float64) { cs.ackLatency.Observe(sec) })
+	return cs, nil
+}
+
+// selfAddr is this node's own peer address — what receivers ack back to.
+func (c *clusterState) selfAddr() string { return c.cfg.Nodes[c.cfg.Self] }
+
+// replicaPeers lists the R-1 ring successors this node replicates its
+// partitions to (empty outside cluster mode or in a single-node ring).
+func (c *clusterState) replicaPeers() []string {
+	idxs := c.topo.Successors(c.cfg.Self, c.cfg.ReplicationFactor-1)
+	out := make([]string, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, c.cfg.Nodes[i])
+	}
+	return out
 }
 
 // ReplicaHead reports the highest replicated GSeq this node holds for a
@@ -84,14 +134,28 @@ func (s *Server) ReplicaHead(groupID string) int64 {
 	return s.cluster.store.Head(groupID)
 }
 
+// ReplicationPending reports the number of in-flight (unacked)
+// replication forwards — what tests drain to zero before a kill proves
+// every copy landed.
+func (s *Server) ReplicationPending() int {
+	if s.cluster == nil {
+		return 0
+	}
+	return s.cluster.acks.Pending()
+}
+
 // homesMember reports whether this node is the member's home — the
-// owner of their directory entry, session token and private event log.
-// Standalone servers home everyone.
+// owner of their directory entry, session token and private event log —
+// natively or by adoption. Standalone servers home everyone.
 func (s *Server) homesMember(id group.MemberID) bool {
 	if s.cluster == nil {
 		return true
 	}
-	return s.cluster.topo.Primary(cluster.HomeKey(string(id))) == s.cluster.cfg.Self
+	if s.cluster.topo.Primary(cluster.HomeKey(string(id))) == s.cluster.cfg.Self {
+		return true
+	}
+	_, ok := s.cluster.homes.Load(string(id))
+	return ok
 }
 
 // ownerAddr names the node currently assigned a partition key (primary
@@ -104,16 +168,21 @@ func (s *Server) ownerAddr(key string) string {
 // natively (the map's primary), by adoption (a takeover already ran),
 // or by adopting now — the routing tier sent us traffic for a partition
 // we hold a replica of, which is exactly the failover signal. A node
-// with neither claim answers node_moved.
+// with neither claim — or one mid-migration of the key back to its
+// recovering primary — answers node_moved.
 func (s *Server) servesGroup(groupID string) bool {
 	if s.cluster == nil {
 		return true
 	}
-	if s.cluster.topo.Primary(groupID) == s.cluster.cfg.Self {
-		return true
-	}
+	primary := s.cluster.topo.Primary(groupID) == s.cluster.cfg.Self
 	s.cluster.mu.Lock()
 	defer s.cluster.mu.Unlock()
+	if s.cluster.migrating[groupID] {
+		return false
+	}
+	if primary {
+		return true
+	}
 	if s.cluster.adopted[groupID] {
 		return true
 	}
@@ -144,21 +213,27 @@ func (s *Server) servesGroupFast(groupID string) bool {
 	return ok
 }
 
-// adoptLocked takes over a group partition from its replica package:
-// membership is restored into the registry, the floor state (mode,
-// holder, queue, suspensions, pin) into the controller, the logged
-// suffix into the log plane with its original sequence numbers, and the
-// board ops into the authoritative board. Clients then converge through
-// their ordinary backfill path — the restored log replays with the same
-// CSeqs their cursors expect, so a handoff looks exactly like a
-// reconnect, with zero duplicate grants (the holder is restored, never
-// re-granted). Requires s.cluster.mu.
+// adoptLocked takes over a group partition from its replica package.
+// Requires s.cluster.mu.
 func (s *Server) adoptLocked(groupID string) {
 	rep, ok := s.cluster.store.Take(groupID)
 	if !ok {
 		return
 	}
 	s.cluster.adopted[groupID] = true
+	s.installGroupReplica(groupID, rep)
+}
+
+// installGroupReplica restores a partition package into the live
+// planes: membership into the registry, the floor state (mode, holder,
+// queue, suspensions, pin) into the controller, the logged suffix into
+// the log plane with its original sequence numbers, and the board ops
+// into the authoritative board. Clients then converge through their
+// ordinary backfill path — the restored log replays with the same CSeqs
+// their cursors expect, so a handoff looks exactly like a reconnect,
+// with zero duplicate grants (the holder is restored, never
+// re-granted). Shared by failover adoption and migration takeover.
+func (s *Server) installGroupReplica(groupID string, rep cluster.GroupReplica) {
 	defer s.cluster.served.Store(groupID, true)
 	chair := group.MemberID(rep.Chair)
 	for _, m := range rep.Members {
@@ -193,29 +268,10 @@ func (s *Server) adoptLocked(groupID string) {
 	gb := s.board(groupID)
 	for _, ev := range rep.Events {
 		lg.AppendRaw(ev.GSeq, ev.CSeq, ev.Class, ev.State, ev.Wire)
-		if ev.Class != protocol.ClassBoard {
-			continue
+		s.walEvent(groupID, ev.GSeq, ev.CSeq, ev.Class, ev.State, ev.Wire)
+		if ev.Class == protocol.ClassBoard {
+			applyBoardWire(gb, ev.Wire)
 		}
-		var msg protocol.Message
-		if json.Unmarshal(ev.Wire, &msg) != nil {
-			continue
-		}
-		var body protocol.SequencedBody
-		if msg.Into(&body) != nil || body.Seq == 0 {
-			continue
-		}
-		// A coalesced event carries a burst: the top-level op plus the
-		// rest in More. Converge (not Apply): the replicated suffix is
-		// authoritative but may start past history the retention window
-		// dropped — a leading hole must not reject the retained tail.
-		ops := append([]protocol.SequencedBody{body}, body.More...)
-		gb.mu.Lock()
-		for _, op := range ops {
-			if kind, ok := whiteboard.ParseOpKind(op.Kind); ok {
-				_ = gb.board.Converge(whiteboard.Op{Seq: op.Seq, Author: op.Author, Kind: kind, Data: op.Data})
-			}
-		}
-		gb.mu.Unlock()
 	}
 	// Never re-mint board sequence numbers clients already applied: even
 	// if the retained suffix missed tail ops (a trimmed window, a
@@ -224,6 +280,95 @@ func (s *Server) adoptLocked(groupID string) {
 	gb.mu.Lock()
 	gb.board.SkipTo(rep.BoardHead)
 	gb.mu.Unlock()
+	// The adopted partition is part of this node's serving state now:
+	// journal its roster, floor blob and board head so a restart of THIS
+	// process resumes serving it too.
+	s.walGroupState(groupID)
+}
+
+// adoptMemberLocked takes over a member's replicated home: the
+// directory row is restored, the resume token installed, the member's
+// private event log replayed from its replica, and the ID counter
+// bumped past the adopted ID so this node can never re-mint it.
+// Requires s.cluster.mu.
+func (s *Server) adoptMemberLocked(mh cluster.MemberHome) {
+	id := mh.Info.ID
+	if _, ok := s.cluster.store.TakeMember(id); !ok {
+		// Already adopted by a racing resume; fall through only when the
+		// store still held the record.
+		if _, adopted := s.cluster.homes.Load(id); adopted {
+			return
+		}
+	}
+	s.cluster.adoptedMembers[id] = true
+	_ = s.registry.EnsureMember(memberFromInfo(mh.Info))
+	s.bumpNextID(id)
+	if mh.Token != "" {
+		s.mu.Lock()
+		s.tokens[mh.Token] = group.MemberID(id)
+		s.tokenOf[group.MemberID(id)] = mh.Token
+		s.mu.Unlock()
+	}
+	if rep, ok := s.cluster.store.Take(grouplog.MemberKey(id)); ok {
+		lg := s.logs.Get(grouplog.MemberKey(id))
+		for _, ev := range rep.Events {
+			lg.AppendRaw(ev.GSeq, ev.CSeq, ev.Class, ev.State, ev.Wire)
+			s.walEvent(grouplog.MemberKey(id), ev.GSeq, ev.CSeq, ev.Class, ev.State, ev.Wire)
+		}
+	}
+	s.cluster.homes.Store(id, true)
+}
+
+// adoptResume resolves a resume token this node never minted: when the
+// replica store holds the member's replicated home AND their home node
+// is genuinely unreachable, this node adopts them — directory row,
+// token, private event log — and the resume proceeds as if it had been
+// minted here. When the home is alive the caller must redirect there
+// instead (second return); any other miss is an ordinary expiry.
+func (s *Server) adoptResume(token string) (group.MemberID, string, bool) {
+	if s.cluster == nil {
+		return "", "", false
+	}
+	mh, found := s.cluster.store.MemberByToken(token)
+	if !found {
+		return "", "", false
+	}
+	home := s.cluster.topo.Primary(cluster.HomeKey(mh.Info.ID))
+	if home != s.cluster.cfg.Self {
+		if probe, err := s.cluster.cfg.Network.Dial(s.cluster.cfg.Nodes[home]); err == nil {
+			_ = probe.Close()
+			return "", s.cluster.cfg.Nodes[home], false
+		}
+	}
+	s.cluster.mu.Lock()
+	s.adoptMemberLocked(mh)
+	s.cluster.mu.Unlock()
+	// The member homes here now: journal the claim and replicate it to
+	// THIS node's successors, so the adoption itself is durable.
+	s.walMemberHome(memberFromInfo(mh.Info), mh.Token)
+	s.replicateMemberHome(memberFromInfo(mh.Info), mh.Token)
+	return group.MemberID(mh.Info.ID), "", true
+}
+
+// bumpNextID advances the member-ID counter past the numeric suffix of
+// an installed member ID ("alice#7" → at least 7), so adoption, WAL
+// replay and migration can never lead to re-minting an ID clients
+// already hold.
+func (s *Server) bumpNextID(memberID string) {
+	i := strings.LastIndexByte(memberID, '#')
+	if i < 0 {
+		return
+	}
+	n, err := strconv.ParseInt(memberID[i+1:], 10, 64)
+	if err != nil {
+		return
+	}
+	for {
+		cur := s.nextID.Load()
+		if cur >= n || s.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
 }
 
 // memberFromInfo converts a replicated directory row back to a Member.
@@ -240,33 +385,64 @@ func memberInfo(m group.Member) protocol.NodeMemberInfo {
 	return protocol.NodeMemberInfo{ID: string(m.ID), Name: m.Name, Role: m.Role.String(), Priority: m.Priority}
 }
 
-// successorAddr names the peer this node replicates its partitions to:
-// the ring successor of Self ("" outside cluster mode or in a
-// single-node ring).
-func (s *Server) successorAddr() string {
-	if s.cluster == nil || len(s.cluster.cfg.Nodes) < 2 {
-		return ""
+// replicateTracked assigns the forward an ID, registers it in the
+// in-flight ack table against every replica peer, and ships it. The
+// receivers ack by ID; the probe loop resends overdue entries with
+// backoff. Only the ack table's own lock is taken, so this is safe
+// inside a log-append deliver callback.
+func (s *Server) replicateTracked(fwd protocol.ForwardBody) {
+	peers := s.cluster.replicaPeers()
+	if len(peers) == 0 {
+		return
 	}
-	return s.cluster.cfg.Nodes[s.cluster.topo.Successor(s.cluster.cfg.Self)]
+	fwd.ID = s.cluster.acks.NextID()
+	fwd.From = s.cluster.selfAddr()
+	wire := cluster.WrapForward(fwd)
+	if wire == nil {
+		return
+	}
+	s.cluster.acks.Track(fwd.ID, peers, wire)
+	for _, peer := range peers {
+		s.cluster.pool.Send(peer, wire)
+	}
+}
+
+// resendOverdue runs one ack-table sweep, resending overdue forwards
+// over the pool. The probe loop calls it each tick.
+func (s *Server) resendOverdue(now time.Time) {
+	if s.cluster == nil {
+		return
+	}
+	for _, r := range s.cluster.acks.Due(now) {
+		s.cluster.pool.Send(r.Peer, r.Wire)
+	}
 }
 
 // replicateLogged ships one logged append (the stamped fan-out bytes,
-// verbatim) to the ring successor, with the floor-state blob attached
-// for the classes whose takeover state the redacted wire bytes cannot
-// carry (queue membership is private on the wire). It runs inside the
-// log append's deliver callback — the pool enqueue never blocks — so
-// the replica stream observes exactly the log's order. The envelope is
-// built with cluster.WrapForward (plain json.Marshal, reusing the
-// already-encoded event bytes), keeping the encode-once invariant of
-// the per-recipient hot path intact.
-func (s *Server) replicateLogged(groupID, class string, wire []byte) {
-	succ := s.successorAddr()
-	if succ == "" || !s.servesGroupFast(groupID) {
+// verbatim) to the R-1 replica peers, with the floor-state blob
+// attached for the classes whose takeover state the redacted wire bytes
+// cannot carry (queue membership is private on the wire). The key is a
+// group ID or a "~member" log key — member logs replicate exactly like
+// group logs, which is what lets a resume survive home-node death. It
+// runs inside the log append's deliver callback — the pool enqueue
+// never blocks — so the replica stream observes exactly the log's
+// order. The envelope is built with cluster.WrapForward (plain
+// json.Marshal, reusing the already-encoded event bytes), keeping the
+// encode-once invariant of the per-recipient hot path intact.
+func (s *Server) replicateLogged(key, class string, wire []byte) {
+	if s.cluster == nil {
 		return
 	}
-	fwd := protocol.ForwardBody{Kind: protocol.ForwardReplica, Group: groupID, Msg: wire}
+	if strings.HasPrefix(key, "~") {
+		if !s.homesMember(group.MemberID(key[1:])) {
+			return
+		}
+	} else if !s.servesGroupFast(key) {
+		return
+	}
+	fwd := protocol.ForwardBody{Kind: protocol.ForwardReplica, Group: key, Msg: wire}
 	if class == protocol.ClassFloor || class == protocol.ClassSuspend {
-		mode, holder, queue, suspended, pinned := s.floorCtl.StateSnapshot(groupID)
+		mode, holder, queue, suspended, pinned := s.floorCtl.StateSnapshot(key)
 		blob := &protocol.FloorReplicaBody{
 			Mode: mode.String(), Holder: string(holder), Pinned: pinned,
 		}
@@ -278,18 +454,19 @@ func (s *Server) replicateLogged(groupID, class string, wire []byte) {
 		}
 		fwd.Floor = blob
 	}
-	s.cluster.pool.Send(succ, cluster.WrapForward(fwd))
+	s.replicateTracked(fwd)
 }
 
-// replicateMembers ships a group's membership roster and chair to the
-// ring successor after a membership change, so a takeover can restore
-// who belongs where. No-op outside cluster mode.
+// replicateMembers durably records a group's membership roster and
+// chair after a membership change: journaled to the WAL (when on), and
+// shipped to the replica peers so a takeover can restore who belongs
+// where. The replication half is a no-op outside cluster mode.
 func (s *Server) replicateMembers(groupID string) {
+	s.walGroupState(groupID)
 	if s.cluster == nil {
 		return
 	}
-	succ := s.successorAddr()
-	if succ == "" || !s.servesGroup(groupID) {
+	if !s.servesGroup(groupID) {
 		return
 	}
 	members, err := s.registry.GroupMembers(groupID)
@@ -301,7 +478,32 @@ func (s *Server) replicateMembers(groupID string) {
 	for _, m := range members {
 		fwd.Members = append(fwd.Members, memberInfo(m))
 	}
-	s.cluster.pool.Send(succ, cluster.WrapForward(fwd))
+	s.replicateTracked(fwd)
+}
+
+// replicateMemberHome ships a member's home-node state — directory row
+// and resume token — to the replica peers, so a resume presented after
+// this node's death can be adopted by a successor instead of expiring.
+// Called whenever a homed member's token is minted or their directory
+// row changes. No-op outside cluster mode.
+func (s *Server) replicateMemberHome(m group.Member, token string) {
+	if s.cluster == nil {
+		return
+	}
+	info := memberInfo(m)
+	s.replicateTracked(protocol.ForwardBody{
+		Kind: protocol.ForwardMemberHome, Member: &info, Token: token,
+	})
+}
+
+// replicateMemberDrop retracts a member's replicated home after the
+// home node expires the session, so a dead member cannot be adopted
+// back to life from a stale replica. No-op outside cluster mode.
+func (s *Server) replicateMemberDrop(id group.MemberID) {
+	if s.cluster == nil {
+		return
+	}
+	s.replicateTracked(protocol.ForwardBody{Kind: protocol.ForwardMemberDrop, To: string(id)})
 }
 
 // deliverMemberEvent routes a member-directed state event (an
@@ -324,24 +526,15 @@ func (s *Server) deliverMemberEvent(id group.MemberID, msg protocol.Message) {
 }
 
 // peerLoop serves one inter-node link: a connection whose first message
-// was a TForward processes forwards until the peer hangs up. Peer links
-// carry no session and get no replies — forwards are one-way by design.
-// The connection is tracked so Close can sever it (it is not in the
-// session table).
+// was a TForward processes forwards until the peer hangs up. Most
+// forwards are one-way (acks for the replicated kinds travel back over
+// the receiver's own pool, to the sender's listen address); the
+// migration-coordination kinds reply on this connection. The accept
+// path already tracks the connection in the server's conn table, so
+// Close severs it (it is not in the session table).
 func (s *Server) peerLoop(conn transport.Conn, first protocol.Message) {
-	s.mu.Lock()
-	if s.peerLinks == nil {
-		s.peerLinks = make(map[transport.Conn]bool)
-	}
-	s.peerLinks[conn] = true
-	s.mu.Unlock()
-	defer func() {
-		_ = conn.Close()
-		s.mu.Lock()
-		delete(s.peerLinks, conn)
-		s.mu.Unlock()
-	}()
-	s.handleForward(first)
+	defer func() { _ = conn.Close() }()
+	s.handleForward(conn, first)
 	for {
 		wire, err := conn.Recv()
 		if err != nil {
@@ -351,12 +544,26 @@ func (s *Server) peerLoop(conn transport.Conn, first protocol.Message) {
 		if err != nil || msg.Type != protocol.TForward {
 			continue
 		}
-		s.handleForward(msg)
+		s.handleForward(conn, msg)
 	}
 }
 
-// handleForward applies one typed node-to-node forward.
-func (s *Server) handleForward(msg protocol.Message) {
+// ackForward acknowledges an identified replication forward back to its
+// sender, over this node's own pool (the inbound peer link is a one-way
+// writer on the sender's side).
+func (s *Server) ackForward(body protocol.ForwardBody) {
+	if body.ID == 0 || body.From == "" {
+		return
+	}
+	s.cluster.pool.Send(body.From, cluster.WrapForward(protocol.ForwardBody{
+		Kind: protocol.ForwardAck, ID: body.ID, From: s.cluster.selfAddr(),
+	}))
+}
+
+// handleForward applies one typed node-to-node forward. conn is the
+// inbound peer link, used only by the migration kinds that reply in
+// place.
+func (s *Server) handleForward(conn transport.Conn, msg protocol.Message) {
 	if s.cluster == nil {
 		return
 	}
@@ -368,11 +575,42 @@ func (s *Server) handleForward(msg protocol.Message) {
 	case protocol.ForwardReplica:
 		if body.Group != "" && len(body.Msg) > 0 {
 			s.cluster.store.ApplyEvent(body.Group, body.Msg, body.Floor)
+			s.ackForward(body)
 		}
 	case protocol.ForwardMembers:
 		if body.Group != "" {
 			s.cluster.store.ApplyMembers(body.Group, body.Chair, body.Members)
+			s.ackForward(body)
 		}
+	case protocol.ForwardMemberHome:
+		if body.Member != nil {
+			s.cluster.store.ApplyMemberHome(*body.Member, body.Token)
+			s.ackForward(body)
+		}
+	case protocol.ForwardMemberDrop:
+		if body.To != "" {
+			s.cluster.store.DropMemberHome(body.To)
+			s.ackForward(body)
+		}
+	case protocol.ForwardAck:
+		if body.From != "" {
+			s.cluster.acks.Ack(body.From, body.ID)
+		}
+	case protocol.ForwardTakeover:
+		if body.Takeover != nil {
+			s.installTakeover(*body.Takeover)
+		}
+	case protocol.ForwardMigrated:
+		// The shipping side's barrier: every ForwardTakeover on this
+		// connection precedes it (in-order transport), so acking here
+		// certifies the packages are installed.
+		if body.ID != 0 {
+			_ = conn.Send(cluster.WrapForward(protocol.ForwardBody{
+				Kind: protocol.ForwardAck, ID: body.ID, From: s.cluster.selfAddr(),
+			}))
+		}
+	case protocol.ForwardMigrate:
+		s.runMigration(conn, body)
 	case protocol.ForwardInvite:
 		if body.To == "" || len(body.Msg) == 0 {
 			return

@@ -36,9 +36,22 @@ import (
 //	dmps_grouplog_evicted_total          entries dropped by compaction
 //	dmps_groups                          groups in the registry
 //
+// With a WAL configured:
+//
+//	dmps_wal_segments                    live WAL segments
+//	dmps_wal_bytes                       bytes across live WAL segments
+//
 // and, in cluster mode, dmps_cluster_forwards_total{peer},
-// dmps_cluster_forward_drops_total{peer} plus the shared partition-map
-// series from cluster.RegisterMapMetrics.
+// dmps_cluster_forward_drops_total{peer}, dmps_cluster_redials_total{peer},
+// dmps_cluster_circuit_open{peer}, the replication-durability series
+//
+//	dmps_repl_ack_latency_seconds        append→last-ack round trip
+//	dmps_repl_unacked                    in-flight (unacked) forwards
+//	dmps_repl_resends_total              overdue forwards resent
+//	dmps_repl_lost_total                 forwards written off after retries
+//
+// plus the shared partition-map series from cluster.RegisterMapMetrics
+// (including dmps_cluster_map_epoch).
 func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	one := func(v float64) []metrics.Sample { return []metrics.Sample{{Value: v}} }
 	reg.GaugeFunc("dmps_sessions", "Live sessions on this node.", func() []metrics.Sample {
@@ -100,9 +113,28 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	reg.GaugeFunc("dmps_groups", "Groups in the registry.", func() []metrics.Sample {
 		return one(float64(len(s.registry.Groups())))
 	})
+	if s.wal != nil {
+		reg.GaugeFunc("dmps_wal_segments", "Live write-ahead log segments.", func() []metrics.Sample {
+			return one(float64(s.WALStats().Segments))
+		})
+		reg.GaugeFunc("dmps_wal_bytes", "Bytes across live write-ahead log segments.", func() []metrics.Sample {
+			return one(float64(s.WALStats().Bytes))
+		})
+	}
 	if s.cluster == nil {
 		return
 	}
+	reg.RegisterHistogram("dmps_repl_ack_latency_seconds",
+		"Replication forward append-to-last-ack round trip.", s.cluster.ackLatency)
+	reg.GaugeFunc("dmps_repl_unacked", "In-flight (unacked) replication forwards.", func() []metrics.Sample {
+		return one(float64(s.cluster.acks.Pending()))
+	})
+	reg.CounterFunc("dmps_repl_resends_total", "Overdue replication forwards resent.", func() []metrics.Sample {
+		return one(float64(s.cluster.acks.Resends()))
+	})
+	reg.CounterFunc("dmps_repl_lost_total", "Replication forwards written off after exhausting retries.", func() []metrics.Sample {
+		return one(float64(s.cluster.acks.Lost()))
+	})
 	peerSamples := func(pick func(cluster.PeerStats) int64) []metrics.Sample {
 		stats := s.cluster.pool.PeerStats()
 		out := make([]metrics.Sample, 0, len(stats))
@@ -116,6 +148,21 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	})
 	reg.CounterFunc("dmps_cluster_forward_drops_total", "Replication forwards dropped, by peer.", func() []metrics.Sample {
 		return peerSamples(func(st cluster.PeerStats) int64 { return st.Drops })
+	})
+	reg.CounterFunc("dmps_cluster_redials_total", "Peer link re-dial attempts, by peer.", func() []metrics.Sample {
+		return peerSamples(func(st cluster.PeerStats) int64 { return st.Redials })
+	})
+	reg.GaugeFunc("dmps_cluster_circuit_open", "1 while the peer's dial circuit is open (cooling off), by peer.", func() []metrics.Sample {
+		stats := s.cluster.pool.PeerStats()
+		out := make([]metrics.Sample, 0, len(stats))
+		for addr, st := range stats {
+			v := 0.0
+			if st.CircuitOpen {
+				v = 1
+			}
+			out = append(out, metrics.Sample{LabelKey: "peer", LabelValue: addr, Value: v})
+		}
+		return out
 	})
 	cluster.RegisterMapMetrics(reg, s.cluster.topo)
 }

@@ -71,6 +71,13 @@ func (s *Server) Reap(now time.Time) []string {
 		}
 		s.registry.Unregister(id)
 		s.logs.Drop(grouplog.MemberKey(string(id)))
+		if sess.homed {
+			// Only the member's home retracts their replicated state: a
+			// node-scoped session expiring must not revoke the home's
+			// journal entry or the successors' standby copy.
+			s.walMemberDrop(id)
+			s.replicateMemberDrop(id)
+		}
 		out = append(out, string(id))
 	}
 	return out

@@ -138,6 +138,20 @@ type Config struct {
 	// growth bound that keeps a million-user directory from
 	// accumulating every member that ever connected. Default one hour.
 	SessionTTL time.Duration
+	// WALDir, when set, puts a write-ahead segment store under the
+	// directory: every logged append and serving-state change is
+	// journaled before the next accept, New replays the journal before
+	// listening, and periodic checkpoints truncate it — a restarted
+	// process resumes with the exact GSeq/CSeq cursors, tokens and floor
+	// state its clients hold. Empty means in-memory only (the default).
+	WALDir string
+	// WALSegmentBytes is the WAL segment rotation threshold
+	// (grouplog.DefaultSegmentBytes when <= 0).
+	WALSegmentBytes int64
+	// WALCheckpointInterval is the cadence of full-state WAL checkpoints
+	// (default 30s). Checkpoints bound replay time and disk; between
+	// them the journal only grows.
+	WALCheckpointInterval time.Duration
 	// Cluster, when set, runs this server as one group-partition node of
 	// a multi-process cluster: it serves only the partitions the shared
 	// map assigns to it (rejecting the rest with a node_moved redirect),
@@ -157,15 +171,19 @@ type Server struct {
 	master   *clock.Master
 	logs     *grouplog.Plane
 	cluster  *clusterState // nil outside cluster mode
+	wal      *grouplog.WAL // nil when Config.WALDir is empty
 
 	nextID atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[group.MemberID]*session
 	boards   map[string]*groupBoard
-	// peerLinks tracks inbound inter-node connections (they carry no
-	// session), so Close can sever them.
-	peerLinks map[transport.Conn]bool
+	// conns tracks every accepted connection from accept until its
+	// handler exits, so Close severs them all — the session table alone
+	// misses inter-node peer links (no session) and conns still mid-
+	// handshake (session not yet installed), and an unsevered connection
+	// parks its handler on Recv forever, deadlocking Close's wg.Wait.
+	conns map[transport.Conn]bool
 	// tokens maps session-resume tokens to members (and tokenOf the
 	// reverse): a reconnecting client presents its token in THello and
 	// is re-bound to the same member identity without re-joining groups.
@@ -440,6 +458,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SessionTTL <= 0 {
 		cfg.SessionTTL = time.Hour
 	}
+	if cfg.WALCheckpointInterval <= 0 {
+		cfg.WALCheckpointInterval = 30 * time.Second
+	}
 	var cl *clusterState
 	if cfg.Cluster != nil {
 		var err error
@@ -460,11 +481,27 @@ func New(cfg Config) (*Server, error) {
 		master:   clock.NewMaster(cfg.Clock),
 		logs:     grouplog.NewPlane(cfg.LogCap),
 		sessions: make(map[group.MemberID]*session),
+		conns:    make(map[transport.Conn]bool),
 		boards:   make(map[string]*groupBoard),
 		tokens:   make(map[string]group.MemberID),
 		tokenOf:  make(map[group.MemberID]string),
 		cluster:  cl,
 		closed:   make(chan struct{}),
+	}
+	if cfg.WALDir != "" {
+		w, err := grouplog.OpenWAL(cfg.WALDir, cfg.WALSegmentBytes)
+		if err != nil {
+			_ = l.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		// Replay before the WAL hooks arm (s.wal is still nil), so the
+		// installs do not re-journal what the journal just said.
+		if err := s.replayWAL(w); err != nil {
+			_ = l.Close()
+			_ = w.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.wal = w
 	}
 	s.wg.Add(2)
 	go s.probeLoop()
@@ -496,6 +533,18 @@ func (s *Server) Serve() error {
 				return fmt.Errorf("server: accept: %w", err)
 			}
 		}
+		s.mu.Lock()
+		select {
+		case <-s.closed:
+			// Close already swept the conn table; a late accept must not
+			// slip past it into a handler nobody can unblock.
+			s.mu.Unlock()
+			_ = conn.Close()
+			continue
+		default:
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -513,7 +562,7 @@ func (s *Server) Close() {
 		for _, sess := range s.sessions {
 			_ = sess.conn.Close()
 		}
-		for conn := range s.peerLinks {
+		for conn := range s.conns {
 			_ = conn.Close()
 		}
 		s.mu.Unlock()
@@ -522,6 +571,11 @@ func (s *Server) Close() {
 		}
 	})
 	s.wg.Wait()
+	if s.wal != nil {
+		// After the goroutines drain: nothing appends anymore, so the
+		// final flush+fsync captures everything (Close is idempotent).
+		_ = s.wal.Close()
+	}
 }
 
 // handle runs one client session: handshake, then the message loop. A
@@ -529,6 +583,11 @@ func (s *Server) Close() {
 // link and runs the forward loop instead.
 func (s *Server) handle(conn transport.Conn) {
 	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
 	sess, peer, err := s.handshake(conn)
 	if err != nil {
 		_ = conn.Close()
@@ -664,9 +723,27 @@ func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, err
 			id, ok := s.tokens[hello.Token]
 			s.mu.Unlock()
 			if !ok {
-				// The token was reaped (SessionTTL) or never issued.
-				rejectExpired(conn, msg.Seq)
-				return nil, protocol.Message{}, fmt.Errorf("server: handshake: unknown session token (%w)", transport.ErrClosed)
+				// Not minted here. In cluster mode the token may belong to
+				// a member whose home node died: the replica store holds
+				// their replicated home state, and when the home really is
+				// unreachable this node adopts them — a resume survives
+				// home-node death instead of expiring the session.
+				var redirect string
+				if id, redirect, ok = s.adoptResume(hello.Token); !ok {
+					if redirect != "" {
+						reject := protocol.MustNew(protocol.TErr, protocol.ErrBody{
+							Code: protocol.CodeNodeMoved, Detail: redirect,
+						})
+						reject.Seq = msg.Seq
+						if w, encErr := protocol.Encode(reject); encErr == nil {
+							_ = conn.Send(w)
+						}
+						return nil, protocol.Message{}, fmt.Errorf("server: handshake: member homed elsewhere (%w)", transport.ErrClosed)
+					}
+					// The token was reaped (SessionTTL) or never issued.
+					rejectExpired(conn, msg.Seq)
+					return nil, protocol.Message{}, fmt.Errorf("server: handshake: unknown session token (%w)", transport.ErrClosed)
+				}
 			}
 			if member, err = s.registry.Member(id); err != nil {
 				return nil, protocol.Message{}, err
@@ -682,6 +759,13 @@ func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, err
 	token := ""
 	if homed {
 		token = s.issueToken(member.ID)
+		if fresh {
+			// A fresh admission mints this node's claim on the member:
+			// journal the home (directory row + token) and replicate it to
+			// the ring successors, so the resume outlives this process.
+			s.walMemberHome(member, token)
+			s.replicateMemberHome(member, token)
+		}
 	}
 
 	sess := &session{
@@ -963,11 +1047,14 @@ func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
 		return
 	}
 	targets := s.groupTargets(groupID)
+	var gseqAt, cseqAt int64
 	_, _ = s.logs.Get(groupID).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
+		gseqAt, cseqAt = gseq, cseq
 		stampLogged(&msg, groupID, class, false, gseq, cseq)
 		return protocol.Encode(msg)
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, class, wire)
+		s.walEvent(groupID, gseqAt, cseqAt, class, false, wire)
 		if s.cluster != nil {
 			s.replicateLogged(groupID, class, wire)
 		}
@@ -1028,9 +1115,12 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 			}
 			s.sendWire(sess, w)
 		}
+		// The canonical (redacted) bytes journal and replicate; the
+		// queue's member identities travel in the floor blob the WAL
+		// record and replicateLogged attach alongside.
+		s.walEvent(groupID, gseqAt, cseqAt, protocol.ClassFloor, refresh, wire)
+		s.walFloor(groupID)
 		if s.cluster != nil {
-			// The canonical (redacted) bytes replicate; the queue's member
-			// identities travel in the floor blob replicateLogged attaches.
 			s.replicateLogged(groupID, protocol.ClassFloor, wire)
 		}
 	})
@@ -1066,7 +1156,9 @@ func queueSlotFor(body protocol.FloorEventBody, queue []group.MemberID, recipien
 // notice it sees next, and compaction can retain just the latest one.
 func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, level resource.Level) {
 	targets := s.groupTargets(groupID)
+	var gseqAt, cseqAt int64
 	_, _ = s.logs.Get(groupID).Append(protocol.ClassSuspend, true, func(gseq, cseq int64) ([]byte, error) {
+		gseqAt, cseqAt = gseq, cseq
 		body := protocol.SuspendBody{Member: member, Level: level.String()}
 		body.Suspended = []string{}
 		for _, m := range s.floorCtl.Suspended(groupID) {
@@ -1077,6 +1169,8 @@ func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, le
 		return protocol.Encode(msg)
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, protocol.ClassSuspend, wire)
+		s.walEvent(groupID, gseqAt, cseqAt, protocol.ClassSuspend, true, wire)
+		s.walFloor(groupID)
 		if s.cluster != nil {
 			s.replicateLogged(groupID, protocol.ClassSuspend, wire)
 		}
@@ -1092,12 +1186,22 @@ func (s *Server) logSendTo(id group.MemberID, msg protocol.Message) {
 		s.sendTo(id, msg)
 		return
 	}
-	_, _ = s.logs.Get(grouplog.MemberKey(string(id))).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
+	key := grouplog.MemberKey(string(id))
+	var gseqAt, cseqAt int64
+	_, _ = s.logs.Get(key).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
+		gseqAt, cseqAt = gseq, cseq
 		msg.GSeq = gseq
 		msg.Class = class
 		msg.CSeq = cseq
 		return protocol.Encode(msg)
 	}, func(wire []byte) {
+		// Member logs are durable like group logs: journaled, and
+		// replicated to the R-1 successors — an invitation survives the
+		// home node's death alongside the member's resume token.
+		s.walEvent(key, gseqAt, cseqAt, class, false, wire)
+		if s.cluster != nil {
+			s.replicateLogged(key, class, wire)
+		}
 		sess, ok := s.session(id)
 		if !ok {
 			return

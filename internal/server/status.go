@@ -26,6 +26,7 @@ func (s *Server) snapshotSessions() []*session {
 // the session TTL.
 func (s *Server) probeLoop() {
 	defer s.wg.Done()
+	lastCkpt := s.cfg.Clock.Now()
 	for {
 		select {
 		case <-s.closed:
@@ -47,7 +48,16 @@ func (s *Server) probeLoop() {
 		}
 		s.broadcastLights()
 		s.maybeReinstate()
-		s.Reap(s.cfg.Clock.Now())
+		now := s.cfg.Clock.Now()
+		s.Reap(now)
+		// The replication ack sweep rides the probe tick: overdue
+		// in-flight forwards are resent with backoff until acked or
+		// written off as lost.
+		s.resendOverdue(now)
+		if s.wal != nil && now.Sub(lastCkpt) >= s.cfg.WALCheckpointInterval {
+			lastCkpt = now
+			_ = s.Checkpoint()
+		}
 	}
 }
 

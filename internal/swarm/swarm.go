@@ -12,7 +12,7 @@
 // (which politely waits for each response before sending the next
 // request) would hide.
 //
-// Four mixes script the scenarios the system is built for:
+// Five mixes script the scenarios the system is built for:
 //
 //   - lecture: one holder chats to N listeners — steady fan-out;
 //     measures event propagation plus periodic release/re-acquire
@@ -25,6 +25,12 @@
 //   - reconnect-storm: established members drop and resume their
 //     sessions at Poisson offsets (optionally after a node kill);
 //     measures time back to service and post-resume propagation.
+//   - chaos: the durability drill — a chair holds the floor and chats
+//     while the Chaos hooks fell the group's owner node mid-flow
+//     (and, at replication factor ≥ 3, its first successor too), then
+//     optionally restart it for the WAL-replay leg. Operations ride
+//     out the failover with bounded reconnect retries, so a clean
+//     convergence reports zero errors and lost state fails loudly.
 //
 // The same engine drives a netsim lab (tests, determinism) and a real
 // TCP cluster (cmd/dmps-swarm) through the Dialer seam.
@@ -76,14 +82,37 @@ type Options struct {
 	// reconnect-storm mix — the node-failure injection hook
 	// (e.g. Cluster.KillNode).
 	Kill func()
+	// Chaos arms the chaos mix's failure injections. Nil (or a nil
+	// KillOwner) runs the mix as steady load with no injection — what
+	// a deployment the harness cannot reach into gets.
+	Chaos *Chaos
 	// NodeFor maps a group ID to the cluster node that owns it, for
 	// per-node throughput attribution in the report. Nil means a
 	// single-node deployment: everything lands on "server".
 	NodeFor func(group string) string
 }
 
+// Chaos configures the chaos mix's failure injections. Every hook
+// receives the mix's group ID so the injector can target the node that
+// owns it (e.g. via cluster.Map.Owner). Hooks run one at a time, with
+// client load held off until the post-kill recovery completes, so the
+// mix measures convergence rather than raced requests.
+type Chaos struct {
+	// KillOwner fells the node owning the group — the mid-flow
+	// owner-kill drill. Required for any injection to happen.
+	KillOwner func(group string)
+	// KillSuccessor, when set, fells the group's first live ring
+	// successor immediately after the owner — the double-failure
+	// drill, survivable only at replication factor ≥ 3.
+	KillSuccessor func(group string)
+	// Restart, when set, brings the felled node(s) back later in the
+	// mix (e.g. Cluster.RestartNode + Router.Recover): the WAL-replay
+	// and live-migration leg. Load keeps flowing across the epoch bump.
+	Restart func(group string)
+}
+
 // Mixes lists the scripted workload mixes in canonical run order.
-var Mixes = []string{"lecture", "flash-crowd", "moderated-churn", "reconnect-storm"}
+var Mixes = []string{"lecture", "flash-crowd", "moderated-churn", "reconnect-storm", "chaos"}
 
 // MixResult is one mix's measured outcome. Grant holds floor-grant (or
 // time-back-to-service, for reconnects) latencies in seconds; Prop
@@ -171,6 +200,8 @@ func runMix(opts Options, mix string, seed int64) (MixResult, error) {
 		err = runModeratedChurn(opts, seed, &res)
 	case "reconnect-storm":
 		err = runReconnectStorm(opts, seed, &res)
+	case "chaos":
+		err = runChaos(opts, seed, &res)
 	}
 	res.Wall = time.Since(start)
 	return res, err
@@ -642,6 +673,188 @@ func runReconnectStorm(opts Options, seed int64, res *MixResult) error {
 	// Each post-resume line should reach the whole fleet.
 	settle(opts, res.Prop, ticks.Load()*int64(len(fleet)))
 	res.Ops = ops
+	res.Errors = int(errs.n.Load())
+	return nil
+}
+
+// rideOut forces c through a session resume, retrying with a short
+// backoff until deadline: a failover takes real time — the probe loop
+// must notice the dead node, the successor must adopt its partitions
+// from the replicated logs, the router must re-route — and a single
+// dial would race all of it. Drop is unconditional (a half-dead
+// connection resumes the same as a live one), and the retry loop makes
+// the chaos mix's error count mean "the cluster never converged", not
+// "the client asked too early".
+func rideOut(c *client.Client, deadline time.Time) error {
+	c.Drop()
+	for {
+		err := c.Reconnect()
+		switch {
+		case err == nil:
+			return nil
+		case strings.Contains(err.Error(), "still connected"):
+			// A racing recovery already brought the session back
+			// between our Drop and this attempt: mission accomplished.
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runChaos drives the durability drill: a chair holds an equal-control
+// floor and chats timestamped lines to listeners while the Chaos hooks
+// fell the group's owner node mid-flow — and, when armed, its first
+// ring successor (the RF≥3 double kill) and later a restart (the
+// WAL-replay leg). The kill runs behind the same write lock the chat
+// load reads, so operations pause for the recovery window instead of
+// racing it; any chat that still lands on a dead session resumes and
+// retries once. The grant histogram records the initial grant plus the
+// kill-to-floor-restored interval — the service-restoration SLO — and
+// the propagation histogram shows fan-out is live on both sides of the
+// failure. Zero errors therefore means the replicas really converged:
+// holder restored, no state fabricated, every retried line delivered.
+func runChaos(opts Options, seed int64, res *MixResult) error {
+	var errs errCounter
+	chair, err := opts.Dial(client.Config{Name: "chaos-chair", Role: "chair", Priority: 10})
+	if err != nil {
+		return err
+	}
+	defer chair.Close()
+	if err := chair.Join(res.Group); err != nil {
+		return err
+	}
+	var listeners []*client.Client
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	for i := 0; i < opts.Members; i++ {
+		l, err := opts.Dial(client.Config{
+			Name: fmt.Sprintf("chaos-%d", i), Role: "participant", Priority: 3,
+			OnEvent: propTap(res.Prop),
+		})
+		if err != nil {
+			errs.note(err)
+			continue
+		}
+		if err := l.Join(res.Group); err != nil {
+			errs.note(err)
+			l.Close()
+			continue
+		}
+		listeners = append(listeners, l)
+	}
+	t0 := time.Now()
+	if _, err := chair.RequestFloor(res.Group, floor.EqualControl, ""); err != nil {
+		return err
+	}
+	res.Grant.Observe(time.Since(t0).Seconds())
+
+	// Chats share the read side; each injection holds the write side
+	// through its recovery, so load pauses for the window instead of
+	// piling errors into it.
+	var floorMu sync.RWMutex
+	var ticks atomic.Int64
+	var chaosWG sync.WaitGroup
+	span := opts.Mean * time.Duration(opts.Ops)
+	if ch := opts.Chaos; ch != nil && ch.KillOwner != nil {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			time.Sleep(span / 3) // mid-flow: the floor is held, chats are in flight
+			floorMu.Lock()
+			defer floorMu.Unlock()
+			ch.KillOwner(res.Group)
+			if ch.KillSuccessor != nil {
+				ch.KillSuccessor(res.Group)
+			}
+			killed := time.Now()
+			deadline := killed.Add(opts.Settle)
+			if err := rideOut(chair, deadline); err != nil {
+				errs.note(fmt.Errorf("chair resume after kill: %w", err))
+				return
+			}
+			for {
+				dec, err := chair.RequestFloor(res.Group, floor.EqualControl, "")
+				if err == nil && dec.Granted {
+					res.Grant.Observe(time.Since(killed).Seconds())
+					break
+				}
+				if !time.Now().Before(deadline) {
+					errs.note(fmt.Errorf("floor not restored after kill: granted=%v err=%v", dec.Granted, err))
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
+			}
+			for _, l := range listeners {
+				if err := rideOut(l, deadline); err != nil {
+					errs.note(fmt.Errorf("listener resume after kill: %w", err))
+				}
+			}
+		}()
+		if ch.Restart != nil {
+			chaosWG.Add(1)
+			go func() {
+				defer chaosWG.Done()
+				time.Sleep(2 * span / 3)
+				floorMu.Lock()
+				defer floorMu.Unlock()
+				ch.Restart(res.Group)
+			}()
+		}
+	}
+	// resumeMu single-flights the chat fallback's session recovery:
+	// open-loop chats fail in bursts when the chair's connection dies,
+	// and N concurrent fallbacks each Dropping the connection the
+	// previous one just restored would cascade a one-off failure into
+	// a permanently churning session. The loser of the race re-probes
+	// with a plain chat under the lock and usually finds the session
+	// already healthy.
+	var resumeMu sync.Mutex
+	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
+	fireAt(time.Now(), offsets, func(i int) {
+		floorMu.RLock()
+		defer floorMu.RUnlock()
+		if err := chair.Chat(res.Group, tickLine()); err == nil {
+			ticks.Add(1)
+			return
+		}
+		// The chat raced a failure the recovery window did not cover
+		// (or none was armed): resume the session and retry until the
+		// cluster converges or the settle budget runs out.
+		resumeMu.Lock()
+		defer resumeMu.Unlock()
+		if err := chair.Chat(res.Group, tickLine()); err == nil {
+			ticks.Add(1) // a racing fallback already recovered the session
+			return
+		}
+		deadline := time.Now().Add(opts.Settle)
+		if err := rideOut(chair, deadline); err != nil {
+			errs.note(fmt.Errorf("chat resume: %w", err))
+			return
+		}
+		for {
+			err := chair.Chat(res.Group, tickLine())
+			if err == nil {
+				ticks.Add(1)
+				return
+			}
+			if !time.Now().Before(deadline) {
+				errs.note(fmt.Errorf("chat retry: %w", err))
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}).Wait()
+	chaosWG.Wait()
+	// Every delivered line should reach every listener — including the
+	// lines listeners missed while dead, which the resume replay owes.
+	settle(opts, res.Prop, ticks.Load()*int64(len(listeners)))
+	res.Ops = opts.Ops
 	res.Errors = int(errs.n.Load())
 	return nil
 }

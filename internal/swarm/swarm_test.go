@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"dmps/internal/client"
+	"dmps/internal/cluster"
 	"dmps/internal/core"
 	"dmps/internal/metrics"
 )
@@ -86,6 +87,79 @@ func TestSwarmReconnectStormSurvivesKill(t *testing.T) {
 	r := results[0]
 	if r.Grant.Count() == 0 {
 		t.Fatalf("no reconnects measured (errors=%d)", r.Errors)
+	}
+}
+
+// TestSwarmChaosOwnerKillAndRestart arms the chaos mix's full drill on
+// a three-node WAL-backed cluster: the group's owner is felled
+// mid-floor-hold, load rides out the failover onto the replica, and the
+// restart leg brings the node back (WAL replay) and migrates its
+// partitions home through Router.Recover — all with zero errors, which
+// is the mix's definition of "no logged state was lost".
+func TestSwarmChaosOwnerKillAndRestart(t *testing.T) {
+	lab, err := core.StartCluster(core.ClusterOptions{
+		Options:           core.Options{Seed: 7},
+		Nodes:             3,
+		ReplicationFactor: 2,
+		WALDir:            t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lab.Close)
+	opts := Options{
+		Dial: func(cfg client.Config) (*client.Client, error) {
+			cfg.Network = lab.Net.From(cfg.Name)
+			cfg.Addr = core.RouterAddr
+			cfg.Timeout = 5 * time.Second
+			return client.Dial(cfg)
+		},
+		Seed:    42,
+		Members: 3,
+		Ops:     12,
+		Mean:    2 * time.Millisecond,
+		Settle:  8 * time.Second,
+	}
+	addrs := make([]string, 3)
+	for i := range addrs {
+		addrs[i] = core.NodeAddr(i)
+	}
+	pmap := cluster.NewMap(addrs)
+	killed := -1 // written and read under the mix's injection lock
+	opts.Chaos = &Chaos{
+		KillOwner: func(group string) {
+			killed, _ = pmap.Owner(group)
+			lab.KillNode(killed)
+		},
+		Restart: func(group string) {
+			if killed < 0 {
+				return
+			}
+			if err := lab.RestartNode(killed); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := lab.Router.Recover(killed); err != nil {
+				t.Error(err)
+			}
+		},
+	}
+	results, err := Run(opts, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Errors > 0 {
+		t.Errorf("chaos: %d errors, want 0 (clean convergence)", r.Errors)
+	}
+	if killed < 0 {
+		t.Fatal("kill hook never fired")
+	}
+	if r.Grant.Count() < 2 {
+		t.Errorf("grant samples = %d, want initial grant + post-kill restoration", r.Grant.Count())
+	}
+	if r.Prop.Count() == 0 {
+		t.Error("no propagation samples across the failure")
 	}
 }
 

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Swarm smoke: boot 1 router + 2 group-partition nodes as REAL
-# processes over localhost TCP, run a short open-loop swarm (the
-# lecture fan-out and the reconnect storm), and gate the resulting SLO
-# report with dmps-swarm -check: it must parse and every mix must show
-# zero errors and a finite, non-zero p99 grant latency. CI uploads the
-# report as the BENCH_pr6.json artifact of the run.
+# Swarm smoke: boot 1 router + 2 WAL-backed group-partition nodes as
+# REAL processes over localhost TCP, run a short open-loop swarm (the
+# lecture fan-out, the reconnect storm, and the chaos failure drill —
+# the group's owner is felled mid-floor-hold and restarted mid-mix),
+# and gate the resulting SLO report with dmps-swarm -check: it must
+# parse, every mix must show zero errors and a finite, non-zero p99
+# grant latency, and mixes shared with the checked-in baseline must
+# hold their p99 within the growth ratio. CI uploads the report as the
+# BENCH_pr7.json artifact of the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_swarm_smoke.json}"
+BASELINE="BENCH_pr6.json"
 
 NODE0=127.0.0.1:7241
 NODE1=127.0.0.1:7242
@@ -16,21 +20,40 @@ ROUTER=127.0.0.1:7240
 NODES="$NODE0,$NODE1"
 
 BIN="$(mktemp -d)"
+RUN="$(mktemp -d)"
 cleanup() {
+    kill $(cat "$RUN"/node*.pid 2>/dev/null) 2>/dev/null || true
     kill "${PIDS[@]}" 2>/dev/null || true
     wait 2>/dev/null || true
-    rm -rf "$BIN"
+    rm -rf "$BIN" "$RUN"
 }
 trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/dmps-server ./cmd/dmps-router ./cmd/dmps-swarm
 
+# node_ctl {start|kill} <idx>: the chaos mix's hooks restart the victim
+# with the same flags and WAL dir, so the restart replays its journal.
+cat > "$RUN/node_ctl" <<EOF
+#!/usr/bin/env bash
+set -euo pipefail
+cmd="\$1"; i="\$2"
+addrs=($NODE0 $NODE1)
+case "\$cmd" in
+start)
+    "$BIN/dmps-server" -addr "\${addrs[\$i]}" -cluster "$NODES" -node "\$i" \
+        -probe 100ms -rf 2 -wal "$RUN/wal/node\$i" &
+    echo \$! > "$RUN/node\$i.pid"
+    ;;
+kill)
+    kill -9 "\$(cat "$RUN/node\$i.pid")"
+    ;;
+esac
+EOF
+chmod +x "$RUN/node_ctl"
+
 PIDS=()
-"$BIN/dmps-server" -addr "$NODE0" -cluster "$NODES" -node 0 -probe 100ms &
-PIDS+=($!)
-"$BIN/dmps-server" -addr "$NODE1" -cluster "$NODES" -node 1 -probe 100ms &
-PIDS+=($!)
-"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" &
+for i in 0 1; do "$RUN/node_ctl" start "$i"; done
+"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" -recover 500ms &
 PIDS+=($!)
 
 for addr in "$NODE0" "$NODE1" "$ROUTER"; do
@@ -45,11 +68,17 @@ for addr in "$NODE0" "$NODE1" "$ROUTER"; do
     exit 1
 done
 
-# ~5s of open-loop load: 100 ops per mix at a 20ms mean gap ≈ 2s of
-# scheduled arrivals each, plus settle.
+# ~8s of open-loop load: 100 ops per mix at a 20ms mean gap ≈ 2s of
+# scheduled arrivals each, plus settle — the chaos mix spends part of
+# its window felling and restarting the owner node.
 "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
-    -mix lecture,reconnect-storm -members 6 -ops 100 -mean 20ms \
-    -seed 6 -note "swarm smoke: router + 2 nodes over localhost TCP" \
+    -mix lecture,reconnect-storm,chaos -members 6 -ops 100 -mean 20ms \
+    -settle 8s -seed 6 \
+    -chaos-kill "$RUN/node_ctl kill \$DMPS_CHAOS_NODE" \
+    -chaos-restart "$RUN/node_ctl start \$DMPS_CHAOS_NODE" \
+    -note "swarm smoke: router + 2 WAL-backed nodes over localhost TCP" \
     -out "$OUT"
-"$BIN/dmps-swarm" -check "$OUT"
+# The latency-trend ratio is deliberately loose: p99s on shared CI
+# runners are noisy, and the errors=0 gate is the correctness signal.
+"$BIN/dmps-swarm" -check "$OUT" -baseline "$BASELINE" -max-growth 4.0
 echo "swarm_smoke: OK ($OUT)"
