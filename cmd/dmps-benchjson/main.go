@@ -16,6 +16,14 @@
 // new in this run pass freely — the trend gate never blocks adding
 // coverage, only regressing what is already measured.
 //
+// With -ceiling NAME=B_op:allocs_op (repeatable) it pins named
+// benchmarks to ABSOLUTE budgets, independent of any baseline: the
+// relative trend gate tolerates small drift each run, so a sequence
+// of individually-passing regressions could quietly erase the binary
+// wire path's allocation win — the ceiling makes that impossible. A
+// ceiling on a benchmark missing from the input fails rather than
+// passing vacuously.
+//
 // Usage:
 //
 //	go test -run='^$' -bench='BenchmarkBroadcast|BenchmarkQueueChurn|BenchmarkBoardStorm|BenchmarkClusterBroadcast' -benchmem . \
@@ -81,6 +89,31 @@ func main() {
 	baseline := flag.String("baseline", "", "prior BENCH_*.json to gate B/op and allocs/op growth against")
 	maxGrowth := flag.Float64("max-growth", 1.30, "fail if B/op or allocs/op grows past baseline×this ratio (with -baseline)")
 	note := flag.String("note", "", "free-form note recorded under _meta")
+	// Absolute ceilings complement the relative trend gate: the trend
+	// gate only catches drift between adjacent runs, so N small
+	// regressions can each pass while their product erases a headline
+	// win. A ceiling pins the benchmark to an absolute budget forever.
+	ceilings := make(map[string][2]float64)
+	flag.Func("ceiling", "absolute cap `NAME=B_op:allocs_op` (repeatable); the named benchmark must be present and stay at or under both budgets", func(s string) error {
+		name, rest, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want NAME=B_op:allocs_op, got %q", s)
+		}
+		bs, as, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("want NAME=B_op:allocs_op, got %q", s)
+		}
+		maxB, err := strconv.ParseFloat(bs, 64)
+		if err != nil {
+			return fmt.Errorf("bad B_op budget in %q: %w", s, err)
+		}
+		maxA, err := strconv.ParseFloat(as, 64)
+		if err != nil {
+			return fmt.Errorf("bad allocs_op budget in %q: %w", s, err)
+		}
+		ceilings[name] = [2]float64{maxB, maxA}
+		return nil
+	})
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -134,6 +167,24 @@ func main() {
 	if *baseline != "" {
 		if err := gateTrend(*baseline, rows, *maxGrowth); err != nil {
 			fatal(err)
+		}
+	}
+	for name, lim := range ceilings {
+		row, ok := rows[name]
+		if !ok {
+			// Multi-core hosts suffix names with -GOMAXPROCS; accept
+			// exactly one such row so ceilings written on a single-core
+			// runner keep gating elsewhere — but never pass vacuously.
+			row, ok = findSuffixed(rows, name)
+		}
+		if !ok {
+			fatal(fmt.Errorf("ceiling %s: benchmark not in input — the gate would pass vacuously", name))
+		}
+		if b := row["B_op"]; b > lim[0] {
+			fatal(fmt.Errorf("%s: B/op %.0f exceeds absolute ceiling %.0f", name, b, lim[0]))
+		}
+		if a := row["allocs_op"]; a > lim[1] {
+			fatal(fmt.Errorf("%s: allocs/op %.0f exceeds absolute ceiling %.0f", name, a, lim[1]))
 		}
 	}
 
@@ -206,6 +257,26 @@ func gateTrend(path string, rows map[string]metrics, maxGrowth float64) error {
 		return fmt.Errorf("no benchmarks shared with baseline %s: the trend gate would pass vacuously", path)
 	}
 	return nil
+}
+
+// findSuffixed looks for exactly one row named name-N (Go's GOMAXPROCS
+// suffix). Two or more matches means the name was ambiguous — treat as
+// absent and let the caller fail loudly.
+func findSuffixed(rows map[string]metrics, name string) (metrics, bool) {
+	var found metrics
+	matches := 0
+	for n, row := range rows {
+		rest, ok := strings.CutPrefix(n, name+"-")
+		if !ok {
+			continue
+		}
+		if _, err := strconv.Atoi(rest); err != nil {
+			continue
+		}
+		found = row
+		matches++
+	}
+	return found, matches == 1
 }
 
 func fatal(err error) {

@@ -173,7 +173,13 @@ func run() int {
 			union.WriteString(body)
 			fmt.Printf("dmps-smoke: metrics OK at http://%s/metrics\n", addr)
 		}
-		want := []string{"dmps_cluster_map_epoch", "dmps_repl_ack_latency_seconds", "dmps_repl_unacked"}
+		// The wire series prove the binary framing + flush batching
+		// plane is observable: bytes by direction, flush count, and
+		// the batching-efficiency ratio.
+		want := []string{
+			"dmps_cluster_map_epoch", "dmps_repl_ack_latency_seconds", "dmps_repl_unacked",
+			"dmps_wire_bytes_total", "dmps_wire_flushes_total", "dmps_wire_msgs_per_flush",
+		}
 		if *expectWAL {
 			want = append(want, "dmps_wal_segments", "dmps_wal_bytes")
 		}

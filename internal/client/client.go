@@ -82,6 +82,12 @@ type Config struct {
 	// OnEvent, when set, observes every server-initiated event
 	// synchronously from the read loop: keep it fast and non-blocking.
 	OnEvent func(protocol.Message)
+	// WireJSON keeps this client's sends on the JSON wire framing instead
+	// of requesting the binary framing in the hello. Inbound frames of
+	// either framing are always understood; the knob only pins what this
+	// client asks for and emits — the debugging escape hatch, and the
+	// interop test's way of staging a mixed-version group.
+	WireJSON bool
 }
 
 // cursorKey addresses one admission cursor: a log (group ID, or the
@@ -148,6 +154,11 @@ type Client struct {
 	closed       bool          // user called Close: the session is over
 	connDown     bool          // connection lost; Reconnect can resume
 	reconnecting bool          // a Reconnect is in flight (at most one)
+	// wireVer is the wire framing the server granted in the welcome (0 =
+	// JSON, 1 = binary): what this client's sends encode to. Renegotiated
+	// on every Reconnect — a resume through an older server downgrades
+	// gracefully to JSON.
+	wireVer int
 
 	readerDone chan struct{} // replaced by Reconnect; read under mu
 }
@@ -202,7 +213,8 @@ func Dial(cfg Config) (*Client, error) {
 	c.mu.Unlock()
 	hello := protocol.HelloBody{
 		Name: cfg.Name, Role: cfg.Role, Priority: cfg.Priority,
-		Classes: cfg.EventClasses,
+		Classes:     cfg.EventClasses,
+		WireVersion: wireAsk(cfg),
 	}
 	welcome, err := handshake(conn, cfg, hello, 1)
 	for hops := 0; err != nil && hops < maxRedirects; hops++ {
@@ -231,9 +243,20 @@ func Dial(cfg Config) (*Client, error) {
 	c.mu.Lock()
 	c.memberID = welcome.MemberID
 	c.token = welcome.Token
+	c.wireVer = welcome.WireVersion
 	c.mu.Unlock()
 	go c.readLoop()
 	return c, nil
+}
+
+// wireAsk is the wire version the hello requests: binary unless pinned
+// to JSON. The server echoes the granted version in the welcome; an
+// older server omits the field and the session stays on JSON.
+func wireAsk(cfg Config) int {
+	if cfg.WireJSON {
+		return 0
+	}
+	return 1
 }
 
 // wantsClassLocked reports whether the current mask admits a class.
@@ -328,14 +351,31 @@ func (c *Client) Estimator() *clock.Estimator { return c.est }
 // Clock returns the client's local clock.
 func (c *Client) Clock() clock.Clock { return c.cfg.Clock }
 
+// WireVersion reports the wire framing the server granted in the
+// welcome: 0 is the JSON framing, 1 the length-prefixed binary framing.
+// It can change across Reconnect (a -wire-json server demotes the
+// session to JSON).
+func (c *Client) WireVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wireVer
+}
+
 func (c *Client) send(msg protocol.Message) error {
-	wire, err := protocol.Encode(msg)
+	c.mu.Lock()
+	conn := c.conn
+	ver := c.wireVer
+	c.mu.Unlock()
+	var wire []byte
+	var err error
+	if ver >= 1 {
+		wire, err = protocol.EncodeBinary(msg)
+	} else {
+		wire, err = protocol.Encode(msg)
+	}
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	conn := c.conn
-	c.mu.Unlock()
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	return conn.Send(wire)
@@ -399,7 +439,7 @@ func (c *Client) readLoop() {
 			}
 			return
 		}
-		msg, err := protocol.Decode(wire)
+		msg, err := protocol.DecodeAny(wire)
 		if err != nil {
 			continue
 		}
@@ -573,9 +613,11 @@ func (c *Client) apply(msg protocol.Message) {
 				// A coalesced event carries a burst: the first operation
 				// on the top-level fields, the rest in More, in board
 				// order — apply them exactly as if they arrived singly.
+				// The first op applies straight off the body so the
+				// common single-op event allocates nothing here.
 				board := c.boardLocked(msg.Group)
-				ops := append([]protocol.SequencedBody{body}, body.More...)
-				for _, op := range ops {
+				op := &body
+				for i := 0; ; i++ {
 					kind := whiteboard.Text
 					switch op.Kind {
 					case "draw":
@@ -594,6 +636,10 @@ func (c *Client) apply(msg protocol.Message) {
 						c.askBoardReplay(msg.Group, board.Seq())
 						break
 					}
+					if i >= len(body.More) {
+						break
+					}
+					op = &body.More[i]
 				}
 			}
 		}
@@ -1452,7 +1498,8 @@ func (c *Client) Reconnect() error {
 	c.mu.Unlock()
 	welcome, err := handshake(conn, c.cfg, protocol.HelloBody{
 		Name: c.cfg.Name, Role: c.cfg.Role, Priority: c.cfg.Priority, Token: token,
-		Classes: classes,
+		Classes:     classes,
+		WireVersion: wireAsk(c.cfg),
 	}, helloSeq)
 	if err != nil {
 		_ = conn.Close()
@@ -1477,6 +1524,7 @@ func (c *Client) Reconnect() error {
 	c.connDown = false
 	c.memberID = welcome.MemberID
 	c.token = welcome.Token
+	c.wireVer = welcome.WireVersion
 	c.readerDone = make(chan struct{})
 	c.repairs = nil // fresh connection, fresh pacing
 	for g := range c.joined {

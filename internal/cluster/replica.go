@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"encoding/json"
 	"sync"
 
 	"dmps/internal/protocol"
@@ -40,10 +39,10 @@ type GroupReplica struct {
 // ReplicaStore holds the group replicas a node keeps on behalf of its
 // ring predecessor: ForwardReplica and ForwardMembers forwards
 // accumulate here, and a takeover drains one group's package into the
-// live planes. Retention is bounded per group (cap events, FIFO) — a
-// client older than the retained suffix converges through the snapshot
-// fallback, same as with the in-process log ring. Safe for concurrent
-// use.
+// live planes. Retention is bounded per group (at least cap events,
+// trimmed amortized at 2×cap, FIFO) — a client older than the retained
+// suffix converges through the snapshot fallback, same as with the
+// in-process log ring. Safe for concurrent use.
 type ReplicaStore struct {
 	mu      sync.Mutex
 	cap     int
@@ -86,12 +85,13 @@ func (s *ReplicaStore) group(id string) *GroupReplica {
 }
 
 // ApplyEvent records one replicated logged event for a group. The wire
-// bytes are the owner's stamped fan-out bytes; their envelope is parsed
-// here (off the owner's hot path) to recover the sequence fields. An
-// optional floor blob replaces the group's takeover floor state.
+// bytes are the owner's stamped fan-out bytes in either framing; their
+// envelope is parsed here (off the owner's hot path) to recover the
+// sequence fields. An optional floor blob replaces the group's takeover
+// floor state.
 func (s *ReplicaStore) ApplyEvent(groupID string, wire []byte, floor *protocol.FloorReplicaBody) {
-	var env protocol.Message
-	if err := json.Unmarshal(wire, &env); err != nil || env.GSeq == 0 {
+	env, err := protocol.DecodeAny(wire)
+	if err != nil || env.GSeq == 0 {
 		return
 	}
 	s.mu.Lock()
@@ -111,7 +111,7 @@ func (s *ReplicaStore) ApplyEvent(groupID string, wire []byte, floor *protocol.F
 		// so takeover knows where sequence minting must resume even if
 		// earlier board events were trimmed from the retained suffix.
 		var body protocol.SequencedBody
-		if json.Unmarshal(env.Body, &body) == nil {
+		if env.Into(&body) == nil {
 			if body.Seq > g.BoardHead {
 				g.BoardHead = body.Seq
 			}
@@ -122,7 +122,14 @@ func (s *ReplicaStore) ApplyEvent(groupID string, wire []byte, floor *protocol.F
 			}
 		}
 	}
-	if len(g.Events) > s.cap {
+	if len(g.Events) >= 2*s.cap {
+		// Amortized trim: compacting on every event past the cap would
+		// copy the whole window per append — O(cap) on the replication
+		// hot path. Letting the slice run to 2×cap and then cutting
+		// back to cap copies cap events once per cap appends, so the
+		// steady-state cost is one event-copy per event. Takeover only
+		// needs the retained suffix, so briefly holding up to 2×cap-1
+		// events is extra safety margin, never staleness.
 		g.Events = append(g.Events[:0:0], g.Events[len(g.Events)-s.cap:]...)
 	}
 	if floor != nil {

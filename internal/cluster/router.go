@@ -55,6 +55,11 @@ type RouterConfig struct {
 	// Zero leaves recovery to explicit Recover calls (tests, admin
 	// tooling).
 	RecoverInterval time.Duration
+	// WireJSON, when set, strips the binary-framing ask from every
+	// client hello before it reaches the home node, pinning the whole
+	// cluster's client traffic to JSON — the same debugging escape
+	// hatch as server.Config.WireJSON, applied at the routing tier.
+	WireJSON bool
 }
 
 // Router is the thin routing tier in front of a node cluster: it
@@ -241,7 +246,7 @@ func (rs *routerSession) run() {
 		if err != nil {
 			return
 		}
-		msg, err := protocol.Decode(wire)
+		msg, err := protocol.DecodeAny(wire)
 		if err != nil {
 			continue
 		}
@@ -268,6 +273,9 @@ func (rs *routerSession) admit() error {
 	var hello protocol.HelloBody
 	if err := msg.Into(&hello); err != nil {
 		return err
+	}
+	if rs.r.cfg.WireJSON {
+		hello.WireVersion = 0
 	}
 	homeIdx := -1
 	if hello.Token != "" {
@@ -357,6 +365,10 @@ func (rs *routerSession) admit() error {
 		Role:     hello.Role,
 		Priority: hello.Priority,
 		Classes:  hello.Classes,
+		// The home node's welcome fixes the session's wire version; the
+		// identity carries it so every later upstream speaks the same
+		// format to this client without renegotiating.
+		WireVersion: welcome.WireVersion,
 	}
 	up := &upstream{idx: homeIdx, conn: conn, groups: make(map[string]bool)}
 	rs.ups[homeIdx] = up

@@ -1,0 +1,175 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dmps/internal/client"
+	"dmps/internal/cluster"
+	"dmps/internal/floor"
+	"dmps/internal/resource"
+	"dmps/internal/server"
+	"dmps/internal/transport"
+)
+
+// TestMixedWireVersionTCPE2E runs a JSON-framed client and a
+// binary-framed client in the SAME group over a real TCP cluster
+// (1 router + 2 nodes) and requires full convergence: floor grants
+// observed across the version boundary, board backfill for a late
+// joiner of each framing, and reconnect-resume for both — the
+// mixed-fleet upgrade scenario, where old clients must keep working
+// verbatim while new ones speak the binary wire.
+func TestMixedWireVersionTCPE2E(t *testing.T) {
+	addrs := freePorts(t, 3)
+	nodeAddrs, routerAddr := addrs[:2], addrs[2]
+
+	nodes := make([]*server.Server, 2)
+	for i := range nodes {
+		mon, err := resource.New(resource.MinBound, resource.DefaultThresholds())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Network: transport.TCP{},
+			Addr:    nodeAddrs[i],
+			Monitor: mon,
+			Cluster: &server.ClusterConfig{Nodes: nodeAddrs, Self: i},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Start()
+		nodes[i] = srv
+		t.Cleanup(srv.Close)
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Network: transport.TCP{}, Addr: routerAddr, Nodes: nodeAddrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Start()
+	t.Cleanup(router.Close)
+
+	dial := func(name string, wireJSON bool) *client.Client {
+		t.Helper()
+		c, err := client.Dial(client.Config{
+			Network: transport.TCP{}, Addr: routerAddr,
+			Name: name, Role: "participant", Priority: 5,
+			WireJSON: wireJSON,
+		})
+		if err != nil {
+			t.Fatalf("dial %s: %v", name, err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+
+	// One member of each framing, homed on different nodes so the
+	// version negotiation crosses the routing tier both ways; the
+	// group owned by node 1 exercises the forwarded path too.
+	legacy := dial(pickKeyFor(t, nodeAddrs, "wire-json", 0), true)
+	modern := dial(pickKeyFor(t, nodeAddrs, "wire-bin", 1), false)
+	if v := legacy.WireVersion(); v != 0 {
+		t.Fatalf("JSON client negotiated wire version %d, want 0", v)
+	}
+	if v := modern.WireVersion(); v != 1 {
+		t.Fatalf("binary client negotiated wire version %d, want 1", v)
+	}
+	group := pickKeyFor(t, nodeAddrs, "wire-class", 1)
+
+	for _, c := range []*client.Client{legacy, modern} {
+		if err := c.Join(group); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Grant on the binary side, observed on the JSON side.
+	dec, err := modern.RequestFloor(group, floor.EqualControl, "")
+	if err != nil || !dec.Granted {
+		t.Fatalf("binary-side grant: dec=%+v err=%v", dec, err)
+	}
+	waitFor(t, "JSON client sees the binary holder", func() bool {
+		return legacy.Holder(group) == modern.MemberID()
+	})
+	if err := modern.Chat(group, "binary line"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "chat crosses binary→JSON", func() bool {
+		return legacy.Board(group).Seq() == 1
+	})
+
+	// Hand the floor across the version boundary and chat back.
+	if err := modern.ReleaseFloor(group); err != nil {
+		t.Fatal(err)
+	}
+	dec, err = legacy.RequestFloor(group, floor.EqualControl, "")
+	if err != nil || !dec.Granted {
+		t.Fatalf("JSON-side grant: dec=%+v err=%v", dec, err)
+	}
+	waitFor(t, "binary client sees the JSON holder", func() bool {
+		return modern.Holder(group) == legacy.MemberID()
+	})
+	if err := legacy.Chat(group, "json line"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "chat crosses JSON→binary", func() bool {
+		return modern.Board(group).Seq() == 2
+	})
+
+	// Late joiners of each framing must backfill the same history.
+	for i, wireJSON := range []bool{true, false} {
+		late := dial(pickKeyFor(t, nodeAddrs, fmt.Sprintf("wire-late%d", i), 0), wireJSON)
+		if err := late.Join(group); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, fmt.Sprintf("late joiner %d backfills the board", i), func() bool {
+			return late.Board(group).Seq() == 2
+		})
+	}
+
+	// Reconnect-resume on both sides of the version boundary: each
+	// client drops, misses a line chatted by the floor holder on the
+	// other side, and must converge through the resume backfill under
+	// its own framing. Equal control lets only the holder speak, so
+	// the floor crosses the boundary before each drop.
+	if err := legacy.ReleaseFloor(group); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := modern.RequestFloor(group, floor.EqualControl, ""); err != nil || !dec.Granted {
+		t.Fatalf("re-grant to binary side: dec=%+v err=%v", dec, err)
+	}
+	legacy.Drop()
+	if err := modern.Chat(group, "missed by the JSON client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Reconnect(); err != nil {
+		t.Fatalf("JSON reconnect: %v", err)
+	}
+	waitFor(t, "JSON client resumes and converges", func() bool {
+		return legacy.Board(group).Seq() == 3
+	})
+
+	if err := modern.ReleaseFloor(group); err != nil {
+		t.Fatal(err)
+	}
+	if dec, err := legacy.RequestFloor(group, floor.EqualControl, ""); err != nil || !dec.Granted {
+		t.Fatalf("re-grant to JSON side: dec=%+v err=%v", dec, err)
+	}
+	modern.Drop()
+	if err := legacy.Chat(group, "missed by the binary client"); err != nil {
+		t.Fatal(err)
+	}
+	if err := modern.Reconnect(); err != nil {
+		t.Fatalf("binary reconnect: %v", err)
+	}
+	waitFor(t, "binary client resumes and converges", func() bool {
+		return modern.Board(group).Seq() == 4
+	})
+	if v := modern.WireVersion(); v != 1 {
+		t.Fatalf("binary client lost its framing across resume: version %d", v)
+	}
+	if v := legacy.WireVersion(); v != 0 {
+		t.Fatalf("JSON client gained a framing it never asked for: version %d", v)
+	}
+}

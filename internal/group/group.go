@@ -147,6 +147,12 @@ type groupState struct {
 	id      string
 	chair   MemberID
 	members map[MemberID]bool
+	// idsSnap caches the sorted member-ID list between membership
+	// changes; mutators nil it under mu. The broadcast fan-out reads it
+	// on every logged append, so the snapshot trades one rebuild per
+	// membership change for zero allocation per broadcast. The slice is
+	// shared: readers must never mutate it.
+	idsSnap []MemberID
 }
 
 // NewRegistry returns an empty registry.
@@ -223,6 +229,7 @@ func (r *Registry) Unregister(id MemberID) {
 		if g, ok := r.groups.Get(gid); ok {
 			g.mu.Lock()
 			delete(g.members, id)
+			g.idsSnap = nil
 			g.mu.Unlock()
 		}
 	}
@@ -282,6 +289,7 @@ func (r *Registry) DeleteGroup(id string) error {
 		delete(r.joined[m], id)
 	}
 	g.members = make(map[MemberID]bool)
+	g.idsSnap = nil
 	g.mu.Unlock()
 	r.groups.Delete(id)
 	return nil
@@ -305,6 +313,7 @@ func (r *Registry) joinLocked(groupID string, member MemberID) error {
 	}
 	g.mu.Lock()
 	g.members[member] = true
+	g.idsSnap = nil
 	g.mu.Unlock()
 	r.joined[member][groupID] = true
 	return nil
@@ -325,6 +334,7 @@ func (r *Registry) Leave(groupID string, member MemberID) error {
 		return fmt.Errorf("%w: %q in %q", ErrNotMember, member, groupID)
 	}
 	delete(g.members, member)
+	g.idsSnap = nil
 	delete(r.joined[member], groupID)
 	return nil
 }
@@ -380,6 +390,34 @@ func (r *Registry) GroupMembers(groupID string) ([]Member, error) {
 	r.dirMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// GroupMemberIDs returns the group's member IDs, sorted. The slice is
+// a shared snapshot rebuilt only when membership changes — the
+// broadcast fan-out calls this once per logged append, so the steady
+// state allocates nothing. Callers must treat it as immutable.
+func (r *Registry) GroupMemberIDs(groupID string) ([]MemberID, error) {
+	g, ok := r.groups.Get(groupID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGroup, groupID)
+	}
+	g.mu.RLock()
+	snap := g.idsSnap
+	g.mu.RUnlock()
+	if snap != nil {
+		return snap, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.idsSnap == nil {
+		ids := make([]MemberID, 0, len(g.members))
+		for id := range g.members {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		g.idsSnap = ids
+	}
+	return g.idsSnap, nil
 }
 
 // Chair returns the group's session chair.

@@ -45,7 +45,33 @@ type WALRecord struct {
 	Class string          `json:"class,omitempty"`
 	State bool            `json:"state,omitempty"`
 	Wire  json.RawMessage `json:"wire,omitempty"`
+	// WireB carries binary-framed wire bytes (base64 on disk): a binary
+	// frame is not valid JSON, so it cannot ride the Wire field's raw
+	// embedding. Writers use SetWire to route by framing; readers use
+	// WireBytes. Exactly one of Wire/WireB is set per event record.
+	WireB []byte          `json:"wire_b,omitempty"`
 	Data  json.RawMessage `json:"data,omitempty"`
+}
+
+// SetWire stores stamped wire bytes in the field matching their framing:
+// JSON frames embed raw (human-greppable segments), binary frames go to
+// the base64 twin.
+func (r *WALRecord) SetWire(wire []byte) {
+	if len(wire) > 0 && wire[0] != '{' {
+		r.WireB = wire
+		r.Wire = nil
+		return
+	}
+	r.Wire = wire
+	r.WireB = nil
+}
+
+// WireBytes returns the record's wire bytes whichever field carries them.
+func (r *WALRecord) WireBytes() []byte {
+	if len(r.WireB) > 0 {
+		return r.WireB
+	}
+	return r.Wire
 }
 
 // WALStats is the segment store's occupancy digest for the metrics

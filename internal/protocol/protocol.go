@@ -1,8 +1,12 @@
-// Package protocol defines the DMPS wire protocol: a JSON message
-// envelope with typed bodies, carried over the message-framing transport.
-// All client↔server traffic — handshake, group administration, floor
+// Package protocol defines the DMPS wire protocol: a message envelope
+// with typed bodies, carried over the message-framing transport. All
+// client↔server traffic — handshake, group administration, floor
 // control requests, chat/whiteboard, clock synchronization, status
-// probing and presentation control — uses these messages.
+// probing and presentation control — uses these messages. The envelope
+// has two wire forms: the JSON encoding every session starts in
+// (Encode/Decode), and the compact binary framing of binary.go
+// (EncodeBinary/DecodeBinary) a session switches to when the handshake
+// negotiates HelloBody.WireVersion. DecodeAny reads either.
 package protocol
 
 import (
@@ -247,6 +251,15 @@ type Message struct {
 	Group string `json:"group,omitempty"`
 	// Body is the type-specific payload.
 	Body json.RawMessage `json:"body,omitempty"`
+
+	// bodyObj retains the typed body New marshalled, so EncodeBinary
+	// can natively encode the hot types without re-parsing Body.
+	bodyObj any
+	// bodyBin holds the natively-encoded body of a decoded binary frame
+	// (Body stays nil for those): Into decodes it directly, Encode
+	// materializes the JSON form on demand, and EncodeBinary copies it
+	// verbatim.
+	bodyBin []byte
 }
 
 // HelloBody introduces a client. With Token set it resumes an existing
@@ -262,6 +275,13 @@ type HelloBody struct {
 	// event classes this client wants pushed (nil or empty means all;
 	// ClassNone alone means none). TSubscribe replaces it later.
 	Classes []string `json:"classes,omitempty"`
+	// WireVersion asks to speak a newer wire framing after the
+	// handshake: 0 (or absent — every pre-binary client) keeps the
+	// session on JSON, 1 requests the binary framing of binary.go. The
+	// server echoes the version it accepted in WelcomeBody.WireVersion
+	// and both sides switch only after the welcome; the handshake
+	// itself is always JSON.
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // SubscribeBody replaces the session's event-class mask: the server
@@ -280,6 +300,11 @@ type WelcomeBody struct {
 	// Token is the session-resume credential: presenting it in a later
 	// THello reconnects as the same member.
 	Token string `json:"token,omitempty"`
+	// WireVersion is the wire framing the server accepted for the rest
+	// of the session: 0 = JSON (also what a pre-binary server, which
+	// never sets the field, answers), 1 = binary. Never higher than the
+	// version the hello asked for.
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // GroupBody names a group.
@@ -540,6 +565,10 @@ type NodeHelloBody struct {
 	Role     string   `json:"role"`
 	Priority int      `json:"priority"`
 	Classes  []string `json:"classes,omitempty"`
+	// WireVersion carries the client's negotiated wire framing to the
+	// serving node, so a routed session speaks one format end to end
+	// (the router relays frames verbatim).
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // NodeMemberInfo is one member record riding a node-to-node forward —
@@ -614,13 +643,35 @@ const (
 
 // ReplicaEventBody is one retained log event riding a takeover package:
 // the stamped wire bytes plus the sequence coordinates needed to
-// re-install them with AppendRaw, preserving GSeq/CSeq exactly.
+// re-install them with AppendRaw, preserving GSeq/CSeq exactly. The
+// wire bytes ride one of two fields — Wire embeds a JSON frame
+// directly, WireB carries a binary frame base64-encoded (binary bytes
+// are not valid JSON) — so peers on either side of the format switch
+// parse the envelope; use SetWire/WireBytes, which route by format.
 type ReplicaEventBody struct {
 	GSeq  int64           `json:"gseq"`
 	CSeq  int64           `json:"cseq"`
 	Class string          `json:"class,omitempty"`
 	State bool            `json:"state,omitempty"`
-	Wire  json.RawMessage `json:"wire"`
+	Wire  json.RawMessage `json:"wire,omitempty"`
+	WireB []byte          `json:"wire_b,omitempty"`
+}
+
+// SetWire stores stamped wire bytes in the field matching their format.
+func (b *ReplicaEventBody) SetWire(wire []byte) {
+	if IsBinaryFrame(wire) {
+		b.Wire, b.WireB = nil, wire
+	} else {
+		b.Wire, b.WireB = wire, nil
+	}
+}
+
+// WireBytes returns the stamped wire bytes, whichever field carried them.
+func (b *ReplicaEventBody) WireBytes() []byte {
+	if len(b.WireB) > 0 {
+		return b.WireB
+	}
+	return b.Wire
 }
 
 // TakeoverBody is a complete partition package shipped by an
@@ -659,7 +710,11 @@ type ForwardBody struct {
 	Chair   string            `json:"chair,omitempty"`
 	Members []NodeMemberInfo  `json:"members,omitempty"`
 	Floor   *FloorReplicaBody `json:"floor,omitempty"`
-	Msg     json.RawMessage   `json:"msg,omitempty"`
+	// Msg embeds a JSON inner frame; MsgB carries a binary one
+	// base64-encoded (binary bytes are not valid JSON inside the
+	// TForward envelope). Use SetMsg/WireMsg, which route by format.
+	Msg  json.RawMessage `json:"msg,omitempty"`
+	MsgB []byte          `json:"msg_b,omitempty"`
 	// ID identifies an acked replication forward (per-sender monotonic,
 	// 0 = unacked fire-and-forget); From is the sender's peer address the
 	// ack is sent back to.
@@ -678,6 +733,23 @@ type ForwardBody struct {
 	Groups []string `json:"groups,omitempty"`
 	// Takeover is the partition package of a ForwardTakeover.
 	Takeover *TakeoverBody `json:"takeover,omitempty"`
+}
+
+// SetMsg stores inner wire bytes in the field matching their format.
+func (b *ForwardBody) SetMsg(wire []byte) {
+	if IsBinaryFrame(wire) {
+		b.Msg, b.MsgB = nil, wire
+	} else {
+		b.Msg, b.MsgB = wire, nil
+	}
+}
+
+// WireMsg returns the inner wire bytes, whichever field carried them.
+func (b *ForwardBody) WireMsg() []byte {
+	if len(b.MsgB) > 0 {
+		return b.MsgB
+	}
+	return b.Msg
 }
 
 // NodeMovedBody names the groups whose partition moved to another node.
@@ -730,7 +802,9 @@ func RequestGroup(m Message) string {
 }
 
 // New builds a message with a marshalled body. A nil body leaves
-// Message.Body empty.
+// Message.Body empty. The typed body is retained alongside its JSON so
+// a later EncodeBinary can natively encode the hot types without
+// re-parsing.
 func New(t Type, body any) (Message, error) {
 	msg := Message{Type: t}
 	if body != nil {
@@ -739,6 +813,7 @@ func New(t Type, body any) (Message, error) {
 			return Message{}, fmt.Errorf("protocol: marshal %s body: %w", t, err)
 		}
 		msg.Body = raw
+		msg.bodyObj = body
 	}
 	return msg, nil
 }
@@ -762,9 +837,19 @@ var encodes atomic.Int64
 // EncodeCount returns the number of Encode calls since process start.
 func EncodeCount() int64 { return encodes.Load() }
 
-// Encode serializes a message for the wire.
+// Encode serializes a message as JSON. A message decoded from a binary
+// frame with a natively-encoded body has its JSON body materialized
+// here — the binary→JSON transcode a mixed-format deployment needs when
+// replaying stored binary frames to a JSON-negotiated session.
 func Encode(m Message) ([]byte, error) {
 	encodes.Add(1)
+	if len(m.Body) == 0 && m.bodyBin != nil {
+		raw, err := jsonBody(m.Type, m.bodyBin)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: encode: %w", err)
+		}
+		m.Body = raw
+	}
 	out, err := json.Marshal(m)
 	if err != nil {
 		return nil, fmt.Errorf("protocol: encode: %w", err)
@@ -784,9 +869,14 @@ func Decode(data []byte) (Message, error) {
 	return m, nil
 }
 
-// Into unmarshals the message body into out.
+// Into unmarshals the message body into out. A natively-encoded binary
+// body decodes directly (out must be a pointer to the type's body
+// struct, the same contract the JSON path enforces by shape).
 func (m Message) Into(out any) error {
 	if len(m.Body) == 0 {
+		if m.bodyBin != nil {
+			return intoNative(m.Type, m.bodyBin, out)
+		}
 		return fmt.Errorf("%w: %s has no body", ErrBodyMismatch, m.Type)
 	}
 	if err := json.Unmarshal(m.Body, out); err != nil {

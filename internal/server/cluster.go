@@ -440,7 +440,8 @@ func (s *Server) replicateLogged(key, class string, wire []byte) {
 	} else if !s.servesGroupFast(key) {
 		return
 	}
-	fwd := protocol.ForwardBody{Kind: protocol.ForwardReplica, Group: key, Msg: wire}
+	fwd := protocol.ForwardBody{Kind: protocol.ForwardReplica, Group: key}
+	fwd.SetMsg(wire)
 	if class == protocol.ClassFloor || class == protocol.ClassSuspend {
 		mode, holder, queue, suspended, pinned := s.floorCtl.StateSnapshot(key)
 		blob := &protocol.FloorReplicaBody{
@@ -517,11 +518,12 @@ func (s *Server) deliverMemberEvent(id group.MemberID, msg protocol.Message) {
 		s.logSendTo(id, msg)
 		return
 	}
-	wire, err := protocol.Encode(msg)
+	wire, err := s.encodeCanonical(msg)
 	if err != nil {
 		return
 	}
-	fwd := protocol.ForwardBody{Kind: protocol.ForwardInvite, To: string(id), Msg: wire}
+	fwd := protocol.ForwardBody{Kind: protocol.ForwardInvite, To: string(id)}
+	fwd.SetMsg(wire)
 	s.cluster.pool.Send(s.ownerAddr(cluster.HomeKey(string(id))), cluster.WrapForward(fwd))
 }
 
@@ -573,8 +575,8 @@ func (s *Server) handleForward(conn transport.Conn, msg protocol.Message) {
 	}
 	switch body.Kind {
 	case protocol.ForwardReplica:
-		if body.Group != "" && len(body.Msg) > 0 {
-			s.cluster.store.ApplyEvent(body.Group, body.Msg, body.Floor)
+		if body.Group != "" && len(body.WireMsg()) > 0 {
+			s.cluster.store.ApplyEvent(body.Group, body.WireMsg(), body.Floor)
 			s.ackForward(body)
 		}
 	case protocol.ForwardMembers:
@@ -612,10 +614,10 @@ func (s *Server) handleForward(conn transport.Conn, msg protocol.Message) {
 	case protocol.ForwardMigrate:
 		s.runMigration(conn, body)
 	case protocol.ForwardInvite:
-		if body.To == "" || len(body.Msg) == 0 {
+		if body.To == "" || len(body.WireMsg()) == 0 {
 			return
 		}
-		inner, err := protocol.Decode(body.Msg)
+		inner, err := protocol.DecodeAny(body.WireMsg())
 		if err != nil {
 			return
 		}

@@ -35,6 +35,9 @@ import (
 //	dmps_grouplog_compactions_total      compaction runs
 //	dmps_grouplog_evicted_total          entries dropped by compaction
 //	dmps_groups                          groups in the registry
+//	dmps_wire_bytes_total{dir}           client wire payload bytes, in/out
+//	dmps_wire_flushes_total              session writer flushes
+//	dmps_wire_msgs_per_flush             mean messages per writer flush
 //
 // With a WAL configured:
 //
@@ -112,6 +115,22 @@ func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	})
 	reg.GaugeFunc("dmps_groups", "Groups in the registry.", func() []metrics.Sample {
 		return one(float64(len(s.registry.Groups())))
+	})
+	reg.CounterFunc("dmps_wire_bytes_total", "Client wire payload bytes by direction.", func() []metrics.Sample {
+		return []metrics.Sample{
+			{LabelKey: "dir", LabelValue: "in", Value: float64(s.wireIn.Load())},
+			{LabelKey: "dir", LabelValue: "out", Value: float64(s.wireOut.Load())},
+		}
+	})
+	reg.CounterFunc("dmps_wire_flushes_total", "Session writer flushes (batched writes).", func() []metrics.Sample {
+		return one(float64(s.wireFlushes.Load()))
+	})
+	reg.GaugeFunc("dmps_wire_msgs_per_flush", "Mean messages per session writer flush.", func() []metrics.Sample {
+		flushes := s.wireFlushes.Load()
+		if flushes == 0 {
+			return one(0)
+		}
+		return one(float64(s.wireMsgsOut.Load()) / float64(flushes))
 	})
 	if s.wal != nil {
 		reg.GaugeFunc("dmps_wal_segments", "Live write-ahead log segments.", func() []metrics.Sample {

@@ -30,9 +30,9 @@ import (
 func replicaEventsToWire(events []cluster.ReplicaEvent) []protocol.ReplicaEventBody {
 	out := make([]protocol.ReplicaEventBody, 0, len(events))
 	for _, e := range events {
-		out = append(out, protocol.ReplicaEventBody{
-			GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State, Wire: e.Wire,
-		})
+		eb := protocol.ReplicaEventBody{GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State}
+		eb.SetWire(e.Wire)
+		out = append(out, eb)
 	}
 	return out
 }
@@ -44,7 +44,7 @@ func wireEventsToReplica(events []protocol.ReplicaEventBody) ([]cluster.ReplicaE
 	var head int64
 	for _, e := range events {
 		out = append(out, cluster.ReplicaEvent{
-			GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State, Wire: e.Wire,
+			GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State, Wire: e.WireBytes(),
 		})
 		if e.GSeq > head {
 			head = e.GSeq
@@ -87,9 +87,9 @@ func (s *Server) liveGroupTakeover(gid string, epoch int64) protocol.TakeoverBod
 	tb.Floor = blob
 	if lg, ok := s.logs.Peek(gid); ok {
 		for _, e := range lg.Dump() {
-			tb.Events = append(tb.Events, protocol.ReplicaEventBody{
-				GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State, Wire: e.Wire,
-			})
+			eb := protocol.ReplicaEventBody{GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State}
+			eb.SetWire(e.Wire)
+			tb.Events = append(tb.Events, eb)
 		}
 	}
 	gb := s.board(gid)
@@ -111,9 +111,9 @@ func (s *Server) liveMemberTakeover(id string, epoch int64) protocol.TakeoverBod
 	s.mu.Unlock()
 	if lg, ok := s.logs.Peek(grouplog.MemberKey(id)); ok {
 		for _, e := range lg.Dump() {
-			tb.Events = append(tb.Events, protocol.ReplicaEventBody{
-				GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State, Wire: e.Wire,
-			})
+			eb := protocol.ReplicaEventBody{GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State}
+			eb.SetWire(e.Wire)
+			tb.Events = append(tb.Events, eb)
 		}
 	}
 	return tb
@@ -310,8 +310,8 @@ func (s *Server) installTakeover(tb protocol.TakeoverBody) {
 		}
 		lg := s.logs.Get(tb.Key)
 		for _, e := range tb.Events {
-			lg.AppendRaw(e.GSeq, e.CSeq, e.Class, e.State, e.Wire)
-			s.walEvent(tb.Key, e.GSeq, e.CSeq, e.Class, e.State, e.Wire)
+			lg.AppendRaw(e.GSeq, e.CSeq, e.Class, e.State, e.WireBytes())
+			s.walEvent(tb.Key, e.GSeq, e.CSeq, e.Class, e.State, e.WireBytes())
 		}
 		return
 	}

@@ -152,6 +152,12 @@ type Config struct {
 	// (default 30s). Checkpoints bound replay time and disk; between
 	// them the journal only grows.
 	WALCheckpointInterval time.Duration
+	// WireJSON disables binary wire negotiation: every session stays on
+	// the JSON framing regardless of what its hello asks for, and
+	// retained log bytes are encoded as JSON. The escape hatch for
+	// debugging with wire captures; off (binary negotiated when
+	// requested) is the default.
+	WireJSON bool
 	// Cluster, when set, runs this server as one group-partition node of
 	// a multi-process cluster: it serves only the partitions the shared
 	// map assigns to it (rejecting the rest with a node_moved redirect),
@@ -205,6 +211,15 @@ type Server struct {
 	boardOps    atomic.Int64
 	boardEvents atomic.Int64
 
+	// Wire-path telemetry: payload bytes read off client connections
+	// (wireIn) and handed to writers (wireOut), writer flushes and the
+	// messages they carried — msgs/flush is the batching efficiency the
+	// /metrics plane exports.
+	wireIn      atomic.Int64
+	wireOut     atomic.Int64
+	wireFlushes atomic.Int64
+	wireMsgsOut atomic.Int64
+
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -223,6 +238,12 @@ type session struct {
 	// the lights/backpressure tables cover homed sessions only — a node
 	// tracks lights for exactly the members it homes.
 	homed bool
+	// wireVer is the session's negotiated wire framing (0 = JSON, 1 =
+	// binary), fixed by the handshake before the session is installed —
+	// read without locking ever after. Everything sent to the session is
+	// encoded (or transcoded) to this version; inbound frames of either
+	// format are accepted regardless.
+	wireVer int
 
 	// queue carries encoded wire messages to the writer goroutine.
 	queue chan []byte
@@ -313,12 +334,58 @@ func (s *session) light(now time.Time, timeout time.Duration) Light {
 	return Green
 }
 
+// encodeFor encodes a message in the session's negotiated wire framing.
+func encodeFor(sess *session, msg protocol.Message) ([]byte, error) {
+	if sess.wireVer >= 1 {
+		return protocol.EncodeBinary(msg)
+	}
+	return protocol.Encode(msg)
+}
+
+// encodeCanonical produces the retained wire form shared by the group
+// log, WAL, and replication stream: binary unless the node is pinned to
+// JSON. Retained bytes are self-describing (DecodeAny reads either
+// framing), so mixed-config clusters interoperate; sessions negotiated
+// to the other framing get a transcode at fan-out via wireFor.
+func (s *Server) encodeCanonical(msg protocol.Message) ([]byte, error) {
+	if s.cfg.WireJSON {
+		return protocol.Encode(msg)
+	}
+	return protocol.EncodeBinary(msg)
+}
+
+// transcodeJSON re-encodes retained binary wire bytes as a JSON frame
+// for a JSON-negotiated session. On a malformed frame the original
+// bytes pass through: the session surfaces a decode error rather than
+// silently losing the event.
+func transcodeJSON(wire []byte) []byte {
+	msg, err := protocol.DecodeAny(wire)
+	if err != nil {
+		return wire
+	}
+	out, err := protocol.Encode(msg)
+	if err != nil {
+		return wire
+	}
+	return out
+}
+
+// wireFor adapts retained wire bytes to the session's negotiated
+// framing. Binary sessions accept either form verbatim (clients decode
+// both); only the JSON-session/binary-bytes pairing pays a transcode.
+func wireFor(sess *session, wire []byte) []byte {
+	if sess.wireVer >= 1 || !protocol.IsBinaryFrame(wire) {
+		return wire
+	}
+	return transcodeJSON(wire)
+}
+
 // sendMsg encodes a message and queues it for this session alone,
 // reporting whether it fit (an unencodable message reports true: there
 // is nothing to retry). Events shared by many recipients should be
-// encoded once with protocol.Encode and fanned out via sendWire.
+// encoded once with encodeCanonical and fanned out via sendWire.
 func (s *Server) sendMsg(sess *session, msg protocol.Message) bool {
-	wire, err := protocol.Encode(msg)
+	wire, err := encodeFor(sess, msg)
 	if err != nil {
 		return true
 	}
@@ -334,7 +401,7 @@ func (s *Server) sendMsg(sess *session, msg protocol.Message) bool {
 // must use sendWire instead (blocking on someone else's queue would let
 // one slow consumer stall another member's handler).
 func (s *Server) sendReliable(sess *session, msg protocol.Message) {
-	wire, err := protocol.Encode(msg)
+	wire, err := encodeFor(sess, msg)
 	if err != nil {
 		return
 	}
@@ -385,17 +452,45 @@ func (s *Server) unpinIfDown(sess *session) {
 	}
 }
 
+// flushBatchBytes caps how many payload bytes one writer flush may
+// carry. The cap bounds flush latency under a deep queue — the first
+// message in a drain is never held behind more than this much data —
+// and keeps the transport's packing buffer poolable.
+const flushBatchBytes = 256 << 10
+
 // writeLoop is the per-session writer: it drains the queue onto the
 // connection until the session goes down or the connection fails.
+// After blocking for the first message it opportunistically drains
+// whatever else is already queued (up to flushBatchBytes) and hands the
+// whole run to the transport as one batched write — under queue
+// pressure a drain costs one syscall, not one per message. The drain
+// never waits for more messages, so an idle session's flush latency is
+// unchanged.
 func (s *Server) writeLoop(sess *session) {
 	defer s.wg.Done()
+	batch := make([][]byte, 0, 64)
 	for {
 		select {
 		case wire := <-sess.queue:
-			if err := sess.conn.Send(wire); err != nil {
+			batch = append(batch[:0], wire)
+			size := len(wire)
+		drain:
+			for size < flushBatchBytes {
+				select {
+				case more := <-sess.queue:
+					batch = append(batch, more)
+					size += len(more)
+				default:
+					break drain
+				}
+			}
+			if err := transport.SendAll(sess.conn, batch); err != nil {
 				s.disconnect(sess)
 				return
 			}
+			s.wireOut.Add(int64(size))
+			s.wireFlushes.Add(1)
+			s.wireMsgsOut.Add(int64(len(batch)))
 		case <-sess.down:
 			return
 		}
@@ -603,7 +698,8 @@ func (s *Server) handle(conn transport.Conn) {
 			s.disconnect(sess)
 			return
 		}
-		msg, err := protocol.Decode(wire)
+		s.wireIn.Add(int64(len(wire)))
+		msg, err := protocol.DecodeAny(wire)
 		if err != nil {
 			s.replyErr(sess, 0, "decode", err)
 			continue
@@ -682,6 +778,7 @@ func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, err
 			return nil, protocol.Message{}, err
 		}
 		hello.Classes = nh.Classes
+		hello.WireVersion = nh.WireVersion
 		homed = false
 		fresh = false
 	default:
@@ -768,10 +865,19 @@ func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, err
 		}
 	}
 
+	// The hello's wire_version is a request; the server grants it only
+	// when not pinned to JSON, and never a higher version than asked.
+	// Both sides switch framing strictly after the welcome: the whole
+	// handshake is JSON, so a v0 peer never sees a frame it cannot read.
+	wireVer := 0
+	if !s.cfg.WireJSON && hello.WireVersion >= 1 {
+		wireVer = 1
+	}
 	sess := &session{
 		member:   member,
 		conn:     conn,
 		homed:    homed,
+		wireVer:  wireVer,
 		queue:    make(chan []byte, s.cfg.SendQueueCap),
 		down:     make(chan struct{}),
 		lastSeen: s.cfg.Clock.Now(),
@@ -785,6 +891,7 @@ func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, err
 		MemberID:        string(member.ID),
 		ServerTimeNanos: protocol.Nanos(s.master.GlobalNow()),
 		Token:           token,
+		WireVersion:     wireVer,
 	})
 	welcome.Seq = msg.Seq
 	s.mu.Lock()
@@ -972,14 +1079,17 @@ func (s *Server) sendTo(id group.MemberID, msg protocol.Message) {
 // groupTargets snapshots the connected sessions of a group's members
 // under a single lock acquisition.
 func (s *Server) groupTargets(groupID string) []*session {
-	members, err := s.registry.GroupMembers(groupID)
+	// IDs, not full directory entries: the fan-out only keys the session
+	// table, and the ID snapshot is shared (allocation-free) between
+	// membership changes.
+	members, err := s.registry.GroupMemberIDs(groupID)
 	if err != nil {
 		return nil
 	}
 	s.mu.Lock()
 	targets := make([]*session, 0, len(members))
-	for _, m := range members {
-		if sess, ok := s.sessions[m.ID]; ok {
+	for _, id := range members {
+		if sess, ok := s.sessions[id]; ok {
 			targets = append(targets, sess)
 		}
 	}
@@ -988,15 +1098,33 @@ func (s *Server) groupTargets(groupID string) []*session {
 }
 
 // broadcastGroup delivers a transient (unlogged) message to every
-// connected member of a group: the message is encoded exactly once and
-// the wire bytes are queued to each recipient's writer. Drops are final
-// — state events must go through logBroadcast instead.
+// connected member of a group: the message is encoded at most once per
+// wire framing — lazily, so a uniform group pays exactly one encode —
+// and the wire bytes are queued to each recipient's writer. Drops are
+// final — state events must go through logBroadcast instead.
 func (s *Server) broadcastGroup(groupID string, msg protocol.Message) {
-	wire, err := protocol.Encode(msg)
-	if err != nil {
-		return
-	}
+	var jsonWire, binWire []byte
 	for _, sess := range s.groupTargets(groupID) {
+		var wire []byte
+		if sess.wireVer >= 1 {
+			if binWire == nil {
+				w, err := protocol.EncodeBinary(msg)
+				if err != nil {
+					continue
+				}
+				binWire = w
+			}
+			wire = binWire
+		} else {
+			if jsonWire == nil {
+				w, err := protocol.Encode(msg)
+				if err != nil {
+					continue
+				}
+				jsonWire = w
+			}
+			wire = jsonWire
+		}
 		s.sendWire(sess, wire)
 	}
 }
@@ -1017,14 +1145,25 @@ func stampLogged(msg *protocol.Message, groupID, class string, state bool, gseq,
 // fanOutLogged queues pre-encoded logged-event bytes to every target
 // session whose event-class mask admits the class; masked sessions get
 // nothing — not even a marker — which is exactly why logged events are
-// sequenced per class.
+// sequenced per class. When the retained bytes are binary and the group
+// mixes in JSON-negotiated sessions, the JSON form is produced once and
+// shared — a uniform group still pays exactly one encode per event.
 func (s *Server) fanOutLogged(targets []*session, class string, wire []byte) {
+	isBin := protocol.IsBinaryFrame(wire)
+	var jsonWire []byte
 	for _, sess := range targets {
 		if !sess.wantsClass(class) {
 			sess.filtered.Add(1)
 			continue
 		}
-		s.sendWire(sess, wire)
+		w := wire
+		if isBin && sess.wireVer == 0 {
+			if jsonWire == nil {
+				jsonWire = transcodeJSON(wire)
+			}
+			w = jsonWire
+		}
+		s.sendWire(sess, w)
 	}
 }
 
@@ -1051,7 +1190,7 @@ func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
 	_, _ = s.logs.Get(groupID).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
 		gseqAt, cseqAt = gseq, cseq
 		stampLogged(&msg, groupID, class, false, gseq, cseq)
-		return protocol.Encode(msg)
+		return s.encodeCanonical(msg)
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, class, wire)
 		s.walEvent(groupID, gseqAt, cseqAt, class, false, wire)
@@ -1096,21 +1235,34 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 		body.QueuePosition = 0 // canonical form: slots are per-recipient
 		msg := protocol.MustNew(protocol.TFloorEvent, body)
 		stampLogged(&msg, groupID, protocol.ClassFloor, refresh, gseq, cseq)
-		return protocol.Encode(msg)
+		return s.encodeCanonical(msg)
 	}, func(wire []byte) {
+		isBin := protocol.IsBinaryFrame(wire)
+		var jsonWire []byte
 		for _, sess := range targets {
 			if !sess.wantsClass(protocol.ClassFloor) {
 				sess.filtered.Add(1)
 				continue
 			}
-			w := wire
+			var w []byte
 			if pos := queueSlotFor(body, queue, string(sess.member.ID)); pos > 0 {
+				// Personalized copies are per-recipient by nature, so they
+				// encode straight into the session's negotiated framing.
 				personal := body
 				personal.QueuePosition = pos
 				pmsg := protocol.MustNew(protocol.TFloorEvent, personal)
 				stampLogged(&pmsg, groupID, protocol.ClassFloor, refresh, gseqAt, cseqAt)
-				if pw, err := protocol.Encode(pmsg); err == nil {
+				if pw, err := encodeFor(sess, pmsg); err == nil {
 					w = pw
+				}
+			}
+			if w == nil {
+				w = wire
+				if isBin && sess.wireVer == 0 {
+					if jsonWire == nil {
+						jsonWire = transcodeJSON(wire)
+					}
+					w = jsonWire
 				}
 			}
 			s.sendWire(sess, w)
@@ -1166,7 +1318,7 @@ func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, le
 		}
 		msg := protocol.MustNew(typ, body)
 		stampLogged(&msg, groupID, protocol.ClassSuspend, true, gseq, cseq)
-		return protocol.Encode(msg)
+		return s.encodeCanonical(msg)
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, protocol.ClassSuspend, wire)
 		s.walEvent(groupID, gseqAt, cseqAt, protocol.ClassSuspend, true, wire)
@@ -1193,7 +1345,7 @@ func (s *Server) logSendTo(id group.MemberID, msg protocol.Message) {
 		msg.GSeq = gseq
 		msg.Class = class
 		msg.CSeq = cseq
-		return protocol.Encode(msg)
+		return s.encodeCanonical(msg)
 	}, func(wire []byte) {
 		// Member logs are durable like group logs: journaled, and
 		// replicated to the R-1 successors — an invitation survives the
@@ -1210,7 +1362,7 @@ func (s *Server) logSendTo(id group.MemberID, msg protocol.Message) {
 			sess.filtered.Add(1)
 			return
 		}
-		s.sendWire(sess, wire)
+		s.sendWire(sess, wireFor(sess, wire))
 	})
 }
 

@@ -56,10 +56,12 @@ func (s *Server) walEvent(key string, gseq, cseq int64, class string, state bool
 	if s.wal == nil {
 		return
 	}
-	s.walAppend(grouplog.WALRecord{
+	rec := grouplog.WALRecord{
 		Kind: grouplog.WALEvent, Key: key,
-		GSeq: gseq, CSeq: cseq, Class: class, State: state, Wire: wire,
-	})
+		GSeq: gseq, CSeq: cseq, Class: class, State: state,
+	}
+	rec.SetWire(wire)
+	s.walAppend(rec)
 }
 
 // walFloor journals a group's current floor blob — the queue member
@@ -148,8 +150,8 @@ func mustJSON(v any) json.RawMessage {
 // authoritative — this node's own journal or a replicated suffix — so
 // a leading hole is history the retention window dropped, not loss.
 func applyBoardWire(gb *groupBoard, wire []byte) {
-	var msg protocol.Message
-	if json.Unmarshal(wire, &msg) != nil {
+	msg, err := protocol.DecodeAny(wire)
+	if err != nil {
 		return
 	}
 	var body protocol.SequencedBody
@@ -177,9 +179,9 @@ func (s *Server) replayWAL(w *grouplog.WAL) error {
 			if rec.Key == "" || rec.GSeq <= 0 {
 				return nil
 			}
-			s.logs.Get(rec.Key).AppendRaw(rec.GSeq, rec.CSeq, rec.Class, rec.State, rec.Wire)
+			s.logs.Get(rec.Key).AppendRaw(rec.GSeq, rec.CSeq, rec.Class, rec.State, rec.WireBytes())
 			if rec.Class == protocol.ClassBoard && !strings.HasPrefix(rec.Key, "~") {
-				applyBoardWire(s.board(rec.Key), rec.Wire)
+				applyBoardWire(s.board(rec.Key), rec.WireBytes())
 			}
 		case grouplog.WALGroup:
 			var data walGroupData
@@ -312,10 +314,12 @@ func (s *Server) Checkpoint() error {
 			continue
 		}
 		for _, e := range lg.Dump() {
-			recs = append(recs, grouplog.WALRecord{
+			rec := grouplog.WALRecord{
 				Kind: grouplog.WALEvent, Key: key,
-				GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State, Wire: e.Wire,
-			})
+				GSeq: e.GSeq, CSeq: e.CSeq, Class: e.Class, State: e.State,
+			}
+			rec.SetWire(e.Wire)
+			recs = append(recs, rec)
 		}
 	}
 	return s.wal.Checkpoint(recs)

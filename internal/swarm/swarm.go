@@ -711,10 +711,11 @@ func rideOut(c *client.Client, deadline time.Time) error {
 // WAL-replay leg). The kill runs behind the same write lock the chat
 // load reads, so operations pause for the recovery window instead of
 // racing it; any chat that still lands on a dead session resumes and
-// retries once. The grant histogram records the initial grant plus the
+// retries once. The grant histogram records the initial grant, the
 // kill-to-floor-restored interval — the service-restoration SLO — and
-// the propagation histogram shows fan-out is live on both sides of the
-// failure. Zero errors therefore means the replicas really converged:
+// an uncontended release/re-acquire probe every tenth operation, so
+// the p99 gate rests on a real sample population; the propagation
+// histogram shows fan-out is live on both sides of the failure. Zero errors therefore means the replicas really converged:
 // holder restored, no state fabricated, every retried line delivered.
 func runChaos(opts Options, seed int64, res *MixResult) error {
 	var errs errCounter
@@ -817,6 +818,43 @@ func runChaos(opts Options, seed int64, res *MixResult) error {
 	var resumeMu sync.Mutex
 	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
 	fireAt(time.Now(), offsets, func(i int) {
+		if i%10 == 9 {
+			// Release/re-acquire under the write lock — the same
+			// uncontended grant probe runLecture runs. Without it the
+			// chaos histogram held exactly two samples (the initial
+			// grant and the post-kill restore), so its p99 gate was
+			// two-sample noise. Holding the write side excludes the
+			// kill window, but a probe can still land just as the
+			// owner's TCP peer dies, so one failure rides out the
+			// session resume and retries before counting as an error.
+			floorMu.Lock()
+			defer floorMu.Unlock()
+			probe := func() error {
+				if err := chair.ReleaseFloor(res.Group); err != nil {
+					return err
+				}
+				t0 := time.Now()
+				dec, err := chair.RequestFloor(res.Group, floor.EqualControl, "")
+				if err != nil {
+					return err
+				}
+				if !dec.Granted {
+					return fmt.Errorf("re-grant denied")
+				}
+				res.Grant.Observe(time.Since(t0).Seconds())
+				return nil
+			}
+			if err := probe(); err != nil {
+				if err := rideOut(chair, time.Now().Add(opts.Settle)); err != nil {
+					errs.note(fmt.Errorf("grant probe resume: %w", err))
+					return
+				}
+				if err := probe(); err != nil {
+					errs.note(fmt.Errorf("grant probe: %w", err))
+				}
+			}
+			return
+		}
 		floorMu.RLock()
 		defer floorMu.RUnlock()
 		if err := chair.Chat(res.Group, tickLine()); err == nil {

@@ -92,6 +92,49 @@ func (t *tcpConn) Send(payload []byte) error {
 	return nil
 }
 
+// packBufs pools batch packing buffers. Oversized buffers (past 1 MiB)
+// are dropped instead of pooled so one huge drain does not pin its
+// high-water mark forever.
+var packBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
+
+// SendBatch implements BatchSender: every frame (4-byte big-endian
+// length prefix + payload, the same framing Send uses) is packed into
+// one pooled buffer and written with a single syscall.
+func (t *tcpConn) SendBatch(payloads [][]byte) error {
+	for _, p := range payloads {
+		if len(p) > MaxMessageSize {
+			return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(p))
+		}
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	t.closeMu.Lock()
+	dead := t.dead
+	t.closeMu.Unlock()
+	if dead {
+		return ErrClosed
+	}
+	bp := packBufs.Get().(*[]byte)
+	buf := (*bp)[:0]
+	var header [4]byte
+	for _, p := range payloads {
+		binary.BigEndian.PutUint32(header[:], uint32(len(p)))
+		buf = append(buf, header[:]...)
+		buf = append(buf, p...)
+	}
+	_, err := t.c.Write(buf)
+	if cap(buf) <= 1<<20 {
+		*bp = buf
+		packBufs.Put(bp)
+	}
+	if err != nil {
+		return t.mapErr(err)
+	}
+	return nil
+}
+
 func (t *tcpConn) Recv() ([]byte, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()

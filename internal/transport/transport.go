@@ -26,7 +26,10 @@ const MaxMessageSize = 16 << 20
 // Send and Recv may be used concurrently with each other; neither may be
 // called concurrently with itself.
 type Conn interface {
-	// Send transmits one message.
+	// Send transmits one message. The caller must not modify the
+	// payload after Send returns: the in-memory network enqueues it
+	// without copying (one encoded fan-out buffer reaches every
+	// recipient), and decoded messages alias their frame.
 	Send(payload []byte) error
 	// Recv blocks for the next message. It returns ErrClosed once the
 	// connection is closed and drained.
@@ -37,6 +40,30 @@ type Conn interface {
 	// LocalAddr and RemoteAddr identify the endpoints.
 	LocalAddr() string
 	RemoteAddr() string
+}
+
+// BatchSender is an optional Conn capability: transmit a run of
+// messages as one underlying write (writev-style). A writer that has
+// drained its queue hands the whole run over so a deep queue costs one
+// syscall per drain, not one per message. Like Send, the payloads must
+// not be modified after the call.
+type BatchSender interface {
+	SendBatch(payloads [][]byte) error
+}
+
+// SendAll transmits every payload over conn in order, as one batched
+// write when the connection supports it and one Send per message
+// otherwise. The first error aborts the rest.
+func SendAll(conn Conn, payloads [][]byte) error {
+	if bs, ok := conn.(BatchSender); ok {
+		return bs.SendBatch(payloads)
+	}
+	for _, p := range payloads {
+		if err := conn.Send(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Listener accepts inbound connections.

@@ -77,17 +77,42 @@ var (
 	ErrGap = errors.New("whiteboard: sequence gap")
 )
 
+// boardChunk is the fixed capacity of each op-log block. The log is a
+// list of full blocks plus one growing tail; blocks are never recopied,
+// so the allocation cost of a long session is exactly the retained
+// history, not the geometric-growth churn of a flat slice.
+const boardChunk = 256
+
 // Board is one group's shared board state. The server holds the
 // authoritative Board (assigning sequence numbers via Append); clients
 // hold replicas updated with Apply. It is safe for concurrent use.
 type Board struct {
-	mu   sync.Mutex
-	ops  []Op
-	next int64
+	mu sync.Mutex
+	// chunks is the op log in sequence order. Every chunk except the
+	// last holds exactly boardChunk ops, so op i lives at
+	// chunks[i/boardChunk][i%boardChunk].
+	chunks [][]Op
+	count  int
+	next   int64
 }
 
 // NewBoard returns an empty board.
 func NewBoard() *Board { return &Board{next: 1} }
+
+// appendLocked stores op at the tail of the chunked log. Callers hold mu.
+func (b *Board) appendLocked(op Op) {
+	if n := len(b.chunks); n == 0 || len(b.chunks[n-1]) == boardChunk {
+		b.chunks = append(b.chunks, make([]Op, 0, boardChunk))
+	}
+	last := len(b.chunks) - 1
+	b.chunks[last] = append(b.chunks[last], op)
+	b.count++
+}
+
+// at returns op i (0-based position in the log). Callers hold mu.
+func (b *Board) at(i int) Op {
+	return b.chunks[i/boardChunk][i%boardChunk]
+}
 
 // Append assigns the next sequence number to the operation and stores it.
 // Only the authoritative (server) board should call Append.
@@ -101,7 +126,7 @@ func (b *Board) Append(author string, kind OpKind, data string) (Op, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	op := Op{Seq: b.next, Author: author, Kind: kind, Data: data}
-	b.ops = append(b.ops, op)
+	b.appendLocked(op)
 	b.next++
 	return op, nil
 }
@@ -121,7 +146,7 @@ func (b *Board) Apply(op Op) error {
 	case op.Seq > b.next:
 		return fmt.Errorf("%w: have %d, got %d", ErrGap, b.next-1, op.Seq)
 	default:
-		b.ops = append(b.ops, op)
+		b.appendLocked(op)
 		b.next++
 		return nil
 	}
@@ -143,7 +168,7 @@ func (b *Board) Converge(op Op) error {
 	if op.Seq < b.next {
 		return nil // duplicate delivery
 	}
-	b.ops = append(b.ops, op)
+	b.appendLocked(op)
 	b.next = op.Seq + 1
 	return nil
 }
@@ -173,8 +198,10 @@ func (b *Board) Seq() int64 {
 func (b *Board) Ops() []Op {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]Op, len(b.ops))
-	copy(out, b.ops)
+	out := make([]Op, 0, b.count)
+	for _, c := range b.chunks {
+		out = append(out, c...)
+	}
 	return out
 }
 
@@ -183,9 +210,11 @@ func (b *Board) Ops() []Op {
 func (b *Board) Since(after int64) []Op {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	idx := sort.Search(len(b.ops), func(i int) bool { return b.ops[i].Seq > after })
-	out := make([]Op, len(b.ops)-idx)
-	copy(out, b.ops[idx:])
+	idx := sort.Search(b.count, func(i int) bool { return b.at(i).Seq > after })
+	out := make([]Op, 0, b.count-idx)
+	for i := idx; i < b.count; i++ {
+		out = append(out, b.at(i))
+	}
 	return out
 }
 
@@ -195,14 +224,14 @@ func (b *Board) Strokes() []Op {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	lastClear := -1
-	for i, op := range b.ops {
-		if op.Kind == Clear {
+	for i := 0; i < b.count; i++ {
+		if b.at(i).Kind == Clear {
 			lastClear = i
 		}
 	}
 	var out []Op
-	for _, op := range b.ops[lastClear+1:] {
-		if op.Kind == Draw {
+	for i := lastClear + 1; i < b.count; i++ {
+		if op := b.at(i); op.Kind == Draw {
 			out = append(out, op)
 		}
 	}
@@ -215,9 +244,11 @@ func (b *Board) Messages() []Op {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var out []Op
-	for _, op := range b.ops {
-		if op.Kind == Text {
-			out = append(out, op)
+	for _, c := range b.chunks {
+		for _, op := range c {
+			if op.Kind == Text {
+				out = append(out, op)
+			}
 		}
 	}
 	return out

@@ -6,13 +6,13 @@
 # and gate the resulting SLO report with dmps-swarm -check: it must
 # parse, every mix must show zero errors and a finite, non-zero p99
 # grant latency, and mixes shared with the checked-in baseline must
-# hold their p99 within the growth ratio. CI uploads the report as the
-# BENCH_pr7.json artifact of the run.
+# hold their p99 within the growth ratio. CI uploads the report as an
+# artifact of the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_swarm_smoke.json}"
-BASELINE="BENCH_pr6.json"
+BASELINE="BENCH_pr7.json"
 
 NODE0=127.0.0.1:7241
 NODE1=127.0.0.1:7242
@@ -68,11 +68,13 @@ for addr in "$NODE0" "$NODE1" "$ROUTER"; do
     exit 1
 done
 
-# ~8s of open-loop load: 100 ops per mix at a 20ms mean gap ≈ 2s of
+# ~12s of open-loop load: 200 ops per mix at a 20ms mean gap ≈ 4s of
 # scheduled arrivals each, plus settle — the chaos mix spends part of
-# its window felling and restarting the owner node.
+# its window felling and restarting the owner node. 200 ops means ~20
+# release/re-acquire floor probes per mix, so the p99 grant gates rest
+# on a real sample population rather than two-sample noise.
 "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
-    -mix lecture,reconnect-storm,chaos -members 6 -ops 100 -mean 20ms \
+    -mix lecture,reconnect-storm,chaos -members 6 -ops 200 -mean 20ms \
     -settle 8s -seed 6 \
     -chaos-kill "$RUN/node_ctl kill \$DMPS_CHAOS_NODE" \
     -chaos-restart "$RUN/node_ctl start \$DMPS_CHAOS_NODE" \
