@@ -23,17 +23,37 @@
 // epoch while load still flows. Without the flags the chaos mix runs
 // as steady load.
 //
+// Multi-process runs split ONE seeded schedule across N generator
+// processes: start N copies with -shards N -shard 0..N-1 and the same
+// seed — each fires its disjoint share of the global op sequence and
+// writes a per-shard report. -barrier PATH gates every process's t0 on
+// a file handshake (shard i touches PATH.<mix>.ready.<i>; shard 0
+// releases PATH.<mix> once all are ready), -prealloc dials each mix's
+// fleet before its schedule starts, and -soak DURATION holds the
+// offered rate for the duration while -scrape host:port,... samples
+// the servers' /metrics on -scrape-interval into the report.
+//
+// Merge mode folds shard reports into one fleet document with the same
+// schema, re-running the floor-exclusivity invariant over the pooled
+// event timelines:
+//
+//	dmps-swarm -merge -out BENCH_merged.json shard0.json shard1.json ...
+//
 // Check mode validates a previously written report instead of running
 // load — the CI gate after the swarm smoke:
 //
-//	dmps-swarm -check BENCH_pr7.json [-baseline BENCH_pr6.json -max-growth 4.0]
+//	dmps-swarm -check BENCH_pr7.json [-baseline BENCH_pr6.json -max-growth 4.0] \
+//	    [-require-scrapes 2]
 //
 // It exits non-zero unless every Swarm/<mix> entry present has a
-// finite, non-zero p99 grant latency and zero errors. With -baseline
-// it additionally gates the latency trend: every mix present in BOTH
-// documents must not have grown its p99 grant latency past -max-growth
-// times the baseline's (a ratio; latency on shared runners is noisy,
-// so pick a tolerant one). Mixes new in this run pass freely.
+// finite, non-zero p99 grant latency, zero errors, and zero
+// floor-exclusivity violations. With -baseline it additionally gates
+// the latency trend: every mix present in BOTH documents must not have
+// grown its p99 grant latency past -max-growth times the baseline's (a
+// ratio; latency on shared runners is noisy, so pick a tolerant one).
+// Mixes new in this run pass freely. With -require-scrapes N the
+// report must carry at least one Scrape/ entry and every one must hold
+// ≥ N samples of at least one dmps_ series — the soak-mode gate.
 package main
 
 import (
@@ -73,6 +93,15 @@ func run() int {
 	chaosRestart := flag.String("chaos-restart", "", "shell command restarting the felled node later in the chaos mix")
 	baseline := flag.String("baseline", "", "with -check, gate p99 grant latencies against this prior report")
 	maxGrowth := flag.Float64("max-growth", 0, "with -baseline, fail if a mix's grant_p99_ms exceeds baseline × this ratio")
+	requireScrapes := flag.Int("require-scrapes", 0, "with -check, require ≥ this many /metrics samples per scraped endpoint")
+	shards := flag.Int("shards", 1, "generator process count the global schedule splits across")
+	shard := flag.Int("shard", 0, "this process's shard index in [0, shards)")
+	merge := flag.Bool("merge", false, "merge the shard report files given as arguments into one fleet report")
+	prealloc := flag.Bool("prealloc", false, "dial each mix's fleet before its schedule starts")
+	barrier := flag.String("barrier", "", "path prefix of the multi-process start-gate files (use with -shards)")
+	soak := flag.Duration("soak", 0, "hold the offered rate for this duration per mix instead of a fixed op count")
+	scrape := flag.String("scrape", "", "comma-separated /metrics endpoints (host:port) sampled into the report while mixes run")
+	scrapeInterval := flag.Duration("scrape-interval", time.Second, "interval between /metrics samples")
 	flag.Parse()
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "dmps-swarm: "+format+"\n", args...)
@@ -80,7 +109,10 @@ func run() int {
 	}
 
 	if *check != "" {
-		return checkReport(*check, *baseline, *maxGrowth, fail)
+		return checkReport(*check, *baseline, *maxGrowth, *requireScrapes, fail)
+	}
+	if *merge {
+		return mergeReports(flag.Args(), *out, fail)
 	}
 
 	opts := swarm.Options{
@@ -90,11 +122,18 @@ func run() int {
 			cfg.Timeout = *timeout
 			return client.Dial(cfg)
 		},
-		Seed:    *seed,
-		Members: *members,
-		Ops:     *ops,
-		Mean:    *mean,
-		Settle:  *settle,
+		Seed:     *seed,
+		Members:  *members,
+		Ops:      *ops,
+		Mean:     *mean,
+		Settle:   *settle,
+		Shards:   *shards,
+		Shard:    *shard,
+		Prealloc: *prealloc,
+		Soak:     *soak,
+	}
+	if *barrier != "" {
+		opts.Barrier = fileBarrier(*barrier, *shards, *shard)
 	}
 	var pmap *cluster.Map
 	if *nodes != "" {
@@ -141,11 +180,24 @@ func run() int {
 		}
 	}
 
+	var scraper *swarm.Scraper
+	if *scrape != "" {
+		eps := strings.Split(*scrape, ",")
+		for i := range eps {
+			eps[i] = strings.TrimSpace(eps[i])
+		}
+		scraper = swarm.NewScraper(eps, *scrapeInterval)
+		scraper.Start()
+	}
 	results, err := swarm.Run(opts, mixes...)
+	var scrapes []swarm.ScrapeSeries
+	if scraper != nil {
+		scrapes = scraper.Stop()
+	}
 	if err != nil {
 		return fail("%v", err)
 	}
-	doc := swarm.Report(results, opts, *note, runtime.GOOS, runtime.GOARCH)
+	doc := swarm.Report(results, scrapes, opts, *note, runtime.GOOS, runtime.GOARCH)
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fail("encode: %v", err)
@@ -168,17 +220,104 @@ func run() int {
 	return 0
 }
 
-// loadReport parses a swarm report into numeric rows. _meta carries
-// strings; decoding loosely and keeping only float cells skims exactly
-// the Swarm/ material the gates read.
-func loadReport(path string) (map[string]map[string]float64, error) {
+// fileBarrier is the multi-process start gate as a file handshake
+// under a shared path prefix (a directory all shards can reach). For
+// each mix, shard i touches <prefix>.<mix>.ready.<i> and waits for the
+// release file <prefix>.<mix>; shard 0 doubles as the coordinator,
+// creating the release once every shard's ready file exists — no
+// external choreography needed beyond starting N processes.
+func fileBarrier(prefix string, shards, shard int) func(mix string) error {
+	return func(mix string) error {
+		gate := fmt.Sprintf("%s.%s", prefix, mix)
+		ready := func(i int) string { return fmt.Sprintf("%s.ready.%d", gate, i) }
+		if err := os.WriteFile(ready(shard), nil, 0o644); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		if shard == 0 {
+			for {
+				all := true
+				for i := 0; i < shards; i++ {
+					if _, err := os.Stat(ready(i)); err != nil {
+						all = false
+						break
+					}
+				}
+				if all {
+					break
+				}
+				if !time.Now().Before(deadline) {
+					return fmt.Errorf("barrier: shards not ready by deadline at %s", gate)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			if err := os.WriteFile(gate, nil, 0o644); err != nil {
+				return fmt.Errorf("barrier: %w", err)
+			}
+			return nil
+		}
+		for {
+			if _, err := os.Stat(gate); err == nil {
+				return nil
+			}
+			if !time.Now().Before(deadline) {
+				return fmt.Errorf("barrier: %s never released", gate)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}
+
+// mergeReports is the -merge mode: fold per-shard report files into
+// one fleet document and write it like a run would.
+func mergeReports(paths []string, out string, fail func(string, ...any) int) int {
+	if len(paths) == 0 {
+		return fail("merge: no shard report files given")
+	}
+	var docs []map[string]map[string]any
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fail("merge: %v", err)
+		}
+		var doc map[string]map[string]any
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fail("merge: parse %s: %v", path, err)
+		}
+		docs = append(docs, doc)
+	}
+	merged, err := swarm.MergeReports(docs)
+	if err != nil {
+		return fail("%v", err)
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return fail("merge: encode: %v", err)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return 0
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return fail("merge: write %s: %v", out, err)
+	}
+	fmt.Printf("dmps-swarm: merged %d shard reports into %s\n", len(paths), out)
+	return 0
+}
+
+// loadReport parses a swarm report into numeric rows plus the loose
+// document. _meta carries strings; keeping only float cells skims
+// exactly the Swarm/ material the numeric gates read, while the loose
+// form backs the structural ones (scraped series presence).
+func loadReport(path string) (map[string]map[string]float64, map[string]map[string]any, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var loose map[string]map[string]any
 	if err := json.Unmarshal(data, &loose); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, nil, fmt.Errorf("parse %s: %w", path, err)
 	}
 	doc := map[string]map[string]float64{}
 	for name, entry := range loose {
@@ -190,32 +329,54 @@ func loadReport(path string) (map[string]map[string]float64, error) {
 		}
 		doc[name] = row
 	}
-	return doc, nil
+	return doc, loose, nil
 }
 
 // checkReport is the CI gate: the report must parse, contain at least
-// one Swarm/<mix> entry, and every entry must show zero errors and a
-// finite, non-zero p99 grant latency — the smoke-level SLO that load
-// actually flowed and grants actually resolved. With a baseline, each
-// mix present in both reports must also hold its p99 grant latency
-// within growth × the baseline's — the latency trend gate.
-func checkReport(path, baseline string, growth float64, fail func(string, ...any) int) int {
-	doc, err := loadReport(path)
+// one Swarm/<mix> entry, and every entry must show zero errors, zero
+// floor-exclusivity violations, and a finite, non-zero p99 grant
+// latency — the smoke-level SLO that load actually flowed, grants
+// actually resolved, and the floor stayed exclusive. With a baseline,
+// each mix present in both reports must also hold its p99 grant
+// latency within growth × the baseline's — the latency trend gate.
+// With requireScrapes > 0, the report must carry Scrape/ entries, each
+// holding at least that many samples of at least one dmps_ series.
+func checkReport(path, baseline string, growth float64, requireScrapes int, fail func(string, ...any) int) int {
+	doc, loose, err := loadReport(path)
 	if err != nil {
 		return fail("check: %v", err)
 	}
 	var base map[string]map[string]float64
 	if baseline != "" {
-		if base, err = loadReport(baseline); err != nil {
+		if base, _, err = loadReport(baseline); err != nil {
 			return fail("check: baseline: %v", err)
 		}
 		if !(growth > 0) {
 			return fail("check: -baseline needs -max-growth > 0")
 		}
 	}
-	checked := 0
+	checked, scraped := 0, 0
 	for name, entry := range doc {
-		if !strings.HasPrefix(name, "Swarm/") {
+		switch {
+		case strings.HasPrefix(name, "Scrape/"):
+			scraped++
+			if requireScrapes > 0 {
+				if entry["samples"] < float64(requireScrapes) {
+					return fail("check: %s: %v samples, want ≥ %d", name, entry["samples"], requireScrapes)
+				}
+				series, _ := loose[name]["series"].(map[string]any)
+				longest := 0
+				for seriesName, v := range series {
+					if vals, ok := v.([]any); ok && strings.HasPrefix(seriesName, "dmps_") && len(vals) > longest {
+						longest = len(vals)
+					}
+				}
+				if longest < requireScrapes {
+					return fail("check: %s: longest dmps_ series has %d samples, want ≥ %d", name, longest, requireScrapes)
+				}
+			}
+			continue
+		case !strings.HasPrefix(name, "Swarm/"):
 			continue
 		}
 		checked++
@@ -229,6 +390,10 @@ func checkReport(path, baseline string, growth float64, fail func(string, ...any
 		if entry["errors"] > 0 {
 			return fail("check: %s: %v errors", name, entry["errors"])
 		}
+		if entry["invariant_violations"] > 0 {
+			return fail("check: %s: %v floor-exclusivity violations: %v",
+				name, entry["invariant_violations"], loose[name]["violations"])
+		}
 		if prior, ok := base[name]; ok && prior["grant_p99_ms"] > 0 {
 			if p99 > prior["grant_p99_ms"]*growth {
 				return fail("check: %s: grant_p99_ms %.3f > %.2f× baseline %.3f",
@@ -239,6 +404,9 @@ func checkReport(path, baseline string, growth float64, fail func(string, ...any
 	if checked == 0 {
 		return fail("check: %s has no Swarm/ entries", path)
 	}
-	fmt.Printf("dmps-swarm: check OK: %d mixes in %s\n", checked, path)
+	if requireScrapes > 0 && scraped == 0 {
+		return fail("check: %s has no Scrape/ entries (soak gate)", path)
+	}
+	fmt.Printf("dmps-swarm: check OK: %d mixes, %d scraped endpoints in %s\n", checked, scraped, path)
 	return 0
 }

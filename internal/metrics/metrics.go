@@ -125,6 +125,96 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum returns the observation total.
 func (h *Histogram) Sum() float64 { return h.sum.Value() }
 
+// HistogramSnapshot is a histogram's serializable state: the bucket
+// bounds and counts, the overflow-bucket count, and the running
+// sum/count. It is how a process exports a histogram for another
+// process to fold in — the multi-process swarm driver writes one per
+// latency histogram into its shard report, and the merge step adds
+// shards bucket-wise before computing quantiles. The snapshot is taken
+// with atomic per-field reads, not a consistent cut: take it after the
+// writers have quiesced (or accept a sample of skew) the way a
+// Prometheus scrape does.
+type HistogramSnapshot struct {
+	// Bounds are the ascending finite bucket upper bounds.
+	Bounds []float64 `json:"bounds"`
+	// Counts holds one observation count per finite bucket.
+	Counts []int64 `json:"counts"`
+	// Inf counts observations above the last finite bound.
+	Inf int64 `json:"inf,omitempty"`
+	// Sum is the observation total.
+	Sum float64 `json:"sum"`
+	// Count is the number of observations.
+	Count int64 `json:"count"`
+}
+
+// Snapshot exports the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Inf:    h.inf.Load(),
+		Sum:    h.sum.Value(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a histogram from an exported snapshot, so a
+// merge process can fold further shards in with Merge and then read
+// quantiles. The snapshot must be internally consistent: one count per
+// bound, and a total matching the bucket counts.
+func FromSnapshot(s HistogramSnapshot) (*Histogram, error) {
+	if len(s.Bounds) == 0 {
+		return nil, fmt.Errorf("metrics: snapshot has no buckets")
+	}
+	if len(s.Counts) != len(s.Bounds) {
+		return nil, fmt.Errorf("metrics: snapshot has %d counts for %d bounds", len(s.Counts), len(s.Bounds))
+	}
+	h := NewHistogram(s.Bounds)
+	if err := h.Merge(s); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Merge folds an exported shard snapshot into h: bucket-wise count
+// addition plus the sum and count totals. The snapshot's bounds must
+// match h's exactly — merging histograms with different bucket layouts
+// would silently misplace every sample, so it is an error instead.
+func (h *Histogram) Merge(s HistogramSnapshot) error {
+	if len(s.Bounds) != len(h.bounds) {
+		return fmt.Errorf("metrics: merge bounds mismatch: %d buckets vs %d", len(s.Bounds), len(h.bounds))
+	}
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] {
+			return fmt.Errorf("metrics: merge bounds mismatch at bucket %d: %g vs %g", i, b, h.bounds[i])
+		}
+	}
+	if len(s.Counts) != len(s.Bounds) {
+		return fmt.Errorf("metrics: snapshot has %d counts for %d bounds", len(s.Counts), len(s.Bounds))
+	}
+	var total int64
+	for i, c := range s.Counts {
+		if c < 0 {
+			return fmt.Errorf("metrics: negative count %d in bucket %d", c, i)
+		}
+		total += c
+	}
+	if s.Inf < 0 || total+s.Inf != s.Count {
+		return fmt.Errorf("metrics: snapshot count %d does not match bucket total %d", s.Count, total+s.Inf)
+	}
+	for i, c := range s.Counts {
+		h.counts[i].Add(c)
+	}
+	h.inf.Add(s.Inf)
+	h.sum.Add(s.Sum)
+	h.n.Add(s.Count)
+	return nil
+}
+
 // Quantile estimates the q-quantile (0 < q < 1) by linear
 // interpolation within the containing bucket — the same estimate a
 // Prometheus histogram_quantile would report from these buckets. It

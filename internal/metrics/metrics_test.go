@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"io"
 	"math"
 	"net/http"
@@ -195,5 +196,137 @@ func TestServeEndpoint(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "dmps_http_total 3") {
 		t.Fatalf("scrape missing served counter:\n%s", body)
+	}
+}
+
+// TestQuantileEdgeCases pins the estimator's boundary behaviour: an
+// empty histogram and out-of-range q report NaN, a single-bucket
+// population interpolates inside that bucket, and samples past the last
+// finite bound report the highest bound as a floor rather than a guess.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0.001, 0.5, 0.999} {
+		if v := empty.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, v)
+		}
+	}
+
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5) // all ten samples land in the (1, 2] bucket
+	}
+	for _, q := range []float64{0, 1, -0.5, 1.5} {
+		if v := h.Quantile(q); !math.IsNaN(v) {
+			t.Fatalf("Quantile(%v) = %v, want NaN at/out of the 0/1 boundaries", q, v)
+		}
+	}
+	if v := h.Quantile(0.5); !(v > 1 && v <= 2) {
+		t.Fatalf("one-bucket Quantile(0.5) = %v, want within (1, 2]", v)
+	}
+
+	over := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		over.Observe(100) // overflow: above the last finite bound
+	}
+	if v := over.Quantile(0.99); v != 4 {
+		t.Fatalf("overflow Quantile(0.99) = %v, want last bound 4", v)
+	}
+}
+
+// TestSnapshotRoundTrip exports a histogram, rebuilds it, and checks
+// the rebuilt copy reports identical counts, sum and quantiles — the
+// shard-report serialization path, including the JSON hop.
+func TestSnapshotRoundTrip(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 0; i < 500; i++ {
+		h.Observe(0.0001 * float64(i+1))
+	}
+	h.Observe(100) // one overflow sample
+	data, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s HistogramSnapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h.Count() {
+		t.Fatalf("count %d != %d", back.Count(), h.Count())
+	}
+	if math.Abs(back.Sum()-h.Sum()) > 1e-9 {
+		t.Fatalf("sum %v != %v", back.Sum(), h.Sum())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a, b := back.Quantile(q), h.Quantile(q); a != b {
+			t.Fatalf("Quantile(%v): %v != %v", q, a, b)
+		}
+	}
+}
+
+// TestMergeShardsEquivalentToSingle splits one sample population across
+// four shard histograms, merges their snapshots, and checks the result
+// is indistinguishable from a single histogram fed every sample — the
+// property the multi-process SLO merge rests on.
+func TestMergeShardsEquivalentToSingle(t *testing.T) {
+	single := NewHistogram(nil)
+	shards := make([]*Histogram, 4)
+	for i := range shards {
+		shards[i] = NewHistogram(nil)
+	}
+	for i := 0; i < 1000; i++ {
+		v := 0.0002 * float64(i%317+1)
+		single.Observe(v)
+		shards[i%4].Observe(v)
+	}
+	merged := NewHistogram(nil)
+	for _, sh := range shards {
+		if err := merged.Merge(sh.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != single.Count() {
+		t.Fatalf("count %d != %d", merged.Count(), single.Count())
+	}
+	if math.Abs(merged.Sum()-single.Sum()) > 1e-9 {
+		t.Fatalf("sum %v != %v", merged.Sum(), single.Sum())
+	}
+	ms, ss := merged.Snapshot(), single.Snapshot()
+	for i := range ms.Counts {
+		if ms.Counts[i] != ss.Counts[i] {
+			t.Fatalf("bucket %d: %d != %d", i, ms.Counts[i], ss.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a, b := merged.Quantile(q), single.Quantile(q); a != b {
+			t.Fatalf("Quantile(%v): merged %v != single %v", q, a, b)
+		}
+	}
+}
+
+// TestMergeRejectsMismatch pins the merge error paths: different bucket
+// layouts, truncated counts, and a count that disagrees with the bucket
+// total must all refuse rather than silently misplace samples.
+func TestMergeRejectsMismatch(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if err := h.Merge(NewHistogram([]float64{1, 2, 8}).Snapshot()); err == nil {
+		t.Fatal("merge across different bounds must error")
+	}
+	if err := h.Merge(NewHistogram([]float64{1, 2}).Snapshot()); err == nil {
+		t.Fatal("merge across different bucket counts must error")
+	}
+	bad := NewHistogram([]float64{1, 2, 4}).Snapshot()
+	bad.Count = 7 // no samples were observed: the total lies
+	if err := h.Merge(bad); err == nil {
+		t.Fatal("merge of an inconsistent snapshot must error")
+	}
+	if _, err := FromSnapshot(HistogramSnapshot{}); err == nil {
+		t.Fatal("FromSnapshot of an empty snapshot must error")
+	}
+	if h.Count() != 0 {
+		t.Fatalf("rejected merges must not mutate: count = %d", h.Count())
 	}
 }

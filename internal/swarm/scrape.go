@@ -1,0 +1,180 @@
+package swarm
+
+import (
+	"bufio"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ScrapeSeries is one endpoint's sampled gauge/counter timeline over a
+// swarm run: AtMS[k] is the k-th scrape's offset from the scraper's
+// start, and every series holds one value per scrape (0-padded where a
+// series was absent), so a merged report correlates the generator's
+// SLOs with the servers' own instruments on one clock.
+type ScrapeSeries struct {
+	Endpoint string               `json:"endpoint"`
+	AtMS     []float64            `json:"at_ms"`
+	Series   map[string][]float64 `json:"series"`
+	Errors   int                  `json:"errors"`
+}
+
+// Scraper polls Prometheus /metrics endpoints on an interval while a
+// swarm run is in flight, keeping every dmps_ series except histogram
+// buckets (the report already carries the swarm's own histograms; the
+// point here is the servers' gauges and totals). Start scrapes once
+// immediately and Stop scrapes once more before returning, so even the
+// shortest soak yields two correlated samples per endpoint.
+type Scraper struct {
+	endpoints []string
+	interval  time.Duration
+	client    *http.Client
+
+	mu     sync.Mutex
+	t0     time.Time
+	series []*ScrapeSeries
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewScraper builds a scraper over endpoints ("host:port" or a full
+// URL). interval ≤ 0 defaults to 1s.
+func NewScraper(endpoints []string, interval time.Duration) *Scraper {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Scraper{
+		endpoints: endpoints,
+		interval:  interval,
+		client:    &http.Client{Timeout: 2 * time.Second},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, ep := range endpoints {
+		s.series = append(s.series, &ScrapeSeries{
+			Endpoint: ep,
+			Series:   map[string][]float64{},
+		})
+	}
+	return s
+}
+
+// Start begins polling. A Scraper starts once.
+func (s *Scraper) Start() {
+	s.t0 = time.Now()
+	s.sweep()
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+				s.sweep()
+			}
+		}
+	}()
+}
+
+// Stop halts polling, takes one final sample, and returns the
+// collected timelines with every series padded to the sample count.
+func (s *Scraper) Stop() []ScrapeSeries {
+	close(s.stop)
+	<-s.done
+	s.sweep()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ScrapeSeries, 0, len(s.series))
+	for _, ss := range s.series {
+		for name, vals := range ss.Series {
+			for len(vals) < len(ss.AtMS) {
+				vals = append(vals, 0)
+			}
+			ss.Series[name] = vals
+		}
+		out = append(out, *ss)
+	}
+	return out
+}
+
+// sweep samples every endpoint once.
+func (s *Scraper) sweep() {
+	at := time.Since(s.t0).Seconds() * 1e3
+	for _, ss := range s.series {
+		samples, err := s.scrapeOne(ss.Endpoint)
+		s.mu.Lock()
+		k := len(ss.AtMS)
+		ss.AtMS = append(ss.AtMS, round3(at))
+		if err != nil {
+			ss.Errors++
+		}
+		for name, v := range samples {
+			vals := ss.Series[name]
+			for len(vals) < k {
+				vals = append(vals, 0) // series appeared mid-run: backfill
+			}
+			ss.Series[name] = append(vals, v)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// scrapeOne fetches and parses one endpoint's exposition.
+func (s *Scraper) scrapeOne(endpoint string) (map[string]float64, error) {
+	url := endpoint
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url + "/metrics"
+	}
+	resp, err := s.client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, value, ok := parseMetricLine(sc.Text())
+		if ok {
+			out[name] = value
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseMetricLine extracts one Prometheus text-format sample, keeping
+// only dmps_ series and dropping histogram buckets.
+func parseMetricLine(line string) (string, float64, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "dmps_") {
+		return "", 0, false
+	}
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", 0, false
+	}
+	name, raw := line[:sp], line[sp+1:]
+	if base, _, _ := strings.Cut(name, "{"); strings.HasSuffix(base, "_bucket") {
+		return "", 0, false
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return "", 0, false
+	}
+	return name, v, true
+}
+
+// sortedSeriesNames lists a ScrapeSeries' series names, ordered.
+func sortedSeriesNames(ss ScrapeSeries) []string {
+	names := make([]string, 0, len(ss.Series))
+	for n := range ss.Series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -90,6 +90,67 @@ type Options struct {
 	// per-node throughput attribution in the report. Nil means a
 	// single-node deployment: everything lands on "server".
 	NodeFor func(group string) string
+
+	// Shards and Shard split one seeded schedule across N generator
+	// processes: every process derives the identical global op sequence
+	// from the same seed, and this process fires only the ops whose
+	// global index ≡ Shard (mod Shards), driving its own disjoint
+	// member range (global member index ≡ Shard mod Shards). Mixes that
+	// need a chair (lecture, moderated-churn, chaos) run one chair and
+	// group per shard; the chairless mixes (flash-crowd,
+	// reconnect-storm) share one group across the whole fleet, so the
+	// merged invariant check spans processes. Shards ≤ 1 means the
+	// classic single-process run. Ops and the schedule are GLOBAL: a
+	// 4-shard run of 200 ops fires 200 ops fleet-wide, ~50 per process.
+	// Members stays per-shard: the fleet is Shards × Members strong.
+	Shards int
+	Shard  int
+	// Prealloc dials each mix's whole fleet before its schedule starts,
+	// so the schedule measures the server rather than the generator's
+	// own dial churn. The one mix whose POINT is arrival — flash-crowd
+	// — pre-dials its members but still joins them on schedule: the
+	// join storm stays a scenario while the dial storm stops being an
+	// accident.
+	Prealloc bool
+	// Barrier, when set, runs after a mix's fleet is in place and
+	// before its schedule's t0 — the multi-process start gate. Shards
+	// block here until the coordinator releases them (cmd/dmps-swarm
+	// implements this as a ready-file/barrier-file handshake), so every
+	// process's t0 lands together and the merged timeline is one
+	// schedule, not N staggered ones. An error aborts the mix.
+	Barrier func(mix string) error
+	// Soak, when > 0, overrides Ops: each mix holds the offered rate
+	// (one op per Mean) for the whole duration — the long-soak mode.
+	// Pair it with a Scraper so the report correlates SLOs with the
+	// servers' own gauges over the same window.
+	Soak time.Duration
+}
+
+// fleetSize is the global member pool across every shard.
+func (o Options) fleetSize() int { return o.Shards * o.Members }
+
+// memberName returns the globally unique name for a shard-scoped
+// singleton role (a mix's chair). Single-process runs keep the classic
+// name; sharded runs suffix the shard so two processes never collide in
+// the fleet-wide member directory.
+func (o Options) memberName(role string) string {
+	if o.Shards <= 1 {
+		return role
+	}
+	return fmt.Sprintf("%s-s%d", role, o.Shard)
+}
+
+// shardSlots returns this shard's slice of the mix's global schedule.
+func (o Options) shardSlots(seed int64, ops int) []workload.Slot {
+	return workload.ShardArrivals(seed, ops, o.Mean, o.Shards, o.Shard)
+}
+
+// syncStart runs the multi-process start barrier, if armed.
+func (o Options) syncStart(mix string) error {
+	if o.Barrier == nil {
+		return nil
+	}
+	return o.Barrier(mix)
 }
 
 // Chaos configures the chaos mix's failure injections. Every hook
@@ -116,24 +177,56 @@ var Mixes = []string{"lecture", "flash-crowd", "moderated-churn", "reconnect-sto
 
 // MixResult is one mix's measured outcome. Grant holds floor-grant (or
 // time-back-to-service, for reconnects) latencies in seconds; Prop
-// holds event-propagation latencies in seconds.
+// holds event-propagation latencies in seconds. Ops and Errors are
+// this process's share of the global schedule; Floor carries the floor
+// transitions the shard's members observed (deduplicated per group and
+// log sequence) and FloorConflicts any in-run disagreements between
+// members about what a given log position said — the invariant
+// checker's raw material.
 type MixResult struct {
-	Mix    string
-	Group  string
-	Ops    int
-	Errors int
-	Wall   time.Duration
-	Grant  *metrics.Histogram
-	Prop   *metrics.Histogram
+	Mix            string
+	Group          string
+	Ops            int
+	Errors         int
+	Wall           time.Duration
+	Grant          *metrics.Histogram
+	Prop           *metrics.Histogram
+	Floor          []FloorEvent
+	FloorConflicts []string
+	// Crashes counts the crash recoveries the mix itself injected (the
+	// chaos mix's kill legs). The felled node's successor restores the
+	// floor still-held, so the holder's recovery re-request logs a
+	// second granted event with no release in between — a surplus
+	// same-member grant per crash, which CheckFloor excuses exactly
+	// that many of, and no more.
+	Crashes int
+}
+
+// chairMix reports whether a mix runs a single chair, and therefore
+// gets a group (and chair) per shard in a sharded run; the chairless
+// mixes share one group fleet-wide so contention and the invariant
+// check genuinely cross process boundaries.
+func chairMix(mix string) bool {
+	switch mix {
+	case "lecture", "moderated-churn", "chaos":
+		return true
+	}
+	return false
 }
 
 // mixGroup names the group a mix runs in — one group per mix, so a
 // partitioned cluster spreads the mixes across nodes. The run seed is
 // part of the name: against a long-lived deployment, a re-run with a
 // fresh seed gets fresh groups (and a fresh chair) instead of
-// inheriting the previous run's.
-func mixGroup(mix string, seed int64) string {
-	return fmt.Sprintf("swarm-%s-%d", mix, seed)
+// inheriting the previous run's. Sharded runs of a chair mix get a
+// group per shard (two processes cannot share one chair's floor);
+// chairless mixes keep one group across every shard.
+func mixGroup(mix string, seed int64, shards, shard int) string {
+	base := fmt.Sprintf("swarm-%s-%d", mix, seed)
+	if shards > 1 && chairMix(mix) {
+		return fmt.Sprintf("%s-s%d", base, shard)
+	}
+	return base
 }
 
 // Run executes the named mixes in order and returns their results.
@@ -153,6 +246,20 @@ func Run(opts Options, mixes ...string) ([]MixResult, error) {
 	}
 	if opts.Settle <= 0 {
 		opts.Settle = 2 * time.Second
+	}
+	if opts.Shards <= 1 {
+		opts.Shards, opts.Shard = 1, 0
+	}
+	if opts.Shard < 0 || opts.Shard >= opts.Shards {
+		return nil, fmt.Errorf("swarm: shard %d outside [0, %d)", opts.Shard, opts.Shards)
+	}
+	if opts.Soak > 0 {
+		// Long-soak mode: hold the offered rate for the duration. Ops
+		// derives from the window so the schedule spans exactly Soak.
+		opts.Ops = int(opts.Soak / opts.Mean)
+		if opts.Ops < 1 {
+			opts.Ops = 1
+		}
 	}
 	if len(mixes) == 0 {
 		mixes = Mixes
@@ -185,9 +292,24 @@ func knownMix(m string) bool {
 func runMix(opts Options, mix string, seed int64) (MixResult, error) {
 	res := MixResult{
 		Mix:   mix,
-		Group: mixGroup(mix, opts.Seed),
+		Group: mixGroup(mix, opts.Seed, opts.Shards, opts.Shard),
 		Grant: metrics.NewHistogram(nil),
 		Prop:  metrics.NewHistogram(nil),
+	}
+	// Every client this mix dials feeds the floor-transition recorder —
+	// the in-run invariant checker's tap — alongside whatever
+	// measurement tap the mix installs itself.
+	rec := newFloorRecorder()
+	dial := opts.Dial
+	opts.Dial = func(cfg client.Config) (*client.Client, error) {
+		next := cfg.OnEvent
+		cfg.OnEvent = func(msg protocol.Message) {
+			rec.tap(msg)
+			if next != nil {
+				next(msg)
+			}
+		}
+		return dial(cfg)
 	}
 	start := time.Now()
 	var err error
@@ -204,6 +326,7 @@ func runMix(opts Options, mix string, seed int64) (MixResult, error) {
 		err = runChaos(opts, seed, &res)
 	}
 	res.Wall = time.Since(start)
+	res.Floor, res.FloorConflicts = rec.drain()
 	return res, err
 }
 
@@ -265,20 +388,23 @@ func (e *errCounter) note(err error) {
 	}
 }
 
-// fireAt runs fn in its own goroutine at each offset past start — the
-// open-loop dispatcher. The returned WaitGroup lets the caller wait
-// for every scheduled operation to return.
-func fireAt(start time.Time, offsets []time.Duration, fn func(i int)) *sync.WaitGroup {
+// fireAt runs fn(slot.Index) in its own goroutine at each slot's offset
+// past start — the open-loop dispatcher. fn receives the op's GLOBAL
+// schedule index, so a shard firing every Nth op still interprets op
+// semantics (who acts, whether it is a probe) exactly like a
+// single-process run. The returned WaitGroup lets the caller wait for
+// every scheduled operation to return.
+func fireAt(start time.Time, slots []workload.Slot, fn func(i int)) *sync.WaitGroup {
 	var wg sync.WaitGroup
-	wg.Add(len(offsets))
-	for i, off := range offsets {
-		go func(i int, off time.Duration) {
+	wg.Add(len(slots))
+	for _, s := range slots {
+		go func(s workload.Slot) {
 			defer wg.Done()
-			if d := time.Until(start.Add(off)); d > 0 {
+			if d := time.Until(start.Add(s.At)); d > 0 {
 				time.Sleep(d)
 			}
-			fn(i)
-		}(i, off)
+			fn(s.Index)
+		}(s)
 	}
 	return &wg
 }
@@ -307,7 +433,7 @@ func settle(opts Options, h *metrics.Histogram, want int64) {
 // and re-acquires the floor, sampling uncontended grant latency.
 func runLecture(opts Options, seed int64, res *MixResult) error {
 	var errs errCounter
-	chair, err := opts.Dial(client.Config{Name: "lecturer", Role: "chair", Priority: 10})
+	chair, err := opts.Dial(client.Config{Name: opts.memberName("lecturer"), Role: "chair", Priority: 10})
 	if err != nil {
 		return err
 	}
@@ -323,7 +449,7 @@ func runLecture(opts Options, seed int64, res *MixResult) error {
 	}()
 	for i := 0; i < opts.Members; i++ {
 		l, err := opts.Dial(client.Config{
-			Name: fmt.Sprintf("listener-%d", i), Role: "participant", Priority: 3,
+			Name: fmt.Sprintf("listener-%d", opts.Shard+i*opts.Shards), Role: "participant", Priority: 3,
 			OnEvent: propTap(res.Prop),
 		})
 		if err != nil {
@@ -337,6 +463,9 @@ func runLecture(opts Options, seed int64, res *MixResult) error {
 		}
 		listeners = append(listeners, l)
 	}
+	if err := opts.syncStart(res.Mix); err != nil {
+		return err
+	}
 	t0 := time.Now()
 	if _, err := chair.RequestFloor(res.Group, floor.EqualControl, ""); err != nil {
 		return err
@@ -349,8 +478,14 @@ func runLecture(opts Options, seed int64, res *MixResult) error {
 	// system failures. The RWMutex keeps chats open-loop among
 	// themselves while excluding only the probe.
 	var floorMu sync.RWMutex
-	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
-	fireAt(time.Now(), offsets, func(i int) {
+	slots := opts.shardSlots(seed, opts.Ops)
+	chats := 0
+	for _, s := range slots {
+		if s.Index%10 != 9 {
+			chats++
+		}
+	}
+	fireAt(time.Now(), slots, func(i int) {
 		if i%10 == 9 {
 			// Release/re-acquire cycle: the grant-latency probe.
 			floorMu.Lock()
@@ -372,9 +507,11 @@ func runLecture(opts Options, seed int64, res *MixResult) error {
 		defer floorMu.RUnlock()
 		errs.note(chair.Chat(res.Group, tickLine()))
 	}).Wait()
-	// Each chat line should reach every listener.
-	settle(opts, res.Prop, int64(len(listeners))*int64(opts.Ops-opts.Ops/10))
-	res.Ops = opts.Ops
+	// Each of this shard's chat lines should reach every local listener
+	// (sharded lectures run a group per shard, so remote shards' lines
+	// land in their own groups).
+	settle(opts, res.Prop, int64(len(listeners))*int64(chats))
+	res.Ops = len(slots)
 	res.Errors = int(errs.n.Load())
 	return nil
 }
@@ -476,32 +613,68 @@ func contend(c *client.Client, group string, mode floor.Mode, g *granted, res *M
 // runFlashCrowd drives the join-storm mix: fresh members dial in at
 // Poisson offsets, join, and immediately contend for a round-robin
 // floor. Whoever is granted releases at once, so the floor rotates
-// through the crowd while it is still arriving. Ops beyond the member
-// pool are re-requests from already-admitted members — members asking
-// again after their turn.
+// through the crowd while it is still arriving. Ops beyond the global
+// member pool are re-requests from already-admitted members — members
+// asking again after their turn. Sharded runs share ONE group: every
+// process's members contend for the same round-robin floor, so the
+// merged invariant check watches one floor cross-process. With
+// Prealloc the shard dials its members up front (behind the barrier)
+// and the scheduled op only joins — the join storm stays a scenario
+// while the dial storm stops being generator fd churn.
 func runFlashCrowd(opts Options, seed int64, res *MixResult) error {
 	var errs errCounter
 	g := newGranted()
 	var mu sync.Mutex
 	var crowd []*client.Client
+	prealloced := map[int]*client.Client{}
 	defer func() {
 		mu.Lock()
 		defer mu.Unlock()
 		for _, c := range crowd {
 			c.Close()
 		}
+		for _, c := range prealloced {
+			c.Close()
+		}
 	}()
-	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
-	fireAt(time.Now(), offsets, func(i int) {
-		var c *client.Client
-		if i < opts.Members {
-			fresh, err := opts.Dial(client.Config{
-				Name: fmt.Sprintf("crowd-%d", i), Role: "participant", Priority: 3,
-				OnEvent: grantTap(g),
-			})
+	fleet := opts.fleetSize()
+	dialMember := func(global int) (*client.Client, error) {
+		return opts.Dial(client.Config{
+			Name: fmt.Sprintf("crowd-%d", global), Role: "participant", Priority: 3,
+			OnEvent: grantTap(g),
+		})
+	}
+	if opts.Prealloc {
+		for i := 0; i < opts.Members; i++ {
+			global := opts.Shard + i*opts.Shards
+			c, err := dialMember(global)
 			if err != nil {
 				errs.note(err)
-				return
+				continue
+			}
+			prealloced[global] = c
+		}
+	}
+	if err := opts.syncStart(res.Mix); err != nil {
+		return err
+	}
+	slots := opts.shardSlots(seed, opts.Ops)
+	fireAt(time.Now(), slots, func(i int) {
+		var c *client.Client
+		if i < fleet {
+			// Op i admits global member i — owned by this shard, since
+			// both ops and members partition round-robin by the same
+			// modulus.
+			mu.Lock()
+			fresh := prealloced[i]
+			delete(prealloced, i)
+			mu.Unlock()
+			if fresh == nil {
+				var err error
+				if fresh, err = dialMember(i); err != nil {
+					errs.note(err)
+					return
+				}
 			}
 			if err := fresh.Join(res.Group); err != nil {
 				errs.note(err)
@@ -525,8 +698,8 @@ func runFlashCrowd(opts Options, seed int64, res *MixResult) error {
 		}
 		contend(c, res.Group, floor.RoundRobin, g, res, &errs)
 	}).Wait()
-	settle(opts, res.Grant, int64(opts.Ops))
-	res.Ops = opts.Ops
+	settle(opts, res.Grant, int64(len(slots)))
+	res.Ops = len(slots)
 	res.Errors = int(errs.n.Load())
 	return nil
 }
@@ -563,7 +736,7 @@ func runModeratedChurn(opts Options, seed int64, res *MixResult) error {
 		}
 	}
 	chair, err := opts.Dial(client.Config{
-		Name: "moderator", Role: "chair", Priority: 10, OnEvent: approve,
+		Name: opts.memberName("moderator"), Role: "chair", Priority: 10, OnEvent: approve,
 	})
 	if err != nil {
 		return err
@@ -583,7 +756,7 @@ func runModeratedChurn(opts Options, seed int64, res *MixResult) error {
 	}()
 	for i := 0; i < opts.Members; i++ {
 		m, err := opts.Dial(client.Config{
-			Name: fmt.Sprintf("churn-%d", i), Role: "participant", Priority: 3,
+			Name: fmt.Sprintf("churn-%d", opts.Shard+i*opts.Shards), Role: "participant", Priority: 3,
 			OnEvent: grantTap(g),
 		})
 		if err != nil {
@@ -600,12 +773,15 @@ func runModeratedChurn(opts Options, seed int64, res *MixResult) error {
 	if len(members) == 0 {
 		return fmt.Errorf("no members admitted")
 	}
-	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
-	fireAt(time.Now(), offsets, func(i int) {
+	if err := opts.syncStart(res.Mix); err != nil {
+		return err
+	}
+	slots := opts.shardSlots(seed, opts.Ops)
+	fireAt(time.Now(), slots, func(i int) {
 		contend(members[i%len(members)], res.Group, floor.ModeratedQueue, g, res, &errs)
 	}).Wait()
-	settle(opts, res.Grant, int64(opts.Ops))
-	res.Ops = opts.Ops
+	settle(opts, res.Grant, int64(len(slots)))
+	res.Ops = len(slots)
 	res.Errors = int(errs.n.Load())
 	return nil
 }
@@ -618,6 +794,9 @@ func runModeratedChurn(opts Options, seed int64, res *MixResult) error {
 // propagation histogram shows the post-resume fan-out is live.
 func runReconnectStorm(opts Options, seed int64, res *MixResult) error {
 	var errs errCounter
+	// fleet[k] is global member Shard+k*Shards: members and ops
+	// partition round-robin by the same modulus, so the op for global
+	// member i always fires on the shard that owns the session.
 	var fleet []*client.Client
 	defer func() {
 		for _, c := range fleet {
@@ -626,7 +805,7 @@ func runReconnectStorm(opts Options, seed int64, res *MixResult) error {
 	}()
 	for i := 0; i < opts.Members; i++ {
 		c, err := opts.Dial(client.Config{
-			Name: fmt.Sprintf("storm-%d", i), Role: "participant", Priority: 3,
+			Name: fmt.Sprintf("storm-%d", opts.Shard+i*opts.Shards), Role: "participant", Priority: 3,
 			OnEvent: propTap(res.Prop),
 		})
 		if err != nil {
@@ -643,17 +822,25 @@ func runReconnectStorm(opts Options, seed int64, res *MixResult) error {
 	if len(fleet) == 0 {
 		return fmt.Errorf("no members admitted")
 	}
+	if err := opts.syncStart(res.Mix); err != nil {
+		return err
+	}
 	if opts.Kill != nil {
 		opts.Kill()
 	}
 	ops := opts.Ops
-	if ops > len(fleet) {
-		ops = len(fleet) // each member storms at most once
+	if ops > opts.fleetSize() {
+		ops = opts.fleetSize() // each member storms at most once
 	}
 	var ticks atomic.Int64
-	offsets := workload.Arrivals(seed, ops, opts.Mean)
-	fireAt(time.Now(), offsets, func(i int) {
-		c := fleet[i]
+	slots := opts.shardSlots(seed, ops)
+	fireAt(time.Now(), slots, func(i int) {
+		k := i / opts.Shards // local index of global member i
+		if k >= len(fleet) {
+			errs.note(fmt.Errorf("member %d never admitted", i))
+			return
+		}
+		c := fleet[k]
 		t0 := time.Now()
 		if !c.Drop() {
 			errs.note(fmt.Errorf("drop %d failed", i))
@@ -670,9 +857,11 @@ func runReconnectStorm(opts Options, seed int64, res *MixResult) error {
 		}
 		ticks.Add(1)
 	}).Wait()
-	// Each post-resume line should reach the whole fleet.
+	// Each of this shard's post-resume lines should reach at least the
+	// local fleet (in a sharded run the shared group also fans them out
+	// to every other shard's members — a lower bound, not an equality).
 	settle(opts, res.Prop, ticks.Load()*int64(len(fleet)))
-	res.Ops = ops
+	res.Ops = len(slots)
 	res.Errors = int(errs.n.Load())
 	return nil
 }
@@ -719,7 +908,7 @@ func rideOut(c *client.Client, deadline time.Time) error {
 // holder restored, no state fabricated, every retried line delivered.
 func runChaos(opts Options, seed int64, res *MixResult) error {
 	var errs errCounter
-	chair, err := opts.Dial(client.Config{Name: "chaos-chair", Role: "chair", Priority: 10})
+	chair, err := opts.Dial(client.Config{Name: opts.memberName("chaos-chair"), Role: "chair", Priority: 10})
 	if err != nil {
 		return err
 	}
@@ -735,7 +924,7 @@ func runChaos(opts Options, seed int64, res *MixResult) error {
 	}()
 	for i := 0; i < opts.Members; i++ {
 		l, err := opts.Dial(client.Config{
-			Name: fmt.Sprintf("chaos-%d", i), Role: "participant", Priority: 3,
+			Name: fmt.Sprintf("chaos-%d", opts.Shard+i*opts.Shards), Role: "participant", Priority: 3,
 			OnEvent: propTap(res.Prop),
 		})
 		if err != nil {
@@ -748,6 +937,9 @@ func runChaos(opts Options, seed int64, res *MixResult) error {
 			continue
 		}
 		listeners = append(listeners, l)
+	}
+	if err := opts.syncStart(res.Mix); err != nil {
+		return err
 	}
 	t0 := time.Now()
 	if _, err := chair.RequestFloor(res.Group, floor.EqualControl, ""); err != nil {
@@ -783,6 +975,10 @@ func runChaos(opts Options, seed int64, res *MixResult) error {
 				dec, err := chair.RequestFloor(res.Group, floor.EqualControl, "")
 				if err == nil && dec.Granted {
 					res.Grant.Observe(time.Since(killed).Seconds())
+					// The floor was restored still-held, so this
+					// re-request logged a surplus grant the invariant
+					// checker must excuse — exactly one.
+					res.Crashes++
 					break
 				}
 				if !time.Now().Before(deadline) {
@@ -816,8 +1012,8 @@ func runChaos(opts Options, seed int64, res *MixResult) error {
 	// with a plain chat under the lock and usually finds the session
 	// already healthy.
 	var resumeMu sync.Mutex
-	offsets := workload.Arrivals(seed, opts.Ops, opts.Mean)
-	fireAt(time.Now(), offsets, func(i int) {
+	slots := opts.shardSlots(seed, opts.Ops)
+	fireAt(time.Now(), slots, func(i int) {
 		if i%10 == 9 {
 			// Release/re-acquire under the write lock — the same
 			// uncontended grant probe runLecture runs. Without it the
@@ -892,17 +1088,24 @@ func runChaos(opts Options, seed int64, res *MixResult) error {
 	// Every delivered line should reach every listener — including the
 	// lines listeners missed while dead, which the resume replay owes.
 	settle(opts, res.Prop, ticks.Load()*int64(len(listeners)))
-	res.Ops = opts.Ops
+	res.Ops = len(slots)
 	res.Errors = int(errs.n.Load())
 	return nil
 }
 
 // Report renders mix results as a BENCH_*.json-compatible document:
 // "_meta" plus one "Swarm/<mix>" entry per mix carrying the SLO
-// quantiles in milliseconds, and one "SwarmNode/<node>" entry per
-// cluster node attributing mix throughput to the node owning the
-// mix's group.
-func Report(results []MixResult, opts Options, note, goos, goarch string) map[string]map[string]any {
+// quantiles in milliseconds, one "SwarmNode/<node>" entry per cluster
+// node attributing mix throughput to the node owning the mix's group,
+// and one "Scrape/<endpoint>" entry per scraped /metrics endpoint.
+// Every Swarm entry also carries its mergeable state — the latency
+// histograms as bucket snapshots and the recorded floor transitions —
+// plus the invariant checker's verdict over them, so a shard report, a
+// merged fleet report and a single-process report share one schema.
+func Report(results []MixResult, scrapes []ScrapeSeries, opts Options, note, goos, goarch string) map[string]map[string]any {
+	if opts.Shards <= 1 {
+		opts.Shards, opts.Shard = 1, 0
+	}
 	doc := map[string]map[string]any{
 		"_meta": {
 			"goos":    goos,
@@ -911,6 +1114,8 @@ func Report(results []MixResult, opts Options, note, goos, goarch string) map[st
 			"seed":    opts.Seed,
 			"members": opts.Members,
 			"ops":     opts.Ops,
+			"shards":  opts.Shards,
+			"shard":   opts.Shard,
 		},
 	}
 	type nodeLoad struct {
@@ -919,21 +1124,7 @@ func Report(results []MixResult, opts Options, note, goos, goarch string) map[st
 	}
 	nodes := map[string]*nodeLoad{}
 	for _, r := range results {
-		entry := map[string]any{
-			"ops":           r.Ops,
-			"errors":        r.Errors,
-			"wall_ms":       round3(r.Wall.Seconds() * 1e3),
-			"grant_samples": r.Grant.Count(),
-			"prop_samples":  r.Prop.Count(),
-		}
-		for _, q := range []struct {
-			key string
-			q   float64
-		}{{"p50", 0.5}, {"p99", 0.99}, {"p999", 0.999}} {
-			entry["grant_"+q.key+"_ms"] = round3(r.Grant.Quantile(q.q) * 1e3)
-			entry["prop_"+q.key+"_ms"] = round3(r.Prop.Quantile(q.q) * 1e3)
-		}
-		doc["Swarm/"+r.Mix] = entry
+		doc["Swarm/"+r.Mix] = mixEntry(r)
 		node := "server"
 		if opts.NodeFor != nil {
 			node = opts.NodeFor(r.Group)
@@ -962,7 +1153,54 @@ func Report(results []MixResult, opts Options, note, goos, goarch string) map[st
 			"ops_per_s": round3(perSec),
 		}
 	}
+	for _, ss := range scrapes {
+		doc["Scrape/"+ss.Endpoint] = scrapeEntry(ss)
+	}
 	return doc
+}
+
+// mixEntry renders one mix's measured outcome as a report entry — the
+// per-mix schema shared by shard reports, single-process reports and
+// MergeReports' output.
+func mixEntry(r MixResult) map[string]any {
+	check := CheckFloor(r.Floor, r.FloorConflicts, r.Crashes)
+	if check.Violations == nil {
+		check.Violations = []string{}
+	}
+	entry := map[string]any{
+		"ops":                  r.Ops,
+		"errors":               r.Errors,
+		"crashes":              r.Crashes,
+		"crash_excused":        check.Excused,
+		"wall_ms":              round3(r.Wall.Seconds() * 1e3),
+		"grant_samples":        r.Grant.Count(),
+		"prop_samples":         r.Prop.Count(),
+		"grant_hist":           r.Grant.Snapshot(),
+		"prop_hist":            r.Prop.Snapshot(),
+		"floor_events":         floorEventsOrEmpty(r.Floor),
+		"floor_groups":         check.Groups,
+		"floor_gaps":           check.Gaps,
+		"invariant_violations": len(check.Violations),
+		"violations":           check.Violations,
+	}
+	for _, q := range []struct {
+		key string
+		q   float64
+	}{{"p50", 0.5}, {"p99", 0.99}, {"p999", 0.999}} {
+		entry["grant_"+q.key+"_ms"] = round3(r.Grant.Quantile(q.q) * 1e3)
+		entry["prop_"+q.key+"_ms"] = round3(r.Prop.Quantile(q.q) * 1e3)
+	}
+	return entry
+}
+
+// scrapeEntry renders one endpoint's scraped timeline as a report entry.
+func scrapeEntry(ss ScrapeSeries) map[string]any {
+	return map[string]any{
+		"samples": len(ss.AtMS),
+		"at_ms":   ss.AtMS,
+		"series":  ss.Series,
+		"errors":  ss.Errors,
+	}
 }
 
 // round3 trims a float to 3 decimals for the JSON report — the report

@@ -26,6 +26,41 @@ func Arrivals(seed int64, n int, mean time.Duration) []time.Duration {
 	return out
 }
 
+// Slot is one operation of a sharded arrival schedule: the operation's
+// index in the GLOBAL schedule plus its firing offset. Keeping the
+// global index lets a generator shard decide what operation n means
+// (which member acts, whether it is a probe) identically to a
+// single-process run.
+type Slot struct {
+	// Index is the operation's position in the full n-op schedule.
+	Index int
+	// At is the operation's absolute offset from the schedule's start.
+	At time.Duration
+}
+
+// ShardArrivals deterministically splits the n-op Arrivals schedule
+// across shards generator processes and returns shard's slice: the
+// slots whose global index ≡ shard (mod shards), offsets identical to
+// the single-process schedule. Every shard derives the same global
+// sequence from the same seed, the union of all shards is exactly
+// Arrivals(seed, n, mean), and the shares are pairwise disjoint — the
+// property that makes an N-process swarm one workload rather than N.
+// A shard outside [0, shards) gets nothing; shards < 1 is treated as 1.
+func ShardArrivals(seed int64, n int, mean time.Duration, shards, shard int) []Slot {
+	if shards < 1 {
+		shards = 1
+	}
+	if shard < 0 || shard >= shards {
+		return nil
+	}
+	offsets := Arrivals(seed, n, mean)
+	out := make([]Slot, 0, (n+shards-1)/shards)
+	for i := shard; i < len(offsets); i += shards {
+		out = append(out, Slot{Index: i, At: offsets[i]})
+	}
+	return out
+}
+
 // Spurt is one hold/release cycle of a speaker.
 type Spurt struct {
 	// Hold is how long the speaker keeps the floor.

@@ -102,3 +102,56 @@ func TestFanout(t *testing.T) {
 		t.Error("degenerate fanouts")
 	}
 }
+
+// TestShardArrivalsPartition pins the multi-process determinism
+// contract: for any shard count, the union of all shards' slots is
+// exactly the single-process schedule (same global indices, same
+// offsets), and the shares are pairwise disjoint — so N generator
+// processes with the same seed drive one global op sequence.
+func TestShardArrivalsPartition(t *testing.T) {
+	const n = 41 // deliberately not a multiple of the shard count
+	full := Arrivals(99, n, 3*time.Millisecond)
+	for _, shards := range []int{1, 4} {
+		seen := make(map[int]time.Duration)
+		for s := 0; s < shards; s++ {
+			for _, slot := range ShardArrivals(99, n, 3*time.Millisecond, shards, s) {
+				if _, dup := seen[slot.Index]; dup {
+					t.Fatalf("shards=%d: index %d assigned to two shards", shards, slot.Index)
+				}
+				seen[slot.Index] = slot.At
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("shards=%d: partition covers %d of %d ops", shards, len(seen), n)
+		}
+		for i, at := range full {
+			if seen[i] != at {
+				t.Fatalf("shards=%d: op %d fires at %v, single-process schedule says %v", shards, i, seen[i], at)
+			}
+		}
+	}
+	// shards=1 is literally the whole schedule in order.
+	one := ShardArrivals(99, n, 3*time.Millisecond, 1, 0)
+	if len(one) != n {
+		t.Fatalf("shards=1 got %d slots, want %d", len(one), n)
+	}
+	for i, slot := range one {
+		if slot.Index != i || slot.At != full[i] {
+			t.Fatalf("shards=1 slot %d = %+v, want {%d %v}", i, slot, i, full[i])
+		}
+	}
+}
+
+// TestShardArrivalsBounds pins the degenerate inputs: an out-of-range
+// shard gets no work, and shards<1 behaves as a single shard.
+func TestShardArrivalsBounds(t *testing.T) {
+	if got := ShardArrivals(7, 10, time.Millisecond, 4, 4); got != nil {
+		t.Fatalf("shard == shards got %d slots, want none", len(got))
+	}
+	if got := ShardArrivals(7, 10, time.Millisecond, 4, -1); got != nil {
+		t.Fatalf("negative shard got %d slots, want none", len(got))
+	}
+	if got := ShardArrivals(7, 10, time.Millisecond, 0, 0); len(got) != 10 {
+		t.Fatalf("shards=0 got %d slots, want the full schedule", len(got))
+	}
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Soak smoke: boot 1 router + 2 group-partition nodes as REAL processes
+# over localhost TCP with their /metrics planes on, then hold a short
+# steady offered rate from TWO dmps-swarm shard processes (-soak) that
+# split one seeded flash-crowd schedule, synchronize t0 through the
+# -barrier handshake, and pre-dial their fleets (-prealloc). The
+# flash-crowd mix shares ONE group across shards, so the merged
+# invariant check genuinely spans processes. Shard 0 scrapes every
+# endpoint's /metrics each second into its report; after -merge, the
+# -check gate requires zero errors, zero floor-exclusivity violations,
+# AND -require-scrapes 2 — every scraped endpoint must carry at least
+# two samples of a dmps_ series, proving the report correlates the
+# generator's SLOs with the servers' own gauges over one soak window.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_soak_smoke.json}"
+
+NODE0=127.0.0.1:7251
+NODE1=127.0.0.1:7252
+ROUTER=127.0.0.1:7250
+MET_NODE0=127.0.0.1:9251
+MET_NODE1=127.0.0.1:9252
+MET_ROUTER=127.0.0.1:9250
+NODES="$NODE0,$NODE1"
+
+BIN="$(mktemp -d)"
+RUN="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    kill "${PIDS[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN" "$RUN"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/dmps-server ./cmd/dmps-router ./cmd/dmps-swarm
+
+"$BIN/dmps-server" -addr "$NODE0" -cluster "$NODES" -node 0 -metrics "$MET_NODE0" &
+PIDS+=($!)
+"$BIN/dmps-server" -addr "$NODE1" -cluster "$NODES" -node 1 -metrics "$MET_NODE1" &
+PIDS+=($!)
+"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" -metrics "$MET_ROUTER" &
+PIDS+=($!)
+
+for addr in "$NODE0" "$NODE1" "$ROUTER" "$MET_NODE0" "$MET_NODE1" "$MET_ROUTER"; do
+    for _ in $(seq 1 50); do
+        if (exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}") 2>/dev/null; then
+            exec 3>&- || true
+            continue 2
+        fi
+        sleep 0.1
+    done
+    echo "soak_smoke: $addr never came up" >&2
+    exit 1
+done
+
+# 4s of held offered rate (-soak 4s at a 20ms mean gap ≈ a 200-op
+# global schedule split across the two shards), scraped each second —
+# short enough for CI, long enough that every endpoint yields well over
+# the two correlated samples the gate demands.
+SHARD_PIDS=()
+for i in 0 1; do
+    SCRAPE=()
+    if [ "$i" = 0 ]; then
+        SCRAPE=(-scrape "$MET_ROUTER,$MET_NODE0,$MET_NODE1" -scrape-interval 1s)
+    fi
+    "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
+        -mix flash-crowd -members 6 -soak 4s -mean 20ms -settle 8s -seed 9 \
+        -shards 2 -shard "$i" -barrier "$RUN/barrier" -prealloc \
+        "${SCRAPE[@]}" \
+        -note "soak smoke: flash-crowd shard $i of 2" \
+        -out "$RUN/soak_shard$i.json" &
+    SHARD_PIDS+=($!)
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "$pid" || { echo "soak_smoke: soak shard failed" >&2; exit 1; }
+done
+
+"$BIN/dmps-swarm" -merge -out "$OUT" "$RUN/soak_shard0.json" "$RUN/soak_shard1.json"
+"$BIN/dmps-swarm" -check "$OUT" -require-scrapes 2
+echo "soak_smoke: OK ($OUT)"

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Swarm smoke: boot 1 router + 2 WAL-backed group-partition nodes as
-# REAL processes over localhost TCP, run a short open-loop swarm (the
-# lecture fan-out, the reconnect storm, and the chaos failure drill —
-# the group's owner is felled mid-floor-hold and restarted mid-mix),
-# and gate the resulting SLO report with dmps-swarm -check: it must
-# parse, every mix must show zero errors and a finite, non-zero p99
-# grant latency, and mixes shared with the checked-in baseline must
-# hold their p99 within the growth ratio. CI uploads the report as an
-# artifact of the run.
+# REAL processes over localhost TCP, run a short open-loop swarm, and
+# gate the resulting SLO report with dmps-swarm -check: it must parse,
+# every mix must show zero errors, zero floor-exclusivity violations,
+# and a finite, non-zero p99 grant latency, and mixes shared with the
+# checked-in baseline must hold their p99 within the growth ratio.
+#
+# The lecture mix runs MULTI-PROCESS: two dmps-swarm shards split one
+# seeded schedule (-shards 2 -shard i), synchronize t0 through the
+# -barrier file handshake, pre-dial their fleets (-prealloc), and write
+# per-shard reports that -merge folds back into one document — so every
+# push exercises the sharded generator path end to end. The reconnect
+# storm and the chaos failure drill (the group's owner is felled
+# mid-floor-hold and restarted mid-mix) run single-process, and all
+# three mixes merge into the one report CI uploads as an artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,19 +74,42 @@ for addr in "$NODE0" "$NODE1" "$ROUTER"; do
     exit 1
 done
 
-# ~12s of open-loop load: 200 ops per mix at a 20ms mean gap ≈ 4s of
-# scheduled arrivals each, plus settle — the chaos mix spends part of
-# its window felling and restarting the owner node. 200 ops means ~20
-# release/re-acquire floor probes per mix, so the p99 grant gates rest
-# on a real sample population rather than two-sample noise.
+# Multi-process lecture: two shards split the 200-op schedule (~100
+# ops each), pre-dial their fleets, and gate t0 on the barrier files so
+# the merged timeline is one schedule. Each shard's chair runs its own
+# group; the merged report re-checks floor exclusivity over both.
+SHARD_PIDS=()
+for i in 0 1; do
+    "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
+        -mix lecture -members 6 -ops 200 -mean 20ms -settle 8s -seed 6 \
+        -shards 2 -shard "$i" -barrier "$RUN/barrier" -prealloc \
+        -note "swarm smoke: lecture shard $i of 2" \
+        -out "$RUN/lecture_shard$i.json" &
+    SHARD_PIDS+=($!)
+done
+for pid in "${SHARD_PIDS[@]}"; do
+    wait "$pid" || { echo "swarm_smoke: lecture shard failed" >&2; exit 1; }
+done
+
+# ~8s of single-process open-loop load for the failure drills: 200 ops
+# per mix at a 20ms mean gap ≈ 4s of scheduled arrivals each, plus
+# settle — the chaos mix spends part of its window felling and
+# restarting the owner node. 200 ops means ~20 release/re-acquire floor
+# probes per mix, so the p99 grant gates rest on a real sample
+# population rather than two-sample noise.
 "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
-    -mix lecture,reconnect-storm,chaos -members 6 -ops 200 -mean 20ms \
+    -mix reconnect-storm,chaos -members 6 -ops 200 -mean 20ms \
     -settle 8s -seed 6 \
     -chaos-kill "$RUN/node_ctl kill \$DMPS_CHAOS_NODE" \
     -chaos-restart "$RUN/node_ctl start \$DMPS_CHAOS_NODE" \
     -note "swarm smoke: router + 2 WAL-backed nodes over localhost TCP" \
-    -out "$OUT"
+    -out "$RUN/drills.json"
+
+# One merged document: the sharded lecture plus the drill mixes.
+"$BIN/dmps-swarm" -merge -out "$OUT" \
+    "$RUN/lecture_shard0.json" "$RUN/lecture_shard1.json" "$RUN/drills.json"
 # The latency-trend ratio is deliberately loose: p99s on shared CI
-# runners are noisy, and the errors=0 gate is the correctness signal.
+# runners are noisy, and the errors=0 + zero-violations gates are the
+# correctness signal.
 "$BIN/dmps-swarm" -check "$OUT" -baseline "$BASELINE" -max-growth 4.0
 echo "swarm_smoke: OK ($OUT)"
