@@ -15,13 +15,16 @@
 // nodes: member homes on both, one group owned by each. With -metrics
 // it additionally scrapes each listed observability endpoint after the
 // flow and fails unless every one serves Prometheus text with dmps_
-// series and, fleet-wide, the replication-durability series exist
-// (partition-map epoch, ack latency, unacked gauge; plus the WAL
-// series with -wal) — the probe that the fleet is observable, not
-// just alive.
+// series, fleet-wide the replication-durability, tracing-plane and
+// runtime series exist (partition-map epoch, ack latency, unacked
+// gauge, dmps_stage_seconds, trace counters, goroutine/heap gauges;
+// plus the WAL series with -wal), and every endpoint serves the
+// /debug/traces flight recorder as valid JSON — the probe that the
+// fleet is observable, not just alive.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -175,10 +178,13 @@ func run() int {
 		}
 		// The wire series prove the binary framing + flush batching
 		// plane is observable: bytes by direction, flush count, and
-		// the batching-efficiency ratio.
+		// the batching-efficiency ratio. The stage/trace series prove
+		// the causal tracing plane is registered fleet-wide.
 		want := []string{
 			"dmps_cluster_map_epoch", "dmps_repl_ack_latency_seconds", "dmps_repl_unacked",
 			"dmps_wire_bytes_total", "dmps_wire_flushes_total", "dmps_wire_msgs_per_flush",
+			"dmps_stage_seconds", "dmps_trace_spans_total", "dmps_traces_total",
+			"dmps_goroutines", "dmps_heap_bytes",
 		}
 		if *expectWAL {
 			want = append(want, "dmps_wal_segments", "dmps_wal_bytes")
@@ -187,6 +193,18 @@ func run() int {
 			if !strings.Contains(union.String(), name) {
 				return fail("metrics: no endpoint serves %s", name)
 			}
+		}
+		// Every observability listener must also serve the tracing
+		// plane's flight recorder as valid JSON.
+		for _, addr := range strings.Split(*metricsAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := probeTraces(addr); err != nil {
+				return fail("traces %s: %v", addr, err)
+			}
+			fmt.Printf("dmps-smoke: traces OK at http://%s/debug/traces\n", addr)
 		}
 	}
 	fmt.Printf("dmps-smoke: PASS — cross-partition quickstart over %s (%d nodes)\n", *router, len(nodeList))
@@ -218,4 +236,33 @@ func scrape(addr string) (string, error) {
 		}
 	}
 	return "", fmt.Errorf("no dmps_ series in %d-byte exposition", len(body))
+}
+
+// probeTraces fetches one endpoint's /debug/traces flight recorder and
+// checks the tracing plane actually serves it: HTTP 200 carrying valid
+// JSON with the page's origin field.
+func probeTraces(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	var page struct {
+		Origin string `json:"origin"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return fmt.Errorf("invalid JSON: %w", err)
+	}
+	if page.Origin == "" {
+		return fmt.Errorf("page carries no origin")
+	}
+	return nil
 }

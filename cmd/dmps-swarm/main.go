@@ -33,6 +33,12 @@
 // offered rate for the duration while -scrape host:port,... samples
 // the servers' /metrics on -scrape-interval into the report.
 //
+// -trace host:port,... (the fleet's -metrics listeners) stamps a
+// sampled trace context on every swarm request and, after the mixes,
+// pools the fleet's /debug/traces flight recorders into Stage/<stage>
+// report entries — the per-stage decomposition of the grant SLO, which
+// -merge folds across shards like every other histogram.
+//
 // Merge mode folds shard reports into one fleet document with the same
 // schema, re-running the floor-exclusivity invariant over the pooled
 // event timelines:
@@ -53,7 +59,10 @@
 // ratio; latency on shared runners is noisy, so pick a tolerant one).
 // Mixes new in this run pass freely. With -require-scrapes N the
 // report must carry at least one Scrape/ entry and every one must hold
-// ≥ N samples of at least one dmps_ series — the soak-mode gate.
+// ≥ N samples of at least one dmps_ series — the soak-mode gate. With
+// -require-stages N the report must carry ≥ N Stage/ entries with
+// spans, whose p50 sum is non-zero and within 1.5× the largest
+// measured grant p50 — the tracing-plane gate.
 package main
 
 import (
@@ -102,6 +111,8 @@ func run() int {
 	soak := flag.Duration("soak", 0, "hold the offered rate for this duration per mix instead of a fixed op count")
 	scrape := flag.String("scrape", "", "comma-separated /metrics endpoints (host:port) sampled into the report while mixes run")
 	scrapeInterval := flag.Duration("scrape-interval", time.Second, "interval between /metrics samples")
+	traceEps := flag.String("trace", "", "comma-separated -metrics listeners whose /debug/traces flight recorders feed the report's per-stage breakdown; also stamps a sampled trace context on every swarm request")
+	requireStages := flag.Int("require-stages", 0, "with -check, require ≥ this many Stage/ entries with spans, whose p50 sum stays within 1.5× the measured grant p50")
 	flag.Parse()
 	fail := func(format string, args ...any) int {
 		fmt.Fprintf(os.Stderr, "dmps-swarm: "+format+"\n", args...)
@@ -109,7 +120,7 @@ func run() int {
 	}
 
 	if *check != "" {
-		return checkReport(*check, *baseline, *maxGrowth, *requireScrapes, fail)
+		return checkReport(*check, *baseline, *maxGrowth, *requireScrapes, *requireStages, fail)
 	}
 	if *merge {
 		return mergeReports(flag.Args(), *out, fail)
@@ -131,6 +142,7 @@ func run() int {
 		Shard:    *shard,
 		Prealloc: *prealloc,
 		Soak:     *soak,
+		Trace:    *traceEps != "",
 	}
 	if *barrier != "" {
 		opts.Barrier = fileBarrier(*barrier, *shards, *shard)
@@ -198,6 +210,17 @@ func run() int {
 		return fail("%v", err)
 	}
 	doc := swarm.Report(results, scrapes, opts, *note, runtime.GOOS, runtime.GOARCH)
+	if *traceEps != "" {
+		eps := strings.Split(*traceEps, ",")
+		for i := range eps {
+			eps[i] = strings.TrimSpace(eps[i])
+		}
+		stages, err := swarm.CollectStages(eps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmps-swarm: trace collection: %v\n", err)
+		}
+		swarm.AddStageBreakdown(doc, stages)
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return fail("encode: %v", err)
@@ -341,7 +364,13 @@ func loadReport(path string) (map[string]map[string]float64, map[string]map[stri
 // latency within growth × the baseline's — the latency trend gate.
 // With requireScrapes > 0, the report must carry Scrape/ entries, each
 // holding at least that many samples of at least one dmps_ series.
-func checkReport(path, baseline string, growth float64, requireScrapes int, fail func(string, ...any) int) int {
+// With requireStages > 0, the report must carry at least that many
+// Stage/ entries with spans, and their p50 sum must be non-zero yet no
+// more than 1.5× the largest measured grant p50 — the decomposition
+// must both exist and actually account for the latency it claims to
+// explain (stage time not covered by a grant, like fan-out flushes,
+// keeps the sum from being an equality; 1.5× bounds the slack).
+func checkReport(path, baseline string, growth float64, requireScrapes, requireStages int, fail func(string, ...any) int) int {
 	doc, loose, err := loadReport(path)
 	if err != nil {
 		return fail("check: %v", err)
@@ -355,9 +384,16 @@ func checkReport(path, baseline string, growth float64, requireScrapes int, fail
 			return fail("check: -baseline needs -max-growth > 0")
 		}
 	}
-	checked, scraped := 0, 0
+	checked, scraped, staged := 0, 0, 0
+	stageSum, maxGrantP50 := 0.0, 0.0
 	for name, entry := range doc {
 		switch {
+		case strings.HasPrefix(name, "Stage/"):
+			if entry["spans"] > 0 {
+				staged++
+				stageSum += entry["p50_ms"]
+			}
+			continue
 		case strings.HasPrefix(name, "Scrape/"):
 			scraped++
 			if requireScrapes > 0 {
@@ -380,6 +416,9 @@ func checkReport(path, baseline string, growth float64, requireScrapes int, fail
 			continue
 		}
 		checked++
+		if p50 := entry["grant_p50_ms"]; p50 > maxGrantP50 {
+			maxGrantP50 = p50
+		}
 		p99 := entry["grant_p99_ms"]
 		if !(p99 > 0) || p99 != p99 || p99 > 1e12 {
 			return fail("check: %s: grant_p99_ms = %v, want finite and non-zero", name, p99)
@@ -407,6 +446,18 @@ func checkReport(path, baseline string, growth float64, requireScrapes int, fail
 	if requireScrapes > 0 && scraped == 0 {
 		return fail("check: %s has no Scrape/ entries (soak gate)", path)
 	}
-	fmt.Printf("dmps-swarm: check OK: %d mixes, %d scraped endpoints in %s\n", checked, scraped, path)
+	if requireStages > 0 {
+		if staged < requireStages {
+			return fail("check: %s: %d Stage/ entries with spans, want ≥ %d", path, staged, requireStages)
+		}
+		if !(stageSum > 0) {
+			return fail("check: %s: stage p50 sum is zero — the breakdown recorded no latency", path)
+		}
+		if stageSum > 1.5*maxGrantP50 {
+			return fail("check: %s: stage p50 sum %.3fms exceeds 1.5× grant p50 %.3fms — the decomposition overshoots the latency it explains",
+				path, stageSum, maxGrantP50)
+		}
+	}
+	fmt.Printf("dmps-swarm: check OK: %d mixes, %d scraped endpoints, %d traced stages in %s\n", checked, scraped, staged, path)
 	return 0
 }

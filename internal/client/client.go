@@ -88,6 +88,14 @@ type Config struct {
 	// client asks for and emits — the debugging escape hatch, and the
 	// interop test's way of staging a mixed-version group.
 	WireJSON bool
+	// Trace stamps a sampled trace context (a fresh random trace ID plus
+	// the sampled bit) onto every request this client sends, asking each
+	// hop — router relay, owner dispatch, replication, fan-out — to
+	// record named spans for the op. On the JSON framing the context
+	// always rides; on the binary framing it is sent only when the
+	// session negotiated wire version ≥ 2 (older binary peers would
+	// misparse the extension), so enabling Trace never breaks interop.
+	Trace bool
 }
 
 // cursorKey addresses one admission cursor: a log (group ID, or the
@@ -249,14 +257,25 @@ func Dial(cfg Config) (*Client, error) {
 	return c, nil
 }
 
-// wireAsk is the wire version the hello requests: binary unless pinned
-// to JSON. The server echoes the granted version in the welcome; an
-// older server omits the field and the session stays on JSON.
+// wireAsk is the wire version the hello requests: binary with the
+// trace-context extension unless pinned to JSON. The server echoes the
+// granted version in the welcome — an older server omits the field and
+// the session stays on JSON; a binary-only server answers 1 and the
+// client keeps trace context off its binary frames.
 func wireAsk(cfg Config) int {
 	if cfg.WireJSON {
 		return 0
 	}
-	return 1
+	return 2
+}
+
+// newTraceID draws a fresh nonzero trace ID for a sampled request.
+func newTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
 }
 
 // wantsClassLocked reports whether the current mask admits a class.
@@ -352,9 +371,9 @@ func (c *Client) Estimator() *clock.Estimator { return c.est }
 func (c *Client) Clock() clock.Clock { return c.cfg.Clock }
 
 // WireVersion reports the wire framing the server granted in the
-// welcome: 0 is the JSON framing, 1 the length-prefixed binary framing.
-// It can change across Reconnect (a -wire-json server demotes the
-// session to JSON).
+// welcome: 0 is the JSON framing, 1 the length-prefixed binary framing,
+// 2 binary with the trace-context extension. It can change across
+// Reconnect (a -wire-json server demotes the session to JSON).
 func (c *Client) WireVersion() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -366,6 +385,11 @@ func (c *Client) send(msg protocol.Message) error {
 	conn := c.conn
 	ver := c.wireVer
 	c.mu.Unlock()
+	if ver == 1 {
+		// Binary without the trace extension: an older peer would read
+		// the trace bytes as body, so the context must not be framed.
+		msg.TraceID, msg.TraceParent, msg.TraceFlags = 0, 0, 0
+	}
 	var wire []byte
 	var err error
 	if ver >= 1 {
@@ -391,6 +415,10 @@ func (c *Client) request(msg protocol.Message) (protocol.Message, error) {
 	}
 	c.seq++
 	msg.Seq = c.seq
+	if c.cfg.Trace && msg.TraceID == 0 {
+		msg.TraceID = newTraceID()
+		msg.TraceFlags = protocol.TraceSampled
+	}
 	ch := make(chan protocol.Message, 1)
 	c.pending[msg.Seq] = ch
 	done := c.readerDone

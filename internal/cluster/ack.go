@@ -40,6 +40,9 @@ type inflight struct {
 	sentAt   time.Time
 	attempts int
 	nextDue  time.Time
+	// tid is the forward's sampled trace ID (0 = untraced); when set,
+	// the full ack fires the traceAck callback with the round trip.
+	tid uint64
 }
 
 // AckTable tracks replication forwards awaiting peer acknowledgement:
@@ -60,6 +63,10 @@ type AckTable struct {
 	// observe, when set, receives the ack round-trip in seconds each
 	// time an entry fully acks — the replication ack-latency histogram.
 	observe func(seconds float64)
+	// traceAck, when set, receives each fully-acked traced forward's
+	// trace ID, send time and round trip — the repl_ack span hook the
+	// tracing plane installs without this package importing it.
+	traceAck func(tid uint64, sentAt time.Time, rtt time.Duration)
 }
 
 // NewAckTable returns an empty ack table. observe (optional) receives
@@ -71,6 +78,29 @@ func NewAckTable(observe func(seconds float64)) *AckTable {
 // NextID mints the next forward ID (per-sender monotonic, starting at 1
 // so 0 stays the fire-and-forget sentinel).
 func (t *AckTable) NextID() int64 { return t.nextID.Add(1) }
+
+// OnTraceAck installs the callback fired (outside the table's lock)
+// when a traced forward fully acks — the tracing plane's repl_ack span
+// source. Install before traffic flows; the last installation wins.
+func (t *AckTable) OnTraceAck(fn func(tid uint64, sentAt time.Time, rtt time.Duration)) {
+	t.mu.Lock()
+	t.traceAck = fn
+	t.mu.Unlock()
+}
+
+// TrackTrace attaches a sampled trace ID to an already-tracked forward,
+// so its eventual full ack records a repl_ack span. A no-op for IDs the
+// table no longer holds (already acked, or evicted).
+func (t *AckTable) TrackTrace(id int64, tid uint64) {
+	if id == 0 || tid == 0 {
+		return
+	}
+	t.mu.Lock()
+	if e, ok := t.entries[id]; ok {
+		e.tid = tid
+	}
+	t.mu.Unlock()
+}
 
 // Track registers a forward shipped to the given peers. When the table
 // is full the oldest in-flight entry is evicted and counted lost.
@@ -112,6 +142,7 @@ func (t *AckTable) Ack(peer string, id int64) {
 	delete(e.pending, peer)
 	done := len(e.pending) == 0
 	var rtt time.Duration
+	traceAck := t.traceAck
 	if done {
 		delete(t.entries, id)
 		rtt = time.Since(e.sentAt)
@@ -121,6 +152,9 @@ func (t *AckTable) Ack(peer string, id int64) {
 		t.acked.Add(1)
 		if t.observe != nil {
 			t.observe(rtt.Seconds())
+		}
+		if e.tid != 0 && traceAck != nil {
+			traceAck(e.tid, e.sentAt, rtt)
 		}
 	}
 }

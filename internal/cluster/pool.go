@@ -102,11 +102,24 @@ func NewPool(network transport.Network) *Pool {
 // encoded event bytes verbatim (ForwardBody.Msg is raw JSON), and must
 // not read as fan-out amplification.
 func WrapForward(body protocol.ForwardBody) []byte {
+	return WrapForwardTrace(body, 0, 0)
+}
+
+// WrapForwardTrace is WrapForward with a trace context stamped on the
+// envelope: the receiving peer records its replica-apply span under the
+// originating operation's trace ID. Forward envelopes are always JSON
+// (peer links never negotiate framing), so the fields ride freely and a
+// zero tid produces bytes identical to the untraced form.
+func WrapForwardTrace(body protocol.ForwardBody, tid uint64, flags uint8) []byte {
 	raw, err := json.Marshal(body)
 	if err != nil {
 		return nil
 	}
-	wire, err := json.Marshal(protocol.Message{Type: protocol.TForward, Body: raw})
+	env := protocol.Message{Type: protocol.TForward, Body: raw}
+	if tid != 0 {
+		env.TraceID, env.TraceParent, env.TraceFlags = tid, tid, flags
+	}
+	wire, err := json.Marshal(env)
 	if err != nil {
 		return nil
 	}

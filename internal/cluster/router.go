@@ -11,6 +11,7 @@ import (
 
 	"dmps/internal/group"
 	"dmps/internal/protocol"
+	"dmps/internal/trace"
 	"dmps/internal/transport"
 )
 
@@ -82,6 +83,9 @@ type Router struct {
 	cfg      RouterConfig
 	pmap     *Map
 	listener transport.Listener
+	// plane records the routing tier's relay spans for sampled
+	// operations — the first hop of every end-to-end trace.
+	plane *trace.Plane
 
 	mu       sync.Mutex
 	sessions map[*routerSession]bool
@@ -125,6 +129,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		cfg:      cfg,
 		pmap:     NewMap(cfg.Nodes),
 		listener: l,
+		plane:    trace.NewPlane("router@"+l.Addr(), trace.RouterStages, 0),
 		sessions: make(map[*routerSession]bool),
 		closed:   make(chan struct{}),
 	}
@@ -201,7 +206,12 @@ func (r *Router) Close() {
 		r.mu.Unlock()
 	})
 	r.wg.Wait()
+	r.plane.Close()
 }
+
+// TracePlane exposes the router's tracing plane (for tests and the
+// metrics registration path).
+func (r *Router) TracePlane() *trace.Plane { return r.plane }
 
 // routerSession is one proxied client: the client connection, the
 // member identity captured at admission, and the per-node upstream
@@ -250,7 +260,18 @@ func (rs *routerSession) run() {
 		if err != nil {
 			continue
 		}
+		// The relay span costs nothing extra on the hot path: the frame
+		// was already decoded above, and the clock is read only for
+		// sampled operations.
+		var t0 time.Time
+		sampled := msg.Sampled()
+		if sampled {
+			t0 = time.Now()
+		}
 		rs.route(msg, wire)
+		if sampled {
+			rs.r.plane.Span(msg.TraceID, msg.TraceParent, trace.StageRelay, t0)
+		}
 		if msg.Type == protocol.TBye {
 			return
 		}

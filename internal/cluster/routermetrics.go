@@ -20,6 +20,11 @@ import (
 //	dmps_cluster_map_version        partition map change counter
 //	dmps_cluster_node_down{node}    1 when the node is in the down-set
 func (r *Router) RegisterMetrics(reg *metrics.Registry) {
+	// The tracing plane (dmps_stage_seconds{stage="relay"}, span/trace
+	// counters, /debug/traces) and the runtime health gauges ride the
+	// same registry as the routing counters.
+	r.plane.RegisterMetrics(reg)
+	metrics.RegisterRuntime(reg)
 	reg.GaugeFunc("dmps_router_sessions", "Live proxied client sessions.", func() []metrics.Sample {
 		return []metrics.Sample{{Value: float64(r.Sessions())}}
 	})

@@ -73,8 +73,9 @@ func TestMixedWireVersionTCPE2E(t *testing.T) {
 	if v := legacy.WireVersion(); v != 0 {
 		t.Fatalf("JSON client negotiated wire version %d, want 0", v)
 	}
-	if v := modern.WireVersion(); v != 1 {
-		t.Fatalf("binary client negotiated wire version %d, want 1", v)
+	// Version 2 is the trace-capable binary framing — the current ask.
+	if v := modern.WireVersion(); v != 2 {
+		t.Fatalf("binary client negotiated wire version %d, want 2", v)
 	}
 	group := pickKeyFor(t, nodeAddrs, "wire-class", 1)
 
@@ -166,7 +167,7 @@ func TestMixedWireVersionTCPE2E(t *testing.T) {
 	waitFor(t, "binary client resumes and converges", func() bool {
 		return modern.Board(group).Seq() == 4
 	})
-	if v := modern.WireVersion(); v != 1 {
+	if v := modern.WireVersion(); v != 2 {
 		t.Fatalf("binary client lost its framing across resume: version %d", v)
 	}
 	if v := legacy.WireVersion(); v != 0 {

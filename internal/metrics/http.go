@@ -3,6 +3,7 @@ package metrics
 import (
 	"net"
 	"net/http"
+	"net/http/pprof"
 )
 
 // Handler returns an http.Handler serving the registry in the
@@ -14,11 +15,28 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// Serve listens on addr and serves the registry at /metrics until the
-// process exits, returning the bound listener so callers can learn the
-// port (addr may end in ":0") and close it on shutdown. The scrape
-// endpoint is opt-in — cmd/dmps-server and cmd/dmps-router only call
-// this when the operator passes -metrics.
+// Handle mounts an extra endpoint on the registry's HTTP listener
+// (Serve) — how a subsystem registering its metrics hangs its debug
+// surface (/debug/traces) off the same -metrics listener without the
+// cmd mains learning about it. Patterns follow http.ServeMux rules;
+// registering the same pattern twice keeps the first handler.
+func (r *Registry) Handle(pattern string, h http.Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.handlers == nil {
+		r.handlers = map[string]http.Handler{}
+	}
+	if _, ok := r.handlers[pattern]; !ok {
+		r.handlers[pattern] = h
+	}
+}
+
+// Serve listens on addr and serves the registry at /metrics — plus the
+// Go profiling surface under /debug/pprof/ and every endpoint mounted
+// with Handle — until the process exits, returning the bound listener
+// so callers can learn the port (addr may end in ":0") and close it on
+// shutdown. The scrape endpoint is opt-in — cmd/dmps-server and
+// cmd/dmps-router only call this when the operator passes -metrics.
 func (r *Registry) Serve(addr string) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -26,6 +44,16 @@ func (r *Registry) Serve(addr string) (net.Listener, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	r.mu.RLock()
+	for pattern, h := range r.handlers {
+		mux.Handle(pattern, h)
+	}
+	r.mu.RUnlock()
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln, nil

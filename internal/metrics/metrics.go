@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -269,16 +270,60 @@ type metric struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	histVec *HistogramVec
 	collect func() []Sample
+}
+
+// HistogramVec is a family of histograms sharing one metric name,
+// distinguished by a single label — the labelled-histogram shape the
+// per-stage latency plane needs (dmps_stage_seconds{stage="dispatch"})
+// without growing a general label-set engine. Children share one bucket
+// layout so family members stay mergeable; With is get-or-create and
+// safe for concurrent use (a read-lock fast path for the steady state,
+// where every child already exists).
+type HistogramVec struct {
+	labelKey string
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[string]*Histogram
+	order    []string
+}
+
+// With returns the child histogram for one label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h := v.children[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.children[value]; h != nil {
+		return h
+	}
+	h = NewHistogram(v.bounds)
+	v.children[value] = h
+	v.order = append(v.order, value)
+	return h
+}
+
+// Labels returns the family's label values in registration order.
+func (v *HistogramVec) Labels() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]string(nil), v.order...)
 }
 
 // Registry holds named instruments and renders them in the Prometheus
 // text exposition format. Registration is typically done once at
 // startup; scrapes run concurrently with updates.
 type Registry struct {
-	mu      sync.RWMutex
-	metrics []*metric
-	names   map[string]bool
+	mu       sync.RWMutex
+	metrics  []*metric
+	names    map[string]bool
+	handlers map[string]http.Handler
 }
 
 // NewRegistry returns an empty registry.
@@ -319,6 +364,30 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	h := NewHistogram(bounds)
 	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
 	return h
+}
+
+// HistogramVec registers and returns a single-label histogram family:
+// every child shares the metric name and bucket layout and is rendered
+// with its label pair next to le ({stage="dispatch",le="0.001"}).
+func (r *Registry) HistogramVec(name, help, labelKey string, bounds []float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	cp := make([]float64, len(bounds))
+	copy(cp, bounds)
+	sort.Float64s(cp)
+	v := &HistogramVec{labelKey: labelKey, bounds: cp, children: make(map[string]*Histogram)}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, histVec: v})
+	return v
+}
+
+// Has reports whether a metric name is already registered — the guard
+// shared helpers (RegisterRuntime) use to stay idempotent when a test
+// registers several components into one registry.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.names[name]
 }
 
 // RegisterHistogram registers a histogram the caller already owns and
@@ -395,18 +464,41 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case m.gauge != nil:
 			fmt.Fprintf(&b, "%s %s\n", m.name, fmtValue(m.gauge.Value()))
 		case m.hist != nil:
-			var cum int64
-			for i, bound := range m.hist.bounds {
-				cum += m.hist.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, fmtValue(bound), cum)
+			writeHistogram(&b, m.name, "", m.hist)
+		case m.histVec != nil:
+			vec := m.histVec
+			vec.mu.RLock()
+			labels := append([]string(nil), vec.order...)
+			vec.mu.RUnlock()
+			sort.Strings(labels)
+			for _, lv := range labels {
+				pair := fmt.Sprintf("%s=%q,", vec.labelKey, escapeLabel(lv))
+				writeHistogram(&b, m.name, pair, vec.With(lv))
 			}
-			cum += m.hist.inf.Load()
-			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
-			fmt.Fprintf(&b, "%s_sum %s\n%s_count %d\n", m.name, fmtValue(m.hist.Sum()), m.name, m.hist.Count())
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeHistogram renders one histogram's exposition lines. labelPrefix
+// is empty for a bare histogram, or a rendered `key="value",` pair that
+// rides ahead of le in every bucket (and alone on _sum/_count) for a
+// HistogramVec child.
+func writeHistogram(b *strings.Builder, name, labelPrefix string, h *Histogram) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, labelPrefix, fmtValue(bound), cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labelPrefix, cum)
+	if labelPrefix == "" {
+		fmt.Fprintf(b, "%s_sum %s\n%s_count %d\n", name, fmtValue(h.Sum()), name, h.Count())
+		return
+	}
+	pair := strings.TrimSuffix(labelPrefix, ",")
+	fmt.Fprintf(b, "%s_sum{%s} %s\n%s_count{%s} %d\n", name, pair, fmtValue(h.Sum()), name, pair, h.Count())
 }

@@ -1,0 +1,34 @@
+package metrics
+
+import "runtime"
+
+// RegisterRuntime registers the Go runtime health gauges every process
+// in the fleet exports next to its own plane: goroutine count, live
+// heap bytes, and the cumulative GC pause total. Values are read at
+// scrape time (GaugeFunc/CounterFunc), so nothing is sampled between
+// scrapes. Idempotent per registry — a test wiring several components
+// into one registry calls it more than once.
+func RegisterRuntime(r *Registry) {
+	if r.Has("dmps_goroutines") {
+		return
+	}
+	r.GaugeFunc("dmps_goroutines",
+		"Number of live goroutines in this process.",
+		func() []Sample {
+			return []Sample{{Value: float64(runtime.NumGoroutine())}}
+		})
+	r.GaugeFunc("dmps_heap_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() []Sample {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return []Sample{{Value: float64(ms.HeapAlloc)}}
+		})
+	r.CounterFunc("dmps_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time since process start.",
+		func() []Sample {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return []Sample{{Value: float64(ms.PauseTotalNs) / 1e9}}
+		})
+}

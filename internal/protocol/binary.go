@@ -12,13 +12,18 @@
 //	byte 0    binMagic (0xDF — invalid as leading JSON, so frames are
 //	          self-describing)
 //	byte 1    flags: bit0 = body is natively encoded (vs embedded JSON),
-//	          bit1 = Message.State
+//	          bit1 = Message.State, bit2 = trace context present
+//	          (wire version 2)
 //	byte 2    type code: index into AllTypes (append-only — codes are
 //	          wire-significant)
 //	uvarint   Seq, GSeq, CSeq (three uvarints)
 //	byte      class code: 0 none, 1+i = AllClasses[i], classEscape =
 //	          length-prefixed class string follows
 //	lp-string From, To, Group (uvarint length + bytes each)
+//	trace     only when bit2 is set: uvarint TraceID, uvarint
+//	          TraceParent, 1 byte TraceFlags — the causal trace context
+//	          of wire version 2; senders set bit2 only on sessions that
+//	          negotiated version ≥ 2
 //	rest      body: native binary for the hot event types when bit0 is
 //	          set, the body's JSON otherwise; empty = no body
 //
@@ -46,6 +51,7 @@ const binMagic = 0xDF
 const (
 	flagNativeBody = 1 << 0 // body is natively encoded, not embedded JSON
 	flagState      = 1 << 1 // Message.State
+	flagTrace      = 1 << 2 // trace context follows the Group string (wire v2)
 )
 
 // classEscape marks a class string outside AllClasses, carried
@@ -107,6 +113,12 @@ func EncodeBinary(m Message) ([]byte, error) {
 	b = appendLPString(b, m.From)
 	b = appendLPString(b, m.To)
 	b = appendLPString(b, m.Group)
+	if m.TraceID != 0 {
+		b[1] |= flagTrace
+		b = binary.AppendUvarint(b, m.TraceID)
+		b = binary.AppendUvarint(b, m.TraceParent)
+		b = append(b, m.TraceFlags)
+	}
 	b, err := appendBody(b, m) // may flip flagNativeBody in b[1]
 	if err != nil {
 		*bp = b
@@ -226,6 +238,77 @@ func IsBinaryFrame(data []byte) bool {
 	return len(data) > 0 && data[0] == binMagic
 }
 
+// FrameHasTrace reports whether a binary frame carries the wire-v2
+// trace extension. JSON frames report false — peeking their trace
+// fields would need a full decode, and the callers (fan-out sharing,
+// enqueue stamping) only ever need the cheap binary check.
+func FrameHasTrace(data []byte) bool {
+	return len(data) > 1 && data[0] == binMagic && data[1]&flagTrace != 0
+}
+
+// FrameTrace peeks a binary frame's trace context without decoding the
+// body: the envelope fields ahead of the extension are skipped with the
+// same bounds-checked reader DecodeBinary uses, and nothing allocates.
+// Frames without the extension — including every JSON frame — return
+// the zero context, so the untraced fast path is two byte reads.
+func FrameTrace(data []byte) (id, parent uint64, flags uint8) {
+	if !FrameHasTrace(data) {
+		return 0, 0, 0
+	}
+	r := &frameReader{data: data, off: 3}
+	for i := 0; i < 3; i++ { // Seq, GSeq, CSeq
+		if _, err := r.uvarint(); err != nil {
+			return 0, 0, 0
+		}
+	}
+	cc, err := r.byteAt()
+	if err != nil {
+		return 0, 0, 0
+	}
+	if cc == classEscape {
+		if _, err := r.lpBytes(); err != nil {
+			return 0, 0, 0
+		}
+	}
+	if err := skipStrings(r, 3); err != nil { // From, To, Group
+		return 0, 0, 0
+	}
+	if id, err = r.uvarint(); err != nil {
+		return 0, 0, 0
+	}
+	if parent, err = r.uvarint(); err != nil {
+		return 0, 0, 0
+	}
+	fl, err := r.byteAt()
+	if err != nil {
+		return 0, 0, 0
+	}
+	return id, parent, fl
+}
+
+// StripTrace re-encodes a binary frame without its trace extension —
+// what the fan-out path hands a session that negotiated wire version 1,
+// whose frame layout predates flagTrace (the extension would shift its
+// body parse). Frames without the extension pass through untouched, so
+// the untraced path pays two byte reads and no allocation. A frame that
+// fails to decode also passes through: the session's own decoder
+// surfaces the error instead of this path eating the event.
+func StripTrace(wire []byte) []byte {
+	if !FrameHasTrace(wire) {
+		return wire
+	}
+	m, err := DecodeBinary(wire)
+	if err != nil {
+		return wire
+	}
+	m.TraceID, m.TraceParent, m.TraceFlags = 0, 0, 0
+	out, err := EncodeBinary(m)
+	if err != nil {
+		return wire
+	}
+	return out
+}
+
 // frameReader walks a frame with bounds-checked reads: every length is
 // validated against the remaining bytes before use, so a malformed or
 // truncated frame errors without panicking or allocating ahead of its
@@ -337,6 +420,17 @@ func DecodeBinary(data []byte) (Message, error) {
 	}
 	if m.Group, err = r.lpString(); err != nil {
 		return Message{}, err
+	}
+	if flags&flagTrace != 0 {
+		if m.TraceID, err = r.uvarint(); err != nil {
+			return Message{}, err
+		}
+		if m.TraceParent, err = r.uvarint(); err != nil {
+			return Message{}, err
+		}
+		if m.TraceFlags, err = r.byteAt(); err != nil {
+			return Message{}, err
+		}
 	}
 	body := data[r.off:]
 	if flags&flagNativeBody != 0 {

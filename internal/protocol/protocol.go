@@ -203,6 +203,20 @@ func ClassOf(t Type) (class string, ok bool) {
 	}
 }
 
+// TraceSampled is the Message.TraceFlags bit asking every hop to
+// record spans for this trace into its flight recorder and stage
+// histograms. A trace context without it still propagates (slow-op
+// detection keys off the context alone) but hops skip the per-span
+// bookkeeping.
+const TraceSampled uint8 = 1 << 0
+
+// Sampled reports whether the message carries a sampled trace context:
+// hops record named spans only for sampled traces, keeping the
+// untraced hot path free of clock reads and allocations.
+func (m Message) Sampled() bool {
+	return m.TraceID != 0 && m.TraceFlags&TraceSampled != 0
+}
+
 // Codec errors.
 var (
 	// ErrDecode is returned for malformed wire bytes.
@@ -249,6 +263,21 @@ type Message struct {
 	To   string `json:"to,omitempty"`
 	// Group scopes the message to a group.
 	Group string `json:"group,omitempty"`
+	// TraceID, TraceParent and TraceFlags carry the causal tracing
+	// context: a nonzero TraceID names the op's trace, TraceParent is
+	// the span context the sender was inside when it emitted this frame
+	// (0 at the root), and TraceFlags carries TraceSampled. All three
+	// are omitted from the wire — JSON omitempty, binary flagTrace —
+	// whenever TraceID is zero, so an untraced message is byte-for-byte
+	// what a pre-trace peer would have produced. On the JSON framing the
+	// fields ride freely (JSON decoders ignore unknown fields, so every
+	// older peer tolerates them); on the binary framing the flagTrace
+	// extension shifts the body, so a sender must clear the fields
+	// before encoding a binary frame for a session that negotiated
+	// WireVersion < 2.
+	TraceID     uint64 `json:"trace_id,omitempty"`
+	TraceParent uint64 `json:"trace_parent,omitempty"`
+	TraceFlags  uint8  `json:"trace_flags,omitempty"`
 	// Body is the type-specific payload.
 	Body json.RawMessage `json:"body,omitempty"`
 
@@ -277,10 +306,12 @@ type HelloBody struct {
 	Classes []string `json:"classes,omitempty"`
 	// WireVersion asks to speak a newer wire framing after the
 	// handshake: 0 (or absent — every pre-binary client) keeps the
-	// session on JSON, 1 requests the binary framing of binary.go. The
+	// session on JSON, 1 requests the binary framing of binary.go, 2
+	// requests binary plus the trace-context frame extension (a sender
+	// may stamp TraceID/TraceParent/TraceFlags onto its frames). The
 	// server echoes the version it accepted in WelcomeBody.WireVersion
-	// and both sides switch only after the welcome; the handshake
-	// itself is always JSON.
+	// — never higher than asked — and both sides switch only after the
+	// welcome; the handshake itself is always JSON.
 	WireVersion int `json:"wire_version,omitempty"`
 }
 
@@ -302,8 +333,9 @@ type WelcomeBody struct {
 	Token string `json:"token,omitempty"`
 	// WireVersion is the wire framing the server accepted for the rest
 	// of the session: 0 = JSON (also what a pre-binary server, which
-	// never sets the field, answers), 1 = binary. Never higher than the
-	// version the hello asked for.
+	// never sets the field, answers), 1 = binary, 2 = binary with the
+	// trace-context extension. Never higher than the version the hello
+	// asked for.
 	WireVersion int `json:"wire_version,omitempty"`
 }
 

@@ -14,6 +14,7 @@ import (
 	"dmps/internal/grouplog"
 	"dmps/internal/metrics"
 	"dmps/internal/protocol"
+	"dmps/internal/trace"
 	"dmps/internal/transport"
 )
 
@@ -391,17 +392,28 @@ func memberInfo(m group.Member) protocol.NodeMemberInfo {
 // backoff. Only the ack table's own lock is taken, so this is safe
 // inside a log-append deliver callback.
 func (s *Server) replicateTracked(fwd protocol.ForwardBody) {
+	s.replicateTraced(fwd, 0, 0)
+}
+
+// replicateTraced is replicateTracked carrying a sampled trace context:
+// the forward envelope is stamped with it (so the replica records its
+// apply span under the same trace), and the ack table learns the trace
+// ID (so the full-ack round trip becomes this node's repl_ack span).
+func (s *Server) replicateTraced(fwd protocol.ForwardBody, tid uint64, tflags uint8) {
 	peers := s.cluster.replicaPeers()
 	if len(peers) == 0 {
 		return
 	}
 	fwd.ID = s.cluster.acks.NextID()
 	fwd.From = s.cluster.selfAddr()
-	wire := cluster.WrapForward(fwd)
+	wire := cluster.WrapForwardTrace(fwd, tid, tflags)
 	if wire == nil {
 		return
 	}
 	s.cluster.acks.Track(fwd.ID, peers, wire)
+	if tid != 0 {
+		s.cluster.acks.TrackTrace(fwd.ID, tid)
+	}
 	for _, peer := range peers {
 		s.cluster.pool.Send(peer, wire)
 	}
@@ -455,7 +467,13 @@ func (s *Server) replicateLogged(key, class string, wire []byte) {
 		}
 		fwd.Floor = blob
 	}
-	s.replicateTracked(fwd)
+	// The logged bytes carry the operation's trace context when sampled
+	// (a cheap frame peek otherwise): replication rides the same trace.
+	tid, _, tflags := protocol.FrameTrace(wire)
+	if tflags&protocol.TraceSampled == 0 {
+		tid = 0
+	}
+	s.replicateTraced(fwd, tid, tflags)
 }
 
 // replicateMembers durably records a group's membership roster and
@@ -576,8 +594,18 @@ func (s *Server) handleForward(conn transport.Conn, msg protocol.Message) {
 	switch body.Kind {
 	case protocol.ForwardReplica:
 		if body.Group != "" && len(body.WireMsg()) > 0 {
+			// A sampled replication forward records the replica's own
+			// apply+ack span — the third process of an owner-routed op.
+			var t0 time.Time
+			sampled := msg.Sampled()
+			if sampled {
+				t0 = time.Now()
+			}
 			s.cluster.store.ApplyEvent(body.Group, body.WireMsg(), body.Floor)
 			s.ackForward(body)
+			if sampled {
+				s.plane.Span(msg.TraceID, msg.TraceParent, trace.StageReplAck, t0)
+			}
 		}
 	case protocol.ForwardMembers:
 		if body.Group != "" {

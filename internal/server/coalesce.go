@@ -40,7 +40,7 @@ func (s *Server) FlushQueueRestatements() int {
 	s.coMu.Unlock()
 	for gid, mode := range dirty {
 		s.restateLogged.Add(1)
-		s.logFloorEvent(gid, protocol.FloorEventBody{Mode: mode.String(), Event: "queue"})
+		s.logFloorEvent(gid, protocol.FloorEventBody{Mode: mode.String(), Event: "queue"}, traceCtx{})
 	}
 	return len(dirty)
 }

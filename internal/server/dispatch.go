@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"dmps/internal/floor"
 	"dmps/internal/group"
 	"dmps/internal/protocol"
+	"dmps/internal/trace"
 	"dmps/internal/whiteboard"
 )
 
@@ -144,7 +146,15 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		s.replyErr(sess, msg.Seq, "bad_mode", fmt.Errorf("server: unknown mode %q", body.Mode))
 		return
 	}
+	tc := traceOf(msg)
+	var t0 time.Time
+	if tc.sampled() {
+		t0 = time.Now()
+	}
 	dec, err := s.floorCtl.Arbitrate(msg.Group, sess.member.ID, mode, group.MemberID(body.Target))
+	if tc.sampled() {
+		s.plane.Span(tc.id, msg.TraceParent, trace.StageArbitrate, t0)
+	}
 	decision := decisionBody(dec)
 	if err != nil {
 		decision.Reason = err.Error()
@@ -153,7 +163,7 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		// broadcasts (and is backfillable) like any other transition.
 		if errors.Is(err, floor.ErrBusy) {
 			s.replyAck(sess, msg.Seq, decision)
-			s.notifySuspensions(msg.Group, dec)
+			s.notifySuspensions(msg.Group, dec, tc)
 			// The broadcast form is redacted (queue length only); the
 			// requester's copy is personalized with their slot.
 			s.logFloorEvent(msg.Group, protocol.FloorEventBody{
@@ -161,13 +171,13 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 				Holder: string(dec.Holder),
 				Member: string(sess.member.ID),
 				Event:  "queued",
-			})
+			}, tc)
 			return
 		}
 		s.replyErr(sess, msg.Seq, "floor_denied", err)
 		// A denied request can still have Media-Suspended someone in the
 		// degraded regime — the victim must hear about it here too.
-		s.notifySuspensions(msg.Group, dec)
+		s.notifySuspensions(msg.Group, dec, tc)
 		// Push the denial to the requester's event stream too, so
 		// Subscribe sees every outcome, not just grants and queueing. A
 		// denial changes no group state, so it stays requester-directed
@@ -186,13 +196,13 @@ func (s *Server) onFloorRequest(sess *session, msg protocol.Message) {
 		return
 	}
 	s.replyAck(sess, msg.Seq, decision)
-	s.notifySuspensions(msg.Group, dec)
+	s.notifySuspensions(msg.Group, dec, tc)
 	s.logFloorEvent(msg.Group, protocol.FloorEventBody{
 		Mode:   mode.String(),
 		Holder: string(dec.Holder),
 		Member: string(sess.member.ID),
 		Event:  "granted",
-	})
+	}, tc)
 	// A grant can dequeue the requester (e.g. an approved member
 	// re-requesting a moderated floor), shifting everyone behind them.
 	s.markQueueRestate(msg.Group, mode)
@@ -253,7 +263,7 @@ func (s *Server) onModeSwitch(sess *session, msg protocol.Message) {
 	// changed, so broadcasting would make every client wrongly clear its
 	// cached holder and queue position.
 	if changed {
-		s.logFloorEvent(msg.Group, note)
+		s.logFloorEvent(msg.Group, note, traceOf(msg))
 	}
 }
 
@@ -282,7 +292,7 @@ func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
 		Holder: string(dec.Holder),
 		Member: string(member),
 		Event:  event,
-	})
+	}, traceOf(msg))
 	s.markQueueRestate(msg.Group, dec.Mode)
 }
 
@@ -290,9 +300,9 @@ func (s *Server) onFloorApprove(sess *session, msg protocol.Message) {
 // notice is logged and state-bearing — it restates the whole suspended
 // set — so a recipient whose queue dropped it converges from the next
 // suspend-class event or the snapshot reconciliation.
-func (s *Server) notifySuspensions(groupID string, dec floor.Decision) {
+func (s *Server) notifySuspensions(groupID string, dec floor.Decision, tc traceCtx) {
 	for _, victim := range dec.Suspended {
-		s.logSuspend(groupID, protocol.TSuspend, string(victim), dec.Level)
+		s.logSuspend(groupID, protocol.TSuspend, string(victim), dec.Level, tc)
 	}
 }
 
@@ -309,7 +319,7 @@ func (s *Server) onFloorRelease(sess *session, msg protocol.Message) {
 		Holder: string(next),
 		Member: string(sess.member.ID),
 		Event:  "released",
-	})
+	}, traceOf(msg))
 	s.markQueueRestate(msg.Group, mode)
 }
 
@@ -330,7 +340,7 @@ func (s *Server) onTokenPass(sess *session, msg protocol.Message) {
 		Holder: body.To,
 		Member: string(sess.member.ID),
 		Event:  "passed",
-	})
+	}, traceOf(msg))
 	s.markQueueRestate(msg.Group, mode)
 }
 
@@ -360,6 +370,7 @@ func (s *Server) onInvite(sess *session, msg protocol.Message) {
 	note := protocol.MustNew(protocol.TInviteEvent, protocol.InviteEventBody{
 		InviteID: inv.ID, Group: inv.Group, From: string(inv.From),
 	})
+	traceOf(msg).stamp(&note)
 	// Member-directed state: logged in the invitee's own event log — on
 	// their home node, across a typed forward if that is another process
 	// — so a drop (or an offline invitee) is repaired through backfill.

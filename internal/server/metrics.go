@@ -38,6 +38,15 @@ import (
 //	dmps_wire_bytes_total{dir}           client wire payload bytes, in/out
 //	dmps_wire_flushes_total              session writer flushes
 //	dmps_wire_msgs_per_flush             mean messages per writer flush
+//	dmps_stage_seconds{stage}            per-stage latency of sampled ops
+//	dmps_trace_spans_total               spans recorded by the trace plane
+//	dmps_traces_total                    traces assembled by the sweeper
+//	dmps_goroutines                      live goroutines
+//	dmps_heap_bytes                      heap in use
+//	dmps_gc_pause_seconds_total          cumulative GC pause time
+//
+// The trace plane also mounts its /debug/traces handler on the
+// registry's extra-route table (served beside /metrics).
 //
 // With a WAL configured:
 //
@@ -57,6 +66,10 @@ import (
 // (including dmps_cluster_map_epoch).
 func (s *Server) RegisterMetrics(reg *metrics.Registry) {
 	one := func(v float64) []metrics.Sample { return []metrics.Sample{{Value: v}} }
+	// The tracing plane (dmps_stage_seconds{stage}, span/trace counters,
+	// /debug/traces) and the runtime health gauges ride the same registry.
+	s.plane.RegisterMetrics(reg)
+	metrics.RegisterRuntime(reg)
 	reg.GaugeFunc("dmps_sessions", "Live sessions on this node.", func() []metrics.Sample {
 		s.mu.Lock()
 		defer s.mu.Unlock()

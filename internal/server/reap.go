@@ -63,7 +63,7 @@ func (s *Server) Reap(now time.Time) []string {
 					Holder: string(holder),
 					Member: string(id),
 					Event:  "released",
-				})
+				}, traceCtx{})
 			}
 			if wasHolder || wasQueued {
 				s.markQueueRestate(gid, s.floorCtl.ModeOf(gid))

@@ -52,6 +52,7 @@ import (
 	"dmps/internal/grouplog"
 	"dmps/internal/protocol"
 	"dmps/internal/resource"
+	"dmps/internal/trace"
 	"dmps/internal/transport"
 	"dmps/internal/whiteboard"
 )
@@ -178,6 +179,12 @@ type Server struct {
 	logs     *grouplog.Plane
 	cluster  *clusterState // nil outside cluster mode
 	wal      *grouplog.WAL // nil when Config.WALDir is empty
+	// plane is the node's runtime tracing plane: every hop of a sampled
+	// operation (dispatch, arbitrate, log append, encode, queue wait,
+	// flush, replication ack) records a named span here, keyed by the
+	// wire-propagated trace ID. Always non-nil; unsampled traffic never
+	// touches it.
+	plane *trace.Plane
 
 	nextID atomic.Int64
 
@@ -239,14 +246,15 @@ type session struct {
 	// tracks lights for exactly the members it homes.
 	homed bool
 	// wireVer is the session's negotiated wire framing (0 = JSON, 1 =
-	// binary), fixed by the handshake before the session is installed —
-	// read without locking ever after. Everything sent to the session is
-	// encoded (or transcoded) to this version; inbound frames of either
-	// format are accepted regardless.
+	// binary, 2 = binary with the trace-context frame extension), fixed
+	// by the handshake before the session is installed — read without
+	// locking ever after. Everything sent to the session is encoded (or
+	// transcoded, or trace-stripped) to this version; inbound frames of
+	// either format are accepted regardless.
 	wireVer int
 
 	// queue carries encoded wire messages to the writer goroutine.
-	queue chan []byte
+	queue chan queued
 	// down signals the writer to exit; closed exactly once via downOnce.
 	down     chan struct{}
 	downOnce sync.Once
@@ -271,6 +279,62 @@ type session struct {
 	sentHeads  map[string]map[string]int64
 	sentDrops  map[string]int64
 	lightsSent bool
+}
+
+// queued is one outbound queue entry: the wire bytes, plus — for
+// sampled frames only — the trace ID and enqueue time that let the
+// writer record the queue_wait span. The struct travels by value on the
+// channel, so untraced traffic pays two zero fields and no allocation.
+type queued struct {
+	wire []byte
+	tid  uint64
+	at   int64 // enqueue time, UnixNano; 0 when untraced
+}
+
+// enqueued stamps wire bytes into a queue entry, reading the trace
+// context off the frame itself (a two-byte peek for untraced frames).
+func enqueued(wire []byte) queued {
+	q := queued{wire: wire}
+	if tid, _, fl := protocol.FrameTrace(wire); tid != 0 && fl&protocol.TraceSampled != 0 {
+		q.tid = tid
+		q.at = time.Now().UnixNano()
+	}
+	return q
+}
+
+// traceCtx is the sampled trace identity of the client request a
+// logged event is caused by, threaded from the dispatch handler into
+// the log-append path so the derived event's wire bytes carry the
+// trace downstream (fan-out, WAL, replication). The zero value means
+// untraced and costs nothing everywhere it is passed.
+type traceCtx struct {
+	id    uint64
+	flags uint8
+}
+
+// traceOf extracts the trace context from a request message; untraced
+// and unsampled messages yield the zero context.
+func traceOf(msg protocol.Message) traceCtx {
+	if !msg.Sampled() {
+		return traceCtx{}
+	}
+	return traceCtx{id: msg.TraceID, flags: msg.TraceFlags}
+}
+
+// sampled reports whether the context carries a sampled trace — the
+// guard in front of every clock read on the instrumented paths.
+func (t traceCtx) sampled() bool { return t.id != 0 }
+
+// stamp writes the context onto a derived message: the event keeps the
+// originating trace ID, with the parent marking it downstream of the
+// root request span.
+func (t traceCtx) stamp(msg *protocol.Message) {
+	if t.id == 0 {
+		return
+	}
+	msg.TraceID = t.id
+	msg.TraceParent = t.id
+	msg.TraceFlags = t.flags
 }
 
 // wantsClass reports whether the session's event-class mask admits a
@@ -335,7 +399,13 @@ func (s *session) light(now time.Time, timeout time.Duration) Light {
 }
 
 // encodeFor encodes a message in the session's negotiated wire framing.
+// Version-1 sessions predate the trace-context frame extension, so the
+// trace fields are cleared before the encode (msg is a copy); JSON
+// sessions keep them — unknown JSON fields are ignored by any decoder.
 func encodeFor(sess *session, msg protocol.Message) ([]byte, error) {
+	if sess.wireVer == 1 {
+		msg.TraceID, msg.TraceParent, msg.TraceFlags = 0, 0, 0
+	}
 	if sess.wireVer >= 1 {
 		return protocol.EncodeBinary(msg)
 	}
@@ -371,13 +441,21 @@ func transcodeJSON(wire []byte) []byte {
 }
 
 // wireFor adapts retained wire bytes to the session's negotiated
-// framing. Binary sessions accept either form verbatim (clients decode
-// both); only the JSON-session/binary-bytes pairing pays a transcode.
+// framing. Version-2 sessions accept either form verbatim (clients
+// decode both); version-1 sessions additionally get the trace-context
+// extension stripped (a no-op peek unless the frame carries it); only
+// the JSON-session/binary-bytes pairing pays a transcode.
 func wireFor(sess *session, wire []byte) []byte {
-	if sess.wireVer >= 1 || !protocol.IsBinaryFrame(wire) {
+	switch {
+	case sess.wireVer >= 2:
+		return wire
+	case sess.wireVer == 1:
+		return protocol.StripTrace(wire)
+	case protocol.IsBinaryFrame(wire):
+		return transcodeJSON(wire)
+	default:
 		return wire
 	}
-	return transcodeJSON(wire)
 }
 
 // sendMsg encodes a message and queues it for this session alone,
@@ -406,7 +484,7 @@ func (s *Server) sendReliable(sess *session, msg protocol.Message) {
 		return
 	}
 	select {
-	case sess.queue <- wire:
+	case sess.queue <- enqueued(wire):
 		s.unpinIfDown(sess)
 	case <-sess.down:
 	}
@@ -424,7 +502,7 @@ func (s *Server) sendWire(sess *session, wire []byte) bool {
 	default:
 	}
 	select {
-	case sess.queue <- wire:
+	case sess.queue <- enqueued(wire):
 		s.unpinIfDown(sess)
 		return true
 	default:
@@ -469,24 +547,41 @@ const flushBatchBytes = 256 << 10
 func (s *Server) writeLoop(sess *session) {
 	defer s.wg.Done()
 	batch := make([][]byte, 0, 64)
+	var traced []queued // sampled entries of the current flush; stays nil on untraced sessions
 	for {
 		select {
-		case wire := <-sess.queue:
-			batch = append(batch[:0], wire)
-			size := len(wire)
+		case q := <-sess.queue:
+			batch = append(batch[:0], q.wire)
+			traced = traced[:0]
+			if q.tid != 0 {
+				traced = append(traced, q)
+			}
+			size := len(q.wire)
 		drain:
 			for size < flushBatchBytes {
 				select {
 				case more := <-sess.queue:
-					batch = append(batch, more)
-					size += len(more)
+					batch = append(batch, more.wire)
+					if more.tid != 0 {
+						traced = append(traced, more)
+					}
+					size += len(more.wire)
 				default:
 					break drain
 				}
 			}
+			var t0 time.Time
+			if len(traced) > 0 {
+				t0 = time.Now()
+			}
 			if err := transport.SendAll(sess.conn, batch); err != nil {
 				s.disconnect(sess)
 				return
+			}
+			for _, q := range traced {
+				at := time.Unix(0, q.at)
+				s.plane.SpanDur(q.tid, q.tid, trace.StageQueueWait, at, t0.Sub(at))
+				s.plane.Span(q.tid, q.tid, trace.StageFlush, t0)
 			}
 			s.wireOut.Add(int64(size))
 			s.wireFlushes.Add(1)
@@ -581,7 +676,15 @@ func New(cfg Config) (*Server, error) {
 		tokens:   make(map[string]group.MemberID),
 		tokenOf:  make(map[group.MemberID]string),
 		cluster:  cl,
+		plane:    trace.NewPlane(l.Addr(), trace.ServerStages, 0),
 		closed:   make(chan struct{}),
+	}
+	if cl != nil {
+		// Replication round trips become repl_ack spans: the ack table
+		// hands back each traced forward's identity and RTT on full ack.
+		cl.acks.OnTraceAck(func(tid uint64, sentAt time.Time, rtt time.Duration) {
+			s.plane.SpanDur(tid, tid, trace.StageReplAck, sentAt, rtt)
+		})
 	}
 	if cfg.WALDir != "" {
 		w, err := grouplog.OpenWAL(cfg.WALDir, cfg.WALSegmentBytes)
@@ -615,6 +718,10 @@ func (s *Server) FloorController() *floor.Controller { return s.floorCtl }
 
 // Master exposes the global clock master.
 func (s *Server) Master() *clock.Master { return s.master }
+
+// TracePlane exposes the node's runtime tracing plane (for tests and
+// the metrics registration path).
+func (s *Server) TracePlane() *trace.Plane { return s.plane }
 
 // Serve accepts clients until Close. It returns nil after a clean Close.
 func (s *Server) Serve() error {
@@ -666,6 +773,7 @@ func (s *Server) Close() {
 		}
 	})
 	s.wg.Wait()
+	s.plane.Close()
 	if s.wal != nil {
 		// After the goroutines drain: nothing appends anymore, so the
 		// final flush+fsync captures everything (Close is idempotent).
@@ -709,7 +817,15 @@ func (s *Server) handle(conn transport.Conn) {
 			s.disconnect(sess)
 			return
 		}
+		var t0 time.Time
+		sampled := msg.Sampled()
+		if sampled {
+			t0 = time.Now()
+		}
 		s.dispatch(sess, msg)
+		if sampled {
+			s.plane.Span(msg.TraceID, msg.TraceParent, trace.StageDispatch, t0)
+		}
 	}
 }
 
@@ -866,19 +982,25 @@ func (s *Server) handshake(conn transport.Conn) (*session, protocol.Message, err
 	}
 
 	// The hello's wire_version is a request; the server grants it only
-	// when not pinned to JSON, and never a higher version than asked.
-	// Both sides switch framing strictly after the welcome: the whole
-	// handshake is JSON, so a v0 peer never sees a frame it cannot read.
+	// when not pinned to JSON, and never a higher version than asked —
+	// capped at 2, the highest this server speaks (binary frames with
+	// the trace-context extension). A v1 peer keeps the layout it knows:
+	// frames sent to it never carry the extension. Both sides switch
+	// framing strictly after the welcome: the whole handshake is JSON,
+	// so a v0 peer never sees a frame it cannot read.
 	wireVer := 0
 	if !s.cfg.WireJSON && hello.WireVersion >= 1 {
-		wireVer = 1
+		wireVer = hello.WireVersion
+		if wireVer > 2 {
+			wireVer = 2
+		}
 	}
 	sess := &session{
 		member:   member,
 		conn:     conn,
 		homed:    homed,
 		wireVer:  wireVer,
-		queue:    make(chan []byte, s.cfg.SendQueueCap),
+		queue:    make(chan queued, s.cfg.SendQueueCap),
 		down:     make(chan struct{}),
 		lastSeen: s.cfg.Clock.Now(),
 		alive:    true,
@@ -1150,7 +1272,8 @@ func stampLogged(msg *protocol.Message, groupID, class string, state bool, gseq,
 // shared — a uniform group still pays exactly one encode per event.
 func (s *Server) fanOutLogged(targets []*session, class string, wire []byte) {
 	isBin := protocol.IsBinaryFrame(wire)
-	var jsonWire []byte
+	hasTrace := isBin && protocol.FrameHasTrace(wire)
+	var jsonWire, v1Wire []byte
 	for _, sess := range targets {
 		if !sess.wantsClass(class) {
 			sess.filtered.Add(1)
@@ -1162,6 +1285,13 @@ func (s *Server) fanOutLogged(targets []*session, class string, wire []byte) {
 				jsonWire = transcodeJSON(wire)
 			}
 			w = jsonWire
+		} else if hasTrace && sess.wireVer == 1 {
+			// v1 peers predate the trace extension: strip it once and
+			// share, exactly like the JSON transcode above.
+			if v1Wire == nil {
+				v1Wire = protocol.StripTrace(wire)
+			}
+			w = v1Wire
 		}
 		s.sendWire(sess, w)
 	}
@@ -1185,12 +1315,25 @@ func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
 		s.broadcastGroup(groupID, msg)
 		return
 	}
+	tc := traceOf(msg)
 	targets := s.groupTargets(groupID)
 	var gseqAt, cseqAt int64
+	var a0 time.Time
+	if tc.sampled() {
+		a0 = time.Now()
+	}
 	_, _ = s.logs.Get(groupID).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
 		gseqAt, cseqAt = gseq, cseq
 		stampLogged(&msg, groupID, class, false, gseq, cseq)
-		return s.encodeCanonical(msg)
+		var e0 time.Time
+		if tc.sampled() {
+			e0 = time.Now()
+		}
+		wire, err := s.encodeCanonical(msg)
+		if tc.sampled() {
+			s.plane.Span(tc.id, tc.id, trace.StageEncode, e0)
+		}
+		return wire, err
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, class, wire)
 		s.walEvent(groupID, gseqAt, cseqAt, class, false, wire)
@@ -1198,6 +1341,9 @@ func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
 			s.replicateLogged(groupID, class, wire)
 		}
 	})
+	if tc.sampled() {
+		s.plane.Span(tc.id, tc.id, trace.StageLogAppend, a0)
+	}
 }
 
 // logFloorEvent is logBroadcast for floor events, with two extra
@@ -1218,11 +1364,15 @@ func (s *Server) logBroadcast(groupID string, msg protocol.Message) {
 // or via backfill. Direct Contact grants are exempt from the refresh:
 // they run concurrently with the prevailing mode, name their own Mode,
 // and deliberately carry no group-floor claim.
-func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
+func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody, tc traceCtx) {
 	targets := s.groupTargets(groupID)
 	refresh := !(body.Event == "granted" && body.Mode == floor.DirectContact.String())
 	var queue []group.MemberID
 	var gseqAt, cseqAt int64
+	var a0 time.Time
+	if tc.sampled() {
+		a0 = time.Now()
+	}
 	_, _ = s.logs.Get(groupID).Append(protocol.ClassFloor, refresh, func(gseq, cseq int64) ([]byte, error) {
 		gseqAt, cseqAt = gseq, cseq
 		if refresh {
@@ -1235,10 +1385,20 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 		body.QueuePosition = 0 // canonical form: slots are per-recipient
 		msg := protocol.MustNew(protocol.TFloorEvent, body)
 		stampLogged(&msg, groupID, protocol.ClassFloor, refresh, gseq, cseq)
-		return s.encodeCanonical(msg)
+		tc.stamp(&msg)
+		var e0 time.Time
+		if tc.sampled() {
+			e0 = time.Now()
+		}
+		wire, err := s.encodeCanonical(msg)
+		if tc.sampled() {
+			s.plane.Span(tc.id, tc.id, trace.StageEncode, e0)
+		}
+		return wire, err
 	}, func(wire []byte) {
 		isBin := protocol.IsBinaryFrame(wire)
-		var jsonWire []byte
+		hasTrace := isBin && protocol.FrameHasTrace(wire)
+		var jsonWire, v1Wire []byte
 		for _, sess := range targets {
 			if !sess.wantsClass(protocol.ClassFloor) {
 				sess.filtered.Add(1)
@@ -1252,6 +1412,7 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 				personal.QueuePosition = pos
 				pmsg := protocol.MustNew(protocol.TFloorEvent, personal)
 				stampLogged(&pmsg, groupID, protocol.ClassFloor, refresh, gseqAt, cseqAt)
+				tc.stamp(&pmsg)
 				if pw, err := encodeFor(sess, pmsg); err == nil {
 					w = pw
 				}
@@ -1263,6 +1424,11 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 						jsonWire = transcodeJSON(wire)
 					}
 					w = jsonWire
+				} else if hasTrace && sess.wireVer == 1 {
+					if v1Wire == nil {
+						v1Wire = protocol.StripTrace(wire)
+					}
+					w = v1Wire
 				}
 			}
 			s.sendWire(sess, w)
@@ -1276,6 +1442,9 @@ func (s *Server) logFloorEvent(groupID string, body protocol.FloorEventBody) {
 			s.replicateLogged(groupID, protocol.ClassFloor, wire)
 		}
 	})
+	if tc.sampled() {
+		s.plane.Span(tc.id, tc.id, trace.StageLogAppend, a0)
+	}
 }
 
 // queueSlotFor returns the recipient's own 1-based slot when this floor
@@ -1306,9 +1475,13 @@ func queueSlotFor(body protocol.FloorEventBody, queue []group.MemberID, recipien
 // single suspend event fully restates the group's suspension state — a
 // recipient that missed earlier transitions reconciles from whichever
 // notice it sees next, and compaction can retain just the latest one.
-func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, level resource.Level) {
+func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, level resource.Level, tc traceCtx) {
 	targets := s.groupTargets(groupID)
 	var gseqAt, cseqAt int64
+	var a0 time.Time
+	if tc.sampled() {
+		a0 = time.Now()
+	}
 	_, _ = s.logs.Get(groupID).Append(protocol.ClassSuspend, true, func(gseq, cseq int64) ([]byte, error) {
 		gseqAt, cseqAt = gseq, cseq
 		body := protocol.SuspendBody{Member: member, Level: level.String()}
@@ -1318,7 +1491,16 @@ func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, le
 		}
 		msg := protocol.MustNew(typ, body)
 		stampLogged(&msg, groupID, protocol.ClassSuspend, true, gseq, cseq)
-		return s.encodeCanonical(msg)
+		tc.stamp(&msg)
+		var e0 time.Time
+		if tc.sampled() {
+			e0 = time.Now()
+		}
+		wire, err := s.encodeCanonical(msg)
+		if tc.sampled() {
+			s.plane.Span(tc.id, tc.id, trace.StageEncode, e0)
+		}
+		return wire, err
 	}, func(wire []byte) {
 		s.fanOutLogged(targets, protocol.ClassSuspend, wire)
 		s.walEvent(groupID, gseqAt, cseqAt, protocol.ClassSuspend, true, wire)
@@ -1327,6 +1509,9 @@ func (s *Server) logSuspend(groupID string, typ protocol.Type, member string, le
 			s.replicateLogged(groupID, protocol.ClassSuspend, wire)
 		}
 	})
+	if tc.sampled() {
+		s.plane.Span(tc.id, tc.id, trace.StageLogAppend, a0)
+	}
 }
 
 // logSendTo delivers a member-directed state event (an invitation)
@@ -1339,7 +1524,17 @@ func (s *Server) logSendTo(id group.MemberID, msg protocol.Message) {
 		return
 	}
 	key := grouplog.MemberKey(string(id))
+	tc := traceOf(msg)
 	var gseqAt, cseqAt int64
+	var a0 time.Time
+	if tc.sampled() {
+		a0 = time.Now()
+	}
+	defer func() {
+		if tc.sampled() {
+			s.plane.Span(tc.id, tc.id, trace.StageLogAppend, a0)
+		}
+	}()
 	_, _ = s.logs.Get(key).Append(class, false, func(gseq, cseq int64) ([]byte, error) {
 		gseqAt, cseqAt = gseq, cseq
 		msg.GSeq = gseq

@@ -234,7 +234,7 @@ func (s *Server) maybeReinstate() {
 		}
 		s.floorCtl.Reinstate(gid)
 		for _, m := range suspended {
-			s.logSuspend(gid, protocol.TResume, string(m), resource.Normal)
+			s.logSuspend(gid, protocol.TResume, string(m), resource.Normal, traceCtx{})
 		}
 	}
 }

@@ -35,6 +35,7 @@ func MergeReports(docs []map[string]map[string]any) (map[string]map[string]any, 
 		opsPerS float64
 	}
 	nodes := map[string]*nodeAgg{}
+	stages := map[string]*StageSample{}
 	out := map[string]map[string]any{}
 
 	for i, doc := range docs {
@@ -74,6 +75,10 @@ func MergeReports(docs []map[string]map[string]any) (map[string]map[string]any, 
 				}
 				agg.ops += int(asFloat(entry["ops"]))
 				agg.opsPerS += asFloat(entry["ops_per_s"])
+			case strings.HasPrefix(key, "Stage/"):
+				if err := mergeStageEntry(stages, key, entry); err != nil {
+					return nil, fmt.Errorf("merge: report %d, %s: %w", i, key, err)
+				}
 			default:
 				// Scrape/<endpoint> and anything future: shards scrape
 				// disjoint endpoint sets by convention; a collision keeps
@@ -104,7 +109,38 @@ func MergeReports(docs []map[string]map[string]any) (map[string]map[string]any, 
 			"ops_per_s": round3(agg.opsPerS),
 		}
 	}
+	for key, agg := range stages {
+		out[key] = stageEntry(*agg)
+	}
 	return out, nil
+}
+
+// mergeStageEntry folds one shard's Stage/<stage> breakdown into the
+// running aggregate: spans sum, histograms merge bucket-wise (quantiles
+// recomputed over the union), and origins takes the max — shards pool
+// the same fleet's flight recorders, so summing would double-count the
+// processes every shard visited.
+func mergeStageEntry(stages map[string]*StageSample, key string, entry map[string]any) error {
+	var snap metrics.HistogramSnapshot
+	if err := reencode(entry["hist"], &snap); err != nil {
+		return fmt.Errorf("hist: %w", err)
+	}
+	agg := stages[key]
+	if agg == nil {
+		h, err := metrics.FromSnapshot(snap)
+		if err != nil {
+			return fmt.Errorf("hist: %w", err)
+		}
+		agg = &StageSample{Stage: strings.TrimPrefix(key, "Stage/"), Hist: h}
+		stages[key] = agg
+	} else if err := agg.Hist.Merge(snap); err != nil {
+		return fmt.Errorf("hist: %w", err)
+	}
+	agg.Spans += int(asFloat(entry["spans"]))
+	if o := int(asFloat(entry["origins"])); o > agg.Origins {
+		agg.Origins = o
+	}
+	return nil
 }
 
 // mergeMixEntry folds one shard's Swarm/<mix> entry into the running

@@ -124,6 +124,12 @@ type Options struct {
 	// Pair it with a Scraper so the report correlates SLOs with the
 	// servers' own gauges over the same window.
 	Soak time.Duration
+	// Trace stamps a sampled trace context on every request the swarm's
+	// members send, so the fleet's tracing planes record per-stage spans
+	// for the run's operations. Collect the resulting flight recorders
+	// with CollectStages and fold them into the report with
+	// AddStageBreakdown.
+	Trace bool
 }
 
 // fleetSize is the global member pool across every shard.
@@ -302,6 +308,9 @@ func runMix(opts Options, mix string, seed int64) (MixResult, error) {
 	rec := newFloorRecorder()
 	dial := opts.Dial
 	opts.Dial = func(cfg client.Config) (*client.Client, error) {
+		if opts.Trace {
+			cfg.Trace = true
+		}
 		next := cfg.OnEvent
 		cfg.OnEvent = func(msg protocol.Message) {
 			rec.tap(msg)

@@ -1,0 +1,145 @@
+package swarm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"dmps/internal/metrics"
+	"dmps/internal/trace"
+)
+
+// StageSample pools one pipeline stage's span latencies across every
+// /debug/traces flight recorder the collector visited — the raw
+// material of the report's per-stage grant decomposition. Spans counts
+// pooled spans, Origins the distinct processes (router, nodes) that
+// contributed at least one, and Hist carries the latencies on the
+// fleet-wide trace.StageBuckets layout so shard reports merge
+// bucket-wise like every other histogram in the report.
+type StageSample struct {
+	Stage   string
+	Spans   int
+	Origins int
+	Hist    *metrics.Histogram
+}
+
+// FetchTraces fetches one endpoint's /debug/traces page. endpoint is a
+// "host:port" -metrics listener or a full URL; slowMS > 0 applies the
+// endpoint's ?slow_ms= filter.
+func FetchTraces(endpoint string, slowMS float64) (trace.TracesPage, error) {
+	url := endpoint
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url + "/debug/traces"
+	}
+	if slowMS > 0 {
+		url = fmt.Sprintf("%s?slow_ms=%g", url, slowMS)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return trace.TracesPage{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return trace.TracesPage{}, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var page trace.TracesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return trace.TracesPage{}, fmt.Errorf("%s: %w", url, err)
+	}
+	return page, nil
+}
+
+// CollectStages fetches every endpoint's flight recorder and pools the
+// spans into per-stage samples, ordered by trace.Stages pipeline order.
+// Each process's completed rings overlap (a slow op sits in both the
+// recent and the slow ring) and its pending table may still hold live
+// traces, so ops are deduplicated by trace ID per endpoint before
+// pooling. Endpoints that fail are skipped and reported in the joined
+// error alongside whatever the reachable ones yielded — a partial
+// breakdown with a loud error beats none.
+func CollectStages(endpoints []string) ([]StageSample, error) {
+	byStage := map[string]*StageSample{}
+	var errs []error
+	for _, ep := range endpoints {
+		page, err := FetchTraces(ep, 0)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		seen := map[uint64]bool{}
+		credited := map[string]bool{} // stages this origin already counts toward
+		pool := func(ops []*trace.OpTrace) {
+			for _, op := range ops {
+				if op == nil || seen[op.Trace] {
+					continue
+				}
+				seen[op.Trace] = true
+				for _, s := range op.Spans {
+					agg := byStage[s.Stage]
+					if agg == nil {
+						agg = &StageSample{Stage: s.Stage, Hist: metrics.NewHistogram(trace.StageBuckets)}
+						byStage[s.Stage] = agg
+					}
+					agg.Spans++
+					agg.Hist.Observe(float64(s.DurNanos) / 1e9)
+					if !credited[s.Stage] {
+						credited[s.Stage] = true
+						agg.Origins++
+					}
+				}
+			}
+		}
+		pool(page.Recent)
+		pool(page.Slow)
+		pool(page.Pending)
+	}
+	out := make([]StageSample, 0, len(byStage))
+	for _, stage := range trace.Stages {
+		if agg := byStage[stage]; agg != nil {
+			out = append(out, *agg)
+			delete(byStage, stage)
+		}
+	}
+	// Unknown stage names (a newer fleet) still surface, after the known
+	// pipeline, in deterministic order.
+	rest := make([]string, 0, len(byStage))
+	for stage := range byStage {
+		rest = append(rest, stage)
+	}
+	sort.Strings(rest)
+	for _, stage := range rest {
+		out = append(out, *byStage[stage])
+	}
+	return out, errors.Join(errs...)
+}
+
+// AddStageBreakdown injects one Stage/<stage> entry per pooled stage
+// into a report document — the per-stage decomposition of the grant
+// SLO. Entries carry their histogram snapshots, so MergeReports folds
+// shard breakdowns bucket-wise exactly like the mix histograms.
+func AddStageBreakdown(doc map[string]map[string]any, stages []StageSample) {
+	for _, s := range stages {
+		doc["Stage/"+s.Stage] = stageEntry(s)
+	}
+}
+
+// stageEntry renders one stage's pooled samples as a report entry.
+func stageEntry(s StageSample) map[string]any {
+	entry := map[string]any{
+		"spans":   s.Spans,
+		"origins": s.Origins,
+		"hist":    s.Hist.Snapshot(),
+	}
+	for _, q := range []struct {
+		key string
+		q   float64
+	}{{"p50", 0.5}, {"p99", 0.99}, {"p999", 0.999}} {
+		entry[q.key+"_ms"] = round3(s.Hist.Quantile(q.q) * 1e3)
+	}
+	return entry
+}

@@ -1,0 +1,90 @@
+package swarm
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dmps/internal/trace"
+)
+
+// TestCollectStagesAndMerge drives the report's stage-breakdown path
+// end to end in-process: spans recorded into a real tracing plane,
+// served over its /debug/traces handler, pooled by CollectStages,
+// rendered by AddStageBreakdown, and folded shard-wise by MergeReports
+// — spans summing, origins maxing, quantiles recomputed off the merged
+// buckets.
+func TestCollectStagesAndMerge(t *testing.T) {
+	p := trace.NewPlane("node-a", nil, 0)
+	defer p.Close()
+	now := time.Now()
+	p.SpanDur(1, 1, trace.StageDispatch, now, 2*time.Millisecond)
+	p.SpanDur(1, 1, trace.StageArbitrate, now, time.Millisecond)
+	p.SpanDur(2, 2, trace.StageDispatch, now, 4*time.Millisecond)
+	// Finalize: first sweep drains, second finds the traces quiet.
+	p.Sweep()
+	p.Sweep()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	stages, err := CollectStages([]string{srv.URL})
+	if err != nil {
+		t.Fatalf("CollectStages: %v", err)
+	}
+	byName := map[string]StageSample{}
+	for _, s := range stages {
+		byName[s.Stage] = s
+	}
+	if s := byName[trace.StageDispatch]; s.Spans != 2 || s.Origins != 1 {
+		t.Fatalf("dispatch stage = %+v, want 2 spans from 1 origin", s)
+	}
+	if s := byName[trace.StageArbitrate]; s.Spans != 1 {
+		t.Fatalf("arbitrate stage = %+v, want 1 span", s)
+	}
+
+	// Two shards pooled the same fleet: spans sum (the double count is
+	// the documented shard-overlap semantics), origins max.
+	doc1 := map[string]map[string]any{}
+	AddStageBreakdown(doc1, stages)
+	doc2 := map[string]map[string]any{}
+	AddStageBreakdown(doc2, stages)
+	merged, err := MergeReports([]map[string]map[string]any{doc1, doc2})
+	if err != nil {
+		t.Fatalf("MergeReports: %v", err)
+	}
+	entry := merged["Stage/"+trace.StageDispatch]
+	if entry == nil {
+		t.Fatalf("merged report lost the dispatch stage: %v", merged)
+	}
+	if got := entry["spans"]; got != 4 {
+		t.Errorf("merged dispatch spans = %v, want 4", got)
+	}
+	if got := entry["origins"]; got != 1 {
+		t.Errorf("merged dispatch origins = %v, want 1 (max, not sum)", got)
+	}
+	p50, _ := entry["p50_ms"].(float64)
+	if !(p50 > 0) {
+		t.Errorf("merged dispatch p50_ms = %v, want > 0", entry["p50_ms"])
+	}
+}
+
+// TestCollectStagesUnreachable pins the partial-failure contract: a
+// dead endpoint yields a loud error but does not discard what the
+// reachable ones returned.
+func TestCollectStagesUnreachable(t *testing.T) {
+	p := trace.NewPlane("node-b", nil, 0)
+	defer p.Close()
+	p.SpanDur(3, 3, trace.StageRelay, time.Now(), time.Millisecond)
+	p.Sweep()
+	p.Sweep()
+	srv := httptest.NewServer(p.Handler())
+	defer srv.Close()
+
+	stages, err := CollectStages([]string{srv.URL, "127.0.0.1:1"})
+	if err == nil {
+		t.Fatal("no error for unreachable endpoint")
+	}
+	if len(stages) == 0 || stages[0].Stage != trace.StageRelay {
+		t.Fatalf("reachable endpoint's stages lost: %+v", stages)
+	}
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dmps/internal/metrics"
+)
+
+// TestFlightRecorderChurn hammers one plane from concurrent writers
+// while a reader snapshots it — the -race exercise for the lock-free
+// span buffer, the sweeper, and the ring maintenance — and checks the
+// recorder's retention contracts hold under churn: the span counter is
+// exact (the buffer may drop span CONTENT under overrun, never counts),
+// the recent ring stays bounded, and a slow-op trace recorded before
+// the flood is still retained after tens of thousands of fast ops that
+// wrapped the buffer and churned the recent ring many times over.
+func TestFlightRecorderChurn(t *testing.T) {
+	p := NewPlane("churn-test", nil, 5*time.Millisecond)
+	defer p.Close()
+	reg := metrics.NewRegistry()
+	p.RegisterMetrics(reg)
+
+	// One slow op, finalized deterministically: the first sweep drains
+	// its span, the second finds the trace quiet and assembles it.
+	const slowID = uint64(0xdeadbeef)
+	p.SpanDur(slowID, slowID, StageDispatch, time.Now(), 50*time.Millisecond)
+	p.Sweep()
+	p.Sweep()
+	if page := p.Snapshot(0); len(page.Slow) != 1 || page.Slow[0].Trace != slowID {
+		t.Fatalf("slow op not retained before churn: %+v", page.Slow)
+	}
+
+	const writers = 8
+	const perWriter = 4096 // writers*perWriter wraps the span buffer 4×
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			page := p.Snapshot(0)
+			if len(page.Recent) > recentRing {
+				t.Errorf("recent ring overflowed: %d > %d", len(page.Recent), recentRing)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := uint64(w*perWriter + i + 1)
+				p.SpanDur(id, id, Stages[i%len(Stages)], time.Now(), time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got, want := p.SpansRecorded(), int64(writers*perWriter+1); got != want {
+		t.Errorf("SpansRecorded = %d, want %d", got, want)
+	}
+	page := p.Snapshot(0)
+	if page.Traces <= 0 {
+		t.Errorf("no traces assembled after churn")
+	}
+	if len(page.Recent) > recentRing {
+		t.Errorf("recent ring overflowed: %d > %d", len(page.Recent), recentRing)
+	}
+	found := false
+	for _, op := range page.Slow {
+		if op.Trace == slowID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("slow-op trace evicted by fast churn (%d slow entries)", len(page.Slow))
+	}
+}
+
+// TestPlaneUnsampledNoOp pins the zero-overhead contract's API half: a
+// zero trace ID records nothing — no slot claim, no counter bump, no
+// histogram sample — so call sites may pass straight through for
+// unsampled traffic.
+func TestPlaneUnsampledNoOp(t *testing.T) {
+	p := NewPlane("noop-test", nil, 0)
+	defer p.Close()
+	p.SpanDur(0, 0, StageDispatch, time.Now(), time.Millisecond)
+	p.SpanDur(7, 7, StageDispatch, time.Now(), -time.Millisecond)
+	if n := p.SpansRecorded(); n != 0 {
+		t.Fatalf("unsampled/negative spans recorded: %d", n)
+	}
+}

